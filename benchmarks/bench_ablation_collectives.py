@@ -1,0 +1,58 @@
+"""Ablation: collective pricing family (flat vs node-aware hierarchical).
+
+DESIGN.md calls out the hierarchical (NCCL-style) collective model as a
+design choice.  This bench shows it matters: with the FLAT model every
+multi-node collective pays inter-node cost for its full tree, while the
+hierarchical AUTO model confines most bytes to NVLink — and Tesseract
+benefits more than Megatron because its large activation broadcasts run
+inside node-resident grid rows.
+"""
+
+import pytest
+
+from repro.bench.experiments import BenchRow
+from repro.sim.cost import CollectiveAlg
+from repro.util.formatting import format_seconds
+from repro.util.tables import Table
+
+from benchmarks.conftest import run_row_cached
+
+ROWS = [
+    BenchRow("ablation", "megatron", 16, (16,), 16, 2048, 32, 0.1, 0.1, 5, 10),
+    BenchRow("ablation", "tesseract", 8, (2, 2, 2), 16, 2048, 32,
+             0.1, 0.1, 5, 10),
+]
+ALGS = (CollectiveAlg.FLAT, CollectiveAlg.AUTO)
+
+
+@pytest.mark.parametrize("row", ROWS, ids=lambda r: r.label)
+@pytest.mark.parametrize("alg", ALGS, ids=lambda a: a.value)
+def test_collective_alg_point(benchmark, row, alg):
+    m = benchmark.pedantic(
+        lambda: run_row_cached(row, comm_alg=alg, num_layers=2),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["sim_forward_s"] = m.forward
+    assert m.forward > 0
+
+
+def test_collective_ablation_report(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(["configuration", "flat fwd", "hierarchical fwd",
+                   "hierarchical speedup"],
+                  title="Collective algorithm ablation (8-16 GPUs over 4-node cluster)")
+    speedups = {}
+    for row in ROWS:
+        flat = run_row_cached(row, comm_alg=CollectiveAlg.FLAT, num_layers=2)
+        auto = run_row_cached(row, comm_alg=CollectiveAlg.AUTO, num_layers=2)
+        speedup = flat.forward / auto.forward
+        speedups[row.label] = speedup
+        table.add_row([row.label, format_seconds(flat.forward),
+                       format_seconds(auto.forward), f"{speedup:.3f}x"])
+    with capsys.disabled():
+        print()
+        print(table.render())
+
+    # Hierarchical collectives never lose, and help at least one scheme.
+    assert all(s >= 0.999 for s in speedups.values())
+    assert max(speedups.values()) > 1.01

@@ -1,0 +1,59 @@
+"""Ablation: the Tesseract depth parameter d at fixed q.
+
+The paper's central design claim (§3.1, §4.1): "with the same amount of
+processors, greater d could lead to less communication and lower latency"
+and, in strong scaling, greater depth at fixed q reduces time per batch.
+This bench sweeps d in {1, 2, 4} at q = 4 for the strong-scaling problem
+and reports time, communication, and memory.
+"""
+
+import pytest
+
+from repro.bench.experiments import BenchRow
+from repro.util.formatting import format_bytes, format_seconds
+from repro.util.tables import Table
+
+from benchmarks.conftest import run_row_cached
+
+DEPTHS = (1, 2, 4)
+
+
+def _row(d: int) -> BenchRow:
+    return BenchRow("ablation", "tesseract", 16 * d, (4, 4, d), 16, 3072, 64,
+                    0.1, 0.1, 5.0, 10.0)
+
+
+@pytest.mark.parametrize("d", DEPTHS)
+def test_depth_point(benchmark, d):
+    m = benchmark.pedantic(lambda: run_row_cached(_row(d)), rounds=1,
+                           iterations=1)
+    benchmark.extra_info["sim_forward_s"] = m.forward
+    benchmark.extra_info["peak_memory"] = m.peak_memory_bytes
+    assert m.forward > 0
+
+
+def test_depth_ablation_report(benchmark, capsys):
+    measured = benchmark.pedantic(
+        lambda: {d: run_row_cached(_row(d)) for d in DEPTHS},
+        rounds=1, iterations=1,
+    )
+    table = Table(
+        ["shape", "#GPUs", "fwd", "bwd", "fwd comm bytes", "peak memory"],
+        title="Depth ablation at q=4, strong-scaling problem (h=3072, b=16)",
+    )
+    for d, m in measured.items():
+        total_bytes = sum(v for _, v in m.comm.values())
+        table.add_row([
+            f"[4,4,{d}]", 16 * d, format_seconds(m.forward),
+            format_seconds(m.backward), format_bytes(total_bytes),
+            format_bytes(m.peak_memory_bytes),
+        ])
+    with capsys.disabled():
+        print()
+        print(table.render())
+
+    # Greater depth -> lower forward time (Table 1's [4,4,x] trend).
+    assert measured[1].forward > measured[2].forward > measured[4].forward
+    # Greater depth -> lower peak per-GPU memory (activations split d ways).
+    assert (measured[1].peak_memory_bytes > measured[2].peak_memory_bytes
+            > measured[4].peak_memory_bytes)

@@ -1,0 +1,71 @@
+"""Ablation: inter-node interconnect sensitivity.
+
+§4 of the paper: "Since communication cost between nodes is higher than
+communication within nodes, we arrange our experiments [to keep Tesseract
+slices node-resident]".  The flip side, quantified here: when the
+inter-node fabric halves (HDR200 -> HDR100), Megatron-LM — whose per-layer
+all-reduces of replicated activations must cross nodes — slows down more
+than Tesseract, whose inter-node traffic is mostly parameter-panel sized.
+"""
+
+import pytest
+
+from repro.bench.experiments import BenchRow
+from repro.hardware.spec import (
+    INFINIBAND_HDR100,
+    INFINIBAND_HDR200,
+    custom_cluster,
+)
+from repro.util.formatting import format_seconds
+from repro.util.tables import Table
+
+from benchmarks.conftest import run_row_cached
+
+ROWS = [
+    BenchRow("ablation", "megatron", 16, (16,), 16, 2048, 32,
+             0.1, 0.1, 5, 10),
+    BenchRow("ablation", "tesseract", 16, (4, 4, 1), 16, 2048, 32,
+             0.1, 0.1, 5, 10),
+]
+FABRICS = {"HDR200": INFINIBAND_HDR200, "HDR100": INFINIBAND_HDR100}
+
+
+def _measure(row, fabric_name):
+    cluster = custom_cluster(num_nodes=4, inter_link=FABRICS[fabric_name],
+                             name=f"abl-{fabric_name}")
+    return run_row_cached(row, cluster=cluster, num_layers=2)
+
+
+@pytest.mark.parametrize("row", ROWS, ids=lambda r: r.label)
+@pytest.mark.parametrize("fabric", list(FABRICS))
+def test_fabric_point(benchmark, row, fabric):
+    m = benchmark.pedantic(lambda: _measure(row, fabric), rounds=1,
+                           iterations=1)
+    benchmark.extra_info["sim_forward_s"] = m.forward
+    assert m.forward > 0
+
+
+def test_interconnect_sensitivity_report(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        ["configuration", "fwd @ HDR200", "fwd @ HDR100", "slowdown"],
+        title="Inter-node fabric sensitivity (16 GPUs on 4 nodes)",
+    )
+    slowdowns = {}
+    for row in ROWS:
+        fast = _measure(row, "HDR200")
+        slow = _measure(row, "HDR100")
+        slowdowns[row.label] = slow.forward / fast.forward
+        table.add_row([
+            row.label, format_seconds(fast.forward),
+            format_seconds(slow.forward),
+            f"{slowdowns[row.label]:.3f}x",
+        ])
+    with capsys.disabled():
+        print()
+        print(table.render())
+
+    # Halving the fabric hurts both, but Megatron more — its per-layer
+    # activation all-reduces are inter-node bound.
+    assert all(s > 1.0 for s in slowdowns.values())
+    assert slowdowns["megatron[16]"] > slowdowns["tesseract[4, 4, 1]"]

@@ -1,0 +1,55 @@
+"""Ablation: rank placement (the paper's "q^2 a multiple of 4" rule).
+
+§4: "we arrange our experiments mainly by setting the size [q,q,d] where
+q^2 is a multiple of 4 ... because Tesseract requires less communication
+between its d layers."  BLOCK placement keeps each depth slice on whole
+nodes (row/column broadcasts on NVLink); ROUND_ROBIN scatters slices across
+nodes, pushing the frequent SUMMA traffic onto InfiniBand.
+"""
+
+import pytest
+
+from repro.bench.experiments import BenchRow
+from repro.hardware.topology import Placement
+from repro.util.formatting import format_seconds
+from repro.util.tables import Table
+
+from benchmarks.conftest import run_row_cached
+
+ROW = BenchRow("ablation", "tesseract", 8, (2, 2, 2), 16, 2048, 32,
+               0.1, 0.1, 5, 10)
+PLACEMENTS = (Placement.BLOCK, Placement.ROUND_ROBIN)
+
+
+@pytest.mark.parametrize("placement", PLACEMENTS, ids=lambda p: p.value)
+def test_placement_point(benchmark, placement):
+    m = benchmark.pedantic(
+        lambda: run_row_cached(ROW, placement=placement, num_layers=2),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["sim_forward_s"] = m.forward
+    assert m.forward > 0
+
+
+def test_placement_ablation_report(benchmark, capsys):
+    measured = benchmark.pedantic(
+        lambda: {p: run_row_cached(ROW, placement=p, num_layers=2)
+                 for p in PLACEMENTS},
+        rounds=1, iterations=1,
+    )
+    block = measured[Placement.BLOCK]
+    rr = measured[Placement.ROUND_ROBIN]
+    table = Table(["placement", "fwd", "bwd", "slowdown vs block"],
+                  title="Placement ablation, tesseract [2,2,2] on 2 nodes")
+    for p, m in measured.items():
+        table.add_row([
+            p.value, format_seconds(m.forward), format_seconds(m.backward),
+            f"{m.forward / block.forward:.3f}x",
+        ])
+    with capsys.disabled():
+        print()
+        print(table.render())
+
+    # The paper's placement rule: keeping slices node-resident is faster.
+    assert rr.forward > block.forward
+    assert rr.backward > block.backward

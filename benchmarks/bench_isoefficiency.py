@@ -1,0 +1,95 @@
+"""Reproduce the §3.1 isoefficiency analysis (Eq. 11-12).
+
+Efficiency curves E(p) for each scheme from its communication model, plus
+the isoefficiency growth functions (Megatron W~p^3, Optimus
+W~(sqrt(p) log p)^3, Tesseract lower), rendered as a table and asserted.
+"""
+
+import pytest
+
+from repro.perf.commvolume import megatron_comm_volume, tesseract_comm_volume
+from repro.perf.isoefficiency import (
+    efficiency,
+    megatron_isoefficiency,
+    optimus_isoefficiency,
+    solve_isoefficiency,
+    tesseract_isoefficiency,
+)
+from repro.util.tables import Table
+
+BETA = 1e-10  # seconds per element transferred (arbitrary fixed unit)
+B, S, H = 64, 512, 4096
+WORK = 2.0 * B * S * 12 * H * H * 1e-13  # serial seconds at 10 Tflop/s
+
+
+def _efficiencies(p: int) -> dict[str, float]:
+    q = round(p ** 0.5)
+    qt = round((p / 4) ** 0.5) if p >= 4 else 1
+    d = p // (qt * qt) if p >= 4 else 1
+    return {
+        "megatron": efficiency(WORK, p, BETA * megatron_comm_volume(p, B, S, H)),
+        "optimus": efficiency(
+            WORK, p, BETA * tesseract_comm_volume(q, 1, B, S, H)),
+        "tesseract": efficiency(
+            WORK, p, BETA * tesseract_comm_volume(qt, d, B, S, H)),
+    }
+
+
+def test_efficiency_curves(benchmark, capsys):
+    def compute():
+        return {p: _efficiencies(p) for p in (4, 16, 64)}
+
+    curves = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = Table(["p", "megatron E", "optimus E", "tesseract E"],
+                  title="Eq. 12 efficiency vs processor count")
+    for p, effs in curves.items():
+        table.add_row([p, effs["megatron"], effs["optimus"],
+                       effs["tesseract"]])
+    with capsys.disabled():
+        print()
+        print(table.render())
+    # At 64 GPUs Tesseract retains the highest efficiency.
+    e64 = curves[64]
+    assert e64["tesseract"] >= e64["optimus"]
+    assert e64["tesseract"] > e64["megatron"]
+    # Efficiency decreases with p for every scheme (§3.1's observation).
+    for scheme in ("megatron", "optimus", "tesseract"):
+        assert curves[4][scheme] > curves[64][scheme]
+
+
+def test_isoefficiency_growth(benchmark, capsys):
+    benchmark.pedantic(lambda: megatron_isoefficiency(64), rounds=1,
+                       iterations=1)
+    table = Table(["p", "megatron W~p^3", "optimus W~(√p log p)^3",
+                   "tesseract (d=q)"],
+                  title="§3.1 isoefficiency functions")
+    for p in (8, 64, 512):
+        table.add_row([
+            p,
+            f"{megatron_isoefficiency(p):.3e}",
+            f"{optimus_isoefficiency(p):.3e}",
+            f"{tesseract_isoefficiency(p):.3e}",
+        ])
+    with capsys.disabled():
+        print()
+        print(table.render())
+    for p in (64, 512, 4096):
+        assert (tesseract_isoefficiency(p) < optimus_isoefficiency(p)
+                < megatron_isoefficiency(p))
+
+
+def test_numeric_isoefficiency_ordering(benchmark):
+    """Solve Eq. 12 numerically for the W keeping E = 0.8: the required
+    problem growth is largest for Megatron and smallest for Tesseract."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def mega(w, p):
+        return BETA * megatron_comm_volume(p, B, S, H)
+
+    def tess(w, p):
+        qt = round((p / 4) ** 0.5)
+        return BETA * tesseract_comm_volume(qt, 4, B, S, H)
+
+    w_mega = solve_isoefficiency(mega, p=64)
+    w_tess = solve_isoefficiency(tess, p=64)
+    assert w_tess < w_mega

@@ -1,0 +1,32 @@
+"""Shared benchmark helpers.
+
+Each bench regenerates one table/figure of the paper on the simulated
+cluster.  pytest-benchmark measures the *harness* wall time; the simulated
+(virtual-clock) results are attached as ``extra_info`` and printed, and the
+paper's qualitative claims are asserted.
+
+Rows are cached per session: several benches reference the same
+measurement (e.g. Table 1 rows feed both the table bench and the ratio
+bench).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import MeasuredRow, run_row
+
+_CACHE: dict = {}
+
+
+def run_row_cached(row, **kwargs) -> MeasuredRow:
+    """Run a bench row once per session for a given configuration."""
+    key = (row, tuple(sorted(kwargs.items())))
+    if key not in _CACHE:
+        _CACHE[key] = run_row(row, **kwargs)
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def row_runner():
+    return run_row_cached

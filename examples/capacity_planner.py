@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Capacity planner: which parallelization fits your model on your GPUs?
+
+Uses the paper's analytic models (Eq. 7-10 memory, §3.1 communication) plus
+the simulator to answer the practical question the paper's §3.1 poses: for
+a given transformer and GPU budget, which arrangement fits in device memory
+and which is fastest?  Also demonstrates §3.4: composing Tesseract with
+data and pipeline parallelism (Fig. 6's 32-GPU layout).
+
+Run:  python examples/capacity_planner.py
+"""
+
+from repro.bench.experiments import BenchRow
+from repro.bench.runner import run_row
+from repro.grid import GridLayout, TesseractShape
+from repro.perf.memory import (
+    elements_to_bytes,
+    per_gpu_activation,
+    per_gpu_layer_params,
+)
+from repro.util.formatting import format_bytes, format_seconds
+from repro.util.tables import Table
+
+GPUS = 64
+GPU_MEMORY = 40e9  # A100-40GB
+BATCH, SEQ, HIDDEN, HEADS, LAYERS = 64, 1024, 8192, 64, 24
+
+#: Candidate 64-GPU arrangements (all multiply to GPUS).
+CANDIDATES = [
+    ("megatron", (64,)),
+    ("optimus", (8, 8)),
+    ("tesseract", (8, 8, 1)),
+    ("tesseract", (4, 4, 4)),
+]
+
+
+def estimate(scheme: str, shape) -> float:
+    """Analytic per-GPU bytes: weights + one activation per layer."""
+    if scheme == "megatron":
+        params = per_gpu_layer_params(HIDDEN, "megatron", p=GPUS)
+        acts = per_gpu_activation(BATCH, SEQ, HIDDEN, "megatron", p=GPUS)
+    else:
+        q = shape[0]
+        d = shape[2] if len(shape) == 3 else 1
+        params = per_gpu_layer_params(HIDDEN, scheme, q=q, d=d)
+        acts = per_gpu_activation(BATCH, SEQ, HIDDEN, scheme, q=q, d=d)
+    # weights for all layers + ~4 live activation tensors per layer
+    return elements_to_bytes(LAYERS * params + 4 * LAYERS * acts)
+
+
+def main() -> None:
+    table = Table(
+        ["scheme", "shape", "analytic mem/GPU", "fits 40GB?",
+         "simulated fwd", "simulated mem/GPU"],
+        title=f"Planning: {LAYERS}x(h={HIDDEN}) transformer, batch {BATCH}, "
+        f"seq {SEQ}, on {GPUS} A100s",
+    )
+    best = None
+    for scheme, shape in CANDIDATES:
+        analytic = estimate(scheme, shape)
+        row = BenchRow("plan", scheme, GPUS, shape, BATCH, HIDDEN, HEADS,
+                       0, 1, 1, 1)
+        measured = run_row(row, seq_len=SEQ, num_layers=2)
+        # Scale the 2-layer probe to the full depth for the memory estimate.
+        sim_mem = measured.peak_memory_bytes * LAYERS / 2
+        fits = analytic < GPU_MEMORY
+        table.add_row([
+            scheme, str(list(shape)), format_bytes(analytic),
+            "yes" if fits else "NO", format_seconds(measured.forward),
+            format_bytes(sim_mem),
+        ])
+        if fits and (best is None or measured.forward < best[2]):
+            best = (scheme, shape, measured.forward)
+    print(table.render())
+    if best:
+        print(f"\nrecommendation: {best[0]} {list(best[1])} — fastest "
+              f"arrangement that fits device memory.")
+
+    # §3.4 composition: Fig. 6's dp=2 x pp=2 x tesseract [2,2,2] = 32 GPUs.
+    layout = GridLayout(TesseractShape(q=2, d=2), dp_size=2, pp_size=2)
+    print(f"\nFig. 6 composition check: dp=2 x pp=2 x tesseract [2,2,2] "
+          f"uses {layout.world_size} GPUs "
+          f"(tensor group size {layout.tensor_size}).")
+    dp, pp, t = layout.decompose(19)
+    print(f"world rank 19 -> data-parallel replica {dp}, pipeline stage {pp}, "
+          f"tensor rank {t}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Table 1 and Table 2 on the simulated cluster.
+
+Runs every row of both tables (all twelve strong-scaling and thirteen
+weak-scaling configurations) in symbolic mode at the paper's exact
+dimensions, prints the paper-vs-simulated tables, and the §4.1/§4.2
+headline speedup ratios.
+
+Run:  python examples/reproduce_tables.py [--table 1|2|all]
+Takes about a minute for both tables.
+"""
+
+import argparse
+
+from repro.bench.experiments import TABLE1_ROWS, TABLE2_ROWS
+from repro.bench.report import (
+    PAPER_HEADLINES_STRONG,
+    PAPER_HEADLINES_WEAK,
+    headline_ratios,
+    render_comparison,
+    render_ratio_table,
+)
+from repro.bench.runner import run_table
+
+
+def run_one(name: str, rows, paper_headlines) -> None:
+    print(f"\nSimulating {name} ({len(rows)} configurations)...")
+    measured = run_table(rows)
+    print(render_comparison(measured, f"{name}: paper vs simulated"))
+    print()
+    print(render_ratio_table(headline_ratios(measured), paper_headlines,
+                             f"{name} headline ratios"))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--table", choices=["1", "2", "all"], default="all")
+    args = parser.parse_args()
+    if args.table in ("1", "all"):
+        run_one("Table 1 (strong scaling)", TABLE1_ROWS,
+                PAPER_HEADLINES_STRONG)
+    if args.table in ("2", "all"):
+        run_one("Table 2 (weak scaling)", TABLE2_ROWS, PAPER_HEADLINES_WEAK)
+    print("\nNote: absolute seconds differ from the paper (different layer "
+          "count, precision and NCCL internals); the comparisons — who wins, "
+          "depth trends, crossovers — are the reproduced quantities. "
+          "See EXPERIMENTS.md.")
+
+
+if __name__ == "__main__":
+    main()

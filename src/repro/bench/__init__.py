@@ -1,0 +1,37 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.bench.experiments` — machine-readable Table 1 / Table 2 rows
+  (including the paper's reported numbers) and the Fig. 7 configuration;
+* :mod:`repro.bench.runner` — executes one row on the simulated cluster
+  and measures forward/backward time, throughput, inference rate, memory
+  and communication statistics;
+* :mod:`repro.bench.report` — renders paper-vs-measured tables and the
+  headline speedup ratios.
+
+Metric definitions follow the paper's tables: ``throughput = 1 / (fwd +
+bwd)`` and ``inference = 1 / fwd`` in iterations per second (verified
+against the paper's own rows, e.g. Megatron-4: 1/(0.1225+0.4749) = 1.6739).
+"""
+
+from repro.bench.experiments import (
+    FIG7_CONFIG,
+    TABLE1_ROWS,
+    TABLE2_ROWS,
+    BenchRow,
+    Fig7Config,
+)
+from repro.bench.runner import MeasuredRow, run_row, run_table
+from repro.bench.report import headline_ratios, render_comparison
+
+__all__ = [
+    "BenchRow",
+    "Fig7Config",
+    "TABLE1_ROWS",
+    "TABLE2_ROWS",
+    "FIG7_CONFIG",
+    "MeasuredRow",
+    "run_row",
+    "run_table",
+    "render_comparison",
+    "headline_ratios",
+]

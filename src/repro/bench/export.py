@@ -1,0 +1,87 @@
+"""Persist benchmark measurements to JSON / CSV.
+
+Reproduction runs should leave machine-readable artifacts next to the
+human-readable tables, so downstream analysis (plotting, regression
+tracking across cost-model changes) does not re-run the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.bench.runner import MeasuredRow
+from repro.util.tables import Table
+from repro.version import __version__
+
+__all__ = ["measured_to_records", "save_json", "save_csv", "load_json"]
+
+
+def measured_to_records(measured: Sequence[MeasuredRow]) -> list[dict]:
+    """Flatten measurements into plain dicts (JSON-serializable)."""
+    records = []
+    for m in measured:
+        r = m.row
+        records.append({
+            "table": r.table,
+            "parallelization": r.parallelization,
+            "gpus": r.gpus,
+            "shape": list(r.shape),
+            "batch": m.effective_batch,
+            "hidden": r.hidden,
+            "heads": r.heads,
+            "paper_forward_s": r.paper_forward,
+            "paper_backward_s": r.paper_backward,
+            "paper_throughput": r.paper_throughput,
+            "paper_inference": r.paper_inference,
+            "sim_forward_s": m.forward,
+            "sim_backward_s": m.backward,
+            "sim_throughput": m.throughput,
+            "sim_inference": m.inference,
+            "peak_memory_bytes": m.peak_memory_bytes,
+            "comm": {kind: {"count": c, "bytes": b}
+                     for kind, (c, b) in m.comm.items()},
+        })
+    return records
+
+
+def save_json(measured: Sequence[MeasuredRow], path: str | Path) -> Path:
+    """Write measurements (plus provenance) as JSON; returns the path."""
+    path = Path(path)
+    payload = {
+        "package": "repro",
+        "version": __version__,
+        "records": measured_to_records(measured),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: str | Path) -> list[dict]:
+    """Read back measurement records written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text())
+    if "records" not in payload:
+        raise ValueError(f"{path} is not a repro measurement file")
+    return payload["records"]
+
+
+_CSV_FIELDS = [
+    "table", "parallelization", "gpus", "shape", "batch", "hidden", "heads",
+    "paper_forward_s", "sim_forward_s", "paper_backward_s", "sim_backward_s",
+    "paper_throughput", "sim_throughput", "paper_inference", "sim_inference",
+    "peak_memory_bytes",
+]
+
+
+def save_csv(measured: Sequence[MeasuredRow], path: str | Path) -> Path:
+    """Write measurements as CSV (one row per configuration)."""
+    path = Path(path)
+    table = Table(_CSV_FIELDS)
+    for rec in measured_to_records(measured):
+        table.add_row([
+            "x".join(str(s) for s in rec["shape"]) if f == "shape" else rec[f]
+            for f in _CSV_FIELDS
+        ])
+    path.write_text(table.to_csv() + "\n")
+    return path

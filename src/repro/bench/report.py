@@ -1,0 +1,113 @@
+"""Render paper-vs-measured comparisons and the headline ratios.
+
+Absolute times differ between the authors' MeluXina runs and our simulated
+cluster (different effective flops, NCCL internals, layer count); the
+quantities that must reproduce are the *relationships*: which scheme is
+fastest at each GPU count, how depth affects Tesseract, and the
+[4,4,4]-vs-[8,8,1] gap.  :func:`headline_ratios` extracts exactly the
+ratios §4.1/§4.2 quote.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import MeasuredRow
+from repro.util.formatting import format_bytes
+from repro.util.tables import Table
+
+__all__ = ["render_comparison", "headline_ratios", "render_ratio_table"]
+
+
+def render_comparison(measured: list[MeasuredRow], title: str) -> str:
+    """A paper-vs-measured table in the layout of the paper's tables."""
+    t = Table(
+        [
+            "parallelization", "#GPUs", "shape", "batch", "hidden", "heads",
+            "fwd(paper)", "fwd(sim)", "bwd(paper)", "bwd(sim)",
+            "thr(paper)", "thr(sim)", "inf(paper)", "inf(sim)", "peak mem",
+        ],
+        title=title,
+    )
+    for m in measured:
+        r = m.row
+        t.add_row(
+            [
+                r.parallelization, r.gpus, str(list(r.shape)),
+                m.effective_batch, r.hidden, r.heads,
+                r.paper_forward, m.forward, r.paper_backward, m.backward,
+                r.paper_throughput, m.throughput,
+                r.paper_inference, m.inference,
+                format_bytes(m.peak_memory_bytes),
+            ]
+        )
+    return t.render()
+
+
+def _by_label(measured: list[MeasuredRow]) -> dict[str, MeasuredRow]:
+    return {m.row.label: m for m in measured}
+
+
+def headline_ratios(measured: list[MeasuredRow]) -> dict[str, float]:
+    """The §4.1/§4.2 speedup ratios computed from the simulated runs.
+
+    Returns whichever of the paper's headline comparisons are computable
+    from the rows present:
+
+    * ``fwd_megatron64_over_tesseract444`` (paper: 1.375, strong scaling)
+    * ``fwd_optimus64_over_tesseract444`` (paper: 1.529, strong scaling)
+    * ``fwd_881_over_444``               (paper: 2.070 strong / 1.558 weak)
+    * ``throughput_444_over_megatron64`` (paper: 3.375, weak scaling)
+    * ``throughput_444_over_optimus64``  (paper: 1.714, weak scaling)
+    * ``inference_444_over_megatron64``  (paper: 4.016, weak scaling)
+    * ``inference_444_over_optimus64``   (paper: 1.699, weak scaling)
+    """
+    by = _by_label(measured)
+    out: dict[str, float] = {}
+    t444 = by.get("tesseract[4, 4, 4]")
+    t881 = by.get("tesseract[8, 8, 1]")
+    mega64 = by.get("megatron[64]")
+    opti64 = by.get("optimus[8, 8]")
+    if t444 and mega64:
+        out["fwd_megatron64_over_tesseract444"] = mega64.forward / t444.forward
+        out["throughput_444_over_megatron64"] = t444.throughput / mega64.throughput
+        out["inference_444_over_megatron64"] = t444.inference / mega64.inference
+    if t444 and opti64:
+        out["fwd_optimus64_over_tesseract444"] = opti64.forward / t444.forward
+        out["throughput_444_over_optimus64"] = t444.throughput / opti64.throughput
+        out["inference_444_over_optimus64"] = t444.inference / opti64.inference
+    if t444 and t881:
+        out["fwd_881_over_444"] = t881.forward / t444.forward
+        out["throughput_444_over_881"] = t444.throughput / t881.throughput
+    return out
+
+
+def render_ratio_table(
+    ratios: dict[str, float], paper_values: dict[str, float], title: str
+) -> str:
+    """Ratios side by side with the paper's quoted values."""
+    t = Table(["comparison", "paper", "simulated", "agrees (same side of 1)"],
+              title=title)
+    for key, value in ratios.items():
+        paper = paper_values.get(key)
+        if paper is None:
+            t.add_row([key, "-", value, "-"])
+        else:
+            agrees = (value > 1.0) == (paper > 1.0)
+            t.add_row([key, paper, value, str(agrees)])
+    return t.render()
+
+
+#: The paper's quoted headline numbers, keyed like :func:`headline_ratios`.
+PAPER_HEADLINES_STRONG = {
+    "fwd_megatron64_over_tesseract444": 1.3751,
+    "fwd_optimus64_over_tesseract444": 1.5293,
+    "fwd_881_over_444": 2.0702,
+}
+
+PAPER_HEADLINES_WEAK = {
+    "fwd_881_over_444": 1.5576,
+    "throughput_444_over_megatron64": 3.3746,
+    "throughput_444_over_optimus64": 1.7144,
+    "inference_444_over_megatron64": 4.0156,
+    "inference_444_over_optimus64": 1.6987,
+    "throughput_444_over_881": 1.5092,
+}

@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``     package, cluster-preset and experiment inventory
+``matmul``   run one verified Tesseract matmul on a simulated cluster
+``tables``   regenerate Table 1 / Table 2 (paper vs simulated)
+``fig7``     run the Figure 7 exactness experiment
+``transfers``  print the §1/§3.1 communication-count comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tesseract (ICPP '22) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and experiment inventory")
+
+    p_mm = sub.add_parser("matmul", help="one verified Tesseract matmul")
+    p_mm.add_argument("--q", type=int, default=2, help="grid dimension")
+    p_mm.add_argument("--d", type=int, default=2, help="grid depth")
+    p_mm.add_argument("--n", type=int, default=64,
+                      help="global (square-ish) matrix dimension")
+
+    p_tab = sub.add_parser("tables", help="regenerate Table 1 / Table 2")
+    p_tab.add_argument("--table", choices=["1", "2", "all"], default="all")
+    p_tab.add_argument("--seq-len", type=int, default=None)
+    p_tab.add_argument("--layers", type=int, default=None)
+    p_tab.add_argument("--json", metavar="PATH", default=None,
+                       help="also save measurements as JSON")
+    p_tab.add_argument("--csv", metavar="PATH", default=None,
+                       help="also save measurements as CSV")
+
+    p_fig = sub.add_parser("fig7", help="the Figure 7 exactness experiment")
+    p_fig.add_argument("--epochs", type=int, default=4)
+
+    sub.add_parser("transfers", help="§1/§3.1 transfer-count comparison")
+    return parser
+
+
+def _cmd_info() -> int:
+    from repro.bench.experiments import FIG7_CONFIG, TABLE1_ROWS, TABLE2_ROWS
+    from repro.hardware.spec import meluxina
+
+    cluster = meluxina(16)
+    print(f"repro {__version__} — Tesseract (ICPP '22) reproduction")
+    print(f"cluster preset : {cluster.name}, {cluster.total_gpus} x "
+          f"{cluster.gpu.name}")
+    print(f"links          : {cluster.node.intra_link.name} intra-node, "
+          f"{cluster.inter_link.name} inter-node")
+    print(f"experiments    : Table 1 ({len(TABLE1_ROWS)} rows), "
+          f"Table 2 ({len(TABLE2_ROWS)} rows), Fig. 7 "
+          f"({len(FIG7_CONFIG.settings)} settings)")
+    print("subpackages    : util hardware sim comm varray grid pblas nn "
+          "parallel models data train perf bench")
+    return 0
+
+
+def _cmd_matmul(args) -> int:
+    from repro.pblas.verify import verify_matmul
+    from repro.util.formatting import format_seconds
+
+    n = max(args.n // (args.q * args.d) * (args.q * args.d), args.q * args.d)
+    result = verify_matmul("tesseract", q=args.q, d=args.d, m=n, k=n, n=n)
+    m, k, nn = result.dims
+    print(f"tesseract {result.shape} matmul of [{m},{k}] x [{k},{nn}] on "
+          f"{result.shape.p} simulated GPUs")
+    print(f"max |error| vs numpy : {result.max_abs_error:.2e}")
+    print(f"simulated time       : "
+          f"{format_seconds(result.simulated_seconds)}")
+    print("PASS" if result.passed else "FAIL")
+    return 0 if result.passed else 1
+
+
+def _cmd_tables(args) -> int:
+    from repro.bench.experiments import (
+        DEFAULT_NUM_LAYERS,
+        DEFAULT_SEQ_LEN,
+        TABLE1_ROWS,
+        TABLE2_ROWS,
+    )
+    from repro.bench.report import (
+        PAPER_HEADLINES_STRONG,
+        PAPER_HEADLINES_WEAK,
+        headline_ratios,
+        render_comparison,
+        render_ratio_table,
+    )
+    from repro.bench.runner import run_table
+
+    seq = args.seq_len or DEFAULT_SEQ_LEN
+    layers = args.layers or DEFAULT_NUM_LAYERS
+    jobs = []
+    if args.table in ("1", "all"):
+        jobs.append(("Table 1 (strong scaling)", TABLE1_ROWS,
+                     PAPER_HEADLINES_STRONG))
+    if args.table in ("2", "all"):
+        jobs.append(("Table 2 (weak scaling)", TABLE2_ROWS,
+                     PAPER_HEADLINES_WEAK))
+    all_measured = []
+    for name, rows, paper in jobs:
+        print(f"\nsimulating {name} ...")
+        measured = run_table(rows, seq_len=seq, num_layers=layers)
+        all_measured.extend(measured)
+        print(render_comparison(measured, f"{name}: paper vs simulated"))
+        print(render_ratio_table(headline_ratios(measured), paper,
+                                 f"{name} headline ratios"))
+    if args.json:
+        from repro.bench.export import save_json
+
+        print(f"wrote {save_json(all_measured, args.json)}")
+    if args.csv:
+        from repro.bench.export import save_csv
+
+        print(f"wrote {save_csv(all_measured, args.csv)}")
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    import dataclasses
+
+    from repro.bench.experiments import FIG7_CONFIG
+    from repro.bench.fig7 import render_fig7, run_fig7
+
+    cfg = dataclasses.replace(FIG7_CONFIG, epochs=args.epochs,
+                              train_size=160, test_size=40, batch_size=16)
+    result = run_fig7(cfg)
+    print(render_fig7(result))
+    return 0 if result.curves_identical else 1
+
+
+def _cmd_transfers() -> int:
+    from repro.perf.commvolume import (
+        cannon_transfers,
+        solomonik_transfers,
+        tesseract_transfers,
+        transfer_ratios,
+    )
+    from repro.util.tables import Table
+
+    table = Table(["p", "cannon", "2.5-D", "tesseract", "cannon/tess",
+                   "2.5-D/tess"],
+                  title="§1/§3.1 transfer counts per matmul")
+    for p in (8, 27, 64, 125):
+        r = transfer_ratios(p)
+        table.add_row([
+            p, f"{cannon_transfers(p):.1f}", f"{solomonik_transfers(p):.1f}",
+            f"{tesseract_transfers(p):.1f}",
+            f"{r['cannon_over_tesseract']:.2f}",
+            f"{r['solomonik_over_tesseract']:.2f}",
+        ])
+    print(table.render())
+    print("paper (§1, at p=64): 31.5x and 3.75x")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "matmul":
+        return _cmd_matmul(args)
+    if args.command == "tables":
+        return _cmd_tables(args)
+    if args.command == "fig7":
+        return _cmd_fig7(args)
+    if args.command == "transfers":
+        return _cmd_transfers()
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

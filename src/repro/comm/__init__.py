@@ -1,0 +1,14 @@
+"""MPI/NCCL-style communication over the SPMD engine.
+
+:class:`Communicator` gives each rank the collective set the paper's
+systems use (broadcast, reduce, all_reduce, all_gather, reduce_scatter,
+scatter, gather, all_to_all, barrier, buffered send/recv).  Data really
+moves between ranks (in real mode) and every operation advances the
+participants' virtual clocks by the topology-aware cost model.
+"""
+
+from repro.comm.group import ProcessGroup
+from repro.comm.reduce_ops import ReduceOp
+from repro.comm.communicator import Communicator
+
+__all__ = ["ProcessGroup", "ReduceOp", "Communicator"]

@@ -1,0 +1,411 @@
+"""The :class:`Communicator`: collectives + buffered p2p for one group.
+
+Semantics
+---------
+* All indices (``root``, ``dst``, ``src``) are **group-relative**, like MPI.
+* Collectives are *matching*: every member must call the same collective
+  the same number of times in the same order; the engine detects mismatches
+  and raises :class:`~repro.errors.CommError`.
+* ``send`` is buffered (MPI "bsend"): it deposits the payload and returns,
+  charging only the injection latency, so ring shifts (Cannon) cannot
+  deadlock.  ``recv`` blocks until the message exists and completes at
+  ``max(t_sent + transfer, t_recv_posted)``.
+* Returned arrays share storage with the sender's array in real mode; by
+  package convention VArray data is never mutated in place, which makes
+  zero-copy delivery safe (and fast under the GIL).
+
+Timing
+------
+A collective completes, for every participant, at
+
+    ``max(arrival times) + cost_model(collective, group, bytes)``
+
+which models the bulk-synchronous behaviour of NCCL collectives on a
+stream: stragglers dominate, then the wire time is paid once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.comm.group import ProcessGroup
+from repro.comm.reduce_ops import ReduceOp, combine
+from repro.errors import CommError, ShapeError
+from repro.sim.engine import RankContext
+from repro.sim.events import CommEvent
+from repro.varray.varray import VArray
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """Collective communication endpoint of ``ctx.rank`` within ``group``."""
+
+    def __init__(self, ctx: RankContext, group: ProcessGroup | Sequence[int]):
+        if not isinstance(group, ProcessGroup):
+            group = ProcessGroup.of(group)
+        self.ctx = ctx
+        self.group = group
+        if not group.contains(ctx.rank):
+            raise CommError(
+                f"rank {ctx.rank} cannot build a communicator for group "
+                f"{group.ranks} it does not belong to"
+            )
+        self.rank = group.index(ctx.rank)  #: group-relative rank
+        self.size = group.size
+        self._cost = ctx.engine.comm_model
+
+    # --- internal plumbing ------------------------------------------------------
+
+    def _run(
+        self,
+        kind: str,
+        payload: Any,
+        finisher_data,
+        cost_fn,
+        nbytes: float,
+        tag: str = "",
+        nbytes_from_result: bool = False,
+    ):
+        """Join the group rendezvous for one collective and advance the clock.
+
+        ``nbytes_from_result`` makes the trace record the *received* array's
+        size — needed for broadcast, where non-root callers post None and
+        only learn the payload size from the result.
+        """
+        granks = self.group.ranks
+        seq = self.ctx.next_group_seq(granks)
+        key = (granks, "coll", seq)
+        t_post = self.ctx.clock.now
+
+        def finisher(arrivals: dict[int, Any]):
+            t_arrive = max(t for (_, t) in arrivals.values())
+            ordered = {g: arrivals[g][0] for g in granks}
+            results = finisher_data(ordered)
+            t_end = t_arrive + cost_fn()
+            return results, t_end
+
+        result, t_end = self.ctx.engine.collective(
+            key=key,
+            size=self.size,
+            rank=self.ctx.rank,
+            arrival=(payload, t_post),
+            kind=kind,
+            finisher=finisher,
+        )
+        self.ctx.clock.sync_to(t_end)
+        if nbytes_from_result and isinstance(result, VArray):
+            nbytes = result.nbytes
+        self.ctx.trace.record(
+            CommEvent(
+                rank=self.ctx.rank,
+                kind=kind,
+                group=granks,
+                nbytes=nbytes,
+                t_start=t_post,
+                t_end=self.ctx.clock.now,
+                tag=tag,
+            )
+        )
+        return result
+
+    @staticmethod
+    def _expect_varray(value: Any, what: str) -> VArray:
+        if not isinstance(value, VArray):
+            raise CommError(f"{what} must be a VArray, got {type(value).__name__}")
+        return value
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise CommError(f"root {root} out of range for size-{self.size} group")
+
+    # --- collectives --------------------------------------------------------------
+
+    def broadcast(self, arr: VArray | None, root: int, tag: str = "") -> VArray:
+        """Broadcast ``arr`` from group rank ``root``; non-roots may pass None."""
+        self._check_root(root)
+        if self.size == 1:
+            return self._expect_varray(arr, "broadcast payload")
+        if self.rank == root:
+            self._expect_varray(arr, "broadcast payload at root")
+        root_global = self.group.global_rank(root)
+        holder: dict[str, float] = {}
+
+        def data(ordered: dict[int, Any]):
+            src = ordered[root_global]
+            src = self._expect_varray(src, "broadcast payload at root")
+            holder["nbytes"] = src.nbytes
+            return {g: src for g in ordered}
+
+        nbytes = arr.nbytes if arr is not None else 0
+        result = self._run(
+            kind=f"broadcast[root={root}]",
+            payload=arr if self.rank == root else None,
+            finisher_data=data,
+            cost_fn=lambda: self._cost.broadcast(
+                self.group.ranks, holder.get("nbytes", nbytes)
+            ),
+            nbytes=nbytes,
+            tag=tag,
+            nbytes_from_result=True,
+        )
+        return result
+
+    def reduce(
+        self, arr: VArray, root: int, op: ReduceOp = ReduceOp.SUM, tag: str = ""
+    ) -> VArray | None:
+        """Reduce to group rank ``root``; non-roots receive None."""
+        self._check_root(root)
+        self._expect_varray(arr, "reduce payload")
+        if self.size == 1:
+            return arr
+        root_global = self.group.global_rank(root)
+
+        def data(ordered: dict[int, Any]):
+            payloads = [self._expect_varray(v, "reduce payload") for v in ordered.values()]
+            combined = combine(op, payloads)
+            return {g: (combined if g == root_global else None) for g in ordered}
+
+        return self._run(
+            kind=f"reduce[root={root},op={op.value}]",
+            payload=arr,
+            finisher_data=data,
+            cost_fn=lambda: self._cost.reduce(self.group.ranks, arr.nbytes),
+            nbytes=arr.nbytes,
+            tag=tag,
+        )
+
+    def all_reduce(self, arr: VArray, op: ReduceOp = ReduceOp.SUM, tag: str = "") -> VArray:
+        """All-reduce: every member receives the combined array."""
+        self._expect_varray(arr, "all_reduce payload")
+        if self.size == 1:
+            return arr
+
+        def data(ordered: dict[int, Any]):
+            payloads = [self._expect_varray(v, "all_reduce payload") for v in ordered.values()]
+            combined = combine(op, payloads)
+            return {g: combined for g in ordered}
+
+        return self._run(
+            kind=f"all_reduce[op={op.value}]",
+            payload=arr,
+            finisher_data=data,
+            cost_fn=lambda: self._cost.all_reduce(self.group.ranks, arr.nbytes),
+            nbytes=arr.nbytes,
+            tag=tag,
+        )
+
+    def all_gather(self, arr: VArray, tag: str = "") -> list[VArray]:
+        """All-gather: every member receives the list of all contributions."""
+        self._expect_varray(arr, "all_gather payload")
+        if self.size == 1:
+            return [arr]
+
+        def data(ordered: dict[int, Any]):
+            gathered = [
+                self._expect_varray(v, "all_gather payload") for v in ordered.values()
+            ]
+            return {g: list(gathered) for g in ordered}
+
+        total = arr.nbytes * self.size
+        return self._run(
+            kind="all_gather",
+            payload=arr,
+            finisher_data=data,
+            cost_fn=lambda: self._cost.all_gather(self.group.ranks, total),
+            nbytes=total,
+            tag=tag,
+        )
+
+    def reduce_scatter(
+        self, chunks: Sequence[VArray], op: ReduceOp = ReduceOp.SUM, tag: str = ""
+    ) -> VArray:
+        """Reduce-scatter: member ``i`` receives the reduction of chunk ``i``.
+
+        Each member contributes a list of ``size`` equally-shaped chunks.
+        """
+        if len(chunks) != self.size:
+            raise CommError(
+                f"reduce_scatter needs {self.size} chunks, got {len(chunks)}"
+            )
+        for c in chunks:
+            self._expect_varray(c, "reduce_scatter chunk")
+        if self.size == 1:
+            return chunks[0]
+
+        def data(ordered: dict[int, Any]):
+            out = {}
+            for i, g in enumerate(self.group.ranks):
+                out[g] = combine(op, [ordered[src][i] for src in self.group.ranks])
+            return out
+
+        total = sum(c.nbytes for c in chunks)
+        return self._run(
+            kind=f"reduce_scatter[op={op.value}]",
+            payload=list(chunks),
+            finisher_data=data,
+            cost_fn=lambda: self._cost.reduce_scatter(self.group.ranks, total),
+            nbytes=total,
+            tag=tag,
+        )
+
+    def scatter(
+        self, chunks: Sequence[VArray] | None, root: int, tag: str = ""
+    ) -> VArray:
+        """Scatter: root provides ``size`` chunks; member ``i`` gets chunk ``i``."""
+        self._check_root(root)
+        if self.rank == root:
+            if chunks is None or len(chunks) != self.size:
+                raise CommError(
+                    f"scatter root must provide {self.size} chunks, got "
+                    f"{None if chunks is None else len(chunks)}"
+                )
+            for c in chunks:
+                self._expect_varray(c, "scatter chunk")
+        if self.size == 1:
+            return chunks[0]  # type: ignore[index]
+        root_global = self.group.global_rank(root)
+        holder: dict[str, float] = {}
+
+        def data(ordered: dict[int, Any]):
+            src_chunks = ordered[root_global]
+            holder["nbytes"] = sum(c.nbytes for c in src_chunks)
+            return {g: src_chunks[i] for i, g in enumerate(self.group.ranks)}
+
+        nbytes = sum(c.nbytes for c in chunks) if chunks else 0
+        return self._run(
+            kind=f"scatter[root={root}]",
+            payload=list(chunks) if self.rank == root else None,
+            finisher_data=data,
+            cost_fn=lambda: self._cost.scatter(
+                self.group.ranks, holder.get("nbytes", nbytes)
+            ),
+            nbytes=nbytes,
+            tag=tag,
+        )
+
+    def gather(self, arr: VArray, root: int, tag: str = "") -> list[VArray] | None:
+        """Gather: root receives the list of contributions; others get None."""
+        self._check_root(root)
+        self._expect_varray(arr, "gather payload")
+        if self.size == 1:
+            return [arr]
+        root_global = self.group.global_rank(root)
+
+        def data(ordered: dict[int, Any]):
+            gathered = [ordered[g] for g in self.group.ranks]
+            return {g: (gathered if g == root_global else None) for g in ordered}
+
+        total = arr.nbytes * self.size
+        return self._run(
+            kind=f"gather[root={root}]",
+            payload=arr,
+            finisher_data=data,
+            cost_fn=lambda: self._cost.gather(self.group.ranks, total),
+            nbytes=total,
+            tag=tag,
+        )
+
+    def all_to_all(self, chunks: Sequence[VArray], tag: str = "") -> list[VArray]:
+        """All-to-all: member ``j`` receives chunk ``j`` from every member."""
+        if len(chunks) != self.size:
+            raise CommError(f"all_to_all needs {self.size} chunks, got {len(chunks)}")
+        for c in chunks:
+            self._expect_varray(c, "all_to_all chunk")
+        if self.size == 1:
+            return [chunks[0]]
+
+        def data(ordered: dict[int, Any]):
+            out = {}
+            for j, g in enumerate(self.group.ranks):
+                out[g] = [ordered[src][j] for src in self.group.ranks]
+            return out
+
+        per_pair = max(c.nbytes for c in chunks)
+        return self._run(
+            kind="all_to_all",
+            payload=list(chunks),
+            finisher_data=data,
+            cost_fn=lambda: self._cost.all_to_all(self.group.ranks, per_pair),
+            nbytes=per_pair * self.size * (self.size - 1),
+            tag=tag,
+        )
+
+    def barrier(self, tag: str = "") -> None:
+        """Synchronize all members' virtual clocks."""
+        if self.size == 1:
+            return
+
+        def data(ordered: dict[int, Any]):
+            return {g: None for g in ordered}
+
+        self._run(
+            kind="barrier",
+            payload=None,
+            finisher_data=data,
+            cost_fn=lambda: self._cost.barrier(self.group.ranks),
+            nbytes=0,
+            tag=tag,
+        )
+
+    # --- point-to-point -------------------------------------------------------------
+
+    def send(self, arr: VArray, dst: int, p2p_tag: int = 0, tag: str = "") -> None:
+        """Buffered send to group rank ``dst`` (returns immediately)."""
+        self._expect_varray(arr, "send payload")
+        self._check_root(dst)
+        if dst == self.rank:
+            raise CommError(f"rank {self.rank} cannot send to itself")
+        src_g = self.ctx.rank
+        dst_g = self.group.global_rank(dst)
+        seq = self.ctx.next_p2p_seq(src_g, dst_g, p2p_tag)
+        key = (self.group.ranks, "p2p", src_g, dst_g, p2p_tag, seq)
+        t0 = self.ctx.clock.now
+        # Eager/buffered semantics: the sender pays injection latency only.
+        self.ctx.clock.advance(self._cost.topology.link(src_g, dst_g).latency)
+        self.ctx.engine.post_message(key, arr, self.ctx.clock.now)
+        self.ctx.trace.record(
+            CommEvent(
+                rank=self.ctx.rank,
+                kind="send",
+                group=(src_g, dst_g),
+                nbytes=arr.nbytes,
+                t_start=t0,
+                t_end=self.ctx.clock.now,
+                tag=tag,
+            )
+        )
+
+    def recv(self, src: int, p2p_tag: int = 0, tag: str = "") -> VArray:
+        """Blocking receive from group rank ``src``."""
+        self._check_root(src)
+        if src == self.rank:
+            raise CommError(f"rank {self.rank} cannot receive from itself")
+        src_g = self.group.global_rank(src)
+        dst_g = self.ctx.rank
+        seq = self.ctx.next_p2p_seq(src_g, dst_g, p2p_tag)
+        key = (self.group.ranks, "p2p", src_g, dst_g, p2p_tag, seq)
+        t_post = self.ctx.clock.now
+        payload, t_sent = self.ctx.engine.take_message(key)
+        arr = self._expect_varray(payload, "recv payload")
+        t_arrive = t_sent + self._cost.p2p(src_g, dst_g, arr.nbytes)
+        self.ctx.clock.sync_to(max(t_arrive, t_post))
+        self.ctx.trace.record(
+            CommEvent(
+                rank=self.ctx.rank,
+                kind="recv",
+                group=(src_g, dst_g),
+                nbytes=arr.nbytes,
+                t_start=t_post,
+                t_end=self.ctx.clock.now,
+                tag=tag,
+            )
+        )
+        return arr
+
+    def sendrecv(
+        self, arr: VArray, dst: int, src: int, p2p_tag: int = 0, tag: str = ""
+    ) -> VArray:
+        """Simultaneous shift: send to ``dst`` while receiving from ``src``."""
+        self.send(arr, dst, p2p_tag=p2p_tag, tag=tag)
+        return self.recv(src, p2p_tag=p2p_tag, tag=tag)

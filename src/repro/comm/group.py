@@ -1,0 +1,67 @@
+"""Process groups: ordered sets of global ranks.
+
+A group's *order* matters: collective roots, gather results and reduce
+determinism are all expressed in group-rank order (index into ``ranks``),
+exactly like an MPI communicator built from a group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import CommError
+
+__all__ = ["ProcessGroup"]
+
+
+@dataclass(frozen=True)
+class ProcessGroup:
+    """An ordered, duplicate-free tuple of global ranks."""
+
+    ranks: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            raise CommError("a process group cannot be empty")
+        if len(set(self.ranks)) != len(self.ranks):
+            raise CommError(f"duplicate ranks in group {self.ranks}")
+        if any(r < 0 for r in self.ranks):
+            raise CommError(f"negative rank in group {self.ranks}")
+
+    @classmethod
+    def of(cls, ranks: Sequence[int]) -> "ProcessGroup":
+        """Build a group from any rank sequence."""
+        return cls(tuple(int(r) for r in ranks))
+
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return len(self.ranks)
+
+    def index(self, global_rank: int) -> int:
+        """Group-relative index of a global rank."""
+        try:
+            return self.ranks.index(global_rank)
+        except ValueError:
+            raise CommError(
+                f"rank {global_rank} is not a member of group {self.ranks}"
+            ) from None
+
+    def contains(self, global_rank: int) -> bool:
+        """True if the global rank is a member."""
+        return global_rank in self.ranks
+
+    def global_rank(self, group_rank: int) -> int:
+        """Global rank of a group-relative index."""
+        if not 0 <= group_rank < self.size:
+            raise CommError(
+                f"group rank {group_rank} out of range for size-{self.size} group"
+            )
+        return self.ranks[group_rank]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.ranks)
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,22 @@
+"""Synthetic workloads.
+
+The paper evaluates on randomly generated matrices (§4: "We use randomly
+generated input matrices ... and Xavier initialized parameter matrices")
+and, for Fig. 7, on ImageNet-100.  Without the proprietary-scale dataset we
+substitute :class:`SyntheticImageClassification` — a deterministic
+class-conditional Gaussian image distribution that a small ViT can actually
+learn — which exercises the identical training code path (see DESIGN.md §1
+for the substitution argument).
+"""
+
+from repro.data.synthetic import (
+    SyntheticImageClassification,
+    random_activations,
+    random_token_batch,
+)
+
+__all__ = [
+    "SyntheticImageClassification",
+    "random_activations",
+    "random_token_batch",
+]

@@ -1,0 +1,125 @@
+"""Deterministic synthetic datasets.
+
+Everything here is a pure function of ``(seed, indices)`` through the named
+RNG streams of :mod:`repro.util.rng`, so every rank and every run sees the
+same data — a precondition for the Fig. 7 exactness experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.util.rng import rng_for
+
+__all__ = [
+    "random_activations",
+    "random_token_batch",
+    "SyntheticImageClassification",
+]
+
+
+def random_activations(
+    seed: int, batch: int, seq_len: int, hidden: int, tag: str = "acts"
+) -> np.ndarray:
+    """A [b, s, h] float32 activation tensor (the Table 1/2 input)."""
+    rng = rng_for(seed, "activations", tag)
+    return rng.normal(0.0, 1.0, size=(batch, seq_len, hidden)).astype(np.float32)
+
+
+def random_token_batch(
+    seed: int, batch: int, seq_len: int, vocab: int, step: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """(tokens, next-token labels) for LM training, both [b, s] int64.
+
+    Tokens follow a deterministic Markov-ish structure (label = token
+    shifted by a class-dependent offset) so a model can actually reduce
+    the loss.
+    """
+    rng = rng_for(seed, "tokens", step)
+    tokens = rng.integers(0, vocab, size=(batch, seq_len), dtype=np.int64)
+    labels = (tokens + 1 + (tokens % 3)) % vocab
+    return tokens, labels
+
+
+@dataclass
+class SyntheticImageClassification:
+    """Class-conditional Gaussian images: the ImageNet-100 stand-in.
+
+    Each class ``c`` has a fixed mean image ``mu_c`` (drawn once from the
+    stream ``(seed, "class", c)``); a sample is ``mu_c * contrast + noise``.
+    With ``contrast`` around 1 the task is learnable but not trivial, so
+    accuracy curves have the same qualitative shape as Fig. 7 (rapid rise,
+    then saturation).
+
+    Iteration over epochs/batches is deterministic: the shuffle stream is
+    ``(seed, "shuffle", epoch)``.
+    """
+
+    num_classes: int = 10
+    image_size: int = 16
+    channels: int = 3
+    train_size: int = 500
+    test_size: int = 100
+    contrast: float = 1.0
+    noise: float = 1.0
+    seed: int = 0
+    _means: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ShapeError("need at least 2 classes")
+        if self.train_size % self.num_classes or self.test_size % self.num_classes:
+            raise ShapeError(
+                "train/test sizes must be multiples of num_classes for a "
+                "balanced synthetic dataset"
+            )
+        shape = (self.num_classes, self.channels, self.image_size, self.image_size)
+        means = np.stack(
+            [
+                rng_for(self.seed, "class", c).normal(0.0, 1.0, size=shape[1:])
+                for c in range(self.num_classes)
+            ]
+        )
+        self._means = means.astype(np.float32)
+
+    def _make_split(self, split: str, size: int) -> tuple[np.ndarray, np.ndarray]:
+        per_class = size // self.num_classes
+        labels = np.repeat(np.arange(self.num_classes), per_class)
+        rng = rng_for(self.seed, "split", split)
+        noise = rng.normal(
+            0.0, self.noise,
+            size=(size, self.channels, self.image_size, self.image_size),
+        ).astype(np.float32)
+        images = self._means[labels] * self.contrast + noise
+        return images, labels.astype(np.int64)
+
+    def train_set(self) -> tuple[np.ndarray, np.ndarray]:
+        """The full (images, labels) training split."""
+        return self._make_split("train", self.train_size)
+
+    def test_set(self) -> tuple[np.ndarray, np.ndarray]:
+        """The full (images, labels) test split."""
+        return self._make_split("test", self.test_size)
+
+    def epoch_batches(
+        self, epoch: int, batch_size: int
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Shuffled batches for one epoch (deterministic in ``epoch``).
+
+        Drops the trailing partial batch, as the parallel layouts require
+        a batch size divisible by ``d*q``.
+        """
+        if batch_size <= 0 or batch_size > self.train_size:
+            raise ShapeError(
+                f"batch_size {batch_size} invalid for train size {self.train_size}"
+            )
+        images, labels = self.train_set()
+        order = rng_for(self.seed, "shuffle", epoch).permutation(self.train_size)
+        nbatches = self.train_size // batch_size
+        for b in range(nbatches):
+            idx = order[b * batch_size : (b + 1) * batch_size]
+            yield images[idx], labels[idx]

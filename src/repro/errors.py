@@ -1,0 +1,43 @@
+"""Exception hierarchy for the Tesseract reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with one handler.  Sub-classes identify
+the subsystem that failed:
+
+* :class:`ShapeError`     -- an array/matrix shape cannot be partitioned as
+  requested (e.g. a hidden size not divisible by the grid dimension ``q``).
+* :class:`GridError`      -- an invalid processor arrangement (``p != d*q**2``
+  or ``d > q``).
+* :class:`CommError`      -- a communication mis-use detected by the engine
+  (mismatched collectives, wrong root, self-send, ...).
+* :class:`SimulationError` -- the SPMD engine failed (a rank raised, ranks
+  returned inconsistent results, ...).
+* :class:`DeadlockError`  -- the watchdog saw a rendezvous that can never
+  complete (some ranks never arrived).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array shape is incompatible with the requested partitioning."""
+
+
+class GridError(ReproError, ValueError):
+    """An invalid processor-grid arrangement was requested."""
+
+
+class CommError(ReproError, RuntimeError):
+    """Communication primitives were used inconsistently across ranks."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The SPMD simulation failed to run to completion."""
+
+
+class DeadlockError(SimulationError):
+    """A collective rendezvous timed out with some ranks missing."""

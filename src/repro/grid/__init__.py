@@ -1,0 +1,12 @@
+"""Process grids: rank -> (i, j, k) coordinates and the paper's groups.
+
+:class:`TesseractShape` validates the paper's arrangement constraints
+(``p = d*q**2``, ``1 <= d <= q``); :class:`ParallelContext` gives each rank
+its coordinates and the communicators the algorithms need (row, column,
+depth, slice, tensor, data-parallel, pipeline neighbours).
+"""
+
+from repro.grid.shapes import ParallelMode, TesseractShape
+from repro.grid.context import GridLayout, ParallelContext
+
+__all__ = ["TesseractShape", "ParallelMode", "ParallelContext", "GridLayout"]

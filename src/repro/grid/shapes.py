@@ -1,0 +1,115 @@
+"""Processor-arrangement shapes and their validation rules.
+
+The paper (§3.1) defines the Tesseract arrangement as ``p = d * q**2``
+processors in a ``[q, q, d]`` grid with ``1 <= d <= q``:
+
+* ``d = 1``  degenerates to the 2-D SUMMA arrangement (Optimus),
+* ``d = q``  is the 3-D arrangement,
+* ``1 < d < q``  is the genuinely new 2.5-D regime.
+
+:class:`ParallelMode` names the three tensor-parallel schemes under study
+(the 1-D baseline has shape ``[p]`` and no grid structure).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import GridError
+from repro.util.mathutil import isqrt_exact
+
+__all__ = ["ParallelMode", "TesseractShape"]
+
+
+class ParallelMode(enum.Enum):
+    """Tensor-parallelism scheme."""
+
+    ONE_D = "1d"  #: Megatron-LM row/column sharding
+    TWO_D = "2d"  #: Optimus (SUMMA on a [q, q] grid)
+    TESSERACT = "2.5d"  #: this paper ([q, q, d] grid)
+
+
+@dataclass(frozen=True)
+class TesseractShape:
+    """A validated ``[q, q, d]`` arrangement.
+
+    >>> TesseractShape(q=4, d=2).p
+    32
+    >>> TesseractShape.from_p(64, d=4)
+    TesseractShape(q=4, d=4)
+    """
+
+    q: int
+    d: int
+
+    def __post_init__(self) -> None:
+        if self.q < 1:
+            raise GridError(f"tesseract dimension q must be >= 1, got {self.q}")
+        if self.d < 1:
+            raise GridError(f"tesseract depth d must be >= 1, got {self.d}")
+        if self.d > self.q:
+            raise GridError(
+                f"tesseract depth d={self.d} must satisfy 1 <= d <= q={self.q} "
+                f"(paper §3.1)"
+            )
+
+    @property
+    def p(self) -> int:
+        """Total processors in the arrangement: ``d * q**2``."""
+        return self.d * self.q * self.q
+
+    @property
+    def is_2d(self) -> bool:
+        """True for the SUMMA special case ``d == 1``."""
+        return self.d == 1
+
+    @property
+    def is_3d(self) -> bool:
+        """True for the 3-D special case ``d == q``."""
+        return self.d == self.q
+
+    @classmethod
+    def from_p(cls, p: int, d: int) -> "TesseractShape":
+        """Build the shape from a processor count and depth.
+
+        Raises :class:`GridError` if ``p/d`` is not a perfect square.
+        """
+        if p < 1 or d < 1:
+            raise GridError(f"need positive p and d, got p={p}, d={d}")
+        if p % d != 0:
+            raise GridError(f"p={p} is not divisible by depth d={d}")
+        try:
+            q = isqrt_exact(p // d, what=f"p/d={p // d}")
+        except Exception as exc:
+            raise GridError(
+                f"p={p} with depth d={d} does not form a [q, q, {d}] grid: "
+                f"p/d={p // d} is not a perfect square"
+            ) from exc
+        return cls(q=q, d=d)
+
+    def coords(self, tensor_rank: int) -> tuple[int, int, int]:
+        """(i, j, k) of a tensor-parallel rank, slice-major ordering.
+
+        Slice-major means all ``q*q`` ranks of depth slice ``k=0`` come
+        first.  With the default BLOCK node placement this keeps each
+        slice's frequent row/column traffic on NVLink whenever ``q**2`` is
+        a multiple of the node size — exactly the paper's "q^2 a multiple
+        of 4" arrangement rule.
+        """
+        if not 0 <= tensor_rank < self.p:
+            raise GridError(f"tensor rank {tensor_rank} out of range [0, {self.p})")
+        k, r = divmod(tensor_rank, self.q * self.q)
+        i, j = divmod(r, self.q)
+        return i, j, k
+
+    def rank_of(self, i: int, j: int, k: int) -> int:
+        """Inverse of :meth:`coords`."""
+        if not (0 <= i < self.q and 0 <= j < self.q and 0 <= k < self.d):
+            raise GridError(
+                f"coords ({i},{j},{k}) out of range for shape [{self.q},{self.q},{self.d}]"
+            )
+        return k * self.q * self.q + i * self.q + j
+
+    def __str__(self) -> str:
+        return f"[{self.q},{self.q},{self.d}]"

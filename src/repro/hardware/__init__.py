@@ -1,0 +1,35 @@
+"""Hardware model: GPU, link, node and cluster specifications + topology.
+
+The paper's experiments ran on MeluXina: nodes of 4 NVIDIA A100 GPUs,
+NVLink (200 GB/s) inside a node, InfiniBand (200 Gb/s ~ 25 GB/s) between
+nodes.  :func:`meluxina` builds that cluster; :class:`Topology` answers
+"what link connects rank i to rank j" and "does this group span nodes",
+which is all the communication cost model needs.
+"""
+
+from repro.hardware.spec import (
+    A100_40GB,
+    INFINIBAND_HDR200,
+    NVLINK3,
+    PCIE4,
+    ClusterSpec,
+    GPUSpec,
+    LinkSpec,
+    NodeSpec,
+    meluxina,
+)
+from repro.hardware.topology import Placement, Topology
+
+__all__ = [
+    "GPUSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "A100_40GB",
+    "NVLINK3",
+    "INFINIBAND_HDR200",
+    "PCIE4",
+    "meluxina",
+    "Topology",
+    "Placement",
+]

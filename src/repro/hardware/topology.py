@@ -1,0 +1,212 @@
+"""Cluster topology: rank placement, link lookup, group span analysis.
+
+A :class:`Topology` binds a :class:`~repro.hardware.spec.ClusterSpec` to a
+:class:`Placement` (the mapping from MPI-style global ranks to physical
+GPUs).  The communication cost model only ever asks three questions:
+
+* :meth:`Topology.link` — which link connects two ranks,
+* :meth:`Topology.nodes_spanned` — how many nodes a group touches,
+* :meth:`Topology.worst_link` — the bottleneck link inside a group,
+
+so the topology is kept as plain arrays with a :mod:`networkx` graph built
+lazily for the analysis helpers (bisection bandwidth, path inspection).
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import cached_property
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.errors import GridError
+from repro.hardware.spec import ClusterSpec, LinkSpec
+
+__all__ = ["Placement", "Topology"]
+
+
+class Placement(enum.Enum):
+    """How global ranks are laid out over the cluster's GPUs.
+
+    BLOCK:
+        Ranks fill node 0, then node 1, ... — consecutive ranks share a
+        node.  This is what the paper's experiments use ("we arrange our
+        experiments mainly by setting the size [q,q,d] where q^2 is a
+        multiple of 4"): a Tesseract depth slice of q*q ranks maps onto
+        whole nodes, keeping the frequent row/column broadcasts on NVLink.
+    ROUND_ROBIN:
+        Rank r lives on node ``r % num_nodes`` — consecutive ranks are
+        spread across nodes.  Used as the adversarial placement ablation.
+    """
+
+    BLOCK = "block"
+    ROUND_ROBIN = "round_robin"
+
+
+class Topology:
+    """Physical view of a cluster for a given rank placement.
+
+    Parameters
+    ----------
+    cluster:
+        The hardware description.
+    nranks:
+        Number of ranks actually used (must not exceed the GPU count).
+    placement:
+        Rank-to-GPU layout policy.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        nranks: int | None = None,
+        placement: Placement = Placement.BLOCK,
+    ):
+        self.cluster = cluster
+        self.placement = placement
+        self.nranks = cluster.total_gpus if nranks is None else int(nranks)
+        if self.nranks <= 0:
+            raise GridError(f"nranks must be positive, got {self.nranks}")
+        if self.nranks > cluster.total_gpus:
+            raise GridError(
+                f"cluster {cluster.name} has {cluster.total_gpus} GPUs, "
+                f"cannot place {self.nranks} ranks"
+            )
+        g = cluster.node.gpus_per_node
+        if placement is Placement.BLOCK:
+            self._node_of = [r // g for r in range(self.nranks)]
+        elif placement is Placement.ROUND_ROBIN:
+            # Even spread: rank r on node r % num_nodes.  This can never
+            # overfill a node because nranks <= num_nodes * gpus_per_node
+            # was checked above.
+            n = cluster.num_nodes
+            self._node_of = [r % n for r in range(self.nranks)]
+        else:  # pragma: no cover - enum is exhaustive
+            raise GridError(f"unknown placement {placement!r}")
+
+    # --- basic queries -------------------------------------------------------
+
+    def node_of(self, rank: int) -> int:
+        """The node index hosting ``rank``."""
+        self._check_rank(rank)
+        return self._node_of[rank]
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True if both ranks live on the same node."""
+        return self.node_of(a) == self.node_of(b)
+
+    def link(self, a: int, b: int) -> LinkSpec:
+        """The link connecting two distinct ranks (NVLink or inter-node)."""
+        if a == b:
+            raise GridError(f"no link from rank {a} to itself")
+        if self.same_node(a, b):
+            return self.cluster.node.intra_link
+        return self.cluster.inter_link
+
+    def nodes_spanned(self, ranks: Iterable[int]) -> int:
+        """Number of distinct nodes touched by a group of ranks."""
+        return len({self.node_of(r) for r in ranks})
+
+    def spans_nodes(self, ranks: Iterable[int]) -> bool:
+        """True if the group touches more than one node."""
+        return self.nodes_spanned(ranks) > 1
+
+    def worst_link(self, ranks: Sequence[int]) -> LinkSpec:
+        """The bottleneck link for a group: inter-node if it spans nodes."""
+        if len(ranks) <= 1:
+            return self.cluster.node.intra_link
+        if self.spans_nodes(ranks):
+            return self.cluster.inter_link
+        return self.cluster.node.intra_link
+
+    def ranks_by_node(self, ranks: Sequence[int]) -> dict[int, list[int]]:
+        """Group a rank list by hosting node (ordered by first appearance)."""
+        out: dict[int, list[int]] = {}
+        for r in ranks:
+            out.setdefault(self.node_of(r), []).append(r)
+        return out
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nranks:
+            raise GridError(f"rank {rank} out of range [0, {self.nranks})")
+
+    # --- graph analysis ------------------------------------------------------
+
+    @cached_property
+    def graph(self) -> nx.Graph:
+        """A networkx graph: GPU vertices, node switches, the IB fabric.
+
+        GPUs on a node connect to a per-node switch vertex with the
+        intra-node link's bandwidth; node switches connect to a single
+        fabric vertex with the inter-node link's bandwidth.  Edge attribute
+        ``bandwidth`` is bytes/s, ``latency`` seconds.
+        """
+        g = nx.Graph()
+        intra = self.cluster.node.intra_link
+        inter = self.cluster.inter_link
+        for r in range(self.nranks):
+            node = self._node_of[r]
+            g.add_edge(
+                ("gpu", r),
+                ("switch", node),
+                bandwidth=intra.bandwidth,
+                latency=intra.latency,
+            )
+        for node in set(self._node_of):
+            g.add_edge(
+                ("switch", node),
+                ("fabric",),
+                bandwidth=inter.bandwidth,
+                latency=inter.latency,
+            )
+        return g
+
+    def path_latency(self, a: int, b: int) -> float:
+        """Sum of per-hop latencies on the shortest path between two ranks."""
+        if a == b:
+            return 0.0
+        path = nx.shortest_path(self.graph, ("gpu", a), ("gpu", b))
+        total = 0.0
+        for u, v in zip(path, path[1:]):
+            total += self.graph.edges[u, v]["latency"]
+        return total
+
+    def bisection_bandwidth(self, ranks: Sequence[int]) -> float:
+        """Bandwidth across an even rank bisection (first half vs second).
+
+        For a single-node group this is limited by NVLink; for a multi-node
+        group the inter-node fabric bounds it.  Used only for reporting.
+        """
+        n = len(ranks)
+        if n < 2:
+            return float("inf")
+        half = n // 2
+        left, right = set(ranks[:half]), set(ranks[half:])
+        pairs_crossing_nodes = 0
+        pairs_same_node = 0
+        for a in left:
+            for b in right:
+                if self.same_node(a, b):
+                    pairs_same_node += 1
+                else:
+                    pairs_crossing_nodes += 1
+        intra = self.cluster.node.intra_link.bandwidth
+        inter = self.cluster.inter_link.bandwidth
+        if pairs_crossing_nodes == 0:
+            return intra * half
+        # Inter-node traffic shares each node's single fabric uplink.
+        nodes_left = {self.node_of(r) for r in left}
+        nodes_right = {self.node_of(r) for r in right}
+        crossing_nodes = min(len(nodes_left), len(nodes_right))
+        return inter * max(crossing_nodes, 1)
+
+    def describe(self) -> str:
+        """One-line human description used in bench report headers."""
+        c = self.cluster
+        return (
+            f"{c.name}: {self.nranks} ranks on {c.num_nodes} nodes x "
+            f"{c.node.gpus_per_node} {c.gpu.name} "
+            f"({c.node.intra_link.name} intra, {c.inter_link.name} inter, "
+            f"{self.placement.value} placement)"
+        )

@@ -1,0 +1,19 @@
+"""Complete models: Transformer language model and Vision Transformer.
+
+Each model exists in a serial variant and a Tesseract-sharded variant that
+share every logical weight (same named RNG streams), which is how the
+Fig. 7 exactness experiment is constructed.
+"""
+
+from repro.models.configs import TransformerConfig, ViTConfig
+from repro.models.transformer import SerialTransformerLM, TesseractTransformerLM
+from repro.models.vit import SerialViT, TesseractViT
+
+__all__ = [
+    "TransformerConfig",
+    "ViTConfig",
+    "SerialTransformerLM",
+    "TesseractTransformerLM",
+    "SerialViT",
+    "TesseractViT",
+]

@@ -1,0 +1,185 @@
+"""Transformer encoder language model, serial and Tesseract-sharded.
+
+The LM is: token embedding + learned positions -> ``num_layers`` pre-LN
+transformer layers -> final LayerNorm -> vocabulary head.  As with the ViT
+(:mod:`repro.models.vit`), the serial and sharded variants share all
+logical weights.
+
+Sharding note: the paper parallelizes the transformer *layers* (its
+evaluation measures layer stacks); embeddings are outside its scope.  The
+Tesseract variant therefore computes the embedding replicated on every
+rank and hands each rank its A-layout block of the embedded activations
+("embedding bridge").  The bridge is exact; its cost is an all-gather of
+the activation gradient in the backward pass, charged like any other
+collective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.context import ParallelContext
+from repro.models.configs import TransformerConfig
+from repro.nn.embedding import Embedding
+from repro.nn.module import Module
+from repro.nn.normalization import LayerNorm
+from repro.parallel.common import gather_a_layout
+from repro.parallel.serial import SerialClassifierHead, SerialTransformerLayer
+from repro.parallel.tesseract.layers import (
+    TesseractClassifierHead,
+    TesseractLayerNorm,
+    TesseractTransformerLayer,
+    local_block_a,
+)
+from repro.sim.engine import RankContext
+from repro.util.mathutil import check_divides
+from repro.varray import ops, vinit
+from repro.varray.varray import VArray
+
+__all__ = ["SerialTransformerLM", "TesseractTransformerLM"]
+
+_TAGS = ("lm",)
+
+
+def _pos_global(ctx: RankContext, seq_len: int, hidden: int) -> VArray:
+    if ctx.symbolic:
+        return VArray.symbolic((seq_len, hidden))
+    return VArray.from_numpy(
+        vinit.normal(ctx.rng(*_TAGS, "pos"), (seq_len, hidden), std=0.02)
+    )
+
+
+class SerialTransformerLM(Module):
+    """Single-rank LM; ``forward(tokens [b, s]) -> logits [b, s, vocab]``."""
+
+    def __init__(self, ctx: RankContext, cfg: TransformerConfig):
+        super().__init__(ctx)
+        if cfg.vocab <= 0:
+            raise ValueError("SerialTransformerLM needs cfg.vocab > 0")
+        self.cfg = cfg
+        self.embed = self.add_module(
+            "embed", Embedding(ctx, cfg.vocab, cfg.hidden, init_tags=(*_TAGS, "tok"))
+        )
+        self.pos = self.add_param("pos", _pos_global(ctx, cfg.seq_len, cfg.hidden))
+        self.blocks = [
+            self.add_module(
+                f"block{idx}",
+                SerialTransformerLayer(
+                    ctx, cfg.hidden, cfg.nheads, cfg.mlp_ratio,
+                    init_tags=(*_TAGS, "layer", idx),
+                ),
+            )
+            for idx in range(cfg.num_layers)
+        ]
+        self.final_ln = self.add_module("final_ln", LayerNorm(ctx, cfg.hidden))
+        self.head = self.add_module(
+            "head",
+            SerialClassifierHead(ctx, cfg.hidden, cfg.vocab,
+                                 init_tags=(*_TAGS, "head")),
+        )
+
+    def local_tokens(self, tokens: np.ndarray) -> VArray:
+        return VArray.from_numpy(tokens.astype(np.int64))
+
+    def forward(self, tokens: VArray) -> VArray:
+        ctx = self.ctx
+        x = self.embed.forward(tokens)
+        x = ops.add(ctx, x, self.pos.value, tag="lm_pos")
+        for block in self.blocks:
+            x = block.forward(x)
+        x = self.final_ln.forward(x)
+        return self.head.forward(x)
+
+    def backward(self, dlogits: VArray) -> VArray:
+        ctx = self.ctx
+        dx = self.head.backward(dlogits)
+        dx = self.final_ln.backward(dx)
+        for block in reversed(self.blocks):
+            dx = block.backward(dx)
+        dpos = ops.reduce_sum(ctx, dx, axis=0, keepdims=False, tag="lm_dpos")
+        self.pos.accumulate(dpos)
+        return self.embed.backward(dx)
+
+
+class TesseractTransformerLM(Module):
+    """Tesseract-sharded LM; layers are sharded, the embedding bridge is
+    replicated (see module docstring)."""
+
+    def __init__(self, pc: ParallelContext, cfg: TransformerConfig):
+        super().__init__(pc.ctx)
+        if cfg.vocab <= 0:
+            raise ValueError("TesseractTransformerLM needs cfg.vocab > 0")
+        check_divides(pc.q, cfg.vocab, "vocab vs q")
+        self.pc = pc
+        self.cfg = cfg
+        self.embed = self.add_module(
+            "embed",
+            Embedding(pc.ctx, cfg.vocab, cfg.hidden, init_tags=(*_TAGS, "tok")),
+        )
+        self.pos = self.add_param(
+            "pos", _pos_global(pc.ctx, cfg.seq_len, cfg.hidden)
+        )
+        self.blocks = [
+            self.add_module(
+                f"block{idx}",
+                TesseractTransformerLayer(
+                    pc, cfg.hidden, cfg.nheads, cfg.mlp_ratio,
+                    init_tags=(*_TAGS, "layer", idx),
+                ),
+            )
+            for idx in range(cfg.num_layers)
+        ]
+        self.final_ln = self.add_module(
+            "final_ln", TesseractLayerNorm(pc, cfg.hidden)
+        )
+        self.head = self.add_module(
+            "head",
+            TesseractClassifierHead(pc, cfg.hidden, cfg.vocab,
+                                    init_tags=(*_TAGS, "head")),
+        )
+
+    def local_tokens(self, tokens: np.ndarray) -> VArray:
+        """The embedding bridge is replicated: every rank takes all tokens."""
+        return VArray.from_numpy(tokens.astype(np.int64))
+
+    def local_labels(self, labels: np.ndarray) -> VArray:
+        """This rank's batch band of the [b, s] label matrix."""
+        pc = self.pc
+        rows = check_divides(pc.d * pc.q, labels.shape[0], "batch size")
+        h = pc.block_row
+        return VArray.from_numpy(
+            np.ascontiguousarray(labels[h * rows : (h + 1) * rows]).astype(np.int64)
+        )
+
+    def forward(self, tokens: VArray) -> VArray:
+        ctx, pc = self.ctx, self.pc
+        x_global = self.embed.forward(tokens)
+        x_global = ops.add(ctx, x_global, self.pos.value, tag="lm_pos")
+        # Bridge: keep this rank's A-layout block of the embedded batch.
+        x = _slice_a_layout(pc, x_global)
+        for block in self.blocks:
+            x = block.forward(x)
+        x = self.final_ln.forward(x)
+        return self.head.forward(x)
+
+    def backward(self, dlogits: VArray) -> VArray:
+        ctx, pc = self.ctx, self.pc
+        dx = self.head.backward(dlogits)
+        dx = self.final_ln.backward(dx)
+        for block in reversed(self.blocks):
+            dx = block.backward(dx)
+        # Bridge backward: reassemble the global activation gradient so the
+        # replicated embedding computes identical gradients on every rank.
+        dx_global = gather_a_layout(pc, dx, tag="lm_bridge")
+        dpos = ops.reduce_sum(ctx, dx_global, axis=0, keepdims=False, tag="lm_dpos")
+        self.pos.accumulate(dpos)
+        return self.embed.backward(dx_global)
+
+
+def _slice_a_layout(pc: ParallelContext, x: VArray) -> VArray:
+    """This rank's A-layout block of a full activation tensor (device side)."""
+    ctx = pc.ctx
+    bands = ops.split(ctx, x, pc.d * pc.q, axis=0, tag="a_slice")
+    band = bands[pc.block_row]
+    cols = ops.split(ctx, band, pc.q, axis=-1, tag="a_slice")
+    return cols[pc.j]

@@ -1,0 +1,163 @@
+"""Scaled dot-product attention core + the serial multi-head layer.
+
+:func:`attention_core` / :func:`attention_core_backward` implement the
+head-batched attention math (Eq. 6 of the paper) on *local* tensors.  Both
+the serial layer here and every parallel attention layer reuse them: in the
+Tesseract layout each rank simply holds ``n/q`` heads of dimension ``h/n``
+(§3.2.1), so the identical kernel runs on a narrower tensor — which is
+precisely why the attention inner loop needs no communication.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ShapeError
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.sim.engine import RankContext
+from repro.util.mathutil import check_divides
+from repro.varray import ops
+from repro.varray.varray import VArray
+
+__all__ = [
+    "attention_core",
+    "attention_core_backward",
+    "fused_qkv_weight",
+    "MultiHeadAttention",
+]
+
+
+def fused_qkv_weight(ctx: RankContext, hidden: int, init_tags: tuple):
+    """The global fused [h, 3h] QKV weight: [Wq | Wk | Wv].
+
+    Each component is an independent Xavier draw from a named stream, so
+    any sharding can re-materialize exactly the columns it owns.
+    """
+    import numpy as np
+
+    from repro.varray import vinit
+
+    wq = vinit.xavier_uniform(ctx.rng(*init_tags, "wq"), (hidden, hidden))
+    wk = vinit.xavier_uniform(ctx.rng(*init_tags, "wk"), (hidden, hidden))
+    wv = vinit.xavier_uniform(ctx.rng(*init_tags, "wv"), (hidden, hidden))
+    return np.concatenate([wq, wk, wv], axis=1)
+
+
+def _to_heads(ctx: RankContext, x: VArray, nheads: int) -> VArray:
+    """[B, s, H] -> [B, nheads, s, H/nheads]."""
+    b, s, hl = x.shape
+    hd = check_divides(nheads, hl, "local hidden size vs local heads")
+    x = ops.reshape(ctx, x, (b, s, nheads, hd))
+    return ops.transpose(ctx, x, (0, 2, 1, 3), tag="attn_heads")
+
+
+def _from_heads(ctx: RankContext, x: VArray) -> VArray:
+    """[B, nheads, s, hd] -> [B, s, nheads*hd]."""
+    b, nh, s, hd = x.shape
+    x = ops.transpose(ctx, x, (0, 2, 1, 3), tag="attn_merge")
+    return ops.reshape(ctx, x, (b, s, nh * hd))
+
+
+def attention_core(
+    ctx: RankContext,
+    q: VArray,
+    k: VArray,
+    v: VArray,
+    nheads: int,
+    scale: float,
+) -> tuple[VArray, tuple]:
+    """Multi-head attention on local tensors.
+
+    Inputs are ``[B, s, H_local]``; ``nheads`` is the *local* head count and
+    ``scale`` is ``1/sqrt(h/n)`` computed from the **global** head
+    dimension (identical across shardings, so the math is exact).
+
+    Returns ``(output [B, s, H_local], cache)`` with the cache consumed by
+    :func:`attention_core_backward`.
+    """
+    if q.shape != k.shape or q.shape != v.shape:
+        raise ShapeError(f"q/k/v shapes differ: {q.shape}, {k.shape}, {v.shape}")
+    qh = _to_heads(ctx, q, nheads)
+    kh = _to_heads(ctx, k, nheads)
+    vh = _to_heads(ctx, v, nheads)
+    scores = ops.scale(
+        ctx, ops.matmul(ctx, qh, kh, transpose_b=True, tag="attn_qk"), scale,
+        tag="attn_scale",
+    )
+    probs = ops.softmax(ctx, scores, axis=-1, tag="attn_softmax")
+    out_h = ops.matmul(ctx, probs, vh, tag="attn_av")
+    out = _from_heads(ctx, out_h)
+    cache = (qh, kh, vh, probs, scale)
+    return out, cache
+
+
+def attention_core_backward(
+    ctx: RankContext, cache: tuple, dout: VArray
+) -> tuple[VArray, VArray, VArray]:
+    """Gradients (dq, dk, dv) for :func:`attention_core`."""
+    qh, kh, vh, probs, scale = cache
+    nheads = qh.shape[1]
+    dout_h = _to_heads(ctx, dout, nheads)
+    dv_h = ops.matmul(ctx, probs, dout_h, transpose_a=True, tag="attn_dv")
+    dprobs = ops.matmul(ctx, dout_h, vh, transpose_b=True, tag="attn_dp")
+    dscores = ops.scale(
+        ctx, ops.softmax_grad(ctx, probs, dprobs, axis=-1, tag="attn_dsm"), scale,
+        tag="attn_dscale",
+    )
+    dq_h = ops.matmul(ctx, dscores, kh, tag="attn_dq")
+    dk_h = ops.matmul(ctx, dscores, qh, transpose_a=True, tag="attn_dk")
+    return _from_heads(ctx, dq_h), _from_heads(ctx, dk_h), _from_heads(ctx, dv_h)
+
+
+class MultiHeadAttention(Module):
+    """Serial multi-head self-attention (§2.4's formulation).
+
+    One fused QKV projection ``[h, 3h]``, the attention core, then the
+    output projection ``[h, h]`` — matching the operator count the paper's
+    §3.2.1 parallelizes.
+    """
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        hidden: int,
+        nheads: int,
+        init_tags: tuple = ("attn",),
+    ):
+        super().__init__(ctx)
+        self.hidden = hidden
+        self.nheads = nheads
+        head_dim = check_divides(nheads, hidden, "hidden size vs heads")
+        self.scale = 1.0 / float(head_dim) ** 0.5
+        # The fused QKV weight is the concatenation of three independently
+        # Xavier-initialized [h, h] matrices (streams "wq"/"wk"/"wv").  The
+        # parallel attention layers slice the *same* three matrices, so
+        # serial and sharded models share identical logical weights.
+        qkv_weight = None
+        if not ctx.symbolic:
+            qkv_weight = fused_qkv_weight(ctx, hidden, (*init_tags, "qkv"))
+        self.qkv = self.add_module(
+            "qkv",
+            Linear(
+                ctx, hidden, 3 * hidden, init_tags=(*init_tags, "qkv"),
+                weight=qkv_weight,
+            ),
+        )
+        self.proj = self.add_module(
+            "proj", Linear(ctx, hidden, hidden, init_tags=(*init_tags, "proj"))
+        )
+
+    def forward(self, x: VArray) -> VArray:
+        ctx = self.ctx
+        qkv = self.qkv.forward(x)
+        q, k, v = ops.split(ctx, qkv, 3, axis=-1, tag="attn_split")
+        out, cache = attention_core(ctx, q, k, v, self.nheads, self.scale)
+        self.save_for_backward(cache)
+        return self.proj.forward(out)
+
+    def backward(self, dy: VArray) -> VArray:
+        (cache,) = self.saved()
+        ctx = self.ctx
+        dout = self.proj.backward(dy)
+        dq, dk, dv = attention_core_backward(ctx, cache, dout)
+        dqkv = ops.concat(ctx, [dq, dk, dv], axis=-1, tag="attn_dsplit")
+        return self.qkv.backward(dqkv)

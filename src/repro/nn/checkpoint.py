@@ -1,0 +1,54 @@
+"""Activation checkpointing (Chen et al., the paper's reference [4]).
+
+§1 of the paper lists activation checkpointing among the memory techniques
+orthogonal to tensor parallelism.  :class:`ActivationCheckpoint` wraps any
+module: the forward pass runs normally but *discards* the wrapped module's
+saved activations, keeping only the input; the backward pass recomputes
+the forward to rebuild them, then backpropagates.  Peak activation memory
+drops from O(depth) to O(1) per wrapped segment at the cost of one extra
+forward — and the recompute cost is charged to the virtual clock like any
+other work, so its time/memory trade shows up in simulation results.
+
+Requires the wrapped module to be deterministic between the two forward
+passes (true for every layer here except :class:`~repro.nn.activation.Dropout`,
+whose mask stream advances per call — wrap around dropout, not across it).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.nn.module import Module
+from repro.varray.varray import VArray
+
+__all__ = ["ActivationCheckpoint"]
+
+
+class ActivationCheckpoint(Module):
+    """Recompute-in-backward wrapper around an inner module."""
+
+    def __init__(self, inner: Module):
+        super().__init__(inner.ctx)
+        self.inner = self.add_module("inner", inner)
+
+    def forward(self, x: VArray) -> VArray:
+        y = self.inner.forward(x)
+        # Drop the inner module's activation caches; keep only the input.
+        _drop_saved(self.inner)
+        self.save_for_backward(x)
+        return y
+
+    def backward(self, dy: VArray) -> VArray:
+        (x,) = self.saved()
+        # Recompute the forward pass to rebuild the activation caches.
+        self.inner.forward(x)
+        return self.inner.backward(dy)
+
+
+def _drop_saved(module: Module) -> None:
+    """Recursively free a module tree's saved-for-backward tensors."""
+    if module._saved is not None:
+        module.ctx.mem.free(module._saved_bytes, "activations")
+        module._saved = None
+        module._saved_bytes = 0.0
+    for child in module._children.values():
+        _drop_saved(child)

@@ -1,0 +1,121 @@
+"""Embedding layers: token lookup and ViT patch embedding."""
+
+from __future__ import annotations
+
+from repro.errors import ShapeError
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.sim.engine import RankContext
+from repro.util.mathutil import check_divides
+from repro.varray import ops, vinit
+from repro.varray.varray import VArray
+
+__all__ = ["Embedding", "PatchEmbedding", "patchify", "unpatchify_grad"]
+
+
+def patchify(ctx: RankContext, x: VArray, patch_size: int) -> VArray:
+    """[B, C, H, W] -> [B, (H/P)(W/P), C*P*P] of non-overlapping patches."""
+    b, c, h, w = x.shape
+    check_divides(patch_size, h, "image height vs patch size")
+    check_divides(patch_size, w, "image width vs patch size")
+    gh, gw = h // patch_size, w // patch_size
+    p = patch_size
+    x = ops.reshape(ctx, x, (b, c, gh, p, gw, p), tag="patchify")
+    x = ops.transpose(ctx, x, (0, 2, 4, 1, 3, 5), tag="patchify")
+    return ops.reshape(ctx, x, (b, gh * gw, c * p * p), tag="patchify")
+
+
+def unpatchify_grad(
+    ctx: RankContext, dpatches: VArray, channels: int, image_size: int,
+    patch_size: int,
+) -> VArray:
+    """Inverse rearrangement for the gradient of :func:`patchify`."""
+    b = dpatches.shape[0]
+    g, p, c = image_size // patch_size, patch_size, channels
+    x = ops.reshape(ctx, dpatches, (b, g, g, c, p, p), tag="unpatchify")
+    x = ops.transpose(ctx, x, (0, 3, 1, 4, 2, 5), tag="unpatchify")
+    return ops.reshape(ctx, x, (b, c, image_size, image_size), tag="unpatchify")
+
+
+class Embedding(Module):
+    """Token embedding: integer ids -> rows of a learned table."""
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        vocab: int,
+        dim: int,
+        init_tags: tuple = ("embed",),
+    ):
+        super().__init__(ctx)
+        self.vocab = vocab
+        self.dim = dim
+        if ctx.symbolic:
+            table = VArray.symbolic((vocab, dim))
+        else:
+            table = VArray.from_numpy(
+                vinit.normal(ctx.rng(*init_tags, "table"), (vocab, dim), std=0.02)
+            )
+        self.table = self.add_param("table", table)
+
+    def forward(self, idx: VArray) -> VArray:
+        self.save_for_backward(idx)
+        return ops.take_rows(self.ctx, self.table.value, idx, tag="embed")
+
+    def backward(self, dy: VArray) -> VArray:
+        (idx,) = self.saved()
+        grad = ops.add_at_rows(
+            self.ctx, self.table.value.shape, idx, dy, tag="embed_bwd"
+        )
+        self.table.accumulate(grad)
+        # Token indices carry no gradient; return a zero placeholder of the
+        # input's shape so Sequential-style chaining stays well-typed.
+        return VArray.zeros(idx.shape, idx.dtype, symbolic=idx.is_symbolic)
+
+
+class PatchEmbedding(Module):
+    """ViT patch embedding: [B, C, H, W] -> [B, num_patches, hidden].
+
+    Non-overlapping ``P x P`` patches are flattened and linearly projected,
+    as in Dosovitskiy et al. (the paper's Fig. 7 model).
+    """
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        image_size: int,
+        patch_size: int,
+        channels: int,
+        hidden: int,
+        init_tags: tuple = ("patch_embed",),
+    ):
+        super().__init__(ctx)
+        check_divides(patch_size, image_size, "image size vs patch size")
+        self.image_size = image_size
+        self.patch_size = patch_size
+        self.channels = channels
+        self.hidden = hidden
+        self.grid = image_size // patch_size
+        self.num_patches = self.grid * self.grid
+        self.patch_dim = channels * patch_size * patch_size
+        self.proj = self.add_module(
+            "proj", Linear(ctx, self.patch_dim, hidden, init_tags=(*init_tags, "proj"))
+        )
+
+    def forward(self, x: VArray) -> VArray:
+        b, c, h, w = x.shape
+        if c != self.channels or h != self.image_size or w != self.image_size:
+            raise ShapeError(
+                f"PatchEmbedding expected [B, {self.channels}, {self.image_size}, "
+                f"{self.image_size}], got {x.shape}"
+            )
+        self.save_for_backward(b)
+        patches = patchify(self.ctx, x, self.patch_size)
+        return self.proj.forward(patches)
+
+    def backward(self, dy: VArray) -> VArray:
+        self.saved()
+        dpatches = self.proj.backward(dy)
+        return unpatchify_grad(
+            self.ctx, dpatches, self.channels, self.image_size, self.patch_size
+        )

@@ -1,0 +1,87 @@
+"""Serial (single-rank) linear layer — the reference for all sharded ones."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.module import Module
+from repro.sim.engine import RankContext
+from repro.util.mathutil import prod
+from repro.varray import ops, vinit
+from repro.varray.varray import VArray
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Y = X @ W + b with Xavier-uniform W (the paper's §4 initialization).
+
+    Accepts inputs of any rank ``[..., in_features]``; the backward pass
+    flattens leading dimensions for the weight gradient.
+
+    Parameters
+    ----------
+    init_tags:
+        RNG stream tags for the weight draw; the parallel layers pass the
+        *same* tags plus their shard coordinates so all shardings of one
+        logical layer come from the same global weight matrix.
+    """
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        init_tags: tuple = ("linear",),
+        weight: np.ndarray | None = None,
+    ):
+        super().__init__(ctx)
+        self.in_features = in_features
+        self.out_features = out_features
+        if ctx.symbolic:
+            w = VArray.symbolic((in_features, out_features))
+            b = VArray.symbolic((out_features,)) if bias else None
+        else:
+            if weight is not None:
+                if weight.shape != (in_features, out_features):
+                    raise ShapeError(
+                        f"explicit weight shape {weight.shape} does not match "
+                        f"({in_features}, {out_features})"
+                    )
+                w = VArray.from_numpy(weight.astype(np.float32))
+            else:
+                w = VArray.from_numpy(
+                    vinit.xavier_uniform(
+                        ctx.rng(*init_tags, "w"), (in_features, out_features)
+                    )
+                )
+            b = VArray.from_numpy(vinit.zeros((out_features,))) if bias else None
+        self.w = self.add_param("w", w)
+        self.b = self.add_param("b", b) if b is not None else None
+
+    def forward(self, x: VArray) -> VArray:
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"Linear expected last dim {self.in_features}, got {x.shape}"
+            )
+        y = ops.matmul(self.ctx, x, self.w.value, tag="linear_fwd")
+        if self.b is not None:
+            y = ops.add(self.ctx, y, self.b.value, tag="linear_bias")
+        self.save_for_backward(x)
+        return y
+
+    def backward(self, dy: VArray) -> VArray:
+        (x,) = self.saved()
+        ctx = self.ctx
+        rows = prod(x.shape[:-1])
+        x2d = ops.reshape(ctx, x, (rows, self.in_features))
+        dy2d = ops.reshape(ctx, dy, (rows, self.out_features))
+        dw = ops.matmul(ctx, x2d, dy2d, transpose_a=True, tag="linear_dw")
+        self.w.accumulate(dw)
+        if self.b is not None:
+            db = ops.reduce_sum(ctx, dy2d, axis=0, keepdims=False, tag="linear_db")
+            self.b.accumulate(db)
+        dx = ops.matmul(ctx, dy, self.w.value, transpose_b=True, tag="linear_dx")
+        return dx

@@ -1,0 +1,118 @@
+"""Loss functions with explicit backward passes.
+
+Losses are not :class:`~repro.nn.module.Module`s (they take two inputs and
+return a scalar); both keep the ``forward``/``backward`` convention.
+
+The ``normalizer`` argument makes the losses shard-aware: a rank holding a
+slice of the batch passes the *global* example count, so its local gradient
+is already correctly scaled and the summed parallel gradient matches the
+serial one exactly — the mechanism behind Fig. 7's curve identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sim.engine import RankContext
+from repro.varray.varray import VArray
+
+__all__ = ["SoftmaxCrossEntropy", "MeanSquaredError"]
+
+
+class SoftmaxCrossEntropy:
+    """Mean softmax cross-entropy over integer labels.
+
+    ``forward(logits [N, C], labels int [N])`` returns a scalar VArray of
+    ``sum(-log p[label]) / normalizer``; ``backward()`` returns
+    ``(softmax(logits) - onehot) / normalizer``.
+    """
+
+    def __init__(self, ctx: RankContext, normalizer: float | None = None):
+        self.ctx = ctx
+        self.normalizer = normalizer
+        self._cache: tuple | None = None
+
+    def forward(self, logits: VArray, labels: VArray) -> VArray:
+        if logits.ndim != 2:
+            raise ShapeError(f"logits must be [N, C], got {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ShapeError(
+                f"labels shape {labels.shape} does not match logits {logits.shape}"
+            )
+        n, c = logits.shape
+        norm = float(self.normalizer if self.normalizer is not None else n)
+        # softmax + log + gather + scale
+        self.ctx.compute(flops=7.0 * logits.size, bytes_touched=3 * logits.nbytes,
+                         tag="xent")
+        if logits.is_symbolic or labels.is_symbolic:
+            self._cache = (logits, labels, None, norm)
+            return VArray.symbolic((), logits.dtype)
+        x = logits.numpy().astype(np.float64)
+        shifted = x - x.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        idx = labels.numpy().astype(np.int64)
+        if idx.min() < 0 or idx.max() >= c:
+            raise ShapeError(f"labels out of range [0, {c})")
+        loss = -logp[np.arange(n), idx].sum() / norm
+        probs = np.exp(logp)
+        self._cache = (logits, labels, probs, norm)
+        return VArray.from_numpy(np.asarray(loss, dtype=logits.dtype))
+
+    def backward(self) -> VArray:
+        if self._cache is None:
+            raise ShapeError("SoftmaxCrossEntropy.backward before forward")
+        logits, labels, probs, norm = self._cache
+        self._cache = None
+        self.ctx.compute(flops=2.0 * logits.size, bytes_touched=2 * logits.nbytes,
+                         tag="xent_bwd")
+        if probs is None:
+            return VArray.symbolic(logits.shape, logits.dtype)
+        n, c = logits.shape
+        grad = probs.copy()
+        grad[np.arange(n), labels.numpy().astype(np.int64)] -= 1.0
+        grad /= norm
+        return VArray.from_numpy(grad.astype(logits.dtype.type))
+
+    @staticmethod
+    def correct_count(logits: VArray, labels: VArray) -> int:
+        """Number of argmax-correct predictions (0 in symbolic mode)."""
+        if logits.is_symbolic or labels.is_symbolic:
+            return 0
+        pred = logits.numpy().argmax(axis=1)
+        return int((pred == labels.numpy()).sum())
+
+
+class MeanSquaredError:
+    """0.5 * mean squared error (per-element), with shard normalizer."""
+
+    def __init__(self, ctx: RankContext, normalizer: float | None = None):
+        self.ctx = ctx
+        self.normalizer = normalizer
+        self._cache: tuple | None = None
+
+    def forward(self, pred: VArray, target: VArray) -> VArray:
+        if pred.shape != target.shape:
+            raise ShapeError(f"MSE shapes differ: {pred.shape} vs {target.shape}")
+        norm = float(self.normalizer if self.normalizer is not None else pred.size)
+        self.ctx.compute(flops=3.0 * pred.size, bytes_touched=2 * pred.nbytes,
+                         tag="mse")
+        if pred.is_symbolic or target.is_symbolic:
+            self._cache = (pred, target, norm)
+            return VArray.symbolic((), pred.dtype)
+        diff = pred.numpy().astype(np.float64) - target.numpy().astype(np.float64)
+        loss = 0.5 * float((diff * diff).sum()) / norm
+        self._cache = (pred, target, norm)
+        return VArray.from_numpy(np.asarray(loss, dtype=pred.dtype))
+
+    def backward(self) -> VArray:
+        if self._cache is None:
+            raise ShapeError("MeanSquaredError.backward before forward")
+        pred, target, norm = self._cache
+        self._cache = None
+        self.ctx.compute(flops=2.0 * pred.size, bytes_touched=2 * pred.nbytes,
+                         tag="mse_bwd")
+        if pred.is_symbolic or target.is_symbolic:
+            return VArray.symbolic(pred.shape, pred.dtype)
+        grad = (pred.numpy() - target.numpy()) / norm
+        return VArray.from_numpy(grad.astype(pred.dtype.type))

@@ -1,0 +1,92 @@
+"""Layer normalization (serial reference; Eq. 13/14 of the paper).
+
+Forward:  x̂ = (x - E[x]) / sqrt(Var[x] + eps),  y = g * x̂ + b
+Backward (Eq. 14 with the affine gain folded in):
+
+    dx̂ = dy * g
+    dx  = ( dx̂ - mean(dx̂) - x̂ * mean(dx̂ * x̂) ) / sqrt(Var[x] + eps)
+
+with means over the normalized (last) axis.  The distributed Tesseract
+version (:mod:`repro.parallel.tesseract.layers`) computes the same sums with
+a row all-reduce, exactly as §3.2.2 prescribes ("the processors will compute
+X, X^2 respectively and then run all_reduce on each row").
+"""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.sim.engine import RankContext
+from repro.varray import ops, vinit
+from repro.varray.varray import VArray
+
+__all__ = ["LayerNorm"]
+
+
+class LayerNorm(Module):
+    """Normalize over the last axis with learned gain and bias."""
+
+    def __init__(self, ctx: RankContext, dim: int, eps: float = 1e-5):
+        super().__init__(ctx)
+        self.dim = dim
+        self.eps = eps
+        if ctx.symbolic:
+            g = VArray.symbolic((dim,))
+            b = VArray.symbolic((dim,))
+        else:
+            g = VArray.from_numpy(vinit.ones((dim,)))
+            b = VArray.from_numpy(vinit.zeros((dim,)))
+        self.g = self.add_param("g", g)
+        self.b = self.add_param("b", b)
+
+    def forward(self, x: VArray) -> VArray:
+        ctx = self.ctx
+        mean = ops.reduce_mean(ctx, x, axis=-1, keepdims=True, tag="ln_mean")
+        centered = ops.sub(ctx, x, mean, tag="ln_center")
+        var = ops.reduce_mean(
+            ctx, ops.square(ctx, centered, tag="ln_sq"), axis=-1, keepdims=True,
+            tag="ln_var",
+        )
+        inv_std = ops.reciprocal(
+            ctx,
+            ops.sqrt(ctx, ops.add(ctx, var, _eps_like(var, self.eps)), tag="ln_std"),
+            tag="ln_invstd",
+        )
+        xhat = ops.mul(ctx, centered, inv_std, tag="ln_xhat")
+        y = ops.add(
+            ctx, ops.mul(ctx, xhat, self.g.value, tag="ln_gain"), self.b.value,
+            tag="ln_bias",
+        )
+        self.save_for_backward(xhat, inv_std)
+        return y
+
+    def backward(self, dy: VArray) -> VArray:
+        xhat, inv_std = self.saved()
+        ctx = self.ctx
+        # Parameter gradients: sum over all leading axes.
+        dg = ops.mul(ctx, dy, xhat, tag="ln_dg")
+        while dg.ndim > 1:
+            dg = ops.reduce_sum(ctx, dg, axis=0, keepdims=False, tag="ln_dg")
+        self.g.accumulate(dg)
+        db = dy
+        while db.ndim > 1:
+            db = ops.reduce_sum(ctx, db, axis=0, keepdims=False, tag="ln_db")
+        self.b.accumulate(db)
+        # Input gradient (Eq. 14).
+        dxhat = ops.mul(ctx, dy, self.g.value, tag="ln_dxhat")
+        m1 = ops.reduce_mean(ctx, dxhat, axis=-1, keepdims=True, tag="ln_m1")
+        m2 = ops.reduce_mean(
+            ctx, ops.mul(ctx, dxhat, xhat, tag="ln_xdx"), axis=-1, keepdims=True,
+            tag="ln_m2",
+        )
+        inner = ops.sub(
+            ctx,
+            ops.sub(ctx, dxhat, m1, tag="ln_sub1"),
+            ops.mul(ctx, xhat, m2, tag="ln_proj"),
+            tag="ln_sub2",
+        )
+        return ops.mul(ctx, inner, inv_std, tag="ln_dx")
+
+
+def _eps_like(ref: VArray, eps: float) -> VArray:
+    """A broadcastable eps constant matching the reference's mode."""
+    return VArray.full((1,), eps, dtype=ref.dtype, symbolic=ref.is_symbolic)

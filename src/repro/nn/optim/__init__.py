@@ -1,0 +1,29 @@
+"""Optimizers (SGD, Adam/AdamW, LAMB) and learning-rate schedules.
+
+All update math flows through :mod:`repro.varray.ops`, so optimizer cost is
+charged to the rank clock and the same code runs in symbolic mode.  LAMB
+and LARS (You et al.) are the large-batch optimizers the paper's §1 cites
+as the enablers of data-parallel scaling.
+"""
+
+from repro.nn.optim.base import Optimizer
+from repro.nn.optim.sgd import SGD
+from repro.nn.optim.adam import Adam
+from repro.nn.optim.lamb import LAMB
+from repro.nn.optim.schedule import (
+    ConstantLR,
+    CosineWithWarmup,
+    LRSchedule,
+    StepDecay,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LAMB",
+    "LRSchedule",
+    "ConstantLR",
+    "CosineWithWarmup",
+    "StepDecay",
+]

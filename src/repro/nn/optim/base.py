@@ -1,0 +1,50 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.nn.parameter import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Updates a fixed set of parameters from their accumulated gradients.
+
+    Subclasses implement :meth:`_update` for one parameter; :meth:`step`
+    applies it to every parameter that has a gradient and advances the step
+    counter (used by schedules and Adam bias correction).
+    """
+
+    def __init__(self, params: Sequence[Parameter], lr: float):
+        if lr <= 0:
+            raise SimulationError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        if not self.params:
+            raise SimulationError("optimizer needs at least one parameter")
+        self.lr = lr
+        self.t = 0
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self.t += 1
+        for p in self.params:
+            if p.grad is None:
+                continue
+            self._update(p)
+
+    def zero_grad(self) -> None:
+        """Clear all gradients."""
+        for p in self.params:
+            p.zero_grad()
+
+    def set_lr(self, lr: float) -> None:
+        """Set the current learning rate (called by schedules)."""
+        if lr <= 0:
+            raise SimulationError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def _update(self, p: Parameter) -> None:
+        raise NotImplementedError

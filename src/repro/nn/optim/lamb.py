@@ -1,0 +1,65 @@
+"""LAMB: layer-wise adaptive moments for large-batch training (You et al.).
+
+The paper's §1 credits LAMB/LARS with making large-batch training converge;
+we include it so the training substrate covers the optimizers the paper's
+pipeline assumes.  LAMB computes the AdamW direction and rescales each
+layer's step by the trust ratio ``||w|| / ||direction||``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.optim.adam import Adam
+from repro.nn.parameter import Parameter
+from repro.varray import ops
+
+__all__ = ["LAMB"]
+
+
+class LAMB(Adam):
+    """AdamW direction with a per-parameter trust ratio."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-6,
+        weight_decay: float = 0.01,
+        max_trust: float = 10.0,
+    ):
+        super().__init__(params, lr, betas=betas, eps=eps, weight_decay=weight_decay)
+        self.max_trust = max_trust
+
+    def _update(self, p: Parameter) -> None:
+        ctx = p.ctx
+        direction = self.update_direction(p)
+        if self.weight_decay:
+            direction = ops.add(
+                ctx, direction,
+                ops.scale(ctx, p.value, self.weight_decay, tag="lamb_wd"),
+                tag="lamb_wd",
+            )
+        # Trust ratio: two norms + a division.  Norms are tiny host scalars,
+        # charged as one pass over the data each.
+        ctx.compute(flops=2.0 * p.value.size, bytes_touched=2 * p.value.nbytes,
+                    tag="lamb_trust")
+        if p.value.is_symbolic:
+            trust = 1.0
+        else:
+            w_norm = float(np.linalg.norm(p.value.numpy()))
+            d_norm = float(np.linalg.norm(direction.numpy()))
+            if w_norm > 0 and d_norm > 0:
+                trust = min(w_norm / d_norm, self.max_trust)
+            else:
+                trust = 1.0
+        p.assign(
+            ops.sub(
+                ctx, p.value,
+                ops.scale(ctx, direction, self.lr * trust, tag="lamb"),
+                tag="lamb",
+            )
+        )

@@ -1,0 +1,88 @@
+"""Trainable parameters with explicit gradient slots."""
+
+from __future__ import annotations
+
+from repro.errors import ShapeError
+from repro.sim.engine import RankContext
+from repro.varray import ops
+from repro.varray.varray import VArray
+
+__all__ = ["Parameter", "PARAM_LAYOUTS"]
+
+
+#: How a parameter's local value relates to the logical global tensor.
+#: Used by layout-aware reductions (e.g. the distributed global grad norm):
+#:
+#: ``full``        this rank holds the whole tensor (serial, or replicated
+#:                 identically on every rank — count its norm once);
+#: ``sharded``     1-D shard: the tensor-parallel group's shards tile the
+#:                 global tensor (sum squared norms over the group);
+#: ``grid_block``  [q, q] block, replicated across depth (sum over the
+#:                 slice group once);
+#: ``col_slice``   a 1/q column slice, replicated along grid columns and
+#:                 depth (sum over the row group once).
+PARAM_LAYOUTS = ("full", "sharded", "grid_block", "col_slice")
+
+
+class Parameter:
+    """A named weight tensor and its accumulated gradient.
+
+    Gradients accumulate across :meth:`accumulate` calls (needed when a
+    weight is used several times per step, e.g. tied embeddings) and are
+    cleared by :meth:`zero_grad`.  ``value`` is replaced — never mutated —
+    by optimizers, preserving the package-wide immutability convention.
+    ``layout`` records the sharding relationship to the logical tensor
+    (see :data:`PARAM_LAYOUTS`).
+    """
+
+    def __init__(self, ctx: RankContext, name: str, value: VArray,
+                 layout: str = "full"):
+        if layout not in PARAM_LAYOUTS:
+            raise ShapeError(
+                f"unknown parameter layout {layout!r}; valid: {PARAM_LAYOUTS}"
+            )
+        self.ctx = ctx
+        self.name = name
+        self.value = value
+        self.layout = layout
+        self.grad: VArray | None = None
+        ctx.mem.alloc(value.nbytes, "params")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def accumulate(self, grad: VArray) -> None:
+        """Add ``grad`` into this parameter's gradient slot."""
+        if grad.shape != self.value.shape:
+            raise ShapeError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name} shape {self.value.shape}"
+            )
+        if self.grad is None:
+            self.ctx.mem.alloc(grad.nbytes, "grads")
+            self.grad = grad
+        else:
+            self.grad = ops.add(self.ctx, self.grad, grad, tag=f"grad+:{self.name}")
+
+    def zero_grad(self) -> None:
+        """Clear the gradient slot."""
+        if self.grad is not None:
+            self.ctx.mem.free(self.grad.nbytes, "grads")
+        self.grad = None
+
+    def assign(self, new_value: VArray) -> None:
+        """Replace the parameter value (optimizer update)."""
+        if new_value.shape != self.value.shape:
+            raise ShapeError(
+                f"new value shape {new_value.shape} does not match parameter "
+                f"{self.name} shape {self.value.shape}"
+            )
+        self.value = new_value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter({self.name}, shape={self.value.shape})"

@@ -1,0 +1,101 @@
+"""Model persistence: state dicts and ``.npz`` checkpoints.
+
+A state dict maps qualified parameter names to numpy arrays — this rank's
+*local* shards for parallel models.  Checkpoints therefore mirror how
+Megatron/Colossal-AI save tensor-parallel models: one file per rank, with
+the grid coordinates embedded in metadata so a reload can verify it lands
+on the same arrangement.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.module import Module
+from repro.varray.varray import VArray
+
+__all__ = ["state_dict", "load_state_dict", "save_checkpoint",
+           "load_checkpoint"]
+
+_META_KEY = "__repro_meta__"
+
+
+def state_dict(module: Module) -> dict[str, np.ndarray]:
+    """This rank's parameters as {qualified name: numpy array}."""
+    out = {}
+    for name, p in module.parameters():
+        out[name] = p.value.numpy().copy()
+    return out
+
+
+def load_state_dict(module: Module, state: dict[str, np.ndarray],
+                    strict: bool = True) -> list[str]:
+    """Load parameter values by name; returns the list of missing names.
+
+    ``strict=True`` (default) raises on missing or unexpected names and on
+    any shape mismatch; ``strict=False`` loads the intersection.
+    """
+    params = dict(module.parameters())
+    missing = [n for n in params if n not in state]
+    unexpected = [n for n in state if n not in params and n != _META_KEY]
+    if strict and (missing or unexpected):
+        raise ShapeError(
+            f"state dict mismatch: missing={missing} unexpected={unexpected}"
+        )
+    for name, p in params.items():
+        if name not in state:
+            continue
+        arr = np.asarray(state[name])
+        if arr.shape != p.value.shape:
+            raise ShapeError(
+                f"checkpoint shape {arr.shape} for {name} does not match "
+                f"parameter shape {p.value.shape}"
+            )
+        p.assign(VArray.from_numpy(arr.astype(p.value.dtype)))
+    return missing
+
+
+def save_checkpoint(module: Module, path: str | Path,
+                    metadata: dict | None = None) -> Path:
+    """Save this rank's state dict (plus metadata) as a ``.npz`` file."""
+    path = Path(path)
+    state = state_dict(module)
+    meta = dict(metadata or {})
+    meta.setdefault("format", "repro-checkpoint-v1")
+    arrays = dict(state)
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz")
+
+
+def load_checkpoint(module: Module, path: str | Path,
+                    expect_metadata: dict | None = None) -> dict:
+    """Load a ``.npz`` checkpoint into the module; returns its metadata.
+
+    ``expect_metadata`` entries are checked against the stored metadata —
+    use it to refuse loading a shard saved for a different grid position::
+
+        load_checkpoint(model, path, expect_metadata={"coords": [i, j, k]})
+    """
+    with np.load(Path(path)) as data:
+        if _META_KEY not in data:
+            raise ShapeError(f"{path} is not a repro checkpoint")
+        meta = json.loads(bytes(data[_META_KEY]).decode("utf-8"))
+        state = {n: data[n] for n in data.files if n != _META_KEY}
+    if expect_metadata:
+        for key, expect in expect_metadata.items():
+            got = meta.get(key)
+            if got != expect:
+                raise ShapeError(
+                    f"checkpoint metadata mismatch for {key!r}: saved "
+                    f"{got!r}, expected {expect!r}"
+                )
+    load_state_dict(module, state)
+    return meta

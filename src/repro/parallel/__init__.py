@@ -1,0 +1,34 @@
+"""Sharded transformer layers for each tensor-parallel scheme.
+
+Three sub-packages implement the same :class:`~repro.nn.module.Module`
+interface as the serial layers in :mod:`repro.nn`:
+
+* :mod:`repro.parallel.megatron` — the 1-D baseline (§2.5): column/row
+  weight shards, replicated activations, one all-reduce per block per
+  direction;
+* :mod:`repro.parallel.optimus` — the 2-D baseline (Optimus, §2.2): SUMMA
+  over a ``[q, q]`` grid, activations and weights both blocked;
+* :mod:`repro.parallel.tesseract` — the paper's 2.5-D scheme (§3):
+  activations additionally banded across ``d`` depth slices.
+
+All shardings materialize their local weights by *slicing the same global
+Xavier draws* as the serial model, so every scheme computes bit-identical
+logical math (checked by the equivalence tests and Fig. 7).
+"""
+
+from repro.parallel import megatron, optimus, tesseract
+from repro.parallel.dp import dp_batch_slice, sync_gradients
+from repro.parallel.factory import build_transformer_stack
+from repro.parallel.pipeline import PipelineStage
+from repro.parallel.zero import ZeroOptimizer
+
+__all__ = [
+    "ZeroOptimizer",
+    "megatron",
+    "optimus",
+    "tesseract",
+    "build_transformer_stack",
+    "sync_gradients",
+    "dp_batch_slice",
+    "PipelineStage",
+]

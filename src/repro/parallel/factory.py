@@ -1,0 +1,149 @@
+"""Factory: build a transformer layer stack for any parallelization mode.
+
+The benchmark harness, tests and examples all need "a stack of N
+transformer layers sharded the <mode> way, plus the knowledge of what this
+rank's input block looks like".  :func:`build_transformer_stack` returns a
+:class:`StackHandle` packaging exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.errors import GridError
+from repro.grid.context import ParallelContext
+from repro.nn.module import Sequential
+from repro.parallel.megatron.layers import MegatronTransformerLayer
+from repro.parallel.optimus.layers import OptimusTransformerLayer
+from repro.parallel.serial import SerialTransformerLayer
+from repro.parallel.tesseract.layers import (
+    TesseractTransformerLayer,
+    local_block_a,
+)
+from repro.sim.engine import RankContext
+from repro.util.mathutil import check_divides
+from repro.varray.varray import VArray
+
+__all__ = ["StackHandle", "build_transformer_stack", "MODES"]
+
+MODES = ("serial", "megatron", "optimus", "tesseract")
+
+
+@dataclass
+class StackHandle:
+    """A mode-specific transformer stack plus this rank's data-layout info."""
+
+    mode: str
+    layers: Sequential
+    ctx: RankContext
+    pc: ParallelContext | None = None
+    comm: Communicator | None = None
+
+    def local_shape(self, batch: int, seq: int, hidden: int) -> tuple[int, int, int]:
+        """Shape of this rank's activation block for a global [b, s, h]."""
+        if self.mode in ("serial", "megatron"):
+            return (batch, seq, hidden)
+        assert self.pc is not None
+        b_local = check_divides(self.pc.d * self.pc.q, batch, "batch size")
+        h_local = check_divides(self.pc.q, hidden, "hidden size")
+        return (b_local, seq, h_local)
+
+    def local_input(self, x: np.ndarray) -> VArray:
+        """This rank's block of a global activation tensor (real mode)."""
+        if self.mode in ("serial", "megatron"):
+            return VArray.from_numpy(x)
+        assert self.pc is not None
+        return VArray.from_numpy(local_block_a(self.pc, x))
+
+    def symbolic_input(self, batch: int, seq: int, hidden: int) -> VArray:
+        """A shape-only input block (symbolic mode benchmarks)."""
+        return VArray.symbolic(self.local_shape(batch, seq, hidden))
+
+    def combine_output(self, blocks: dict) -> np.ndarray:
+        """Reassemble per-rank output blocks into the global tensor.
+
+        ``blocks`` maps rank coordinates to numpy blocks: for 2-D/2.5-D
+        modes keys are (i, j, k); for serial/megatron any single entry is
+        the full tensor already.
+        """
+        if self.mode in ("serial", "megatron"):
+            return next(iter(blocks.values()))
+        from repro.pblas.layouts import combine_c
+
+        assert self.pc is not None
+        return combine_c(blocks, self.pc.q, self.pc.d)
+
+
+def build_transformer_stack(
+    ctx: RankContext,
+    mode: str,
+    num_layers: int,
+    hidden: int,
+    nheads: int,
+    mlp_ratio: int = 4,
+    q: int | None = None,
+    d: int | None = None,
+    world: int | None = None,
+    init_tags: tuple = ("model",),
+) -> StackHandle:
+    """Build ``num_layers`` transformer layers sharded per ``mode``.
+
+    Parameters
+    ----------
+    mode:
+        One of ``serial`` / ``megatron`` / ``optimus`` / ``tesseract``.
+    q, d:
+        Grid dimensions for the 2-D/2.5-D modes (``d`` defaults to 1).
+    world:
+        Group size for ``megatron`` (defaults to ``ctx.nranks``).
+
+    Per-layer weight streams are ``(*init_tags, "layer", idx, ...)`` — the
+    same for every mode, which is what makes cross-mode equivalence exact.
+    """
+    if mode not in MODES:
+        raise GridError(f"unknown parallel mode {mode!r}; valid: {MODES}")
+    pc: ParallelContext | None = None
+    comm: Communicator | None = None
+    layers = Sequential(ctx)
+
+    if mode == "serial":
+        for idx in range(num_layers):
+            layers.append(
+                SerialTransformerLayer(
+                    ctx, hidden, nheads, mlp_ratio,
+                    init_tags=(*init_tags, "layer", idx),
+                )
+            )
+    elif mode == "megatron":
+        size = world if world is not None else ctx.nranks
+        comm = Communicator(ctx, range(size))
+        for idx in range(num_layers):
+            layers.append(
+                MegatronTransformerLayer(
+                    comm, hidden, nheads, mlp_ratio,
+                    init_tags=(*init_tags, "layer", idx),
+                )
+            )
+    else:
+        if q is None:
+            raise GridError(f"mode {mode!r} requires the grid dimension q")
+        depth = 1 if d is None else d
+        if mode == "optimus" and depth != 1:
+            raise GridError("optimus is the d=1 special case; got d="
+                            f"{depth}")
+        pc = ParallelContext.tesseract(ctx, q=q, d=depth)
+        layer_cls = (
+            OptimusTransformerLayer if mode == "optimus"
+            else TesseractTransformerLayer
+        )
+        for idx in range(num_layers):
+            layers.append(
+                layer_cls(
+                    pc, hidden, nheads, mlp_ratio,
+                    init_tags=(*init_tags, "layer", idx),
+                )
+            )
+    return StackHandle(mode=mode, layers=layers, ctx=ctx, pc=pc, comm=comm)

@@ -1,0 +1,19 @@
+"""Megatron-LM style 1-D tensor-parallel layers (§2.5 of the paper)."""
+
+from repro.parallel.megatron.layers import (
+    MegatronClassifierHead,
+    MegatronColumnLinear,
+    MegatronMLP,
+    MegatronRowLinear,
+    MegatronSelfAttention,
+    MegatronTransformerLayer,
+)
+
+__all__ = [
+    "MegatronColumnLinear",
+    "MegatronRowLinear",
+    "MegatronMLP",
+    "MegatronSelfAttention",
+    "MegatronTransformerLayer",
+    "MegatronClassifierHead",
+]

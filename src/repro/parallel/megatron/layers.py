@@ -1,0 +1,324 @@
+"""Megatron-LM 1-D tensor-parallel transformer layers.
+
+The 1-D scheme (§2.5, Fig. 2): activations are **replicated** on all ``p``
+ranks; each block's first weight is column-sharded and its second weight is
+row-sharded, giving exactly one all-reduce per block per direction (the "f"
+and "g" conjugate operators of the Megatron paper).  This is the baseline
+whose ``a*b`` activation-memory term Eq. 9/10 charges against.
+
+LayerNorm and residuals run replicated and identical on every rank, so no
+communication (and no gradient sync — every rank computes the same affine
+gradients from the same replicated activations).
+"""
+
+from __future__ import annotations
+
+from repro.comm.communicator import Communicator
+from repro.errors import ShapeError
+from repro.nn.attention import attention_core, attention_core_backward
+from repro.nn.module import Module
+from repro.nn.normalization import LayerNorm
+from repro.parallel.common import (
+    col_shard,
+    fused_col_shard,
+    fused_qkv_global,
+    global_xavier,
+    row_shard,
+)
+from repro.util.mathutil import check_divides, prod
+from repro.varray import ops, vinit
+from repro.varray.varray import VArray
+
+__all__ = [
+    "MegatronColumnLinear",
+    "MegatronRowLinear",
+    "MegatronMLP",
+    "MegatronSelfAttention",
+    "MegatronTransformerLayer",
+    "MegatronClassifierHead",
+]
+
+
+class MegatronColumnLinear(Module):
+    """Column-parallel Y = X @ W: replicated input, column-sharded output.
+
+    Forward is communication-free; backward all-reduces the input gradient
+    (Megatron's "f"/"g" pair contributes its backward all-reduce here).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        init_tags: tuple = ("linear",),
+        fused_parts: int = 1,
+    ):
+        super().__init__(comm.ctx)
+        self.comm = comm
+        p, r = comm.size, comm.rank
+        self.in_features = in_features
+        self.out_features = out_features
+        out_local = check_divides(p, out_features, "column-parallel out_features")
+        if self.ctx.symbolic:
+            w = VArray.symbolic((in_features, out_local))
+        elif fused_parts == 1:
+            full = global_xavier(self.ctx, (in_features, out_features), init_tags)
+            w = VArray.from_numpy(col_shard(full, p, r))
+        else:
+            parts = fused_qkv_global(self.ctx, in_features, init_tags)
+            w = VArray.from_numpy(fused_col_shard(parts, p, r))
+        self.w = self.add_param("w", w, layout="sharded")
+        if bias:
+            b = (
+                VArray.symbolic((out_local,))
+                if self.ctx.symbolic
+                else VArray.from_numpy(vinit.zeros((out_local,)))
+            )
+            self.b = self.add_param("b", b, layout="sharded")
+        else:
+            self.b = None
+
+    def forward(self, x: VArray) -> VArray:
+        y = ops.matmul(self.ctx, x, self.w.value, tag="mcol_fwd")
+        if self.b is not None:
+            y = ops.add(self.ctx, y, self.b.value, tag="mcol_bias")
+        self.save_for_backward(x)
+        return y
+
+    def backward(self, dy: VArray) -> VArray:
+        (x,) = self.saved()
+        ctx = self.ctx
+        rows = prod(x.shape[:-1])
+        x2d = ops.reshape(ctx, x, (rows, x.shape[-1]))
+        dy2d = ops.reshape(ctx, dy, (rows, dy.shape[-1]))
+        self.w.accumulate(
+            ops.matmul(ctx, x2d, dy2d, transpose_a=True, tag="mcol_dw")
+        )
+        if self.b is not None:
+            # The batch is replicated, so the local sum is already global.
+            self.b.accumulate(
+                ops.reduce_sum(ctx, dy2d, axis=0, keepdims=False, tag="mcol_db")
+            )
+        dx_partial = ops.matmul(ctx, dy, self.w.value, transpose_b=True,
+                                tag="mcol_dx")
+        return self.comm.all_reduce(dx_partial, tag="mcol_dx")
+
+
+class MegatronRowLinear(Module):
+    """Row-parallel Y = X @ W: column-sharded input, all-reduced output.
+
+    Forward ends with the all-reduce; backward is communication-free for
+    the input gradient.  The bias is replicated and added after the
+    all-reduce (every rank adds it identically, as in Megatron-LM).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        init_tags: tuple = ("linear",),
+    ):
+        super().__init__(comm.ctx)
+        self.comm = comm
+        p, r = comm.size, comm.rank
+        self.in_features = in_features
+        self.out_features = out_features
+        check_divides(p, in_features, "row-parallel in_features")
+        if self.ctx.symbolic:
+            w = VArray.symbolic((in_features // p, out_features))
+        else:
+            full = global_xavier(self.ctx, (in_features, out_features), init_tags)
+            w = VArray.from_numpy(row_shard(full, p, r))
+        self.w = self.add_param("w", w, layout="sharded")
+        if bias:
+            b = (
+                VArray.symbolic((out_features,))
+                if self.ctx.symbolic
+                else VArray.from_numpy(vinit.zeros((out_features,)))
+            )
+            self.b = self.add_param("b", b)
+        else:
+            self.b = None
+
+    def forward(self, x: VArray) -> VArray:
+        y_partial = ops.matmul(self.ctx, x, self.w.value, tag="mrow_fwd")
+        y = self.comm.all_reduce(y_partial, tag="mrow_fwd")
+        if self.b is not None:
+            y = ops.add(self.ctx, y, self.b.value, tag="mrow_bias")
+        self.save_for_backward(x)
+        return y
+
+    def backward(self, dy: VArray) -> VArray:
+        (x,) = self.saved()
+        ctx = self.ctx
+        rows = prod(x.shape[:-1])
+        x2d = ops.reshape(ctx, x, (rows, x.shape[-1]))
+        dy2d = ops.reshape(ctx, dy, (rows, dy.shape[-1]))
+        self.w.accumulate(
+            ops.matmul(ctx, x2d, dy2d, transpose_a=True, tag="mrow_dw")
+        )
+        if self.b is not None:
+            self.b.accumulate(
+                ops.reduce_sum(ctx, dy2d, axis=0, keepdims=False, tag="mrow_db")
+            )
+        return ops.matmul(ctx, dy, self.w.value, transpose_b=True, tag="mrow_dx")
+
+
+class MegatronMLP(Module):
+    """MLP block: column-parallel [h, 4h] + GELU + row-parallel [4h, h]."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        hidden: int,
+        mlp_ratio: int = 4,
+        init_tags: tuple = ("mlp",),
+    ):
+        super().__init__(comm.ctx)
+        self.fc1 = self.add_module(
+            "fc1",
+            MegatronColumnLinear(comm, hidden, mlp_ratio * hidden,
+                                 init_tags=(*init_tags, "fc1")),
+        )
+        self.fc2 = self.add_module(
+            "fc2",
+            MegatronRowLinear(comm, mlp_ratio * hidden, hidden,
+                              init_tags=(*init_tags, "fc2")),
+        )
+
+    def forward(self, x: VArray) -> VArray:
+        h = self.fc1.forward(x)
+        self.save_for_backward(h)
+        return self.fc2.forward(ops.gelu(self.ctx, h, tag="mlp_gelu"))
+
+    def backward(self, dy: VArray) -> VArray:
+        (h,) = self.saved()
+        da = self.fc2.backward(dy)
+        return self.fc1.backward(
+            ops.gelu_grad(self.ctx, h, da, tag="mlp_gelu_bwd")
+        )
+
+
+class MegatronSelfAttention(Module):
+    """Self-attention: column-parallel QKV, local heads, row-parallel proj.
+
+    Each rank owns ``n/p`` whole attention heads (requires ``p | n``), so
+    the attention core runs without communication — Megatron-LM's key
+    observation, shared by Tesseract's §3.2.1.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        hidden: int,
+        nheads: int,
+        init_tags: tuple = ("attn",),
+    ):
+        super().__init__(comm.ctx)
+        self.local_heads = check_divides(comm.size, nheads, "heads vs ranks")
+        head_dim = check_divides(nheads, hidden, "hidden vs heads")
+        self.scale = 1.0 / float(head_dim) ** 0.5
+        self.qkv = self.add_module(
+            "qkv",
+            MegatronColumnLinear(comm, hidden, 3 * hidden,
+                                 init_tags=(*init_tags, "qkv"), fused_parts=3),
+        )
+        self.proj = self.add_module(
+            "proj",
+            MegatronRowLinear(comm, hidden, hidden,
+                              init_tags=(*init_tags, "proj")),
+        )
+
+    def forward(self, x: VArray) -> VArray:
+        ctx = self.ctx
+        qkv = self.qkv.forward(x)
+        q, k, v = ops.split(ctx, qkv, 3, axis=-1, tag="mattn_split")
+        out, cache = attention_core(ctx, q, k, v, self.local_heads, self.scale)
+        self.save_for_backward(cache)
+        return self.proj.forward(out)
+
+    def backward(self, dy: VArray) -> VArray:
+        (cache,) = self.saved()
+        ctx = self.ctx
+        dout = self.proj.backward(dy)
+        dq, dk, dv = attention_core_backward(ctx, cache, dout)
+        return self.qkv.backward(
+            ops.concat(ctx, [dq, dk, dv], axis=-1, tag="mattn_dsplit")
+        )
+
+
+class MegatronTransformerLayer(Module):
+    """Pre-LN layer with replicated LayerNorm and local residuals."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        hidden: int,
+        nheads: int,
+        mlp_ratio: int = 4,
+        init_tags: tuple = ("layer",),
+    ):
+        super().__init__(comm.ctx)
+        self.ln1 = self.add_module("ln1", LayerNorm(comm.ctx, hidden))
+        self.attn = self.add_module(
+            "attn",
+            MegatronSelfAttention(comm, hidden, nheads,
+                                  init_tags=(*init_tags, "attn")),
+        )
+        self.ln2 = self.add_module("ln2", LayerNorm(comm.ctx, hidden))
+        self.mlp = self.add_module(
+            "mlp",
+            MegatronMLP(comm, hidden, mlp_ratio, init_tags=(*init_tags, "mlp")),
+        )
+
+    def forward(self, x: VArray) -> VArray:
+        ctx = self.ctx
+        a = self.attn.forward(self.ln1.forward(x))
+        x = ops.add(ctx, x, a, tag="residual")
+        m = self.mlp.forward(self.ln2.forward(x))
+        return ops.add(ctx, x, m, tag="residual")
+
+    def backward(self, dy: VArray) -> VArray:
+        ctx = self.ctx
+        dm = self.ln2.backward(self.mlp.backward(dy))
+        dx = ops.add(ctx, dy, dm, tag="residual_bwd")
+        da = self.ln1.backward(self.attn.backward(dx))
+        return ops.add(ctx, dx, da, tag="residual_bwd")
+
+
+class MegatronClassifierHead(Module):
+    """Column-parallel classifier + all-gather to full logits."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        hidden: int,
+        num_classes: int,
+        init_tags: tuple = ("head",),
+    ):
+        super().__init__(comm.ctx)
+        self.comm = comm
+        self.num_classes = num_classes
+        self.fc = self.add_module(
+            "fc", MegatronColumnLinear(comm, hidden, num_classes,
+                                       init_tags=init_tags)
+        )
+
+    def forward(self, x: VArray) -> VArray:
+        local = self.fc.forward(x)
+        gathered = self.comm.all_gather(local, tag="head_gather")
+        return ops.concat(self.ctx, gathered, axis=-1, tag="head_concat")
+
+    def backward(self, dlogits: VArray) -> VArray:
+        if dlogits.shape[-1] != self.num_classes:
+            raise ShapeError(
+                f"head backward expected last dim {self.num_classes}, got "
+                f"{dlogits.shape}"
+            )
+        local = ops.split(self.ctx, dlogits, self.comm.size, axis=-1,
+                          tag="head_slice")[self.comm.rank]
+        return self.fc.backward(local)

@@ -1,0 +1,19 @@
+"""Optimus 2-D tensor-parallel layers (Xu et al.; the paper's §2.2 baseline)."""
+
+from repro.parallel.optimus.layers import (
+    OptimusClassifierHead,
+    OptimusLayerNorm,
+    OptimusLinear,
+    OptimusMLP,
+    OptimusSelfAttention,
+    OptimusTransformerLayer,
+)
+
+__all__ = [
+    "OptimusLinear",
+    "OptimusLayerNorm",
+    "OptimusMLP",
+    "OptimusSelfAttention",
+    "OptimusTransformerLayer",
+    "OptimusClassifierHead",
+]

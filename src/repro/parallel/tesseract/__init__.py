@@ -1,0 +1,21 @@
+"""Tesseract (2.5-D) sharded transformer layers (§3.2 of the paper)."""
+
+from repro.parallel.tesseract.layers import (
+    TesseractClassifierHead,
+    TesseractLayerNorm,
+    TesseractLinear,
+    TesseractMLP,
+    TesseractSelfAttention,
+    TesseractTransformerLayer,
+    local_block_a,
+)
+
+__all__ = [
+    "TesseractLinear",
+    "TesseractLayerNorm",
+    "TesseractMLP",
+    "TesseractSelfAttention",
+    "TesseractTransformerLayer",
+    "TesseractClassifierHead",
+    "local_block_a",
+]

@@ -1,0 +1,400 @@
+"""Tesseract transformer layers — the paper's §3.2 in code.
+
+Data layouts on the ``[q, q, d]`` grid (rank coordinates (i, j, k)):
+
+* activations ``[b, s, h]`` are **A-layout**: the batch splits into ``d*q``
+  bands (this rank holds band ``h = i + k*q``) and the hidden dimension
+  into ``q`` column slices (this rank holds slice ``j``) — the paper's
+  ``[b/dq, s, h/q]``;
+* weights are **B-layout**: ``[q, q]`` blocks replicated across depth;
+* biases / LayerNorm affine parameters hold the ``[h/q]`` slice ``j``,
+  replicated along columns and depth.
+
+Every layer's forward/backward is the serial math routed through
+:mod:`repro.pblas.tesseract` for matmuls, a row all-reduce for LayerNorm
+statistics (§3.2.2), and a column+depth all-reduce for the gradients of
+column-replicated parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.grid.context import ParallelContext
+from repro.nn.attention import attention_core, attention_core_backward
+from repro.nn.module import Module
+from repro.parallel.common import (
+    allreduce_col_depth,
+    block_2d,
+    fused_block_2d,
+    fused_qkv_global,
+    global_xavier,
+)
+from repro.pblas.tesseract import tesseract_ab, tesseract_abt, tesseract_atb
+from repro.util.mathutil import check_divides, prod
+from repro.varray import ops, vinit
+from repro.varray.varray import VArray
+
+__all__ = [
+    "local_block_a",
+    "TesseractLinear",
+    "TesseractLayerNorm",
+    "TesseractMLP",
+    "TesseractSelfAttention",
+    "TesseractTransformerLayer",
+    "TesseractClassifierHead",
+]
+
+
+def local_block_a(pc: ParallelContext, x: np.ndarray) -> np.ndarray:
+    """This rank's A-layout block of a global activation tensor (host side)."""
+    rows = check_divides(pc.d * pc.q, x.shape[0], "batch dim")
+    cols = check_divides(pc.q, x.shape[-1], "hidden dim")
+    h = pc.block_row
+    return np.ascontiguousarray(
+        x[h * rows : (h + 1) * rows, ..., pc.j * cols : (pc.j + 1) * cols]
+    )
+
+
+class TesseractLinear(Module):
+    """Y = X @ W + b with W in B-layout and X/Y in A-layout.
+
+    ``in_features`` / ``out_features`` are the *global* dimensions.  The
+    local weight block is the (i, j) block of the same global Xavier draw
+    the serial :class:`repro.nn.Linear` makes, so the distributed layer is
+    numerically identical to the serial one.
+
+    ``fused_parts > 1`` builds a fused projection (e.g. QKV): the global
+    weight is ``fused_parts`` independent ``[in, out/fused_parts]`` draws
+    and the local block interleaves their (i, j) blocks, so the local
+    output splits cleanly into per-part column slices.
+    """
+
+    def __init__(
+        self,
+        pc: ParallelContext,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        init_tags: tuple = ("linear",),
+        fused_parts: int = 1,
+    ):
+        super().__init__(pc.ctx)
+        self.pc = pc
+        self.in_features = in_features
+        self.out_features = out_features
+        q = pc.q
+        in_local = check_divides(q, in_features, "linear in_features")
+        out_local = check_divides(q, out_features, "linear out_features")
+        if self.ctx.symbolic:
+            w = VArray.symbolic((in_local, out_local))
+        elif fused_parts == 1:
+            full = global_xavier(self.ctx, (in_features, out_features), init_tags)
+            w = VArray.from_numpy(block_2d(full, q, pc.i, pc.j))
+        else:
+            part_out = check_divides(fused_parts, out_features, "fused out_features")
+            if part_out != in_features:
+                # The only fused projection in the transformer is QKV where
+                # each part is square [h, h]; keep the restriction explicit.
+                raise ShapeError(
+                    f"fused linear expects square parts, got in={in_features} "
+                    f"part_out={part_out}"
+                )
+            parts = fused_qkv_global(self.ctx, in_features, init_tags)
+            w = VArray.from_numpy(fused_block_2d(parts, q, pc.i, pc.j))
+        self.w = self.add_param("w", w, layout="grid_block")
+        if bias:
+            b = (
+                VArray.symbolic((out_local,))
+                if self.ctx.symbolic
+                else VArray.from_numpy(vinit.zeros((out_local,)))
+            )
+            self.b = self.add_param("b", b, layout="col_slice")
+        else:
+            self.b = None
+
+    def forward(self, x: VArray) -> VArray:
+        y = tesseract_ab(self.pc, x, self.w.value, tag="tlinear_fwd")
+        if self.b is not None:
+            y = ops.add(self.ctx, y, self.b.value, tag="tlinear_bias")
+        self.save_for_backward(x)
+        return y
+
+    def backward(self, dy: VArray) -> VArray:
+        (x,) = self.saved()
+        ctx, pc = self.ctx, self.pc
+        # dX = dY @ Wᵀ — works directly on [.., out/q] tensors.
+        dx = tesseract_abt(pc, dy, self.w.value, tag="tlinear_dx")
+        # dW = Xᵀ @ dY — flatten leading dims, then all-reduce over depth.
+        rows = prod(x.shape[:-1])
+        x2d = ops.reshape(ctx, x, (rows, x.shape[-1]))
+        dy2d = ops.reshape(ctx, dy, (rows, dy.shape[-1]))
+        dw = tesseract_atb(pc, x2d, dy2d, reduce_depth=True, tag="tlinear_dw")
+        self.w.accumulate(dw)
+        if self.b is not None:
+            db_local = ops.reduce_sum(ctx, dy2d, axis=0, keepdims=False,
+                                      tag="tlinear_db")
+            db = allreduce_col_depth(pc, db_local, tag="tlinear_db")
+            self.b.accumulate(db)
+        return dx
+
+
+class TesseractLayerNorm(Module):
+    """Distributed LayerNorm over the (column-split) hidden dimension.
+
+    §3.2.2: each rank computes local Σx and Σx² over its ``h/q`` slice,
+    all-reduces them along the row to obtain E[X] and Var[X] (Eq. 13), and
+    normalizes locally; the backward pass (Eq. 14) all-reduces the two
+    per-row inner products the same way.
+    """
+
+    def __init__(self, pc: ParallelContext, dim: int, eps: float = 1e-5):
+        super().__init__(pc.ctx)
+        self.pc = pc
+        self.dim = dim  #: global hidden size
+        self.eps = eps
+        local = check_divides(pc.q, dim, "layernorm dim")
+        if self.ctx.symbolic:
+            g = VArray.symbolic((local,))
+            b = VArray.symbolic((local,))
+        else:
+            g = VArray.from_numpy(vinit.ones((local,)))
+            b = VArray.from_numpy(vinit.zeros((local,)))
+        self.g = self.add_param("g", g, layout="col_slice")
+        self.b = self.add_param("b", b, layout="col_slice")
+
+    def _row_mean(self, v: VArray, tag: str) -> VArray:
+        """Mean over the *global* hidden dim: local sum + row all-reduce."""
+        ctx, pc = self.ctx, self.pc
+        local_sum = ops.reduce_sum(ctx, v, axis=-1, keepdims=True, tag=tag)
+        total = pc.row_comm.all_reduce(local_sum, tag=tag)
+        return ops.scale(ctx, total, 1.0 / self.dim, tag=tag)
+
+    def forward(self, x: VArray) -> VArray:
+        ctx = self.ctx
+        mean = self._row_mean(x, "tln_mean")
+        mean_sq = self._row_mean(ops.square(ctx, x, tag="tln_sq"), "tln_meansq")
+        # Var[X] = E[X^2] - E[X]^2 (the paper's formulation).
+        var = ops.sub(ctx, mean_sq, ops.square(ctx, mean, tag="tln_var"),
+                      tag="tln_var")
+        inv_std = ops.reciprocal(
+            ctx,
+            ops.sqrt(
+                ctx,
+                ops.add(ctx, var, _eps_const(var, self.eps), tag="tln_std"),
+                tag="tln_std",
+            ),
+            tag="tln_invstd",
+        )
+        xhat = ops.mul(ctx, ops.sub(ctx, x, mean, tag="tln_center"), inv_std,
+                       tag="tln_xhat")
+        y = ops.add(ctx, ops.mul(ctx, xhat, self.g.value, tag="tln_gain"),
+                    self.b.value, tag="tln_bias")
+        self.save_for_backward(xhat, inv_std)
+        return y
+
+    def backward(self, dy: VArray) -> VArray:
+        xhat, inv_std = self.saved()
+        ctx, pc = self.ctx, self.pc
+        # Affine parameter grads: local sum over rows, synced over (col, depth).
+        dg = ops.mul(ctx, dy, xhat, tag="tln_dg")
+        while dg.ndim > 1:
+            dg = ops.reduce_sum(ctx, dg, axis=0, keepdims=False, tag="tln_dg")
+        self.g.accumulate(allreduce_col_depth(pc, dg, tag="tln_dg"))
+        db = dy
+        while db.ndim > 1:
+            db = ops.reduce_sum(ctx, db, axis=0, keepdims=False, tag="tln_db")
+        self.b.accumulate(allreduce_col_depth(pc, db, tag="tln_db"))
+        # Input grad (Eq. 14): the two means run over the global hidden dim.
+        dxhat = ops.mul(ctx, dy, self.g.value, tag="tln_dxhat")
+        m1 = self._row_mean(dxhat, "tln_m1")
+        m2 = self._row_mean(ops.mul(ctx, dxhat, xhat, tag="tln_xdx"), "tln_m2")
+        inner = ops.sub(
+            ctx,
+            ops.sub(ctx, dxhat, m1, tag="tln_sub"),
+            ops.mul(ctx, xhat, m2, tag="tln_proj"),
+            tag="tln_sub",
+        )
+        return ops.mul(ctx, inner, inv_std, tag="tln_dx")
+
+
+class TesseractMLP(Module):
+    """The feed-forward block (§3.2.1): [h -> 4h] GELU [4h -> h].
+
+    Both projections are Tesseract linears with B-layout weight blocks
+    ``[h/q, 4h/q]`` and ``[4h/q, h/q]`` — Fig. 5a.
+    """
+
+    def __init__(
+        self,
+        pc: ParallelContext,
+        hidden: int,
+        mlp_ratio: int = 4,
+        init_tags: tuple = ("mlp",),
+    ):
+        super().__init__(pc.ctx)
+        self.fc1 = self.add_module(
+            "fc1",
+            TesseractLinear(pc, hidden, mlp_ratio * hidden,
+                            init_tags=(*init_tags, "fc1")),
+        )
+        self.fc2 = self.add_module(
+            "fc2",
+            TesseractLinear(pc, mlp_ratio * hidden, hidden,
+                            init_tags=(*init_tags, "fc2")),
+        )
+
+    def forward(self, x: VArray) -> VArray:
+        h = self.fc1.forward(x)
+        self.save_for_backward(h)
+        a = ops.gelu(self.ctx, h, tag="mlp_gelu")
+        return self.fc2.forward(a)
+
+    def backward(self, dy: VArray) -> VArray:
+        (h,) = self.saved()
+        da = self.fc2.backward(dy)
+        dh = ops.gelu_grad(self.ctx, h, da, tag="mlp_gelu_bwd")
+        return self.fc1.backward(dh)
+
+
+class TesseractSelfAttention(Module):
+    """Multi-head self-attention (§3.2.1, Fig. 5b).
+
+    The fused QKV projection gives this rank ``[b/dq, s, 3h/q]``; splitting
+    yields its Q/K/V column slices, which hold exactly ``n/q`` whole heads
+    of dimension ``h/n`` (requires ``q | n``).  The attention core then
+    runs with *zero* communication, and the output projection is another
+    Tesseract linear.
+    """
+
+    def __init__(
+        self,
+        pc: ParallelContext,
+        hidden: int,
+        nheads: int,
+        init_tags: tuple = ("attn",),
+    ):
+        super().__init__(pc.ctx)
+        self.pc = pc
+        self.hidden = hidden
+        self.nheads = nheads
+        self.local_heads = check_divides(pc.q, nheads, "attention heads vs q")
+        head_dim = check_divides(nheads, hidden, "hidden vs heads")
+        self.scale = 1.0 / float(head_dim) ** 0.5
+        self.qkv = self.add_module(
+            "qkv",
+            TesseractLinear(pc, hidden, 3 * hidden, init_tags=(*init_tags, "qkv"),
+                            fused_parts=3),
+        )
+        self.proj = self.add_module(
+            "proj",
+            TesseractLinear(pc, hidden, hidden, init_tags=(*init_tags, "proj")),
+        )
+
+    def forward(self, x: VArray) -> VArray:
+        ctx = self.ctx
+        qkv = self.qkv.forward(x)
+        q, k, v = ops.split(ctx, qkv, 3, axis=-1, tag="tattn_split")
+        out, cache = attention_core(ctx, q, k, v, self.local_heads, self.scale)
+        self.save_for_backward(cache)
+        return self.proj.forward(out)
+
+    def backward(self, dy: VArray) -> VArray:
+        (cache,) = self.saved()
+        ctx = self.ctx
+        dout = self.proj.backward(dy)
+        dq, dk, dv = attention_core_backward(ctx, cache, dout)
+        dqkv = ops.concat(ctx, [dq, dk, dv], axis=-1, tag="tattn_dsplit")
+        return self.qkv.backward(dqkv)
+
+
+class TesseractTransformerLayer(Module):
+    """Pre-LN transformer layer: x + attn(ln1(x)), then x + mlp(ln2(x)).
+
+    Residual adds are purely local (§3.2.2: "these kinds of sections will
+    conduct operations locally on individual GPUs").
+    """
+
+    def __init__(
+        self,
+        pc: ParallelContext,
+        hidden: int,
+        nheads: int,
+        mlp_ratio: int = 4,
+        init_tags: tuple = ("layer",),
+    ):
+        super().__init__(pc.ctx)
+        self.ln1 = self.add_module(
+            "ln1", TesseractLayerNorm(pc, hidden)
+        )
+        self.attn = self.add_module(
+            "attn",
+            TesseractSelfAttention(pc, hidden, nheads,
+                                   init_tags=(*init_tags, "attn")),
+        )
+        self.ln2 = self.add_module(
+            "ln2", TesseractLayerNorm(pc, hidden)
+        )
+        self.mlp = self.add_module(
+            "mlp",
+            TesseractMLP(pc, hidden, mlp_ratio, init_tags=(*init_tags, "mlp")),
+        )
+
+    def forward(self, x: VArray) -> VArray:
+        ctx = self.ctx
+        a = self.attn.forward(self.ln1.forward(x))
+        x = ops.add(ctx, x, a, tag="residual")
+        m = self.mlp.forward(self.ln2.forward(x))
+        return ops.add(ctx, x, m, tag="residual")
+
+    def backward(self, dy: VArray) -> VArray:
+        ctx = self.ctx
+        dm = self.ln2.backward(self.mlp.backward(dy))
+        dx = ops.add(ctx, dy, dm, tag="residual_bwd")
+        da = self.ln1.backward(self.attn.backward(dx))
+        return ops.add(ctx, dx, da, tag="residual_bwd")
+
+
+class TesseractClassifierHead(Module):
+    """Final classifier: Tesseract linear + row all-gather of logits.
+
+    Input ``[b/dq, h/q]`` (pooled features); output the *full* logits
+    ``[b/dq, num_classes]`` on every rank of the row, so the loss can be
+    evaluated locally on this rank's batch shard.  The backward pass keeps
+    only this rank's column slice of the incoming gradient.
+    """
+
+    def __init__(
+        self,
+        pc: ParallelContext,
+        hidden: int,
+        num_classes: int,
+        init_tags: tuple = ("head",),
+    ):
+        super().__init__(pc.ctx)
+        self.pc = pc
+        self.num_classes = num_classes
+        self.fc = self.add_module(
+            "fc", TesseractLinear(pc, hidden, num_classes, init_tags=init_tags)
+        )
+
+    def forward(self, x: VArray) -> VArray:
+        ctx, pc = self.ctx, self.pc
+        logits_local = self.fc.forward(x)
+        gathered = pc.row_comm.all_gather(logits_local, tag="head_gather")
+        return ops.concat(ctx, gathered, axis=-1, tag="head_concat")
+
+    def backward(self, dlogits: VArray) -> VArray:
+        ctx, pc = self.ctx, self.pc
+        if dlogits.shape[-1] != self.num_classes:
+            raise ShapeError(
+                f"head backward expected last dim {self.num_classes}, got "
+                f"{dlogits.shape}"
+            )
+        local = ops.split(ctx, dlogits, pc.q, axis=-1, tag="head_slice")[pc.j]
+        return self.fc.backward(local)
+
+
+def _eps_const(ref: VArray, eps: float) -> VArray:
+    return VArray.full((1,), eps, dtype=ref.dtype, symbolic=ref.is_symbolic)

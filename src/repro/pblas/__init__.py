@@ -1,0 +1,53 @@
+"""Distributed dense matrix multiplication (parallel BLAS).
+
+This package implements every matmul scheme the paper discusses, each as a
+per-rank SPMD routine over :mod:`repro.comm`:
+
+=====================  =====================================================
+module                 algorithm
+=====================  =====================================================
+``layouts``            Fig. 4 block partitioning / reassembly (host side)
+``summa``              SUMMA on a [q, q] grid: C=AB, C=ABᵀ, C=AᵀB (§2.2)
+``tesseract``          the paper's [q, q, d] algorithm (§3.1, Alg. 3)
+``cannon``             Cannon's algorithm on a [q, q] grid (§2.1, Alg. 1)
+``solomonik``          Solomonik-Demmel 2.5-D matmul on [q, q, d] (§2.3)
+``megatron``           Megatron-LM 1-D column/row-sharded matmul (§2.5)
+=====================  =====================================================
+
+All routines run identically in real mode (numpy data, bit-checked against
+the serial product in the test suite) and symbolic mode (shape-only, for
+paper-scale timing).
+"""
+
+from repro.pblas import layouts
+from repro.pblas.summa import summa_ab, summa_abt, summa_atb
+from repro.pblas.tesseract import (
+    tesseract_ab,
+    tesseract_abt,
+    tesseract_atb,
+    tesseract_matmul_backward,
+)
+from repro.pblas.cannon import cannon_ab
+from repro.pblas.dense import dense_ab, dense_matmul_backward
+from repro.pblas.solomonik import solomonik_25d_ab
+from repro.pblas.megatron import oned_column_linear, oned_row_linear
+from repro.pblas.verify import VerifyResult, verify_matmul
+
+__all__ = [
+    "dense_ab",
+    "dense_matmul_backward",
+    "verify_matmul",
+    "VerifyResult",
+    "layouts",
+    "summa_ab",
+    "summa_abt",
+    "summa_atb",
+    "tesseract_ab",
+    "tesseract_abt",
+    "tesseract_atb",
+    "tesseract_matmul_backward",
+    "cannon_ab",
+    "solomonik_25d_ab",
+    "oned_column_linear",
+    "oned_row_linear",
+]

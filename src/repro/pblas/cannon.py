@@ -1,0 +1,81 @@
+"""Cannon's algorithm on a [q, q] grid (§2.1, Algorithm 1 of the paper).
+
+Cannon's algorithm is the shift-based ancestor of the 2.5-D method.  It is
+implemented here (a) as a correctness baseline and (b) so the
+communication-volume experiment (§1 of the paper: "the communication needed
+for Cannon's Algorithm is 31.5x the communication needed for Tesseract" at
+p=64) can be *measured* from the simulator trace rather than only computed
+from the closed form.
+
+Initial skew (Fig. 1a): block ``A[i, j]`` moves left by ``i``; block
+``B[i, j]`` moves up by ``j``.  Then ``q`` compute-shift steps (Fig. 1b):
+multiply-accumulate, shift A left by one and B up by one.  Shifts use the
+buffered send/recv of :class:`~repro.comm.communicator.Communicator`, so
+the ring pattern cannot deadlock.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ShapeError
+from repro.grid.context import ParallelContext
+from repro.varray import ops
+from repro.varray.varray import VArray
+
+__all__ = ["cannon_ab"]
+
+# Distinct p2p tag spaces for the A-ring and the B-ring, so a rank's
+# concurrent shifts in the two directions can never be cross-matched.
+_TAG_A = 101
+_TAG_B = 202
+
+
+def _shift_row(pc: ParallelContext, arr: VArray, offset: int, tag: str) -> VArray:
+    """Shift within the row group: send my block ``offset`` columns left."""
+    q = pc.q
+    offset %= q
+    if offset == 0 or q == 1:
+        return arr
+    dst = (pc.j - offset) % q
+    src = (pc.j + offset) % q
+    pc.row_comm.send(arr, dst, p2p_tag=_TAG_A, tag=tag)
+    return pc.row_comm.recv(src, p2p_tag=_TAG_A, tag=tag)
+
+
+def _shift_col(pc: ParallelContext, arr: VArray, offset: int, tag: str) -> VArray:
+    """Shift within the column group: send my block ``offset`` rows up."""
+    q = pc.q
+    offset %= q
+    if offset == 0 or q == 1:
+        return arr
+    dst = (pc.i - offset) % q
+    src = (pc.i + offset) % q
+    pc.col_comm.send(arr, dst, p2p_tag=_TAG_B, tag=tag)
+    return pc.col_comm.recv(src, p2p_tag=_TAG_B, tag=tag)
+
+
+def cannon_ab(pc: ParallelContext, a: VArray, b: VArray, tag: str = "cannon") -> VArray:
+    """C = A @ B with Cannon's algorithm on this rank's [q, q] slice grid.
+
+    Operands are 2-D blocks in plain [q, q] layout at (i, j); the result
+    block C[i, j] stays in the same layout.  Requires a square grid (any
+    ``q``); the depth dimension, if present, is ignored — each slice runs
+    its own independent Cannon (used by :mod:`repro.pblas.solomonik`).
+    """
+    if a.ndim != 2 or b.ndim != 2:
+        raise ShapeError(f"cannon_ab needs 2-D blocks, got {a.shape}, {b.shape}")
+    q, ctx = pc.q, pc.ctx
+
+    # Initial alignment: A[i, j] -> A[i, j+i], B[i, j] -> B[i+j, j] so that
+    # after skewing, rank (i, j) holds A[i, (i+j) % q] and B[(i+j) % q, j].
+    a_cur = _shift_row(pc, a, pc.i, tag)
+    b_cur = _shift_col(pc, b, pc.j, tag)
+
+    c: VArray | None = None
+    for step in range(q):
+        part = ops.matmul(ctx, a_cur, b_cur, tag=tag)
+        c = part if c is None else ops.add(ctx, c, part, tag=tag)
+        if step != q - 1:
+            a_cur = _shift_row(pc, a_cur, 1, tag)
+            b_cur = _shift_col(pc, b_cur, 1, tag)
+    assert c is not None
+    return c

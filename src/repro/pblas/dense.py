@@ -1,0 +1,33 @@
+"""Reference single-rank dense matmul with explicit backward.
+
+The ground truth every distributed algorithm in this package is checked
+against: ``C = A @ B`` plus the Eq. 3 gradients
+
+    A' = C' Bᵀ        B' = Aᵀ C'
+
+computed locally through the same :mod:`repro.varray.ops` facade (so the
+reference also charges simulated time, making serial-vs-parallel speedup
+measurements fair).
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import RankContext
+from repro.varray import ops
+from repro.varray.varray import VArray
+
+__all__ = ["dense_ab", "dense_matmul_backward"]
+
+
+def dense_ab(ctx: RankContext, a: VArray, b: VArray, tag: str = "dense") -> VArray:
+    """C = A @ B on one rank."""
+    return ops.matmul(ctx, a, b, tag=tag)
+
+
+def dense_matmul_backward(
+    ctx: RankContext, a: VArray, b: VArray, dc: VArray, tag: str = "dense_bwd"
+) -> tuple[VArray, VArray]:
+    """(dA, dB) for C = A @ B given upstream dC (the paper's Eq. 3)."""
+    da = ops.matmul(ctx, dc, b, transpose_b=True, tag=tag)
+    db = ops.matmul(ctx, a, dc, transpose_a=True, tag=tag)
+    return da, db

@@ -1,0 +1,170 @@
+"""Host-side block partitioning and reassembly (the paper's Fig. 4).
+
+These helpers split *global* numpy matrices into the per-rank blocks each
+algorithm expects and reassemble outputs, so tests and examples can compare
+a distributed product against the serial one.  They are host utilities:
+they do not charge simulated time (data staging is outside the measured
+iteration in the paper too).
+
+Layouts
+-------
+**A-layout** (inputs/activations/outputs of Tesseract): ``A [a, b]`` splits
+into ``d*q**2`` blocks of ``[a/(d*q), b/q]``; rank ``(i, j, k)`` holds block
+row ``h = i + k*q`` and block column ``j``.  Depth slice ``k`` therefore
+owns the contiguous band of rows ``[k*q*(a/dq)*... )`` — each slice works on
+its own stripe of the batch.
+
+**B-layout** (parameters): ``B [b, c]`` splits into ``q**2`` blocks of
+``[b/q, c/q]``; rank ``(i, j, k)`` holds block ``(i, j)`` for *every* k
+(replicated across depth — the ``b*c*d/p`` term of Eq. 8).
+
+**2-D layout**: the ``d = 1`` special case used by Optimus/SUMMA/Cannon.
+
+**1-D layouts**: Megatron-LM column and row shards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.util.mathutil import check_divides
+
+__all__ = [
+    "split_a",
+    "split_b",
+    "combine_c",
+    "split_2d",
+    "combine_2d",
+    "split_cols",
+    "split_rows",
+    "combine_cols",
+    "combine_rows",
+    "block_a_shape",
+    "block_b_shape",
+]
+
+
+def block_a_shape(shape: tuple[int, ...], q: int, d: int) -> tuple[int, ...]:
+    """Per-rank shape of an A-layout tensor: first dim /(d*q), last dim /q.
+
+    Works for matrices ``[a, b]`` and activation tensors ``[b, s, h]``
+    (middle dims are untouched, matching the paper's ``[b/dq, s, h/q]``).
+    """
+    first = check_divides(d * q, shape[0], "A first dim")
+    last = check_divides(q, shape[-1], "A last dim")
+    return (first,) + tuple(shape[1:-1]) + (last,)
+
+
+def block_b_shape(shape: tuple[int, int], q: int) -> tuple[int, int]:
+    """Per-rank shape of a B-layout matrix: both dims / q."""
+    if len(shape) != 2:
+        raise ShapeError(f"B-layout matrices must be 2-D, got {shape}")
+    return (
+        check_divides(q, shape[0], "B rows"),
+        check_divides(q, shape[1], "B cols"),
+    )
+
+
+def split_a(a: np.ndarray, q: int, d: int) -> dict[tuple[int, int, int], np.ndarray]:
+    """Split a global tensor into A-layout blocks keyed by (i, j, k).
+
+    Rank (i, j, k) receives rows of block-row ``h = i + k*q`` and columns
+    of block-column ``j`` (last axis).
+    """
+    rows = check_divides(d * q, a.shape[0], "A first dim")
+    cols = check_divides(q, a.shape[-1], "A last dim")
+    out: dict[tuple[int, int, int], np.ndarray] = {}
+    for k in range(d):
+        for i in range(q):
+            h = i + k * q
+            for j in range(q):
+                block = a[h * rows : (h + 1) * rows, ..., j * cols : (j + 1) * cols]
+                out[(i, j, k)] = np.ascontiguousarray(block)
+    return out
+
+
+def split_b(b: np.ndarray, q: int, d: int) -> dict[tuple[int, int, int], np.ndarray]:
+    """Split a parameter matrix into B-layout blocks, replicated over depth."""
+    rows, cols = block_b_shape(b.shape, q)
+    out: dict[tuple[int, int, int], np.ndarray] = {}
+    for i in range(q):
+        for j in range(q):
+            block = np.ascontiguousarray(
+                b[i * rows : (i + 1) * rows, j * cols : (j + 1) * cols]
+            )
+            for k in range(d):
+                out[(i, j, k)] = block
+    return out
+
+
+def combine_c(
+    blocks: dict[tuple[int, int, int], np.ndarray], q: int, d: int
+) -> np.ndarray:
+    """Reassemble A-layout blocks (C has the same layout as A, Fig. 4c)."""
+    if len(blocks) != d * q * q:
+        raise ShapeError(
+            f"expected {d * q * q} blocks for [q={q}, q={q}, d={d}], got {len(blocks)}"
+        )
+    sample = blocks[(0, 0, 0)]
+    band_rows = []
+    for k in range(d):
+        for i in range(q):
+            row_blocks = [blocks[(i, j, k)] for j in range(q)]
+            for blk in row_blocks:
+                if blk.shape != sample.shape:
+                    raise ShapeError(
+                        f"inconsistent block shapes: {blk.shape} vs {sample.shape}"
+                    )
+            band_rows.append(np.concatenate(row_blocks, axis=-1))
+    return np.concatenate(band_rows, axis=0)
+
+
+def split_2d(a: np.ndarray, q: int) -> dict[tuple[int, int], np.ndarray]:
+    """Split into a [q, q] block grid (SUMMA / Cannon / Optimus layout)."""
+    rows = check_divides(q, a.shape[0], "matrix rows")
+    cols = check_divides(q, a.shape[-1], "matrix cols")
+    out: dict[tuple[int, int], np.ndarray] = {}
+    for i in range(q):
+        for j in range(q):
+            out[(i, j)] = np.ascontiguousarray(
+                a[i * rows : (i + 1) * rows, ..., j * cols : (j + 1) * cols]
+            )
+    return out
+
+
+def combine_2d(blocks: dict[tuple[int, int], np.ndarray], q: int) -> np.ndarray:
+    """Reassemble a [q, q] block grid."""
+    if len(blocks) != q * q:
+        raise ShapeError(f"expected {q * q} blocks, got {len(blocks)}")
+    return np.concatenate(
+        [
+            np.concatenate([blocks[(i, j)] for j in range(q)], axis=-1)
+            for i in range(q)
+        ],
+        axis=0,
+    )
+
+
+def split_cols(a: np.ndarray, p: int) -> list[np.ndarray]:
+    """Megatron column shards: split the last axis into ``p`` parts."""
+    cols = check_divides(p, a.shape[-1], "columns")
+    return [
+        np.ascontiguousarray(a[..., r * cols : (r + 1) * cols]) for r in range(p)
+    ]
+
+
+def split_rows(a: np.ndarray, p: int) -> list[np.ndarray]:
+    """Megatron row shards: split the first axis into ``p`` parts."""
+    rows = check_divides(p, a.shape[0], "rows")
+    return [np.ascontiguousarray(a[r * rows : (r + 1) * rows]) for r in range(p)]
+
+
+def combine_cols(shards: list[np.ndarray]) -> np.ndarray:
+    """Reassemble column shards."""
+    return np.concatenate(shards, axis=-1)
+
+
+def combine_rows(shards: list[np.ndarray]) -> np.ndarray:
+    """Reassemble row shards."""
+    return np.concatenate(shards, axis=0)

@@ -1,0 +1,74 @@
+"""Megatron-LM 1-D sharded matrix multiplication (§2.5, Fig. 2).
+
+Megatron-LM splits a transformer block's two weight matrices along
+complementary dimensions:
+
+* **column-parallel** ``W1 [b, 2c] -> [b, 2c/p]``: the (replicated) input
+  multiplies a column shard; forward needs no communication, backward
+  all-reduces the input gradient;
+* **row-parallel** ``W2 [2c, b] -> [2c/p, b]``: the (column-sharded)
+  intermediate multiplies a row shard; forward all-reduces the output,
+  backward needs no communication for dX.
+
+Chaining the two ("f" and "g" operators in the Megatron paper) gives one
+all-reduce per direction per block — the ``2*beta*(p-1)*b*s*h/p``
+communication term of the paper's Eq. (isoefficiency discussion).
+"""
+
+from __future__ import annotations
+
+from repro.comm.communicator import Communicator
+from repro.varray import ops
+from repro.varray.varray import VArray
+
+__all__ = ["oned_column_linear", "oned_row_linear"]
+
+
+def oned_column_linear(
+    comm: Communicator,
+    x: VArray,
+    w_shard: VArray,
+    dy_shard: VArray | None = None,
+    tag: str = "1d_col",
+) -> tuple[VArray, tuple[VArray, VArray] | None]:
+    """Column-parallel Y = X @ W.
+
+    Forward: ``y_shard = x @ w_shard`` — no communication.
+    Backward (if ``dy_shard`` given): ``dx = all_reduce(dy_shard @ w_shardᵀ)``,
+    ``dw_shard = xᵀ @ dy_shard``.
+
+    Returns ``(y_shard, None)`` or ``(y_shard, (dx, dw_shard))``.
+    """
+    ctx = comm.ctx
+    y_shard = ops.matmul(ctx, x, w_shard, tag=tag)
+    if dy_shard is None:
+        return y_shard, None
+    dx_partial = ops.matmul(ctx, dy_shard, w_shard, transpose_b=True, tag=tag)
+    dx = comm.all_reduce(dx_partial, tag=tag)
+    dw = ops.matmul(ctx, x, dy_shard, transpose_a=True, tag=tag)
+    return y_shard, (dx, dw)
+
+
+def oned_row_linear(
+    comm: Communicator,
+    x_shard: VArray,
+    w_shard: VArray,
+    dy: VArray | None = None,
+    tag: str = "1d_row",
+) -> tuple[VArray, tuple[VArray, VArray] | None]:
+    """Row-parallel Y = X @ W.
+
+    Forward: ``y = all_reduce(x_shard @ w_shard)`` — one all-reduce.
+    Backward (if ``dy`` given): ``dx_shard = dy @ w_shardᵀ`` (local),
+    ``dw_shard = x_shardᵀ @ dy``.
+
+    Returns ``(y, None)`` or ``(y, (dx_shard, dw_shard))``.
+    """
+    ctx = comm.ctx
+    y_partial = ops.matmul(ctx, x_shard, w_shard, tag=tag)
+    y = comm.all_reduce(y_partial, tag=tag)
+    if dy is None:
+        return y, None
+    dx_shard = ops.matmul(ctx, dy, w_shard, transpose_b=True, tag=tag)
+    dw_shard = ops.matmul(ctx, x_shard, dy, transpose_a=True, tag=tag)
+    return y, (dx_shard, dw_shard)

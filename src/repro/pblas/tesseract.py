@@ -1,0 +1,120 @@
+"""The Tesseract matrix multiplication (§3.1, Algorithm 3 of the paper).
+
+Arrangement: ``p = d*q**2`` ranks in a ``[q, q, d]`` grid.  Matrix-like
+operands use two layouts (Fig. 4, :mod:`repro.pblas.layouts`):
+
+* **A-layout** (A, C, activations, gradients of activations): block row
+  ``h = i + k*q`` — depth slice ``k`` owns a contiguous band of rows;
+* **B-layout** (parameters): ``q x q`` blocks replicated across depth.
+
+Because A and C are depth-partitioned along rows while B is replicated,
+each depth slice independently computes its band ``C[band_k] = A[band_k] @ B``
+with a plain SUMMA over its ``[q, q]`` slice grid — that is the whole trick:
+``d`` SUMMAs proceed concurrently, each moving ``1/d`` of the activation
+volume, and the *only* cross-slice communication is the depth all-reduce of
+the parameter gradient (`tesseract_atb` with ``reduce_depth=True``).
+
+The forward/backward of a linear layer ``Y = X W`` then reads:
+
+====================  ==========================================
+forward               ``Y  = tesseract_ab(pc, X, W)``
+input gradient        ``dX = tesseract_abt(pc, dY, W)``   (Eq. 3)
+weight gradient       ``dW = tesseract_atb(pc, X, dY)``   (Eq. 3 + §3.1
+                      all-reduce over depth)
+====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from repro.grid.context import ParallelContext
+from repro.pblas.summa import summa_ab, summa_abt, summa_atb
+from repro.varray import ops
+from repro.varray.varray import VArray
+
+__all__ = [
+    "tesseract_ab",
+    "tesseract_abt",
+    "tesseract_atb",
+    "tesseract_matmul_backward",
+]
+
+
+def tesseract_ab(
+    pc: ParallelContext, a: VArray, b: VArray, tag: str = "tesseract_ab"
+) -> VArray:
+    """C = A @ B on the [q, q, d] grid (Algorithm 3).
+
+    ``a`` is this rank's A-layout block, ``b`` its (depth-replicated)
+    B-layout block; returns this rank's A-layout block of C.  The loop body
+    is exactly Algorithm 3's broadcast-broadcast-accumulate, executed
+    independently by each depth slice.
+    """
+    return summa_ab(pc, a, b, tag=tag)
+
+
+def tesseract_abt(
+    pc: ParallelContext, a: VArray, b: VArray, tag: str = "tesseract_abt"
+) -> VArray:
+    """C = A @ Bᵀ on the [q, q, d] grid (used for dX = dY @ Wᵀ).
+
+    §3.1: "broadcasts B within its column and computes C = A Bᵀ, then
+    reduces the partials" — each depth slice again works independently
+    because both A and C are depth-banded while B is replicated.
+    """
+    return summa_abt(pc, a, b, tag=tag)
+
+
+def tesseract_atb(
+    pc: ParallelContext,
+    a: VArray,
+    c: VArray,
+    reduce_depth: bool = True,
+    tag: str = "tesseract_atb",
+) -> VArray:
+    """B-layout result Aᵀ @ C (used for dW = Xᵀ dY).
+
+    Each slice contributes the partial product over *its* row band; §3.1:
+    "for matrix B, the q^2 partitioned matrices will return d*q^2
+    partitioned gradient matrices; in order to get a correct shape of
+    gradients, our algorithm applied all_reduce after the computation of
+    B' on processors with same row and column but different depth."
+
+    Pass ``reduce_depth=False`` to obtain the per-slice partial (used by
+    tests and the communication-volume experiment).
+    """
+    partial = summa_atb(pc, a, c, tag=tag)
+    if not reduce_depth or pc.d == 1:
+        return partial
+    return pc.depth_comm.all_reduce(partial, tag=tag)
+
+
+def tesseract_matmul_backward(
+    pc: ParallelContext,
+    x: VArray,
+    w: VArray,
+    dy: VArray,
+    tag: str = "tesseract_bwd",
+) -> tuple[VArray, VArray]:
+    """(dX, dW) for Y = X @ W, both operands in their natural layouts.
+
+    ``x`` and ``dy`` must be 2-D A-layout blocks (callers flatten
+    activation tensors to ``[rows, features]`` first); ``w`` is the
+    B-layout weight block.
+    """
+    dx = tesseract_abt(pc, dy, w, tag=tag)
+    dw = tesseract_atb(pc, x, dy, reduce_depth=True, tag=tag)
+    return dx, dw
+
+
+def tesseract_ab_then_bias(
+    pc: ParallelContext,
+    a: VArray,
+    b: VArray,
+    bias: VArray | None,
+    tag: str = "tesseract_linear",
+) -> VArray:
+    """Fused convenience: C = A @ B (+ broadcast bias on the last axis)."""
+    c = tesseract_ab(pc, a, b, tag=tag)
+    if bias is not None:
+        c = ops.add(pc.ctx, c, bias, tag=tag)
+    return c

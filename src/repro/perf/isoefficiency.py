@@ -1,0 +1,116 @@
+"""Efficiency and isoefficiency analysis (Eq. 1-5, 11-12 of the paper).
+
+The isoefficiency function W(p) (Grama et al., the paper's [8]) answers
+"how fast must the problem grow with p to keep efficiency constant".  The
+paper states: Megatron ``W ~ p^3``; Optimus ``W ~ (sqrt(p) log p)^3``;
+Tesseract's broadcast/reduce structure gives a smaller growth rate (best
+at d = q).  We provide the closed forms plus a numeric isoefficiency
+solver so the claim can be *computed* rather than asserted.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import GridError
+
+__all__ = [
+    "parallel_time",
+    "efficiency",
+    "cannon_bandwidth_lower_bound",
+    "cannon_latency_lower_bound",
+    "d25_bandwidth_lower_bound",
+    "d25_latency_lower_bound",
+    "megatron_isoefficiency",
+    "optimus_isoefficiency",
+    "tesseract_isoefficiency",
+    "solve_isoefficiency",
+]
+
+
+def parallel_time(w: float, p: int, t_comm: float) -> float:
+    """Eq. 11: ``T_para = W/p + T_comm``."""
+    if p < 1:
+        raise GridError(f"p must be >= 1, got {p}")
+    return w / p + t_comm
+
+
+def efficiency(w: float, p: int, t_comm: float) -> float:
+    """Eq. 12: ``E = W / (T_para * p) = 1 / (1 + T_comm * p / W)``."""
+    if w <= 0:
+        raise GridError(f"serial work W must be positive, got {w}")
+    return 1.0 / (1.0 + t_comm * p / w)
+
+
+# --- Eq. 1/2 (Cannon) and Eq. 4/5 (2.5-D) lower bounds ---------------------------
+
+
+def cannon_bandwidth_lower_bound(n: int, p: int) -> float:
+    """Eq. 1: ``W = Omega(n^2 / sqrt(p))`` for Cannon's algorithm."""
+    return n * n / math.sqrt(p)
+
+
+def cannon_latency_lower_bound(p: int) -> float:
+    """Eq. 2: ``S = Omega(sqrt(p))``."""
+    return math.sqrt(p)
+
+
+def d25_bandwidth_lower_bound(n: int, p: int, d: int) -> float:
+    """Eq. 4: ``W = Omega(n^2 / sqrt(d p))`` — replication buys bandwidth."""
+    return n * n / math.sqrt(d * p)
+
+
+def d25_latency_lower_bound(p: int, d: int) -> float:
+    """Eq. 5: ``S = Omega(p^{1/2} / d^{3/2})`` — and latency."""
+    return math.sqrt(p) / d**1.5
+
+
+# --- isoefficiency functions ------------------------------------------------------
+
+
+def megatron_isoefficiency(p: int) -> float:
+    """The paper's §3.1: Megatron-LM's isoefficiency ``W ~ p^3``."""
+    return float(p) ** 3
+
+
+def optimus_isoefficiency(p: int) -> float:
+    """The paper's §3.1: Optimus' isoefficiency ``W ~ (sqrt(p) log p)^3``."""
+    logp = math.log(p) if p > 1 else 1.0
+    return (math.sqrt(p) * logp) ** 3
+
+
+def tesseract_isoefficiency(p: int, d: int | None = None) -> float:
+    """Tesseract isoefficiency: Optimus' with p replaced by p/d.
+
+    Each depth slice behaves like an independent [q, q] SUMMA over 1/d of
+    the data, so the per-layer communication term carries a 1/d relative
+    to 2-D — at d = q (p = q^3) this gives ``W ~ (p^{1/3} log p^{2/3})^3``.
+    """
+    if d is None:
+        d = round(p ** (1.0 / 3.0))
+    if d < 1:
+        raise GridError(f"depth must be >= 1, got {d}")
+    eff_p = max(p // d, 2)
+    logp = math.log(eff_p)
+    return (math.sqrt(eff_p) * logp) ** 3
+
+
+def solve_isoefficiency(
+    t_comm_fn, p: int, target_eff: float = 0.8, w_hi: float = 1e24
+) -> float:
+    """Numerically find the W at which ``efficiency(W, p, t_comm(W, p))``
+    reaches ``target_eff`` (bisection; ``t_comm_fn(w, p)`` may depend on W).
+
+    Lets tests *measure* each scheme's isoefficiency growth from its
+    communication model instead of trusting the closed form.
+    """
+    if not 0 < target_eff < 1:
+        raise GridError(f"target efficiency must be in (0,1), got {target_eff}")
+    lo, hi = 1.0, w_hi
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)
+        if efficiency(mid, p, t_comm_fn(mid, p)) < target_eff:
+            lo = mid
+        else:
+            hi = mid
+    return hi

@@ -1,0 +1,119 @@
+"""Per-GPU memory models (the paper's Eq. 7-10) and transformer extensions.
+
+All functions return *element counts*; multiply by the dtype size for
+bytes (:func:`elements_to_bytes`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GridError
+
+__all__ = [
+    "tesseract_matmul_memory",
+    "megatron_matmul_memory",
+    "summa_matmul_memory",
+    "solomonik_matmul_memory",
+    "transformer_layer_params",
+    "per_gpu_layer_params",
+    "per_gpu_activation",
+    "elements_to_bytes",
+]
+
+
+def tesseract_matmul_memory(a: int, b: int, c: int, q: int, d: int) -> float:
+    """Eq. 7/8: per-GPU elements for C = A[a,b] @ B[b,c] on [q, q, d].
+
+    ``a*b/p + b*c*d/p + a*c/p`` with ``p = d q^2`` — A and C are fully
+    partitioned; B is replicated ``d`` times (the ``b*c*d`` term the paper
+    calls "negligible").
+    """
+    p = d * q * q
+    if p < 1:
+        raise GridError(f"invalid grid [{q},{q},{d}]")
+    return a * b / p + b * c * d / p + a * c / p
+
+
+def megatron_matmul_memory(a: int, b: int, c: int, p: int) -> float:
+    """Eq. 9/10: Megatron-LM per-GPU elements: ``a*b + b*c/p + a*c/p``.
+
+    The input matrix A is fully replicated — the ``p``-times-larger term
+    the paper's comparison hinges on.
+    """
+    if p < 1:
+        raise GridError(f"p must be >= 1, got {p}")
+    return a * b + b * c / p + a * c / p
+
+
+def summa_matmul_memory(a: int, b: int, c: int, q: int) -> float:
+    """2-D SUMMA (Optimus) per-GPU elements: the d = 1 case of Eq. 8."""
+    return tesseract_matmul_memory(a, b, c, q, 1)
+
+
+def solomonik_matmul_memory(a: int, b: int, c: int, q: int, d: int) -> float:
+    """2.5-D per-GPU elements: *both* inputs replicated ``d`` times.
+
+    ``d(a*b + b*c)/q^2 /d + ...`` — each layer holds a full [q, q] block of
+    A and B (``a*b/q^2 + b*c/q^2``) plus its C partial, i.e. ``d`` times the
+    2-D footprint for the inputs.  This is the §2.3 memory-for-communication
+    trade Tesseract avoids on the A side.
+    """
+    if d < 1 or q < 1:
+        raise GridError(f"invalid grid [{q},{q},{d}]")
+    return a * b / (q * q) + b * c / (q * q) + a * c / (q * q)
+
+
+def transformer_layer_params(h: int, mlp_ratio: int = 4) -> int:
+    """Global parameter elements in one pre-LN transformer layer.
+
+    QKV ``3h^2`` + proj ``h^2`` + MLP ``2*mlp_ratio*h^2`` weights, plus
+    biases and two LayerNorms (lower-order terms included for exactness).
+    """
+    weights = (3 + 1 + 2 * mlp_ratio) * h * h
+    biases = 3 * h + h + mlp_ratio * h + h
+    layernorms = 4 * h
+    return weights + biases + layernorms
+
+
+def per_gpu_layer_params(h: int, mode: str, p: int = 1, q: int = 1, d: int = 1,
+                         mlp_ratio: int = 4) -> float:
+    """Per-GPU parameter elements of one layer under each scheme.
+
+    * serial: everything;
+    * megatron: weights / p, LayerNorm replicated;
+    * optimus/tesseract: weights / q^2 (B-layout is replicated over depth),
+      biases and LayerNorm / q.
+    """
+    weights = (3 + 1 + 2 * mlp_ratio) * h * h
+    biases = (3 + 1 + mlp_ratio + 1) * h
+    layernorms = 4 * h
+    if mode == "serial":
+        return float(weights + biases + layernorms)
+    if mode == "megatron":
+        return weights / p + biases / p + layernorms
+    if mode in ("optimus", "tesseract"):
+        return weights / (q * q) + (biases + layernorms) / q
+    raise GridError(f"unknown mode {mode!r}")
+
+
+def per_gpu_activation(b: int, s: int, h: int, mode: str, p: int = 1,
+                       q: int = 1, d: int = 1) -> float:
+    """Per-GPU elements of one [b, s, h] activation tensor under each scheme.
+
+    Megatron replicates activations (the dominant term of Eq. 9);
+    Optimus divides by q^2; Tesseract by d*q^2 = p.
+    """
+    full = float(b) * s * h
+    if mode in ("serial", "megatron"):
+        return full
+    if mode == "optimus":
+        return full / (q * q)
+    if mode == "tesseract":
+        return full / (d * q * q)
+    raise GridError(f"unknown mode {mode!r}")
+
+
+def elements_to_bytes(elements: float, dtype=np.float32) -> float:
+    """Convert element counts to bytes for a dtype."""
+    return elements * np.dtype(dtype).itemsize

@@ -1,0 +1,37 @@
+"""Discrete-event SPMD simulator: clocks, cost models, engine, tracing.
+
+The simulator executes one OS thread per rank running *real* algorithm
+code.  Wall-clock time is irrelevant: each rank owns a virtual
+:class:`~repro.sim.clock.VirtualClock` advanced by
+
+* the compute cost model for local ops (charged by :mod:`repro.varray`), and
+* the communication cost model at every collective rendezvous
+  (:mod:`repro.comm`), which also synchronizes the participating clocks.
+
+The result of a simulation is therefore both the *data* each rank computed
+(bit-exact numpy in real mode) and the *simulated time* each rank took.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.cost import CollectiveAlg, CommCostModel, ComputeCostModel
+from repro.sim.events import CommEvent, ComputeEvent, MarkerEvent, Trace
+from repro.sim.memory import MemoryTracker
+from repro.sim.engine import Engine, RankContext
+from repro.sim.timeline import RankBreakdown, analyze, gantt
+
+__all__ = [
+    "VirtualClock",
+    "ComputeCostModel",
+    "CommCostModel",
+    "CollectiveAlg",
+    "Trace",
+    "ComputeEvent",
+    "CommEvent",
+    "MarkerEvent",
+    "MemoryTracker",
+    "Engine",
+    "RankContext",
+    "analyze",
+    "gantt",
+    "RankBreakdown",
+]

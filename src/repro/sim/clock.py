@@ -1,0 +1,52 @@
+"""Per-rank virtual clocks.
+
+A :class:`VirtualClock` is a monotonically non-decreasing simulated time in
+seconds.  Local compute advances it by :meth:`advance`; a collective
+synchronizes a set of clocks by :meth:`sync_to` (clocks only ever move
+forward — a rank arriving early at a rendezvous *waits*, it does not travel
+back in time).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Simulated time for one rank, in seconds since simulation start."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move forward by ``dt`` seconds (must be non-negative)."""
+        if dt < 0:
+            raise SimulationError(f"cannot advance clock by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def sync_to(self, t: float) -> float:
+        """Jump forward to absolute time ``t`` (no-op if already past it)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def reset(self, t: float = 0.0) -> None:
+        """Reset the clock (used between benchmark iterations)."""
+        if t < 0:
+            raise SimulationError(f"cannot reset clock to negative time {t}")
+        self._now = float(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now:.6e})"

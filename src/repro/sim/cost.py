@@ -1,0 +1,236 @@
+"""Compute and communication cost models.
+
+Compute
+-------
+:class:`ComputeCostModel` delegates to the GPU spec's roofline
+(:meth:`repro.hardware.spec.GPUSpec.compute_time`): launch overhead plus the
+max of the compute-bound and memory-bound times, with a saturating
+utilization curve so small matrices run far below peak.
+
+Communication
+-------------
+:class:`CommCostModel` prices every collective with the standard alpha-beta
+algorithm models (Thakur et al. / NCCL), specialized by how the group maps
+onto the node topology:
+
+========================  ==========================================================
+collective                model
+========================  ==========================================================
+point-to-point            ``alpha + n/B``
+broadcast / reduce        binomial tree: ``ceil(log2 g) * (alpha + n/B)``
+all_reduce                ring: ``2(g-1) alpha + 2 n (g-1)/g / B``
+all_gather/reduce_scatter ring: ``(g-1) alpha + n (g-1)/g / B`` (n = full size)
+scatter / gather          binomial tree on halved payloads: ``log2 g`` steps,
+                          each moving half the remaining data
+all_to_all                pairwise: ``(g-1) (alpha + n_pair/B)``
+barrier                   tree of empty messages
+========================  ==========================================================
+
+When a group spans several nodes the *hierarchical* variant decomposes the
+collective into an intra-node phase on NVLink and an inter-node phase on
+InfiniBand across one leader per node (this is how NCCL behaves and what
+makes the paper's "q^2 a multiple of 4" placement matter).  A fixed
+per-byte reduction cost ``gamma`` is charged for reducing collectives.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import CommError
+from repro.hardware.spec import GPUSpec, LinkSpec
+from repro.hardware.topology import Topology
+
+__all__ = ["ComputeCostModel", "CommCostModel", "CollectiveAlg"]
+
+
+class CollectiveAlg(enum.Enum):
+    """Collective algorithm family used to price a collective."""
+
+    AUTO = "auto"  #: hierarchical across nodes, flat/ring inside a node
+    FLAT = "flat"  #: single-level model on the group's bottleneck link
+    HIERARCHICAL = "hierarchical"  #: explicit intra + inter decomposition
+
+
+@dataclass(frozen=True)
+class ComputeCostModel:
+    """Prices local device work for one GPU spec."""
+
+    gpu: GPUSpec
+
+    def op_time(
+        self, flops: float, bytes_touched: float = 0.0,
+        min_dim: float | None = None,
+    ) -> float:
+        """Time of a single kernel (see :class:`GPUSpec`)."""
+        if flops < 0 or bytes_touched < 0:
+            raise CommError("negative work is not a thing")
+        return self.gpu.compute_time(flops, bytes_touched, min_dim)
+
+
+def _log2_steps(g: int) -> int:
+    """Number of binomial-tree steps for a group of size g."""
+    return max(0, math.ceil(math.log2(g))) if g > 1 else 0
+
+
+class CommCostModel:
+    """Prices collectives for a topology.
+
+    Parameters
+    ----------
+    topology:
+        Rank placement and link speeds.
+    alg:
+        Force a pricing family; :attr:`CollectiveAlg.AUTO` picks the
+        hierarchical model whenever the group spans nodes.
+    gamma:
+        Per-byte local reduction cost (seconds/byte) charged once per
+        reducing collective; defaults to 1 byte / HBM bandwidth.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        alg: CollectiveAlg = CollectiveAlg.AUTO,
+        gamma: float | None = None,
+    ):
+        self.topology = topology
+        self.alg = alg
+        self.gamma = (
+            gamma if gamma is not None else 1.0 / topology.cluster.gpu.mem_bandwidth
+        )
+
+    # --- helpers --------------------------------------------------------------
+
+    def _split_group(self, ranks: Sequence[int]) -> tuple[int, int, LinkSpec, LinkSpec]:
+        """Return (n_nodes, max_ranks_per_node, intra_link, inter_link)."""
+        by_node = self.topology.ranks_by_node(ranks)
+        intra = self.topology.cluster.node.intra_link
+        inter = self.topology.cluster.inter_link
+        max_per_node = max(len(v) for v in by_node.values())
+        return len(by_node), max_per_node, intra, inter
+
+    def _use_hierarchical(self, ranks: Sequence[int]) -> bool:
+        if self.alg is CollectiveAlg.FLAT:
+            return False
+        if self.alg is CollectiveAlg.HIERARCHICAL:
+            return True
+        return self.topology.spans_nodes(ranks)
+
+    @staticmethod
+    def _tree(g: int, nbytes: float, link: LinkSpec) -> float:
+        """Binomial-tree broadcast/reduce over a single link class."""
+        steps = _log2_steps(g)
+        return steps * (link.latency + nbytes / link.effective_bandwidth)
+
+    @staticmethod
+    def _ring_allreduce(g: int, nbytes: float, link: LinkSpec) -> float:
+        if g <= 1:
+            return 0.0
+        return 2 * (g - 1) * link.latency + 2 * nbytes * (g - 1) / g / link.effective_bandwidth
+
+    @staticmethod
+    def _ring_allgather(g: int, nbytes_total: float, link: LinkSpec) -> float:
+        if g <= 1:
+            return 0.0
+        return (g - 1) * link.latency + nbytes_total * (g - 1) / g / link.effective_bandwidth
+
+    # --- public collective prices ---------------------------------------------
+
+    def p2p(self, src: int, dst: int, nbytes: float) -> float:
+        """Point-to-point message time."""
+        if src == dst:
+            return 0.0
+        return self.topology.link(src, dst).transfer_time(nbytes)
+
+    def broadcast(self, ranks: Sequence[int], nbytes: float) -> float:
+        """Broadcast ``nbytes`` from one rank to the rest of the group."""
+        g = len(ranks)
+        if g <= 1 or nbytes == 0:
+            return 0.0
+        if not self._use_hierarchical(ranks):
+            link = self.topology.worst_link(ranks)
+            return self._tree(g, nbytes, link)
+        n_nodes, per_node, intra, inter = self._split_group(ranks)
+        # Root sends across nodes to node leaders, leaders fan out locally.
+        return self._tree(n_nodes, nbytes, inter) + self._tree(per_node, nbytes, intra)
+
+    def reduce(self, ranks: Sequence[int], nbytes: float) -> float:
+        """Reduce to one rank: mirror of broadcast plus reduction gamma."""
+        g = len(ranks)
+        if g <= 1 or nbytes == 0:
+            return 0.0
+        return self.broadcast(ranks, nbytes) + self.gamma * nbytes
+
+    def all_reduce(self, ranks: Sequence[int], nbytes: float) -> float:
+        """All-reduce of an ``nbytes`` buffer over the group."""
+        g = len(ranks)
+        if g <= 1 or nbytes == 0:
+            return 0.0
+        if not self._use_hierarchical(ranks):
+            link = self.topology.worst_link(ranks)
+            return self._ring_allreduce(g, nbytes, link) + self.gamma * nbytes
+        n_nodes, per_node, intra, inter = self._split_group(ranks)
+        # reduce locally -> ring all-reduce across node leaders -> local bcast
+        t = self._tree(per_node, nbytes, intra)
+        t += self._ring_allreduce(n_nodes, nbytes, inter)
+        t += self._tree(per_node, nbytes, intra)
+        return t + self.gamma * nbytes
+
+    def all_gather(self, ranks: Sequence[int], nbytes_total: float) -> float:
+        """All-gather where the *concatenated* result is ``nbytes_total``."""
+        g = len(ranks)
+        if g <= 1 or nbytes_total == 0:
+            return 0.0
+        if not self._use_hierarchical(ranks):
+            link = self.topology.worst_link(ranks)
+            return self._ring_allgather(g, nbytes_total, link)
+        n_nodes, per_node, intra, inter = self._split_group(ranks)
+        t = self._ring_allgather(per_node, nbytes_total / max(n_nodes, 1), intra)
+        t += self._ring_allgather(n_nodes, nbytes_total, inter)
+        return t
+
+    def reduce_scatter(self, ranks: Sequence[int], nbytes_total: float) -> float:
+        """Reduce-scatter of a buffer whose full size is ``nbytes_total``."""
+        g = len(ranks)
+        if g <= 1 or nbytes_total == 0:
+            return 0.0
+        return self.all_gather(ranks, nbytes_total) + self.gamma * nbytes_total / g
+
+    def scatter(self, ranks: Sequence[int], nbytes_total: float) -> float:
+        """Scatter from the root; total payload leaving the root counts."""
+        g = len(ranks)
+        if g <= 1 or nbytes_total == 0:
+            return 0.0
+        link = self.topology.worst_link(ranks)
+        # Binomial scatter moves half the remaining payload each step.
+        steps = _log2_steps(g)
+        t = 0.0
+        remaining = nbytes_total
+        for _ in range(steps):
+            remaining /= 2.0
+            t += link.latency + remaining / link.effective_bandwidth
+        return t
+
+    def gather(self, ranks: Sequence[int], nbytes_total: float) -> float:
+        """Gather to the root (mirror of scatter)."""
+        return self.scatter(ranks, nbytes_total)
+
+    def all_to_all(self, ranks: Sequence[int], nbytes_per_pair: float) -> float:
+        """Pairwise-exchange all-to-all."""
+        g = len(ranks)
+        if g <= 1 or nbytes_per_pair == 0:
+            return 0.0
+        link = self.topology.worst_link(ranks)
+        return (g - 1) * (link.latency + nbytes_per_pair / link.effective_bandwidth)
+
+    def barrier(self, ranks: Sequence[int]) -> float:
+        """Barrier: a zero-payload tree up and down."""
+        g = len(ranks)
+        if g <= 1:
+            return 0.0
+        link = self.topology.worst_link(ranks)
+        return 2 * _log2_steps(g) * link.latency

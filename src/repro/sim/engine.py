@@ -1,0 +1,386 @@
+"""Thread-per-rank SPMD engine with deterministic collective rendezvous.
+
+Each simulated GPU is an OS thread running the *actual* parallel algorithm
+(the same lines of code a real SPMD program would run).  The engine
+provides:
+
+* one :class:`~repro.sim.clock.VirtualClock` per rank, advanced by the
+  compute cost model for local work and synchronized at collectives;
+* a rendezvous service used by :mod:`repro.comm` — all members of a group
+  deposit their payloads, the last arriver computes the result and the
+  completion time, everyone proceeds with their clock moved to it;
+* buffered point-to-point messaging (MPI "bsend" semantics) so ring shifts
+  like Cannon's algorithm do not deadlock;
+* deadlock detection: any wait exceeding ``op_timeout`` wall seconds raises
+  :class:`~repro.errors.DeadlockError` naming the missing ranks;
+* fail-fast abort: if one rank raises, every other rank is released and
+  :meth:`Engine.run` re-raises the original exception.
+
+Determinism: reductions are applied in group-rank order by a single thread,
+so results (and therefore every downstream number) are bit-stable across
+runs and platforms.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from repro.errors import CommError, DeadlockError, SimulationError
+from repro.hardware.spec import ClusterSpec, meluxina
+from repro.hardware.topology import Placement, Topology
+from repro.sim.clock import VirtualClock
+from repro.sim.cost import CollectiveAlg, CommCostModel, ComputeCostModel
+from repro.sim.events import ComputeEvent, MarkerEvent, Trace
+from repro.sim.memory import MemoryTracker
+from repro.util.mathutil import ceil_div
+from repro.util.rng import rng_for
+
+__all__ = ["Engine", "RankContext"]
+
+
+class _Rendezvous:
+    """State of one in-flight collective: who arrived, with what."""
+
+    __slots__ = ("size", "arrivals", "results", "t_end", "done", "kind")
+
+    def __init__(self, size: int):
+        self.size = size
+        self.arrivals: dict[int, Any] = {}
+        self.results: dict[int, Any] = {}
+        self.t_end: float = 0.0
+        self.done = False
+        self.kind: str | None = None
+
+
+class _Mailbox:
+    """Buffered p2p message slot (sender does not block)."""
+
+    __slots__ = ("payload", "t_sent")
+
+    def __init__(self, payload: Any, t_sent: float):
+        self.payload = payload
+        self.t_sent = t_sent
+
+
+class RankContext:
+    """Everything one simulated rank needs: identity, clock, accounting.
+
+    Instances are created by :meth:`Engine.run` and passed as the first
+    argument to the rank function.  Algorithm code charges local work via
+    :meth:`compute` and performs communication through
+    :class:`repro.comm.Communicator` objects built from this context.
+    """
+
+    def __init__(self, engine: "Engine", rank: int):
+        self.engine = engine
+        self.rank = rank
+        self.nranks = engine.nranks
+        self.clock = VirtualClock()
+        self.trace = engine.trace
+        self.mode = engine.mode
+        self.mem = MemoryTracker(capacity_bytes=engine.cluster.gpu.memory_bytes)
+        #: per-group collective sequence counters (consistent across ranks
+        #: because every rank issues the same collectives in the same order)
+        self._group_seq: dict[tuple[int, ...], int] = {}
+        #: per-(src, dst, tag) p2p sequence counters
+        self._p2p_seq: dict[tuple[int, int, Any], int] = {}
+
+    # --- local work -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time of this rank."""
+        return self.clock.now
+
+    @property
+    def symbolic(self) -> bool:
+        """True when the engine runs in shape-only (symbolic) mode."""
+        return self.mode == "symbolic"
+
+    def compute(
+        self, flops: float, bytes_touched: float = 0.0, tag: str = "",
+        min_dim: float | None = None,
+    ) -> None:
+        """Charge one local kernel to this rank's clock.
+
+        ``min_dim`` is the smallest matmul dimension, used by the compute
+        model's tile-quantization penalty (see :class:`GPUSpec`).
+        """
+        t0 = self.clock.now
+        dt = self.engine.compute_model.op_time(flops, bytes_touched, min_dim)
+        self.clock.advance(dt)
+        self.trace.record(
+            ComputeEvent(
+                rank=self.rank,
+                t_start=t0,
+                t_end=self.clock.now,
+                flops=flops,
+                bytes_touched=bytes_touched,
+                tag=tag,
+            )
+        )
+
+    def marker(self, name: str) -> None:
+        """Drop a named marker at the current simulated time."""
+        self.trace.record(MarkerEvent(rank=self.rank, t=self.clock.now, name=name))
+
+    def rng(self, *tags) -> "Any":
+        """Rank-independent named RNG stream (same data on every rank)."""
+        return rng_for(self.engine.seed, *tags)
+
+    def rank_rng(self, *tags) -> "Any":
+        """Rank-specific named RNG stream."""
+        return rng_for(self.engine.seed, "rank", self.rank, *tags)
+
+    # --- sequence numbers -------------------------------------------------------
+
+    def next_group_seq(self, granks: tuple[int, ...]) -> int:
+        seq = self._group_seq.get(granks, 0)
+        self._group_seq[granks] = seq + 1
+        return seq
+
+    def next_p2p_seq(self, src: int, dst: int, tag: Any) -> int:
+        key = (src, dst, tag)
+        seq = self._p2p_seq.get(key, 0)
+        self._p2p_seq[key] = seq + 1
+        return seq
+
+
+class Engine:
+    """The SPMD simulation engine.
+
+    Parameters
+    ----------
+    cluster:
+        Hardware description; defaults to a MeluXina slice big enough for
+        ``nranks`` (4 GPUs per node).
+    nranks:
+        Number of ranks to simulate.
+    mode:
+        ``"real"`` (numpy data flows through every op) or ``"symbolic"``
+        (shape-only; used by the paper-scale benchmarks).
+    placement:
+        Rank-to-node placement policy.
+    comm_alg:
+        Collective pricing family (see :class:`CollectiveAlg`).
+    op_timeout:
+        Wall-clock seconds a rank may wait inside one rendezvous before the
+        watchdog declares a deadlock.
+    seed:
+        Base seed for all RNG streams.
+
+    Examples
+    --------
+    >>> from repro.sim import Engine
+    >>> eng = Engine(nranks=4)
+    >>> def program(ctx):
+    ...     ctx.compute(flops=1e9)
+    ...     return ctx.rank * 10
+    >>> eng.run(program)
+    [0, 10, 20, 30]
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec | None = None,
+        nranks: int | None = None,
+        mode: str = "real",
+        placement: Placement = Placement.BLOCK,
+        comm_alg: CollectiveAlg = CollectiveAlg.AUTO,
+        trace: bool = True,
+        op_timeout: float = 120.0,
+        seed: int = 0,
+    ):
+        if mode not in ("real", "symbolic"):
+            raise SimulationError(f"mode must be 'real' or 'symbolic', got {mode!r}")
+        if nranks is None:
+            nranks = cluster.total_gpus if cluster is not None else 1
+        if cluster is None:
+            cluster = meluxina(ceil_div(nranks, 4))
+        self.cluster = cluster
+        self.nranks = int(nranks)
+        self.mode = mode
+        self.seed = seed
+        self.op_timeout = op_timeout
+        self.topology = Topology(cluster, nranks=self.nranks, placement=placement)
+        self.compute_model = ComputeCostModel(cluster.gpu)
+        self.comm_model = CommCostModel(self.topology, alg=comm_alg)
+        self.trace = Trace(enabled=trace)
+
+        self._cond = threading.Condition()
+        self._rendezvous: dict[Any, _Rendezvous] = {}
+        self._mailboxes: dict[Any, _Mailbox] = {}
+        self._error: BaseException | None = None
+        self.contexts: list[RankContext] = []
+
+    # --- running programs -------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> list[Any]:
+        """Run ``fn(ctx, *args, **kwargs)`` on every rank; return all results.
+
+        Results are ordered by rank.  If any rank raises, all ranks are
+        aborted and the first exception (by rank) is re-raised.
+        """
+        kwargs = kwargs or {}
+        self._rendezvous.clear()
+        self._mailboxes.clear()
+        self._error = None
+        self.contexts = [RankContext(self, r) for r in range(self.nranks)]
+        results: list[Any] = [None] * self.nranks
+        errors: list[BaseException | None] = [None] * self.nranks
+
+        def worker(rank: int) -> None:
+            try:
+                results[rank] = fn(self.contexts[rank], *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - must abort peers
+                errors[rank] = exc
+                self._abort(exc)
+
+        if self.nranks == 1:
+            worker(0)
+        else:
+            threads = [
+                threading.Thread(target=worker, args=(r,), name=f"rank-{r}", daemon=True)
+                for r in range(self.nranks)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        for rank, exc in enumerate(errors):
+            if exc is not None and not isinstance(exc, _AbortedError):
+                raise exc
+        if self._error is not None:  # pragma: no cover - defensive
+            raise SimulationError("simulation aborted") from self._error
+        return results
+
+    def max_time(self) -> float:
+        """Largest rank clock after a run — the simulated makespan."""
+        if not self.contexts:
+            raise SimulationError("engine has not run anything yet")
+        return max(ctx.clock.now for ctx in self.contexts)
+
+    def _abort(self, exc: BaseException) -> None:
+        with self._cond:
+            if self._error is None:
+                self._error = exc
+            self._cond.notify_all()
+
+    def _check_abort(self) -> None:
+        if self._error is not None:
+            raise _AbortedError("aborted because another rank failed")
+
+    # --- rendezvous service -------------------------------------------------------
+
+    def collective(
+        self,
+        key: Any,
+        size: int,
+        rank: int,
+        arrival: Any,
+        kind: str,
+        finisher: Callable[[dict[int, Any]], tuple[dict[int, Any], float]],
+    ) -> tuple[Any, float]:
+        """Join collective ``key``; return (my result, completion time).
+
+        ``finisher`` runs exactly once, on the thread of the last arriver,
+        with the full ``{rank: arrival}`` map; it must return per-rank
+        results and the synchronized completion time.
+        """
+        deadline = time.monotonic() + self.op_timeout
+        with self._cond:
+            self._check_abort()
+            rv = self._rendezvous.get(key)
+            if rv is None:
+                rv = _Rendezvous(size)
+                rv.kind = kind
+                self._rendezvous[key] = rv
+            if rv.kind != kind:
+                err = CommError(
+                    f"collective mismatch at {key}: rank {rank} called {kind!r} "
+                    f"but the group already started {rv.kind!r}"
+                )
+                self._error = self._error or err
+                self._cond.notify_all()
+                raise err
+            if rank in rv.arrivals:
+                raise CommError(
+                    f"rank {rank} joined collective {key} twice (sequence "
+                    f"counters out of sync?)"
+                )
+            rv.arrivals[rank] = arrival
+            if len(rv.arrivals) == rv.size:
+                try:
+                    rv.results, rv.t_end = finisher(rv.arrivals)
+                except BaseException as exc:
+                    self._error = self._error or exc
+                    self._cond.notify_all()
+                    raise
+                rv.done = True
+                self._cond.notify_all()
+            else:
+                while not rv.done:
+                    self._check_abort()
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        err = DeadlockError(
+                            f"rendezvous {key} ({kind}) timed out after "
+                            f"{self.op_timeout}s: {len(rv.arrivals)}/{rv.size} "
+                            f"ranks arrived {sorted(rv.arrivals)}"
+                        )
+                        self._error = self._error or err
+                        self._cond.notify_all()
+                        raise err
+                    self._cond.wait(timeout=min(remaining, 1.0))
+            result = rv.results.get(rank)
+            t_end = rv.t_end
+            # Last rank to pick up its result reclaims the slot.
+            rv.results.pop(rank, None)
+            rv.arrivals.pop(rank, None)
+            if not rv.arrivals:
+                self._rendezvous.pop(key, None)
+        return result, t_end
+
+    # --- buffered p2p ---------------------------------------------------------------
+
+    def post_message(self, key: Any, payload: Any, t_sent: float) -> None:
+        """Deposit a buffered p2p message (sender side, non-blocking)."""
+        with self._cond:
+            self._check_abort()
+            if key in self._mailboxes:
+                raise CommError(
+                    f"duplicate p2p message at {key}; sequence counters out of sync"
+                )
+            self._mailboxes[key] = _Mailbox(payload, t_sent)
+            self._cond.notify_all()
+
+    def take_message(self, key: Any) -> tuple[Any, float]:
+        """Block until the matching message exists; return (payload, t_sent)."""
+        deadline = time.monotonic() + self.op_timeout
+        with self._cond:
+            while key not in self._mailboxes:
+                self._check_abort()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    err = DeadlockError(
+                        f"recv at {key} timed out after {self.op_timeout}s: "
+                        f"no matching send was posted"
+                    )
+                    self._error = self._error or err
+                    self._cond.notify_all()
+                    raise err
+                self._cond.wait(timeout=min(remaining, 1.0))
+            box = self._mailboxes.pop(key)
+        return box.payload, box.t_sent
+
+
+class _AbortedError(SimulationError):
+    """Raised inside non-failing ranks when a peer rank aborted the run."""

@@ -1,0 +1,167 @@
+"""Event records and the simulation trace.
+
+Every compute op and every collective appends an event.  The trace answers
+the questions the benchmark harness and the communication-volume experiment
+ask: per-rank busy time, total bytes moved per collective kind, message
+counts, and a per-rank timeline.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["ComputeEvent", "CommEvent", "MarkerEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class ComputeEvent:
+    """One local kernel on one rank."""
+
+    rank: int
+    t_start: float
+    t_end: float
+    flops: float
+    bytes_touched: float
+    tag: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One collective (or p2p message) as seen by one participating rank."""
+
+    rank: int
+    kind: str  #: "broadcast", "all_reduce", "send", ...
+    group: tuple[int, ...]
+    nbytes: float
+    t_start: float  #: when this rank posted the operation
+    t_end: float  #: completion time (synchronized across the group)
+    tag: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class MarkerEvent:
+    """A named instant, used to delimit phases (e.g. forward vs backward)."""
+
+    rank: int
+    t: float
+    name: str
+
+
+Event = ComputeEvent | CommEvent | MarkerEvent
+
+
+class Trace:
+    """Thread-safe append-only event log with summary queries."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._events: list[Event] = []
+        self._lock = threading.Lock()
+
+    def record(self, event: Event) -> None:
+        """Append an event (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._events.append(event)
+
+    def clear(self) -> None:
+        """Drop all events (between benchmark iterations)."""
+        with self._lock:
+            self._events.clear()
+
+    @property
+    def events(self) -> list[Event]:
+        """Snapshot of all events recorded so far."""
+        with self._lock:
+            return list(self._events)
+
+    # --- queries ---------------------------------------------------------------
+
+    def compute_events(self, rank: int | None = None) -> list[ComputeEvent]:
+        return [
+            e
+            for e in self.events
+            if isinstance(e, ComputeEvent) and (rank is None or e.rank == rank)
+        ]
+
+    def comm_events(
+        self, rank: int | None = None, kind: str | None = None
+    ) -> list[CommEvent]:
+        return [
+            e
+            for e in self.events
+            if isinstance(e, CommEvent)
+            and (rank is None or e.rank == rank)
+            and (kind is None or e.kind == kind)
+        ]
+
+    def markers(self, name: str | None = None) -> list[MarkerEvent]:
+        return [
+            e
+            for e in self.events
+            if isinstance(e, MarkerEvent) and (name is None or e.name == name)
+        ]
+
+    def compute_time(self, rank: int) -> float:
+        """Total busy compute seconds for a rank."""
+        return sum(e.duration for e in self.compute_events(rank))
+
+    def comm_time(self, rank: int) -> float:
+        """Total seconds a rank spent inside collectives (incl. waiting)."""
+        return sum(e.duration for e in self.comm_events(rank))
+
+    def total_flops(self, rank: int | None = None) -> float:
+        return sum(e.flops for e in self.compute_events(rank))
+
+    def comm_volume(self, rank: int | None = None, kind: str | None = None) -> float:
+        """Total bytes carried by collectives.
+
+        Each collective is counted once per *group* (not once per rank): the
+        event recorded by the group's lowest participating rank is the
+        canonical one.
+        """
+        total = 0.0
+        for e in self.comm_events(rank=None, kind=kind):
+            if rank is not None:
+                if e.rank == rank:
+                    total += e.nbytes
+            elif e.rank == min(e.group):
+                total += e.nbytes
+        return total
+
+    def message_count(self, kind: str | None = None) -> int:
+        """Number of collectives issued (counted once per group)."""
+        return sum(
+            1 for e in self.comm_events(kind=kind) if e.rank == min(e.group)
+        )
+
+    def comm_breakdown(self) -> dict[str, tuple[int, float]]:
+        """Per-kind (count, bytes) over the whole trace."""
+        out: dict[str, tuple[int, float]] = {}
+        for e in self.comm_events():
+            if e.rank != min(e.group):
+                continue
+            count, nbytes = out.get(e.kind, (0, 0.0))
+            out[e.kind] = (count + 1, nbytes + e.nbytes)
+        return out
+
+    def span(self, rank: int, start_marker: str, end_marker: str) -> float:
+        """Simulated seconds between two markers on one rank."""
+        starts = [m.t for m in self.markers(start_marker) if m.rank == rank]
+        ends = [m.t for m in self.markers(end_marker) if m.rank == rank]
+        if not starts or not ends:
+            raise KeyError(
+                f"markers {start_marker!r}/{end_marker!r} not found for rank {rank}"
+            )
+        return max(ends) - min(starts)

@@ -1,0 +1,126 @@
+"""Trace timeline analysis: utilization, overlap, critical path, Gantt.
+
+Turns a :class:`~repro.sim.events.Trace` into the quantities a performance
+engineer asks of a profiler:
+
+* per-rank compute / communication / idle breakdown,
+* the share of the makespan each activity class occupies,
+* the communication kinds ranked by time,
+* an ASCII Gantt chart of the busiest ranks.
+
+Used by the benchmark harness's reports and directly testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.events import CommEvent, ComputeEvent, Trace
+
+__all__ = ["RankBreakdown", "analyze", "gantt"]
+
+
+@dataclass(frozen=True)
+class RankBreakdown:
+    """Activity accounting for one rank over [0, makespan]."""
+
+    rank: int
+    compute: float
+    comm: float
+    end: float  #: this rank's final event end time
+
+    @property
+    def busy(self) -> float:
+        return self.compute + self.comm
+
+    def idle(self, makespan: float) -> float:
+        """Idle time relative to the global makespan."""
+        return max(0.0, makespan - self.busy)
+
+    def utilization(self, makespan: float) -> float:
+        """Compute fraction of the makespan (0 when nothing ran)."""
+        return self.compute / makespan if makespan > 0 else 0.0
+
+
+def analyze(trace: Trace) -> dict:
+    """Summarize a trace.
+
+    Returns a dict with:
+
+    ``makespan``       latest event end across all ranks,
+    ``ranks``          {rank: RankBreakdown},
+    ``mean_utilization``  average compute fraction,
+    ``comm_fraction``  communication share of total busy time,
+    ``comm_by_kind``   {kind: seconds} summed over ranks, descending.
+    """
+    events = trace.events
+    ranks: dict[int, dict] = {}
+    comm_by_kind: dict[str, float] = {}
+    makespan = 0.0
+    for e in events:
+        if isinstance(e, (ComputeEvent, CommEvent)):
+            makespan = max(makespan, e.t_end)
+            slot = ranks.setdefault(e.rank, {"compute": 0.0, "comm": 0.0,
+                                             "end": 0.0})
+            slot["end"] = max(slot["end"], e.t_end)
+            if isinstance(e, ComputeEvent):
+                slot["compute"] += e.duration
+            else:
+                slot["comm"] += e.duration
+                base = e.kind.split("[")[0]
+                comm_by_kind[base] = comm_by_kind.get(base, 0.0) + e.duration
+    breakdowns = {
+        r: RankBreakdown(rank=r, compute=v["compute"], comm=v["comm"],
+                         end=v["end"])
+        for r, v in ranks.items()
+    }
+    total_busy = sum(b.busy for b in breakdowns.values())
+    total_comm = sum(b.comm for b in breakdowns.values())
+    utils = [b.utilization(makespan) for b in breakdowns.values()]
+    return {
+        "makespan": makespan,
+        "ranks": breakdowns,
+        "mean_utilization": sum(utils) / len(utils) if utils else 0.0,
+        "comm_fraction": total_comm / total_busy if total_busy else 0.0,
+        "comm_by_kind": dict(
+            sorted(comm_by_kind.items(), key=lambda kv: -kv[1])
+        ),
+    }
+
+
+def gantt(trace: Trace, ranks: list[int] | None = None, width: int = 72) -> str:
+    """An ASCII Gantt chart: '#' compute, '~' communication, '.' idle.
+
+    Each selected rank gets one row spanning [0, makespan]; a cell shows
+    the activity occupying most of its time span.
+    """
+    summary = analyze(trace)
+    makespan = summary["makespan"]
+    if makespan <= 0:
+        return "(empty trace)"
+    if ranks is None:
+        ranks = sorted(summary["ranks"])[:8]
+    lines = [f"timeline 0 .. {makespan:.3e} s  (# compute, ~ comm, . idle)"]
+    cell = makespan / width
+    for r in ranks:
+        compute_mass = [0.0] * width
+        comm_mass = [0.0] * width
+        for e in trace.events:
+            if not isinstance(e, (ComputeEvent, CommEvent)) or e.rank != r:
+                continue
+            lo = min(int(e.t_start / cell), width - 1)
+            hi = min(int(e.t_end / cell), width - 1)
+            target = compute_mass if isinstance(e, ComputeEvent) else comm_mass
+            for c in range(lo, hi + 1):
+                span = min(e.t_end, (c + 1) * cell) - max(e.t_start, c * cell)
+                target[c] += max(span, 0.0)
+        row = []
+        for c in range(width):
+            if compute_mass[c] == 0 and comm_mass[c] == 0:
+                row.append(".")
+            elif compute_mass[c] >= comm_mass[c]:
+                row.append("#")
+            else:
+                row.append("~")
+        lines.append(f"rank {r:>3} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Training loop utilities (the Fig. 7 experiment driver)."""
+
+from repro.train.clip import clip_grad_norm, global_grad_norm
+from repro.train.trainer import TrainHistory, evaluate_classifier, train_classifier
+
+__all__ = [
+    "TrainHistory",
+    "train_classifier",
+    "evaluate_classifier",
+    "global_grad_norm",
+    "clip_grad_norm",
+]

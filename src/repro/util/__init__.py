@@ -1,0 +1,29 @@
+"""Shared utilities: checked math, RNG streams, formatting, tables, plots."""
+
+from repro.util.mathutil import (
+    ceil_div,
+    check_divides,
+    check_positive,
+    is_power_of_two,
+    next_power_of_two,
+    prod,
+)
+from repro.util.rng import rng_for
+from repro.util.formatting import format_bytes, format_count, format_seconds
+from repro.util.tables import Table
+from repro.util.asciiplot import line_plot
+
+__all__ = [
+    "ceil_div",
+    "check_divides",
+    "check_positive",
+    "is_power_of_two",
+    "next_power_of_two",
+    "prod",
+    "rng_for",
+    "format_bytes",
+    "format_count",
+    "format_seconds",
+    "Table",
+    "line_plot",
+]

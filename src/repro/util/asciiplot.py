@@ -1,0 +1,88 @@
+"""Terminal line plots, used to render Figure 7 (accuracy curves) in text.
+
+This is deliberately tiny: a fixed-size character canvas, one marker per
+series, a left axis with min/max labels.  It exists so the benchmark harness
+has zero plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["line_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def line_plot(
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str | None = None,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named series as an ASCII line plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping of label -> sequence of y values (x is the index).  Series
+        may have different lengths; each is stretched over the full width.
+    width, height:
+        Canvas size in characters (plot area, excluding axes).
+    """
+    if not series:
+        raise ValueError("line_plot needs at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    all_vals = [v for ys in series.values() for v in ys]
+    if not all_vals:
+        raise ValueError("all series are empty")
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def put(x: int, y: int, ch: str) -> None:
+        row = height - 1 - y
+        if 0 <= row < height and 0 <= x < width:
+            # Later series overwrite; overlapping points show the last marker.
+            canvas[row][x] = ch
+
+    for idx, (label, ys) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        n = len(ys)
+        if n == 0:
+            continue
+        for i, v in enumerate(ys):
+            x = int(round(i * (width - 1) / max(n - 1, 1)))
+            y = int(round((v - lo) / (hi - lo) * (height - 1)))
+            put(x, y, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.4g}"
+    bot_label = f"{lo:.4g}"
+    label_w = max(len(top_label), len(bot_label), len(ylabel))
+    for r, row in enumerate(canvas):
+        if r == 0:
+            prefix = top_label.rjust(label_w)
+        elif r == height - 1:
+            prefix = bot_label.rjust(label_w)
+        elif r == height // 2 and ylabel:
+            prefix = ylabel.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(prefix + " |" + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    if xlabel:
+        lines.append(" " * (label_w + 2) + xlabel)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(line.rstrip() for line in lines)

@@ -1,0 +1,51 @@
+"""Human-readable formatting of bytes, counts and durations for reports."""
+
+from __future__ import annotations
+
+__all__ = ["format_bytes", "format_count", "format_seconds"]
+
+_BYTE_UNITS = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+_COUNT_UNITS = ["", "K", "M", "G", "T", "P"]
+
+
+def format_bytes(n: float) -> str:
+    """Format a byte count with a binary-prefix unit (e.g. ``1.50 GiB``)."""
+    if n < 0:
+        return "-" + format_bytes(-n)
+    value = float(n)
+    for unit in _BYTE_UNITS:
+        if value < 1024.0 or unit == _BYTE_UNITS[-1]:
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_count(n: float) -> str:
+    """Format a large count with a decimal-prefix suffix (e.g. ``3.5M``)."""
+    if n < 0:
+        return "-" + format_count(-n)
+    value = float(n)
+    for unit in _COUNT_UNITS:
+        if value < 1000.0 or unit == _COUNT_UNITS[-1]:
+            if unit == "":
+                return f"{value:g}"
+            return f"{value:.2f}{unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(t: float) -> str:
+    """Format a duration, choosing s / ms / us / ns as appropriate."""
+    if t < 0:
+        return "-" + format_seconds(-t)
+    if t == 0:
+        return "0 s"
+    if t >= 1.0:
+        return f"{t:.4g} s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.4g} ms"
+    if t >= 1e-6:
+        return f"{t * 1e6:.4g} us"
+    return f"{t * 1e9:.4g} ns"

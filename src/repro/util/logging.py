@@ -1,0 +1,43 @@
+"""Logger factory with a single package-wide configuration point."""
+
+from __future__ import annotations
+
+import logging
+import os
+
+__all__ = ["get_logger", "set_level"]
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _configure_once() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)
+    level = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+    root.setLevel(getattr(logging, level, logging.WARNING))
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` hierarchy (configured lazily)."""
+    _configure_once()
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_level(level: int | str) -> None:
+    """Set the level of the whole ``repro`` logger hierarchy."""
+    _configure_once()
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    logging.getLogger(_ROOT_NAME).setLevel(level)

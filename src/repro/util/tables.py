@@ -1,0 +1,77 @@
+"""Plain-text table rendering used by the benchmark reports.
+
+The harness regenerates the paper's Table 1 / Table 2 as monospaced tables
+that can be diffed against the values recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(["name", "value"])
+    >>> t.add_row(["alpha", 1.5])
+    >>> print(t.render())            # doctest: +NORMALIZE_WHITESPACE
+    name  | value
+    ------+------
+    alpha | 1.5
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        """Append a row; each cell is rendered with ``str`` (floats get %g)."""
+        cells = [self._fmt(c) for c in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: Any) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return f"{cell:.4f}"
+        return str(cell)
+
+    def render(self) -> str:
+        """Render the table to a string (no trailing newline)."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(header)
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(line.rstrip() for line in lines)
+
+    def to_csv(self) -> str:
+        """Render the table as CSV (no quoting — cells must not contain ',')."""
+        out = [",".join(self.columns)]
+        for row in self.rows:
+            for cell in row:
+                if "," in cell:
+                    raise ValueError(f"cell contains a comma: {cell!r}")
+            out.append(",".join(row))
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

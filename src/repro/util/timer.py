@@ -1,0 +1,52 @@
+"""Wall-clock timers for the benchmark harness itself.
+
+Not to be confused with :class:`~repro.sim.clock.VirtualClock` (simulated
+time): these measure how long the *simulation* takes to run, which the
+harness reports alongside simulated results.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch with accumulation across entries.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.entries = 0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("Timer is not reentrant")
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self.entries += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per entry (0 if never entered)."""
+        return self.elapsed / self.entries if self.entries else 0.0
+
+    def reset(self) -> None:
+        """Zero the accumulated time (not valid while running)."""
+        if self._start is not None:
+            raise RuntimeError("cannot reset a running Timer")
+        self.elapsed = 0.0
+        self.entries = 0

@@ -1,0 +1,17 @@
+"""Dual-backend array facade with flop/byte accounting.
+
+A :class:`VArray` either wraps a real :class:`numpy.ndarray` (**real
+mode** — tests, examples, the Fig. 7 training run) or carries only a shape
+and dtype (**symbolic mode** — the paper-scale benchmark harness, where the
+matrices of Table 1/2 would not fit in host memory).  Every operation in
+:mod:`repro.varray.ops` runs the identical control flow in both modes and
+charges the same flops and bytes to the owning rank's virtual clock, so a
+symbolic benchmark measures exactly the algorithm that real mode proves
+correct.
+"""
+
+from repro.varray.varray import VArray
+from repro.varray import ops
+from repro.varray import vinit
+
+__all__ = ["VArray", "ops", "vinit"]

@@ -1,0 +1,470 @@
+"""Device operations on :class:`~repro.varray.varray.VArray`.
+
+Every function takes the owning :class:`~repro.sim.engine.RankContext`
+first and charges the op's flops and memory traffic to that rank's virtual
+clock before returning.  In real mode the numerics run through numpy; in
+symbolic mode only shape inference runs.  Mixed operands are allowed: if
+any input is symbolic, the output is symbolic.
+
+Flop conventions (matching the usual DL accounting):
+
+* matmul of [m,k] x [k,n]: ``2*m*k*n`` (multiply + add);
+* elementwise ops: one flop per output element;
+* reductions: one flop per input element;
+* softmax: five flops per element (max, sub, exp, sum, div);
+* data-movement ops (transpose, concat, split) cost zero flops but full
+  memory traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.util.mathutil import prod
+from repro.varray.varray import VArray
+
+__all__ = [
+    "matmul",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "scale",
+    "neg",
+    "exp",
+    "sqrt",
+    "square",
+    "reciprocal",
+    "tanh",
+    "power",
+    "gelu",
+    "gelu_grad",
+    "relu",
+    "relu_grad",
+    "softmax",
+    "softmax_grad",
+    "reduce_sum",
+    "reduce_mean",
+    "reduce_max",
+    "transpose",
+    "swap_last_two",
+    "reshape",
+    "concat",
+    "split",
+    "take_rows",
+    "add_at_rows",
+    "cast",
+    "argmax",
+]
+
+
+# --- helpers ---------------------------------------------------------------------
+
+
+def _any_symbolic(*arrays: VArray) -> bool:
+    return any(a.is_symbolic for a in arrays)
+
+
+def _result(shape, dtype, value_fn, symbolic: bool) -> VArray:
+    """Build the output VArray, evaluating ``value_fn`` only in real mode."""
+    if symbolic:
+        return VArray.symbolic(shape, dtype)
+    value = value_fn()
+    value = np.asarray(value, dtype=dtype)
+    if tuple(value.shape) != tuple(shape):
+        raise ShapeError(
+            f"op produced shape {value.shape}, inference said {tuple(shape)}"
+        )
+    return VArray(shape, dtype, value)
+
+
+def _broadcast_shape(a: VArray, b: VArray) -> tuple[int, ...]:
+    try:
+        return tuple(np.broadcast_shapes(a.shape, b.shape))
+    except ValueError as exc:
+        raise ShapeError(f"cannot broadcast {a.shape} with {b.shape}") from exc
+
+
+def _binary(ctx, a: VArray, b: VArray, np_fn, flops_per_el: float, tag: str) -> VArray:
+    shape = _broadcast_shape(a, b)
+    out_size = prod(shape)
+    ctx.compute(
+        flops=flops_per_el * out_size,
+        bytes_touched=a.nbytes + b.nbytes + out_size * a.dtype.itemsize,
+        tag=tag,
+    )
+    return _result(
+        shape, a.dtype, lambda: np_fn(a.numpy(), b.numpy()), _any_symbolic(a, b)
+    )
+
+
+def _unary(ctx, a: VArray, np_fn, flops_per_el: float, tag: str) -> VArray:
+    ctx.compute(flops=flops_per_el * a.size, bytes_touched=2 * a.nbytes, tag=tag)
+    return _result(a.shape, a.dtype, lambda: np_fn(a.numpy()), a.is_symbolic)
+
+
+# --- matmul ---------------------------------------------------------------------
+
+
+def matmul(
+    ctx,
+    a: VArray,
+    b: VArray,
+    transpose_a: bool = False,
+    transpose_b: bool = False,
+    tag: str = "matmul",
+) -> VArray:
+    """(Batched) matrix multiply with optional transposes on the last two axes.
+
+    Shapes follow :func:`numpy.matmul`: leading (batch) dimensions must
+    match exactly or be absent on one side.
+    """
+    a_shape = list(a.shape)
+    b_shape = list(b.shape)
+    if len(a_shape) < 2 or len(b_shape) < 2:
+        raise ShapeError(f"matmul needs >=2-D operands, got {a.shape} x {b.shape}")
+    if transpose_a:
+        a_shape[-1], a_shape[-2] = a_shape[-2], a_shape[-1]
+    if transpose_b:
+        b_shape[-1], b_shape[-2] = b_shape[-2], b_shape[-1]
+    m, ka = a_shape[-2], a_shape[-1]
+    kb, n = b_shape[-2], b_shape[-1]
+    if ka != kb:
+        raise ShapeError(
+            f"matmul inner dims differ: {a.shape}"
+            f"{'ᵀ' if transpose_a else ''} x {b.shape}{'ᵀ' if transpose_b else ''}"
+        )
+    batch_a, batch_b = tuple(a_shape[:-2]), tuple(b_shape[:-2])
+    if batch_a and batch_b and batch_a != batch_b:
+        raise ShapeError(f"matmul batch dims differ: {batch_a} vs {batch_b}")
+    batch = batch_a or batch_b
+    shape = batch + (m, n)
+    nbatch = prod(batch)
+    flops = 2.0 * nbatch * m * ka * n
+    ctx.compute(
+        flops=flops,
+        bytes_touched=a.nbytes + b.nbytes + prod(shape) * a.dtype.itemsize,
+        tag=tag,
+        min_dim=float(min(m, ka, n)),
+    )
+
+    def value():
+        x = a.numpy()
+        y = b.numpy()
+        if transpose_a:
+            x = np.swapaxes(x, -1, -2)
+        if transpose_b:
+            y = np.swapaxes(y, -1, -2)
+        return np.matmul(x, y)
+
+    return _result(shape, a.dtype, value, _any_symbolic(a, b))
+
+
+# --- elementwise binary ----------------------------------------------------------
+
+
+def add(ctx, a: VArray, b: VArray, tag: str = "add") -> VArray:
+    """Elementwise (broadcasting) addition."""
+    return _binary(ctx, a, b, np.add, 1.0, tag)
+
+
+def sub(ctx, a: VArray, b: VArray, tag: str = "sub") -> VArray:
+    """Elementwise (broadcasting) subtraction."""
+    return _binary(ctx, a, b, np.subtract, 1.0, tag)
+
+
+def mul(ctx, a: VArray, b: VArray, tag: str = "mul") -> VArray:
+    """Elementwise (broadcasting) multiplication."""
+    return _binary(ctx, a, b, np.multiply, 1.0, tag)
+
+
+def div(ctx, a: VArray, b: VArray, tag: str = "div") -> VArray:
+    """Elementwise (broadcasting) division."""
+    return _binary(ctx, a, b, np.divide, 1.0, tag)
+
+
+def scale(ctx, a: VArray, alpha: float, tag: str = "scale") -> VArray:
+    """Multiply by a host scalar."""
+    return _unary(ctx, a, lambda x: x * a.dtype.type(alpha), 1.0, tag)
+
+
+def neg(ctx, a: VArray, tag: str = "neg") -> VArray:
+    """Elementwise negation."""
+    return _unary(ctx, a, np.negative, 1.0, tag)
+
+
+# --- elementwise unary -----------------------------------------------------------
+
+
+def exp(ctx, a: VArray, tag: str = "exp") -> VArray:
+    """Elementwise exponential."""
+    return _unary(ctx, a, np.exp, 1.0, tag)
+
+
+def sqrt(ctx, a: VArray, tag: str = "sqrt") -> VArray:
+    """Elementwise square root."""
+    return _unary(ctx, a, np.sqrt, 1.0, tag)
+
+
+def square(ctx, a: VArray, tag: str = "square") -> VArray:
+    """Elementwise square."""
+    return _unary(ctx, a, np.square, 1.0, tag)
+
+
+def reciprocal(ctx, a: VArray, tag: str = "reciprocal") -> VArray:
+    """Elementwise 1/x."""
+    return _unary(ctx, a, lambda x: 1.0 / x, 1.0, tag)
+
+
+def tanh(ctx, a: VArray, tag: str = "tanh") -> VArray:
+    """Elementwise tanh."""
+    return _unary(ctx, a, np.tanh, 1.0, tag)
+
+
+def power(ctx, a: VArray, p: float, tag: str = "power") -> VArray:
+    """Elementwise power with a host scalar exponent."""
+    return _unary(ctx, a, lambda x: np.power(x, p), 1.0, tag)
+
+
+# --- activations ----------------------------------------------------------------
+
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+
+def _gelu_np(x: np.ndarray) -> np.ndarray:
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+
+
+def _gelu_grad_np(x: np.ndarray) -> np.ndarray:
+    inner = _GELU_C * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    dinner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+    return 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * dinner
+
+
+def gelu(ctx, a: VArray, tag: str = "gelu") -> VArray:
+    """GELU activation (tanh approximation, as in BERT/Megatron)."""
+    return _unary(ctx, a, _gelu_np, 8.0, tag)
+
+
+def gelu_grad(ctx, a: VArray, da: VArray, tag: str = "gelu_grad") -> VArray:
+    """Gradient of GELU wrt its input, given the saved input ``a``."""
+    return _binary(ctx, a, da, lambda x, d: _gelu_grad_np(x) * d, 10.0, tag)
+
+
+def relu(ctx, a: VArray, tag: str = "relu") -> VArray:
+    """ReLU activation."""
+    return _unary(ctx, a, lambda x: np.maximum(x, 0), 1.0, tag)
+
+
+def relu_grad(ctx, a: VArray, da: VArray, tag: str = "relu_grad") -> VArray:
+    """Gradient of ReLU wrt its input, given the saved input ``a``."""
+    return _binary(ctx, a, da, lambda x, d: (x > 0) * d, 2.0, tag)
+
+
+# --- softmax ---------------------------------------------------------------------
+
+
+def softmax(ctx, a: VArray, axis: int = -1, tag: str = "softmax") -> VArray:
+    """Numerically-stable softmax along ``axis``."""
+
+    def value():
+        x = a.numpy()
+        shifted = x - x.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=axis, keepdims=True)
+
+    ctx.compute(flops=5.0 * a.size, bytes_touched=2 * a.nbytes, tag=tag)
+    return _result(a.shape, a.dtype, value, a.is_symbolic)
+
+
+def softmax_grad(
+    ctx, y: VArray, dy: VArray, axis: int = -1, tag: str = "softmax_grad"
+) -> VArray:
+    """Gradient of softmax given its *output* ``y`` and upstream ``dy``."""
+    if y.shape != dy.shape:
+        raise ShapeError(f"softmax_grad shapes differ: {y.shape} vs {dy.shape}")
+
+    def value():
+        yv, dv = y.numpy(), dy.numpy()
+        dot = (yv * dv).sum(axis=axis, keepdims=True)
+        return yv * (dv - dot)
+
+    ctx.compute(flops=4.0 * y.size, bytes_touched=3 * y.nbytes, tag=tag)
+    return _result(y.shape, y.dtype, value, _any_symbolic(y, dy))
+
+
+# --- reductions ------------------------------------------------------------------
+
+
+def _reduced_shape(shape: tuple[int, ...], axis: int, keepdims: bool) -> tuple[int, ...]:
+    nd = len(shape)
+    ax = axis % nd
+    if keepdims:
+        return tuple(1 if i == ax else s for i, s in enumerate(shape))
+    return tuple(s for i, s in enumerate(shape) if i != ax)
+
+
+def reduce_sum(
+    ctx, a: VArray, axis: int = -1, keepdims: bool = True, tag: str = "sum"
+) -> VArray:
+    """Sum along one axis."""
+    shape = _reduced_shape(a.shape, axis, keepdims)
+    ctx.compute(flops=float(a.size), bytes_touched=a.nbytes, tag=tag)
+    return _result(
+        shape, a.dtype, lambda: a.numpy().sum(axis=axis, keepdims=keepdims), a.is_symbolic
+    )
+
+
+def reduce_mean(
+    ctx, a: VArray, axis: int = -1, keepdims: bool = True, tag: str = "mean"
+) -> VArray:
+    """Mean along one axis."""
+    shape = _reduced_shape(a.shape, axis, keepdims)
+    ctx.compute(flops=float(a.size), bytes_touched=a.nbytes, tag=tag)
+    return _result(
+        shape,
+        a.dtype,
+        lambda: a.numpy().mean(axis=axis, keepdims=keepdims),
+        a.is_symbolic,
+    )
+
+
+def reduce_max(
+    ctx, a: VArray, axis: int = -1, keepdims: bool = True, tag: str = "max"
+) -> VArray:
+    """Max along one axis."""
+    shape = _reduced_shape(a.shape, axis, keepdims)
+    ctx.compute(flops=float(a.size), bytes_touched=a.nbytes, tag=tag)
+    return _result(
+        shape, a.dtype, lambda: a.numpy().max(axis=axis, keepdims=keepdims), a.is_symbolic
+    )
+
+
+def argmax(ctx, a: VArray, axis: int = -1, tag: str = "argmax") -> VArray:
+    """Index of the max along one axis (int64 output)."""
+    shape = _reduced_shape(a.shape, axis, keepdims=False)
+    ctx.compute(flops=float(a.size), bytes_touched=a.nbytes, tag=tag)
+    if a.is_symbolic:
+        return VArray.symbolic(shape, np.int64)
+    return VArray(shape, np.int64, a.numpy().argmax(axis=axis).astype(np.int64))
+
+
+# --- data movement ---------------------------------------------------------------
+
+
+def transpose(ctx, a: VArray, axes: Sequence[int], tag: str = "transpose") -> VArray:
+    """Permute axes (charged as memory traffic only)."""
+    if sorted(axes) != list(range(a.ndim)):
+        raise ShapeError(f"bad transpose axes {axes} for ndim {a.ndim}")
+    shape = tuple(a.shape[i] for i in axes)
+    ctx.compute(flops=0.0, bytes_touched=2 * a.nbytes, tag=tag)
+    return _result(
+        shape,
+        a.dtype,
+        lambda: np.ascontiguousarray(np.transpose(a.numpy(), axes)),
+        a.is_symbolic,
+    )
+
+
+def swap_last_two(ctx, a: VArray, tag: str = "transpose") -> VArray:
+    """Transpose the last two axes (the common matmul helper)."""
+    axes = list(range(a.ndim))
+    axes[-1], axes[-2] = axes[-2], axes[-1]
+    return transpose(ctx, a, axes, tag=tag)
+
+
+def reshape(ctx, a: VArray, shape: Sequence[int], tag: str = "reshape") -> VArray:
+    """Reshape without data movement (must preserve element count)."""
+    shape = tuple(int(s) for s in shape)
+    if prod(shape) != a.size:
+        raise ShapeError(f"cannot reshape {a.shape} ({a.size} el) to {shape}")
+    ctx.compute(flops=0.0, bytes_touched=0.0, tag=tag)
+    return _result(shape, a.dtype, lambda: a.numpy().reshape(shape), a.is_symbolic)
+
+
+def concat(ctx, arrays: Sequence[VArray], axis: int = 0, tag: str = "concat") -> VArray:
+    """Concatenate along an axis."""
+    if not arrays:
+        raise ShapeError("concat needs at least one array")
+    first = arrays[0]
+    nd = first.ndim
+    ax = axis % nd
+    for arr in arrays[1:]:
+        if arr.ndim != nd:
+            raise ShapeError("concat rank mismatch")
+        for i in range(nd):
+            if i != ax and arr.shape[i] != first.shape[i]:
+                raise ShapeError(
+                    f"concat shape mismatch on axis {i}: {arr.shape} vs {first.shape}"
+                )
+    shape = list(first.shape)
+    shape[ax] = sum(a.shape[ax] for a in arrays)
+    total_bytes = sum(a.nbytes for a in arrays)
+    ctx.compute(flops=0.0, bytes_touched=2 * total_bytes, tag=tag)
+    return _result(
+        tuple(shape),
+        first.dtype,
+        lambda: np.concatenate([a.numpy() for a in arrays], axis=ax),
+        _any_symbolic(*arrays),
+    )
+
+
+def split(
+    ctx, a: VArray, sections: int, axis: int = 0, tag: str = "split"
+) -> list[VArray]:
+    """Split into ``sections`` equal parts along an axis."""
+    ax = axis % a.ndim
+    if a.shape[ax] % sections != 0:
+        raise ShapeError(
+            f"cannot split axis {ax} of {a.shape} into {sections} equal parts"
+        )
+    shape = list(a.shape)
+    shape[ax] //= sections
+    ctx.compute(flops=0.0, bytes_touched=2 * a.nbytes, tag=tag)
+    if a.is_symbolic:
+        return [VArray.symbolic(tuple(shape), a.dtype) for _ in range(sections)]
+    parts = np.split(a.numpy(), sections, axis=ax)
+    return [VArray(tuple(shape), a.dtype, np.ascontiguousarray(p)) for p in parts]
+
+
+def take_rows(ctx, table: VArray, idx: VArray, tag: str = "take_rows") -> VArray:
+    """Row gather (embedding lookup): out[i...] = table[idx[i...]]."""
+    if table.ndim != 2:
+        raise ShapeError(f"take_rows table must be 2-D, got {table.shape}")
+    shape = idx.shape + (table.shape[1],)
+    out_bytes = prod(shape) * table.dtype.itemsize
+    ctx.compute(flops=0.0, bytes_touched=out_bytes * 2, tag=tag)
+    if _any_symbolic(table, idx):
+        return VArray.symbolic(shape, table.dtype)
+    return VArray(shape, table.dtype, table.numpy()[idx.numpy()])
+
+
+def add_at_rows(
+    ctx, table_shape: Sequence[int], idx: VArray, values: VArray, tag: str = "add_at"
+) -> VArray:
+    """Scatter-add rows (embedding gradient): out[idx[i]] += values[i]."""
+    table_shape = tuple(int(s) for s in table_shape)
+    if values.shape != idx.shape + (table_shape[1],):
+        raise ShapeError(
+            f"add_at_rows values shape {values.shape} does not match "
+            f"idx {idx.shape} + dim {table_shape[1]}"
+        )
+    ctx.compute(flops=float(values.size), bytes_touched=2 * values.nbytes, tag=tag)
+    if _any_symbolic(idx, values):
+        return VArray.symbolic(table_shape, values.dtype)
+    out = np.zeros(table_shape, dtype=values.dtype)
+    np.add.at(out, idx.numpy().reshape(-1), values.numpy().reshape(-1, table_shape[1]))
+    return VArray(table_shape, values.dtype, out)
+
+
+def cast(ctx, a: VArray, dtype: np.dtype | str, tag: str = "cast") -> VArray:
+    """Convert dtype (memory traffic only)."""
+    dt = np.dtype(dtype)
+    ctx.compute(flops=0.0, bytes_touched=a.nbytes + a.size * dt.itemsize, tag=tag)
+    if a.is_symbolic:
+        return VArray.symbolic(a.shape, dt)
+    return VArray(a.shape, dt, a.numpy().astype(dt))

@@ -1,0 +1,150 @@
+"""The :class:`VArray` container: a numpy array or just its shape.
+
+Design notes
+------------
+* A VArray is immutable in spirit: ops return new VArrays.  (Optimizers
+  update parameters by *replacing* the VArray, never by writing through a
+  view another rank might hold.)
+* ``data is None`` marks a symbolic array.  All shape/dtype bookkeeping is
+  identical in both modes, so an algorithm that type-checks symbolically is
+  guaranteed to run real data through the same code path.
+* Symbolic mode stores nothing per element, so Table 1's hidden-8192 /
+  batch-768 configurations simulate in constant memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.util.mathutil import prod
+
+__all__ = ["VArray"]
+
+
+class VArray:
+    """A dense tensor that may or may not carry data.
+
+    Construct via :meth:`from_numpy`, :meth:`symbolic`, :meth:`zeros` or
+    :meth:`full` rather than the raw constructor.
+    """
+
+    __slots__ = ("shape", "dtype", "data")
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        dtype: np.dtype | str = np.float32,
+        data: np.ndarray | None = None,
+    ):
+        self.shape: tuple[int, ...] = tuple(int(s) for s in shape)
+        for s in self.shape:
+            if s < 0:
+                raise ShapeError(f"negative dimension in shape {self.shape}")
+        self.dtype = np.dtype(dtype)
+        if data is not None:
+            if tuple(data.shape) != self.shape:
+                raise ShapeError(
+                    f"data shape {data.shape} does not match declared {self.shape}"
+                )
+            if data.dtype != self.dtype:
+                data = data.astype(self.dtype)
+        self.data = data
+
+    # --- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_numpy(cls, arr: np.ndarray, dtype: np.dtype | str | None = None) -> "VArray":
+        """Wrap a numpy array (copying only if a dtype conversion is needed)."""
+        arr = np.asarray(arr)
+        dt = np.dtype(dtype) if dtype is not None else arr.dtype
+        if arr.dtype != dt:
+            arr = arr.astype(dt)
+        return cls(arr.shape, dt, arr)
+
+    @classmethod
+    def symbolic(cls, shape: Sequence[int], dtype: np.dtype | str = np.float32) -> "VArray":
+        """A shape-only array (no storage)."""
+        return cls(shape, dtype, None)
+
+    @classmethod
+    def zeros(
+        cls,
+        shape: Sequence[int],
+        dtype: np.dtype | str = np.float32,
+        symbolic: bool = False,
+    ) -> "VArray":
+        """An all-zeros array, real or symbolic."""
+        if symbolic:
+            return cls.symbolic(shape, dtype)
+        return cls(shape, dtype, np.zeros(shape, dtype=dtype))
+
+    @classmethod
+    def full(
+        cls,
+        shape: Sequence[int],
+        value: float,
+        dtype: np.dtype | str = np.float32,
+        symbolic: bool = False,
+    ) -> "VArray":
+        """A constant-filled array, real or symbolic."""
+        if symbolic:
+            return cls.symbolic(shape, dtype)
+        return cls(shape, dtype, np.full(shape, value, dtype=dtype))
+
+    # --- properties -------------------------------------------------------------
+
+    @property
+    def is_symbolic(self) -> bool:
+        """True when this array carries no data."""
+        return self.data is None
+
+    @property
+    def size(self) -> int:
+        """Element count."""
+        return prod(self.shape)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint in bytes (real or would-be)."""
+        return self.size * self.dtype.itemsize
+
+    # --- accessors --------------------------------------------------------------
+
+    def numpy(self) -> np.ndarray:
+        """The underlying numpy array; raises on symbolic arrays."""
+        if self.data is None:
+            raise ShapeError(
+                f"VArray{self.shape} is symbolic; numerical access is only "
+                f"available in real mode"
+            )
+        return self.data
+
+    def copy(self) -> "VArray":
+        """A deep copy (symbolic arrays copy trivially)."""
+        if self.data is None:
+            return VArray.symbolic(self.shape, self.dtype)
+        return VArray(self.shape, self.dtype, self.data.copy())
+
+    def like(self, shape: Sequence[int]) -> "VArray":
+        """A symbolic/real-*consistent* empty-ish array of a new shape.
+
+        Used by ops to build outputs: symbolic input -> symbolic output.
+        """
+        if self.is_symbolic:
+            return VArray.symbolic(shape, self.dtype)
+        return VArray.zeros(shape, self.dtype)
+
+    def astuple(self) -> tuple[tuple[int, ...], str, bool]:
+        """(shape, dtype name, is_symbolic) — handy for assertions."""
+        return (self.shape, self.dtype.name, self.is_symbolic)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "symbolic" if self.is_symbolic else "real"
+        return f"VArray(shape={self.shape}, dtype={self.dtype.name}, {kind})"

@@ -1,0 +1,69 @@
+"""Weight initializers.
+
+The paper uses "Xavier initialized parameter matrices" (§4).  All
+initializers draw from named RNG streams (:func:`repro.util.rng.rng_for`),
+so a serial model and every parallel sharding of it can materialize
+*identical* global weights — the key to the Fig. 7 exactness experiment.
+
+Initializers return plain numpy arrays; callers wrap them in
+:class:`~repro.varray.varray.VArray` (or skip materialization entirely in
+symbolic mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "normal", "zeros", "ones"]
+
+
+def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
+    """(fan_in, fan_out) for a weight of the given shape.
+
+    For 2-D weights this is (rows, cols); for higher-rank weights the
+    leading dims multiply into fan_in, matching common DL frameworks.
+    """
+    if len(shape) < 2:
+        raise ValueError(f"xavier needs >=2-D shapes, got {shape}")
+    receptive = 1
+    for s in shape[:-2]:
+        receptive *= s
+    return shape[-2] * receptive, shape[-1] * receptive
+
+
+def xavier_uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], gain: float = 1.0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a), a = gain * sqrt(6/(fan_in+fan_out))."""
+    fan_in, fan_out = _fan(tuple(shape))
+    a = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=shape).astype(dtype)
+
+
+def xavier_normal(
+    rng: np.random.Generator, shape: tuple[int, ...], gain: float = 1.0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Glorot/Xavier normal: N(0, gain^2 * 2/(fan_in+fan_out))."""
+    fan_in, fan_out = _fan(tuple(shape))
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.normal(0.0, std, size=shape)).astype(dtype)
+
+
+def normal(
+    rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.02,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Plain N(0, std^2), the GPT-style embedding init."""
+    return rng.normal(0.0, std, size=shape).astype(dtype)
+
+
+def zeros(shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    """All-zeros (bias init)."""
+    return np.zeros(shape, dtype=dtype)
+
+
+def ones(shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    """All-ones (LayerNorm gain init)."""
+    return np.ones(shape, dtype=dtype)

@@ -1,0 +1,93 @@
+"""Tests for the experiment definitions (Table 1/2 transcription)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    FIG7_CONFIG,
+    TABLE1_ROWS,
+    TABLE2_ROWS,
+    BenchRow,
+)
+from repro.errors import GridError
+
+
+class TestRowValidation:
+    def test_shape_product_must_match_gpus(self):
+        with pytest.raises(GridError):
+            BenchRow("t", "tesseract", 8, (2, 2, 1), 4, 8, 2, 0, 0, 0, 0)
+
+    def test_shape_arity_per_scheme(self):
+        with pytest.raises(GridError):
+            BenchRow("t", "megatron", 4, (2, 2), 4, 8, 2, 0, 0, 0, 0)
+        with pytest.raises(GridError):
+            BenchRow("t", "optimus", 4, (4,), 4, 8, 2, 0, 0, 0, 0)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(GridError):
+            BenchRow("t", "zero-d", 4, (4,), 4, 8, 2, 0, 0, 0, 0)
+
+    def test_accessors(self):
+        row = TABLE1_ROWS[-2]  # tesseract [4,4,4]
+        assert row.q == 4
+        assert row.d == 4
+        assert row.label == "tesseract[4, 4, 4]"
+        assert TABLE1_ROWS[0].q is None
+        assert TABLE1_ROWS[0].d == 1
+
+
+class TestTableTranscription:
+    def test_row_counts_match_paper(self):
+        assert len(TABLE1_ROWS) == 12
+        assert len(TABLE2_ROWS) == 13
+
+    def test_table1_metric_identity(self):
+        """throughput == 1/(fwd+bwd) and inference == 1/fwd hold for the
+        paper's own published numbers (validates our reading of Table 1)."""
+        for row in TABLE1_ROWS:
+            thr = 1.0 / (row.paper_forward + row.paper_backward)
+            inf = 1.0 / row.paper_forward
+            assert thr == pytest.approx(row.paper_throughput, rel=0.01), row.label
+            assert inf == pytest.approx(row.paper_inference, rel=0.01), row.label
+
+    def test_table2_metric_identity(self):
+        for row in TABLE2_ROWS:
+            thr = 1.0 / (row.paper_forward + row.paper_backward)
+            assert thr == pytest.approx(row.paper_throughput, rel=0.01), row.label
+
+    def test_headline_speedups_recoverable(self):
+        """§4.1: 0.1195/0.0869 = 1.3751 and 0.1329/0.0869 = 1.5293."""
+        by = {r.label: r for r in TABLE1_ROWS}
+        mega = by["megatron[64]"].paper_forward
+        opti = by["optimus[8, 8]"].paper_forward
+        t444 = by["tesseract[4, 4, 4]"].paper_forward
+        t881 = by["tesseract[8, 8, 1]"].paper_forward
+        assert mega / t444 == pytest.approx(1.3751, rel=1e-3)
+        assert opti / t444 == pytest.approx(1.5293, rel=1e-3)
+        assert t881 / t444 == pytest.approx(2.0702, rel=1e-3)
+
+    def test_weak_scaling_headlines_recoverable(self):
+        """§4.2: 2.1631/0.6410 = 3.3746 etc."""
+        by = {r.label: r for r in TABLE2_ROWS}
+        assert (by["tesseract[4, 4, 4]"].paper_throughput
+                / by["megatron[64]"].paper_throughput) == pytest.approx(
+                    3.3746, rel=1e-3)
+        assert (by["tesseract[4, 4, 4]"].paper_inference
+                / by["optimus[8, 8]"].paper_inference) == pytest.approx(
+                    1.6987, rel=1e-3)
+
+    def test_all_gpu_counts_within_meluxina(self):
+        for row in TABLE1_ROWS + TABLE2_ROWS:
+            assert 1 <= row.gpus <= 64
+
+
+class TestFig7Config:
+    def test_settings_match_paper(self):
+        assert FIG7_CONFIG.settings == ((1, 1), (2, 1), (2, 2))
+
+    def test_recipe_matches_paper(self):
+        assert FIG7_CONFIG.lr == pytest.approx(3e-3)
+        assert FIG7_CONFIG.weight_decay == pytest.approx(0.3)
+
+    def test_batch_divisible_by_all_dq(self):
+        for q, d in FIG7_CONFIG.settings:
+            assert FIG7_CONFIG.batch_size % (q * d) == 0

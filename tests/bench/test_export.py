@@ -1,0 +1,59 @@
+"""Tests for measurement persistence."""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import BenchRow
+from repro.bench.export import (
+    load_json,
+    measured_to_records,
+    save_csv,
+    save_json,
+)
+from repro.bench.runner import MeasuredRow
+
+
+def _measured():
+    row = BenchRow("t1", "tesseract", 8, (2, 2, 2), 8, 16, 4,
+                   0.1, 0.2, 3.33, 10.0)
+    return MeasuredRow(row=row, forward=0.05, backward=0.1,
+                       effective_batch=8, peak_memory_bytes=1e9,
+                       comm={"broadcast": (4, 1000.0)})
+
+
+class TestRecords:
+    def test_record_fields(self):
+        (rec,) = measured_to_records([_measured()])
+        assert rec["parallelization"] == "tesseract"
+        assert rec["shape"] == [2, 2, 2]
+        assert rec["sim_forward_s"] == 0.05
+        assert rec["comm"]["broadcast"] == {"count": 4, "bytes": 1000.0}
+
+    def test_json_roundtrip(self, tmp_path):
+        path = save_json([_measured()], tmp_path / "out.json")
+        records = load_json(path)
+        assert len(records) == 1
+        assert records[0]["gpus"] == 8
+
+    def test_json_has_provenance(self, tmp_path):
+        path = save_json([_measured()], tmp_path / "out.json")
+        payload = json.loads(path.read_text())
+        assert payload["package"] == "repro"
+        assert "version" in payload
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{}")
+        with pytest.raises(ValueError):
+            load_json(p)
+
+    def test_csv_shape(self, tmp_path):
+        path = save_csv([_measured()], tmp_path / "out.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        header = lines[0].split(",")
+        values = lines[1].split(",")
+        assert len(header) == len(values)
+        assert "sim_forward_s" in header
+        assert "2x2x2" in values

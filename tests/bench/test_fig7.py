@@ -1,0 +1,68 @@
+"""Tests for the Fig. 7 experiment driver (tiny configuration)."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.experiments import Fig7Config
+from repro.bench.fig7 import Fig7Result, render_fig7, run_fig7
+
+TINY = Fig7Config(
+    image_size=8,
+    patch_size=4,
+    hidden=16,
+    nheads=4,
+    num_layers=1,
+    num_classes=4,
+    train_size=32,
+    test_size=16,
+    epochs=2,
+    batch_size=8,
+    settings=((1, 1), (2, 1)),
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig7(TINY)
+
+
+class TestRunFig7:
+    def test_all_settings_trained(self, result):
+        assert set(result.histories) == {"single GPU", "tesseract[2,2,1]"}
+
+    def test_curves_identical(self, result):
+        """The paper's §4.3 claim: parallel training does not change the
+        curve (float32 reassociation noise only)."""
+        assert result.curves_identical
+        assert result.max_loss_divergence < 1e-4
+
+    def test_histories_have_full_length(self, result):
+        for h in result.histories.values():
+            assert len(h.losses) == 2 * (32 // 8)
+            assert len(h.eval_acc) == 2
+
+    def test_final_accuracy_reported(self, result):
+        accs = result.final_accuracy()
+        assert set(accs) == set(result.histories)
+        assert all(0.0 <= a <= 1.0 for a in accs.values())
+
+    def test_render_mentions_verdict(self, result):
+        out = render_fig7(result)
+        assert "curves identical: True" in out
+        assert "single GPU" in out
+
+
+class TestDivergenceDetection:
+    def test_length_mismatch_flagged(self):
+        from repro.train.trainer import TrainHistory
+
+        r = Fig7Result(
+            histories={
+                "a": TrainHistory(losses=[1.0, 0.5], eval_acc=[0.5]),
+                "b": TrainHistory(losses=[1.0], eval_acc=[0.5]),
+            },
+            max_loss_divergence=float("inf"),
+            curves_identical=False,
+        )
+        assert not r.curves_identical

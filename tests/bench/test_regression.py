@@ -1,0 +1,96 @@
+"""Golden-value regression tests for the simulation cost model.
+
+The entire reproduction hinges on the simulated timings being stable and
+deterministic.  These tests pin exact simulated values for small frozen
+configurations; any change to the cost model (link efficiencies, roofline
+parameters, collective formulas) will trip them — deliberately — so such
+changes must be conscious and re-recorded here and in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.hardware.spec import A100_40GB, INFINIBAND_HDR200, NVLINK3, meluxina
+from repro.sim.cost import CommCostModel
+from repro.sim.engine import Engine
+from repro.hardware.topology import Topology
+from repro.varray.varray import VArray
+
+
+class TestHardwareConstants:
+    """The modeled hardware matches the paper's stated testbed."""
+
+    def test_nvlink_200GBps(self):
+        assert NVLINK3.bandwidth == 200e9
+
+    def test_infiniband_200Gbps(self):
+        assert INFINIBAND_HDR200.bandwidth == 25e9  # 200 Gbit/s
+
+    def test_a100_memory(self):
+        assert A100_40GB.memory_bytes == 40e9
+
+    def test_link_efficiencies_frozen(self):
+        assert NVLINK3.efficiency == pytest.approx(0.8)
+        assert INFINIBAND_HDR200.efficiency == pytest.approx(0.5)
+
+
+class TestGoldenComputeTimes:
+    def test_matmul_kernel_time(self):
+        # 1 Tflop at full-size utilization.
+        t = A100_40GB.compute_time(1e12, min_dim=4096)
+        assert t == pytest.approx(9.4270e-03, rel=1e-3)
+
+    def test_narrow_matmul_penalty_value(self):
+        wide = A100_40GB.compute_time(1e12, min_dim=4096)
+        narrow = A100_40GB.compute_time(1e12, min_dim=48)
+        assert narrow / wide == pytest.approx(2.9297, rel=0.01)
+
+    def test_memory_bound_op(self):
+        t = A100_40GB.compute_time(0.0, bytes_touched=1.555e9)
+        assert t == pytest.approx(1e-3 + A100_40GB.launch_overhead, rel=1e-6)
+
+
+class TestGoldenCollectiveCosts:
+    @pytest.fixture
+    def model(self):
+        return CommCostModel(Topology(meluxina(4), nranks=16))
+
+    def test_intra_node_allreduce_100MB(self, model):
+        # ring over 4 ranks on NVLink at 160 GB/s effective + gamma.
+        t = model.all_reduce([0, 1, 2, 3], 100e6)
+        assert t == pytest.approx(1.0138e-03, rel=1e-3)
+
+    def test_cross_node_allreduce_100MB(self, model):
+        t = model.all_reduce(list(range(16)), 100e6)
+        assert t == pytest.approx(1.4602e-02, rel=1e-3)
+
+    def test_intra_broadcast_10MB(self, model):
+        t = model.broadcast([0, 1, 2, 3], 10e6)
+        assert t == pytest.approx(2 * (2e-6 + 10e6 / 160e9), rel=1e-6)
+
+
+class TestGoldenEndToEnd:
+    def test_small_allreduce_program_time_pinned(self):
+        """A complete 8-rank program's makespan, pinned to the digit."""
+        engine = Engine(nranks=8, mode="symbolic")
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(8))
+            ctx.compute(flops=1e9, min_dim=256)
+            comm.all_reduce(VArray.symbolic((1024, 1024)))
+            return ctx.now
+
+        times = engine.run(prog)
+        assert len(set(times)) == 1
+        assert times[0] == pytest.approx(5.4465e-04, rel=1e-3)
+
+    def test_rerun_bit_identical(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(4))
+            ctx.compute(flops=3.3e9)
+            comm.all_reduce(VArray.symbolic((100, 100)))
+            return ctx.now
+
+        a = Engine(nranks=4, mode="symbolic").run(prog)
+        b = Engine(nranks=4, mode="symbolic").run(prog)
+        assert a == b

@@ -1,0 +1,68 @@
+"""Tests for the report generator."""
+
+import pytest
+
+from repro.bench.experiments import BenchRow
+from repro.bench.report import (
+    PAPER_HEADLINES_STRONG,
+    PAPER_HEADLINES_WEAK,
+    headline_ratios,
+    render_comparison,
+    render_ratio_table,
+)
+from repro.bench.runner import MeasuredRow
+
+
+def _measured(label_parts, fwd, bwd):
+    scheme, gpus, shape = label_parts
+    row = BenchRow("t", scheme, gpus, shape, 16, 64, 16, 0.1, 0.2, 3.3, 10.0)
+    return MeasuredRow(row=row, forward=fwd, backward=bwd,
+                       effective_batch=16, peak_memory_bytes=1e9)
+
+
+FLEET = [
+    _measured(("megatron", 64, (64,)), 0.4, 0.5),
+    _measured(("optimus", 64, (8, 8)), 0.3, 0.6),
+    _measured(("tesseract", 64, (4, 4, 4)), 0.2, 0.4),
+    _measured(("tesseract", 64, (8, 8, 1)), 0.3, 0.6),
+]
+
+
+class TestHeadlineRatios:
+    def test_all_keys_present_with_full_fleet(self):
+        r = headline_ratios(FLEET)
+        assert r["fwd_megatron64_over_tesseract444"] == pytest.approx(2.0)
+        assert r["fwd_optimus64_over_tesseract444"] == pytest.approx(1.5)
+        assert r["fwd_881_over_444"] == pytest.approx(1.5)
+        assert r["throughput_444_over_megatron64"] == pytest.approx(1.5)
+
+    def test_partial_fleet_returns_partial_ratios(self):
+        r = headline_ratios(FLEET[:1])
+        assert r == {}
+
+    def test_paper_headline_constants_sane(self):
+        assert PAPER_HEADLINES_STRONG["fwd_megatron64_over_tesseract444"] > 1
+        assert PAPER_HEADLINES_WEAK["throughput_444_over_megatron64"] > 1
+
+
+class TestRendering:
+    def test_comparison_table_contains_rows(self):
+        out = render_comparison(FLEET, "Table X")
+        assert "Table X" in out
+        assert "tesseract" in out
+        assert "megatron" in out
+        assert "fwd(sim)" in out
+
+    def test_ratio_table_marks_agreement(self):
+        ratios = {"fwd_megatron64_over_tesseract444": 2.0}
+        out = render_ratio_table(ratios, PAPER_HEADLINES_STRONG, "ratios")
+        assert "True" in out
+
+    def test_ratio_table_marks_disagreement(self):
+        ratios = {"fwd_megatron64_over_tesseract444": 0.5}
+        out = render_ratio_table(ratios, PAPER_HEADLINES_STRONG, "ratios")
+        assert "False" in out
+
+    def test_unknown_ratio_renders_dash(self):
+        out = render_ratio_table({"custom": 1.2}, {}, "r")
+        assert "custom" in out

@@ -1,0 +1,76 @@
+"""Tests for the benchmark runner (small configurations for speed)."""
+
+import pytest
+
+from repro.bench.experiments import BenchRow
+from repro.bench.runner import MeasuredRow, effective_batch, run_row
+
+
+def _row(scheme="tesseract", gpus=4, shape=(2, 2, 1), batch=8, hidden=16,
+         heads=4):
+    return BenchRow("test", scheme, gpus, shape, batch, hidden, heads,
+                    0.1, 0.2, 3.33, 10.0)
+
+
+class TestEffectiveBatch:
+    def test_megatron_untouched(self):
+        assert effective_batch(_row("megatron", 4, (4,), batch=7)) == 7
+
+    def test_divisible_untouched(self):
+        assert effective_batch(_row(batch=8)) == 8
+
+    def test_rounds_up_to_dq(self):
+        row = _row("tesseract", 8, (2, 2, 2), batch=6)
+        assert effective_batch(row) == 8  # dq = 4 -> ceil(6/4)*4
+
+    def test_paper_444_case(self):
+        row = BenchRow("t", "tesseract", 64, (4, 4, 4), 12, 64, 16,
+                       0, 1, 1, 1)
+        assert effective_batch(row) == 16
+
+
+class TestRunRow:
+    @pytest.mark.parametrize("scheme,gpus,shape", [
+        ("megatron", 4, (4,)),
+        ("optimus", 4, (2, 2)),
+        ("tesseract", 8, (2, 2, 2)),
+    ])
+    def test_produces_positive_times(self, scheme, gpus, shape):
+        m = run_row(_row(scheme, gpus, shape), seq_len=8, num_layers=1)
+        assert m.forward > 0
+        assert m.backward > 0
+        assert m.throughput == pytest.approx(1.0 / (m.forward + m.backward))
+        assert m.inference == pytest.approx(1.0 / m.forward)
+        assert m.peak_memory_bytes > 0
+
+    def test_comm_breakdown_collected(self):
+        m = run_row(_row(), seq_len=8, num_layers=1)
+        assert m.comm  # at least broadcasts from SUMMA
+        assert any(k.startswith("broadcast") for k in m.comm)
+
+    def test_collect_comm_off(self):
+        m = run_row(_row(), seq_len=8, num_layers=1, collect_comm=False)
+        assert m.comm == {}
+
+    def test_deterministic(self):
+        a = run_row(_row(), seq_len=8, num_layers=1)
+        b = run_row(_row(), seq_len=8, num_layers=1)
+        assert a.forward == b.forward
+        assert a.backward == b.backward
+
+    def test_more_layers_cost_more(self):
+        one = run_row(_row(), seq_len=8, num_layers=1)
+        two = run_row(_row(), seq_len=8, num_layers=2)
+        assert two.forward > one.forward
+
+    def test_depth_speeds_up_forward_at_fixed_q(self):
+        """The paper's core strong-scaling observation, at test scale:
+        greater depth reduces forward time for the same q (batch volume
+        per slice shrinks)."""
+        shallow = run_row(
+            _row("tesseract", 4, (2, 2, 1), batch=32, hidden=32, heads=4),
+            seq_len=64, num_layers=1)
+        deep = run_row(
+            _row("tesseract", 8, (2, 2, 2), batch=32, hidden=32, heads=4),
+            seq_len=64, num_layers=1)
+        assert deep.forward < shallow.forward

@@ -1,0 +1,129 @@
+"""Property-based tests of collective semantics.
+
+For random group partitions, payload shapes and values, the collectives
+must satisfy their algebraic definitions (all_reduce == elementwise fold,
+all_gather == ordered concatenation, reduce_scatter == transpose+fold,
+...).  These are the semantics every distributed algorithm in the package
+builds on.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.communicator import Communicator
+from repro.comm.reduce_ops import ReduceOp
+from repro.sim.engine import Engine
+from repro.varray.varray import VArray
+
+
+@st.composite
+def group_sizes(draw):
+    return draw(st.integers(1, 6))
+
+
+def _payloads(nranks, shape, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=shape).astype(np.float32) for _ in range(nranks)]
+
+
+@settings(max_examples=15, deadline=None)
+@given(group_sizes(), st.integers(1, 5), st.integers(0, 2**16))
+def test_all_reduce_is_elementwise_sum(g, dim, seed):
+    data = _payloads(g, (dim,), seed)
+    expect = np.sum(data, axis=0)
+
+    def prog(ctx):
+        comm = Communicator(ctx, range(g))
+        out = comm.all_reduce(VArray.from_numpy(data[ctx.rank]))
+        return out.numpy()
+
+    for out in Engine(nranks=g).run(prog):
+        assert np.allclose(out, expect, atol=1e-4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(group_sizes(), st.integers(0, 2**16))
+def test_all_gather_is_ordered_concat(g, seed):
+    data = _payloads(g, (3,), seed)
+
+    def prog(ctx):
+        comm = Communicator(ctx, range(g))
+        parts = comm.all_gather(VArray.from_numpy(data[ctx.rank]))
+        return np.concatenate([p.numpy() for p in parts])
+
+    expect = np.concatenate(data)
+    for out in Engine(nranks=g).run(prog):
+        assert np.array_equal(out, expect)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 5), st.integers(0, 2**16))
+def test_reduce_scatter_equals_transpose_fold(g, seed):
+    rng = np.random.default_rng(seed)
+    chunks = rng.normal(size=(g, g, 2)).astype(np.float32)  # [sender][slot]
+
+    def prog(ctx):
+        comm = Communicator(ctx, range(g))
+        mine = [VArray.from_numpy(chunks[ctx.rank][j]) for j in range(g)]
+        return comm.reduce_scatter(mine).numpy()
+
+    res = Engine(nranks=g).run(prog)
+    for j in range(g):
+        assert np.allclose(res[j], chunks[:, j].sum(axis=0), atol=1e-4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 5), st.integers(0, 4), st.integers(0, 2**16))
+def test_broadcast_from_any_root(g, root, seed):
+    root = root % g
+    data = _payloads(g, (4,), seed)
+
+    def prog(ctx):
+        comm = Communicator(ctx, range(g))
+        arr = VArray.from_numpy(data[ctx.rank]) if comm.rank == root else None
+        return comm.broadcast(arr, root=root).numpy()
+
+    for out in Engine(nranks=g).run(prog):
+        assert np.array_equal(out, data[root])
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 4), st.integers(0, 2**16))
+def test_all_to_all_is_matrix_transpose(g, seed):
+    rng = np.random.default_rng(seed)
+    grid = rng.normal(size=(g, g, 1)).astype(np.float32)
+
+    def prog(ctx):
+        comm = Communicator(ctx, range(g))
+        mine = [VArray.from_numpy(grid[ctx.rank][j]) for j in range(g)]
+        out = comm.all_to_all(mine)
+        return np.stack([o.numpy() for o in out])
+
+    res = Engine(nranks=g).run(prog)
+    for j in range(g):
+        assert np.allclose(res[j], grid[:, j], atol=1e-6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 2**16))
+def test_disjoint_subgroups_do_not_interfere(half, seed):
+    """Two disjoint groups running different collectives concurrently."""
+    g = 2 * half
+    data = _payloads(g, (2,), seed)
+
+    def prog(ctx):
+        if ctx.rank < half:
+            comm = Communicator(ctx, range(half))
+            return comm.all_reduce(VArray.from_numpy(data[ctx.rank])).numpy()
+        comm = Communicator(ctx, range(half, g))
+        return comm.all_reduce(
+            VArray.from_numpy(data[ctx.rank]), op=ReduceOp.MAX
+        ).numpy()
+
+    res = Engine(nranks=g).run(prog)
+    low_sum = np.sum(data[:half], axis=0)
+    high_max = np.max(data[half:], axis=0)
+    for r in range(half):
+        assert np.allclose(res[r], low_sum, atol=1e-4)
+    for r in range(half, g):
+        assert np.allclose(res[r], high_max, atol=1e-6)

@@ -1,0 +1,59 @@
+"""Tests for process groups."""
+
+import pytest
+
+from repro.comm.group import ProcessGroup
+from repro.errors import CommError
+
+
+class TestProcessGroup:
+    def test_of_and_size(self):
+        g = ProcessGroup.of([3, 1, 2])
+        assert g.size == 3
+        assert len(g) == 3
+
+    def test_order_preserved(self):
+        g = ProcessGroup.of([3, 1, 2])
+        assert g.ranks == (3, 1, 2)
+
+    def test_index(self):
+        g = ProcessGroup.of([3, 1, 2])
+        assert g.index(1) == 1
+        assert g.index(3) == 0
+
+    def test_index_missing_raises(self):
+        g = ProcessGroup.of([0, 1])
+        with pytest.raises(CommError, match="not a member"):
+            g.index(5)
+
+    def test_global_rank(self):
+        g = ProcessGroup.of([3, 1, 2])
+        assert g.global_rank(2) == 2
+        assert g.global_rank(0) == 3
+
+    def test_global_rank_out_of_range(self):
+        g = ProcessGroup.of([0, 1])
+        with pytest.raises(CommError):
+            g.global_rank(2)
+        with pytest.raises(CommError):
+            g.global_rank(-1)
+
+    def test_contains(self):
+        g = ProcessGroup.of([0, 2])
+        assert g.contains(2)
+        assert not g.contains(1)
+
+    def test_iter(self):
+        assert list(ProcessGroup.of([4, 5])) == [4, 5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommError):
+            ProcessGroup.of([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(CommError, match="duplicate"):
+            ProcessGroup.of([0, 0, 1])
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(CommError):
+            ProcessGroup.of([-1, 0])

@@ -1,0 +1,66 @@
+"""Tests for reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.comm.reduce_ops import ReduceOp, combine
+from repro.errors import CommError, ShapeError
+from repro.varray.varray import VArray
+
+
+def _v(arr):
+    return VArray.from_numpy(np.asarray(arr, dtype=np.float32))
+
+
+class TestCombine:
+    def test_sum(self):
+        out = combine(ReduceOp.SUM, [_v([1, 2]), _v([3, 4])])
+        assert np.array_equal(out.numpy(), [4, 6])
+
+    def test_max(self):
+        out = combine(ReduceOp.MAX, [_v([1, 5]), _v([3, 4])])
+        assert np.array_equal(out.numpy(), [3, 5])
+
+    def test_min(self):
+        out = combine(ReduceOp.MIN, [_v([1, 5]), _v([3, 4])])
+        assert np.array_equal(out.numpy(), [1, 4])
+
+    def test_prod(self):
+        out = combine(ReduceOp.PROD, [_v([2, 3]), _v([4, 5])])
+        assert np.array_equal(out.numpy(), [8, 15])
+
+    def test_single_payload(self):
+        out = combine(ReduceOp.SUM, [_v([7])])
+        assert np.array_equal(out.numpy(), [7])
+
+    def test_order_deterministic(self):
+        # Left-to-right fold in float32: order matters; ours is fixed.
+        a = _v([1e8]); b = _v([1.0]); c = _v([-1e8])
+        out1 = combine(ReduceOp.SUM, [a, b, c]).numpy()
+        out2 = combine(ReduceOp.SUM, [a, b, c]).numpy()
+        assert np.array_equal(out1, out2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommError):
+            combine(ReduceOp.SUM, [])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError, match="shape mismatch"):
+            combine(ReduceOp.SUM, [_v([1, 2]), _v([1, 2, 3])])
+
+    def test_dtype_mismatch(self):
+        a = VArray.from_numpy(np.ones(2, dtype=np.float32))
+        b = VArray.from_numpy(np.ones(2, dtype=np.float64))
+        with pytest.raises(ShapeError, match="dtype mismatch"):
+            combine(ReduceOp.SUM, [a, b])
+
+    def test_symbolic_passthrough(self):
+        a = VArray.symbolic((2, 2))
+        b = VArray.symbolic((2, 2))
+        out = combine(ReduceOp.SUM, [a, b])
+        assert out.is_symbolic
+        assert out.shape == (2, 2)
+
+    def test_mixed_symbolic_real(self):
+        out = combine(ReduceOp.SUM, [_v([1, 2]), VArray.symbolic((2,))])
+        assert out.is_symbolic

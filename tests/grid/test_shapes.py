@@ -1,0 +1,84 @@
+"""Tests for Tesseract arrangement shapes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GridError
+from repro.grid.shapes import ParallelMode, TesseractShape
+
+
+class TestValidation:
+    def test_valid_shape(self):
+        s = TesseractShape(q=4, d=2)
+        assert s.p == 32
+
+    def test_paper_constraint_d_le_q(self):
+        with pytest.raises(GridError, match="1 <= d <= q"):
+            TesseractShape(q=2, d=3)
+
+    def test_d_equal_q_allowed(self):
+        assert TesseractShape(q=3, d=3).is_3d
+
+    def test_d_one_is_2d(self):
+        assert TesseractShape(q=4, d=1).is_2d
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GridError):
+            TesseractShape(q=0, d=1)
+        with pytest.raises(GridError):
+            TesseractShape(q=2, d=0)
+
+    def test_from_p(self):
+        assert TesseractShape.from_p(64, d=4) == TesseractShape(q=4, d=4)
+        assert TesseractShape.from_p(64, d=1) == TesseractShape(q=8, d=1)
+
+    def test_from_p_not_square(self):
+        with pytest.raises(GridError):
+            TesseractShape.from_p(8, d=1)
+
+    def test_from_p_not_divisible(self):
+        with pytest.raises(GridError):
+            TesseractShape.from_p(10, d=3)
+
+    def test_str(self):
+        assert str(TesseractShape(q=4, d=2)) == "[4,4,2]"
+
+
+class TestCoords:
+    def test_slice_major_order(self):
+        s = TesseractShape(q=2, d=2)
+        # First q*q ranks are depth slice 0.
+        assert s.coords(0) == (0, 0, 0)
+        assert s.coords(3) == (1, 1, 0)
+        assert s.coords(4) == (0, 0, 1)
+        assert s.coords(7) == (1, 1, 1)
+
+    def test_rank_of_inverse(self):
+        s = TesseractShape(q=3, d=2)
+        for r in range(s.p):
+            i, j, k = s.coords(r)
+            assert s.rank_of(i, j, k) == r
+
+    def test_out_of_range(self):
+        s = TesseractShape(q=2, d=1)
+        with pytest.raises(GridError):
+            s.coords(4)
+        with pytest.raises(GridError):
+            s.rank_of(2, 0, 0)
+        with pytest.raises(GridError):
+            s.rank_of(0, 0, 1)
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    def test_bijection(self, q, d):
+        if d > q:
+            q, d = d, q
+        s = TesseractShape(q=q, d=d)
+        seen = {s.coords(r) for r in range(s.p)}
+        assert len(seen) == s.p
+
+
+class TestParallelMode:
+    def test_values(self):
+        assert ParallelMode.ONE_D.value == "1d"
+        assert ParallelMode.TWO_D.value == "2d"
+        assert ParallelMode.TESSERACT.value == "2.5d"

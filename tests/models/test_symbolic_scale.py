@@ -1,0 +1,96 @@
+"""Paper-scale symbolic shape checks.
+
+The benchmark harness runs the models at the paper's real dimensions only
+in symbolic mode; these tests drive the full models (not just layer
+stacks) through those dimensions to catch shape bugs that small-scale real
+tests cannot see (e.g. head/hidden divisibility at hidden 8192/128 heads).
+"""
+
+import pytest
+
+from repro.grid.context import ParallelContext
+from repro.models.configs import TransformerConfig, ViTConfig
+from repro.models.transformer import TesseractTransformerLM
+from repro.models.vit import TesseractViT
+from repro.parallel.factory import build_transformer_stack
+from repro.sim.engine import Engine
+from repro.varray.varray import VArray
+
+
+class TestPaperScaleStacks:
+    @pytest.mark.parametrize("mode,gpus,q,d,batch,hidden,heads", [
+        ("megatron", 4, None, None, 30, 8192, 128),
+        ("optimus", 4, 2, 1, 384, 8192, 128),
+        ("tesseract", 8, 2, 2, 768, 4096, 64),
+    ])
+    def test_weak_scaling_shapes_flow(self, mode, gpus, q, d, batch, hidden,
+                                      heads):
+        """The largest Table 2 dimension sets, at reduced rank count."""
+
+        def prog(ctx):
+            handle = build_transformer_stack(
+                ctx, mode, num_layers=1, hidden=hidden, nheads=heads,
+                q=q, d=d, world=gpus,
+            )
+            x = handle.symbolic_input(batch, 512, hidden)
+            y = handle.layers.forward(x)
+            dx = handle.layers.backward(VArray.symbolic(y.shape))
+            return y.shape == x.shape and dx.shape == x.shape
+
+        assert all(Engine(nranks=gpus, mode="symbolic").run(prog))
+
+    def test_symbolic_memory_is_small(self):
+        """Paper-scale symbolic runs must not materialize data."""
+        import tracemalloc
+
+        def prog(ctx):
+            handle = build_transformer_stack(
+                ctx, "tesseract", num_layers=2, hidden=8192, nheads=128,
+                q=2, d=2,
+            )
+            x = handle.symbolic_input(768, 512, 8192)
+            y = handle.layers.forward(x)
+            handle.layers.backward(VArray.symbolic(y.shape))
+            return True
+
+        tracemalloc.start()
+        Engine(nranks=8, mode="symbolic").run(prog)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # A real [768, 512, 8192] activation is ~12.9 GB; symbolic mode
+        # must stay under a few hundred MB of host memory.
+        assert peak < 300e6
+
+
+class TestPaperScaleModels:
+    def test_tesseract_vit_symbolic(self):
+        cfg = ViTConfig(image_size=224, patch_size=16, channels=3,
+                        hidden=768, nheads=12, num_layers=2, num_classes=100)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=2, d=2)
+            model = TesseractViT(pc, cfg)
+            x = VArray.symbolic((512 // 8, 3, 224, 224))
+            logits = model.forward(x)
+            model.backward(VArray.symbolic(logits.shape))
+            return logits.shape
+
+        res = Engine(nranks=8, mode="symbolic").run(prog)
+        # Fig. 7's batch 512 split over d*q = 4 bands -> 64 per rank... with
+        # d*q = 4: 512/4 = 128; we passed 64 so logits rows = 64.
+        assert res == [(64, 100)] * 8
+
+    def test_tesseract_lm_symbolic(self):
+        cfg = TransformerConfig(num_layers=2, hidden=1024, nheads=16,
+                                seq_len=512, vocab=50304)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=2, d=1)
+            model = TesseractTransformerLM(pc, cfg)
+            tokens = VArray.symbolic((8, 512), dtype="int64")
+            logits = model.forward(tokens)
+            model.backward(VArray.symbolic(logits.shape))
+            return logits.shape
+
+        res = Engine(nranks=4, mode="symbolic").run(prog)
+        assert res == [(4, 512, 50304)] * 4

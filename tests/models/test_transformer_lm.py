@@ -1,0 +1,110 @@
+"""Tests for the serial and Tesseract transformer language models."""
+
+import numpy as np
+import pytest
+
+from repro.grid.context import ParallelContext
+from repro.models.configs import TransformerConfig
+from repro.models.transformer import SerialTransformerLM, TesseractTransformerLM
+from repro.sim.engine import Engine
+from repro.varray.varray import VArray
+
+CFG = TransformerConfig(num_layers=1, hidden=16, nheads=4, seq_len=6, vocab=8)
+
+
+class TestSerialLM:
+    def test_forward_shape(self, rng):
+        def prog(ctx):
+            model = SerialTransformerLM(ctx, CFG)
+            tokens = model.local_tokens(
+                rng.integers(0, 8, size=(2, 6)).astype(np.int64))
+            logits = model.forward(tokens)
+            model.backward(VArray.from_numpy(
+                np.zeros((2, 6, 8), dtype=np.float32)))
+            return logits.shape
+
+        assert Engine(nranks=1).run(prog) == [(2, 6, 8)]
+
+    def test_requires_vocab(self):
+        cfg = TransformerConfig(num_layers=1, hidden=8, nheads=2, seq_len=4)
+
+        def prog(ctx):
+            SerialTransformerLM(ctx, cfg)
+
+        with pytest.raises(ValueError, match="vocab"):
+            Engine(nranks=1).run(prog)
+
+    def test_all_params_get_grads(self, rng):
+        def prog(ctx):
+            model = SerialTransformerLM(ctx, CFG)
+            tokens = model.local_tokens(
+                rng.integers(0, 8, size=(2, 6)).astype(np.int64))
+            model.forward(tokens)
+            model.backward(VArray.from_numpy(
+                rng.normal(size=(2, 6, 8)).astype(np.float32)))
+            return [n for n, p in model.parameters() if p.grad is None]
+
+        assert Engine(nranks=1).run(prog)[0] == []
+
+
+@pytest.mark.parametrize("q,d", [(2, 1), (2, 2)])
+class TestTesseractLM:
+    def test_matches_serial_logits(self, q, d, rng):
+        tokens = rng.integers(0, 8, size=(8, 6)).astype(np.int64)
+
+        def serial(ctx):
+            model = SerialTransformerLM(ctx, CFG)
+            return model.forward(model.local_tokens(tokens)).numpy()
+
+        ref = Engine(nranks=1).run(serial)[0]
+
+        def par(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            model = TesseractTransformerLM(pc, CFG)
+            logits = model.forward(model.local_tokens(tokens))
+            return pc.block_row, logits.numpy()
+
+        rows = 8 // (q * d)
+        for h, logits in Engine(nranks=q * q * d).run(par):
+            assert np.allclose(logits, ref[h * rows:(h + 1) * rows], atol=1e-3)
+
+    def test_embedding_grads_identical_across_ranks(self, q, d, rng):
+        tokens = rng.integers(0, 8, size=(8, 6)).astype(np.int64)
+        dy = rng.normal(size=(8, 6, 8)).astype(np.float32)
+
+        def par(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            model = TesseractTransformerLM(pc, CFG)
+            model.forward(model.local_tokens(tokens))
+            rows = 8 // (q * d)
+            h = pc.block_row
+            model.backward(VArray.from_numpy(dy[h * rows:(h + 1) * rows]))
+            return model.embed.table.grad.numpy()
+
+        res = Engine(nranks=q * q * d).run(par)
+        for g in res[1:]:
+            assert np.allclose(g, res[0], atol=1e-5)
+
+    def test_embedding_grads_match_serial(self, q, d, rng):
+        tokens = rng.integers(0, 8, size=(8, 6)).astype(np.int64)
+        dy = rng.normal(size=(8, 6, 8)).astype(np.float32)
+
+        def serial(ctx):
+            model = SerialTransformerLM(ctx, CFG)
+            model.forward(model.local_tokens(tokens))
+            model.backward(VArray.from_numpy(dy))
+            return model.embed.table.grad.numpy()
+
+        ref = Engine(nranks=1).run(serial)[0]
+
+        def par(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            model = TesseractTransformerLM(pc, CFG)
+            model.forward(model.local_tokens(tokens))
+            rows = 8 // (q * d)
+            h = pc.block_row
+            model.backward(VArray.from_numpy(dy[h * rows:(h + 1) * rows]))
+            return model.embed.table.grad.numpy()
+
+        for g in Engine(nranks=q * q * d).run(par):
+            assert np.allclose(g, ref, atol=1e-3)

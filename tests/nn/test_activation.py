@@ -1,0 +1,96 @@
+"""Tests for GELU / ReLU / Dropout layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activation import GELU, Dropout, ReLU
+from repro.varray.varray import VArray
+
+
+def _x(arr):
+    return VArray.from_numpy(np.asarray(arr, dtype=np.float32))
+
+
+class TestGELULayer:
+    def test_forward_backward_consistency(self, ctx1, rng):
+        layer = GELU(ctx1)
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        y = layer.forward(_x(x))
+        assert y.shape == (3, 4)
+        dy = rng.normal(size=(3, 4)).astype(np.float32)
+        dx = layer.backward(_x(dy))
+        assert dx.shape == (3, 4)
+
+    def test_monotone_for_positive(self, ctx1):
+        layer = GELU(ctx1)
+        y = layer.forward(_x([1.0, 2.0, 3.0])).numpy()
+        assert y[0] < y[1] < y[2]
+        layer.backward(_x([0, 0, 0]))
+
+
+class TestReLULayer:
+    def test_clips_negative(self, ctx1):
+        layer = ReLU(ctx1)
+        y = layer.forward(_x([-5.0, 5.0]))
+        assert np.array_equal(y.numpy(), [0, 5])
+        dx = layer.backward(_x([1.0, 1.0]))
+        assert np.array_equal(dx.numpy(), [0, 1])
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, ctx1, rng):
+        d = Dropout(ctx1, p=0.5)
+        d.eval()
+        x = rng.normal(size=(10,)).astype(np.float32)
+        y = d.forward(_x(x))
+        assert np.array_equal(y.numpy(), x)
+        dx = d.backward(_x(np.ones(10)))
+        assert np.array_equal(dx.numpy(), np.ones(10, dtype=np.float32))
+
+    def test_p_zero_identity(self, ctx1, rng):
+        d = Dropout(ctx1, p=0.0)
+        x = rng.normal(size=(10,)).astype(np.float32)
+        assert np.array_equal(d.forward(_x(x)).numpy(), x)
+        d.backward(_x(np.ones(10)))
+
+    def test_inverted_scaling(self, ctx1):
+        d = Dropout(ctx1, p=0.5)
+        x = np.ones((10000,), dtype=np.float32)
+        y = d.forward(_x(x)).numpy()
+        # Kept entries are scaled by 1/(1-p) = 2; mean stays ~1.
+        assert set(np.unique(y)).issubset({0.0, 2.0})
+        assert abs(y.mean() - 1.0) < 0.1
+        d.backward(_x(x))
+
+    def test_mask_consistent_between_fwd_and_bwd(self, ctx1):
+        d = Dropout(ctx1, p=0.5)
+        x = np.ones((1000,), dtype=np.float32)
+        y = d.forward(_x(x)).numpy()
+        dx = d.backward(_x(x)).numpy()
+        assert np.array_equal(y, dx)
+
+    def test_masks_differ_between_calls(self, ctx1):
+        d = Dropout(ctx1, p=0.5)
+        x = np.ones((1000,), dtype=np.float32)
+        y1 = d.forward(_x(x)).numpy()
+        d.backward(_x(x))
+        y2 = d.forward(_x(x)).numpy()
+        d.backward(_x(x))
+        assert not np.array_equal(y1, y2)
+
+    def test_invalid_p(self, ctx1):
+        with pytest.raises(ValueError):
+            Dropout(ctx1, p=1.0)
+        with pytest.raises(ValueError):
+            Dropout(ctx1, p=-0.1)
+
+    def test_symbolic_mode(self):
+        from tests.conftest import run_spmd
+
+        def prog(ctx):
+            d = Dropout(ctx, p=0.3)
+            y = d.forward(VArray.symbolic((4, 4)))
+            dx = d.backward(VArray.symbolic((4, 4)))
+            return y.is_symbolic and dx.is_symbolic
+
+        assert run_spmd(1, prog, mode="symbolic") == [True]

@@ -1,0 +1,88 @@
+"""Tests for Embedding and PatchEmbedding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.embedding import Embedding, PatchEmbedding, patchify, unpatchify_grad
+from repro.varray.varray import VArray
+
+
+def _idx(arr):
+    return VArray.from_numpy(np.asarray(arr, dtype=np.int64))
+
+
+class TestEmbedding:
+    def test_lookup(self, ctx1):
+        emb = Embedding(ctx1, vocab=5, dim=3)
+        table = emb.table.value.numpy()
+        out = emb.forward(_idx([[1, 4], [0, 0]]))
+        assert out.shape == (2, 2, 3)
+        assert np.array_equal(out.numpy()[0, 1], table[4])
+        emb.backward(VArray.from_numpy(np.zeros((2, 2, 3), dtype=np.float32)))
+
+    def test_gradient_scatter(self, ctx1):
+        emb = Embedding(ctx1, vocab=4, dim=2)
+        emb.forward(_idx([0, 0, 2]))
+        dy = np.array([[1, 1], [2, 2], [5, 5]], dtype=np.float32)
+        emb.backward(VArray.from_numpy(dy))
+        g = emb.table.grad.numpy()
+        assert np.array_equal(g[0], [3, 3])
+        assert np.array_equal(g[2], [5, 5])
+        assert np.array_equal(g[1], [0, 0])
+
+    def test_deterministic_init(self, ctx1):
+        a = Embedding(ctx1, 10, 4, init_tags=("e",)).table.value.numpy()
+        b = Embedding(ctx1, 10, 4, init_tags=("e",)).table.value.numpy()
+        assert np.array_equal(a, b)
+
+
+class TestPatchify:
+    def test_shape(self, ctx1, rng):
+        x = VArray.from_numpy(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        patches = patchify(ctx1, x, patch_size=4)
+        assert patches.shape == (2, 4, 48)
+
+    def test_content_of_first_patch(self, ctx1):
+        x = np.arange(2 * 1 * 4 * 4, dtype=np.float32).reshape(2, 1, 4, 4)
+        patches = patchify(ctx1, VArray.from_numpy(x), patch_size=2).numpy()
+        assert np.array_equal(patches[0, 0], x[0, 0, :2, :2].reshape(-1))
+
+    def test_unpatchify_inverts(self, ctx1, rng):
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        patches = patchify(ctx1, VArray.from_numpy(x), patch_size=4)
+        back = unpatchify_grad(ctx1, patches, channels=3, image_size=8,
+                               patch_size=4)
+        assert np.array_equal(back.numpy(), x)
+
+    def test_indivisible_rejected(self, ctx1):
+        with pytest.raises(ShapeError):
+            patchify(ctx1, VArray.symbolic((1, 3, 9, 9)), patch_size=4)
+
+
+class TestPatchEmbedding:
+    def test_forward_shape(self, ctx1, rng):
+        pe = PatchEmbedding(ctx1, image_size=8, patch_size=4, channels=3,
+                            hidden=16)
+        assert pe.num_patches == 4
+        x = VArray.from_numpy(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        y = pe.forward(x)
+        assert y.shape == (2, 4, 16)
+        dx = pe.backward(VArray.from_numpy(
+            np.zeros((2, 4, 16), dtype=np.float32)))
+        assert dx.shape == (2, 3, 8, 8)
+
+    def test_wrong_input_shape(self, ctx1):
+        pe = PatchEmbedding(ctx1, image_size=8, patch_size=4, channels=3,
+                            hidden=16)
+        with pytest.raises(ShapeError):
+            pe.forward(VArray.symbolic((2, 1, 8, 8)))
+
+    def test_gradient_flows_to_proj(self, ctx1, rng):
+        pe = PatchEmbedding(ctx1, image_size=4, patch_size=2, channels=1,
+                            hidden=8)
+        x = VArray.from_numpy(rng.normal(size=(1, 1, 4, 4)).astype(np.float32))
+        pe.forward(x)
+        pe.backward(VArray.from_numpy(
+            rng.normal(size=(1, 4, 8)).astype(np.float32)))
+        assert pe.proj.w.grad is not None

@@ -1,0 +1,106 @@
+"""Tests for the serial Linear layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.linear import Linear
+from repro.varray.varray import VArray
+
+
+class TestForward:
+    def test_matches_numpy(self, ctx1, rng):
+        lin = Linear(ctx1, 4, 3)
+        x = rng.normal(size=(5, 4)).astype(np.float32)
+        y = lin.forward(VArray.from_numpy(x))
+        expect = x @ lin.w.value.numpy() + lin.b.value.numpy()
+        assert np.allclose(y.numpy(), expect, atol=1e-5)
+        lin.backward(VArray.from_numpy(np.zeros((5, 3), dtype=np.float32)))
+
+    def test_3d_input(self, ctx1, rng):
+        lin = Linear(ctx1, 4, 3)
+        x = rng.normal(size=(2, 5, 4)).astype(np.float32)
+        y = lin.forward(VArray.from_numpy(x))
+        assert y.shape == (2, 5, 3)
+        lin.backward(VArray.from_numpy(np.zeros((2, 5, 3), dtype=np.float32)))
+
+    def test_no_bias(self, ctx1, rng):
+        lin = Linear(ctx1, 4, 3, bias=False)
+        assert lin.b is None
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        y = lin.forward(VArray.from_numpy(x))
+        assert np.allclose(y.numpy(), x @ lin.w.value.numpy(), atol=1e-5)
+        lin.backward(VArray.from_numpy(np.zeros((2, 3), dtype=np.float32)))
+
+    def test_wrong_input_dim(self, ctx1):
+        lin = Linear(ctx1, 4, 3)
+        with pytest.raises(ShapeError):
+            lin.forward(VArray.symbolic((2, 5)))
+
+    def test_explicit_weight(self, ctx1):
+        w = np.eye(3, dtype=np.float32)
+        lin = Linear(ctx1, 3, 3, weight=w)
+        assert np.array_equal(lin.w.value.numpy(), w)
+
+    def test_explicit_weight_shape_checked(self, ctx1):
+        with pytest.raises(ShapeError):
+            Linear(ctx1, 3, 3, weight=np.zeros((2, 3), dtype=np.float32))
+
+
+class TestBackward:
+    def test_gradients_match_finite_difference(self, ctx1, rng):
+        lin = Linear(ctx1, 3, 2, init_tags=("gc",))
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+        dy = rng.normal(size=(4, 2)).astype(np.float32)
+        y = lin.forward(VArray.from_numpy(x))
+        dx = lin.backward(VArray.from_numpy(dy))
+        # Analytic identities for a linear layer.
+        assert np.allclose(dx.numpy(), dy @ lin.w.value.numpy().T, atol=1e-5)
+        assert np.allclose(lin.w.grad.numpy(), x.T @ dy, atol=1e-5)
+        assert np.allclose(lin.b.grad.numpy(), dy.sum(axis=0), atol=1e-5)
+
+    def test_3d_weight_grad_flattens_leading(self, ctx1, rng):
+        lin = Linear(ctx1, 3, 2)
+        x = rng.normal(size=(2, 4, 3)).astype(np.float32)
+        dy = rng.normal(size=(2, 4, 2)).astype(np.float32)
+        lin.forward(VArray.from_numpy(x))
+        lin.backward(VArray.from_numpy(dy))
+        expect = x.reshape(-1, 3).T @ dy.reshape(-1, 2)
+        assert np.allclose(lin.w.grad.numpy(), expect, atol=1e-5)
+
+    def test_grad_accumulates(self, ctx1, rng):
+        lin = Linear(ctx1, 2, 2)
+        x = rng.normal(size=(1, 2)).astype(np.float32)
+        dy = rng.normal(size=(1, 2)).astype(np.float32)
+        lin.forward(VArray.from_numpy(x))
+        lin.backward(VArray.from_numpy(dy))
+        g1 = lin.w.grad.numpy().copy()
+        lin.forward(VArray.from_numpy(x))
+        lin.backward(VArray.from_numpy(dy))
+        assert np.allclose(lin.w.grad.numpy(), 2 * g1, atol=1e-5)
+
+
+class TestInitialization:
+    def test_same_tags_same_weights(self, ctx1):
+        a = Linear(ctx1, 4, 4, init_tags=("shared",))
+        b = Linear(ctx1, 4, 4, init_tags=("shared",))
+        assert np.array_equal(a.w.value.numpy(), b.w.value.numpy())
+
+    def test_different_tags_differ(self, ctx1):
+        a = Linear(ctx1, 4, 4, init_tags=("one",))
+        b = Linear(ctx1, 4, 4, init_tags=("two",))
+        assert not np.array_equal(a.w.value.numpy(), b.w.value.numpy())
+
+    def test_bias_zero_initialized(self, ctx1):
+        assert float(np.abs(Linear(ctx1, 2, 5).b.value.numpy()).sum()) == 0.0
+
+    def test_symbolic_mode(self):
+        from tests.conftest import run_spmd
+
+        def prog(ctx):
+            lin = Linear(ctx, 4, 3)
+            y = lin.forward(VArray.symbolic((2, 4)))
+            dx = lin.backward(VArray.symbolic((2, 3)))
+            return y.is_symbolic and dx.is_symbolic and lin.w.grad.is_symbolic
+
+        assert run_spmd(1, prog, mode="symbolic") == [True]

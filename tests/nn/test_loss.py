@@ -1,0 +1,133 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.loss import MeanSquaredError, SoftmaxCrossEntropy
+from repro.varray.varray import VArray
+
+
+def _v(arr, dtype=np.float32):
+    return VArray.from_numpy(np.asarray(arr, dtype=dtype))
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_log_c(self, ctx1):
+        loss_fn = SoftmaxCrossEntropy(ctx1)
+        logits = _v(np.zeros((4, 10)))
+        labels = _v(np.arange(4) % 10, dtype=np.int64)
+        loss = float(loss_fn.forward(logits, labels).numpy())
+        assert loss == pytest.approx(np.log(10), rel=1e-5)
+        loss_fn.backward()
+
+    def test_confident_correct_near_zero(self, ctx1):
+        logits = np.full((2, 3), -50.0, dtype=np.float32)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss_fn = SoftmaxCrossEntropy(ctx1)
+        loss = float(loss_fn.forward(_v(logits), _v([1, 2], np.int64)).numpy())
+        assert loss < 1e-4
+        loss_fn.backward()
+
+    def test_gradient_formula(self, ctx1, rng):
+        logits = rng.normal(size=(3, 4)).astype(np.float32)
+        labels = np.array([0, 3, 1], dtype=np.int64)
+        loss_fn = SoftmaxCrossEntropy(ctx1)
+        loss_fn.forward(_v(logits), _v(labels, np.int64))
+        grad = loss_fn.backward().numpy()
+        e = np.exp(logits - logits.max(1, keepdims=True))
+        p = e / e.sum(1, keepdims=True)
+        onehot = np.eye(4, dtype=np.float32)[labels]
+        assert np.allclose(grad, (p - onehot) / 3, atol=1e-5)
+
+    def test_gradient_rows_sum_to_zero(self, ctx1, rng):
+        loss_fn = SoftmaxCrossEntropy(ctx1)
+        loss_fn.forward(_v(rng.normal(size=(5, 7))), _v([0] * 5, np.int64))
+        grad = loss_fn.backward().numpy()
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_normalizer_scales_gradient(self, ctx1, rng):
+        logits = rng.normal(size=(2, 3)).astype(np.float32)
+        labels = np.array([0, 1], dtype=np.int64)
+        f1 = SoftmaxCrossEntropy(ctx1)
+        f1.forward(_v(logits), _v(labels, np.int64))
+        g1 = f1.backward().numpy()
+        f2 = SoftmaxCrossEntropy(ctx1, normalizer=8)
+        f2.forward(_v(logits), _v(labels, np.int64))
+        g2 = f2.backward().numpy()
+        assert np.allclose(g1 * 2 / 8, g2, atol=1e-6)
+
+    def test_shard_losses_sum_to_global(self, ctx1, rng):
+        """The Fig. 7 exactness mechanism: shard losses with a global
+        normalizer sum to the full-batch loss."""
+        logits = rng.normal(size=(8, 5)).astype(np.float32)
+        labels = rng.integers(0, 5, size=8).astype(np.int64)
+        full = SoftmaxCrossEntropy(ctx1)
+        full_loss = float(full.forward(_v(logits), _v(labels, np.int64)).numpy())
+        full.backward()
+        shard_sum = 0.0
+        for lo in range(0, 8, 4):
+            f = SoftmaxCrossEntropy(ctx1, normalizer=8)
+            shard_sum += float(
+                f.forward(_v(logits[lo:lo + 4]),
+                          _v(labels[lo:lo + 4], np.int64)).numpy()
+            )
+            f.backward()
+        assert shard_sum == pytest.approx(full_loss, rel=1e-5)
+
+    def test_label_out_of_range(self, ctx1):
+        loss_fn = SoftmaxCrossEntropy(ctx1)
+        with pytest.raises(ShapeError, match="out of range"):
+            loss_fn.forward(_v(np.zeros((1, 3))), _v([5], np.int64))
+
+    def test_shape_validation(self, ctx1):
+        loss_fn = SoftmaxCrossEntropy(ctx1)
+        with pytest.raises(ShapeError):
+            loss_fn.forward(VArray.symbolic((2, 3, 4)), _v([0, 1], np.int64))
+        with pytest.raises(ShapeError):
+            loss_fn.forward(VArray.symbolic((2, 3)), _v([0], np.int64))
+
+    def test_backward_before_forward(self, ctx1):
+        with pytest.raises(ShapeError):
+            SoftmaxCrossEntropy(ctx1).backward()
+
+    def test_correct_count(self, ctx1):
+        logits = np.array([[1, 0], [0, 1], [1, 0]], dtype=np.float32)
+        labels = np.array([0, 1, 1], dtype=np.int64)
+        n = SoftmaxCrossEntropy.correct_count(_v(logits), _v(labels, np.int64))
+        assert n == 2
+
+    def test_symbolic_mode(self):
+        from tests.conftest import run_spmd
+
+        def prog(ctx):
+            f = SoftmaxCrossEntropy(ctx)
+            loss = f.forward(VArray.symbolic((4, 3)),
+                             VArray.symbolic((4,), np.int64))
+            grad = f.backward()
+            return loss.is_symbolic and grad.shape == (4, 3)
+
+        assert run_spmd(1, prog, mode="symbolic") == [True]
+
+
+class TestMeanSquaredError:
+    def test_zero_for_equal(self, ctx1, rng):
+        x = rng.normal(size=(3, 3)).astype(np.float32)
+        f = MeanSquaredError(ctx1)
+        assert float(f.forward(_v(x), _v(x)).numpy()) == 0.0
+        f.backward()
+
+    def test_value_and_grad(self, ctx1):
+        pred = _v([[2.0, 0.0]])
+        target = _v([[0.0, 0.0]])
+        f = MeanSquaredError(ctx1)
+        loss = float(f.forward(pred, target).numpy())
+        assert loss == pytest.approx(0.5 * 4 / 2)
+        grad = f.backward().numpy()
+        assert np.allclose(grad, [[1.0, 0.0]])
+
+    def test_shape_mismatch(self, ctx1):
+        f = MeanSquaredError(ctx1)
+        with pytest.raises(ShapeError):
+            f.forward(VArray.symbolic((2,)), VArray.symbolic((3,)))

@@ -1,0 +1,120 @@
+"""Tests for the Module base class and Sequential container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Sequential
+from repro.varray import ops
+from repro.varray.varray import VArray
+
+
+class Doubler(Module):
+    def forward(self, x):
+        self.save_for_backward(x)
+        return ops.scale(self.ctx, x, 2.0)
+
+    def backward(self, dy):
+        self.saved()
+        return ops.scale(self.ctx, dy, 2.0)
+
+
+def _x(val=1.0, shape=(2, 3)):
+    return VArray.from_numpy(np.full(shape, val, dtype=np.float32))
+
+
+class TestRegistration:
+    def test_add_param_registers(self, ctx1):
+        m = Module(ctx1)
+        p = m.add_param("w", VArray.zeros((2, 2)))
+        assert dict(m.parameters())["w"] is p
+
+    def test_duplicate_param_rejected(self, ctx1):
+        m = Module(ctx1)
+        m.add_param("w", VArray.zeros((1,)))
+        with pytest.raises(SimulationError):
+            m.add_param("w", VArray.zeros((1,)))
+
+    def test_duplicate_child_rejected(self, ctx1):
+        m = Module(ctx1)
+        m.add_module("c", Doubler(ctx1))
+        with pytest.raises(SimulationError):
+            m.add_module("c", Doubler(ctx1))
+
+    def test_qualified_names(self, ctx1):
+        outer = Module(ctx1)
+        inner = outer.add_module("inner", Linear(ctx1, 2, 3))
+        names = [n for n, _ in outer.parameters()]
+        assert "inner.w" in names and "inner.b" in names
+
+    def test_num_parameters(self, ctx1):
+        lin = Linear(ctx1, 2, 3)
+        assert lin.num_parameters() == 2 * 3 + 3
+
+    def test_zero_grad_recursive(self, ctx1):
+        lin = Linear(ctx1, 2, 2)
+        y = lin.forward(_x(shape=(1, 2)))
+        lin.backward(VArray.from_numpy(np.ones((1, 2), dtype=np.float32)))
+        assert lin.w.grad is not None
+        lin.zero_grad()
+        assert lin.w.grad is None
+
+
+class TestTrainEval:
+    def test_train_flag_propagates(self, ctx1):
+        seq = Sequential(ctx1, Doubler(ctx1), Doubler(ctx1))
+        seq.eval()
+        assert not seq.steps[0].training
+        seq.train()
+        assert seq.steps[1].training
+
+
+class TestSaveForBackward:
+    def test_reentrancy_guard(self, ctx1):
+        d = Doubler(ctx1)
+        d.forward(_x())
+        with pytest.raises(SimulationError, match="before backward"):
+            d.forward(_x())
+
+    def test_backward_without_forward(self, ctx1):
+        with pytest.raises(SimulationError, match="without a matching forward"):
+            Doubler(ctx1).backward(_x())
+
+    def test_activation_memory_accounting(self, ctx1):
+        d = Doubler(ctx1)
+        before = ctx1.mem.current("activations")
+        d.forward(_x())
+        held = ctx1.mem.current("activations") - before
+        assert held == _x().nbytes
+        d.backward(_x())
+        assert ctx1.mem.current("activations") == before
+
+    def test_abstract_interface(self, ctx1):
+        with pytest.raises(NotImplementedError):
+            Module(ctx1).forward(_x())
+        with pytest.raises(NotImplementedError):
+            Module(ctx1).backward(_x())
+
+
+class TestSequential:
+    def test_forward_chains(self, ctx1):
+        seq = Sequential(ctx1, Doubler(ctx1), Doubler(ctx1))
+        out = seq.forward(_x(1.0))
+        assert float(out.numpy()[0, 0]) == 4.0
+
+    def test_backward_reverses(self, ctx1):
+        seq = Sequential(ctx1, Doubler(ctx1), Doubler(ctx1))
+        seq.forward(_x())
+        dx = seq.backward(_x(1.0))
+        assert float(dx.numpy()[0, 0]) == 4.0
+
+    def test_append(self, ctx1):
+        seq = Sequential(ctx1)
+        seq.append(Doubler(ctx1))
+        assert len(seq) == 1
+
+    def test_call_dunder(self, ctx1):
+        seq = Sequential(ctx1, Doubler(ctx1))
+        assert float(seq(_x(3.0)).numpy()[0, 0]) == 6.0
+        seq.backward(_x())

@@ -1,0 +1,81 @@
+"""Tests for serial LayerNorm (Eq. 13/14)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.normalization import LayerNorm
+from repro.varray.varray import VArray
+
+
+class TestForward:
+    def test_normalizes_last_axis(self, ctx1, rng):
+        ln = LayerNorm(ctx1, 16)
+        x = rng.normal(loc=3.0, scale=2.0, size=(4, 16)).astype(np.float32)
+        y = ln.forward(VArray.from_numpy(x)).numpy()
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(y.std(axis=-1), 1.0, atol=1e-2)
+        ln.backward(VArray.from_numpy(np.zeros_like(x)))
+
+    def test_affine_params_applied(self, ctx1, rng):
+        ln = LayerNorm(ctx1, 4)
+        ln.g.assign(VArray.from_numpy(np.full(4, 2.0, dtype=np.float32)))
+        ln.b.assign(VArray.from_numpy(np.full(4, 1.0, dtype=np.float32)))
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        y = ln.forward(VArray.from_numpy(x)).numpy()
+        mean = x.mean(-1, keepdims=True)
+        var = x.var(-1, keepdims=True)
+        expect = 2.0 * (x - mean) / np.sqrt(var + 1e-5) + 1.0
+        assert np.allclose(y, expect, atol=1e-4)
+        ln.backward(VArray.from_numpy(np.zeros_like(x)))
+
+    def test_3d_input(self, ctx1, rng):
+        ln = LayerNorm(ctx1, 8)
+        x = rng.normal(size=(2, 3, 8)).astype(np.float32)
+        y = ln.forward(VArray.from_numpy(x))
+        assert y.shape == (2, 3, 8)
+        ln.backward(VArray.from_numpy(np.zeros_like(x)))
+
+
+class TestBackward:
+    def test_dx_matches_finite_difference(self, ctx1, rng):
+        dim = 6
+        x = rng.normal(size=(2, dim)).astype(np.float64).astype(np.float32)
+        dy = rng.normal(size=(2, dim)).astype(np.float32)
+
+        def forward(x_np):
+            ln = LayerNorm(ctx1, dim)
+            out = ln.forward(VArray.from_numpy(x_np.astype(np.float32)))
+            ln.backward(VArray.from_numpy(np.zeros_like(x_np, dtype=np.float32)))
+            return out.numpy()
+
+        ln = LayerNorm(ctx1, dim)
+        ln.forward(VArray.from_numpy(x))
+        dx = ln.backward(VArray.from_numpy(dy)).numpy()
+        eps = 1e-3
+        for idx in [(0, 0), (1, 3), (0, 5)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            num = ((forward(xp) - forward(xm)) * dy).sum() / (2 * eps)
+            assert abs(num - dx[idx]) < 2e-2, (idx, num, dx[idx])
+
+    def test_param_grads(self, ctx1, rng):
+        ln = LayerNorm(ctx1, 4)
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        dy = rng.normal(size=(3, 4)).astype(np.float32)
+        ln.forward(VArray.from_numpy(x))
+        ln.backward(VArray.from_numpy(dy))
+        mean = x.mean(-1, keepdims=True)
+        xhat = (x - mean) / np.sqrt(x.var(-1, keepdims=True) + 1e-5)
+        assert np.allclose(ln.g.grad.numpy(), (dy * xhat).sum(0), atol=1e-3)
+        assert np.allclose(ln.b.grad.numpy(), dy.sum(0), atol=1e-4)
+
+    def test_dx_orthogonal_to_constants(self, ctx1, rng):
+        """LayerNorm output is invariant to constant input shifts, so dx
+        must sum to ~0 along the normalized axis when g is all-ones."""
+        ln = LayerNorm(ctx1, 8)
+        x = rng.normal(size=(4, 8)).astype(np.float32)
+        dy = rng.normal(size=(4, 8)).astype(np.float32)
+        ln.forward(VArray.from_numpy(x))
+        dx = ln.backward(VArray.from_numpy(dy)).numpy()
+        assert np.allclose(dx.sum(axis=-1), 0.0, atol=1e-3)

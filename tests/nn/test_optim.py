@@ -1,0 +1,166 @@
+"""Tests for SGD / Adam / LAMB and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam, LAMB, ConstantLR, CosineWithWarmup, StepDecay
+from repro.nn.parameter import Parameter
+from repro.varray.varray import VArray
+
+
+def _param(ctx, value):
+    return Parameter(ctx, "p", VArray.from_numpy(
+        np.asarray(value, dtype=np.float32)))
+
+
+def _set_grad(p, grad):
+    p.zero_grad()
+    p.accumulate(VArray.from_numpy(np.asarray(grad, dtype=np.float32)))
+
+
+class TestSGD:
+    def test_plain_step(self, ctx1):
+        p = _param(ctx1, [1.0, 2.0])
+        _set_grad(p, [0.5, 0.5])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.value.numpy(), [0.95, 1.95])
+
+    def test_momentum_accumulates(self, ctx1):
+        p = _param(ctx1, [0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        _set_grad(p, [1.0])
+        opt.step()
+        assert np.allclose(p.value.numpy(), [-1.0])
+        _set_grad(p, [1.0])
+        opt.step()  # buffer = 0.9*1 + 1 = 1.9
+        assert np.allclose(p.value.numpy(), [-2.9])
+
+    def test_weight_decay(self, ctx1):
+        p = _param(ctx1, [1.0])
+        _set_grad(p, [0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert np.allclose(p.value.numpy(), [1.0 - 0.1 * 0.5])
+
+    def test_skips_params_without_grad(self, ctx1):
+        p = _param(ctx1, [1.0])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.value.numpy(), [1.0])
+
+    def test_invalid_hyperparams(self, ctx1):
+        p = _param(ctx1, [1.0])
+        with pytest.raises(Exception):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(Exception):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self, ctx1):
+        # With bias correction, |step 1| == lr for any gradient scale.
+        p = _param(ctx1, [0.0])
+        _set_grad(p, [123.0])
+        Adam([p], lr=0.01).step()
+        assert abs(float(p.value.numpy()[0])) == pytest.approx(0.01, rel=1e-3)
+
+    def test_descends_quadratic(self, ctx1):
+        p = _param(ctx1, [5.0])
+        opt = Adam([p], lr=0.5)
+        for _ in range(100):
+            _set_grad(p, [2.0 * float(p.value.numpy()[0])])
+            opt.step()
+        assert abs(float(p.value.numpy()[0])) < 0.5
+
+    def test_decoupled_weight_decay(self, ctx1):
+        p = _param(ctx1, [1.0])
+        _set_grad(p, [0.0])
+        Adam([p], lr=0.1, weight_decay=0.3).step()
+        assert np.allclose(p.value.numpy(), [1.0 - 0.1 * 0.3], atol=1e-6)
+
+    def test_moments_are_per_parameter(self, ctx1):
+        p1, p2 = _param(ctx1, [0.0]), _param(ctx1, [0.0])
+        opt = Adam([p1, p2], lr=0.1)
+        _set_grad(p1, [1.0])
+        _set_grad(p2, [-1.0])
+        opt.step()
+        assert float(p1.value.numpy()[0]) < 0 < float(p2.value.numpy()[0])
+
+    def test_invalid_betas(self, ctx1):
+        with pytest.raises(ValueError):
+            Adam([_param(ctx1, [0.0])], lr=0.1, betas=(1.0, 0.9))
+
+    def test_optimizer_memory_tracked(self, ctx1):
+        before = ctx1.mem.current("optimizer")
+        p = _param(ctx1, np.zeros(100))
+        _set_grad(p, np.ones(100))
+        Adam([p], lr=0.1).step()
+        assert ctx1.mem.current("optimizer") - before == 2 * p.value.nbytes
+
+
+class TestLAMB:
+    def test_trust_ratio_bounds_step(self, ctx1):
+        p = _param(ctx1, [1.0, 1.0])
+        _set_grad(p, [100.0, 100.0])
+        LAMB([p], lr=0.1, weight_decay=0.0).step()
+        # Step norm == lr * trust * |direction|; trust = |w|/|dir| so the
+        # actual step magnitude is lr * |w| regardless of gradient scale.
+        step = 1.0 - p.value.numpy()
+        assert np.linalg.norm(step) == pytest.approx(
+            0.1 * np.sqrt(2), rel=1e-2
+        )
+
+    def test_zero_weights_fall_back_to_unit_trust(self, ctx1):
+        p = _param(ctx1, [0.0])
+        _set_grad(p, [1.0])
+        LAMB([p], lr=0.1, weight_decay=0.0).step()
+        assert float(p.value.numpy()[0]) != 0.0
+
+    def test_descends(self, ctx1):
+        p = _param(ctx1, [4.0])
+        opt = LAMB([p], lr=0.05, weight_decay=0.0)
+        for _ in range(200):
+            _set_grad(p, [2.0 * float(p.value.numpy()[0])])
+            opt.step()
+        assert abs(float(p.value.numpy()[0])) < 1.0
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantLR(0.1)
+        assert s(1) == s(1000) == 0.1
+
+    def test_warmup_ramps_linearly(self):
+        s = CosineWithWarmup(peak_lr=1.0, warmup_steps=10, total_steps=100)
+        assert s(5) == pytest.approx(0.5)
+        assert s(10) == pytest.approx(1.0)
+
+    def test_cosine_decays_to_min(self):
+        s = CosineWithWarmup(peak_lr=1.0, warmup_steps=0, total_steps=100,
+                             min_lr=0.1)
+        assert s(100) == pytest.approx(0.1)
+        assert s(50) == pytest.approx(0.55, abs=1e-6)
+
+    def test_clamped_beyond_total(self):
+        s = CosineWithWarmup(peak_lr=1.0, warmup_steps=0, total_steps=10)
+        assert s(50) == pytest.approx(0.0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CosineWithWarmup(peak_lr=1.0, warmup_steps=10, total_steps=10)
+
+    def test_step_decay(self):
+        s = StepDecay(base_lr=1.0, every=10, gamma=0.1)
+        assert s(1) == 1.0
+        assert s(10) == 1.0
+        assert s(11) == pytest.approx(0.1)
+        assert s(21) == pytest.approx(0.01)
+
+    def test_schedule_drives_optimizer(self, ctx1):
+        p = _param(ctx1, [0.0])
+        opt = SGD([p], lr=1.0)
+        sched = StepDecay(base_lr=0.5, every=1, gamma=0.5)
+        opt.set_lr(sched(1))
+        assert opt.lr == 0.5

@@ -1,0 +1,142 @@
+"""Tests for model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.grid.context import ParallelContext
+from repro.nn.linear import Linear
+from repro.nn.module import Sequential
+from repro.nn.serialize import (
+    load_checkpoint,
+    load_state_dict,
+    save_checkpoint,
+    state_dict,
+)
+from repro.parallel.serial import SerialTransformerLayer
+from repro.parallel.tesseract.layers import TesseractLinear
+from repro.sim.engine import Engine
+from repro.varray.varray import VArray
+
+from tests.conftest import run_spmd
+
+
+class TestStateDict:
+    def test_names_and_values(self, ctx1):
+        model = Sequential(ctx1, Linear(ctx1, 2, 3, init_tags=("sd",)))
+        state = state_dict(model)
+        assert set(state) == {"0.w", "0.b"}
+        assert state["0.w"].shape == (2, 3)
+
+    def test_copies_not_views(self, ctx1):
+        lin = Linear(ctx1, 2, 2, init_tags=("cp",))
+        state = state_dict(lin)
+        state["w"][0, 0] = 999.0
+        assert lin.w.value.numpy()[0, 0] != 999.0
+
+    def test_roundtrip(self, ctx1, rng):
+        src = Linear(ctx1, 3, 3, init_tags=("a",))
+        dst = Linear(ctx1, 3, 3, init_tags=("b",))
+        load_state_dict(dst, state_dict(src))
+        assert np.array_equal(dst.w.value.numpy(), src.w.value.numpy())
+
+    def test_strict_missing(self, ctx1):
+        lin = Linear(ctx1, 2, 2)
+        with pytest.raises(ShapeError, match="missing"):
+            load_state_dict(lin, {})
+
+    def test_strict_unexpected(self, ctx1):
+        lin = Linear(ctx1, 2, 2)
+        state = state_dict(lin)
+        state["extra"] = np.zeros(1)
+        with pytest.raises(ShapeError, match="unexpected"):
+            load_state_dict(lin, state)
+
+    def test_non_strict_partial(self, ctx1):
+        lin = Linear(ctx1, 2, 2, init_tags=("p",))
+        missing = load_state_dict(lin, {}, strict=False)
+        assert set(missing) == {"w", "b"}
+
+    def test_shape_mismatch_always_raises(self, ctx1):
+        lin = Linear(ctx1, 2, 2)
+        state = state_dict(lin)
+        state["w"] = np.zeros((3, 3))
+        with pytest.raises(ShapeError, match="does not match"):
+            load_state_dict(lin, state, strict=False)
+
+
+class TestCheckpointFiles:
+    def test_roundtrip_with_metadata(self, ctx1, tmp_path):
+        model = SerialTransformerLayer(ctx1, 8, 2, init_tags=("ck",))
+        path = save_checkpoint(model, tmp_path / "m.npz",
+                               metadata={"step": 7})
+        fresh = SerialTransformerLayer(ctx1, 8, 2, init_tags=("other",))
+        meta = load_checkpoint(fresh, path)
+        assert meta["step"] == 7
+        ref = state_dict(model)
+        for name, arr in state_dict(fresh).items():
+            assert np.array_equal(arr, ref[name]), name
+
+    def test_metadata_guard(self, ctx1, tmp_path):
+        lin = Linear(ctx1, 2, 2)
+        path = save_checkpoint(lin, tmp_path / "s.npz",
+                               metadata={"coords": [0, 1, 0]})
+        with pytest.raises(ShapeError, match="metadata mismatch"):
+            load_checkpoint(lin, path, expect_metadata={"coords": [1, 1, 0]})
+
+    def test_foreign_npz_rejected(self, ctx1, tmp_path):
+        p = tmp_path / "foreign.npz"
+        np.savez(p, a=np.zeros(3))
+        lin = Linear(ctx1, 2, 2)
+        with pytest.raises(ShapeError, match="not a repro checkpoint"):
+            load_checkpoint(lin, p)
+
+
+class TestParallelCheckpoints:
+    def test_per_rank_shards_roundtrip(self, tmp_path):
+        """Each rank saves its shard with coords metadata; reload verifies."""
+
+        def save(ctx):
+            pc = ParallelContext.tesseract(ctx, q=2, d=1)
+            lin = TesseractLinear(pc, 8, 8, init_tags=("pck",))
+            path = tmp_path / f"rank{ctx.rank}.npz"
+            save_checkpoint(lin, path,
+                            metadata={"coords": [pc.i, pc.j, pc.k]})
+            return str(path), lin.w.value.numpy()
+
+        saved = Engine(nranks=4).run(save)
+
+        def load(ctx):
+            pc = ParallelContext.tesseract(ctx, q=2, d=1)
+            lin = TesseractLinear(pc, 8, 8, init_tags=("different",))
+            path, original = saved[ctx.rank]
+            load_checkpoint(lin, path,
+                            expect_metadata={"coords": [pc.i, pc.j, pc.k]})
+            return np.array_equal(lin.w.value.numpy(), original)
+
+        assert all(Engine(nranks=4).run(load))
+
+    def test_wrong_rank_shard_refused(self, tmp_path):
+        def save(ctx):
+            pc = ParallelContext.tesseract(ctx, q=2, d=1)
+            lin = TesseractLinear(pc, 8, 8, init_tags=("wr",))
+            path = tmp_path / f"r{ctx.rank}.npz"
+            save_checkpoint(lin, path,
+                            metadata={"coords": [pc.i, pc.j, pc.k]})
+            return str(path)
+
+        paths = Engine(nranks=4).run(save)
+
+        def load(ctx):
+            pc = ParallelContext.tesseract(ctx, q=2, d=1)
+            lin = TesseractLinear(pc, 8, 8)
+            # Deliberately load rank (rank+1)'s shard: coords mismatch.
+            wrong = paths[(ctx.rank + 1) % 4]
+            try:
+                load_checkpoint(lin, wrong,
+                                expect_metadata={"coords": [pc.i, pc.j, pc.k]})
+                return False
+            except ShapeError:
+                return True
+
+        assert all(Engine(nranks=4).run(load))

@@ -1,0 +1,85 @@
+"""Tests for shared sharding helpers."""
+
+import numpy as np
+import pytest
+
+from repro.grid.context import ParallelContext
+from repro.parallel.common import (
+    allreduce_col_depth,
+    block_2d,
+    col_shard,
+    fused_block_2d,
+    fused_col_shard,
+    gather_a_layout,
+    global_scalar_sum,
+    row_shard,
+)
+from repro.pblas.layouts import split_a
+from repro.sim.engine import Engine
+from repro.varray.varray import VArray
+
+from tests.conftest import run_spmd
+
+
+class TestShardSlicing:
+    def test_block_2d(self):
+        w = np.arange(16, dtype=np.float32).reshape(4, 4)
+        assert np.array_equal(block_2d(w, 2, 1, 0), w[2:4, 0:2])
+
+    def test_col_row_shard(self):
+        w = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert np.array_equal(col_shard(w, 2, 1), w[:, 2:])
+        assert np.array_equal(row_shard(w.T, 2, 0), w.T[:2])
+
+    def test_fused_block_2d(self):
+        a = np.ones((4, 4), dtype=np.float32)
+        b = 2 * np.ones((4, 4), dtype=np.float32)
+        blk = fused_block_2d((a, b), 2, 0, 0)
+        assert blk.shape == (2, 4)
+        assert np.array_equal(blk[:, :2], np.ones((2, 2)))
+        assert np.array_equal(blk[:, 2:], 2 * np.ones((2, 2)))
+
+    def test_fused_col_shard(self):
+        a = np.ones((2, 4), dtype=np.float32)
+        b = 3 * np.ones((2, 4), dtype=np.float32)
+        shard = fused_col_shard((a, b), 2, 1)
+        assert shard.shape == (2, 4)
+        assert np.array_equal(shard[:, :2], np.ones((2, 2)))
+        assert np.array_equal(shard[:, 2:], 3 * np.ones((2, 2)))
+
+
+class TestGradSyncs:
+    def test_allreduce_col_depth_sums_over_batch_shards(self):
+        q, d = 2, 2
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            v = VArray.from_numpy(
+                np.array([float(pc.block_row)], dtype=np.float32))
+            out = allreduce_col_depth(pc, v)
+            return float(out.numpy()[0])
+
+        # Sum over (i, k) of block_row h = i + k*q = 0+1+2+3 = 6.
+        assert run_spmd(q * q * d, prog) == [6.0] * (q * q * d)
+
+    def test_global_scalar_sum_matches(self):
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=2, d=1)
+            v = VArray.from_numpy(np.array([1.0], dtype=np.float32))
+            return float(global_scalar_sum(pc, v).numpy()[0])
+
+        # Sum over the q column entries (batch shards) only.
+        assert run_spmd(4, prog) == [2.0] * 4
+
+    def test_gather_a_layout_rebuilds_global(self, rng):
+        q, d = 2, 2
+        x = rng.normal(size=(8, 3, 8)).astype(np.float32)
+        blocks = split_a(x, q, d)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            local = VArray.from_numpy(blocks[(pc.i, pc.j, pc.k)])
+            out = gather_a_layout(pc, local)
+            return np.array_equal(out.numpy(), x)
+
+        assert all(run_spmd(q * q * d, prog))

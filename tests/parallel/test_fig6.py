@@ -1,0 +1,138 @@
+"""Integration test: the paper's Fig. 6 composition on 32 simulated GPUs.
+
+data-parallel size 2 x pipeline size 2 x Tesseract [2,2,2] = 32 GPUs,
+exactly the figure's layout.  A two-layer transformer is split one layer
+per pipeline stage; each stage is Tesseract-sharded; each DP replica sees
+half the global batch in two microbatches.  The composed system's
+parameter gradients must equal the serial model's on the full batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.grid.context import GridLayout, ParallelContext
+from repro.grid.shapes import TesseractShape
+from repro.parallel.dp import dp_batch_slice, sync_gradients
+from repro.parallel.pipeline import PipelineStage
+from repro.parallel.serial import SerialTransformerLayer
+from repro.parallel.tesseract.layers import (
+    TesseractTransformerLayer,
+    local_block_a,
+)
+from repro.nn.module import Sequential
+from repro.sim.engine import Engine
+from repro.varray.varray import VArray
+
+Q, D, DP, PP = 2, 2, 2, 2
+WORLD = DP * PP * Q * Q * D  # 32, as in Fig. 6
+H, NH, S = 16, 4, 3
+GLOBAL_BATCH = 16
+MICRO = 2
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=(GLOBAL_BATCH, S, H)).astype(np.float32)
+    dy = rng.normal(size=(GLOBAL_BATCH, S, H)).astype(np.float32)
+    return x, dy
+
+
+@pytest.fixture(scope="module")
+def serial_grads(data):
+    x, dy = data
+
+    def prog(ctx):
+        model = Sequential(
+            ctx,
+            SerialTransformerLayer(ctx, H, NH, init_tags=("fig6", 0)),
+            SerialTransformerLayer(ctx, H, NH, init_tags=("fig6", 1)),
+        )
+        model.forward(VArray.from_numpy(x))
+        model.backward(VArray.from_numpy(dy))
+        return {n: p.grad.numpy() for n, p in model.parameters()}
+
+    return Engine(nranks=1).run(prog)[0]
+
+
+@pytest.fixture(scope="module")
+def composed_run(data):
+    x, dy = data
+
+    def prog(ctx):
+        layout = GridLayout(TesseractShape(q=Q, d=D), dp_size=DP, pp_size=PP)
+        pc = ParallelContext(ctx, layout)
+        layer = TesseractTransformerLayer(
+            pc, H, NH, init_tags=("fig6", pc.pp_idx)
+        )
+        stage = PipelineStage(
+            ctx, layer,
+            prev_rank=pc.pipeline_neighbor(-1),
+            next_rank=pc.pipeline_neighbor(+1),
+        )
+        lo, hi = dp_batch_slice(pc, GLOBAL_BATCH)
+        x_rep, dy_rep = x[lo:hi], dy[lo:hi]
+        rows = x_rep.shape[0] // MICRO
+
+        if stage.is_first:
+            micro = [
+                VArray.from_numpy(
+                    local_block_a(pc, x_rep[m * rows:(m + 1) * rows])
+                )
+                for m in range(MICRO)
+            ]
+            stage.run_step(micro)
+        else:
+            def loss_grad(y, m):
+                block = local_block_a(pc, dy_rep[m * rows:(m + 1) * rows])
+                return 0.0, VArray.from_numpy(block)
+
+            stage.run_step(MICRO, loss_grad_fn=loss_grad)
+        synced = sync_gradients(pc, layer)
+        return (
+            (pc.dp_idx, pc.pp_idx, pc.i, pc.j, pc.k),
+            {n: p.grad.numpy() for n, p in layer.parameters()},
+            synced,
+        )
+
+    return Engine(nranks=WORLD).run(prog)
+
+
+class TestFig6Composition:
+    def test_world_size_matches_figure(self):
+        layout = GridLayout(TesseractShape(q=Q, d=D), dp_size=DP, pp_size=PP)
+        assert layout.world_size == 32  # the paper's Fig. 6 arithmetic
+
+    def test_gradients_synced_across_dp(self, composed_run):
+        assert all(synced > 0 for _, _, synced in composed_run)
+        by_key = {key: grads for key, grads, _ in composed_run}
+        for (dp, pp, i, j, k), grads in by_key.items():
+            twin = by_key[(1 - dp, pp, i, j, k)]
+            for name, g in grads.items():
+                assert np.allclose(g, twin[name], atol=1e-6), name
+
+    def test_weight_gradients_match_serial(self, composed_run, serial_grads):
+        """The composed dp x pp x tesseract step reproduces the serial
+        full-batch gradients block by block."""
+        for (dp, pp, i, j, k), grads, _ in composed_run:
+            serial_prefix = f"{pp}."  # stage pp holds serial layer pp
+            # Check the two biggest weights of the layer.
+            for local_name, serial_name, shape0, shape1 in [
+                ("mlp.fc1.w", "mlp.fc1.w", H, 4 * H),
+                ("attn.proj.w", "attn.proj.w", H, H),
+            ]:
+                g = grads[local_name]
+                ref = serial_grads[serial_prefix + serial_name]
+                r0, r1 = shape0 // Q, shape1 // Q
+                expect = ref[i * r0:(i + 1) * r0, j * r1:(j + 1) * r1]
+                assert np.allclose(g, expect, atol=2e-4), (
+                    dp, pp, i, j, k, local_name
+                )
+
+    def test_layernorm_gradients_match_serial(self, composed_run,
+                                              serial_grads):
+        for (dp, pp, i, j, k), grads, _ in composed_run:
+            ref = serial_grads[f"{pp}.ln1.g"]
+            cols = H // Q
+            expect = ref[j * cols:(j + 1) * cols]
+            assert np.allclose(grads["ln1.g"], expect, atol=2e-4)

@@ -1,0 +1,75 @@
+"""Tests for Cannon's algorithm (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.grid.context import ParallelContext
+from repro.pblas import layouts
+from repro.pblas.cannon import cannon_ab
+from repro.varray.varray import VArray
+
+from tests.conftest import run_spmd, run_spmd_engine
+
+
+@pytest.mark.parametrize("q", [1, 2, 3, 4, 5])
+class TestCannonCorrectness:
+    def test_matches_numpy(self, q, rng):
+        a = rng.normal(size=(q * 2, q * 3)).astype(np.float32)
+        b = rng.normal(size=(q * 3, q * 2)).astype(np.float32)
+        A, B = layouts.split_2d(a, q), layouts.split_2d(b, q)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=1)
+            c = cannon_ab(pc, VArray.from_numpy(A[(pc.i, pc.j)]),
+                          VArray.from_numpy(B[(pc.i, pc.j)]))
+            return (pc.i, pc.j), c.numpy()
+
+        res = dict(run_spmd(q * q, prog))
+        assert np.allclose(layouts.combine_2d(res, q), a @ b, atol=1e-4)
+
+
+class TestCannonProperties:
+    def test_rejects_3d_blocks(self):
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=1, d=1)
+            cannon_ab(pc, VArray.symbolic((2, 3, 4)), VArray.symbolic((4, 5)))
+
+        with pytest.raises(ShapeError):
+            run_spmd(1, prog)
+
+    def test_message_count_matches_paper_formula(self):
+        """§3.1: Cannon needs 2p^{3/2} - 2p^{1/2} transfers (p = q^2)."""
+        q = 3
+        p = q * q
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=1)
+            cannon_ab(pc, VArray.symbolic((q, q)), VArray.symbolic((q, q)))
+
+        engine, _ = run_spmd_engine(p, prog, mode="symbolic")
+        sends = [e for e in engine.trace.comm_events() if e.kind == "send"]
+        expected = 2 * p**1.5 - 2 * p**0.5
+        assert len(sends) == int(expected)
+
+    def test_single_rank_no_messages(self):
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=1, d=1)
+            cannon_ab(pc, VArray.symbolic((2, 2)), VArray.symbolic((2, 2)))
+
+        engine, _ = run_spmd_engine(1, prog, mode="symbolic")
+        assert not engine.trace.comm_events()
+
+    def test_deterministic_across_runs(self, rng):
+        q = 2
+        a = rng.normal(size=(4, 4)).astype(np.float32)
+        b = rng.normal(size=(4, 4)).astype(np.float32)
+        A, B = layouts.split_2d(a, q), layouts.split_2d(b, q)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=1)
+            c = cannon_ab(pc, VArray.from_numpy(A[(pc.i, pc.j)]),
+                          VArray.from_numpy(B[(pc.i, pc.j)]))
+            return c.numpy().tobytes()
+
+        assert run_spmd(4, prog) == run_spmd(4, prog)

@@ -1,0 +1,106 @@
+"""Tests for Fig. 4 block partitioning / reassembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.pblas import layouts
+
+
+class TestSplitA:
+    def test_block_shapes(self, rng):
+        a = rng.normal(size=(12, 6)).astype(np.float32)
+        blocks = layouts.split_a(a, q=2, d=3)
+        assert len(blocks) == 12
+        assert blocks[(0, 0, 0)].shape == (2, 3)
+
+    def test_block_row_mapping(self, rng):
+        """Rank (i, j, k) holds block row h = i + k*q (Alg. 3)."""
+        a = np.arange(8 * 2, dtype=np.float32).reshape(8, 2)
+        blocks = layouts.split_a(a, q=2, d=2)
+        # (i=1, k=1) -> h = 3 -> rows 6:8
+        assert np.array_equal(blocks[(1, 0, 1)], a[6:8, 0:1])
+
+    def test_roundtrip_with_combine_c(self, rng):
+        a = rng.normal(size=(24, 8)).astype(np.float32)
+        blocks = layouts.split_a(a, q=2, d=3)
+        assert np.array_equal(layouts.combine_c(blocks, 2, 3), a)
+
+    def test_3d_activations(self, rng):
+        x = rng.normal(size=(8, 5, 6)).astype(np.float32)
+        blocks = layouts.split_a(x, q=2, d=2)
+        assert blocks[(0, 0, 0)].shape == (2, 5, 3)
+        assert np.array_equal(layouts.combine_c(blocks, 2, 2), x)
+
+    def test_indivisible_raises(self, rng):
+        with pytest.raises(ShapeError):
+            layouts.split_a(np.zeros((7, 4)), q=2, d=2)
+        with pytest.raises(ShapeError):
+            layouts.split_a(np.zeros((8, 5)), q=2, d=2)
+
+
+class TestSplitB:
+    def test_replicated_over_depth(self, rng):
+        b = rng.normal(size=(4, 6)).astype(np.float32)
+        blocks = layouts.split_b(b, q=2, d=3)
+        assert len(blocks) == 12
+        for k in range(3):
+            assert np.array_equal(blocks[(1, 0, k)], blocks[(1, 0, 0)])
+
+    def test_block_content(self):
+        b = np.arange(16, dtype=np.float32).reshape(4, 4)
+        blocks = layouts.split_b(b, q=2, d=1)
+        assert np.array_equal(blocks[(0, 1, 0)], b[0:2, 2:4])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ShapeError):
+            layouts.block_b_shape((4, 4, 4), q=2)  # type: ignore[arg-type]
+
+
+class TestCombineC:
+    def test_wrong_block_count(self):
+        with pytest.raises(ShapeError, match="expected"):
+            layouts.combine_c({(0, 0, 0): np.zeros((1, 1))}, q=2, d=1)
+
+    def test_inconsistent_shapes(self):
+        blocks = {
+            (0, 0, 0): np.zeros((2, 2)),
+            (0, 1, 0): np.zeros((2, 3)),
+            (1, 0, 0): np.zeros((2, 2)),
+            (1, 1, 0): np.zeros((2, 2)),
+        }
+        with pytest.raises(ShapeError, match="inconsistent"):
+            layouts.combine_c(blocks, q=2, d=1)
+
+
+class Test2D:
+    def test_roundtrip(self, rng):
+        a = rng.normal(size=(6, 9)).astype(np.float32)
+        assert np.array_equal(layouts.combine_2d(layouts.split_2d(a, 3), 3), a)
+
+    def test_block_count_check(self):
+        with pytest.raises(ShapeError):
+            layouts.combine_2d({(0, 0): np.zeros((1, 1))}, q=2)
+
+
+class Test1D:
+    def test_col_roundtrip(self, rng):
+        a = rng.normal(size=(3, 8)).astype(np.float32)
+        assert np.array_equal(layouts.combine_cols(layouts.split_cols(a, 4)), a)
+
+    def test_row_roundtrip(self, rng):
+        a = rng.normal(size=(8, 3)).astype(np.float32)
+        assert np.array_equal(layouts.combine_rows(layouts.split_rows(a, 2)), a)
+
+    def test_col_shard_content(self):
+        a = np.arange(8, dtype=np.float32).reshape(2, 4)
+        shards = layouts.split_cols(a, 2)
+        assert np.array_equal(shards[1], a[:, 2:])
+
+
+class TestShapeHelpers:
+    def test_block_a_shape(self):
+        assert layouts.block_a_shape((12, 5, 6), q=2, d=3) == (2, 5, 3)
+
+    def test_block_b_shape(self):
+        assert layouts.block_b_shape((4, 6), q=2) == (2, 3)

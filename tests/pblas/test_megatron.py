@@ -1,0 +1,101 @@
+"""Tests for Megatron-LM 1-D sharded matmul primitives."""
+
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.pblas import layouts
+from repro.pblas.megatron import oned_column_linear, oned_row_linear
+from repro.varray.varray import VArray
+
+from tests.conftest import run_spmd, run_spmd_engine
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+class TestColumnLinear:
+    def test_forward_backward(self, p, rng):
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        w = rng.normal(size=(4, 2 * p)).astype(np.float32)
+        dy = rng.normal(size=(3, 2 * p)).astype(np.float32)
+        W = layouts.split_cols(w, p)
+        DY = layouts.split_cols(dy, p)
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(p))
+            y, grads = oned_column_linear(
+                comm, VArray.from_numpy(x), VArray.from_numpy(W[comm.rank]),
+                dy_shard=VArray.from_numpy(DY[comm.rank]),
+            )
+            dx, dw = grads
+            return comm.rank, y.numpy(), dx.numpy(), dw.numpy()
+
+        res = run_spmd(p, prog)
+        y_global = layouts.combine_cols([y for _, y, _, _ in res])
+        assert np.allclose(y_global, x @ w, atol=1e-4)
+        for _, _, dx, _ in res:
+            assert np.allclose(dx, dy @ w.T, atol=1e-4)
+        dw_global = layouts.combine_cols([dw for *_, dw in res])
+        assert np.allclose(dw_global, x.T @ dy, atol=1e-4)
+
+    def test_forward_only(self, p, rng):
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        w = rng.normal(size=(4, p)).astype(np.float32)
+        W = layouts.split_cols(w, p)
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(p))
+            y, grads = oned_column_linear(
+                comm, VArray.from_numpy(x), VArray.from_numpy(W[comm.rank])
+            )
+            return grads is None
+
+        assert all(run_spmd(p, prog))
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+class TestRowLinear:
+    def test_forward_backward(self, p, rng):
+        x = rng.normal(size=(3, 4 * p)).astype(np.float32)
+        w = rng.normal(size=(4 * p, 5)).astype(np.float32)
+        dy = rng.normal(size=(3, 5)).astype(np.float32)
+        X = layouts.split_cols(x, p)
+        W = layouts.split_rows(w, p)
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(p))
+            y, grads = oned_row_linear(
+                comm, VArray.from_numpy(X[comm.rank]),
+                VArray.from_numpy(W[comm.rank]), dy=VArray.from_numpy(dy),
+            )
+            dx, dw = grads
+            return comm.rank, y.numpy(), dx.numpy(), dw.numpy()
+
+        res = run_spmd(p, prog)
+        for _, y, _, _ in res:
+            assert np.allclose(y, x @ w, atol=1e-3)
+        dx_global = layouts.combine_cols([dx for _, _, dx, _ in res])
+        assert np.allclose(dx_global, dy @ w.T, atol=1e-3)
+        dw_global = layouts.combine_rows([dw for *_, dw in res])
+        assert np.allclose(dw_global, x.T @ dy, atol=1e-3)
+
+
+class TestCommunicationPattern:
+    def test_column_forward_is_communication_free(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(4))
+            oned_column_linear(comm, VArray.symbolic((2, 4)),
+                               VArray.symbolic((4, 2)))
+
+        engine, _ = run_spmd_engine(4, prog, mode="symbolic")
+        assert not engine.trace.comm_events()
+
+    def test_row_forward_uses_one_allreduce(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(4))
+            oned_row_linear(comm, VArray.symbolic((2, 2)),
+                            VArray.symbolic((2, 5)))
+
+        engine, _ = run_spmd_engine(4, prog, mode="symbolic")
+        assert engine.trace.message_count() == 1
+        (event,) = engine.trace.comm_events(rank=0)
+        assert event.kind.startswith("all_reduce")

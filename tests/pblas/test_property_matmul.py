@@ -1,0 +1,112 @@
+"""Property-based cross-algorithm agreement.
+
+For random shapes and random grids, Cannon, SUMMA, 2.5-D and Tesseract
+must all equal the numpy product — and therefore each other.  This is the
+paper's §4 validation ("to guarantee outputs are the same") generalized to
+a randomized family of configurations.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.context import ParallelContext
+from repro.pblas import layouts
+from repro.pblas.cannon import cannon_ab
+from repro.pblas.solomonik import solomonik_25d_ab
+from repro.pblas.summa import summa_ab
+from repro.pblas.tesseract import tesseract_ab
+from repro.sim.engine import Engine
+from repro.varray.varray import VArray
+
+
+@st.composite
+def grid_and_dims(draw):
+    q = draw(st.integers(1, 3))
+    d = draw(st.integers(1, q))
+    m = q * d * draw(st.integers(1, 3))
+    k = q * draw(st.integers(1, 3))
+    n = q * draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 2**16))
+    return q, d, m, k, n, seed
+
+
+@settings(max_examples=15, deadline=None)
+@given(grid_and_dims())
+def test_tesseract_equals_numpy(params):
+    q, d, m, k, n, seed = params
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(m, k)).astype(np.float32)
+    b = rng.normal(size=(k, n)).astype(np.float32)
+    A, B = layouts.split_a(a, q, d), layouts.split_b(b, q, d)
+
+    def prog(ctx):
+        pc = ParallelContext.tesseract(ctx, q=q, d=d)
+        c = tesseract_ab(pc, VArray.from_numpy(A[(pc.i, pc.j, pc.k)]),
+                         VArray.from_numpy(B[(pc.i, pc.j, pc.k)]))
+        return (pc.i, pc.j, pc.k), c.numpy()
+
+    res = dict(Engine(nranks=q * q * d).run(prog))
+    assert np.allclose(layouts.combine_c(res, q, d), a @ b, atol=1e-3)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 3), st.integers(0, 2**16))
+def test_summa_equals_cannon(q, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(q * 2, q * 2)).astype(np.float32)
+    b = rng.normal(size=(q * 2, q * 2)).astype(np.float32)
+    A, B = layouts.split_2d(a, q), layouts.split_2d(b, q)
+
+    def prog(ctx):
+        pc = ParallelContext.tesseract(ctx, q=q, d=1)
+        blk_a = VArray.from_numpy(A[(pc.i, pc.j)])
+        blk_b = VArray.from_numpy(B[(pc.i, pc.j)])
+        c1 = summa_ab(pc, blk_a, blk_b)
+        c2 = cannon_ab(pc, blk_a, blk_b)
+        return np.allclose(c1.numpy(), c2.numpy(), atol=1e-4)
+
+    assert all(Engine(nranks=q * q).run(prog))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from([(2, 1), (2, 2), (4, 2)]), st.integers(0, 2**16))
+def test_solomonik_equals_numpy(shape, seed):
+    q, d = shape
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(q * 2, q * 2)).astype(np.float32)
+    b = rng.normal(size=(q * 2, q * 2)).astype(np.float32)
+    A, B = layouts.split_2d(a, q), layouts.split_2d(b, q)
+
+    def prog(ctx):
+        pc = ParallelContext.tesseract(ctx, q=q, d=d)
+        blk_a = VArray.from_numpy(A[(pc.i, pc.j)]) if pc.k == 0 else None
+        blk_b = VArray.from_numpy(B[(pc.i, pc.j)]) if pc.k == 0 else None
+        c = solomonik_25d_ab(pc, blk_a, blk_b)
+        return (pc.i, pc.j, pc.k), c.numpy()
+
+    res = dict(Engine(nranks=q * q * d).run(prog))
+    blocks = {(i, j): v for (i, j, k), v in res.items() if k == 0}
+    assert np.allclose(layouts.combine_2d(blocks, q), a @ b, atol=1e-3)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 2), st.integers(1, 2), st.integers(0, 2**16))
+def test_tesseract_linearity(q, d, seed):
+    """Distributed matmul is linear: T(alpha*A) = alpha*T(A)."""
+    if d > q:
+        q, d = d, q
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(q * d, q)).astype(np.float32)
+    b = rng.normal(size=(q, q)).astype(np.float32)
+    alpha = np.float32(rng.normal())
+    A1, B = layouts.split_a(a, q, d), layouts.split_b(b, q, d)
+    A2 = layouts.split_a(alpha * a, q, d)
+
+    def prog(ctx):
+        pc = ParallelContext.tesseract(ctx, q=q, d=d)
+        blk_b = VArray.from_numpy(B[(pc.i, pc.j, pc.k)])
+        c1 = tesseract_ab(pc, VArray.from_numpy(A1[(pc.i, pc.j, pc.k)]), blk_b)
+        c2 = tesseract_ab(pc, VArray.from_numpy(A2[(pc.i, pc.j, pc.k)]), blk_b)
+        return np.allclose(alpha * c1.numpy(), c2.numpy(), atol=1e-2)
+
+    assert all(Engine(nranks=q * q * d).run(prog))

@@ -1,0 +1,101 @@
+"""Tests for the Solomonik-Demmel 2.5-D matmul."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid.context import ParallelContext
+from repro.pblas import layouts
+from repro.pblas.solomonik import solomonik_25d_ab
+from repro.varray.varray import VArray
+
+from tests.conftest import run_spmd, run_spmd_engine
+
+SHAPES = [(2, 1), (2, 2), (4, 2), (4, 4), (6, 2), (6, 3)]
+
+
+def _run(q, d, rng):
+    a = rng.normal(size=(q * 2, q * 3)).astype(np.float32)
+    b = rng.normal(size=(q * 3, q * 2)).astype(np.float32)
+    A, B = layouts.split_2d(a, q), layouts.split_2d(b, q)
+
+    def prog(ctx):
+        pc = ParallelContext.tesseract(ctx, q=q, d=d)
+        blk_a = VArray.from_numpy(A[(pc.i, pc.j)]) if pc.k == 0 else None
+        blk_b = VArray.from_numpy(B[(pc.i, pc.j)]) if pc.k == 0 else None
+        c = solomonik_25d_ab(pc, blk_a, blk_b)
+        return (pc.i, pc.j, pc.k), c.numpy()
+
+    return a, b, dict(run_spmd(q * q * d, prog))
+
+
+@pytest.mark.parametrize("q,d", SHAPES)
+class TestCorrectness:
+    def test_matches_numpy_on_slice_zero(self, q, d, rng):
+        a, b, res = _run(q, d, rng)
+        blocks = {(i, j): v for (i, j, k), v in res.items() if k == 0}
+        assert np.allclose(layouts.combine_2d(blocks, q), a @ b, atol=1e-3)
+
+    def test_result_replicated_across_depth(self, q, d, rng):
+        _, _, res = _run(q, d, rng)
+        for (i, j, k), v in res.items():
+            assert np.allclose(v, res[(i, j, 0)], atol=1e-5)
+
+
+class TestConstraints:
+    def test_d_must_divide_q(self):
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=3, d=2)
+            solomonik_25d_ab(pc, VArray.symbolic((2, 2)), VArray.symbolic((2, 2)))
+
+        with pytest.raises(GridError, match="divide"):
+            run_spmd(3 * 3 * 2, prog, mode="symbolic")
+
+    def test_slice_zero_must_provide_inputs(self):
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=2, d=2)
+            solomonik_25d_ab(pc, None, None)
+
+        with pytest.raises(Exception):
+            run_spmd(8, prog)
+
+
+class TestTraffic:
+    def test_replicates_both_inputs_across_depth(self):
+        """2.5-D broadcasts A *and* B along depth — Tesseract does not."""
+        q, d = 2, 2
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            a = VArray.symbolic((2, 2)) if pc.k == 0 else None
+            b = VArray.symbolic((2, 2)) if pc.k == 0 else None
+            solomonik_25d_ab(pc, a, b)
+            return pc.depth_group.ranks
+
+        engine, res = run_spmd_engine(q * q * d, prog, mode="symbolic")
+        depth_groups = set(res)
+        bcasts = [
+            e for e in engine.trace.comm_events()
+            if e.kind.startswith("broadcast")
+            and tuple(sorted(e.group)) in depth_groups
+        ]
+        # 2 depth broadcasts (A and B) recorded by each of q^2*d ranks.
+        assert len(bcasts) == 2 * q * q * d
+
+    def test_fewer_steps_per_layer_than_cannon(self):
+        """Each 2.5-D layer runs q/d Cannon steps, not q."""
+        q, d = 4, 2
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            a = VArray.symbolic((2, 2)) if pc.k == 0 else None
+            b = VArray.symbolic((2, 2)) if pc.k == 0 else None
+            solomonik_25d_ab(pc, a, b)
+            return ctx.trace.compute_events(ctx.rank)
+
+        engine, _ = run_spmd_engine(q * q * d, prog, mode="symbolic")
+        matmuls = [e for e in engine.trace.compute_events(0)
+                   if e.tag == "solomonik25d" and e.flops > 0]
+        # rank 0 does q/d multiply-accumulate steps (+ q/d - 1 adds).
+        muls = [e for e in matmuls if e.flops == 2 * 2 * 2 * 2]
+        assert len(muls) == q // d

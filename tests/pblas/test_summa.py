@@ -1,0 +1,123 @@
+"""Tests for SUMMA AB / ABT / ATB on [q, q] grids."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.grid.context import ParallelContext
+from repro.pblas import layouts
+from repro.pblas.summa import summa_ab, summa_abt, summa_atb
+from repro.varray.varray import VArray
+
+from tests.conftest import run_spmd, run_spmd_engine
+
+
+def _run_2d(q, fn, seed=0):
+    return run_spmd(q * q, fn, seed=seed)
+
+
+def _setup(rng, q, a_shape, b_shape):
+    a = rng.normal(size=a_shape).astype(np.float32)
+    b = rng.normal(size=b_shape).astype(np.float32)
+    return a, b, layouts.split_2d(a, q), layouts.split_2d(b, q)
+
+
+@pytest.mark.parametrize("q", [1, 2, 3, 4])
+class TestSummaAB:
+    def test_matches_numpy(self, q, rng):
+        a, b, A, B = _setup(rng, q, (q * 2, q * 3), (q * 3, q * 4))
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=1)
+            c = summa_ab(pc, VArray.from_numpy(A[(pc.i, pc.j)]),
+                         VArray.from_numpy(B[(pc.i, pc.j)]))
+            return (pc.i, pc.j), c.numpy()
+
+        res = dict(_run_2d(q, prog))
+        assert np.allclose(layouts.combine_2d(res, q), a @ b, atol=1e-4)
+
+
+@pytest.mark.parametrize("q", [1, 2, 3])
+class TestSummaABT:
+    def test_matches_numpy(self, q, rng):
+        # C = A @ B^T: A [m, n] in A-layout, B [p, n] in B-layout.
+        a = rng.normal(size=(q * 2, q * 4)).astype(np.float32)
+        b = rng.normal(size=(q * 3, q * 4)).astype(np.float32)
+        A, B = layouts.split_2d(a, q), layouts.split_2d(b, q)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=1)
+            c = summa_abt(pc, VArray.from_numpy(A[(pc.i, pc.j)]),
+                          VArray.from_numpy(B[(pc.i, pc.j)]))
+            return (pc.i, pc.j), c.numpy()
+
+        res = dict(_run_2d(q, prog))
+        assert np.allclose(layouts.combine_2d(res, q), a @ b.T, atol=1e-4)
+
+    def test_3d_activations(self, q, rng):
+        # dX = dY @ W^T with dY three-dimensional.
+        dy = rng.normal(size=(q * 2, 3, q * 4)).astype(np.float32)
+        w = rng.normal(size=(q * 5, q * 4)).astype(np.float32)
+        DY, W = layouts.split_2d(dy, q), layouts.split_2d(w, q)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=1)
+            c = summa_abt(pc, VArray.from_numpy(DY[(pc.i, pc.j)]),
+                          VArray.from_numpy(W[(pc.i, pc.j)]))
+            return (pc.i, pc.j), c.numpy()
+
+        res = dict(_run_2d(q, prog))
+        assert np.allclose(layouts.combine_2d(res, q), dy @ w.T, atol=1e-4)
+
+
+@pytest.mark.parametrize("q", [1, 2, 3])
+class TestSummaATB:
+    def test_matches_numpy(self, q, rng):
+        a = rng.normal(size=(q * 4, q * 2)).astype(np.float32)
+        b = rng.normal(size=(q * 4, q * 3)).astype(np.float32)
+        A, B = layouts.split_2d(a, q), layouts.split_2d(b, q)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=1)
+            c = summa_atb(pc, VArray.from_numpy(A[(pc.i, pc.j)]),
+                          VArray.from_numpy(B[(pc.i, pc.j)]))
+            return (pc.i, pc.j), c.numpy()
+
+        res = dict(_run_2d(q, prog))
+        assert np.allclose(layouts.combine_2d(res, q), a.T @ b, atol=1e-4)
+
+
+class TestATBValidation:
+    def test_rejects_3d(self):
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=1, d=1)
+            summa_atb(pc, VArray.symbolic((2, 3, 4)), VArray.symbolic((2, 3, 4)))
+
+        with pytest.raises(ShapeError, match="flatten"):
+            run_spmd(1, prog)
+
+
+class TestCommunicationPattern:
+    def test_ab_uses_2q_broadcasts_per_rank_pair(self):
+        """Algorithm 2: q steps x (1 row + 1 column broadcast)."""
+        q = 2
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=1)
+            a = VArray.symbolic((4, 4))
+            b = VArray.symbolic((4, 4))
+            summa_ab(pc, a, b)
+
+        engine, _ = run_spmd_engine(q * q, prog, mode="symbolic")
+        bcasts = [e for e in engine.trace.comm_events()
+                  if e.kind.startswith("broadcast")]
+        # Each of 4 ranks participates in 2q = 4 broadcasts.
+        assert len(bcasts) == q * q * 2 * q
+
+    def test_symbolic_output_shape(self):
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=2, d=1)
+            c = summa_ab(pc, VArray.symbolic((3, 5)), VArray.symbolic((5, 7)))
+            return c.shape, c.is_symbolic
+
+        assert run_spmd(4, prog, mode="symbolic") == [((3, 7), True)] * 4

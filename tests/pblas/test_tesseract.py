@@ -1,0 +1,152 @@
+"""Tests for the Tesseract matmul (Algorithm 3) — the paper's §4 check:
+"we compute the matrix multiplication result and the result using our
+Tesseract method respectively, to guarantee outputs are the same"."""
+
+import numpy as np
+import pytest
+
+from repro.grid.context import ParallelContext
+from repro.pblas import layouts
+from repro.pblas.tesseract import (
+    tesseract_ab,
+    tesseract_abt,
+    tesseract_atb,
+    tesseract_matmul_backward,
+)
+from repro.varray.varray import VArray
+
+from tests.conftest import run_spmd, run_spmd_engine
+
+SHAPES = [(1, 1), (2, 1), (2, 2), (3, 2), (3, 3), (4, 2)]
+
+
+def _inputs(rng, q, d, m=None, k=None, n=None):
+    m = m if m is not None else q * d * 2
+    k = k if k is not None else q * 3
+    n = n if n is not None else q * 4
+    a = rng.normal(size=(m, k)).astype(np.float32)
+    b = rng.normal(size=(k, n)).astype(np.float32)
+    return a, b, layouts.split_a(a, q, d), layouts.split_b(b, q, d)
+
+
+@pytest.mark.parametrize("q,d", SHAPES)
+class TestTesseractAB:
+    def test_matches_numpy(self, q, d, rng):
+        a, b, A, B = _inputs(rng, q, d)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            c = tesseract_ab(pc, VArray.from_numpy(A[(pc.i, pc.j, pc.k)]),
+                             VArray.from_numpy(B[(pc.i, pc.j, pc.k)]))
+            return (pc.i, pc.j, pc.k), c.numpy()
+
+        res = dict(run_spmd(q * q * d, prog))
+        assert np.allclose(layouts.combine_c(res, q, d), a @ b, atol=1e-3)
+
+
+@pytest.mark.parametrize("q,d", SHAPES)
+class TestTesseractBackward:
+    def test_abt_and_atb_match_numpy(self, q, d, rng):
+        a, b, A, B = _inputs(rng, q, d)
+        c_ref = a @ b
+        dy = rng.normal(size=c_ref.shape).astype(np.float32)
+        DY = layouts.split_a(dy, q, d)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            x = VArray.from_numpy(A[(pc.i, pc.j, pc.k)])
+            w = VArray.from_numpy(B[(pc.i, pc.j, pc.k)])
+            g = VArray.from_numpy(DY[(pc.i, pc.j, pc.k)])
+            dx, dw = tesseract_matmul_backward(pc, x, w, g)
+            return (pc.i, pc.j, pc.k), dx.numpy(), dw.numpy()
+
+        res = run_spmd(q * q * d, prog)
+        dx_blocks = {key: dx for key, dx, _ in res}
+        dx_global = layouts.combine_c(dx_blocks, q, d)
+        assert np.allclose(dx_global, dy @ b.T, atol=1e-3)
+        dw_ref = a.T @ dy
+        rows, cols = b.shape[0] // q, b.shape[1] // q
+        for (i, j, k), _, dw in res:
+            expect = dw_ref[i * rows: (i + 1) * rows, j * cols: (j + 1) * cols]
+            assert np.allclose(dw, expect, atol=1e-3)
+
+    def test_dw_identical_across_depth(self, q, d, rng):
+        """§3.1: after the depth all-reduce, every layer holds the same dW."""
+        a, b, A, B = _inputs(rng, q, d)
+        dy = rng.normal(size=(a.shape[0], b.shape[1])).astype(np.float32)
+        DY = layouts.split_a(dy, q, d)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            dw = tesseract_atb(
+                pc,
+                VArray.from_numpy(A[(pc.i, pc.j, pc.k)]),
+                VArray.from_numpy(DY[(pc.i, pc.j, pc.k)]),
+            )
+            return (pc.i, pc.j, pc.k), dw.numpy()
+
+        res = dict(run_spmd(q * q * d, prog))
+        for i in range(q):
+            for j in range(q):
+                for k in range(1, d):
+                    assert np.array_equal(res[(i, j, k)], res[(i, j, 0)])
+
+
+class TestDepthTraffic:
+    def test_forward_has_no_depth_communication(self):
+        """Tesseract's key property: slices work independently in forward."""
+        q, d = 2, 2
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            tesseract_ab(pc, VArray.symbolic((2, 4)), VArray.symbolic((4, 4)))
+            return pc.depth_group.ranks
+
+        engine, res = run_spmd_engine(q * q * d, prog, mode="symbolic")
+        depth_groups = set(res)
+        for e in engine.trace.comm_events():
+            assert tuple(sorted(e.group)) not in depth_groups, (
+                "forward pass communicated across depth"
+            )
+
+    def test_atb_without_reduce_skips_depth(self):
+        q, d = 2, 2
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            tesseract_atb(pc, VArray.symbolic((2, 4)), VArray.symbolic((2, 4)),
+                          reduce_depth=False)
+
+        engine, _ = run_spmd_engine(q * q * d, prog, mode="symbolic")
+        kinds = {e.kind.split("[")[0] for e in engine.trace.comm_events()}
+        assert "all_reduce" not in kinds
+
+    def test_atb_with_reduce_uses_depth_allreduce(self):
+        q, d = 2, 2
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            tesseract_atb(pc, VArray.symbolic((2, 4)), VArray.symbolic((2, 4)))
+
+        engine, _ = run_spmd_engine(q * q * d, prog, mode="symbolic")
+        ars = [e for e in engine.trace.comm_events()
+               if e.kind.startswith("all_reduce")]
+        assert ars
+        assert all(len(e.group) == d for e in ars)
+
+
+class TestMemoryFootprint:
+    def test_matches_eq8_per_rank(self, rng):
+        """Per-rank blocks have exactly the Eq. 7 sizes."""
+        q, d = 2, 2
+        a, b, A, B = _inputs(rng, q, d, m=8, k=4, n=4)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            blk_a = A[(pc.i, pc.j, pc.k)]
+            blk_b = B[(pc.i, pc.j, pc.k)]
+            return blk_a.size, blk_b.size
+
+        for size_a, size_b in run_spmd(q * q * d, prog):
+            assert size_a == (8 // (q * d)) * (4 // q)
+            assert size_b == (4 // q) * (4 // q)

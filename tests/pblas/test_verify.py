@@ -1,0 +1,44 @@
+"""Tests for the §4 verification API."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.pblas.verify import ALGORITHMS, verify_matmul
+
+
+class TestVerifyMatmul:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_algorithms_pass(self, algorithm):
+        d = 2 if algorithm in ("tesseract", "solomonik") else 1
+        result = verify_matmul(algorithm, q=2, d=d, seed=1)
+        assert result.passed
+        assert result.max_abs_error < 1e-3
+        assert result.simulated_seconds > 0
+
+    def test_dims_default_to_grid_multiples(self):
+        r = verify_matmul("tesseract", q=2, d=2)
+        m, k, n = r.dims
+        assert m % (2 * 2) == 0 and k % 2 == 0 and n % 2 == 0
+
+    def test_custom_dims(self):
+        r = verify_matmul("tesseract", q=2, d=1, m=8, k=6, n=10)
+        assert r.dims == (8, 6, 10)
+        assert r.passed
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(GridError, match="unknown algorithm"):
+            verify_matmul("pdgemm", q=2)
+
+    def test_2d_algorithms_reject_depth(self):
+        with pytest.raises(GridError, match="2-D algorithm"):
+            verify_matmul("cannon", q=2, d=2)
+
+    def test_deterministic_per_seed(self):
+        a = verify_matmul("summa", q=2, seed=5)
+        b = verify_matmul("summa", q=2, seed=5)
+        assert a.max_abs_error == b.max_abs_error
+        assert a.simulated_seconds == b.simulated_seconds
+
+    def test_shape_recorded(self):
+        r = verify_matmul("tesseract", q=3, d=2)
+        assert str(r.shape) == "[3,3,2]"

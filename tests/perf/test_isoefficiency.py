@@ -1,0 +1,113 @@
+"""Tests for Eq. 1-5 lower bounds and Eq. 11-12 efficiency analysis."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.perf.isoefficiency import (
+    cannon_bandwidth_lower_bound,
+    cannon_latency_lower_bound,
+    d25_bandwidth_lower_bound,
+    d25_latency_lower_bound,
+    efficiency,
+    megatron_isoefficiency,
+    optimus_isoefficiency,
+    parallel_time,
+    solve_isoefficiency,
+    tesseract_isoefficiency,
+)
+
+
+class TestEq11Eq12:
+    def test_parallel_time(self):
+        assert parallel_time(100.0, 4, 2.0) == pytest.approx(27.0)
+
+    def test_efficiency_definition(self):
+        # E = 1 / (1 + T_comm p / W)
+        assert efficiency(100.0, 4, 25.0) == pytest.approx(0.5)
+
+    def test_efficiency_one_without_comm(self):
+        assert efficiency(100.0, 8, 0.0) == 1.0
+
+    def test_efficiency_decreases_with_p(self):
+        assert efficiency(100.0, 16, 1.0) < efficiency(100.0, 4, 1.0)
+
+    def test_efficiency_increases_with_work(self):
+        """'efficiency is ... positively correlated with the problem size
+        assigned to each processor' (§3.1)."""
+        assert efficiency(1000.0, 4, 1.0) > efficiency(100.0, 4, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(GridError):
+            efficiency(0.0, 4, 1.0)
+        with pytest.raises(GridError):
+            parallel_time(1.0, 0, 1.0)
+
+
+class TestLowerBounds:
+    def test_eq1_eq2(self):
+        assert cannon_bandwidth_lower_bound(100, 16) == pytest.approx(2500.0)
+        assert cannon_latency_lower_bound(16) == pytest.approx(4.0)
+
+    def test_eq4_replication_helps_bandwidth(self):
+        assert d25_bandwidth_lower_bound(100, 16, 4) < \
+            cannon_bandwidth_lower_bound(100, 16)
+
+    def test_eq5_replication_helps_latency(self):
+        assert d25_latency_lower_bound(16, 4) < cannon_latency_lower_bound(16)
+
+    def test_special_case_d1_recovers_cannon(self):
+        """§2.3: 'in special cases like d = 1, the 2.5-D algorithm
+        degenerates to Cannon's algorithm'."""
+        assert d25_bandwidth_lower_bound(64, 16, 1) == pytest.approx(
+            cannon_bandwidth_lower_bound(64, 16))
+        assert d25_latency_lower_bound(16, 1) == pytest.approx(
+            cannon_latency_lower_bound(16))
+
+    def test_cubic_case_constant_latency(self):
+        """§3.1: at d = p^{1/3}, S = Omega(1)."""
+        p = 64
+        d = 4  # p^(1/3)
+        assert d25_latency_lower_bound(p, d) == pytest.approx(1.0)
+
+
+class TestIsoefficiencyOrdering:
+    def test_paper_hierarchy_at_scale(self):
+        """Megatron's W~p^3 grows fastest; Tesseract's slowest (d = q)."""
+        for p in (64, 512, 4096):
+            mega = megatron_isoefficiency(p)
+            opti = optimus_isoefficiency(p)
+            tess = tesseract_isoefficiency(p)
+            assert tess < opti < mega
+
+    def test_megatron_cubic(self):
+        assert megatron_isoefficiency(8) == 512
+
+    def test_tesseract_depth_reduces_growth(self):
+        assert tesseract_isoefficiency(64, d=4) < tesseract_isoefficiency(64, d=1)
+
+    def test_invalid_depth(self):
+        with pytest.raises(GridError):
+            tesseract_isoefficiency(64, d=0)
+
+
+class TestNumericSolver:
+    def test_recovers_linear_comm_scaling(self):
+        """With T_comm = c*p/W-independent, W* solves E directly."""
+        def t_comm(w, p):
+            return 1.0  # constant
+
+        # E = 1/(1 + p/W) = 0.8 -> W = 4p
+        w = solve_isoefficiency(t_comm, p=16, target_eff=0.8)
+        assert w == pytest.approx(64.0, rel=0.01)
+
+    def test_monotone_in_p(self):
+        def t_comm(w, p):
+            return float(p)
+
+        w4 = solve_isoefficiency(t_comm, p=4)
+        w16 = solve_isoefficiency(t_comm, p=16)
+        assert w16 > w4
+
+    def test_target_validation(self):
+        with pytest.raises(GridError):
+            solve_isoefficiency(lambda w, p: 1.0, p=4, target_eff=1.5)

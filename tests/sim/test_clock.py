@@ -1,0 +1,44 @@
+"""Tests for per-rank virtual clocks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        c = VirtualClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == pytest.approx(2.0)
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().advance(-1.0)
+
+    def test_sync_forward(self):
+        c = VirtualClock()
+        c.sync_to(3.0)
+        assert c.now == 3.0
+
+    def test_sync_never_goes_back(self):
+        c = VirtualClock(start=5.0)
+        c.sync_to(2.0)
+        assert c.now == 5.0
+
+    def test_reset(self):
+        c = VirtualClock(start=5.0)
+        c.reset()
+        assert c.now == 0.0
+
+    def test_reset_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().reset(-1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(start=-0.1)

@@ -1,0 +1,124 @@
+"""Tests for the compute and communication cost models."""
+
+import pytest
+
+from repro.hardware.spec import meluxina
+from repro.hardware.topology import Topology
+from repro.sim.cost import CollectiveAlg, CommCostModel, ComputeCostModel
+
+
+@pytest.fixture
+def topo16():
+    return Topology(meluxina(4), nranks=16)
+
+
+@pytest.fixture
+def cost16(topo16):
+    return CommCostModel(topo16)
+
+
+ONE_NODE = [0, 1, 2, 3]
+TWO_NODES = [0, 1, 4, 5]
+FOUR_NODES = [0, 4, 8, 12]
+
+
+class TestComputeCostModel:
+    def test_zero_work_is_launch_overhead(self, topo16):
+        m = ComputeCostModel(topo16.cluster.gpu)
+        assert m.op_time(0.0) == topo16.cluster.gpu.launch_overhead
+
+    def test_rejects_negative(self, topo16):
+        m = ComputeCostModel(topo16.cluster.gpu)
+        with pytest.raises(Exception):
+            m.op_time(-1.0)
+
+    def test_more_flops_more_time(self, topo16):
+        m = ComputeCostModel(topo16.cluster.gpu)
+        assert m.op_time(1e12) < m.op_time(1e13)
+
+
+class TestBroadcastCost:
+    def test_size_one_group_free(self, cost16):
+        assert cost16.broadcast([3], 1e6) == 0.0
+
+    def test_zero_bytes_free(self, cost16):
+        assert cost16.broadcast(ONE_NODE, 0) == 0.0
+
+    def test_intra_cheaper_than_inter(self, cost16):
+        n = 50e6
+        assert cost16.broadcast(ONE_NODE, n) < cost16.broadcast(FOUR_NODES, n)
+
+    def test_monotone_in_bytes(self, cost16):
+        assert cost16.broadcast(ONE_NODE, 1e6) < cost16.broadcast(ONE_NODE, 1e8)
+
+    def test_hierarchical_beats_flat_across_nodes(self, topo16):
+        flat = CommCostModel(topo16, alg=CollectiveAlg.FLAT)
+        auto = CommCostModel(topo16, alg=CollectiveAlg.AUTO)
+        group = list(range(16))  # 4 nodes x 4 ranks
+        n = 100e6
+        assert auto.broadcast(group, n) <= flat.broadcast(group, n)
+
+
+class TestAllReduceCost:
+    def test_free_cases(self, cost16):
+        assert cost16.all_reduce([2], 1e6) == 0.0
+        assert cost16.all_reduce(ONE_NODE, 0) == 0.0
+
+    def test_scales_with_group_span(self, cost16):
+        n = 100e6
+        assert cost16.all_reduce(ONE_NODE, n) < cost16.all_reduce(TWO_NODES, n)
+
+    def test_includes_reduction_gamma(self, topo16):
+        model = CommCostModel(topo16, gamma=1e-6)
+        base = CommCostModel(topo16, gamma=0.0)
+        n = 1e6
+        assert model.all_reduce(ONE_NODE, n) == pytest.approx(
+            base.all_reduce(ONE_NODE, n) + 1e-6 * n
+        )
+
+    def test_reduce_equals_broadcast_plus_gamma(self, cost16):
+        n = 1e7
+        assert cost16.reduce(ONE_NODE, n) == pytest.approx(
+            cost16.broadcast(ONE_NODE, n) + cost16.gamma * n
+        )
+
+
+class TestOtherCollectives:
+    def test_all_gather_free_cases(self, cost16):
+        assert cost16.all_gather([1], 1e6) == 0.0
+        assert cost16.all_gather(ONE_NODE, 0) == 0.0
+
+    def test_reduce_scatter_costs_more_than_all_gather(self, cost16):
+        n = 1e8
+        assert cost16.reduce_scatter(ONE_NODE, n) > cost16.all_gather(ONE_NODE, n)
+
+    def test_scatter_halves_payload_per_step(self, cost16):
+        # Scatter moves less than a broadcast of the same total bytes.
+        n = 1e8
+        assert cost16.scatter(ONE_NODE, n) < cost16.broadcast(ONE_NODE, n)
+
+    def test_gather_mirrors_scatter(self, cost16):
+        n = 1e7
+        assert cost16.gather(ONE_NODE, n) == cost16.scatter(ONE_NODE, n)
+
+    def test_all_to_all(self, cost16):
+        assert cost16.all_to_all(ONE_NODE, 1e6) > 0
+        assert cost16.all_to_all([0], 1e6) == 0.0
+
+    def test_barrier_latency_only(self, cost16):
+        t = cost16.barrier(ONE_NODE)
+        assert 0 < t < 1e-3
+        assert cost16.barrier([2]) == 0.0
+
+    def test_p2p(self, cost16):
+        assert cost16.p2p(0, 0, 1e6) == 0.0
+        assert cost16.p2p(0, 1, 1e6) < cost16.p2p(0, 4, 1e6)
+
+
+class TestEffectiveBandwidth:
+    def test_cost_uses_link_efficiency(self, topo16):
+        # The IB link's 0.5 efficiency must show up in cross-node pricing.
+        model = CommCostModel(topo16)
+        link = topo16.cluster.inter_link
+        t = model.p2p(0, 4, 1e9)
+        assert t == pytest.approx(link.latency + 1e9 / (25e9 * 0.5))

@@ -1,0 +1,88 @@
+"""Tests for the trace timeline analysis."""
+
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.sim.events import CommEvent, ComputeEvent, Trace
+from repro.sim.timeline import RankBreakdown, analyze, gantt
+from repro.varray.varray import VArray
+
+from tests.conftest import run_spmd_engine
+
+
+def _trace():
+    tr = Trace()
+    tr.record(ComputeEvent(rank=0, t_start=0.0, t_end=2.0, flops=1.0,
+                           bytes_touched=0.0))
+    tr.record(CommEvent(rank=0, kind="all_reduce[op=sum]", group=(0, 1),
+                        nbytes=10.0, t_start=2.0, t_end=3.0))
+    tr.record(ComputeEvent(rank=1, t_start=0.0, t_end=1.0, flops=1.0,
+                           bytes_touched=0.0))
+    tr.record(CommEvent(rank=1, kind="all_reduce[op=sum]", group=(0, 1),
+                        nbytes=10.0, t_start=1.0, t_end=3.0))
+    return tr
+
+
+class TestAnalyze:
+    def test_makespan(self):
+        assert analyze(_trace())["makespan"] == pytest.approx(3.0)
+
+    def test_per_rank_breakdown(self):
+        ranks = analyze(_trace())["ranks"]
+        assert ranks[0].compute == pytest.approx(2.0)
+        assert ranks[0].comm == pytest.approx(1.0)
+        assert ranks[1].comm == pytest.approx(2.0)
+
+    def test_idle_and_utilization(self):
+        summary = analyze(_trace())
+        b0: RankBreakdown = summary["ranks"][0]
+        assert b0.idle(summary["makespan"]) == pytest.approx(0.0)
+        assert b0.utilization(3.0) == pytest.approx(2.0 / 3.0)
+
+    def test_comm_fraction(self):
+        summary = analyze(_trace())
+        # busy = 3 + 3; comm = 1 + 2
+        assert summary["comm_fraction"] == pytest.approx(0.5)
+
+    def test_comm_by_kind_strips_params(self):
+        summary = analyze(_trace())
+        assert list(summary["comm_by_kind"]) == ["all_reduce"]
+
+    def test_empty_trace(self):
+        summary = analyze(Trace())
+        assert summary["makespan"] == 0.0
+        assert summary["mean_utilization"] == 0.0
+
+
+class TestGantt:
+    def test_renders_rows_and_symbols(self):
+        out = gantt(_trace(), width=24)
+        assert "rank   0" in out
+        assert "#" in out and "~" in out
+
+    def test_empty_trace(self):
+        assert gantt(Trace()) == "(empty trace)"
+
+    def test_rank_selection(self):
+        out = gantt(_trace(), ranks=[1], width=24)
+        assert "rank   1" in out
+        assert "rank   0" not in out
+
+
+class TestOnRealSimulation:
+    def test_analyze_a_live_engine_trace(self):
+        import numpy as np
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(4))
+            ctx.compute(flops=1e10)
+            comm.all_reduce(VArray.from_numpy(
+                np.ones((64, 64), dtype=np.float32)))
+
+        engine, _ = run_spmd_engine(4, prog)
+        summary = analyze(engine.trace)
+        assert summary["makespan"] == pytest.approx(engine.max_time())
+        assert set(summary["ranks"]) == {0, 1, 2, 3}
+        assert 0 < summary["mean_utilization"] <= 1
+        assert "all_reduce" in summary["comm_by_kind"]
+        assert "rank" in gantt(engine.trace)

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_matmul_defaults(self):
+        args = build_parser().parse_args(["matmul"])
+        assert args.q == 2 and args.d == 2
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "meluxina" in out
+        assert "Table 1" in out
+
+    def test_matmul_verifies(self, capsys):
+        assert main(["matmul", "--q", "2", "--d", "1", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "max |error|" in out
+
+    def test_transfers_shows_paper_ratios(self, capsys):
+        assert main(["transfers"]) == 0
+        out = capsys.readouterr().out
+        assert "31.50" in out
+        assert "3.75" in out
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "curves identical: True" in out
+
+    def test_tables_single_small(self, capsys):
+        # A fast configuration: tiny stack, short sequences.
+        assert main(["tables", "--table", "1", "--seq-len", "32",
+                     "--layers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "tesseract" in out

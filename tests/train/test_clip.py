@@ -1,0 +1,166 @@
+"""Tests for layout-aware distributed gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.errors import ShapeError
+from repro.grid.context import ParallelContext
+from repro.models.configs import ViTConfig
+from repro.models.vit import SerialViT, TesseractViT
+from repro.nn.linear import Linear
+from repro.parallel.factory import build_transformer_stack
+from repro.sim.engine import Engine
+from repro.train.clip import clip_grad_norm, global_grad_norm
+from repro.varray.varray import VArray
+
+from tests.conftest import run_spmd
+
+CFG = ViTConfig(image_size=8, patch_size=4, channels=3, hidden=16, nheads=4,
+                num_layers=1, num_classes=4)
+
+
+def _vit_norm_serial(x, dy):
+    def prog(ctx):
+        model = SerialViT(ctx, CFG)
+        model.forward(model.local_images(x))
+        model.backward(VArray.from_numpy(dy))
+        return global_grad_norm(model)
+
+    return Engine(nranks=1).run(prog)[0]
+
+
+class TestSerialNorm:
+    def test_matches_manual_computation(self, rng):
+        def prog(ctx):
+            lin = Linear(ctx, 3, 2, init_tags=("cl",))
+            lin.forward(VArray.from_numpy(
+                rng.normal(size=(4, 3)).astype(np.float32)))
+            lin.backward(VArray.from_numpy(
+                rng.normal(size=(4, 2)).astype(np.float32)))
+            manual = np.sqrt(
+                (lin.w.grad.numpy().astype(np.float64) ** 2).sum()
+                + (lin.b.grad.numpy().astype(np.float64) ** 2).sum()
+            )
+            return global_grad_norm(lin), float(manual)
+
+        got, manual = run_spmd(1, prog)[0]
+        assert got == pytest.approx(manual, rel=1e-6)
+
+    def test_zero_without_grads(self, ctx1):
+        lin = Linear(ctx1, 2, 2)
+        assert global_grad_norm(lin) == 0.0
+
+
+@pytest.mark.parametrize("q,d", [(2, 1), (2, 2)])
+class TestTesseractNorm:
+    def test_matches_serial_global_norm(self, q, d, rng):
+        x = rng.normal(size=(8, 3, 8, 8)).astype(np.float32)
+        dy = rng.normal(size=(8, 4)).astype(np.float32)
+        ref = _vit_norm_serial(x, dy)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            model = TesseractViT(pc, CFG)
+            model.forward(model.local_images(x))
+            rows = 8 // (q * d)
+            h = pc.block_row
+            model.backward(
+                VArray.from_numpy(dy[h * rows:(h + 1) * rows]))
+            return global_grad_norm(model, pc=pc)
+
+        for norm in Engine(nranks=q * q * d).run(prog):
+            assert norm == pytest.approx(ref, rel=1e-4)
+
+    def test_clip_preserves_equivalence(self, q, d, rng):
+        """Clipping then reading grads matches serial clipping blockwise."""
+        x = rng.normal(size=(8, 3, 8, 8)).astype(np.float32)
+        dy = rng.normal(size=(8, 4)).astype(np.float32)
+
+        def serial(ctx):
+            model = SerialViT(ctx, CFG)
+            model.forward(model.local_images(x))
+            model.backward(VArray.from_numpy(dy))
+            norm = clip_grad_norm(model, max_norm=0.1)
+            pos_grad = model.pos.grad.numpy()
+            return norm, pos_grad
+
+        ref_norm, ref_pos = Engine(nranks=1).run(serial)[0]
+
+        def par(ctx):
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
+            model = TesseractViT(pc, CFG)
+            model.forward(model.local_images(x))
+            rows = 8 // (q * d)
+            h = pc.block_row
+            model.backward(VArray.from_numpy(dy[h * rows:(h + 1) * rows]))
+            norm = clip_grad_norm(model, max_norm=0.1, pc=pc)
+            return pc.j, norm, model.pos.grad.numpy()
+
+        cols = CFG.hidden // q
+        for j, norm, pos in Engine(nranks=q * q * d).run(par):
+            assert norm == pytest.approx(ref_norm, rel=1e-4)
+            expect = ref_pos[:, j * cols:(j + 1) * cols]
+            assert np.allclose(pos, expect, atol=1e-5)
+
+
+class TestMegatronNorm:
+    def test_matches_serial(self, rng):
+        x = rng.normal(size=(4, 3, 16)).astype(np.float32)
+        dy = rng.normal(size=(4, 3, 16)).astype(np.float32)
+
+        def serial(ctx):
+            handle = build_transformer_stack(ctx, "serial", 1, 16, 4)
+            handle.layers.forward(VArray.from_numpy(x))
+            handle.layers.backward(VArray.from_numpy(dy))
+            return global_grad_norm(handle.layers)
+
+        ref = Engine(nranks=1).run(serial)[0]
+
+        def par(ctx):
+            handle = build_transformer_stack(ctx, "megatron", 1, 16, 4)
+            handle.layers.forward(VArray.from_numpy(x))
+            handle.layers.backward(VArray.from_numpy(dy))
+            return global_grad_norm(handle.layers, comm=handle.comm)
+
+        for norm in Engine(nranks=4).run(par):
+            assert norm == pytest.approx(ref, rel=1e-4)
+
+    def test_sharded_requires_comm(self, rng):
+        def prog(ctx):
+            handle = build_transformer_stack(ctx, "megatron", 1, 16, 4)
+            handle.layers.forward(VArray.from_numpy(
+                rng.normal(size=(2, 3, 16)).astype(np.float32)))
+            handle.layers.backward(VArray.from_numpy(
+                np.ones((2, 3, 16), dtype=np.float32)))
+            global_grad_norm(handle.layers)  # missing comm
+
+        with pytest.raises(ShapeError, match="communicator"):
+            run_spmd(4, prog)
+
+
+class TestClipBehaviour:
+    def test_noop_when_within_bound(self, ctx1, rng):
+        lin = Linear(ctx1, 2, 2, init_tags=("nc",))
+        lin.forward(VArray.from_numpy(
+            rng.normal(size=(1, 2)).astype(np.float32)))
+        lin.backward(VArray.from_numpy(
+            np.full((1, 2), 1e-4, dtype=np.float32)))
+        before = lin.w.grad.numpy().copy()
+        clip_grad_norm(lin, max_norm=10.0)
+        assert np.array_equal(lin.w.grad.numpy(), before)
+
+    def test_clips_to_max_norm(self, ctx1, rng):
+        lin = Linear(ctx1, 4, 4, init_tags=("cc",))
+        lin.forward(VArray.from_numpy(
+            rng.normal(size=(8, 4)).astype(np.float32)))
+        lin.backward(VArray.from_numpy(
+            rng.normal(size=(8, 4), scale=10).astype(np.float32)))
+        pre = clip_grad_norm(lin, max_norm=1.0)
+        assert pre > 1.0
+        assert global_grad_norm(lin) == pytest.approx(1.0, rel=1e-4)
+
+    def test_invalid_max_norm(self, ctx1):
+        lin = Linear(ctx1, 2, 2)
+        with pytest.raises(ShapeError):
+            clip_grad_norm(lin, max_norm=0.0)

@@ -1,0 +1,97 @@
+"""Multi-step optimizer equivalence across parallelization modes.
+
+Forward/backward equivalence (tests/parallel/test_equivalence.py) covers
+one step.  These tests run several Adam/SGD steps — exercising optimizer
+state, gradient clearing, and weight updates on *sharded* parameters — and
+require the evolving outputs to keep matching the serial run.  This is the
+mechanism behind the paper's "does not affect the training accuracy".
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.loss import MeanSquaredError
+from repro.nn.optim import SGD, Adam
+from repro.parallel.factory import build_transformer_stack
+from repro.pblas.layouts import combine_c
+from repro.sim.engine import Engine
+from repro.varray.varray import VArray
+
+B, S, H, NH, STEPS = 8, 3, 16, 4, 5
+
+
+def _targets(rng):
+    return rng.normal(size=(B, S, H)).astype(np.float32)
+
+
+def _train(ctx, mode, opt_cls, x, target, q=None, d=None):
+    handle = build_transformer_stack(ctx, mode, 1, H, NH, q=q, d=d,
+                                     world=ctx.nranks,
+                                     init_tags=("opteq", mode_free_tag()))
+    params = handle.layers.parameter_list()
+    opt = opt_cls(params, lr=1e-2)
+    outs = []
+    for _ in range(STEPS):
+        xin = handle.local_input(x)
+        y = handle.layers.forward(xin)
+        tgt = handle.local_input(target)
+        loss_fn = MeanSquaredError(ctx, normalizer=float(B * S * H))
+        loss_fn.forward(y, tgt)
+        handle.layers.backward(loss_fn.backward())
+        opt.step()
+        handle.layers.zero_grad()
+        outs.append(y)
+    if handle.pc is not None:
+        return (handle.pc.i, handle.pc.j, handle.pc.k), outs[-1].numpy()
+    return None, outs[-1].numpy()
+
+
+_TAG_STATE = {"v": 0}
+
+
+def mode_free_tag():
+    # All modes in one test must share streams; keep a constant tag.
+    return "shared"
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(17)
+    x = rng.normal(size=(B, S, H)).astype(np.float32)
+    target = _targets(rng)
+    return x, target
+
+
+@pytest.fixture(scope="module", params=[Adam, SGD], ids=["adam", "sgd"])
+def reference(request, problem):
+    x, target = problem
+    opt_cls = request.param
+
+    def prog(ctx):
+        return _train(ctx, "serial", opt_cls, x, target)[1]
+
+    return opt_cls, Engine(nranks=1).run(prog)[0]
+
+
+class TestMultiStepEquivalence:
+    def test_megatron_tracks_serial(self, problem, reference):
+        x, target = problem
+        opt_cls, y_ref = reference
+
+        def prog(ctx):
+            return _train(ctx, "megatron", opt_cls, x, target)[1]
+
+        for y in Engine(nranks=4).run(prog):
+            assert np.allclose(y, y_ref, atol=2e-3)
+
+    @pytest.mark.parametrize("q,d", [(2, 1), (2, 2)])
+    def test_tesseract_tracks_serial(self, problem, reference, q, d):
+        x, target = problem
+        opt_cls, y_ref = reference
+
+        def prog(ctx):
+            return _train(ctx, "tesseract", opt_cls, x, target, q=q, d=d)
+
+        res = Engine(nranks=q * q * d).run(prog)
+        y = combine_c(dict(res), q, d)
+        assert np.allclose(y, y_ref, atol=2e-3)

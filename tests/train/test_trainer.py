@@ -1,0 +1,96 @@
+"""Tests for the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageClassification
+from repro.grid.context import ParallelContext
+from repro.models.configs import ViTConfig
+from repro.models.vit import SerialViT, TesseractViT
+from repro.nn.optim import Adam, CosineWithWarmup
+from repro.sim.engine import Engine
+from repro.train.trainer import TrainHistory, evaluate_classifier, train_classifier
+
+CFG = ViTConfig(image_size=8, patch_size=4, channels=3, hidden=16, nheads=4,
+                num_layers=1, num_classes=4)
+DATA = SyntheticImageClassification(num_classes=4, image_size=8,
+                                    train_size=64, test_size=32, seed=3)
+
+
+def _train_serial(epochs=2, schedule=None):
+    def prog(ctx):
+        model = SerialViT(ctx, CFG)
+        opt = Adam(model.parameter_list(), lr=3e-3)
+        return train_classifier(model, DATA, opt, epochs=epochs,
+                                batch_size=16, schedule=schedule)
+
+    return Engine(nranks=1).run(prog)[0]
+
+
+class TestTrainClassifier:
+    def test_history_lengths(self):
+        h = _train_serial(epochs=2)
+        assert len(h.losses) == 2 * (64 // 16)
+        assert len(h.train_acc) == 2
+        assert len(h.eval_acc) == 2
+
+    def test_learns_above_chance(self):
+        h = _train_serial(epochs=3)
+        assert h.eval_acc[-1] > 0.5  # chance is 0.25
+
+    def test_schedule_applied(self):
+        sched = CosineWithWarmup(peak_lr=3e-3, warmup_steps=2, total_steps=8)
+        h = _train_serial(epochs=1, schedule=sched)
+        assert len(h.losses) == 4
+
+    def test_summary_string(self):
+        h = _train_serial(epochs=1)
+        assert "final_eval_acc" in h.summary()
+
+    def test_deterministic(self):
+        a = _train_serial(epochs=1)
+        b = _train_serial(epochs=1)
+        assert a.losses == b.losses
+
+    def test_parallel_history_matches_serial(self):
+        ref = _train_serial(epochs=1)
+
+        def prog(ctx):
+            pc = ParallelContext.tesseract(ctx, q=2, d=1)
+            model = TesseractViT(pc, CFG)
+            opt = Adam(model.parameter_list(), lr=3e-3)
+            return train_classifier(model, DATA, opt, epochs=1,
+                                    batch_size=16, pc=pc)
+
+        hist = Engine(nranks=4).run(prog)[0]
+        assert np.allclose(hist.losses, ref.losses, atol=1e-4)
+        assert hist.eval_acc == ref.eval_acc
+
+
+class TestEvaluateClassifier:
+    def test_eval_does_not_leak_activation_memory(self):
+        def prog(ctx):
+            model = SerialViT(ctx, CFG)
+            evaluate_classifier(model, DATA, batch_size=16)
+            return ctx.mem.current("activations")
+
+        assert Engine(nranks=1).run(prog) == [0.0]
+
+    def test_eval_then_train_forward_ok(self):
+        """Evaluation must not poison the save_for_backward caches."""
+        def prog(ctx):
+            model = SerialViT(ctx, CFG)
+            opt = Adam(model.parameter_list(), lr=3e-3)
+            evaluate_classifier(model, DATA, batch_size=16)
+            h = train_classifier(model, DATA, opt, epochs=1, batch_size=16)
+            return len(h.losses)
+
+        assert Engine(nranks=1).run(prog) == [4]
+
+    def test_restores_training_mode(self):
+        def prog(ctx):
+            model = SerialViT(ctx, CFG)
+            evaluate_classifier(model, DATA, batch_size=16)
+            return model.training
+
+        assert Engine(nranks=1).run(prog) == [True]

@@ -1,0 +1,51 @@
+"""Tests for the ASCII line plot used to render Fig. 7."""
+
+import pytest
+
+from repro.util.asciiplot import line_plot
+
+
+class TestLinePlot:
+    def test_renders_markers(self):
+        out = line_plot({"acc": [0.1, 0.5, 0.9]})
+        assert "*" in out
+        assert "acc" in out
+
+    def test_two_series_get_distinct_markers(self):
+        out = line_plot({"a": [0.0, 1.0], "b": [1.0, 0.0]})
+        assert "*" in out and "o" in out
+
+    def test_axis_labels(self):
+        out = line_plot({"a": [1.0, 2.0]}, xlabel="epoch", ylabel="acc")
+        assert "epoch" in out
+        assert "acc" in out
+
+    def test_min_max_labels(self):
+        out = line_plot({"a": [2.0, 8.0]})
+        assert "8" in out
+        assert "2" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = line_plot({"a": [1.0, 1.0, 1.0]})
+        assert "*" in out
+
+    def test_title(self):
+        out = line_plot({"a": [0, 1]}, title="Fig 7")
+        assert out.splitlines()[0] == "Fig 7"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+
+    def test_rejects_all_empty_series(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": []})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": [1]}, width=2, height=2)
+
+    def test_width_respected(self):
+        out = line_plot({"a": [0, 1]}, width=30)
+        plot_lines = [l for l in out.splitlines() if "|" in l]
+        assert all(len(l) <= 30 + 12 for l in plot_lines)

@@ -1,0 +1,51 @@
+"""Tests for human-readable formatting helpers."""
+
+from repro.util.formatting import format_bytes, format_count, format_seconds
+
+
+class TestFormatBytes:
+    def test_plain_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert format_bytes(2048) == "2.00 KiB"
+
+    def test_gib(self):
+        assert format_bytes(3 * 1024**3) == "3.00 GiB"
+
+    def test_negative(self):
+        assert format_bytes(-2048) == "-2.00 KiB"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+
+class TestFormatCount:
+    def test_small(self):
+        assert format_count(42) == "42"
+
+    def test_millions(self):
+        assert format_count(3_500_000) == "3.50M"
+
+    def test_negative(self):
+        assert format_count(-1500) == "-1.50K"
+
+
+class TestFormatSeconds:
+    def test_seconds(self):
+        assert format_seconds(2.5) == "2.5 s"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0032) == "3.2 ms"
+
+    def test_microseconds(self):
+        assert format_seconds(4.5e-6) == "4.5 us"
+
+    def test_nanoseconds(self):
+        assert format_seconds(7e-9) == "7 ns"
+
+    def test_zero(self):
+        assert format_seconds(0) == "0 s"
+
+    def test_negative(self):
+        assert format_seconds(-0.5).startswith("-")

@@ -1,0 +1,41 @@
+"""Tests for the logger factory."""
+
+import logging
+
+from repro.util.logging import get_logger, set_level
+
+
+class TestGetLogger:
+    def test_namespaced_under_repro(self):
+        log = get_logger("sim.engine")
+        assert log.name == "repro.sim.engine"
+
+    def test_already_namespaced_untouched(self):
+        log = get_logger("repro.comm")
+        assert log.name == "repro.comm"
+
+    def test_root_has_handler(self):
+        get_logger("anything")
+        root = logging.getLogger("repro")
+        assert root.handlers
+
+    def test_same_logger_instance(self):
+        assert get_logger("x") is get_logger("x")
+
+
+class TestSetLevel:
+    def test_numeric_level(self):
+        set_level(logging.DEBUG)
+        assert logging.getLogger("repro").level == logging.DEBUG
+        set_level(logging.WARNING)
+
+    def test_string_level(self):
+        set_level("ERROR")
+        assert logging.getLogger("repro").level == logging.ERROR
+        set_level("WARNING")
+
+    def test_child_inherits(self):
+        set_level("INFO")
+        child = get_logger("util.test")
+        assert child.getEffectiveLevel() == logging.INFO
+        set_level("WARNING")

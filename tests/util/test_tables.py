@@ -1,0 +1,60 @@
+"""Tests for the text table renderer."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+class TestTable:
+    def test_basic_render(self):
+        t = Table(["a", "bb"])
+        t.add_row([1, 2])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+        assert lines[2].startswith("1")
+
+    def test_title(self):
+        t = Table(["x"], title="My Table")
+        t.add_row([5])
+        assert t.render().splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        t = Table(["name", "v"])
+        t.add_row(["longer-name", 1])
+        t.add_row(["x", 22])
+        lines = t.render().splitlines()
+        # All column-separator positions line up ("|" in rows, "+" in rule).
+        positions = []
+        for line in lines:
+            if "|" in line:
+                positions.append(line.index("|"))
+            elif "+" in line:
+                positions.append(line.index("+"))
+        assert len(set(positions)) == 1
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row([0.123456])
+        assert "0.1235" in t.render()
+
+    def test_wrong_cell_count(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_csv(self):
+        t = Table(["a", "b"])
+        t.add_row([1, "x"])
+        assert t.to_csv() == "a,b\n1,x"
+
+    def test_csv_rejects_commas(self):
+        t = Table(["a"])
+        t.add_row(["x,y"])
+        with pytest.raises(ValueError):
+            t.to_csv()

@@ -1,0 +1,54 @@
+"""Tests for the wall-clock Timer."""
+
+import time
+
+import pytest
+
+from repro.util.timer import Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+        assert t.entries == 1
+
+    def test_accumulates(self):
+        t = Timer()
+        for _ in range(3):
+            with t:
+                pass
+        assert t.entries == 3
+        assert t.mean == pytest.approx(t.elapsed / 3)
+
+    def test_mean_zero_when_unused(self):
+        assert Timer().mean == 0.0
+
+    def test_not_reentrant(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t:
+                with t:
+                    pass
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0 and t.entries == 0
+
+    def test_reset_while_running_rejected(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t:
+                t.reset()
+
+    def test_exception_still_recorded(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            with t:
+                raise ValueError
+        assert t.entries == 1

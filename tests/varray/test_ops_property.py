@@ -1,0 +1,137 @@
+"""Property-based tests: symbolic shape inference must mirror numpy exactly.
+
+Every op runs twice — once on real data, once symbolically — and the
+symbolic output's (shape, dtype) must match the real one.  This is the
+invariant that makes the paper-scale symbolic benchmarks trustworthy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Engine
+from repro.varray import ops
+from repro.varray.varray import VArray
+
+dims = st.integers(1, 5)
+
+
+def _make_ctx():
+    holder = {}
+    Engine(nranks=1).run(lambda ctx: holder.setdefault("ctx", ctx))
+    return holder["ctx"]
+
+
+#: Module-level context: hypothesis forbids function-scoped fixtures inside
+#: @given, and these properties only need a rank to charge costs to.
+CTX = _make_ctx()
+
+
+@st.composite
+def matmul_shapes(draw):
+    m, k, n = draw(dims), draw(dims), draw(dims)
+    batch = draw(st.lists(st.integers(1, 3), max_size=2))
+    return tuple(batch) + (m, k), tuple(batch) + (k, n)
+
+
+def _pair(shape, rng):
+    data = rng.normal(size=shape).astype(np.float32)
+    return VArray.from_numpy(data), VArray.symbolic(shape)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matmul_shapes())
+def test_matmul_symbolic_matches_real(shapes):
+    ctx1 = CTX
+    rng = np.random.default_rng(0)
+    (sa, sb) = shapes
+    ra, xa = _pair(sa, rng)
+    rb, xb = _pair(sb, rng)
+    real = ops.matmul(ctx1, ra, rb)
+    sym = ops.matmul(ctx1, xa, xb)
+    assert sym.shape == real.shape
+    assert sym.dtype == real.dtype
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(dims, min_size=1, max_size=3).map(tuple),
+    st.sampled_from([ops.exp, ops.sqrt, ops.square, ops.relu, ops.gelu,
+                     ops.tanh, ops.neg]),
+)
+def test_unary_symbolic_matches_real(shape, op):
+    ctx1 = CTX
+    rng = np.random.default_rng(0)
+    real_in = VArray.from_numpy(np.abs(rng.normal(size=shape)).astype(np.float32))
+    real = op(ctx1, real_in)
+    sym = op(ctx1, VArray.symbolic(shape))
+    assert sym.shape == real.shape
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(dims, min_size=1, max_size=3).map(tuple),
+       st.integers(-3, 2), st.booleans())
+def test_reduction_symbolic_matches_real(shape, axis, keepdims):
+    ctx1 = CTX
+    if not -len(shape) <= axis < len(shape):
+        axis = -1
+    rng = np.random.default_rng(0)
+    real_in = VArray.from_numpy(rng.normal(size=shape).astype(np.float32))
+    real = ops.reduce_sum(ctx1, real_in, axis=axis, keepdims=keepdims)
+    sym = ops.reduce_sum(ctx1, VArray.symbolic(shape), axis=axis,
+                         keepdims=keepdims)
+    assert sym.shape == real.shape
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 3))
+def test_split_concat_roundtrip(rows, cols, sections):
+    ctx1 = CTX
+    shape = (rows, cols * sections)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=shape).astype(np.float32)
+    parts = ops.split(ctx1, VArray.from_numpy(x), sections, axis=-1)
+    back = ops.concat(ctx1, parts, axis=-1)
+    assert np.array_equal(back.numpy(), x)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(dims, min_size=2, max_size=4).map(tuple), st.randoms())
+def test_transpose_involution(shape, pyrandom):
+    ctx1 = CTX
+    axes = list(range(len(shape)))
+    pyrandom.shuffle(axes)
+    inverse = [axes.index(i) for i in range(len(axes))]
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=shape).astype(np.float32)
+    once = ops.transpose(ctx1, VArray.from_numpy(x), axes)
+    back = ops.transpose(ctx1, once, inverse)
+    assert np.array_equal(back.numpy(), x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 6), st.integers(1, 6))
+def test_softmax_partition_of_unity(rows, cols):
+    ctx1 = CTX
+    rng = np.random.default_rng(0)
+    x = rng.normal(scale=5.0, size=(rows, cols)).astype(np.float32)
+    out = ops.softmax(ctx1, VArray.from_numpy(x)).numpy()
+    assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-5)
+    assert (out >= 0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+def test_matmul_flops_formula(rows, inner, cols):
+    """The charged flop count is exactly 2*m*k*n."""
+    from repro.sim.engine import Engine
+
+    engine = Engine(nranks=1)
+
+    def prog(ctx):
+        ops.matmul(ctx, VArray.symbolic((rows, inner)),
+                   VArray.symbolic((inner, cols)))
+        return ctx.trace.total_flops(0)
+
+    flops = engine.run(prog)[0]
+    assert flops == 2 * rows * inner * cols

@@ -1,0 +1,83 @@
+"""Tests for the VArray container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.varray.varray import VArray
+
+
+class TestConstruction:
+    def test_from_numpy(self):
+        a = VArray.from_numpy(np.ones((2, 3), dtype=np.float32))
+        assert a.shape == (2, 3)
+        assert not a.is_symbolic
+        assert a.dtype == np.float32
+
+    def test_from_numpy_dtype_conversion(self):
+        a = VArray.from_numpy(np.ones(3, dtype=np.float64), dtype=np.float32)
+        assert a.dtype == np.float32
+
+    def test_symbolic(self):
+        a = VArray.symbolic((4, 5))
+        assert a.is_symbolic
+        assert a.shape == (4, 5)
+        assert a.size == 20
+
+    def test_zeros_real(self):
+        a = VArray.zeros((2, 2))
+        assert float(a.numpy().sum()) == 0.0
+
+    def test_zeros_symbolic(self):
+        assert VArray.zeros((2, 2), symbolic=True).is_symbolic
+
+    def test_full(self):
+        a = VArray.full((3,), 2.5)
+        assert np.allclose(a.numpy(), 2.5)
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ShapeError):
+            VArray.symbolic((2, -1))
+
+    def test_data_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            VArray((2, 3), np.float32, np.ones((3, 2), dtype=np.float32))
+
+
+class TestProperties:
+    def test_nbytes(self):
+        assert VArray.symbolic((10, 10), np.float32).nbytes == 400
+        assert VArray.symbolic((10,), np.float64).nbytes == 80
+
+    def test_ndim(self):
+        assert VArray.symbolic((1, 2, 3)).ndim == 3
+
+    def test_scalar_shape(self):
+        s = VArray.symbolic(())
+        assert s.size == 1
+        assert s.ndim == 0
+
+    def test_numpy_raises_on_symbolic(self):
+        with pytest.raises(ShapeError, match="symbolic"):
+            VArray.symbolic((2,)).numpy()
+
+    def test_astuple(self):
+        assert VArray.symbolic((2,), np.float32).astuple() == ((2,), "float32", True)
+
+
+class TestCopyAndLike:
+    def test_copy_real_is_deep(self):
+        a = VArray.from_numpy(np.zeros(3, dtype=np.float32))
+        b = a.copy()
+        b.numpy()[0] = 5
+        assert a.numpy()[0] == 0
+
+    def test_copy_symbolic(self):
+        assert VArray.symbolic((2,)).copy().is_symbolic
+
+    def test_like_preserves_mode(self):
+        real = VArray.zeros((2,))
+        sym = VArray.symbolic((2,))
+        assert not real.like((5,)).is_symbolic
+        assert sym.like((5,)).is_symbolic
+        assert sym.like((5,)).shape == (5,)

@@ -1,0 +1,46 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import rng_for
+from repro.varray import vinit
+
+
+class TestXavier:
+    def test_uniform_bounds(self):
+        w = vinit.xavier_uniform(rng_for(0, "t"), (100, 200))
+        a = np.sqrt(6.0 / 300)
+        assert w.min() >= -a and w.max() <= a
+
+    def test_uniform_deterministic(self):
+        a = vinit.xavier_uniform(rng_for(0, "t"), (10, 10))
+        b = vinit.xavier_uniform(rng_for(0, "t"), (10, 10))
+        assert np.array_equal(a, b)
+
+    def test_normal_std(self):
+        w = vinit.xavier_normal(rng_for(0, "t"), (500, 500))
+        expected = np.sqrt(2.0 / 1000)
+        assert w.std() == pytest.approx(expected, rel=0.1)
+
+    def test_gain_scales(self):
+        base = vinit.xavier_uniform(rng_for(0, "t"), (50, 50))
+        gained = vinit.xavier_uniform(rng_for(0, "t"), (50, 50), gain=2.0)
+        assert np.allclose(gained, 2.0 * base)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            vinit.xavier_uniform(rng_for(0, "t"), (10,))
+
+    def test_dtype(self):
+        assert vinit.xavier_uniform(rng_for(0, "t"), (2, 2)).dtype == np.float32
+
+
+class TestSimpleInits:
+    def test_normal(self):
+        w = vinit.normal(rng_for(0, "t"), (1000,), std=0.02)
+        assert abs(w.std() - 0.02) < 0.005
+
+    def test_zeros_ones(self):
+        assert vinit.zeros((3,)).sum() == 0
+        assert vinit.ones((3,)).sum() == 3
