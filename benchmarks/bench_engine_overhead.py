@@ -1,0 +1,170 @@
+"""Engine synchronization overhead: sharded events vs the old global lock.
+
+The engine's rendezvous layer was rebuilt around per-rendezvous events, a
+sharded lock registry, a persistent rank-worker pool and an event-driven
+watchdog (see the "Synchronization design" section of
+:mod:`repro.sim.engine`).  This bench measures raw wall-clock engine
+overhead — no cost model, no payloads — by driving the rendezvous API with
+a 64-rank butterfly pattern, and compares against ``_BaselineEngine``, a
+vendored copy of the previous synchronization layer (one global
+``threading.Condition``, 1-second polling wakeups, fresh threads every
+``run``).  The new engine must be at least 2x faster.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_engine_overhead.py -s``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.errors import CommError, DeadlockError
+from repro.sim.engine import Engine
+
+NRANKS = 64
+ROUNDS = 8  #: rendezvous rounds per run (butterfly partner pattern)
+RUNS = 15  #: repeated Engine.run calls (the harness reruns engines a lot)
+MIN_SPEEDUP = 2.0
+
+
+# --------------------------------------------------------------------------
+# Baseline: the engine's previous synchronization layer, reduced to the
+# rendezvous service (the part both engines share an API for).  Faithful to
+# the old implementation: one Condition guards every rendezvous, waiters
+# poll with capped 1 s timeouts, every completion broadcasts notify_all to
+# all waiting ranks, and each run spawns and joins fresh threads.
+# --------------------------------------------------------------------------
+
+
+class _BaselineRendezvous:
+    __slots__ = ("size", "arrivals", "results", "t_end", "done", "kind")
+
+    def __init__(self, size: int, kind: str):
+        self.size = size
+        self.arrivals: dict[int, Any] = {}
+        self.results: dict[int, Any] = {}
+        self.t_end = 0.0
+        self.done = False
+        self.kind = kind
+
+
+class _BaselineEngine:
+    def __init__(self, nranks: int, op_timeout: float = 120.0):
+        self.nranks = nranks
+        self.op_timeout = op_timeout
+        self._cond = threading.Condition()
+        self._rendezvous: dict[Any, _BaselineRendezvous] = {}
+        self._error: BaseException | None = None
+
+    def run(self, fn: Callable[[int], Any]) -> list[Any]:
+        self._rendezvous.clear()
+        self._error = None
+        results: list[Any] = [None] * self.nranks
+
+        def worker(rank: int) -> None:
+            results[rank] = fn(rank)
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), daemon=True)
+            for r in range(self.nranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return results
+
+    def collective(self, key, size, rank, arrival, kind, finisher):
+        deadline = time.monotonic() + self.op_timeout
+        with self._cond:
+            rv = self._rendezvous.get(key)
+            if rv is None:
+                rv = _BaselineRendezvous(size, kind)
+                self._rendezvous[key] = rv
+            if rank in rv.arrivals:
+                raise CommError(f"rank {rank} joined {key} twice")
+            rv.arrivals[rank] = arrival
+            if len(rv.arrivals) == rv.size:
+                rv.results, rv.t_end = finisher(rv.arrivals)
+                rv.done = True
+                self._cond.notify_all()
+            else:
+                while not rv.done:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise DeadlockError(f"rendezvous {key} timed out")
+                    self._cond.wait(timeout=min(remaining, 1.0))
+            result = rv.results.get(rank)
+            t_end = rv.t_end
+            rv.results.pop(rank, None)
+            rv.arrivals.pop(rank, None)
+            if not rv.arrivals:
+                self._rendezvous.pop(key, None)
+        return result, t_end
+
+
+# --------------------------------------------------------------------------
+# Workload: ROUNDS rounds of pairwise butterfly rendezvous (recursive
+# halving's communication pattern) — many small concurrent rendezvous, the
+# shape that stresses lock sharding and wakeup targeting.
+# --------------------------------------------------------------------------
+
+
+def _finisher(arrivals: dict[int, Any]):
+    return ({r: None for r in arrivals}, 0.0)
+
+
+def _butterfly(engine, rank: int) -> None:
+    bits = NRANKS.bit_length() - 1
+    for rnd in range(ROUNDS):
+        partner = rank ^ (1 << (rnd % bits))
+        pair = (min(rank, partner), max(rank, partner))
+        engine.collective(
+            key=("bfly", rnd, pair),
+            size=2,
+            rank=rank,
+            arrival=None,
+            kind="pair",
+            finisher=_finisher,
+        )
+
+
+def _time_baseline() -> float:
+    engine = _BaselineEngine(nranks=NRANKS)
+    t0 = time.perf_counter()
+    for _ in range(RUNS):
+        engine.run(lambda rank: _butterfly(engine, rank))
+    return time.perf_counter() - t0
+
+
+def _time_current() -> float:
+    engine = Engine(nranks=NRANKS, mode="symbolic", trace=False)
+    program = lambda ctx: _butterfly(ctx.engine, ctx.rank)  # noqa: E731
+    engine.run(program)  # warm the worker pool once
+    t0 = time.perf_counter()
+    for _ in range(RUNS):
+        engine.run(program)
+    return time.perf_counter() - t0
+
+
+def test_engine_overhead_speedup():
+    """Rendezvous hot path: new engine >= 2x faster than the old design."""
+    # Interleave the measurements to average out machine noise.
+    base = cur = 0.0
+    for _ in range(3):
+        base += _time_baseline()
+        cur += _time_current()
+    speedup = base / cur
+    per_rendezvous = cur / (3 * RUNS * ROUNDS * NRANKS / 2)
+    print(
+        f"\n64-rank butterfly, {RUNS} runs x {ROUNDS} rounds x 3 reps:\n"
+        f"  baseline (global condition, thread-per-run): {base:.3f} s\n"
+        f"  current  (sharded events, worker pool):      {cur:.3f} s\n"
+        f"  speedup: {speedup:.1f}x  "
+        f"({per_rendezvous * 1e6:.1f} us per rendezvous)"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"engine overhead regression: only {speedup:.2f}x faster than the "
+        f"seed synchronization layer (need >= {MIN_SPEEDUP}x)"
+    )

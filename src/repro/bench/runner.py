@@ -26,7 +26,8 @@ from repro.sim.engine import Engine
 from repro.util.mathutil import ceil_div
 from repro.varray.varray import VArray
 
-__all__ = ["MeasuredRow", "run_row", "run_table", "effective_batch"]
+__all__ = ["MeasuredRow", "engine_for_row", "run_row", "run_table",
+           "effective_batch"]
 
 
 @dataclass
@@ -40,7 +41,9 @@ class MeasuredRow:
     #: except where the paper itself had to bump it)
     peak_memory_bytes: float  #: max over ranks of peak device memory
     comm: dict[str, tuple[int, float]] = field(default_factory=dict)
-    #: per-collective (count, bytes) over the whole iteration
+    #: per-collective (count, bytes) over the whole iteration; counts are
+    #: once per group, bytes sum the per-rank volumes (see the accounting
+    #: convention in :mod:`repro.comm.communicator`)
 
     @property
     def throughput(self) -> float:
@@ -66,6 +69,26 @@ def effective_batch(row: BenchRow) -> int:
     return ceil_div(row.batch, dq) * dq
 
 
+def engine_for_row(
+    row: BenchRow,
+    cluster: ClusterSpec | None = None,
+    comm_alg: CollectiveAlg = CollectiveAlg.AUTO,
+    placement: Placement = Placement.BLOCK,
+    collect_comm: bool = True,
+) -> Engine:
+    """Build the symbolic-mode engine a benchmark row runs on."""
+    if cluster is None:
+        cluster = meluxina(ceil_div(row.gpus, 4))
+    return Engine(
+        cluster=cluster,
+        nranks=row.gpus,
+        mode="symbolic",
+        placement=placement,
+        comm_alg=comm_alg,
+        trace=collect_comm,
+    )
+
+
 def run_row(
     row: BenchRow,
     seq_len: int = DEFAULT_SEQ_LEN,
@@ -74,19 +97,23 @@ def run_row(
     comm_alg: CollectiveAlg = CollectiveAlg.AUTO,
     placement: Placement = Placement.BLOCK,
     collect_comm: bool = True,
+    engine: Engine | None = None,
 ) -> MeasuredRow:
-    """Simulate one table row and return its measurements."""
+    """Simulate one table row and return its measurements.
+
+    Pass ``engine`` to reuse one engine (and its persistent rank workers)
+    across rows of equal GPU count — :func:`run_table` does this; the trace
+    is cleared between rows so accounting stays per-row.
+    """
     batch = effective_batch(row)
-    if cluster is None:
-        cluster = meluxina(ceil_div(row.gpus, 4))
-    engine = Engine(
-        cluster=cluster,
-        nranks=row.gpus,
-        mode="symbolic",
-        placement=placement,
-        comm_alg=comm_alg,
-        trace=collect_comm,
-    )
+    if engine is None:
+        engine = engine_for_row(row, cluster, comm_alg, placement, collect_comm)
+    else:
+        if engine.nranks != row.gpus:
+            raise ValueError(
+                f"reused engine has {engine.nranks} ranks, row needs {row.gpus}"
+            )
+        engine.trace.clear()
 
     def program(ctx):
         handle = build_transformer_stack(
@@ -127,8 +154,20 @@ def run_table(
     rows, seq_len: int = DEFAULT_SEQ_LEN, num_layers: int = DEFAULT_NUM_LAYERS,
     **kwargs,
 ) -> list[MeasuredRow]:
-    """Run every row of a table; returns measurements in row order."""
-    return [
-        run_row(row, seq_len=seq_len, num_layers=num_layers, **kwargs)
-        for row in rows
-    ]
+    """Run every row of a table; returns measurements in row order.
+
+    Rows with the same GPU count share one engine, so the whole table pays
+    topology construction once per cluster size and the persistent rank
+    workers are reused run-to-run.
+    """
+    engines: dict[int, Engine] = {}
+    out = []
+    for row in rows:
+        engine = engines.get(row.gpus)
+        if engine is None:
+            engine = engine_for_row(row, **kwargs)
+            engines[row.gpus] = engine
+        out.append(
+            run_row(row, seq_len=seq_len, num_layers=num_layers, engine=engine)
+        )
+    return out

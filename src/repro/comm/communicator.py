@@ -22,6 +22,31 @@ A collective completes, for every participant, at
 
 which models the bulk-synchronous behaviour of NCCL collectives on a
 stream: stragglers dominate, then the wire time is paid once.
+
+Trace accounting
+----------------
+Every participant records one :class:`~repro.sim.events.CommEvent` whose
+``nbytes`` is **per-rank**: the bytes that rank *receives* from its peers,
+or — for a rank that receives nothing — the bytes it *sends*.  The
+whole-group payload is never recorded on every member, so summing
+``nbytes`` over a trace reproduces the analytic per-rank communication
+volume with no group-size inflation.  With group size ``g``, buffer ``n``,
+per-member chunk ``c`` and total payload ``N``:
+
+==============  ==========================================================
+collective      per-rank ``nbytes``
+==============  ==========================================================
+send / recv     ``n`` on each side (a message crosses two NICs)
+broadcast       root: ``n`` sent; every other rank: ``n`` received
+reduce          root: ``n`` received; every other rank: ``n`` sent
+all_reduce      ``n`` (each rank's buffer makes one logical round trip)
+all_gather      ``(g-1)·c`` — the remote chunks received (own chunk local)
+reduce_scatter  ``c`` — the reduced chunk received
+scatter         root: ``N - c_root`` sent; member ``i``: ``c_i`` received
+gather          root: ``N - c_root`` received; member ``i``: ``c_i`` sent
+all_to_all      ``(g-1)·c`` — the remote chunks received
+barrier         ``0``
+==============  ==========================================================
 """
 
 from __future__ import annotations
@@ -63,15 +88,15 @@ class Communicator:
         payload: Any,
         finisher_data,
         cost_fn,
-        nbytes: float,
+        nbytes,
         tag: str = "",
-        nbytes_from_result: bool = False,
     ):
         """Join the group rendezvous for one collective and advance the clock.
 
-        ``nbytes_from_result`` makes the trace record the *received* array's
-        size — needed for broadcast, where non-root callers post None and
-        only learn the payload size from the result.
+        ``nbytes`` is this rank's traffic per the module convention table —
+        either a number, or a callable applied to this rank's *result*
+        (needed e.g. by broadcast, where non-root callers post None and
+        only learn the payload size from the result).
         """
         granks = self.group.ranks
         seq = self.ctx.next_group_seq(granks)
@@ -92,10 +117,11 @@ class Communicator:
             arrival=(payload, t_post),
             kind=kind,
             finisher=finisher,
+            ranks=granks,
         )
         self.ctx.clock.sync_to(t_end)
-        if nbytes_from_result and isinstance(result, VArray):
-            nbytes = result.nbytes
+        if callable(nbytes):
+            nbytes = nbytes(result)
         self.ctx.trace.record(
             CommEvent(
                 rank=self.ctx.rank,
@@ -145,9 +171,8 @@ class Communicator:
             cost_fn=lambda: self._cost.broadcast(
                 self.group.ranks, holder.get("nbytes", nbytes)
             ),
-            nbytes=nbytes,
+            nbytes=lambda res: res.nbytes,
             tag=tag,
-            nbytes_from_result=True,
         )
         return result
 
@@ -166,12 +191,14 @@ class Communicator:
             combined = combine(op, payloads)
             return {g: (combined if g == root_global else None) for g in ordered}
 
+        # Root records the combined buffer it receives; non-roots record
+        # their contribution (they receive nothing back).
         return self._run(
             kind=f"reduce[root={root},op={op.value}]",
             payload=arr,
             finisher_data=data,
             cost_fn=lambda: self._cost.reduce(self.group.ranks, arr.nbytes),
-            nbytes=arr.nbytes,
+            nbytes=lambda res: res.nbytes if res is not None else arr.nbytes,
             tag=tag,
         )
 
@@ -213,7 +240,9 @@ class Communicator:
             payload=arr,
             finisher_data=data,
             cost_fn=lambda: self._cost.all_gather(self.group.ranks, total),
-            nbytes=total,
+            nbytes=lambda res: sum(
+                p.nbytes for i, p in enumerate(res) if i != self.rank
+            ),
             tag=tag,
         )
 
@@ -245,7 +274,7 @@ class Communicator:
             payload=list(chunks),
             finisher_data=data,
             cost_fn=lambda: self._cost.reduce_scatter(self.group.ranks, total),
-            nbytes=total,
+            nbytes=lambda res: res.nbytes,
             tag=tag,
         )
 
@@ -273,6 +302,15 @@ class Communicator:
             return {g: src_chunks[i] for i, g in enumerate(self.group.ranks)}
 
         nbytes = sum(c.nbytes for c in chunks) if chunks else 0
+        if self.rank == root:
+            # Root keeps its own chunk; it sends everything else.
+            my_bytes = sum(
+                c.nbytes for i, c in enumerate(chunks) if i != self.rank
+            )
+        else:
+            # Non-roots receive their chunk; its size is only known from
+            # the result (the finisher observes the root's chunks).
+            my_bytes = lambda res: res.nbytes  # noqa: E731
         return self._run(
             kind=f"scatter[root={root}]",
             payload=list(chunks) if self.rank == root else None,
@@ -280,7 +318,7 @@ class Communicator:
             cost_fn=lambda: self._cost.scatter(
                 self.group.ranks, holder.get("nbytes", nbytes)
             ),
-            nbytes=nbytes,
+            nbytes=my_bytes,
             tag=tag,
         )
 
@@ -302,7 +340,9 @@ class Communicator:
             payload=arr,
             finisher_data=data,
             cost_fn=lambda: self._cost.gather(self.group.ranks, total),
-            nbytes=total,
+            nbytes=lambda res: arr.nbytes if res is None else sum(
+                p.nbytes for i, p in enumerate(res) if i != self.rank
+            ),
             tag=tag,
         )
 
@@ -327,7 +367,9 @@ class Communicator:
             payload=list(chunks),
             finisher_data=data,
             cost_fn=lambda: self._cost.all_to_all(self.group.ranks, per_pair),
-            nbytes=per_pair * self.size * (self.size - 1),
+            nbytes=lambda res: sum(
+                p.nbytes for i, p in enumerate(res) if i != self.rank
+            ),
             tag=tag,
         )
 

@@ -29,8 +29,12 @@ barrier                   tree of empty messages
 When a group spans several nodes the *hierarchical* variant decomposes the
 collective into an intra-node phase on NVLink and an inter-node phase on
 InfiniBand across one leader per node (this is how NCCL behaves and what
-makes the paper's "q^2 a multiple of 4" placement matter).  A fixed
-per-byte reduction cost ``gamma`` is charged for reducing collectives.
+makes the paper's "q^2 a multiple of 4" placement matter).  Under
+:attr:`CollectiveAlg.AUTO` *every* collective — including scatter, gather,
+all_to_all and barrier — uses this decomposition for node-spanning groups;
+:attr:`CollectiveAlg.FLAT` forces the single-level model on the group's
+bottleneck link.  A fixed per-byte reduction cost ``gamma`` is charged for
+reducing collectives.
 """
 
 from __future__ import annotations
@@ -138,6 +142,16 @@ class CommCostModel:
             return 0.0
         return (g - 1) * link.latency + nbytes_total * (g - 1) / g / link.effective_bandwidth
 
+    @staticmethod
+    def _binomial_scatter(g: int, nbytes_total: float, link: LinkSpec) -> float:
+        """Binomial scatter/gather: each step moves half the remaining data."""
+        t = 0.0
+        remaining = nbytes_total
+        for _ in range(_log2_steps(g)):
+            remaining /= 2.0
+            t += link.latency + remaining / link.effective_bandwidth
+        return t
+
     # --- public collective prices ---------------------------------------------
 
     def p2p(self, src: int, dst: int, nbytes: float) -> float:
@@ -205,14 +219,14 @@ class CommCostModel:
         g = len(ranks)
         if g <= 1 or nbytes_total == 0:
             return 0.0
-        link = self.topology.worst_link(ranks)
-        # Binomial scatter moves half the remaining payload each step.
-        steps = _log2_steps(g)
-        t = 0.0
-        remaining = nbytes_total
-        for _ in range(steps):
-            remaining /= 2.0
-            t += link.latency + remaining / link.effective_bandwidth
+        if not self._use_hierarchical(ranks):
+            link = self.topology.worst_link(ranks)
+            return self._binomial_scatter(g, nbytes_total, link)
+        n_nodes, per_node, intra, inter = self._split_group(ranks)
+        # Scatter node-sized slabs to one leader per node over IB, then
+        # each leader scatters its slab locally over NVLink.
+        t = self._binomial_scatter(n_nodes, nbytes_total, inter)
+        t += self._binomial_scatter(per_node, nbytes_total / max(n_nodes, 1), intra)
         return t
 
     def gather(self, ranks: Sequence[int], nbytes_total: float) -> float:
@@ -224,13 +238,27 @@ class CommCostModel:
         g = len(ranks)
         if g <= 1 or nbytes_per_pair == 0:
             return 0.0
-        link = self.topology.worst_link(ranks)
-        return (g - 1) * (link.latency + nbytes_per_pair / link.effective_bandwidth)
+        if not self._use_hierarchical(ranks):
+            link = self.topology.worst_link(ranks)
+            return (g - 1) * (link.latency + nbytes_per_pair / link.effective_bandwidth)
+        n_nodes, per_node, intra, inter = self._split_group(ranks)
+        # Split the g-1 pairwise exchange steps by where the peer lives:
+        # same-node partners ride NVLink, the rest cross InfiniBand.
+        intra_steps = per_node - 1
+        inter_steps = g - per_node
+        t = intra_steps * (intra.latency + nbytes_per_pair / intra.effective_bandwidth)
+        t += inter_steps * (inter.latency + nbytes_per_pair / inter.effective_bandwidth)
+        return t
 
     def barrier(self, ranks: Sequence[int]) -> float:
         """Barrier: a zero-payload tree up and down."""
         g = len(ranks)
         if g <= 1:
             return 0.0
-        link = self.topology.worst_link(ranks)
-        return 2 * _log2_steps(g) * link.latency
+        if not self._use_hierarchical(ranks):
+            link = self.topology.worst_link(ranks)
+            return 2 * _log2_steps(g) * link.latency
+        n_nodes, per_node, intra, inter = self._split_group(ranks)
+        # Tree up/down within each node, then across node leaders.
+        return 2 * (_log2_steps(per_node) * intra.latency
+                    + _log2_steps(n_nodes) * inter.latency)

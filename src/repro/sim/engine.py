@@ -19,12 +19,36 @@ provides:
 Determinism: reductions are applied in group-rank order by a single thread,
 so results (and therefore every downstream number) are bit-stable across
 runs and platforms.
+
+Synchronization design
+----------------------
+The engine must itself run as fast as the hardware allows — the benchmark
+harness calls :meth:`Engine.run` hundreds of times at 64 ranks.  Three
+mechanisms keep the dispatch hot path off the floor:
+
+* **Per-rendezvous events under a sharded registry.**  Every in-flight
+  collective (and every pending p2p receive) owns its own
+  ``threading.Event``; registry mutations take one of ``_N_SHARDS`` locks
+  selected by key hash.  Completing a collective wakes exactly its own
+  waiters — there is no global condition variable on which every rank of
+  every group contends, and no ``notify_all`` thundering herd.
+* **A persistent rank-worker pool.**  Worker threads are process-global and
+  outlive any single :class:`Engine`; repeated ``run`` calls (and freshly
+  constructed engines) reuse them instead of paying thread spawn/join per
+  run.  The pool always grows to the concurrency a run demands, so ranks
+  that rendezvous with each other can never starve behind a queue.
+* **An event-driven deadlock watchdog.**  One process-wide timer thread
+  sleeps until the earliest outstanding deadline; waiting ranks block on
+  their rendezvous event without polling wakeups.  When a deadline expires
+  the watchdog raises :class:`~repro.errors.DeadlockError` naming the
+  ranks that never arrived, and releases everyone.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from typing import Any, Callable, Sequence
 
 from repro.errors import CommError, DeadlockError, SimulationError
@@ -39,19 +63,172 @@ from repro.util.rng import rng_for
 
 __all__ = ["Engine", "RankContext"]
 
+#: Number of independent lock shards for the rendezvous/mailbox registry.
+#: Must be a power of two (shard selection is ``hash & (_N_SHARDS - 1)``).
+_N_SHARDS = 16
+
+#: Extra wall seconds a waiter sleeps past ``op_timeout`` before assuming
+#: the watchdog failed and raising the deadlock itself (backstop only).
+_WATCHDOG_SLACK = 5.0
+
+
+class _RankPool:
+    """Process-global pool of daemon worker threads for rank programs.
+
+    ``run(n, target)`` executes ``target(0) .. target(n-1)`` concurrently
+    and returns when all have finished.  The pool *always* holds at least
+    as many workers as there are queued tasks, so every rank of a run is
+    guaranteed its own thread — ranks block on each other inside
+    collectives, which makes bounded pools (and therefore queuing) a
+    deadlock, not an optimization.  Idle workers linger ``_IDLE_TIMEOUT``
+    seconds so back-to-back :meth:`Engine.run` calls pay zero spawns, then
+    exit so test processes shed threads.
+    """
+
+    _IDLE_TIMEOUT = 30.0
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._tasks: deque[Callable[[], None]] = deque()
+        self._idle = 0
+        self._spawned = 0
+
+    def run(self, n: int, target: Callable[[int], None]) -> None:
+        """Run ``target(rank)`` for every rank on pool threads; block until done."""
+        done = threading.Event()
+        state_lock = threading.Lock()
+        pending = [n]
+
+        def task_for(rank: int) -> Callable[[], None]:
+            def task() -> None:
+                try:
+                    target(rank)
+                finally:
+                    with state_lock:
+                        pending[0] -= 1
+                        if pending[0] == 0:
+                            done.set()
+
+            return task
+
+        with self._cond:
+            for rank in range(n):
+                self._tasks.append(task_for(rank))
+            # One worker per queued task; idle workers cover the rest.
+            for _ in range(max(0, len(self._tasks) - self._idle)):
+                self._spawned += 1
+                threading.Thread(
+                    target=self._worker,
+                    name=f"repro-rank-worker-{self._spawned}",
+                    daemon=True,
+                ).start()
+            self._cond.notify(n)
+        done.wait()
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                self._idle += 1
+                try:
+                    while not self._tasks:
+                        if not self._cond.wait(timeout=self._IDLE_TIMEOUT):
+                            if not self._tasks:
+                                return
+                    task = self._tasks.popleft()
+                finally:
+                    self._idle -= 1
+            task()  # exceptions are captured inside the task closure
+
+
+class _Watchdog:
+    """One timer thread for every outstanding rendezvous deadline.
+
+    Waiting ranks register ``(deadline, fire)`` pairs; the single watchdog
+    thread sleeps until the earliest deadline and calls ``fire`` (which
+    records a :class:`DeadlockError` and releases all waiters) only if the
+    wait was not cancelled first.  This replaces per-rank polling wakeups:
+    nobody wakes up just to check a clock.
+    """
+
+    _IDLE_TIMEOUT = 30.0
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._entries: dict[int, tuple[float, Callable[[], None]]] = {}
+        self._next_token = 0
+        self._running = False
+        #: the deadline the watchdog thread is currently sleeping toward;
+        #: registrations only wake it for *earlier* deadlines, so the
+        #: common case (every wait uses the same timeout, deadlines arrive
+        #: in increasing order) never touches the watchdog thread at all.
+        self._armed = float("inf")
+
+    def register(self, deadline: float, fire: Callable[[], None]) -> int:
+        with self._cond:
+            token = self._next_token
+            self._next_token += 1
+            self._entries[token] = (deadline, fire)
+            if not self._running:
+                self._running = True
+                threading.Thread(
+                    target=self._loop, name="repro-watchdog", daemon=True
+                ).start()
+            elif deadline < self._armed:
+                self._cond.notify()
+            return token
+
+    def cancel(self, token: int) -> None:
+        # No notify: a spurious watchdog wakeup at a stale deadline is
+        # harmless (it recomputes the minimum and goes back to sleep).
+        with self._cond:
+            self._entries.pop(token, None)
+
+    def _loop(self) -> None:
+        with self._cond:
+            while True:
+                if not self._entries:
+                    self._armed = float("inf")
+                    if not self._cond.wait(timeout=self._IDLE_TIMEOUT):
+                        if not self._entries:
+                            self._running = False
+                            return
+                    continue
+                token, (deadline, fire) = min(
+                    self._entries.items(), key=lambda kv: kv[1][0]
+                )
+                remaining = deadline - time.monotonic()
+                if remaining > 0:
+                    self._armed = deadline
+                    self._cond.wait(timeout=remaining)
+                    self._armed = float("inf")
+                    continue
+                del self._entries[token]
+                self._cond.release()
+                try:
+                    fire()
+                finally:
+                    self._cond.acquire()
+
+
+_pool = _RankPool()
+_watchdog = _Watchdog()
+
 
 class _Rendezvous:
     """State of one in-flight collective: who arrived, with what."""
 
-    __slots__ = ("size", "arrivals", "results", "t_end", "done", "kind")
+    __slots__ = ("size", "ranks", "arrivals", "results", "t_end", "done",
+                 "kind", "event")
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, kind: str, ranks: tuple[int, ...] | None):
         self.size = size
+        self.ranks = ranks  #: expected global ranks (None when unknown)
         self.arrivals: dict[int, Any] = {}
         self.results: dict[int, Any] = {}
         self.t_end: float = 0.0
         self.done = False
-        self.kind: str | None = None
+        self.kind = kind
+        self.event = threading.Event()
 
 
 class _Mailbox:
@@ -62,6 +239,18 @@ class _Mailbox:
     def __init__(self, payload: Any, t_sent: float):
         self.payload = payload
         self.t_sent = t_sent
+
+
+class _Shard:
+    """One lock's worth of the rendezvous/mailbox registry."""
+
+    __slots__ = ("lock", "rendezvous", "mailboxes", "recv_waiters")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.rendezvous: dict[Any, _Rendezvous] = {}
+        self.mailboxes: dict[Any, _Mailbox] = {}
+        self.recv_waiters: dict[Any, threading.Event] = {}
 
 
 class RankContext:
@@ -209,9 +398,8 @@ class Engine:
         self.comm_model = CommCostModel(self.topology, alg=comm_alg)
         self.trace = Trace(enabled=trace)
 
-        self._cond = threading.Condition()
-        self._rendezvous: dict[Any, _Rendezvous] = {}
-        self._mailboxes: dict[Any, _Mailbox] = {}
+        self._shards = tuple(_Shard() for _ in range(_N_SHARDS))
+        self._err_lock = threading.Lock()
         self._error: BaseException | None = None
         self.contexts: list[RankContext] = []
 
@@ -226,11 +414,16 @@ class Engine:
         """Run ``fn(ctx, *args, **kwargs)`` on every rank; return all results.
 
         Results are ordered by rank.  If any rank raises, all ranks are
-        aborted and the first exception (by rank) is re-raised.
+        aborted and the first exception (by rank) is re-raised.  Rank
+        threads come from a persistent process-wide pool, so calling
+        ``run`` repeatedly (the benchmark harness does, hundreds of times)
+        does not pay thread spawn/join per call.
         """
         kwargs = kwargs or {}
-        self._rendezvous.clear()
-        self._mailboxes.clear()
+        for shard in self._shards:
+            shard.rendezvous.clear()
+            shard.mailboxes.clear()
+            shard.recv_waiters.clear()
         self._error = None
         self.contexts = [RankContext(self, r) for r in range(self.nranks)]
         results: list[Any] = [None] * self.nranks
@@ -246,20 +439,15 @@ class Engine:
         if self.nranks == 1:
             worker(0)
         else:
-            threads = [
-                threading.Thread(target=worker, args=(r,), name=f"rank-{r}", daemon=True)
-                for r in range(self.nranks)
-            ]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
+            _pool.run(self.nranks, worker)
 
         for rank, exc in enumerate(errors):
             if exc is not None and not isinstance(exc, _AbortedError):
                 raise exc
-        if self._error is not None:  # pragma: no cover - defensive
-            raise SimulationError("simulation aborted") from self._error
+        if self._error is not None and not isinstance(self._error, _AbortedError):
+            # No rank raised directly (e.g. the watchdog flagged a deadlock
+            # while every rank merely observed the abort): surface the cause.
+            raise self._error
         return results
 
     def max_time(self) -> float:
@@ -268,15 +456,26 @@ class Engine:
             raise SimulationError("engine has not run anything yet")
         return max(ctx.clock.now for ctx in self.contexts)
 
+    # --- failure handling -----------------------------------------------------
+
     def _abort(self, exc: BaseException) -> None:
-        with self._cond:
+        """Record the first failure and release every waiting rank."""
+        with self._err_lock:
             if self._error is None:
                 self._error = exc
-            self._cond.notify_all()
+        for shard in self._shards:
+            with shard.lock:
+                for rv in shard.rendezvous.values():
+                    rv.event.set()
+                for evt in shard.recv_waiters.values():
+                    evt.set()
 
     def _check_abort(self) -> None:
         if self._error is not None:
             raise _AbortedError("aborted because another rank failed")
+
+    def _shard(self, key: Any) -> _Shard:
+        return self._shards[hash(key) & (_N_SHARDS - 1)]
 
     # --- rendezvous service -------------------------------------------------------
 
@@ -288,98 +487,157 @@ class Engine:
         arrival: Any,
         kind: str,
         finisher: Callable[[dict[int, Any]], tuple[dict[int, Any], float]],
+        ranks: Sequence[int] | None = None,
     ) -> tuple[Any, float]:
         """Join collective ``key``; return (my result, completion time).
 
         ``finisher`` runs exactly once, on the thread of the last arriver,
         with the full ``{rank: arrival}`` map; it must return per-rank
-        results and the synchronized completion time.
+        results and the synchronized completion time.  ``ranks`` (the
+        expected global ranks) lets a timeout name the missing members.
         """
-        deadline = time.monotonic() + self.op_timeout
-        with self._cond:
-            self._check_abort()
-            rv = self._rendezvous.get(key)
+        self._check_abort()
+        shard = self._shard(key)
+        mismatch: CommError | None = None
+        with shard.lock:
+            rv = shard.rendezvous.get(key)
             if rv is None:
-                rv = _Rendezvous(size)
-                rv.kind = kind
-                self._rendezvous[key] = rv
+                rv = _Rendezvous(size, kind, tuple(ranks) if ranks else None)
+                shard.rendezvous[key] = rv
             if rv.kind != kind:
-                err = CommError(
+                mismatch = CommError(
                     f"collective mismatch at {key}: rank {rank} called {kind!r} "
                     f"but the group already started {rv.kind!r}"
                 )
-                self._error = self._error or err
-                self._cond.notify_all()
-                raise err
-            if rank in rv.arrivals:
+            elif rank in rv.arrivals:
                 raise CommError(
                     f"rank {rank} joined collective {key} twice (sequence "
                     f"counters out of sync?)"
                 )
-            rv.arrivals[rank] = arrival
-            if len(rv.arrivals) == rv.size:
-                try:
-                    rv.results, rv.t_end = finisher(rv.arrivals)
-                except BaseException as exc:
-                    self._error = self._error or exc
-                    self._cond.notify_all()
-                    raise
-                rv.done = True
-                self._cond.notify_all()
             else:
-                while not rv.done:
-                    self._check_abort()
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        err = DeadlockError(
-                            f"rendezvous {key} ({kind}) timed out after "
-                            f"{self.op_timeout}s: {len(rv.arrivals)}/{rv.size} "
-                            f"ranks arrived {sorted(rv.arrivals)}"
-                        )
-                        self._error = self._error or err
-                        self._cond.notify_all()
-                        raise err
-                    self._cond.wait(timeout=min(remaining, 1.0))
+                rv.arrivals[rank] = arrival
+                is_last = len(rv.arrivals) == rv.size
+        if mismatch is not None:
+            self._abort(mismatch)
+            raise mismatch
+
+        if is_last:
+            # The group is complete: no thread mutates rv anymore, so the
+            # finisher runs without holding any registry lock.
+            try:
+                rv.results, rv.t_end = finisher(rv.arrivals)
+            except BaseException as exc:
+                self._abort(exc)
+                raise
+            rv.done = True
+            rv.event.set()
+        else:
+            token = _watchdog.register(
+                time.monotonic() + self.op_timeout,
+                lambda: self._fire_deadlock(key, kind, rv),
+            )
+            try:
+                if self._error is not None:
+                    # An abort may have swept the registry before our
+                    # rendezvous was inserted; don't sleep on a dead run.
+                    rv.event.set()
+                rv.event.wait(self.op_timeout + _WATCHDOG_SLACK)
+            finally:
+                _watchdog.cancel(token)
+            if not rv.done:
+                self._check_abort()
+                # Backstop: the watchdog itself failed to fire.
+                err = self._deadlock_error(key, kind, rv)
+                self._abort(err)
+                raise err
+
+        with shard.lock:
             result = rv.results.get(rank)
             t_end = rv.t_end
             # Last rank to pick up its result reclaims the slot.
             rv.results.pop(rank, None)
             rv.arrivals.pop(rank, None)
             if not rv.arrivals:
-                self._rendezvous.pop(key, None)
+                shard.rendezvous.pop(key, None)
         return result, t_end
+
+    def _deadlock_error(self, key: Any, kind: str, rv: _Rendezvous) -> DeadlockError:
+        arrived = sorted(rv.arrivals)
+        detail = f"{len(arrived)}/{rv.size} ranks arrived {arrived}"
+        if rv.ranks is not None:
+            missing = sorted(set(rv.ranks) - set(arrived))
+            detail += f"; missing ranks {missing}"
+        return DeadlockError(
+            f"rendezvous {key} ({kind}) timed out after "
+            f"{self.op_timeout}s: {detail}"
+        )
+
+    def _fire_deadlock(self, key: Any, kind: str, rv: _Rendezvous) -> None:
+        if rv.done or self._error is not None:
+            return
+        self._abort(self._deadlock_error(key, kind, rv))
 
     # --- buffered p2p ---------------------------------------------------------------
 
     def post_message(self, key: Any, payload: Any, t_sent: float) -> None:
         """Deposit a buffered p2p message (sender side, non-blocking)."""
-        with self._cond:
-            self._check_abort()
-            if key in self._mailboxes:
+        self._check_abort()
+        shard = self._shard(key)
+        with shard.lock:
+            if key in shard.mailboxes:
                 raise CommError(
                     f"duplicate p2p message at {key}; sequence counters out of sync"
                 )
-            self._mailboxes[key] = _Mailbox(payload, t_sent)
-            self._cond.notify_all()
+            shard.mailboxes[key] = _Mailbox(payload, t_sent)
+            waiter = shard.recv_waiters.get(key)
+            if waiter is not None:
+                waiter.set()
 
     def take_message(self, key: Any) -> tuple[Any, float]:
         """Block until the matching message exists; return (payload, t_sent)."""
-        deadline = time.monotonic() + self.op_timeout
-        with self._cond:
-            while key not in self._mailboxes:
+        self._check_abort()
+        shard = self._shard(key)
+        with shard.lock:
+            box = shard.mailboxes.pop(key, None)
+            if box is None:
+                evt = shard.recv_waiters.setdefault(key, threading.Event())
+        if box is None:
+            token = _watchdog.register(
+                time.monotonic() + self.op_timeout,
+                lambda: self._fire_recv_deadlock(key),
+            )
+            try:
+                if self._error is not None:
+                    evt.set()
+                evt.wait(self.op_timeout + _WATCHDOG_SLACK)
+            finally:
+                _watchdog.cancel(token)
+            with shard.lock:
+                shard.recv_waiters.pop(key, None)
+                box = shard.mailboxes.pop(key, None)
+            if box is None:
                 self._check_abort()
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    err = DeadlockError(
-                        f"recv at {key} timed out after {self.op_timeout}s: "
-                        f"no matching send was posted"
-                    )
-                    self._error = self._error or err
-                    self._cond.notify_all()
-                    raise err
-                self._cond.wait(timeout=min(remaining, 1.0))
-            box = self._mailboxes.pop(key)
+                err = self._recv_deadlock_error(key)
+                self._abort(err)
+                raise err
         return box.payload, box.t_sent
+
+    def _recv_deadlock_error(self, key: Any) -> DeadlockError:
+        detail = ""
+        if isinstance(key, tuple) and len(key) >= 4 and key[1] == "p2p":
+            detail = f" (missing sender: rank {key[2]})"
+        return DeadlockError(
+            f"recv at {key} timed out after {self.op_timeout}s: "
+            f"no matching send was posted{detail}"
+        )
+
+    def _fire_recv_deadlock(self, key: Any) -> None:
+        shard = self._shard(key)
+        with shard.lock:
+            delivered = key in shard.mailboxes or key not in shard.recv_waiters
+        if delivered or self._error is not None:
+            return
+        self._abort(self._recv_deadlock_error(key))
 
 
 class _AbortedError(SimulationError):

@@ -33,12 +33,22 @@ class ComputeEvent:
 
 @dataclass(frozen=True)
 class CommEvent:
-    """One collective (or p2p message) as seen by one participating rank."""
+    """One collective (or p2p message) as seen by one participating rank.
+
+    ``nbytes`` is **per-rank**: the bytes this rank receives from its
+    peers during the operation, or — for a rank that receives nothing
+    (p2p ``send``, ``broadcast``/``scatter`` root, ``reduce``/``gather``
+    non-root) — the bytes it sends.  See the accounting convention table
+    in :mod:`repro.comm.communicator`.  Summing ``nbytes`` over a trace
+    therefore yields the analytic per-rank communication volume with no
+    group-size inflation (the whole-group payload is never recorded on
+    every member).
+    """
 
     rank: int
     kind: str  #: "broadcast", "all_reduce", "send", ...
     group: tuple[int, ...]
-    nbytes: float
+    nbytes: float  #: bytes received by this rank (sent, for pure senders)
     t_start: float  #: when this rank posted the operation
     t_end: float  #: completion time (synchronized across the group)
     tag: str = ""
@@ -125,20 +135,17 @@ class Trace:
         return sum(e.flops for e in self.compute_events(rank))
 
     def comm_volume(self, rank: int | None = None, kind: str | None = None) -> float:
-        """Total bytes carried by collectives.
+        """Total bytes moved, summed over per-rank events.
 
-        Each collective is counted once per *group* (not once per rank): the
-        event recorded by the group's lowest participating rank is the
-        canonical one.
+        Each :class:`CommEvent` records the bytes *its* rank receives (or
+        sends, for pure senders — see the convention table in
+        :mod:`repro.comm.communicator`), so the plain sum over all events
+        is the trace-wide communication volume and ``rank=r`` restricts it
+        to one rank's traffic.  Note that a p2p message contributes twice
+        (its ``send`` and its ``recv`` event), mirroring the two NICs it
+        crosses.
         """
-        total = 0.0
-        for e in self.comm_events(rank=None, kind=kind):
-            if rank is not None:
-                if e.rank == rank:
-                    total += e.nbytes
-            elif e.rank == min(e.group):
-                total += e.nbytes
-        return total
+        return sum(e.nbytes for e in self.comm_events(rank=rank, kind=kind))
 
     def message_count(self, kind: str | None = None) -> int:
         """Number of collectives issued (counted once per group)."""
@@ -147,13 +154,16 @@ class Trace:
         )
 
     def comm_breakdown(self) -> dict[str, tuple[int, float]]:
-        """Per-kind (count, bytes) over the whole trace."""
+        """Per-kind (count, bytes) over the whole trace.
+
+        ``count`` is the number of collectives issued (once per group);
+        ``bytes`` sums the per-rank volumes of every participant.
+        """
         out: dict[str, tuple[int, float]] = {}
         for e in self.comm_events():
-            if e.rank != min(e.group):
-                continue
             count, nbytes = out.get(e.kind, (0, 0.0))
-            out[e.kind] = (count + 1, nbytes + e.nbytes)
+            out[e.kind] = (count + (1 if e.rank == min(e.group) else 0),
+                           nbytes + e.nbytes)
         return out
 
     def span(self, rank: int, start_marker: str, end_marker: str) -> float:

@@ -102,12 +102,17 @@ def gantt(trace: Trace, ranks: list[int] | None = None, width: int = 72) -> str:
         ranks = sorted(summary["ranks"])[:8]
     lines = [f"timeline 0 .. {makespan:.3e} s  (# compute, ~ comm, . idle)"]
     cell = makespan / width
+    # Bucket events by rank in one pass instead of rescanning the whole
+    # trace once per rank (the trace is O(ranks x steps) long already).
+    wanted = set(ranks)
+    by_rank: dict[int, list] = {r: [] for r in ranks}
+    for e in trace.events:
+        if isinstance(e, (ComputeEvent, CommEvent)) and e.rank in wanted:
+            by_rank[e.rank].append(e)
     for r in ranks:
         compute_mass = [0.0] * width
         comm_mass = [0.0] * width
-        for e in trace.events:
-            if not isinstance(e, (ComputeEvent, CommEvent)) or e.rank != r:
-                continue
+        for e in by_rank[r]:
             lo = min(int(e.t_start / cell), width - 1)
             hi = min(int(e.t_end / cell), width - 1)
             target = compute_mass if isinstance(e, ComputeEvent) else comm_mass

@@ -257,3 +257,106 @@ class TestTracing:
         assert len(events) == 2
         assert all(e.kind.startswith("all_reduce") for e in events)
         assert engine.trace.message_count() == 1
+
+
+class TestAccounting:
+    """Per-rank ``CommEvent.nbytes`` follows the module's convention table."""
+
+    @staticmethod
+    def _vol(engine, rank):
+        return engine.trace.comm_volume(rank=rank)
+
+    def test_broadcast_records_payload_on_every_rank(self):
+        # (2, 2) float32 payload = 16 bytes: root sends it, others receive it.
+        def prog(ctx):
+            comm = Communicator(ctx, range(3))
+            comm.broadcast(_mine(ctx) if comm.rank == 0 else None, root=0)
+
+        engine, _ = run_spmd_engine(3, prog)
+        assert [self._vol(engine, r) for r in range(3)] == [16.0] * 3
+
+    def test_all_gather_records_remote_chunks_only(self):
+        # chunk = 4 bytes; each rank receives the g-1 = 2 remote chunks.
+        def prog(ctx):
+            comm = Communicator(ctx, range(3))
+            comm.all_gather(_mine(ctx, shape=(1,)))
+
+        engine, _ = run_spmd_engine(3, prog)
+        assert [self._vol(engine, r) for r in range(3)] == [8.0] * 3
+        assert engine.trace.comm_volume() == 24.0  # not g * N = 36
+
+    def test_gather_root_sums_remote_chunks(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(3))
+            comm.gather(_mine(ctx, shape=(1,)), root=2)
+
+        engine, _ = run_spmd_engine(3, prog)
+        # non-roots send their 4-byte chunk; the root receives 2 chunks.
+        assert [self._vol(engine, r) for r in range(3)] == [4.0, 4.0, 8.0]
+
+    def test_scatter_root_sends_others_receive_own_chunk(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(3))
+            chunks = None
+            if comm.rank == 1:
+                chunks = [
+                    VArray.from_numpy(np.zeros((1,), dtype=np.float32))
+                    for _ in range(3)
+                ]
+            comm.scatter(chunks, root=1)
+
+        engine, _ = run_spmd_engine(3, prog)
+        # the root ships the two remote chunks; members get 4 bytes each.
+        assert [self._vol(engine, r) for r in range(3)] == [4.0, 8.0, 4.0]
+
+    def test_all_to_all_records_remote_chunks_only(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(3))
+            chunks = [
+                VArray.from_numpy(np.zeros((1,), dtype=np.float32))
+                for _ in range(3)
+            ]
+            comm.all_to_all(chunks)
+
+        engine, _ = run_spmd_engine(3, prog)
+        # 2 remote chunks in, 2 out; nbytes counts the received side.
+        assert [self._vol(engine, r) for r in range(3)] == [8.0] * 3
+
+    def test_reduce_scatter_records_one_chunk(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(2))
+            chunks = [_mine(ctx, shape=(2,)) for _ in range(2)]
+            comm.reduce_scatter(chunks)
+
+        engine, _ = run_spmd_engine(2, prog)
+        assert [self._vol(engine, r) for r in range(2)] == [8.0, 8.0]
+
+    def test_reduce_records_buffer_on_every_rank(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(2))
+            comm.reduce(_mine(ctx), root=0)
+
+        engine, _ = run_spmd_engine(2, prog)
+        # the non-root sends its 16-byte buffer, the root receives one.
+        assert [self._vol(engine, r) for r in range(2)] == [16.0, 16.0]
+
+    def test_barrier_moves_no_bytes(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(4))
+            comm.barrier()
+
+        engine, _ = run_spmd_engine(4, prog)
+        assert engine.trace.comm_volume() == 0.0
+        assert engine.trace.message_count() == 1
+
+    def test_p2p_counts_both_sides(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(2))
+            if comm.rank == 0:
+                comm.send(_mine(ctx), dst=1)
+            else:
+                comm.recv(0)
+
+        engine, _ = run_spmd_engine(2, prog)
+        assert engine.trace.comm_volume(kind="send") == 16.0
+        assert engine.trace.comm_volume(kind="recv") == 16.0

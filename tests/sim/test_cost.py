@@ -115,6 +115,50 @@ class TestOtherCollectives:
         assert cost16.p2p(0, 1, 1e6) < cost16.p2p(0, 4, 1e6)
 
 
+class TestHierarchicalAuto:
+    """AUTO decomposes *every* collective for node-spanning groups."""
+
+    N = 100e6
+
+    @pytest.fixture
+    def flat(self, topo16):
+        return CommCostModel(topo16, alg=CollectiveAlg.FLAT)
+
+    @pytest.fixture
+    def auto(self, topo16):
+        return CommCostModel(topo16, alg=CollectiveAlg.AUTO)
+
+    def test_scatter_hierarchical_beats_flat(self, flat, auto):
+        assert auto.scatter(TWO_NODES, self.N) < flat.scatter(TWO_NODES, self.N)
+
+    def test_gather_hierarchical_beats_flat(self, flat, auto):
+        assert auto.gather(TWO_NODES, self.N) < flat.gather(TWO_NODES, self.N)
+
+    def test_all_to_all_hierarchical_beats_flat(self, flat, auto):
+        assert auto.all_to_all(TWO_NODES, self.N) < flat.all_to_all(
+            TWO_NODES, self.N
+        )
+
+    def test_barrier_hierarchical_beats_flat(self, flat, auto):
+        assert auto.barrier(TWO_NODES) < flat.barrier(TWO_NODES)
+
+    def test_auto_matches_flat_inside_one_node(self, flat, auto):
+        # A non-spanning group takes the single-level path either way.
+        assert auto.scatter(ONE_NODE, self.N) == flat.scatter(ONE_NODE, self.N)
+        assert auto.all_to_all(ONE_NODE, self.N) == flat.all_to_all(
+            ONE_NODE, self.N
+        )
+        assert auto.barrier(ONE_NODE) == flat.barrier(ONE_NODE)
+
+    def test_forced_hierarchical_matches_auto_when_spanning(self, topo16, auto):
+        forced = CommCostModel(topo16, alg=CollectiveAlg.HIERARCHICAL)
+        for fn in ("scatter", "gather", "all_to_all"):
+            assert getattr(forced, fn)(TWO_NODES, self.N) == getattr(auto, fn)(
+                TWO_NODES, self.N
+            )
+        assert forced.barrier(TWO_NODES) == auto.barrier(TWO_NODES)
+
+
 class TestEffectiveBandwidth:
     def test_cost_uses_link_efficiency(self, topo16):
         # The IB link's 0.5 efficiency must show up in cross-node pricing.

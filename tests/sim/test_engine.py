@@ -127,6 +127,25 @@ class TestFailurePropagation:
         with pytest.raises(DeadlockError, match="timed out"):
             run_spmd(2, prog, op_timeout=0.5)
 
+    def test_deadlock_names_missing_ranks(self):
+        def prog(ctx):
+            if ctx.rank in (0, 2):
+                return "skipped the barrier"
+            comm = Communicator(ctx, range(4))
+            comm.barrier()
+
+        with pytest.raises(DeadlockError, match=r"missing ranks \[0, 2\]"):
+            run_spmd(4, prog, op_timeout=0.5)
+
+    def test_recv_deadlock_names_missing_sender(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(2))
+            if ctx.rank == 1:
+                comm.recv(0)
+
+        with pytest.raises(DeadlockError, match="missing sender: rank 0"):
+            run_spmd(2, prog, op_timeout=0.5)
+
     def test_collective_mismatch_detected(self):
         def prog(ctx):
             comm = Communicator(ctx, range(2))
@@ -168,3 +187,39 @@ class TestRerun:
         engine = Engine(nranks=2)
         assert engine.run(lambda ctx: ctx.rank) == [0, 1]
         assert engine.run(lambda ctx: ctx.rank + 10) == [10, 11]
+
+    def test_many_reruns_on_one_engine(self):
+        # Repeated runs reuse the persistent worker pool; collectives must
+        # still rendezvous correctly with no state bleeding across runs.
+        engine = Engine(nranks=4)
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(4))
+            comm.barrier()
+            return ctx.rank
+
+        for _ in range(20):
+            assert engine.run(prog) == [0, 1, 2, 3]
+
+    def test_interleaved_engines_share_pool_safely(self):
+        a = Engine(nranks=2)
+        b = Engine(nranks=3)
+        for _ in range(5):
+            assert a.run(lambda ctx: ctx.rank) == [0, 1]
+            assert b.run(lambda ctx: ctx.rank) == [0, 1, 2]
+
+    def test_engine_usable_after_deadlock(self):
+        engine = Engine(nranks=2, op_timeout=0.5)
+
+        def bad(ctx):
+            if ctx.rank == 0:
+                return None
+            Communicator(ctx, range(2)).barrier()
+
+        def good(ctx):
+            Communicator(ctx, range(2)).barrier()
+            return ctx.rank
+
+        with pytest.raises(DeadlockError):
+            engine.run(bad)
+        assert engine.run(good) == [0, 1]

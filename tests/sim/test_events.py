@@ -40,11 +40,13 @@ class TestTrace:
         assert tr.total_flops() == 12.0
         assert tr.total_flops(rank=1) == 7.0
 
-    def test_comm_volume_counts_once_per_group(self):
+    def test_comm_volume_sums_per_rank_events(self):
+        """nbytes is per-rank traffic, so the trace-wide volume is the sum."""
         tr = Trace()
         for r in (0, 1, 2):
             tr.record(_comm(r, [0, 1, 2], nbytes=50.0))
-        assert tr.comm_volume() == 50.0
+        assert tr.comm_volume() == 150.0
+        assert tr.comm_volume(rank=1) == 50.0
 
     def test_comm_volume_by_kind(self):
         tr = Trace()
@@ -63,7 +65,8 @@ class TestTrace:
         tr.record(_comm(0, [0, 1], kind="broadcast", nbytes=10.0))
         tr.record(_comm(1, [0, 1], kind="broadcast", nbytes=10.0))
         tr.record(_comm(0, [0, 1], kind="reduce", nbytes=5.0))
-        assert tr.comm_breakdown() == {"broadcast": (1, 10.0), "reduce": (1, 5.0)}
+        # counts are once per group, bytes sum the per-rank events
+        assert tr.comm_breakdown() == {"broadcast": (1, 20.0), "reduce": (1, 5.0)}
 
     def test_markers_and_span(self):
         tr = Trace()
