@@ -1,14 +1,22 @@
-"""Engine synchronization overhead: sharded events vs the old global lock.
+"""Engine synchronization overhead: three generations of the rendezvous layer.
 
-The engine's rendezvous layer was rebuilt around per-rendezvous events, a
-sharded lock registry, a persistent rank-worker pool and an event-driven
-watchdog (see the "Synchronization design" section of
-:mod:`repro.sim.engine`).  This bench measures raw wall-clock engine
-overhead — no cost model, no payloads — by driving the rendezvous API with
-a 64-rank butterfly pattern, and compares against ``_BaselineEngine``, a
-vendored copy of the previous synchronization layer (one global
-``threading.Condition``, 1-second polling wakeups, fresh threads every
-``run``).  The new engine must be at least 2x faster.
+Two comparisons, both raw wall-clock engine overhead (no cost model, no
+payloads):
+
+* **seed vs PR 1** — a 64-rank butterfly pattern on the keyed rendezvous
+  API (``Engine.collective``) against ``_BaselineEngine``, a vendored copy
+  of the seed synchronization layer (one global ``threading.Condition``,
+  1-second polling wakeups, fresh threads every ``run``).  The sharded
+  layer must be at least 2x faster.
+* **PR 1 vs fused** — a 64-rank all_reduce-heavy workload (every rank of
+  one big group issuing back-to-back collectives, the dominant pattern in
+  Cannon/SUMMA/Tesseract inner loops) on the keyed path against the fused
+  group-channel path (``Engine.fused_collective``) with a batch window:
+  one sleep/wake cycle per window instead of one per collective.  The
+  fused path must cut per-collective overhead by at least 1.5x.
+
+The measurement helpers are parametric so ``tests/bench/test_regression.py``
+can run them in a fast smoke mode in tier-1.
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_engine_overhead.py -s``.
 """
@@ -25,7 +33,11 @@ from repro.sim.engine import Engine
 NRANKS = 64
 ROUNDS = 8  #: rendezvous rounds per run (butterfly partner pattern)
 RUNS = 15  #: repeated Engine.run calls (the harness reruns engines a lot)
+REPS = 3  #: interleaved repetitions to average out machine noise
 MIN_SPEEDUP = 2.0
+FUSED_ROUNDS = 32  #: back-to-back same-group collectives per run
+BATCH_WINDOW = 8  #: collectives fused per batch window
+MIN_FUSED_SPEEDUP = 1.5
 
 
 # --------------------------------------------------------------------------
@@ -115,9 +127,9 @@ def _finisher(arrivals: dict[int, Any]):
     return ({r: None for r in arrivals}, 0.0)
 
 
-def _butterfly(engine, rank: int) -> None:
-    bits = NRANKS.bit_length() - 1
-    for rnd in range(ROUNDS):
+def _butterfly(engine, rank: int, nranks: int, rounds: int) -> None:
+    bits = nranks.bit_length() - 1
+    for rnd in range(rounds):
         partner = rank ^ (1 << (rnd % bits))
         pair = (min(rank, partner), max(rank, partner))
         engine.collective(
@@ -130,41 +142,136 @@ def _butterfly(engine, rank: int) -> None:
         )
 
 
-def _time_baseline() -> float:
-    engine = _BaselineEngine(nranks=NRANKS)
+def _time_baseline(nranks: int, rounds: int, runs: int) -> float:
+    engine = _BaselineEngine(nranks=nranks)
     t0 = time.perf_counter()
-    for _ in range(RUNS):
-        engine.run(lambda rank: _butterfly(engine, rank))
+    for _ in range(runs):
+        engine.run(lambda rank: _butterfly(engine, rank, nranks, rounds))
     return time.perf_counter() - t0
 
 
-def _time_current() -> float:
-    engine = Engine(nranks=NRANKS, mode="symbolic", trace=False)
-    program = lambda ctx: _butterfly(ctx.engine, ctx.rank)  # noqa: E731
+def _time_current(nranks: int, rounds: int, runs: int) -> float:
+    engine = Engine(nranks=nranks, mode="symbolic", trace=False)
+    program = lambda ctx: _butterfly(  # noqa: E731
+        ctx.engine, ctx.rank, nranks, rounds)
     engine.run(program)  # warm the worker pool once
     t0 = time.perf_counter()
-    for _ in range(RUNS):
+    for _ in range(runs):
         engine.run(program)
     return time.perf_counter() - t0
 
 
+# --------------------------------------------------------------------------
+# Fused-path workload: every rank of one big group issues back-to-back
+# collectives — the all_reduce-heavy inner-loop shape.  The keyed arm pays
+# one rendezvous (one sleep/wake per non-last rank) per collective; the
+# fused arm queues BATCH_WINDOW of them per generation of the group channel
+# and pays one sleep/wake per window.
+# --------------------------------------------------------------------------
+
+
+def _keyed_allreduce_run(engine, rank: int, granks, rounds: int) -> None:
+    for rnd in range(rounds):
+        engine.collective(
+            key=(granks, "coll", rnd),
+            size=len(granks),
+            rank=rank,
+            arrival=None,
+            kind="all_reduce",
+            finisher=_finisher,
+            ranks=granks,
+        )
+
+
+def _fused_allreduce_run(engine, rank: int, granks, rounds: int,
+                         window: int) -> None:
+    gen = 0
+    for start in range(0, rounds, window):
+        n_ops = min(window, rounds - start)
+        sig = ("all_reduce",) * n_ops
+
+        def finisher(arrivals, n_ops=n_ops):
+            return {r: [None] * n_ops for r in arrivals}, (0.0,) * n_ops
+
+        engine.fused_collective(
+            granks, gen, rank, ([None] * n_ops, 0.0), sig, finisher
+        )
+        gen += 1
+
+
+def _time_keyed(nranks: int, rounds: int, runs: int) -> float:
+    engine = Engine(nranks=nranks, mode="symbolic", trace=False)
+    granks = tuple(range(nranks))
+    program = lambda ctx: _keyed_allreduce_run(  # noqa: E731
+        ctx.engine, ctx.rank, granks, rounds)
+    engine.run(program)  # warm the worker pool once
+    t0 = time.perf_counter()
+    for _ in range(runs):
+        engine.run(program)
+    return time.perf_counter() - t0
+
+
+def _time_fused(nranks: int, rounds: int, runs: int, window: int) -> float:
+    engine = Engine(nranks=nranks, mode="symbolic", trace=False)
+    granks = tuple(range(nranks))
+    program = lambda ctx: _fused_allreduce_run(  # noqa: E731
+        ctx.engine, ctx.rank, granks, rounds, window)
+    engine.run(program)
+    t0 = time.perf_counter()
+    for _ in range(runs):
+        engine.run(program)
+    return time.perf_counter() - t0
+
+
+def measure(nranks: int = NRANKS, rounds: int = ROUNDS, runs: int = RUNS,
+            reps: int = REPS, fused_rounds: int = FUSED_ROUNDS,
+            window: int = BATCH_WINDOW) -> dict:
+    """Interleaved timings of all four arms; returns seconds and speedups."""
+    base = cur = keyed = fused = 0.0
+    for _ in range(reps):
+        base += _time_baseline(nranks, rounds, runs)
+        cur += _time_current(nranks, rounds, runs)
+        keyed += _time_keyed(nranks, fused_rounds, runs)
+        fused += _time_fused(nranks, fused_rounds, runs, window)
+    return {
+        "nranks": nranks,
+        "baseline_s": base,
+        "current_s": cur,
+        "keyed_s": keyed,
+        "fused_s": fused,
+        "speedup": base / cur,
+        "fused_speedup": keyed / fused,
+        "keyed_us_per_collective": keyed / (reps * runs * fused_rounds) * 1e6,
+        "fused_us_per_collective": fused / (reps * runs * fused_rounds) * 1e6,
+    }
+
+
 def test_engine_overhead_speedup():
-    """Rendezvous hot path: new engine >= 2x faster than the old design."""
-    # Interleave the measurements to average out machine noise.
-    base = cur = 0.0
-    for _ in range(3):
-        base += _time_baseline()
-        cur += _time_current()
-    speedup = base / cur
-    per_rendezvous = cur / (3 * RUNS * ROUNDS * NRANKS / 2)
+    """Rendezvous hot path: sharded engine >= 2x faster than the seed design."""
+    m = measure()
+    per_rendezvous = m["current_s"] / (REPS * RUNS * ROUNDS * NRANKS / 2)
     print(
-        f"\n64-rank butterfly, {RUNS} runs x {ROUNDS} rounds x 3 reps:\n"
-        f"  baseline (global condition, thread-per-run): {base:.3f} s\n"
-        f"  current  (sharded events, worker pool):      {cur:.3f} s\n"
-        f"  speedup: {speedup:.1f}x  "
+        f"\n{NRANKS}-rank butterfly, {RUNS} runs x {ROUNDS} rounds x {REPS} reps:\n"
+        f"  baseline (global condition, thread-per-run): {m['baseline_s']:.3f} s\n"
+        f"  current  (sharded events, worker pool):      {m['current_s']:.3f} s\n"
+        f"  speedup: {m['speedup']:.1f}x  "
         f"({per_rendezvous * 1e6:.1f} us per rendezvous)"
     )
-    assert speedup >= MIN_SPEEDUP, (
-        f"engine overhead regression: only {speedup:.2f}x faster than the "
-        f"seed synchronization layer (need >= {MIN_SPEEDUP}x)"
+    print(
+        f"{NRANKS}-rank all_reduce-heavy, {RUNS} runs x {FUSED_ROUNDS} "
+        f"collectives x {REPS} reps:\n"
+        f"  keyed (PR 1, one rendezvous per collective):  {m['keyed_s']:.3f} s "
+        f"({m['keyed_us_per_collective']:.1f} us/coll)\n"
+        f"  fused (group channel, window={BATCH_WINDOW}):            "
+        f"{m['fused_s']:.3f} s ({m['fused_us_per_collective']:.1f} us/coll)\n"
+        f"  fused speedup: {m['fused_speedup']:.1f}x"
+    )
+    assert m["speedup"] >= MIN_SPEEDUP, (
+        f"engine overhead regression: only {m['speedup']:.2f}x faster than "
+        f"the seed synchronization layer (need >= {MIN_SPEEDUP}x)"
+    )
+    assert m["fused_speedup"] >= MIN_FUSED_SPEEDUP, (
+        f"fused-path regression: only {m['fused_speedup']:.2f}x lower "
+        f"per-collective overhead than the keyed PR 1 layer "
+        f"(need >= {MIN_FUSED_SPEEDUP}x)"
     )

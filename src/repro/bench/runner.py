@@ -27,7 +27,20 @@ from repro.util.mathutil import ceil_div
 from repro.varray.varray import VArray
 
 __all__ = ["MeasuredRow", "engine_for_row", "run_row", "run_table",
-           "effective_batch"]
+           "effective_batch", "clear_engine_cache"]
+
+#: Session-scoped engine cache.  Engines (and therefore topologies and the
+#: persistent rank-worker pool's warm threads) are shared across *tables*,
+#: not just across the rows of one ``run_table`` call: every bench in a
+#: session that asks for the same (cluster, nranks, placement, alg, trace)
+#: configuration reuses one engine.  Safe because the engine is stateless
+#: across runs apart from its trace, which is cleared before each reuse.
+_ENGINE_CACHE: dict[tuple, Engine] = {}
+
+
+def clear_engine_cache() -> None:
+    """Drop all session-cached engines (tests that tune engines use this)."""
+    _ENGINE_CACHE.clear()
 
 
 @dataclass
@@ -75,11 +88,25 @@ def engine_for_row(
     comm_alg: CollectiveAlg = CollectiveAlg.AUTO,
     placement: Placement = Placement.BLOCK,
     collect_comm: bool = True,
+    cache: bool = False,
 ) -> Engine:
-    """Build the symbolic-mode engine a benchmark row runs on."""
+    """Build the symbolic-mode engine a benchmark row runs on.
+
+    With ``cache=True`` the engine comes from the session-scoped cache:
+    equal configurations (cluster, rank count, placement, collective
+    algorithm, tracing) share one engine across every table of the
+    session, and a cached engine's trace is cleared before it is handed
+    out.
+    """
     if cluster is None:
         cluster = meluxina(ceil_div(row.gpus, 4))
-    return Engine(
+    key = (cluster, row.gpus, placement, comm_alg, collect_comm)
+    if cache:
+        engine = _ENGINE_CACHE.get(key)
+        if engine is not None:
+            engine.trace.clear()
+            return engine
+    engine = Engine(
         cluster=cluster,
         nranks=row.gpus,
         mode="symbolic",
@@ -87,6 +114,9 @@ def engine_for_row(
         comm_alg=comm_alg,
         trace=collect_comm,
     )
+    if cache:
+        _ENGINE_CACHE[key] = engine
+    return engine
 
 
 def run_row(
@@ -156,17 +186,16 @@ def run_table(
 ) -> list[MeasuredRow]:
     """Run every row of a table; returns measurements in row order.
 
-    Rows with the same GPU count share one engine, so the whole table pays
-    topology construction once per cluster size and the persistent rank
-    workers are reused run-to-run.
+    Engines come from the session-scoped cache (:func:`engine_for_row`
+    with ``cache=True``): rows with the same GPU count share one engine
+    *within* the table, and repeated ``run_table`` calls — the full
+    benchmark suite runs many tables at the same cluster sizes — reuse
+    the same engines (and their warm topology/worker-pool state) *across*
+    tables too.
     """
-    engines: dict[int, Engine] = {}
     out = []
     for row in rows:
-        engine = engines.get(row.gpus)
-        if engine is None:
-            engine = engine_for_row(row, **kwargs)
-            engines[row.gpus] = engine
+        engine = engine_for_row(row, cache=True, **kwargs)
         out.append(
             run_row(row, seq_len=seq_len, num_layers=num_layers, engine=engine)
         )

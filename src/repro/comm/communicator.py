@@ -23,6 +23,20 @@ A collective completes, for every participant, at
 which models the bulk-synchronous behaviour of NCCL collectives on a
 stream: stragglers dominate, then the wire time is paid once.
 
+Batch windows
+-------------
+:meth:`Communicator.batch` opens an opt-in *fused batch window*: inside
+the ``with`` block the collective methods queue their ops and return
+:class:`PendingResult` handles immediately; on exit every queued op joins
+a **single** group rendezvous (one sleep/wake cycle per rank for the whole
+window — see ``Engine.fused_collective``), results are filled into the
+handles, and consecutive same-kind ops are priced as one coalesced
+collective on their summed payload (:meth:`CommCostModel.fused`,
+NCCL-style bucketing).  Batching changes *timing* only: each queued op
+still records its own :class:`~repro.sim.events.CommEvent` under the
+per-rank accounting convention below, so ``Trace.comm_volume`` is
+invariant under batching.
+
 Trace accounting
 ----------------
 Every participant records one :class:`~repro.sim.events.CommEvent` whose
@@ -47,20 +61,103 @@ gather          root: ``N - c_root`` received; member ``i``: ``c_i`` sent
 all_to_all      ``(g-1)·c`` — the remote chunks received
 barrier         ``0``
 ==============  ==========================================================
+
+``docs/architecture.md`` ("Trace accounting" and "Fused same-group
+rendezvous") explains how this table and the batch-window invariants fit
+into the engine's synchronization design.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Sequence
 
 from repro.comm.group import ProcessGroup
 from repro.comm.reduce_ops import ReduceOp, combine
 from repro.errors import CommError, ShapeError
 from repro.sim.engine import RankContext
-from repro.sim.events import CommEvent
+from repro.sim.events import CommEvent, FusedBatchEvent
 from repro.varray.varray import VArray
 
-__all__ = ["Communicator"]
+__all__ = ["Communicator", "PendingResult"]
+
+
+class PendingResult:
+    """Result handle for a collective queued inside a batch window.
+
+    ``value`` raises :class:`CommError` until the window has flushed
+    (i.e. the ``with comm.batch()`` block has exited cleanly).
+    """
+
+    __slots__ = ("_value", "_state")
+
+    def __init__(self) -> None:
+        self._state = "pending"
+        self._value: Any = None
+
+    @classmethod
+    def _resolved(cls, value: Any) -> "PendingResult":
+        out = cls()
+        out._resolve(value)
+        return out
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._state = "ready"
+
+    @property
+    def ready(self) -> bool:
+        """True once the window has flushed and ``value`` is available."""
+        return self._state == "ready"
+
+    @property
+    def value(self) -> Any:
+        if self._state != "ready":
+            raise CommError(
+                "batch window result accessed before the window was flushed"
+            )
+        return self._value
+
+
+class _CollectiveOp:
+    """One issued or queued collective: everything needed to finish,
+    price and account for it (see :meth:`Communicator._run`)."""
+
+    __slots__ = ("kind", "payload", "finisher_data", "cost_fn", "price_kind",
+                 "price_bytes", "nbytes", "tag", "t_post", "handle")
+
+    def __init__(self, kind, payload, finisher_data, cost_fn, price_kind,
+                 price_bytes, nbytes, tag):
+        self.kind = kind
+        self.payload = payload
+        self.finisher_data = finisher_data
+        self.cost_fn = cost_fn  #: zero-arg pricing for the unbatched path
+        self.price_kind = price_kind  #: base kind for fused pricing
+        self.price_bytes = price_bytes  #: float or zero-arg callable
+        self.nbytes = nbytes  #: trace convention bytes (float or callable)
+        self.tag = tag
+        self.t_post: float = 0.0
+        self.handle: PendingResult | None = None
+
+
+class _BatchWindow:
+    """Collects the ops queued inside one ``with comm.batch()`` block."""
+
+    __slots__ = ("_comm", "_tag", "_ops")
+
+    def __init__(self, comm: "Communicator", tag: str = ""):
+        self._comm = comm
+        self._tag = tag
+        self._ops: list[_CollectiveOp] = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def _enqueue(self, op: _CollectiveOp) -> PendingResult:
+        op.t_post = self._comm.ctx.clock.now
+        op.handle = PendingResult()
+        self._ops.append(op)
+        return op.handle
 
 
 class Communicator:
@@ -79,6 +176,54 @@ class Communicator:
         self.rank = group.index(ctx.rank)  #: group-relative rank
         self.size = group.size
         self._cost = ctx.engine.comm_model
+        self._window: _BatchWindow | None = None
+
+    # --- batch window ---------------------------------------------------------
+
+    @contextmanager
+    def batch(self, tag: str = ""):
+        """Open a fused batch window on this communicator's group.
+
+        Inside the ``with`` block every collective method queues its op
+        and returns a :class:`PendingResult` instead of rendezvousing; on
+        clean exit the whole window joins **one** group rendezvous, the
+        handles are resolved, and the sequence is priced by
+        :meth:`CommCostModel.fused` (consecutive same-kind ops coalesce).
+        Every rank of the group must open the same windows around the
+        same ops — the engine verifies the op-kind signature and aborts
+        with :class:`CommError` on a mismatch.  Windows do not nest, and
+        p2p ``send``/``recv`` are unaffected by an open window.
+
+        >>> with comm.batch() as win:          # doctest: +SKIP
+        ...     g1 = comm.all_reduce(grad1)
+        ...     g2 = comm.all_reduce(grad2)
+        >>> g1.value, g2.value                 # doctest: +SKIP
+        """
+        if self._window is not None:
+            raise CommError("batch windows cannot nest")
+        win = _BatchWindow(self, tag)
+        self._window = win
+        try:
+            yield win
+        except BaseException:
+            self._window = None
+            raise
+        self._window = None
+        self._flush_window(win)
+
+    def _immediate(self, value: Any) -> Any:
+        """Wrap trivial (size-1) results so in-window types stay uniform."""
+        if self._window is not None:
+            return PendingResult._resolved(value)
+        return value
+
+    def _no_window(self, what: str) -> None:
+        """Only collectives are fusable; p2p must stay immediate."""
+        if self._window is not None:
+            raise CommError(
+                f"{what} is not allowed inside a batch window: only "
+                f"collectives can be queued for a fused rendezvous"
+            )
 
     # --- internal plumbing ------------------------------------------------------
 
@@ -90,50 +235,125 @@ class Communicator:
         cost_fn,
         nbytes,
         tag: str = "",
+        price_kind: str = "",
+        price_bytes=0.0,
     ):
-        """Join the group rendezvous for one collective and advance the clock.
+        """Issue one collective: rendezvous now, or queue it on the window.
 
         ``nbytes`` is this rank's traffic per the module convention table —
         either a number, or a callable applied to this rank's *result*
         (needed e.g. by broadcast, where non-root callers post None and
-        only learn the payload size from the result).
+        only learn the payload size from the result).  ``price_kind`` and
+        ``price_bytes`` feed :meth:`CommCostModel.fused` when the op is
+        queued inside a batch window.
         """
+        op = _CollectiveOp(kind, payload, finisher_data, cost_fn,
+                           price_kind, price_bytes, nbytes, tag)
+        if self._window is not None:
+            return self._window._enqueue(op)
+        return self._run_single(op)
+
+    def _run_single(self, op: _CollectiveOp):
+        """Unbatched path: one op, one generation of the group channel."""
         granks = self.group.ranks
-        seq = self.ctx.next_group_seq(granks)
-        key = (granks, "coll", seq)
-        t_post = self.ctx.clock.now
+        gen = self.ctx.next_group_seq(granks)
+        op.t_post = self.ctx.clock.now
+        finisher_data, cost_fn = op.finisher_data, op.cost_fn
 
         def finisher(arrivals: dict[int, Any]):
             t_arrive = max(t for (_, t) in arrivals.values())
-            ordered = {g: arrivals[g][0] for g in granks}
-            results = finisher_data(ordered)
+            ordered = {g: arrivals[g][0][0] for g in granks}
+            per_rank = finisher_data(ordered)
             t_end = t_arrive + cost_fn()
-            return results, t_end
+            return {g: [per_rank[g]] for g in granks}, (t_end,)
 
-        result, t_end = self.ctx.engine.collective(
-            key=key,
-            size=self.size,
-            rank=self.ctx.rank,
-            arrival=(payload, t_post),
-            kind=kind,
-            finisher=finisher,
-            ranks=granks,
+        res, t_ends = self.ctx.engine.fused_collective(
+            granks, gen, self.ctx.rank, ([op.payload], op.t_post),
+            (op.kind,), finisher,
         )
-        self.ctx.clock.sync_to(t_end)
-        if callable(nbytes):
-            nbytes = nbytes(result)
+        result = res[0] if res else None
+        self.ctx.clock.sync_to(t_ends[0])
+        nbytes = op.nbytes(result) if callable(op.nbytes) else op.nbytes
         self.ctx.trace.record(
             CommEvent(
                 rank=self.ctx.rank,
-                kind=kind,
+                kind=op.kind,
                 group=granks,
                 nbytes=nbytes,
-                t_start=t_post,
+                t_start=op.t_post,
                 t_end=self.ctx.clock.now,
-                tag=tag,
+                tag=op.tag,
             )
         )
         return result
+
+    def _flush_window(self, win: _BatchWindow):
+        """Rendezvous once for every op queued in ``win`` (in issue order)."""
+        ops = win._ops
+        if not ops:
+            return
+        granks = self.group.ranks
+        ctx = self.ctx
+        gen = ctx.next_group_seq(granks)
+        t_flush = ctx.clock.now
+        sig = tuple(op.kind for op in ops)
+        cost = self._cost
+
+        def finisher(arrivals: dict[int, Any]):
+            t_arrive = max(t for (_, t) in arrivals.values())
+            # Pass 1: data results per op (fills the byte holders that
+            # root-relative ops like broadcast only learn here).
+            per_op = []
+            for k in range(len(ops)):
+                ordered = {g: arrivals[g][0][k] for g in granks}
+                per_op.append(ops[k].finisher_data(ordered))
+            # Pass 2: fused pricing over the whole sequence.
+            items = [
+                (op.price_kind,
+                 float(op.price_bytes() if callable(op.price_bytes)
+                       else op.price_bytes))
+                for op in ops
+            ]
+            offsets = cost.fused(granks, items)
+            t_ends = tuple(t_arrive + off for off in offsets)
+            results = {
+                g: [per_op[k][g] for k in range(len(ops))] for g in granks
+            }
+            return results, t_ends
+
+        res, t_ends = ctx.engine.fused_collective(
+            granks, gen, ctx.rank, ([op.payload for op in ops], t_flush),
+            sig, finisher,
+        )
+        ctx.clock.sync_to(t_ends[-1])
+        total = 0.0
+        for k, op in enumerate(ops):
+            value = res[k]
+            nbytes = op.nbytes(value) if callable(op.nbytes) else op.nbytes
+            total += nbytes
+            ctx.trace.record(
+                CommEvent(
+                    rank=ctx.rank,
+                    kind=op.kind,
+                    group=granks,
+                    nbytes=nbytes,
+                    t_start=op.t_post,
+                    t_end=t_ends[k],
+                    tag=op.tag,
+                )
+            )
+            op.handle._resolve(value)
+        ctx.trace.record(
+            FusedBatchEvent(
+                rank=ctx.rank,
+                group=granks,
+                kinds=sig,
+                nbytes=total,
+                t_start=ops[0].t_post,
+                t_end=t_ends[-1],
+                tag=win._tag,
+            )
+        )
 
     @staticmethod
     def _expect_varray(value: Any, what: str) -> VArray:
@@ -151,7 +371,7 @@ class Communicator:
         """Broadcast ``arr`` from group rank ``root``; non-roots may pass None."""
         self._check_root(root)
         if self.size == 1:
-            return self._expect_varray(arr, "broadcast payload")
+            return self._immediate(self._expect_varray(arr, "broadcast payload"))
         if self.rank == root:
             self._expect_varray(arr, "broadcast payload at root")
         root_global = self.group.global_rank(root)
@@ -173,6 +393,8 @@ class Communicator:
             ),
             nbytes=lambda res: res.nbytes,
             tag=tag,
+            price_kind="broadcast",
+            price_bytes=lambda: holder.get("nbytes", nbytes),
         )
         return result
 
@@ -183,7 +405,7 @@ class Communicator:
         self._check_root(root)
         self._expect_varray(arr, "reduce payload")
         if self.size == 1:
-            return arr
+            return self._immediate(arr)
         root_global = self.group.global_rank(root)
 
         def data(ordered: dict[int, Any]):
@@ -200,13 +422,15 @@ class Communicator:
             cost_fn=lambda: self._cost.reduce(self.group.ranks, arr.nbytes),
             nbytes=lambda res: res.nbytes if res is not None else arr.nbytes,
             tag=tag,
+            price_kind="reduce",
+            price_bytes=arr.nbytes,
         )
 
     def all_reduce(self, arr: VArray, op: ReduceOp = ReduceOp.SUM, tag: str = "") -> VArray:
         """All-reduce: every member receives the combined array."""
         self._expect_varray(arr, "all_reduce payload")
         if self.size == 1:
-            return arr
+            return self._immediate(arr)
 
         def data(ordered: dict[int, Any]):
             payloads = [self._expect_varray(v, "all_reduce payload") for v in ordered.values()]
@@ -220,13 +444,15 @@ class Communicator:
             cost_fn=lambda: self._cost.all_reduce(self.group.ranks, arr.nbytes),
             nbytes=arr.nbytes,
             tag=tag,
+            price_kind="all_reduce",
+            price_bytes=arr.nbytes,
         )
 
     def all_gather(self, arr: VArray, tag: str = "") -> list[VArray]:
         """All-gather: every member receives the list of all contributions."""
         self._expect_varray(arr, "all_gather payload")
         if self.size == 1:
-            return [arr]
+            return self._immediate([arr])
 
         def data(ordered: dict[int, Any]):
             gathered = [
@@ -244,6 +470,8 @@ class Communicator:
                 p.nbytes for i, p in enumerate(res) if i != self.rank
             ),
             tag=tag,
+            price_kind="all_gather",
+            price_bytes=total,
         )
 
     def reduce_scatter(
@@ -260,7 +488,7 @@ class Communicator:
         for c in chunks:
             self._expect_varray(c, "reduce_scatter chunk")
         if self.size == 1:
-            return chunks[0]
+            return self._immediate(chunks[0])
 
         def data(ordered: dict[int, Any]):
             out = {}
@@ -276,6 +504,8 @@ class Communicator:
             cost_fn=lambda: self._cost.reduce_scatter(self.group.ranks, total),
             nbytes=lambda res: res.nbytes,
             tag=tag,
+            price_kind="reduce_scatter",
+            price_bytes=total,
         )
 
     def scatter(
@@ -292,7 +522,7 @@ class Communicator:
             for c in chunks:
                 self._expect_varray(c, "scatter chunk")
         if self.size == 1:
-            return chunks[0]  # type: ignore[index]
+            return self._immediate(chunks[0])  # type: ignore[index]
         root_global = self.group.global_rank(root)
         holder: dict[str, float] = {}
 
@@ -320,6 +550,8 @@ class Communicator:
             ),
             nbytes=my_bytes,
             tag=tag,
+            price_kind="scatter",
+            price_bytes=lambda: holder.get("nbytes", nbytes),
         )
 
     def gather(self, arr: VArray, root: int, tag: str = "") -> list[VArray] | None:
@@ -327,7 +559,7 @@ class Communicator:
         self._check_root(root)
         self._expect_varray(arr, "gather payload")
         if self.size == 1:
-            return [arr]
+            return self._immediate([arr])
         root_global = self.group.global_rank(root)
 
         def data(ordered: dict[int, Any]):
@@ -344,6 +576,8 @@ class Communicator:
                 p.nbytes for i, p in enumerate(res) if i != self.rank
             ),
             tag=tag,
+            price_kind="gather",
+            price_bytes=total,
         )
 
     def all_to_all(self, chunks: Sequence[VArray], tag: str = "") -> list[VArray]:
@@ -353,7 +587,7 @@ class Communicator:
         for c in chunks:
             self._expect_varray(c, "all_to_all chunk")
         if self.size == 1:
-            return [chunks[0]]
+            return self._immediate([chunks[0]])
 
         def data(ordered: dict[int, Any]):
             out = {}
@@ -371,29 +605,34 @@ class Communicator:
                 p.nbytes for i, p in enumerate(res) if i != self.rank
             ),
             tag=tag,
+            price_kind="all_to_all",
+            price_bytes=per_pair,
         )
 
     def barrier(self, tag: str = "") -> None:
         """Synchronize all members' virtual clocks."""
         if self.size == 1:
-            return
+            return self._immediate(None)
 
         def data(ordered: dict[int, Any]):
             return {g: None for g in ordered}
 
-        self._run(
+        return self._run(
             kind="barrier",
             payload=None,
             finisher_data=data,
             cost_fn=lambda: self._cost.barrier(self.group.ranks),
             nbytes=0,
             tag=tag,
+            price_kind="barrier",
+            price_bytes=0.0,
         )
 
     # --- point-to-point -------------------------------------------------------------
 
     def send(self, arr: VArray, dst: int, p2p_tag: int = 0, tag: str = "") -> None:
         """Buffered send to group rank ``dst`` (returns immediately)."""
+        self._no_window("send")
         self._expect_varray(arr, "send payload")
         self._check_root(dst)
         if dst == self.rank:
@@ -420,6 +659,7 @@ class Communicator:
 
     def recv(self, src: int, p2p_tag: int = 0, tag: str = "") -> VArray:
         """Blocking receive from group rank ``src``."""
+        self._no_window("recv")
         self._check_root(src)
         if src == self.rank:
             raise CommError(f"rank {self.rank} cannot receive from itself")

@@ -35,6 +35,12 @@ all_to_all and barrier — uses this decomposition for node-spanning groups;
 :attr:`CollectiveAlg.FLAT` forces the single-level model on the group's
 bottleneck link.  A fixed per-byte reduction cost ``gamma`` is charged for
 reducing collectives.
+
+Fused sequences (a batch window queuing several collectives on one group,
+see :meth:`repro.comm.communicator.Communicator.batch`) are priced by
+:meth:`CommCostModel.fused`: consecutive same-kind ops coalesce into one
+collective on their summed payload, so a bucketed gradient sync pays the
+latency terms once instead of once per tensor.
 """
 
 from __future__ import annotations
@@ -249,6 +255,52 @@ class CommCostModel:
         t = intra_steps * (intra.latency + nbytes_per_pair / intra.effective_bandwidth)
         t += inter_steps * (inter.latency + nbytes_per_pair / inter.effective_bandwidth)
         return t
+
+    def fused(self, ranks: Sequence[int], ops: Sequence[tuple[str, float]]) -> list[float]:
+        """Per-op completion offsets for a fused same-group sequence.
+
+        ``ops`` is a list of ``(base_kind, nbytes)`` pairs in issue order,
+        where ``nbytes`` follows the same convention as the per-kind
+        pricing method (buffer bytes for ``all_reduce``, concatenated
+        total for ``all_gather``/``reduce_scatter``, …).  Consecutive ops
+        of the same kind coalesce into *one* collective on their summed
+        payload — NCCL-style bucketing: the run pays a single set of
+        latency (alpha) terms instead of one per op, which is exactly the
+        saving a batch window models.  Ops inside one coalesced run share
+        a completion offset (one fused kernel); offsets accumulate across
+        runs of different kinds.
+
+        A single-op sequence prices identically to the op's own method,
+        so the unbatched path and a one-op window agree to the bit.
+        """
+        dispatch = {
+            "all_reduce": self.all_reduce,
+            "broadcast": self.broadcast,
+            "reduce": self.reduce,
+            "all_gather": self.all_gather,
+            "reduce_scatter": self.reduce_scatter,
+            "scatter": self.scatter,
+            "gather": self.gather,
+            "all_to_all": self.all_to_all,
+            "barrier": lambda rk, _n: self.barrier(rk),
+        }
+        offsets: list[float] = []
+        t = 0.0
+        i = 0
+        while i < len(ops):
+            kind = ops[i][0]
+            price = dispatch.get(kind)
+            if price is None:
+                raise CommError(f"cannot price fused collective kind {kind!r}")
+            j = i
+            total = 0.0
+            while j < len(ops) and ops[j][0] == kind:
+                total += ops[j][1]
+                j += 1
+            t += price(ranks, total)
+            offsets.extend([t] * (j - i))
+            i = j
+        return offsets
 
     def barrier(self, ranks: Sequence[int]) -> float:
         """Barrier: a zero-payload tree up and down."""

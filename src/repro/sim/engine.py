@@ -42,6 +42,15 @@ mechanisms keep the dispatch hot path off the floor:
   their rendezvous event without polling wakeups.  When a deadline expires
   the watchdog raises :class:`~repro.errors.DeadlockError` naming the
   ranks that never arrived, and releases everyone.
+* **Fused same-group scheduling.**  Collectives issued through
+  :meth:`Engine.fused_collective` rendezvous on a persistent per-group
+  *channel* instead of a fresh keyed registry entry: each group owns one
+  :class:`_GroupChannel` with an arrival counter per generation, the last
+  arriver completes the whole generation with a single wakeup broadcast,
+  and a *batch window* lets a rank queue several collectives on the same
+  group and pay one sleep/wake cycle for all of them.  The per-rank group
+  sequence counter doubles as the generation number, so matching is
+  deterministic under any thread interleaving.
 """
 
 from __future__ import annotations
@@ -231,6 +240,47 @@ class _Rendezvous:
         self.event = threading.Event()
 
 
+class _FusedGen:
+    """One generation of a group channel: the in-flight fused rendezvous.
+
+    A generation covers *one or more* collectives (a batch window queues
+    several); ``sig`` is the tuple of op kinds every rank must agree on,
+    ``arrivals`` maps rank to ``(per-op payload list, flush time)``, and
+    ``t_ends`` are the synchronized per-op completion times produced by
+    the finisher on the last arriver's thread.
+    """
+
+    __slots__ = ("sig", "arrivals", "results", "t_ends", "done", "event")
+
+    def __init__(self, sig: tuple[str, ...]):
+        self.sig = sig
+        self.arrivals: dict[int, Any] = {}
+        self.results: dict[int, list[Any]] = {}
+        self.t_ends: tuple[float, ...] = ()
+        self.done = False
+        self.event = threading.Event()
+
+
+class _GroupChannel:
+    """Persistent fused-rendezvous state for one rank group.
+
+    The channel outlives individual collectives: back-to-back same-group
+    calls reuse its lock and its generation table instead of inserting and
+    deleting keyed entries in the shared sharded registry.  At most two
+    generations are ever live at once (a rank that completed generation
+    ``g`` may arrive for ``g + 1`` while a peer has not yet picked up its
+    ``g`` result), so the table stays tiny.
+    """
+
+    __slots__ = ("lock", "granks", "size", "gens")
+
+    def __init__(self, granks: tuple[int, ...]):
+        self.lock = threading.Lock()
+        self.granks = granks
+        self.size = len(granks)
+        self.gens: dict[int, _FusedGen] = {}
+
+
 class _Mailbox:
     """Buffered p2p message slot (sender does not block)."""
 
@@ -399,6 +449,8 @@ class Engine:
         self.trace = Trace(enabled=trace)
 
         self._shards = tuple(_Shard() for _ in range(_N_SHARDS))
+        self._channels: dict[tuple[int, ...], _GroupChannel] = {}
+        self._channels_lock = threading.Lock()
         self._err_lock = threading.Lock()
         self._error: BaseException | None = None
         self.contexts: list[RankContext] = []
@@ -424,6 +476,8 @@ class Engine:
             shard.rendezvous.clear()
             shard.mailboxes.clear()
             shard.recv_waiters.clear()
+        with self._channels_lock:
+            self._channels.clear()
         self._error = None
         self.contexts = [RankContext(self, r) for r in range(self.nranks)]
         results: list[Any] = [None] * self.nranks
@@ -469,6 +523,12 @@ class Engine:
                     rv.event.set()
                 for evt in shard.recv_waiters.values():
                     evt.set()
+        with self._channels_lock:
+            channels = list(self._channels.values())
+        for ch in channels:
+            with ch.lock:
+                for fg in ch.gens.values():
+                    fg.event.set()
 
     def _check_abort(self) -> None:
         if self._error is not None:
@@ -576,6 +636,132 @@ class Engine:
         if rv.done or self._error is not None:
             return
         self._abort(self._deadlock_error(key, kind, rv))
+
+    # --- fused same-group rendezvous -----------------------------------------
+
+    def _channel(self, granks: tuple[int, ...]) -> _GroupChannel:
+        ch = self._channels.get(granks)
+        if ch is None:
+            with self._channels_lock:
+                ch = self._channels.get(granks)
+                if ch is None:
+                    ch = _GroupChannel(granks)
+                    self._channels[granks] = ch
+        return ch
+
+    def fused_collective(
+        self,
+        granks: tuple[int, ...],
+        gen: int,
+        rank: int,
+        arrival: tuple[list[Any], float],
+        sig: tuple[str, ...],
+        finisher: Callable[
+            [dict[int, Any]], tuple[dict[int, list[Any]], tuple[float, ...]]
+        ],
+    ) -> tuple[list[Any], tuple[float, ...]]:
+        """Join generation ``gen`` of group ``granks``'s fused channel.
+
+        ``arrival`` is ``(per-op payload list, flush time)`` — a plain
+        collective passes a one-element list, a batch window passes one
+        entry per queued op.  ``sig`` is the tuple of op kinds; every rank
+        of the generation must pass an identical ``sig`` or the engine
+        aborts with :class:`CommError`.  ``finisher`` runs exactly once,
+        on the thread of the last arriver, with the full
+        ``{rank: arrival}`` map; it returns per-rank result lists and the
+        synchronized per-op completion times.
+
+        Compared to :meth:`collective` this path allocates no keyed
+        registry entry per call (the channel persists across the group's
+        whole lifetime), wakes the group with a single event broadcast,
+        and amortizes one sleep/wake cycle over the entire batch.
+        """
+        self._check_abort()
+        ch = self._channel(granks)
+        mismatch: CommError | None = None
+        with ch.lock:
+            fg = ch.gens.get(gen)
+            if fg is None:
+                fg = _FusedGen(sig)
+                ch.gens[gen] = fg
+            if fg.sig != sig:
+                mismatch = CommError(
+                    f"collective mismatch in group {granks} (gen {gen}): "
+                    f"rank {rank} called {self._sig_name(sig)!r} but the "
+                    f"group already started {self._sig_name(fg.sig)!r}"
+                )
+            elif rank in fg.arrivals:
+                raise CommError(
+                    f"rank {rank} joined generation {gen} of group {granks} "
+                    f"twice (sequence counters out of sync?)"
+                )
+            else:
+                fg.arrivals[rank] = arrival
+                is_last = len(fg.arrivals) == ch.size
+        if mismatch is not None:
+            self._abort(mismatch)
+            raise mismatch
+
+        if is_last:
+            # The generation is complete: no thread mutates fg anymore, so
+            # the finisher runs without holding the channel lock.
+            try:
+                fg.results, fg.t_ends = finisher(fg.arrivals)
+            except BaseException as exc:
+                self._abort(exc)
+                raise
+            fg.done = True
+            fg.event.set()  # one wakeup broadcast for the whole group
+        else:
+            token = _watchdog.register(
+                time.monotonic() + self.op_timeout,
+                lambda: self._fire_fused_deadlock(granks, gen, fg),
+            )
+            try:
+                if self._error is not None:
+                    # An abort may have swept the channels before our
+                    # generation was inserted; don't sleep on a dead run.
+                    fg.event.set()
+                fg.event.wait(self.op_timeout + _WATCHDOG_SLACK)
+            finally:
+                _watchdog.cancel(token)
+            if not fg.done:
+                self._check_abort()
+                # Backstop: the watchdog itself failed to fire.
+                err = self._fused_deadlock_error(granks, gen, fg)
+                self._abort(err)
+                raise err
+
+        with ch.lock:
+            result = fg.results.pop(rank, None)
+            t_ends = fg.t_ends
+            fg.arrivals.pop(rank, None)
+            # Last rank to pick up its results reclaims the generation.
+            if not fg.arrivals:
+                ch.gens.pop(gen, None)
+        return result if result is not None else [], t_ends
+
+    @staticmethod
+    def _sig_name(sig: tuple[str, ...]) -> str:
+        return sig[0] if len(sig) == 1 else f"fused[{', '.join(sig)}]"
+
+    def _fused_deadlock_error(
+        self, granks: tuple[int, ...], gen: int, fg: _FusedGen
+    ) -> DeadlockError:
+        arrived = sorted(fg.arrivals)
+        missing = sorted(set(granks) - set(arrived))
+        return DeadlockError(
+            f"rendezvous {(granks, 'coll', gen)} ({self._sig_name(fg.sig)}) "
+            f"timed out after {self.op_timeout}s: {len(arrived)}/"
+            f"{len(granks)} ranks arrived {arrived}; missing ranks {missing}"
+        )
+
+    def _fire_fused_deadlock(
+        self, granks: tuple[int, ...], gen: int, fg: _FusedGen
+    ) -> None:
+        if fg.done or self._error is not None:
+            return
+        self._abort(self._fused_deadlock_error(granks, gen, fg))
 
     # --- buffered p2p ---------------------------------------------------------------
 

@@ -12,7 +12,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Iterable
 
-__all__ = ["ComputeEvent", "CommEvent", "MarkerEvent", "Trace"]
+__all__ = ["ComputeEvent", "CommEvent", "FusedBatchEvent", "MarkerEvent",
+           "Trace"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,36 @@ class CommEvent:
 
 
 @dataclass(frozen=True)
+class FusedBatchEvent:
+    """One fused batch window of same-group collectives, seen by one rank.
+
+    A window queues several collectives on one group and rendezvouses
+    once (see ``Communicator.batch``).  Each queued op still records its
+    own :class:`CommEvent` — that is what keeps the per-rank ``nbytes``
+    accounting convention intact — so this record is a *summary*, not a
+    substitute: ``kinds`` lists the fused ops in issue order and
+    ``nbytes`` sums their per-op volumes.  It is excluded from
+    :meth:`Trace.comm_volume` (which iterates :class:`CommEvent` only);
+    counting it too would double the window's traffic.
+    """
+
+    rank: int
+    group: tuple[int, ...]
+    kinds: tuple[str, ...]
+    nbytes: float  #: sum of the window's per-op ``CommEvent.nbytes``
+    t_start: float  #: when this rank queued the first op of the window
+    t_end: float  #: completion of the window's last op
+    tag: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+
+@dataclass(frozen=True)
 class MarkerEvent:
     """A named instant, used to delimit phases (e.g. forward vs backward)."""
 
@@ -67,7 +98,7 @@ class MarkerEvent:
     name: str
 
 
-Event = ComputeEvent | CommEvent | MarkerEvent
+Event = ComputeEvent | CommEvent | FusedBatchEvent | MarkerEvent
 
 
 class Trace:
@@ -114,6 +145,13 @@ class Trace:
             if isinstance(e, CommEvent)
             and (rank is None or e.rank == rank)
             and (kind is None or e.kind == kind)
+        ]
+
+    def fused_batches(self, rank: int | None = None) -> list[FusedBatchEvent]:
+        return [
+            e
+            for e in self.events
+            if isinstance(e, FusedBatchEvent) and (rank is None or e.rank == rank)
         ]
 
     def markers(self, name: str | None = None) -> list[MarkerEvent]:

@@ -69,6 +69,33 @@ class TestGoldenCollectiveCosts:
         assert t == pytest.approx(2 * (2e-6 + 10e6 / 160e9), rel=1e-6)
 
 
+class TestEngineOverheadSmoke:
+    """Fast-mode run of ``benchmarks/bench_engine_overhead.py`` in tier-1.
+
+    The full bench (64 ranks, 15 runs, 3 reps) only runs nightly; this
+    smoke keeps engine-overhead regressions failing CI.  Thresholds are
+    deliberately looser than the bench's (2x / 1.5x) because at smoke
+    scale the measured times are a few tens of milliseconds and CI
+    machines are noisy — catching a *collapse* of the fast paths is the
+    point, not re-asserting the exact speedups.
+    """
+
+    def test_fast_mode_speedups(self):
+        from benchmarks.bench_engine_overhead import measure
+
+        m = measure(nranks=16, rounds=4, runs=4, reps=1, fused_rounds=16,
+                    window=4)
+        assert m["baseline_s"] > 0 and m["fused_s"] > 0
+        assert m["speedup"] >= 1.2, (
+            f"engine overhead collapsed: sharded layer only "
+            f"{m['speedup']:.2f}x faster than the seed design at smoke scale"
+        )
+        assert m["fused_speedup"] >= 1.1, (
+            f"fused path collapsed: only {m['fused_speedup']:.2f}x lower "
+            f"per-collective overhead than the keyed layer at smoke scale"
+        )
+
+
 class TestGoldenEndToEnd:
     def test_small_allreduce_program_time_pinned(self):
         """A complete 8-rank program's makespan, pinned to the digit."""

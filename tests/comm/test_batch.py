@@ -1,0 +1,139 @@
+"""Batch-window API semantics: PendingResult lifecycle and window rules.
+
+The timing/accounting invariants of batching live in
+``tests/perf/test_trace_volume.py`` and the schedule fuzzer; this module
+covers the user-facing API contract of :meth:`Communicator.batch`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator, PendingResult
+from repro.errors import CommError
+from repro.sim.engine import Engine
+from repro.varray.varray import VArray
+
+NRANKS = 4
+
+
+def _arr(rank, nelem=8):
+    return VArray.from_numpy(np.full(nelem, float(rank + 1), dtype=np.float32))
+
+
+def _run(nranks, prog):
+    return Engine(nranks=nranks).run(prog)
+
+
+class TestPendingResult:
+    def test_value_raises_inside_window_and_resolves_after(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(NRANKS))
+            with comm.batch():
+                h = comm.all_reduce(_arr(ctx.rank))
+                assert isinstance(h, PendingResult)
+                with pytest.raises(CommError, match="before the window"):
+                    h.value
+            return h.value.numpy().tolist()
+
+        results = _run(NRANKS, prog)
+        expected = [float(sum(r + 1 for r in range(NRANKS)))] * 8
+        assert all(r == expected for r in results)
+
+    def test_handles_resolve_in_issue_order(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(NRANKS))
+            with comm.batch():
+                h1 = comm.all_reduce(_arr(ctx.rank))
+                h2 = comm.broadcast(
+                    _arr(ctx.rank, 4) if ctx.rank == 0 else None, root=0)
+            return (h1.value.numpy()[0], h2.value.numpy().tolist())
+
+        results = _run(NRANKS, prog)
+        total = float(sum(r + 1 for r in range(NRANKS)))
+        assert all(r == (total, [1.0] * 4) for r in results)
+
+    def test_barrier_handle_resolves_to_none(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(NRANKS))
+            with comm.batch():
+                h = comm.barrier()
+            return h.value
+
+        assert _run(NRANKS, prog) == [None] * NRANKS
+
+
+class TestWindowRules:
+    def test_nested_windows_raise(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(NRANKS))
+            with comm.batch():
+                with pytest.raises(CommError, match="nest"):
+                    with comm.batch():
+                        pass
+                comm.barrier()  # window still usable after the failed nest
+
+        _run(NRANKS, prog)
+
+    def test_exception_inside_window_does_not_flush(self):
+        """An exception aborts the window: nothing rendezvouses, nothing is
+        recorded, and the communicator is reusable afterwards."""
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(NRANKS))
+            with pytest.raises(RuntimeError, match="boom"):
+                with comm.batch():
+                    comm.all_reduce(_arr(ctx.rank))
+                    raise RuntimeError("boom")
+            # All ranks abandoned the window symmetrically, so a fresh
+            # collective still matches up.
+            return comm.all_reduce(_arr(ctx.rank)).numpy()[0]
+
+        engine = Engine(nranks=NRANKS)
+        results = engine.run(prog)
+        total = float(sum(r + 1 for r in range(NRANKS)))
+        assert results == [total] * NRANKS
+        # Only the post-window all_reduce hit the trace.
+        assert engine.trace.message_count() == 1
+        assert not engine.trace.fused_batches()
+
+    def test_empty_window_is_a_no_op(self):
+        def prog(ctx):
+            comm = Communicator(ctx, range(NRANKS))
+            with comm.batch() as win:
+                pass
+            assert len(win) == 0
+            return ctx.now
+
+        engine = Engine(nranks=NRANKS)
+        results = engine.run(prog)
+        assert results == [0.0] * NRANKS
+        assert engine.trace.message_count() == 0
+
+    def test_size_one_group_batches_locally(self):
+        """On a size-1 group every op short-circuits; handles are resolved
+        immediately but still behave like PendingResults."""
+
+        def prog(ctx):
+            comm = Communicator(ctx, (ctx.rank,))
+            with comm.batch():
+                h = comm.all_reduce(_arr(ctx.rank))
+                assert isinstance(h, PendingResult)
+                inner = h.value  # already resolved: no rendezvous needed
+            return inner.numpy()[0]
+
+        assert _run(2, prog) == [1.0, 2.0]
+
+    def test_p2p_inside_window_rejected(self):
+        """Only collectives are fusable; send/recv must stay immediate."""
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(2))
+            with comm.batch():
+                if ctx.rank == 0:
+                    with pytest.raises(CommError, match="batch window"):
+                        comm.send(_arr(ctx.rank), dst=1)
+                else:
+                    with pytest.raises(CommError, match="batch window"):
+                        comm.recv(src=0)
+
+        _run(2, prog)

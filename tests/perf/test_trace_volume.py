@@ -8,8 +8,10 @@ Under the per-rank accounting convention (see
 group-size inflation in the recorded events would break the equality.
 """
 
+import numpy as np
 import pytest
 
+from repro.comm.communicator import Communicator
 from repro.grid.context import ParallelContext
 from repro.pblas.cannon import cannon_ab
 from repro.pblas.tesseract import tesseract_ab
@@ -78,3 +80,81 @@ class TestTesseractTraceVolume:
         assert all(
             e.kind.startswith("broadcast") for e in tr.comm_events()
         )
+
+
+class TestFusedBatchTraceVolume:
+    """The batch window changes *timing*, never *accounting*.
+
+    Fused batches coalesce consecutive same-kind collectives into one
+    priced collective on the summed payload (NCCL-style bucketing), so the
+    simulated makespan drops — but every per-op :class:`CommEvent` is still
+    recorded under the per-rank convention, and the summary
+    :class:`FusedBatchEvent` stays out of ``comm_volume``.
+    """
+
+    NRANKS = 4
+    NELEM = 64
+    N_OPS = 3  #: back-to-back all_reduces per iteration
+
+    def _program(self, batched: bool):
+        nelem, n_ops = self.NELEM, self.N_OPS
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(self.NRANKS))
+            arrs = [
+                VArray.from_numpy(
+                    np.full(nelem, float(ctx.rank + k + 1), dtype=np.float32)
+                )
+                for k in range(n_ops)
+            ]
+            if batched:
+                with comm.batch():
+                    handles = [comm.all_reduce(a) for a in arrs]
+                outs = [h.value for h in handles]
+            else:
+                outs = [comm.all_reduce(a) for a in arrs]
+            return [o.numpy().tobytes() for o in outs], ctx.now
+
+        return prog
+
+    def test_batching_preserves_per_rank_volume_and_results(self):
+        eng_u, res_u = run_spmd_engine(
+            self.NRANKS, self._program(batched=False), mode="symbolic")
+        eng_b, res_b = run_spmd_engine(
+            self.NRANKS, self._program(batched=True), mode="symbolic")
+
+        # Numerics are unaffected by the window.
+        assert [r[0] for r in res_b] == [r[0] for r in res_u]
+
+        # Accounting: identical per-rank and total CommEvent.nbytes sums —
+        # N_OPS all_reduces of NELEM floats charge each member rank the
+        # full buffer per op, batched or not.
+        expected_per_rank = self.N_OPS * self.NELEM * ITEMSIZE
+        for r in range(self.NRANKS):
+            assert eng_b.trace.comm_volume(rank=r) == pytest.approx(
+                expected_per_rank)
+            assert eng_b.trace.comm_volume(rank=r) == pytest.approx(
+                eng_u.trace.comm_volume(rank=r))
+        assert eng_b.trace.comm_volume() == pytest.approx(
+            eng_u.trace.comm_volume())
+        # Same per-op event census: the batch never collapses CommEvents.
+        assert (eng_b.trace.message_count()
+                == eng_u.trace.message_count() == self.N_OPS)
+
+        # Timing: the fused batch prices one all_reduce on the summed
+        # payload, which is strictly cheaper than N_OPS separate latencies.
+        t_unbatched = max(r[1] for r in res_u)
+        t_batched = max(r[1] for r in res_b)
+        assert t_batched < t_unbatched
+
+        # The summary record exists but contributes nothing to volume.
+        batches = eng_b.trace.fused_batches()
+        assert len(batches) == self.NRANKS
+        assert all(
+            len(b.kinds) == self.N_OPS
+            and all(k.startswith("all_reduce") for k in b.kinds)
+            for b in batches
+        )
+        assert all(
+            b.nbytes == pytest.approx(expected_per_rank) for b in batches)
+        assert not eng_u.trace.fused_batches()
