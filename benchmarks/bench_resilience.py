@@ -1,0 +1,112 @@
+"""Recovery overhead and goodput under injected faults.
+
+Runs the default chaos scenarios (healthy baselines, mid-training crash,
+early crash, straggler, degraded links) through the resilient trainer and
+reports goodput and recovery overhead per scenario.  All headline metrics
+are *virtual-clock* quantities, so they are deterministic night over
+night — any drift is a real behavior change, which is what the nightly
+``chaos`` job diffs for (``benchmarks/diff_nightly.py``).
+
+Usable both as a pytest benchmark (asserts the recovery guarantees) and as
+a standalone script emitting the nightly metrics JSON::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py --json chaos.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.chaos import (
+    DEFAULT_SCENARIOS,
+    ChaosResult,
+    render_chaos,
+    run_chaos,
+)
+
+
+def collect_metrics(results: list[ChaosResult]) -> dict:
+    """Nightly-diffable metrics: ``{name: {value, direction}}``.
+
+    Only deterministic (virtual-time) quantities go into ``metrics``;
+    wall-clock recovery latency is attached under ``info`` so machine
+    noise can never fail the regression gate.
+    """
+    metrics: dict[str, dict] = {}
+    by_name = {r.scenario.name: r for r in results}
+    for r in results:
+        n = r.scenario.name
+        metrics[f"{n}.goodput_steps_per_s"] = {
+            "value": r.goodput, "direction": "higher",
+        }
+        metrics[f"{n}.virtual_time_s"] = {
+            "value": r.virtual_time, "direction": "lower",
+        }
+        metrics[f"{n}.lost_steps"] = {
+            "value": float(r.lost_steps), "direction": "lower",
+        }
+    healthy = by_name.get("healthy-tesseract")
+    for crash_name in ("crash-tesseract", "crash-early-tesseract"):
+        crash = by_name.get(crash_name)
+        if healthy is not None and crash is not None:
+            metrics[f"{crash_name}.overhead_ratio"] = {
+                "value": crash.virtual_time / healthy.virtual_time,
+                "direction": "lower",
+            }
+    info = {
+        r.scenario.name: {
+            "restarts": r.attempts,
+            "final_loss": r.final_loss,
+            "recovery_latency_wall_s": r.recovery_latency_s,
+        }
+        for r in results
+    }
+    return {"metrics": metrics, "info": info}
+
+
+def _check_guarantees(results: list[ChaosResult]) -> None:
+    by_name = {r.scenario.name: r for r in results}
+    healthy = by_name["healthy-tesseract"]
+    for crash_name in ("crash-tesseract", "crash-early-tesseract"):
+        crash = by_name[crash_name]
+        # The crashed run recovered and converged to the fault-free loss.
+        assert crash.attempts >= 1, crash_name
+        assert crash.steps == healthy.steps, crash_name
+        assert abs(crash.final_loss - healthy.final_loss) < 1e-6, crash_name
+        # Recovery costs virtual time, so goodput can only drop.
+        assert crash.virtual_time > healthy.virtual_time, crash_name
+    assert by_name["straggler-tesseract"].virtual_time > healthy.virtual_time
+    assert by_name["flaky-links-tesseract"].virtual_time > healthy.virtual_time
+
+
+def test_chaos_recovery(benchmark, capsys):
+    """Crash scenarios recover to the fault-free loss; overheads are sane."""
+    results = benchmark.pedantic(run_chaos, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_chaos(results))
+    _check_guarantees(results)
+    for name, m in collect_metrics(results)["metrics"].items():
+        benchmark.extra_info[name] = m["value"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the metrics JSON here")
+    args = parser.parse_args(argv)
+    results = run_chaos()
+    print(render_chaos(results))
+    _check_guarantees(results)
+    payload = collect_metrics(results)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

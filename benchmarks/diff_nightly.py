@@ -1,0 +1,87 @@
+"""Diff two nightly metrics JSON files; fail on significant regressions.
+
+Both files follow the schema written by ``benchmarks/bench_resilience.py``::
+
+    {"metrics": {"<name>": {"value": 12.3, "direction": "higher"}, ...}}
+
+A metric regresses when it moves against its ``direction`` by more than
+``--threshold`` (relative, default 20%).  Metrics present in only one
+file are reported but never fail the gate (scenarios come and go).
+
+Exit code 0 = no regressions, 1 = at least one, 2 = unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path: str) -> dict[str, dict]:
+    with open(path) as fh:
+        payload = json.load(fh)
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path}: no 'metrics' object")
+    return metrics
+
+
+def diff_metrics(
+    prev: dict[str, dict], cur: dict[str, dict], threshold: float
+) -> tuple[list[str], list[str]]:
+    """Return (regressions, notes), each a list of human-readable lines."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    for name in sorted(set(prev) | set(cur)):
+        if name not in prev:
+            notes.append(f"new metric: {name} = {cur[name]['value']:.6g}")
+            continue
+        if name not in cur:
+            notes.append(f"metric disappeared: {name}")
+            continue
+        p, c = float(prev[name]["value"]), float(cur[name]["value"])
+        direction = cur[name].get("direction", "higher")
+        if p == 0.0:
+            delta = 0.0 if c == 0.0 else float("inf")
+        else:
+            delta = (c - p) / abs(p)
+        worse = -delta if direction == "higher" else delta
+        line = (f"{name}: {p:.6g} -> {c:.6g} "
+                f"({delta:+.1%}, want {direction})")
+        if worse > threshold:
+            regressions.append(line)
+        elif delta != 0.0:
+            notes.append(line)
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous", help="baseline metrics JSON")
+    parser.add_argument("current", help="tonight's metrics JSON")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative regression tolerance (default 0.20)")
+    args = parser.parse_args(argv)
+    try:
+        prev = load_metrics(args.previous)
+        cur = load_metrics(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot diff: {exc}")
+        return 2
+    regressions, notes = diff_metrics(prev, cur, args.threshold)
+    for line in notes:
+        print(f"  note: {line}")
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:")
+        for line in regressions:
+            print(f"  REGRESSION: {line}")
+        return 1
+    print(f"no regressions beyond {args.threshold:.0%} "
+          f"({len(cur)} metrics compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,229 @@
+"""Chaos scenarios: training under injected faults, with recovery metrics.
+
+Each :class:`ChaosScenario` trains the small reference ViT (real mode, so
+losses are meaningful) under a :class:`~repro.sim.faults.FaultPlan` —
+a rank crash, a straggler, a degraded link, transient send failures, or
+nothing at all — through :func:`~repro.train.resilience.train_resilient`.
+The result reports goodput (useful steps per simulated second, failed
+attempts included in the denominator), recovery latency and lost work, so
+``benchmarks/bench_resilience.py`` and the ``repro chaos`` CLI can compare
+recovery overhead across parallelism modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.synthetic import SyntheticImageClassification
+from repro.errors import SimulationError
+from repro.models.configs import ViTConfig
+from repro.sim.engine import Engine
+from repro.sim.faults import (
+    ComputeSlowdown,
+    FaultPlan,
+    LinkFault,
+    RankCrash,
+)
+from repro.train.resilience import ResilienceConfig, ResilientRun, train_resilient
+
+__all__ = [
+    "ChaosScenario",
+    "ChaosResult",
+    "DEFAULT_SCENARIOS",
+    "run_scenario",
+    "run_chaos",
+    "render_chaos",
+]
+
+#: Small enough to train in seconds, structured enough to exercise every
+#: collective the full model uses (same config as the trainer tests).
+CHAOS_VIT = ViTConfig(image_size=8, patch_size=4, channels=3, hidden=16,
+                      nheads=4, num_layers=1, num_classes=4)
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One fault environment for a short training run."""
+
+    name: str
+    mode: str = "tesseract"       #: "serial" or "tesseract"
+    q: int = 2
+    d: int = 1
+    epochs: int = 2
+    batch_size: int = 16
+    snapshot_every: int = 2
+    seed: int = 0
+    crash_rank: int | None = None
+    crash_at: float | None = None  #: virtual seconds
+    slow_rank: int | None = None
+    slow_factor: float = 1.0
+    link_fault: tuple[int, int, float] | None = None  #: (src, dst, factor)
+    transient_rate: float = 0.0
+
+    @property
+    def nranks(self) -> int:
+        return 1 if self.mode == "serial" else self.q * self.q * self.d
+
+    def fault_plan(self) -> FaultPlan | None:
+        """The scenario's fault plan (None for the healthy baseline)."""
+        crashes = ()
+        if self.crash_rank is not None:
+            if self.crash_at is None:
+                raise SimulationError(
+                    f"scenario {self.name!r} sets crash_rank without crash_at"
+                )
+            crashes = (RankCrash(rank=self.crash_rank, at=self.crash_at),)
+        slowdowns = ()
+        if self.slow_rank is not None:
+            slowdowns = (
+                ComputeSlowdown(rank=self.slow_rank, factor=self.slow_factor),
+            )
+        link_faults = ()
+        if self.link_fault is not None:
+            src, dst, factor = self.link_fault
+            link_faults = (LinkFault(src=src, dst=dst, factor=factor),)
+        if not crashes and not slowdowns and not link_faults \
+                and self.transient_rate == 0.0:
+            return None
+        return FaultPlan(
+            seed=self.seed,
+            crashes=crashes,
+            slowdowns=slowdowns,
+            link_faults=link_faults,
+            transient_rate=self.transient_rate,
+        )
+
+
+@dataclass
+class ChaosResult:
+    """Recovery metrics for one scenario."""
+
+    scenario: ChaosScenario
+    steps: int                    #: useful optimizer steps in the final history
+    final_loss: float
+    attempts: int                 #: restarts performed (0 = no crash)
+    resume_step: int              #: snapshot step the last recovery resumed from
+    lost_steps: int               #: work discarded by rollback (all recoveries)
+    recovery_latency_s: float     #: wall seconds spent restoring (sum)
+    virtual_time: float           #: simulated seconds, failed attempts included
+    run: ResilientRun = field(repr=False, default=None)
+
+    @property
+    def goodput(self) -> float:
+        """Useful steps per simulated second (crashed work counts as cost)."""
+        return self.steps / self.virtual_time if self.virtual_time else 0.0
+
+
+DEFAULT_SCENARIOS: tuple[ChaosScenario, ...] = (
+    ChaosScenario(name="healthy-serial", mode="serial"),
+    ChaosScenario(name="healthy-tesseract"),
+    ChaosScenario(name="crash-tesseract", crash_rank=1, crash_at=0.35),
+    ChaosScenario(name="crash-early-tesseract", crash_rank=2, crash_at=0.02),
+    ChaosScenario(name="straggler-tesseract", slow_rank=3, slow_factor=3.0),
+    ChaosScenario(name="flaky-links-tesseract", transient_rate=0.05,
+                  link_fault=(0, 1, 16.0)),
+)
+
+
+def run_scenario(
+    scenario: ChaosScenario,
+    dataset: SyntheticImageClassification | None = None,
+    max_restarts: int = 3,
+) -> ChaosResult:
+    """Train under the scenario's faults; returns its recovery metrics."""
+    if dataset is None:
+        dataset = SyntheticImageClassification(
+            num_classes=4, image_size=8, train_size=64, test_size=32, seed=3
+        )
+    plan = scenario.fault_plan()
+
+    def engine_factory(attempt: int) -> Engine:
+        # Attempt 0 carries the fault plan; after a crash the replacement
+        # cluster is healthy (the failed part was swapped out).  Straggler
+        # and link faults persist — they are environment, not incidents.
+        if attempt == 0 or plan is None:
+            return Engine(nranks=scenario.nranks, fault_plan=plan)
+        survivor_plan = FaultPlan(
+            seed=plan.seed,
+            slowdowns=plan.slowdowns,
+            link_faults=plan.link_faults,
+            transient_rate=plan.transient_rate,
+            retry=plan.retry,
+            jitter=plan.jitter,
+        )
+        return Engine(nranks=scenario.nranks, fault_plan=survivor_plan)
+
+    def setup(ctx):
+        from repro.nn.optim import Adam
+
+        if scenario.mode == "serial":
+            from repro.models.vit import SerialViT
+
+            model = SerialViT(ctx, CHAOS_VIT)
+            pc = None
+        else:
+            from repro.grid.context import ParallelContext
+            from repro.models.vit import TesseractViT
+
+            pc = ParallelContext.tesseract(ctx, q=scenario.q, d=scenario.d)
+            model = TesseractViT(pc, CHAOS_VIT)
+        opt = Adam(model.parameter_list(), lr=3e-3)
+        return model, opt, pc
+
+    run = train_resilient(
+        engine_factory,
+        setup,
+        dataset,
+        epochs=scenario.epochs,
+        batch_size=scenario.batch_size,
+        resilience=ResilienceConfig(
+            snapshot_every=scenario.snapshot_every, max_restarts=max_restarts
+        ),
+    )
+    history = run.history
+    recs = history.recoveries
+    return ChaosResult(
+        scenario=scenario,
+        steps=len(history.losses),
+        final_loss=history.losses[-1] if history.losses else float("nan"),
+        attempts=run.attempts,
+        resume_step=recs[-1].resume_step if recs else 0,
+        lost_steps=sum(r.lost_steps for r in recs),
+        recovery_latency_s=sum(r.latency_s for r in recs),
+        virtual_time=run.total_virtual_time,
+        run=run,
+    )
+
+
+def run_chaos(
+    scenarios: tuple[ChaosScenario, ...] = DEFAULT_SCENARIOS,
+) -> list[ChaosResult]:
+    """Run every scenario (shared dataset) in order."""
+    dataset = SyntheticImageClassification(
+        num_classes=4, image_size=8, train_size=64, test_size=32, seed=3
+    )
+    return [run_scenario(s, dataset=dataset) for s in scenarios]
+
+
+def render_chaos(results: list[ChaosResult]) -> str:
+    """Human-readable comparison table."""
+    from repro.util.tables import Table
+
+    table = Table(
+        ["scenario", "ranks", "steps", "final loss", "restarts", "lost",
+         "sim time", "goodput", "recovery (wall)"],
+        title="Chaos scenarios: goodput under injected faults",
+    )
+    for r in results:
+        table.add_row([
+            r.scenario.name,
+            r.scenario.nranks,
+            r.steps,
+            f"{r.final_loss:.4f}",
+            r.attempts,
+            r.lost_steps,
+            f"{r.virtual_time:.3f}s",
+            f"{r.goodput:.1f} steps/s",
+            f"{r.recovery_latency_s * 1e3:.1f}ms",
+        ])
+    return table.render()

@@ -11,6 +11,7 @@ the same reason we don't have to).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.bench.experiments import (
@@ -35,12 +36,31 @@ __all__ = ["MeasuredRow", "engine_for_row", "run_row", "run_table",
 #: session that asks for the same (cluster, nranks, placement, alg, trace)
 #: configuration reuses one engine.  Safe because the engine is stateless
 #: across runs apart from its trace, which is cleared before each reuse.
-_ENGINE_CACHE: dict[tuple, Engine] = {}
+#:
+#: The cache is LRU-bounded: a long session sweeping many cluster shapes
+#: would otherwise pin one engine (trace buffers, topology tables) per
+#: distinct configuration forever.  Evicted engines are shut down so
+#: their buffers are released immediately.
+_ENGINE_CACHE: OrderedDict[tuple, Engine] = OrderedDict()
+
+#: Most distinct engine configurations kept alive at once.
+ENGINE_CACHE_MAX = 8
 
 
 def clear_engine_cache() -> None:
     """Drop all session-cached engines (tests that tune engines use this)."""
-    _ENGINE_CACHE.clear()
+    while _ENGINE_CACHE:
+        _, engine = _ENGINE_CACHE.popitem(last=False)
+        engine.shutdown()
+
+
+def _cache_put(key: tuple, engine: Engine) -> None:
+    """Insert most-recently-used; evict (and shut down) the oldest."""
+    _ENGINE_CACHE[key] = engine
+    _ENGINE_CACHE.move_to_end(key)
+    while len(_ENGINE_CACHE) > ENGINE_CACHE_MAX:
+        _, stale = _ENGINE_CACHE.popitem(last=False)
+        stale.shutdown()
 
 
 @dataclass
@@ -104,6 +124,7 @@ def engine_for_row(
     if cache:
         engine = _ENGINE_CACHE.get(key)
         if engine is not None:
+            _ENGINE_CACHE.move_to_end(key)
             engine.trace.clear()
             return engine
     engine = Engine(
@@ -115,7 +136,7 @@ def engine_for_row(
         trace=collect_comm,
     )
     if cache:
-        _ENGINE_CACHE[key] = engine
+        _cache_put(key, engine)
     return engine
 
 

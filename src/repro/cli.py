@@ -7,6 +7,7 @@ Commands
 ``tables``   regenerate Table 1 / Table 2 (paper vs simulated)
 ``fig7``     run the Figure 7 exactness experiment
 ``transfers``  print the §1/§3.1 communication-count comparison
+``chaos``    train under injected faults and report recovery metrics
 """
 
 from __future__ import annotations
@@ -49,6 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--epochs", type=int, default=4)
 
     sub.add_parser("transfers", help="§1/§3.1 transfer-count comparison")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="train under injected faults; report recovery metrics"
+    )
+    p_chaos.add_argument("--scenario", default="all",
+                         help="scenario name from the default set, or 'all'")
+    p_chaos.add_argument("--json", metavar="PATH", default=None,
+                         help="also save the metrics as JSON")
     return parser
 
 
@@ -168,6 +177,41 @@ def _cmd_transfers() -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.bench.chaos import DEFAULT_SCENARIOS, render_chaos, run_scenario
+
+    by_name = {s.name: s for s in DEFAULT_SCENARIOS}
+    if args.scenario == "all":
+        chosen = list(DEFAULT_SCENARIOS)
+    elif args.scenario in by_name:
+        chosen = [by_name[args.scenario]]
+    else:
+        print(f"unknown scenario {args.scenario!r}; available: "
+              f"{', '.join(by_name)} or 'all'")
+        return 2
+    results = [run_scenario(s) for s in chosen]
+    print(render_chaos(results))
+    if args.json:
+        import json
+
+        payload = {
+            r.scenario.name: {
+                "steps": r.steps,
+                "final_loss": r.final_loss,
+                "restarts": r.attempts,
+                "lost_steps": r.lost_steps,
+                "recovery_latency_s": r.recovery_latency_s,
+                "virtual_time_s": r.virtual_time,
+                "goodput_steps_per_s": r.goodput,
+            }
+            for r in results
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -181,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fig7(args)
     if args.command == "transfers":
         return _cmd_transfers()
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -64,7 +64,11 @@ barrier         ``0``
 
 ``docs/architecture.md`` ("Trace accounting" and "Fused same-group
 rendezvous") explains how this table and the batch-window invariants fit
-into the engine's synchronization design.
+into the engine's synchronization design.  Under injected faults the
+table is *unchanged*: transient send retries record ``RetryEvent`` records but
+never duplicate a ``CommEvent``, so per-rank ``nbytes`` totals are
+invariant under retries — see "Fault model & recovery" in
+``docs/architecture.md`` and :mod:`repro.sim.faults`.
 """
 
 from __future__ import annotations
@@ -76,7 +80,7 @@ from repro.comm.group import ProcessGroup
 from repro.comm.reduce_ops import ReduceOp, combine
 from repro.errors import CommError, ShapeError
 from repro.sim.engine import RankContext
-from repro.sim.events import CommEvent, FusedBatchEvent
+from repro.sim.events import CommEvent, FusedBatchEvent, RetryEvent
 from repro.varray.varray import VArray
 
 __all__ = ["Communicator", "PendingResult"]
@@ -255,6 +259,7 @@ class Communicator:
 
     def _run_single(self, op: _CollectiveOp):
         """Unbatched path: one op, one generation of the group channel."""
+        self.ctx.check_faults()
         granks = self.group.ranks
         gen = self.ctx.next_group_seq(granks)
         op.t_post = self.ctx.clock.now
@@ -292,6 +297,7 @@ class Communicator:
         ops = win._ops
         if not ops:
             return
+        self.ctx.check_faults()
         granks = self.group.ranks
         ctx = self.ctx
         gen = ctx.next_group_seq(granks)
@@ -631,8 +637,18 @@ class Communicator:
     # --- point-to-point -------------------------------------------------------------
 
     def send(self, arr: VArray, dst: int, p2p_tag: int = 0, tag: str = "") -> None:
-        """Buffered send to group rank ``dst`` (returns immediately)."""
+        """Buffered send to group rank ``dst`` (returns immediately).
+
+        Under a fault plan with ``transient_rate > 0`` the injection may
+        fail transiently; failed attempts are retried with the plan's
+        :class:`~repro.sim.faults.RetryPolicy` (bounded exponential
+        backoff), each retry priced in *virtual* time and traced as a
+        :class:`~repro.sim.events.RetryEvent`.  The ``CommEvent`` is
+        recorded exactly once, on the successful attempt, so per-rank
+        volume accounting is invariant under retries.
+        """
         self._no_window("send")
+        self.ctx.check_faults()
         self._expect_varray(arr, "send payload")
         self._check_root(dst)
         if dst == self.rank:
@@ -642,8 +658,37 @@ class Communicator:
         seq = self.ctx.next_p2p_seq(src_g, dst_g, p2p_tag)
         key = (self.group.ranks, "p2p", src_g, dst_g, p2p_tag, seq)
         t0 = self.ctx.clock.now
+        link_latency = self._cost.topology.link(src_g, dst_g).latency
+        plan = self.ctx.engine.fault_plan
+        if plan is not None and plan.transient_rate > 0.0:
+            attempt = 0
+            while plan.send_fails(src_g, dst_g, p2p_tag, seq, attempt):
+                attempt += 1
+                t_fail = self.ctx.clock.now
+                if attempt >= plan.retry.max_attempts:
+                    raise CommError(
+                        f"send {src_g}->{dst_g} (tag={p2p_tag}, seq={seq}) "
+                        f"failed transiently {attempt} times; retry budget "
+                        f"of {plan.retry.max_attempts} attempts exhausted"
+                    )
+                # The failed injection burned one link latency, then the
+                # sender backs off before the next try.
+                self.ctx.clock.advance(
+                    link_latency + plan.retry.delay(attempt)
+                )
+                self.ctx.trace.record(
+                    RetryEvent(
+                        rank=self.ctx.rank,
+                        src=src_g,
+                        dst=dst_g,
+                        attempt=attempt,
+                        t_start=t_fail,
+                        t_end=self.ctx.clock.now,
+                        tag=tag,
+                    )
+                )
         # Eager/buffered semantics: the sender pays injection latency only.
-        self.ctx.clock.advance(self._cost.topology.link(src_g, dst_g).latency)
+        self.ctx.clock.advance(link_latency)
         self.ctx.engine.post_message(key, arr, self.ctx.clock.now)
         self.ctx.trace.record(
             CommEvent(
@@ -658,8 +703,16 @@ class Communicator:
         )
 
     def recv(self, src: int, p2p_tag: int = 0, tag: str = "") -> VArray:
-        """Blocking receive from group rank ``src``."""
+        """Blocking receive from group rank ``src``.
+
+        A degraded link (:class:`~repro.sim.faults.LinkFault`) scales the
+        transfer time; a fault plan with ``jitter > 0`` adds a
+        deterministic per-message delivery delay.  A sender that died
+        before posting raises :class:`~repro.errors.RankFailureError`
+        immediately.
+        """
         self._no_window("recv")
+        self.ctx.check_faults()
         self._check_root(src)
         if src == self.rank:
             raise CommError(f"rank {self.rank} cannot receive from itself")
@@ -668,9 +721,14 @@ class Communicator:
         seq = self.ctx.next_p2p_seq(src_g, dst_g, p2p_tag)
         key = (self.group.ranks, "p2p", src_g, dst_g, p2p_tag, seq)
         t_post = self.ctx.clock.now
-        payload, t_sent = self.ctx.engine.take_message(key)
+        payload, t_sent = self.ctx.engine.take_message(
+            key, rank=dst_g, src=src_g
+        )
         arr = self._expect_varray(payload, "recv payload")
         t_arrive = t_sent + self._cost.p2p(src_g, dst_g, arr.nbytes)
+        plan = self.ctx.engine.fault_plan
+        if plan is not None and plan.jitter > 0.0:
+            t_arrive += plan.delivery_jitter(src_g, dst_g, p2p_tag, seq)
         self.ctx.clock.sync_to(max(t_arrive, t_post))
         self.ctx.trace.record(
             CommEvent(

@@ -14,6 +14,9 @@ the subsystem that failed:
   returned inconsistent results, ...).
 * :class:`DeadlockError`  -- the watchdog saw a rendezvous that can never
   complete (some ranks never arrived).
+* :class:`RankFailureError` -- a simulated rank was killed by an injected
+  fault (see :mod:`repro.sim.faults`); raised promptly on every surviving
+  communication partner, naming the dead rank and its crash time.
 """
 
 from __future__ import annotations
@@ -41,3 +44,29 @@ class SimulationError(ReproError, RuntimeError):
 
 class DeadlockError(SimulationError):
     """A collective rendezvous timed out with some ranks missing."""
+
+
+class RankFailureError(SimulationError):
+    """A rank died from an injected fault; partners can never rendezvous.
+
+    ``rank`` is the global rank that crashed and ``t`` the virtual time of
+    the crash.  Both the dying rank and every rank whose collective or
+    p2p operation (transitively) depends on it raise this error — the
+    message is identical everywhere so failure traces are reproducible.
+    """
+
+    def __init__(self, rank: int, t: float, message: str | None = None):
+        self.rank = rank
+        self.t = t
+        super().__init__(
+            message
+            if message is not None
+            else f"rank {rank} died at t={t:.6e}s (injected crash)"
+        )
+
+    def clone(self) -> "RankFailureError":
+        """A fresh instance (same rank/time/message) safe to re-raise on
+        another thread without sharing traceback state."""
+        out = RankFailureError.__new__(RankFailureError)
+        RankFailureError.__init__(out, self.rank, self.t, str(self))
+        return out

@@ -73,6 +73,9 @@ class Topology:
                 f"cluster {cluster.name} has {cluster.total_gpus} GPUs, "
                 f"cannot place {self.nranks} ranks"
             )
+        #: per-rank-pair transfer-time multipliers from injected link
+        #: faults (see :mod:`repro.sim.faults`); keyed by sorted pair
+        self._link_scale: dict[tuple[int, int], float] = {}
         g = cluster.node.gpus_per_node
         if placement is Placement.BLOCK:
             self._node_of = [r // g for r in range(self.nranks)]
@@ -103,6 +106,43 @@ class Topology:
         if self.same_node(a, b):
             return self.cluster.node.intra_link
         return self.cluster.inter_link
+
+    def degrade_link(self, a: int, b: int, factor: float) -> None:
+        """Degrade the (a, b) link: transfers take ``factor``x longer.
+
+        Symmetric, multiplicative with earlier degradations of the same
+        pair.  Installed by ``Engine`` from a fault plan's
+        :class:`~repro.sim.faults.LinkFault` entries; consulted by
+        :meth:`CommCostModel.p2p <repro.sim.cost.CommCostModel.p2p>`.
+        """
+        if factor < 1.0:
+            raise GridError(f"degradation factor must be >= 1, got {factor}")
+        self._check_rank(a)
+        self._check_rank(b)
+        pair = (min(a, b), max(a, b))
+        self._link_scale[pair] = self._link_scale.get(pair, 1.0) * factor
+
+    def link_scale(self, a: int, b: int) -> float:
+        """Transfer-time multiplier for the (a, b) link (1.0 = healthy)."""
+        if not self._link_scale:
+            return 1.0
+        return self._link_scale.get((min(a, b), max(a, b)), 1.0)
+
+    def group_scale(self, ranks: Iterable[int]) -> float:
+        """Worst pairwise degradation inside a group (1.0 = healthy).
+
+        A collective (ring, tree) is gated by its slowest constituent
+        link, so :class:`CommCostModel <repro.sim.cost.CommCostModel>`
+        multiplies a group-spanning collective's transport time by this.
+        """
+        if not self._link_scale:
+            return 1.0
+        members = set(ranks)
+        worst = 1.0
+        for (a, b), s in self._link_scale.items():
+            if a in members and b in members and s > worst:
+                worst = s
+        return worst
 
     def nodes_spanned(self, ranks: Iterable[int]) -> int:
         """Number of distinct nodes touched by a group of ranks."""

@@ -48,6 +48,24 @@ class Adam(Optimizer):
             p.ctx.mem.alloc(2 * p.value.nbytes, "optimizer")
         return self._m[key], self._v[key]
 
+    def _slot_state(self) -> dict:
+        out = {}
+        for i, p in enumerate(self.params):
+            m = self._m.get(id(p))
+            if m is None or m.is_symbolic:
+                continue
+            out[i] = {"m": m.numpy().copy(), "v": self._v[id(p)].numpy().copy()}
+        return out
+
+    def _load_slot_state(self, slots: dict) -> None:
+        self._m.clear()
+        self._v.clear()
+        for i, mv in slots.items():
+            p = self.params[int(i)]
+            self._m[id(p)] = VArray.from_numpy(mv["m"].copy())
+            self._v[id(p)] = VArray.from_numpy(mv["v"].copy())
+            p.ctx.mem.alloc(2 * p.value.nbytes, "optimizer")
+
     def update_direction(self, p: Parameter) -> VArray:
         """The bias-corrected Adam step direction m̂ / (sqrt(v̂) + eps).
 

@@ -46,5 +46,35 @@ class Optimizer:
             raise SimulationError(f"learning rate must be positive, got {lr}")
         self.lr = lr
 
+    # --- persistence (checkpoint/restart recovery) ---------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of the optimizer state (step count, lr, slot buffers).
+
+        Slot buffers (Adam moments, SGD momentum) are keyed by *parameter
+        position*, not identity, so the state survives a model rebuild on
+        a fresh engine — the recovery path in :mod:`repro.train.resilience`
+        relies on this.  Symbolic-mode buffers are skipped (they carry no
+        data; a restore recreates them lazily as zeros).
+        """
+        return {"t": self.t, "lr": self.lr, "slots": self._slot_state()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        The optimizer must already hold the same parameters (same count,
+        same shapes) the snapshot was taken with.
+        """
+        self.t = int(state["t"])
+        self.lr = float(state["lr"])
+        self._load_slot_state(state.get("slots", {}))
+
+    def _slot_state(self) -> dict:
+        """Subclass hook: position-keyed numpy copies of slot buffers."""
+        return {}
+
+    def _load_slot_state(self, slots: dict) -> None:
+        """Subclass hook: restore buffers saved by :meth:`_slot_state`."""
+
     def _update(self, p: Parameter) -> None:
         raise NotImplementedError

@@ -29,6 +29,21 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._buf: dict[int, VArray] = {}
 
+    def _slot_state(self) -> dict:
+        out = {}
+        for i, p in enumerate(self.params):
+            buf = self._buf.get(id(p))
+            if buf is None or buf.is_symbolic:
+                continue
+            out[i] = buf.numpy().copy()
+        return out
+
+    def _load_slot_state(self, slots: dict) -> None:
+        self._buf.clear()
+        for i, arr in slots.items():
+            p = self.params[int(i)]
+            self._buf[id(p)] = VArray.from_numpy(arr.copy())
+
     def _update(self, p: Parameter) -> None:
         ctx = p.ctx
         g = p.grad

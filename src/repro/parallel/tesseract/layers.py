@@ -25,7 +25,9 @@ from repro.grid.context import ParallelContext
 from repro.nn.attention import attention_core, attention_core_backward
 from repro.nn.module import Module
 from repro.parallel.common import (
+    allreduce_batch,
     allreduce_col_depth,
+    allreduce_col_depth_many,
     block_2d,
     fused_block_2d,
     fused_qkv_global,
@@ -171,10 +173,25 @@ class TesseractLayerNorm(Module):
         total = pc.row_comm.all_reduce(local_sum, tag=tag)
         return ops.scale(ctx, total, 1.0 / self.dim, tag=tag)
 
+    def _row_means(self, pairs: list[tuple[VArray, str]]) -> list[VArray]:
+        """Several row means in one fused batch window (same bytes, one
+        rendezvous) — LayerNorm always needs them in same-group pairs."""
+        ctx, pc = self.ctx, self.pc
+        sums = [
+            ops.reduce_sum(ctx, v, axis=-1, keepdims=True, tag=tag)
+            for v, tag in pairs
+        ]
+        totals = allreduce_batch(pc.row_comm, sums, tag=pairs[0][1])
+        return [
+            ops.scale(ctx, t, 1.0 / self.dim, tag=tag)
+            for t, (_, tag) in zip(totals, pairs)
+        ]
+
     def forward(self, x: VArray) -> VArray:
         ctx = self.ctx
-        mean = self._row_mean(x, "tln_mean")
-        mean_sq = self._row_mean(ops.square(ctx, x, tag="tln_sq"), "tln_meansq")
+        mean, mean_sq = self._row_means(
+            [(x, "tln_mean"), (ops.square(ctx, x, tag="tln_sq"), "tln_meansq")]
+        )
         # Var[X] = E[X^2] - E[X]^2 (the paper's formulation).
         var = ops.sub(ctx, mean_sq, ops.square(ctx, mean, tag="tln_var"),
                       tag="tln_var")
@@ -201,15 +218,18 @@ class TesseractLayerNorm(Module):
         dg = ops.mul(ctx, dy, xhat, tag="tln_dg")
         while dg.ndim > 1:
             dg = ops.reduce_sum(ctx, dg, axis=0, keepdims=False, tag="tln_dg")
-        self.g.accumulate(allreduce_col_depth(pc, dg, tag="tln_dg"))
         db = dy
         while db.ndim > 1:
             db = ops.reduce_sum(ctx, db, axis=0, keepdims=False, tag="tln_db")
-        self.b.accumulate(allreduce_col_depth(pc, db, tag="tln_db"))
+        dg, db = allreduce_col_depth_many(pc, [dg, db], tag="tln_dgdb")
+        self.g.accumulate(dg)
+        self.b.accumulate(db)
         # Input grad (Eq. 14): the two means run over the global hidden dim.
         dxhat = ops.mul(ctx, dy, self.g.value, tag="tln_dxhat")
-        m1 = self._row_mean(dxhat, "tln_m1")
-        m2 = self._row_mean(ops.mul(ctx, dxhat, xhat, tag="tln_xdx"), "tln_m2")
+        m1, m2 = self._row_means(
+            [(dxhat, "tln_m1"),
+             (ops.mul(ctx, dxhat, xhat, tag="tln_xdx"), "tln_m2")]
+        )
         inner = ops.sub(
             ctx,
             ops.sub(ctx, dxhat, m1, tag="tln_sub"),

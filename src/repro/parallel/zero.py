@@ -96,19 +96,24 @@ class ZeroOptimizer:
     def step(self) -> None:
         """Owners update their shard, then broadcast the new values.
 
-        The broadcasts run in a fixed parameter order, so every replica
-        issues the identical collective sequence.
+        The broadcasts run in a fixed parameter order inside one fused
+        batch window (one rendezvous per step instead of one per
+        parameter), so every replica issues the identical collective
+        sequence and the bytes moved match the per-parameter form.
         """
         if self.inner is not None:
             self.inner.step()
-        for idx, p in enumerate(self.params):
-            owner = self._owner[idx]
-            fresh = self.dp_comm.broadcast(
-                p.value if owner == self.dp_comm.rank else None,
-                root=owner,
-                tag=f"zero:{p.name}",
-            )
-            p.assign(fresh)
+        with self.dp_comm.batch(tag="zero_step"):
+            pending = [
+                self.dp_comm.broadcast(
+                    p.value if self._owner[idx] == self.dp_comm.rank else None,
+                    root=self._owner[idx],
+                    tag=f"zero:{p.name}",
+                )
+                for idx, p in enumerate(self.params)
+            ]
+        for p, h in zip(self.params, pending):
+            p.assign(h.value)
 
     def zero_grad(self) -> None:
         """Clear gradients on every parameter (owned or not)."""

@@ -14,7 +14,21 @@ The result of a simulation is therefore both the *data* each rank computed
 
 from repro.sim.clock import VirtualClock
 from repro.sim.cost import CollectiveAlg, CommCostModel, ComputeCostModel
-from repro.sim.events import CommEvent, ComputeEvent, MarkerEvent, Trace
+from repro.sim.events import (
+    CommEvent,
+    ComputeEvent,
+    FaultEvent,
+    MarkerEvent,
+    RetryEvent,
+    Trace,
+)
+from repro.sim.faults import (
+    ComputeSlowdown,
+    FaultPlan,
+    LinkFault,
+    RankCrash,
+    RetryPolicy,
+)
 from repro.sim.memory import MemoryTracker
 from repro.sim.engine import Engine, RankContext
 from repro.sim.timeline import RankBreakdown, analyze, gantt
@@ -28,6 +42,13 @@ __all__ = [
     "ComputeEvent",
     "CommEvent",
     "MarkerEvent",
+    "FaultEvent",
+    "RetryEvent",
+    "FaultPlan",
+    "RankCrash",
+    "LinkFault",
+    "ComputeSlowdown",
+    "RetryPolicy",
     "MemoryTracker",
     "Engine",
     "RankContext",

@@ -36,6 +36,12 @@ all_to_all and barrier — uses this decomposition for node-spanning groups;
 bottleneck link.  A fixed per-byte reduction cost ``gamma`` is charged for
 reducing collectives.
 
+Injected link faults (:class:`~repro.sim.faults.LinkFault`) degrade the
+affected pair's p2p transfers directly and multiply the *transport* term of
+any collective whose group contains both endpoints by the worst pairwise
+factor (a ring or tree is gated by its slowest constituent link); the local
+reduction term ``gamma`` is unaffected.
+
 Fused sequences (a batch window queuing several collectives on one group,
 see :meth:`repro.comm.communicator.Communicator.batch`) are priced by
 :meth:`CommCostModel.fused`: consecutive same-kind ops coalesce into one
@@ -161,22 +167,29 @@ class CommCostModel:
     # --- public collective prices ---------------------------------------------
 
     def p2p(self, src: int, dst: int, nbytes: float) -> float:
-        """Point-to-point message time."""
+        """Point-to-point message time.
+
+        Scaled by the topology's per-pair link degradation (injected
+        :class:`~repro.sim.faults.LinkFault`; 1.0 on a healthy cluster).
+        """
         if src == dst:
             return 0.0
-        return self.topology.link(src, dst).transfer_time(nbytes)
+        t = self.topology.link(src, dst).transfer_time(nbytes)
+        return t * self.topology.link_scale(src, dst)
 
     def broadcast(self, ranks: Sequence[int], nbytes: float) -> float:
         """Broadcast ``nbytes`` from one rank to the rest of the group."""
         g = len(ranks)
         if g <= 1 or nbytes == 0:
             return 0.0
+        scale = self.topology.group_scale(ranks)
         if not self._use_hierarchical(ranks):
             link = self.topology.worst_link(ranks)
-            return self._tree(g, nbytes, link)
+            return self._tree(g, nbytes, link) * scale
         n_nodes, per_node, intra, inter = self._split_group(ranks)
         # Root sends across nodes to node leaders, leaders fan out locally.
-        return self._tree(n_nodes, nbytes, inter) + self._tree(per_node, nbytes, intra)
+        return (self._tree(n_nodes, nbytes, inter)
+                + self._tree(per_node, nbytes, intra)) * scale
 
     def reduce(self, ranks: Sequence[int], nbytes: float) -> float:
         """Reduce to one rank: mirror of broadcast plus reduction gamma."""
@@ -190,28 +203,31 @@ class CommCostModel:
         g = len(ranks)
         if g <= 1 or nbytes == 0:
             return 0.0
+        scale = self.topology.group_scale(ranks)
         if not self._use_hierarchical(ranks):
             link = self.topology.worst_link(ranks)
-            return self._ring_allreduce(g, nbytes, link) + self.gamma * nbytes
+            return (self._ring_allreduce(g, nbytes, link) * scale
+                    + self.gamma * nbytes)
         n_nodes, per_node, intra, inter = self._split_group(ranks)
         # reduce locally -> ring all-reduce across node leaders -> local bcast
         t = self._tree(per_node, nbytes, intra)
         t += self._ring_allreduce(n_nodes, nbytes, inter)
         t += self._tree(per_node, nbytes, intra)
-        return t + self.gamma * nbytes
+        return t * scale + self.gamma * nbytes
 
     def all_gather(self, ranks: Sequence[int], nbytes_total: float) -> float:
         """All-gather where the *concatenated* result is ``nbytes_total``."""
         g = len(ranks)
         if g <= 1 or nbytes_total == 0:
             return 0.0
+        scale = self.topology.group_scale(ranks)
         if not self._use_hierarchical(ranks):
             link = self.topology.worst_link(ranks)
-            return self._ring_allgather(g, nbytes_total, link)
+            return self._ring_allgather(g, nbytes_total, link) * scale
         n_nodes, per_node, intra, inter = self._split_group(ranks)
         t = self._ring_allgather(per_node, nbytes_total / max(n_nodes, 1), intra)
         t += self._ring_allgather(n_nodes, nbytes_total, inter)
-        return t
+        return t * scale
 
     def reduce_scatter(self, ranks: Sequence[int], nbytes_total: float) -> float:
         """Reduce-scatter of a buffer whose full size is ``nbytes_total``."""
@@ -225,15 +241,16 @@ class CommCostModel:
         g = len(ranks)
         if g <= 1 or nbytes_total == 0:
             return 0.0
+        scale = self.topology.group_scale(ranks)
         if not self._use_hierarchical(ranks):
             link = self.topology.worst_link(ranks)
-            return self._binomial_scatter(g, nbytes_total, link)
+            return self._binomial_scatter(g, nbytes_total, link) * scale
         n_nodes, per_node, intra, inter = self._split_group(ranks)
         # Scatter node-sized slabs to one leader per node over IB, then
         # each leader scatters its slab locally over NVLink.
         t = self._binomial_scatter(n_nodes, nbytes_total, inter)
         t += self._binomial_scatter(per_node, nbytes_total / max(n_nodes, 1), intra)
-        return t
+        return t * scale
 
     def gather(self, ranks: Sequence[int], nbytes_total: float) -> float:
         """Gather to the root (mirror of scatter)."""
@@ -244,9 +261,11 @@ class CommCostModel:
         g = len(ranks)
         if g <= 1 or nbytes_per_pair == 0:
             return 0.0
+        scale = self.topology.group_scale(ranks)
         if not self._use_hierarchical(ranks):
             link = self.topology.worst_link(ranks)
-            return (g - 1) * (link.latency + nbytes_per_pair / link.effective_bandwidth)
+            return (g - 1) * (link.latency
+                              + nbytes_per_pair / link.effective_bandwidth) * scale
         n_nodes, per_node, intra, inter = self._split_group(ranks)
         # Split the g-1 pairwise exchange steps by where the peer lives:
         # same-node partners ride NVLink, the rest cross InfiniBand.
@@ -254,7 +273,7 @@ class CommCostModel:
         inter_steps = g - per_node
         t = intra_steps * (intra.latency + nbytes_per_pair / intra.effective_bandwidth)
         t += inter_steps * (inter.latency + nbytes_per_pair / inter.effective_bandwidth)
-        return t
+        return t * scale
 
     def fused(self, ranks: Sequence[int], ops: Sequence[tuple[str, float]]) -> list[float]:
         """Per-op completion offsets for a fused same-group sequence.

@@ -51,6 +51,25 @@ mechanisms keep the dispatch hot path off the floor:
   group and pay one sleep/wake cycle for all of them.  The per-rank group
   sequence counter doubles as the generation number, so matching is
   deterministic under any thread interleaving.
+
+Fault injection
+---------------
+An engine built with a ``fault_plan`` (:class:`~repro.sim.faults.FaultPlan`)
+simulates failures.  A scheduled :class:`~repro.sim.faults.RankCrash`
+kills its rank the first time that rank's *virtual* clock reaches the
+crash time; the engine marks the rank dead, records a
+:class:`~repro.sim.events.FaultEvent`, and **promptly** fails every
+rendezvous, fused generation or pending receive the dead rank can no
+longer join — surviving partners raise
+:class:`~repro.errors.RankFailureError` (naming the dead rank and crash
+time) instead of ever reaching the watchdog timeout.  Failure cascades
+deterministically: a rank that raises :class:`RankFailureError` is itself
+marked dead (with the *root* cause), so transitively-blocked ranks fail
+at the first operation — in their own program order — that depends on the
+failed component, while unrelated ranks run to completion.  Because both
+crash detection and the cascade are functions of per-rank program order
+and virtual time only, the same fault plan reproduces a bit-identical
+failure trace on every rerun.
 """
 
 from __future__ import annotations
@@ -60,12 +79,18 @@ import time
 from collections import deque
 from typing import Any, Callable, Sequence
 
-from repro.errors import CommError, DeadlockError, SimulationError
+from repro.errors import (
+    CommError,
+    DeadlockError,
+    RankFailureError,
+    SimulationError,
+)
 from repro.hardware.spec import ClusterSpec, meluxina
 from repro.hardware.topology import Placement, Topology
 from repro.sim.clock import VirtualClock
 from repro.sim.cost import CollectiveAlg, CommCostModel, ComputeCostModel
-from repro.sim.events import ComputeEvent, MarkerEvent, Trace
+from repro.sim.events import ComputeEvent, FaultEvent, MarkerEvent, Trace
+from repro.sim.faults import FaultPlan
 from repro.sim.memory import MemoryTracker
 from repro.util.mathutil import ceil_div
 from repro.util.rng import rng_for
@@ -227,7 +252,7 @@ class _Rendezvous:
     """State of one in-flight collective: who arrived, with what."""
 
     __slots__ = ("size", "ranks", "arrivals", "results", "t_end", "done",
-                 "kind", "event")
+                 "kind", "event", "failed")
 
     def __init__(self, size: int, kind: str, ranks: tuple[int, ...] | None):
         self.size = size
@@ -238,6 +263,7 @@ class _Rendezvous:
         self.done = False
         self.kind = kind
         self.event = threading.Event()
+        self.failed: RankFailureError | None = None  #: a member died
 
 
 class _FusedGen:
@@ -250,7 +276,8 @@ class _FusedGen:
     the finisher on the last arriver's thread.
     """
 
-    __slots__ = ("sig", "arrivals", "results", "t_ends", "done", "event")
+    __slots__ = ("sig", "arrivals", "results", "t_ends", "done", "event",
+                 "failed")
 
     def __init__(self, sig: tuple[str, ...]):
         self.sig = sig
@@ -259,6 +286,7 @@ class _FusedGen:
         self.t_ends: tuple[float, ...] = ()
         self.done = False
         self.event = threading.Event()
+        self.failed: RankFailureError | None = None  #: a member died
 
 
 class _GroupChannel:
@@ -325,6 +353,13 @@ class RankContext:
         self._group_seq: dict[tuple[int, ...], int] = {}
         #: per-(src, dst, tag) p2p sequence counters
         self._p2p_seq: dict[tuple[int, int, Any], int] = {}
+        plan = engine.fault_plan
+        #: scheduled virtual crash time for this rank (None = immortal)
+        self._crash_at = plan.crash_time(rank) if plan is not None else None
+        #: straggler multiplier for local kernels
+        self._compute_factor = (
+            plan.compute_factor(rank) if plan is not None else 1.0
+        )
 
     # --- local work -----------------------------------------------------------
 
@@ -349,6 +384,8 @@ class RankContext:
         """
         t0 = self.clock.now
         dt = self.engine.compute_model.op_time(flops, bytes_touched, min_dim)
+        if self._compute_factor != 1.0:
+            dt *= self._compute_factor
         self.clock.advance(dt)
         self.trace.record(
             ComputeEvent(
@@ -360,10 +397,30 @@ class RankContext:
                 tag=tag,
             )
         )
+        if self._crash_at is not None:
+            self.check_faults()
 
     def marker(self, name: str) -> None:
         """Drop a named marker at the current simulated time."""
         self.trace.record(MarkerEvent(rank=self.rank, t=self.clock.now, name=name))
+
+    def check_faults(self) -> None:
+        """Die if this rank's scheduled crash time has passed.
+
+        Called after every local kernel and at every communication entry
+        point, so crash detection is a function of *virtual* time and
+        program order only — never of wall-clock interleaving.  A rank
+        already marked dead (by its crash or by a cascaded failure) raises
+        the recorded cause again, so programs that swallow the error
+        cannot keep communicating.
+        """
+        eng = self.engine
+        if eng._dead:
+            cause = eng._dead.get(self.rank)
+            if cause is not None:
+                raise cause.clone()
+        if self._crash_at is not None and self.clock.now >= self._crash_at:
+            raise eng._kill(self.rank, self._crash_at)
 
     def rng(self, *tags) -> "Any":
         """Rank-independent named RNG stream (same data on every rank)."""
@@ -409,6 +466,10 @@ class Engine:
         watchdog declares a deadlock.
     seed:
         Base seed for all RNG streams.
+    fault_plan:
+        Optional :class:`~repro.sim.faults.FaultPlan` of injected failures
+        (rank crashes, link degradation, stragglers, transient sends,
+        delivery jitter).  ``None`` simulates a healthy cluster.
 
     Examples
     --------
@@ -431,6 +492,7 @@ class Engine:
         trace: bool = True,
         op_timeout: float = 120.0,
         seed: int = 0,
+        fault_plan: FaultPlan | None = None,
     ):
         if mode not in ("real", "symbolic"):
             raise SimulationError(f"mode must be 'real' or 'symbolic', got {mode!r}")
@@ -444,6 +506,16 @@ class Engine:
         self.seed = seed
         self.op_timeout = op_timeout
         self.topology = Topology(cluster, nranks=self.nranks, placement=placement)
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            for crash in fault_plan.crashes:
+                if not 0 <= crash.rank < self.nranks:
+                    raise SimulationError(
+                        f"fault plan kills rank {crash.rank}, but the engine "
+                        f"has only {self.nranks} ranks"
+                    )
+            for lf in fault_plan.link_faults:
+                self.topology.degrade_link(lf.src, lf.dst, lf.factor)
         self.compute_model = ComputeCostModel(cluster.gpu)
         self.comm_model = CommCostModel(self.topology, alg=comm_alg)
         self.trace = Trace(enabled=trace)
@@ -453,7 +525,11 @@ class Engine:
         self._channels_lock = threading.Lock()
         self._err_lock = threading.Lock()
         self._error: BaseException | None = None
+        #: global rank -> root-cause failure, for ranks that can no longer
+        #: communicate (crashed, or cascaded out by a partner's crash)
+        self._dead: dict[int, RankFailureError] = {}
         self.contexts: list[RankContext] = []
+        self.closed = False  #: set by :meth:`shutdown` (cache eviction)
 
     # --- running programs -------------------------------------------------------
 
@@ -479,6 +555,8 @@ class Engine:
         with self._channels_lock:
             self._channels.clear()
         self._error = None
+        self._dead = {}
+        self.closed = False
         self.contexts = [RankContext(self, r) for r in range(self.nranks)]
         results: list[Any] = [None] * self.nranks
         errors: list[BaseException | None] = [None] * self.nranks
@@ -486,6 +564,13 @@ class Engine:
         def worker(rank: int) -> None:
             try:
                 results[rank] = fn(self.contexts[rank], *args, **kwargs)
+            except RankFailureError as exc:
+                # Injected-fault path: the failure already propagated to
+                # exactly the ranks that depend on the dead one (see
+                # _mark_dead); unrelated ranks keep running, so this must
+                # NOT trip the global abort sweep.
+                errors[rank] = exc
+                self._mark_dead(rank, exc)
             except BaseException as exc:  # noqa: BLE001 - must abort peers
                 errors[rank] = exc
                 self._abort(exc)
@@ -534,6 +619,104 @@ class Engine:
         if self._error is not None:
             raise _AbortedError("aborted because another rank failed")
 
+    # --- fault injection -------------------------------------------------------
+
+    def _kill(self, rank: int, t: float) -> RankFailureError:
+        """Execute rank ``rank``'s scheduled crash at virtual time ``t``.
+
+        Records the :class:`FaultEvent`, marks the rank dead (waking every
+        pending wait that can no longer complete) and returns the error
+        for the dying rank's own thread to raise.
+        """
+        cause = RankFailureError(rank, t)
+        self.trace.record(
+            FaultEvent(rank=rank, kind="crash", t=t, detail=str(cause))
+        )
+        self._mark_dead(rank, cause)
+        return cause.clone()
+
+    def _mark_dead(self, rank: int, cause: RankFailureError) -> None:
+        """Mark ``rank`` unable to communicate; promptly fail its waiters.
+
+        Every rendezvous, fused generation, or pending receive that is
+        still waiting for ``rank`` is marked failed and woken *now* — no
+        surviving partner ever rides out the watchdog timeout.  A
+        rendezvous the dead rank already deposited into is left alone: it
+        can still complete for the others (the crash happened after the
+        rank's arrival in its own program order).  ``cause`` is the *root*
+        failure, so cascaded deaths keep naming the originally-crashed
+        rank.
+        """
+        with self._err_lock:
+            if rank in self._dead:
+                return
+            self._dead[rank] = cause
+        for shard in self._shards:
+            with shard.lock:
+                for rv in shard.rendezvous.values():
+                    if (not rv.done and rv.failed is None
+                            and rv.ranks is not None and rank in rv.ranks
+                            and rank not in rv.arrivals):
+                        rv.failed = cause
+                        rv.event.set()
+                for key, evt in shard.recv_waiters.items():
+                    if (isinstance(key, tuple) and len(key) >= 4
+                            and key[1] == "p2p" and key[2] == rank
+                            and key not in shard.mailboxes):
+                        evt.set()
+        with self._channels_lock:
+            channels = [
+                ch for ch in self._channels.values() if rank in ch.granks
+            ]
+        for ch in channels:
+            with ch.lock:
+                for fg in ch.gens.values():
+                    if (not fg.done and fg.failed is None
+                            and rank not in fg.arrivals):
+                        fg.failed = cause
+                        fg.event.set()
+
+    def _fail_rank(self, rank: int, cause: RankFailureError) -> RankFailureError:
+        """Cascade: ``rank`` can never finish this op, so it dies too.
+
+        Marking it dead immediately (instead of waiting for the exception
+        to unwind to the worker) wakes *its* pending partners without a
+        detour through wall-clock time.  Returns the error to raise.
+        """
+        self._mark_dead(rank, cause)
+        return cause.clone()
+
+    def _dead_member(
+        self, granks: Sequence[int], arrivals: dict[int, Any]
+    ) -> RankFailureError | None:
+        """Root cause if some group member is dead and can never arrive."""
+        for r in granks:
+            cause = self._dead.get(r)
+            if cause is not None and r not in arrivals:
+                return cause
+        return None
+
+    def shutdown(self) -> None:
+        """Release all rendezvous/trace state (engine-cache eviction).
+
+        The engine stays usable — :meth:`run` rebuilds everything — but a
+        shut-down engine holds no payload references, no trace events and
+        no live rendezvous, so evicting it from a cache actually frees
+        memory.
+        """
+        for shard in self._shards:
+            with shard.lock:
+                shard.rendezvous.clear()
+                shard.mailboxes.clear()
+                shard.recv_waiters.clear()
+        with self._channels_lock:
+            self._channels.clear()
+        self.trace.clear()
+        self.contexts = []
+        self._error = None
+        self._dead = {}
+        self.closed = True
+
     def _shard(self, key: Any) -> _Shard:
         return self._shards[hash(key) & (_N_SHARDS - 1)]
 
@@ -557,14 +740,28 @@ class Engine:
         expected global ranks) lets a timeout name the missing members.
         """
         self._check_abort()
+        if self._dead:
+            cause = self._dead.get(rank)
+            if cause is not None:
+                raise cause.clone()
         shard = self._shard(key)
         mismatch: CommError | None = None
+        failed: RankFailureError | None = None
         with shard.lock:
             rv = shard.rendezvous.get(key)
             if rv is None:
                 rv = _Rendezvous(size, kind, tuple(ranks) if ranks else None)
                 shard.rendezvous[key] = rv
-            if rv.kind != kind:
+            if rv.failed is not None:
+                failed = rv.failed
+            elif self._dead and rv.ranks is not None:
+                failed = self._dead_member(rv.ranks, rv.arrivals)
+                if failed is not None:
+                    rv.failed = failed
+                    rv.event.set()
+            if failed is not None:
+                pass
+            elif rv.kind != kind:
                 mismatch = CommError(
                     f"collective mismatch at {key}: rank {rank} called {kind!r} "
                     f"but the group already started {rv.kind!r}"
@@ -577,6 +774,8 @@ class Engine:
             else:
                 rv.arrivals[rank] = arrival
                 is_last = len(rv.arrivals) == rv.size
+        if failed is not None:
+            raise self._fail_rank(rank, failed)
         if mismatch is not None:
             self._abort(mismatch)
             raise mismatch
@@ -605,9 +804,13 @@ class Engine:
             finally:
                 _watchdog.cancel(token)
             if not rv.done:
+                if rv.failed is not None:
+                    raise self._fail_rank(rank, rv.failed)
                 self._check_abort()
                 # Backstop: the watchdog itself failed to fire.
                 err = self._deadlock_error(key, kind, rv)
+                if isinstance(err, RankFailureError):
+                    raise self._fail_rank(rank, err)
                 self._abort(err)
                 raise err
 
@@ -621,11 +824,19 @@ class Engine:
                 shard.rendezvous.pop(key, None)
         return result, t_end
 
-    def _deadlock_error(self, key: Any, kind: str, rv: _Rendezvous) -> DeadlockError:
+    def _deadlock_error(
+        self, key: Any, kind: str, rv: _Rendezvous
+    ) -> SimulationError:
         arrived = sorted(rv.arrivals)
-        detail = f"{len(arrived)}/{rv.size} ranks arrived {arrived}"
         if rv.ranks is not None:
             missing = sorted(set(rv.ranks) - set(arrived))
+            for r in missing:
+                cause = self._dead.get(r)
+                if cause is not None:
+                    # Not a deadlock: the missing partner is dead.
+                    return cause.clone()
+        detail = f"{len(arrived)}/{rv.size} ranks arrived {arrived}"
+        if rv.ranks is not None:
             detail += f"; missing ranks {missing}"
         return DeadlockError(
             f"rendezvous {key} ({kind}) timed out after "
@@ -633,9 +844,19 @@ class Engine:
         )
 
     def _fire_deadlock(self, key: Any, kind: str, rv: _Rendezvous) -> None:
-        if rv.done or self._error is not None:
+        if rv.done or rv.failed is not None or self._error is not None:
             return
-        self._abort(self._deadlock_error(key, kind, rv))
+        err = self._deadlock_error(key, kind, rv)
+        if isinstance(err, RankFailureError):
+            # A dead partner explains the stall; fail this rendezvous
+            # (and only it) rather than sweeping the whole run.
+            shard = self._shard(key)
+            with shard.lock:
+                if rv.failed is None and not rv.done:
+                    rv.failed = err
+                    rv.event.set()
+            return
+        self._abort(err)
 
     # --- fused same-group rendezvous -----------------------------------------
 
@@ -677,14 +898,28 @@ class Engine:
         and amortizes one sleep/wake cycle over the entire batch.
         """
         self._check_abort()
+        if self._dead:
+            cause = self._dead.get(rank)
+            if cause is not None:
+                raise cause.clone()
         ch = self._channel(granks)
         mismatch: CommError | None = None
+        failed: RankFailureError | None = None
         with ch.lock:
             fg = ch.gens.get(gen)
             if fg is None:
                 fg = _FusedGen(sig)
                 ch.gens[gen] = fg
-            if fg.sig != sig:
+            if fg.failed is not None:
+                failed = fg.failed
+            elif self._dead:
+                failed = self._dead_member(granks, fg.arrivals)
+                if failed is not None:
+                    fg.failed = failed
+                    fg.event.set()
+            if failed is not None:
+                pass
+            elif fg.sig != sig:
                 mismatch = CommError(
                     f"collective mismatch in group {granks} (gen {gen}): "
                     f"rank {rank} called {self._sig_name(sig)!r} but the "
@@ -698,6 +933,8 @@ class Engine:
             else:
                 fg.arrivals[rank] = arrival
                 is_last = len(fg.arrivals) == ch.size
+        if failed is not None:
+            raise self._fail_rank(rank, failed)
         if mismatch is not None:
             self._abort(mismatch)
             raise mismatch
@@ -726,9 +963,13 @@ class Engine:
             finally:
                 _watchdog.cancel(token)
             if not fg.done:
+                if fg.failed is not None:
+                    raise self._fail_rank(rank, fg.failed)
                 self._check_abort()
                 # Backstop: the watchdog itself failed to fire.
                 err = self._fused_deadlock_error(granks, gen, fg)
+                if isinstance(err, RankFailureError):
+                    raise self._fail_rank(rank, err)
                 self._abort(err)
                 raise err
 
@@ -747,9 +988,14 @@ class Engine:
 
     def _fused_deadlock_error(
         self, granks: tuple[int, ...], gen: int, fg: _FusedGen
-    ) -> DeadlockError:
+    ) -> SimulationError:
         arrived = sorted(fg.arrivals)
         missing = sorted(set(granks) - set(arrived))
+        for r in missing:
+            cause = self._dead.get(r)
+            if cause is not None:
+                # Not a deadlock: the missing partner is dead.
+                return cause.clone()
         return DeadlockError(
             f"rendezvous {(granks, 'coll', gen)} ({self._sig_name(fg.sig)}) "
             f"timed out after {self.op_timeout}s: {len(arrived)}/"
@@ -759,9 +1005,17 @@ class Engine:
     def _fire_fused_deadlock(
         self, granks: tuple[int, ...], gen: int, fg: _FusedGen
     ) -> None:
-        if fg.done or self._error is not None:
+        if fg.done or fg.failed is not None or self._error is not None:
             return
-        self._abort(self._fused_deadlock_error(granks, gen, fg))
+        err = self._fused_deadlock_error(granks, gen, fg)
+        if isinstance(err, RankFailureError):
+            ch = self._channel(granks)
+            with ch.lock:
+                if fg.failed is None and not fg.done:
+                    fg.failed = err
+                    fg.event.set()
+            return
+        self._abort(err)
 
     # --- buffered p2p ---------------------------------------------------------------
 
@@ -779,15 +1033,37 @@ class Engine:
             if waiter is not None:
                 waiter.set()
 
-    def take_message(self, key: Any) -> tuple[Any, float]:
-        """Block until the matching message exists; return (payload, t_sent)."""
+    def take_message(
+        self, key: Any, rank: int | None = None, src: int | None = None
+    ) -> tuple[Any, float]:
+        """Block until the matching message exists; return (payload, t_sent).
+
+        ``rank`` (the receiver) and ``src`` (the expected sender) are used
+        only for fault propagation: a receive whose sender died before
+        posting fails immediately with :class:`RankFailureError` — a
+        message posted *before* the sender's crash is still delivered
+        (program order on the sender decides, deterministically).
+        """
         self._check_abort()
+        if self._dead and rank is not None:
+            cause = self._dead.get(rank)
+            if cause is not None:
+                raise cause.clone()
         shard = self._shard(key)
         with shard.lock:
             box = shard.mailboxes.pop(key, None)
             if box is None:
-                evt = shard.recv_waiters.setdefault(key, threading.Event())
+                if src is not None and src in self._dead:
+                    dead_src = self._dead[src]
+                else:
+                    dead_src = None
+                    evt = shard.recv_waiters.setdefault(key, threading.Event())
         if box is None:
+            if dead_src is not None:
+                # Sender is dead and never posted: it can never post.
+                if rank is not None:
+                    raise self._fail_rank(rank, dead_src)
+                raise dead_src.clone()
             token = _watchdog.register(
                 time.monotonic() + self.op_timeout,
                 lambda: self._fire_recv_deadlock(key),
@@ -802,15 +1078,29 @@ class Engine:
                 shard.recv_waiters.pop(key, None)
                 box = shard.mailboxes.pop(key, None)
             if box is None:
+                if src is not None and src in self._dead:
+                    # Woken by the death sweep, not by a post.
+                    cause = self._dead[src]
+                    if rank is not None:
+                        raise self._fail_rank(rank, cause)
+                    raise cause.clone()
                 self._check_abort()
                 err = self._recv_deadlock_error(key)
+                if isinstance(err, RankFailureError):
+                    if rank is not None:
+                        raise self._fail_rank(rank, err)
+                    raise err
                 self._abort(err)
                 raise err
         return box.payload, box.t_sent
 
-    def _recv_deadlock_error(self, key: Any) -> DeadlockError:
+    def _recv_deadlock_error(self, key: Any) -> SimulationError:
         detail = ""
         if isinstance(key, tuple) and len(key) >= 4 and key[1] == "p2p":
+            cause = self._dead.get(key[2])
+            if cause is not None:
+                # Not a deadlock: the sender died before posting.
+                return cause.clone()
             detail = f" (missing sender: rank {key[2]})"
         return DeadlockError(
             f"recv at {key} timed out after {self.op_timeout}s: "

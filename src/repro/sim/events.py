@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 __all__ = ["ComputeEvent", "CommEvent", "FusedBatchEvent", "MarkerEvent",
-           "Trace"]
+           "FaultEvent", "RetryEvent", "Trace"]
 
 
 @dataclass(frozen=True)
@@ -98,7 +98,48 @@ class MarkerEvent:
     name: str
 
 
-Event = ComputeEvent | CommEvent | FusedBatchEvent | MarkerEvent
+@dataclass(frozen=True)
+class FaultEvent:
+    """An injected fault firing (see :mod:`repro.sim.faults`).
+
+    ``kind`` is ``"crash"`` for a rank death; ``t`` is the virtual time
+    the fault took effect on ``rank``.  Fault events carry no bytes and
+    are excluded from every volume/time query — they exist so a failure
+    trace is self-describing and reproducible.
+    """
+
+    rank: int
+    kind: str
+    t: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One failed attempt of a transient-faulted send, plus its backoff.
+
+    The retried send records its :class:`CommEvent` exactly once (on
+    success), so retries change *time*, never per-rank ``nbytes`` totals:
+    this record is what makes the spent backoff visible in the trace.
+    ``t_start``/``t_end`` bracket the failed injection attempt and the
+    backoff sleep on the sender's clock.
+    """
+
+    rank: int
+    src: int
+    dst: int
+    attempt: int  #: 1-based failed attempt number
+    t_start: float
+    t_end: float
+    tag: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+Event = (ComputeEvent | CommEvent | FusedBatchEvent | MarkerEvent
+         | FaultEvent | RetryEvent)
 
 
 class Trace:
@@ -153,6 +194,24 @@ class Trace:
             for e in self.events
             if isinstance(e, FusedBatchEvent) and (rank is None or e.rank == rank)
         ]
+
+    def fault_events(self, rank: int | None = None) -> list[FaultEvent]:
+        return [
+            e
+            for e in self.events
+            if isinstance(e, FaultEvent) and (rank is None or e.rank == rank)
+        ]
+
+    def retry_events(self, rank: int | None = None) -> list[RetryEvent]:
+        return [
+            e
+            for e in self.events
+            if isinstance(e, RetryEvent) and (rank is None or e.rank == rank)
+        ]
+
+    def retry_time(self, rank: int) -> float:
+        """Virtual seconds a rank burned on failed sends and backoff."""
+        return sum(e.duration for e in self.retry_events(rank))
 
     def markers(self, name: str | None = None) -> list[MarkerEvent]:
         return [

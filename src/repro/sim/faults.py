@@ -1,0 +1,238 @@
+"""Deterministic fault injection for the SPMD simulator.
+
+A :class:`FaultPlan` describes everything that goes wrong during one
+simulated run: rank crashes at scheduled *virtual* times, per-link
+bandwidth degradation, per-message delivery jitter, transient send
+failures, and compute stragglers.  Install one on an engine with
+``Engine(fault_plan=...)``.
+
+Every fault decision is a pure function of ``(plan.seed, fault site)``
+via the package's named RNG streams (:func:`repro.util.rng.rng_for`), so
+the same plan produces a **bit-identical failure trace** on every rerun —
+which faults fire, in which order each rank observes them, and the exact
+virtual times — regardless of OS thread interleaving.  Wall-clock time
+never enters any fault decision.
+
+Fault kinds
+-----------
+:class:`RankCrash`
+    Rank ``rank`` dies the first time its virtual clock reaches
+    ``t >= at``.  The engine marks it dead, records a ``FaultEvent``, and
+    every collective or p2p operation that (transitively) depends on the
+    dead rank raises :class:`~repro.errors.RankFailureError` on its
+    surviving partners *promptly* — pending rendezvous are woken
+    immediately, never via the watchdog timeout.
+:class:`LinkFault`
+    The link between two ranks delivers at ``1/factor`` of its healthy
+    bandwidth: p2p transfer times between the pair scale by ``factor``.
+:class:`ComputeSlowdown`
+    Every local kernel on ``rank`` takes ``factor`` times longer — a
+    straggler GPU (thermal throttling, a sick HBM stack).
+Transient send failures (``transient_rate`` + :class:`RetryPolicy`)
+    Each buffered ``send`` independently fails with probability
+    ``transient_rate`` per attempt; the communicator retries with bounded
+    exponential backoff, pricing each retry in virtual time and tracing a
+    ``RetryEvent`` — but recording the ``CommEvent`` exactly once, so
+    per-rank volume accounting is invariant under retries.
+Message delay jitter (``jitter``)
+    Adds a deterministic uniform ``[0, jitter]`` seconds of virtual delay
+    to every p2p delivery (flaky NIC firmware, congested switch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.util.rng import rng_for
+
+__all__ = [
+    "RankCrash",
+    "LinkFault",
+    "ComputeSlowdown",
+    "RetryPolicy",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Kill ``rank`` the first time its virtual clock reaches ``at``."""
+
+    rank: int
+    at: float  #: virtual seconds
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise SimulationError(f"crash time must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Degrade the (src, dst) link: p2p transfers take ``factor``x longer.
+
+    The fault is symmetric (links are full duplex but share the PHY), so
+    ``LinkFault(0, 1, 4.0)`` also slows messages from 1 to 0.
+    """
+
+    src: int
+    dst: int
+    factor: float
+
+    def __post_init__(self):
+        if self.factor < 1.0:
+            raise SimulationError(
+                f"link degradation factor must be >= 1, got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class ComputeSlowdown:
+    """Straggler: every kernel on ``rank`` takes ``factor``x longer."""
+
+    rank: int
+    factor: float
+
+    def __post_init__(self):
+        if self.factor < 1.0:
+            raise SimulationError(
+                f"compute slowdown factor must be >= 1, got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient send failures.
+
+    Attempt ``k`` (1-based) that fails waits ``base_delay * 2**(k-1)``
+    virtual seconds before the next try; after ``max_attempts`` failed
+    attempts the send raises :class:`~repro.errors.CommError`.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 1e-4  #: virtual seconds
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise SimulationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0:
+            raise SimulationError(
+                f"base_delay must be >= 0, got {self.base_delay}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff after the ``attempt``-th (1-based) failed try."""
+        return self.base_delay * (2.0 ** (attempt - 1))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, fully deterministic chaos scenario for one engine.
+
+    Parameters
+    ----------
+    seed:
+        Base seed for every probabilistic fault decision (transient
+        failures, jitter draws).  Independent of the engine's data seed.
+    crashes:
+        Ranks to kill, each at a scheduled virtual time.
+    link_faults:
+        Degraded rank-pair links.
+    slowdowns:
+        Straggler ranks.
+    transient_rate:
+        Per-attempt probability that a buffered send fails transiently.
+    retry:
+        Backoff policy used by the communicator for transient failures.
+    jitter:
+        Maximum extra virtual delay added to each p2p delivery (uniform
+        ``[0, jitter]``, drawn deterministically per message).
+    """
+
+    seed: int = 0
+    crashes: tuple[RankCrash, ...] = ()
+    link_faults: tuple[LinkFault, ...] = ()
+    slowdowns: tuple[ComputeSlowdown, ...] = ()
+    transient_rate: float = 0.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    jitter: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.transient_rate < 1.0:
+            raise SimulationError(
+                f"transient_rate must be in [0, 1), got {self.transient_rate}"
+            )
+        if self.jitter < 0:
+            raise SimulationError(f"jitter must be >= 0, got {self.jitter}")
+        seen: set[int] = set()
+        for c in self.crashes:
+            if c.rank in seen:
+                raise SimulationError(
+                    f"rank {c.rank} has more than one scheduled crash"
+                )
+            seen.add(c.rank)
+
+    # --- per-site queries (all pure; all deterministic) ---------------------
+
+    def crash_time(self, rank: int) -> float | None:
+        """The scheduled crash time for ``rank`` (None if it never dies)."""
+        for c in self.crashes:
+            if c.rank == rank:
+                return c.at
+        return None
+
+    def compute_factor(self, rank: int) -> float:
+        """Straggler multiplier for local kernels on ``rank``."""
+        factor = 1.0
+        for s in self.slowdowns:
+            if s.rank == rank:
+                factor *= s.factor
+        return factor
+
+    def link_factor(self, a: int, b: int) -> float:
+        """Transfer-time multiplier for the (a, b) link (symmetric)."""
+        pair = (min(a, b), max(a, b))
+        factor = 1.0
+        for lf in self.link_faults:
+            if (min(lf.src, lf.dst), max(lf.src, lf.dst)) == pair:
+                factor *= lf.factor
+        return factor
+
+    def send_fails(self, src: int, dst: int, tag, seq: int, attempt: int) -> bool:
+        """Whether the ``attempt``-th (0-based) try of this send fails.
+
+        A pure function of the fault seed and the message identity, so the
+        same message fails the same number of times on every rerun.
+        """
+        if self.transient_rate <= 0.0:
+            return False
+        rng = rng_for(self.seed, "fault", "transient", src, dst, tag, seq,
+                      attempt)
+        return bool(rng.random() < self.transient_rate)
+
+    def delivery_jitter(self, src: int, dst: int, tag, seq: int) -> float:
+        """Deterministic extra delivery delay for one p2p message."""
+        if self.jitter <= 0.0:
+            return 0.0
+        rng = rng_for(self.seed, "fault", "jitter", src, dst, tag, seq)
+        return float(rng.random() * self.jitter)
+
+    def describe(self) -> str:
+        """One-line human summary for bench reports and the CLI."""
+        parts = []
+        for c in self.crashes:
+            parts.append(f"crash(rank={c.rank}, t={c.at:g})")
+        for lf in self.link_faults:
+            parts.append(f"link({lf.src}<->{lf.dst} x{lf.factor:g})")
+        for s in self.slowdowns:
+            parts.append(f"straggler(rank={s.rank} x{s.factor:g})")
+        if self.transient_rate > 0:
+            parts.append(
+                f"transient({self.transient_rate:g}/attempt, "
+                f"<= {self.retry.max_attempts} attempts)"
+            )
+        if self.jitter > 0:
+            parts.append(f"jitter(<= {self.jitter:g}s)")
+        return "healthy" if not parts else ", ".join(parts)

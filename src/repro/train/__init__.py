@@ -1,6 +1,13 @@
 """Training loop utilities (the Fig. 7 experiment driver)."""
 
 from repro.train.clip import clip_grad_norm, global_grad_norm
+from repro.train.resilience import (
+    RecoveryRecord,
+    ResilienceConfig,
+    ResilientRun,
+    SnapshotStore,
+    train_resilient,
+)
 from repro.train.trainer import TrainHistory, evaluate_classifier, train_classifier
 
 __all__ = [
@@ -9,4 +16,9 @@ __all__ = [
     "evaluate_classifier",
     "global_grad_norm",
     "clip_grad_norm",
+    "ResilienceConfig",
+    "SnapshotStore",
+    "RecoveryRecord",
+    "ResilientRun",
+    "train_resilient",
 ]

@@ -1,0 +1,231 @@
+"""Elastic checkpoint/restart recovery for the training loop.
+
+The simulator's fault layer (:mod:`repro.sim.faults`) can kill a rank at a
+scheduled virtual time; every surviving rank then observes a
+:class:`~repro.errors.RankFailureError` at its first operation that
+depends on the dead rank.  This module turns that failure into an
+*elastic training* protocol, mirroring what torchelastic / DeepSpeed do
+on real clusters:
+
+1. While training, every rank periodically deposits a snapshot of its
+   local model shards (via :mod:`repro.nn.serialize`), optimizer slot
+   state and metric history into a shared :class:`SnapshotStore`.  A
+   snapshot step only counts once **all** ranks have deposited — a crash
+   mid-snapshot leaves a partial step that is never restored from.
+2. When :func:`train_resilient` catches a ``RankFailureError`` out of
+   ``engine.run``, it builds a *fresh* engine (the dead rank is
+   "replaced"), re-runs the training program, and the loop inside
+   :func:`~repro.train.trainer.train_classifier` fast-forwards the data
+   pipeline to the last complete snapshot, restores parameters and
+   optimizer moments, and resumes.
+3. Each recovery is recorded as a :class:`RecoveryRecord` in
+   ``TrainHistory.recoveries`` (resume step, lost steps, the dead rank
+   and its virtual crash time, and the wall-clock restore latency).
+
+Because batches, reduction order, and initial weights are deterministic,
+a recovered run converges to the same final loss as a fault-free run up
+to the floating-point drift introduced by re-starting from the snapshot
+step (bit-identical when the snapshot captures full fp64 state, which it
+does — snapshots are exact numpy copies).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import RankFailureError, SimulationError
+
+__all__ = [
+    "ResilienceConfig",
+    "SnapshotStore",
+    "RecoveryRecord",
+    "ResilientRun",
+    "train_resilient",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Controls snapshot cadence and restart budget.
+
+    Attributes:
+        snapshot_every: deposit a snapshot every this many optimizer steps.
+        max_restarts: how many crashes to survive before re-raising.
+    """
+
+    snapshot_every: int = 1
+    max_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every < 1:
+            raise SimulationError(
+                f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+        if self.max_restarts < 0:
+            raise SimulationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One completed recovery, appended to ``TrainHistory.recoveries``."""
+
+    attempt: int          # 1-based restart attempt number
+    failed_rank: int      # rank killed by the injected fault
+    crash_time: float     # virtual time of the crash (seconds)
+    resume_step: int      # snapshot step resumed from (0 = from scratch)
+    lost_steps: int       # steps of work discarded by the rollback
+    latency_s: float      # wall seconds from failure detection to restore
+
+
+class SnapshotStore:
+    """Thread-safe in-memory snapshot depot shared across restart attempts.
+
+    Keyed ``step -> rank -> payload``; a step is *complete* (restorable)
+    only when every rank has deposited.  The store lives outside any
+    engine, so it survives the engine teardown that a rank failure causes.
+    """
+
+    def __init__(self, keep: int = 4):
+        if keep < 1:
+            raise SimulationError(f"keep must be >= 1, got {keep}")
+        self._lock = threading.Lock()
+        self._snaps: dict[int, dict[int, dict]] = {}
+        self._keep = keep
+        self._max_step_seen = 0
+        # Set by train_resilient after a caught failure; read (not cleared)
+        # by every rank during restore so each history records the recovery.
+        self.pending_recovery: dict | None = None
+
+    def save(self, step: int, rank: int, payload: dict) -> None:
+        with self._lock:
+            self._snaps.setdefault(step, {})[rank] = payload
+            # Bound memory: drop old steps once newer *complete* ones exist.
+            nranks = max(len(by_rank) for by_rank in self._snaps.values())
+            complete = sorted(
+                s for s, by_rank in self._snaps.items()
+                if len(by_rank) >= nranks
+            )
+            for stale in complete[: -self._keep]:
+                del self._snaps[stale]
+
+    def note_progress(self, step: int) -> None:
+        """Record the furthest step any rank started (for lost-work stats)."""
+        with self._lock:
+            if step > self._max_step_seen:
+                self._max_step_seen = step
+
+    @property
+    def max_step_seen(self) -> int:
+        with self._lock:
+            return self._max_step_seen
+
+    def latest_step(self, nranks: int) -> int | None:
+        """Greatest step for which all ``nranks`` ranks have deposited."""
+        with self._lock:
+            steps = [
+                s for s, by_rank in self._snaps.items()
+                if len(by_rank) == nranks
+            ]
+            return max(steps, default=None)
+
+    def load(self, step: int, rank: int) -> dict:
+        with self._lock:
+            return self._snaps[step][rank]
+
+
+@dataclass
+class ResilientRun:
+    """Result of :func:`train_resilient`."""
+
+    histories: list           # per-rank TrainHistory from the final attempt
+    engine: Any               # the engine of the successful attempt
+    recoveries: list[RecoveryRecord] = field(default_factory=list)
+    attempts: int = 0         # number of restarts performed (0 = no fault)
+    attempt_times: list[float] = field(default_factory=list)
+    # virtual makespan of every attempt, failed ones included
+
+    @property
+    def history(self):
+        """Rank 0's history (all ranks log identical global metrics)."""
+        return self.histories[0]
+
+    @property
+    def total_virtual_time(self) -> float:
+        return sum(self.attempt_times)
+
+
+def train_resilient(
+    engine_factory: Callable[[int], Any],
+    setup: Callable[[Any], tuple],
+    dataset,
+    epochs: int,
+    batch_size: int,
+    *,
+    resilience: ResilienceConfig | None = None,
+    schedule=None,
+    eval_every: int = 1,
+) -> ResilientRun:
+    """Run ``train_classifier`` under fault injection with restart recovery.
+
+    Args:
+        engine_factory: ``attempt -> Engine``.  Attempt 0 is the initial
+            run (typically carrying the :class:`~repro.sim.faults.FaultPlan`);
+            later attempts model the post-repair cluster and are usually
+            built without the already-fired crash.
+        setup: ``rank_ctx -> (model, optimizer, parallel_context_or_None)``,
+            called inside each engine run to rebuild the (deterministically
+            initialized) model before the snapshot restore overwrites it.
+    """
+    from repro.train.trainer import train_classifier  # avoid import cycle
+
+    cfg = resilience if resilience is not None else ResilienceConfig()
+    store = SnapshotStore()
+    attempt = 0
+    attempt_times: list[float] = []
+
+    while True:
+        engine = engine_factory(attempt)
+
+        def program(rank_ctx):
+            model, optimizer, pc = setup(rank_ctx)
+            return train_classifier(
+                model,
+                dataset,
+                optimizer,
+                epochs,
+                batch_size,
+                pc=pc,
+                schedule=schedule,
+                eval_every=eval_every,
+                resilience=cfg,
+                snapshot_store=store,
+            )
+
+        try:
+            histories = engine.run(program)
+        except RankFailureError as exc:
+            attempt_times.append(engine.max_time())
+            attempt += 1
+            if attempt > cfg.max_restarts:
+                raise
+            store.pending_recovery = {
+                "attempt": attempt,
+                "failed_rank": exc.rank,
+                "crash_time": exc.t,
+                "t_detect": time.perf_counter(),
+            }
+            continue
+        attempt_times.append(engine.max_time())
+        store.pending_recovery = None
+        return ResilientRun(
+            histories=histories,
+            engine=engine,
+            recoveries=list(histories[0].recoveries),
+            attempts=attempt,
+            attempt_times=attempt_times,
+        )

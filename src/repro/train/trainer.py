@@ -35,19 +35,37 @@ __all__ = ["TrainHistory", "train_classifier", "evaluate_classifier"]
 
 @dataclass
 class TrainHistory:
-    """Per-step loss and per-epoch accuracy (train and eval)."""
+    """Per-step loss and per-epoch accuracy (train and eval).
+
+    ``recoveries`` records every checkpoint/restart recovery performed
+    while producing this history (empty for fault-free runs); see
+    :mod:`repro.train.resilience`.
+    """
 
     losses: list[float] = field(default_factory=list)
     train_acc: list[float] = field(default_factory=list)
     eval_acc: list[float] = field(default_factory=list)
+    recoveries: list = field(default_factory=list)
+
+    def clone(self) -> "TrainHistory":
+        """Deep-enough copy for snapshotting (records are immutable)."""
+        return TrainHistory(
+            losses=list(self.losses),
+            train_acc=list(self.train_acc),
+            eval_acc=list(self.eval_acc),
+            recoveries=list(self.recoveries),
+        )
 
     def summary(self) -> str:
         last_loss = self.losses[-1] if self.losses else float("nan")
         last_acc = self.eval_acc[-1] if self.eval_acc else float("nan")
-        return (
+        out = (
             f"steps={len(self.losses)} final_loss={last_loss:.4f} "
             f"final_eval_acc={last_acc:.4f}"
         )
+        if self.recoveries:
+            out += f" recoveries={len(self.recoveries)}"
+        return out
 
 
 def _sync_metric(pc: ParallelContext | None, value: float, ctx) -> float:
@@ -67,6 +85,76 @@ def _flatten_logits(ctx, logits: VArray) -> VArray:
     return ops.reshape(ctx, logits, (rows, logits.shape[-1]))
 
 
+def _restore_snapshot(model, optimizer, resilience, snapshot_store):
+    """Resume state from the last complete snapshot (if any).
+
+    Returns ``(history, start_step, resume_epoch, epoch_correct,
+    epoch_seen)`` — fresh defaults when there is nothing to restore.
+    Also appends a ``RecoveryRecord`` to the history when this run is a
+    restart after a rank failure (``snapshot_store.pending_recovery``).
+    """
+    import time as _time
+
+    from repro.nn import serialize
+    from repro.train.resilience import RecoveryRecord
+
+    ctx = model.ctx
+    history = TrainHistory()
+    start_step = 0
+    resume_epoch = -1
+    epoch_correct = 0.0
+    epoch_seen = 0.0
+    snap_step = snapshot_store.latest_step(ctx.nranks)
+    if snap_step is not None:
+        snap = snapshot_store.load(snap_step, ctx.rank)
+        if snap["model"] is not None:
+            serialize.load_state_dict(model, snap["model"])
+            optimizer.load_state_dict(snap["opt"])
+        history = snap["history"].clone()
+        start_step = snap_step
+        resume_epoch = snap["epoch"]
+        epoch_correct = snap["epoch_correct"]
+        epoch_seen = snap["epoch_seen"]
+    pending = snapshot_store.pending_recovery
+    if pending is not None:
+        history.recoveries.append(
+            RecoveryRecord(
+                attempt=pending["attempt"],
+                failed_rank=pending["failed_rank"],
+                crash_time=pending["crash_time"],
+                resume_step=start_step,
+                lost_steps=max(0, snapshot_store.max_step_seen - start_step),
+                latency_s=_time.perf_counter() - pending["t_detect"],
+            )
+        )
+    return history, start_step, resume_epoch, epoch_correct, epoch_seen
+
+
+def _save_snapshot(model, optimizer, snapshot_store, step, epoch, history,
+                   epoch_correct, epoch_seen):
+    """Deposit this rank's local state for ``step`` into the store."""
+    from repro.nn import serialize
+
+    ctx = model.ctx
+    if ctx.symbolic:
+        model_state = opt_state = None  # symbolic arrays carry no data
+    else:
+        model_state = serialize.state_dict(model)
+        opt_state = optimizer.state_dict()
+    snapshot_store.save(
+        step,
+        ctx.rank,
+        {
+            "model": model_state,
+            "opt": opt_state,
+            "history": history.clone(),
+            "epoch": epoch,
+            "epoch_correct": epoch_correct,
+            "epoch_seen": epoch_seen,
+        },
+    )
+
+
 def train_classifier(
     model: Module,
     dataset,
@@ -76,21 +164,44 @@ def train_classifier(
     pc: ParallelContext | None = None,
     schedule: LRSchedule | None = None,
     eval_every: int = 1,
+    resilience=None,
+    snapshot_store=None,
 ) -> TrainHistory:
     """Train an image classifier; returns the metric history.
 
     ``dataset`` is a :class:`~repro.data.synthetic.SyntheticImageClassification`
     (or anything with the same ``epoch_batches``/``test_set`` interface).
+
+    When ``resilience`` (a :class:`~repro.train.resilience.ResilienceConfig`)
+    and ``snapshot_store`` are given, the loop deposits a snapshot of the
+    model/optimizer/metrics every ``resilience.snapshot_every`` steps and,
+    on entry, resumes from the store's last complete snapshot — skipping
+    already-trained batches so the data order stays identical.  Use
+    :func:`~repro.train.resilience.train_resilient` to drive the
+    crash/restart cycle around this.
     """
     ctx = model.ctx
-    history = TrainHistory()
+    resumable = resilience is not None and snapshot_store is not None
+    if resumable:
+        (history, start_step, resume_epoch, resume_correct,
+         resume_seen) = _restore_snapshot(
+            model, optimizer, resilience, snapshot_store)
+    else:
+        history = TrainHistory()
+        start_step = 0
+        resume_epoch = -1
+        resume_correct = resume_seen = 0.0
     step = 0
     for epoch in range(epochs):
         model.train(True)
-        epoch_correct = 0.0
-        epoch_seen = 0.0
+        epoch_correct = resume_correct if epoch == resume_epoch else 0.0
+        epoch_seen = resume_seen if epoch == resume_epoch else 0.0
         for images_np, labels_np in dataset.epoch_batches(epoch, batch_size):
             step += 1
+            if step <= start_step:
+                continue  # replayed from snapshot; keep data order aligned
+            if resumable:
+                snapshot_store.note_progress(step)
             if schedule is not None:
                 optimizer.set_lr(schedule(step))
             global_batch = images_np.shape[0]
@@ -115,13 +226,18 @@ def train_classifier(
             correct = SoftmaxCrossEntropy.correct_count(logits2d, labels)
             epoch_correct += _sync_metric(pc, float(correct), ctx)
             epoch_seen += global_batch
-        history.train_acc.append(
-            epoch_correct / epoch_seen if epoch_seen else 0.0
-        )
-        if (epoch + 1) % eval_every == 0:
-            history.eval_acc.append(
-                evaluate_classifier(model, dataset, batch_size, pc=pc)
+            if resumable and step % resilience.snapshot_every == 0:
+                _save_snapshot(model, optimizer, snapshot_store, step, epoch,
+                               history, epoch_correct, epoch_seen)
+        if len(history.train_acc) <= epoch:
+            history.train_acc.append(
+                epoch_correct / epoch_seen if epoch_seen else 0.0
             )
+        if (epoch + 1) % eval_every == 0:
+            if len(history.eval_acc) < (epoch + 1) // eval_every:
+                history.eval_acc.append(
+                    evaluate_classifier(model, dataset, batch_size, pc=pc)
+                )
     return history
 
 

@@ -1,0 +1,89 @@
+"""The nightly chaos-metrics diff gate (``benchmarks/diff_nightly.py``)."""
+
+import json
+
+import pytest
+
+from benchmarks.diff_nightly import diff_metrics, load_metrics, main
+
+
+def _m(value, direction="higher"):
+    return {"value": value, "direction": direction}
+
+
+class TestDiffMetrics:
+    def test_no_change_no_regressions(self):
+        prev = {"a": _m(10.0), "b": _m(2.0, "lower")}
+        regressions, notes = diff_metrics(prev, dict(prev), threshold=0.2)
+        assert regressions == [] and notes == []
+
+    def test_higher_is_better_drop_regresses(self):
+        prev, cur = {"goodput": _m(10.0)}, {"goodput": _m(7.0)}
+        regressions, _ = diff_metrics(prev, cur, threshold=0.2)
+        assert len(regressions) == 1
+        assert "goodput" in regressions[0]
+
+    def test_lower_is_better_rise_regresses(self):
+        prev = {"time": _m(1.0, "lower")}
+        cur = {"time": _m(1.5, "lower")}
+        regressions, _ = diff_metrics(prev, cur, threshold=0.2)
+        assert len(regressions) == 1
+
+    def test_improvement_is_a_note_not_a_regression(self):
+        prev = {"time": _m(1.0, "lower")}
+        cur = {"time": _m(0.5, "lower")}
+        regressions, notes = diff_metrics(prev, cur, threshold=0.2)
+        assert regressions == []
+        assert len(notes) == 1
+
+    def test_within_threshold_tolerated(self):
+        prev, cur = {"goodput": _m(10.0)}, {"goodput": _m(8.5)}
+        regressions, notes = diff_metrics(prev, cur, threshold=0.2)
+        assert regressions == []
+        assert len(notes) == 1  # reported, just not fatal
+
+    def test_new_and_missing_metrics_are_notes_only(self):
+        prev = {"gone": _m(1.0)}
+        cur = {"fresh": _m(2.0)}
+        regressions, notes = diff_metrics(prev, cur, threshold=0.2)
+        assert regressions == []
+        assert any("new metric" in n for n in notes)
+        assert any("disappeared" in n for n in notes)
+
+    def test_zero_baseline_growth_against_direction(self):
+        prev = {"lost": _m(0.0, "lower")}
+        cur = {"lost": _m(3.0, "lower")}
+        regressions, _ = diff_metrics(prev, cur, threshold=0.2)
+        assert len(regressions) == 1
+
+
+class TestMain:
+    def _write(self, path, metrics):
+        path.write_text(json.dumps({"metrics": metrics}))
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        prev = self._write(tmp_path / "prev.json", {"a": _m(1.0)})
+        cur = self._write(tmp_path / "cur.json", {"a": _m(1.1)})
+        assert main([prev, cur]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        prev = self._write(tmp_path / "prev.json", {"a": _m(1.0)})
+        cur = self._write(tmp_path / "cur.json", {"a": _m(0.5)})
+        assert main([prev, cur, "--threshold", "0.2"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_exit_two_on_unreadable_input(self, tmp_path, capsys):
+        cur = self._write(tmp_path / "cur.json", {"a": _m(1.0)})
+        assert main([str(tmp_path / "absent.json"), cur]) == 2
+
+    def test_exit_two_on_malformed_payload(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not-metrics": {}}))
+        cur = self._write(tmp_path / "cur.json", {"a": _m(1.0)})
+        assert main([str(bad), cur]) == 2
+
+    def test_load_metrics_round_trips(self, tmp_path):
+        path = self._write(tmp_path / "m.json", {"a": _m(4.0)})
+        assert load_metrics(path) == {"a": _m(4.0)}

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.bench.experiments import BenchRow
-from repro.bench.runner import MeasuredRow, effective_batch, run_row
+from repro.bench import runner
+from repro.bench.runner import (
+    MeasuredRow,
+    clear_engine_cache,
+    effective_batch,
+    engine_for_row,
+    run_row,
+)
 
 
 def _row(scheme="tesseract", gpus=4, shape=(2, 2, 1), batch=8, hidden=16,
@@ -74,3 +81,54 @@ class TestRunRow:
             _row("tesseract", 8, (2, 2, 2), batch=32, hidden=32, heads=4),
             seq_len=64, num_layers=1)
         assert deep.forward < shallow.forward
+
+
+def _mrow(gpus):
+    """A valid row with a per-``gpus`` cache key (shape must multiply out)."""
+    return _row("megatron", gpus, (gpus,))
+
+
+class TestEngineCacheLRU:
+    """The session engine cache is LRU-bounded and evicts cleanly."""
+
+    def setup_method(self):
+        clear_engine_cache()
+
+    def teardown_method(self):
+        clear_engine_cache()
+
+    def test_hit_returns_same_engine(self):
+        a = engine_for_row(_mrow(4), cache=True)
+        b = engine_for_row(_mrow(4), cache=True)
+        assert a is b
+
+    def test_cache_never_exceeds_bound(self):
+        for gpus in range(1, runner.ENGINE_CACHE_MAX + 5):
+            engine_for_row(_mrow(gpus), cache=True)
+            assert len(runner._ENGINE_CACHE) <= runner.ENGINE_CACHE_MAX
+        assert len(runner._ENGINE_CACHE) == runner.ENGINE_CACHE_MAX
+
+    def test_eviction_shuts_down_oldest(self):
+        first = engine_for_row(_mrow(1), cache=True)
+        for gpus in range(2, runner.ENGINE_CACHE_MAX + 2):
+            engine_for_row(_mrow(gpus), cache=True)
+        assert first.closed  # evicted engine was shut down, not leaked
+        fresh = engine_for_row(_mrow(1), cache=True)
+        assert fresh is not first
+
+    def test_hit_refreshes_lru_position(self):
+        keep = engine_for_row(_mrow(1), cache=True)
+        for gpus in range(2, runner.ENGINE_CACHE_MAX + 1):
+            engine_for_row(_mrow(gpus), cache=True)
+        # Touch the oldest entry, then overflow by one: the *second*
+        # oldest must be the victim, not the refreshed one.
+        assert engine_for_row(_mrow(1), cache=True) is keep
+        engine_for_row(_mrow(runner.ENGINE_CACHE_MAX + 1), cache=True)
+        assert not keep.closed
+        assert engine_for_row(_mrow(1), cache=True) is keep
+
+    def test_clear_shuts_down_everything(self):
+        engines = [engine_for_row(_mrow(g), cache=True) for g in (1, 2)]
+        clear_engine_cache()
+        assert not runner._ENGINE_CACHE
+        assert all(e.closed for e in engines)

@@ -34,11 +34,18 @@ import numpy as np
 import pytest
 
 from repro.comm.communicator import Communicator
+from repro.errors import ReproError
 from repro.sim.engine import Engine
+from repro.sim.faults import FaultPlan, RankCrash
 
 from repro.varray.varray import VArray
 
-ITEMSIZE = 4  # float32
+#: real-mode payload dtypes the schedules mix freely
+DTYPES = ("float32", "float64", "int32")
+
+
+def _itemsize(spec: dict) -> int:
+    return np.dtype(spec.get("dtype", "float32")).itemsize
 
 #: collectives a batch window may queue (all of them, per communicator.py)
 _FUSABLE = (
@@ -72,7 +79,7 @@ def _rand_coll(rng: np.random.Generator, granks: tuple[int, ...],
     nelem = int(rng.integers(1, 9))
     root = int(rng.integers(0, len(granks)))
     return {"op": "coll", "granks": granks, "kind": kind, "nelem": nelem,
-            "root": root}
+            "root": root, "dtype": str(rng.choice(DTYPES))}
 
 
 def _make_schedule(rng: np.random.Generator, nranks: int) -> list[dict]:
@@ -89,14 +96,20 @@ def _make_schedule(rng: np.random.Generator, nranks: int) -> list[dict]:
             ops = [_rand_coll(rng, granks, fusable_only=True)
                    for _ in range(int(rng.integers(2, 5)))]
             schedule.append({"op": "batch", "granks": granks, "ops": ops})
-        elif roll < 0.9:
+        elif roll < 0.82 and len(granks) >= 2:
+            # a sendrecv chain: every group member shifts to its neighbor
+            schedule.append({"op": "ring", "granks": granks,
+                             "nelem": int(rng.integers(1, 9)),
+                             "dtype": str(rng.choice(DTYPES))})
+        elif roll < 0.92:
             # rank-skewed local compute (stresses arrival-order diversity)
             flops = [float(f) for f in rng.integers(1, 50, size=nranks) * 1e7]
             schedule.append({"op": "compute", "flops": flops})
         else:
             src, dst = rng.choice(nranks, size=2, replace=False)
             schedule.append({"op": "p2p", "src": int(src), "dst": int(dst),
-                             "nelem": int(rng.integers(1, 9))})
+                             "nelem": int(rng.integers(1, 9)),
+                             "dtype": str(rng.choice(DTYPES))})
     return schedule
 
 
@@ -108,7 +121,7 @@ def _make_schedule(rng: np.random.Generator, nranks: int) -> list[dict]:
 def _coll_volume(spec: dict, per_rank: dict[int, float]) -> None:
     granks = spec["granks"]
     g = len(granks)
-    n = spec["nelem"] * ITEMSIZE  # buffer / per-chunk bytes
+    n = spec["nelem"] * _itemsize(spec)  # buffer / per-chunk bytes
     if g == 1:
         return  # size-1 groups shortcut before any rendezvous
     kind = spec["kind"]
@@ -140,9 +153,13 @@ def _expected_volume(schedule: list[dict], nranks: int) -> dict[int, float]:
             for sub in spec["ops"]:
                 _coll_volume(sub, per_rank)
         elif spec["op"] == "p2p":
-            n = spec["nelem"] * ITEMSIZE
+            n = spec["nelem"] * _itemsize(spec)
             per_rank[spec["src"]] += n  # send event
             per_rank[spec["dst"]] += n  # recv event
+        elif spec["op"] == "ring":
+            n = spec["nelem"] * _itemsize(spec)
+            for r in spec["granks"]:
+                per_rank[r] += 2 * n  # one send + one recv each
     return per_rank
 
 
@@ -152,14 +169,16 @@ def _expected_volume(schedule: list[dict], nranks: int) -> dict[int, float]:
 
 
 def _payload(spec: dict, rank: int) -> VArray:
-    data = np.full(spec["nelem"], 0.25 * (rank + 1), dtype=np.float32)
+    dtype = np.dtype(spec.get("dtype", "float32"))
+    data = np.full(spec["nelem"], 0.25 * (rank + 1), dtype=dtype)
     return VArray.from_numpy(data)
 
 
 def _chunks(spec: dict, rank: int, g: int) -> list[VArray]:
+    dtype = np.dtype(spec.get("dtype", "float32"))
     return [
         VArray.from_numpy(
-            np.full(spec["nelem"], 0.5 * (rank + 1) + j, dtype=np.float32)
+            np.full(spec["nelem"], 0.5 * (rank + 1) + j, dtype=dtype)
         )
         for j in range(g)
     ]
@@ -213,6 +232,15 @@ def _run_schedule(schedule: list[dict]):
                 elif ctx.rank == spec["dst"]:
                     comm = Communicator(ctx, (spec["src"], spec["dst"]))
                     digests.append(_digest(comm.recv(src=0)))
+            elif spec["op"] == "ring":
+                if ctx.rank in spec["granks"]:
+                    comm = Communicator(ctx, spec["granks"])
+                    g = len(spec["granks"])
+                    digests.append(_digest(comm.sendrecv(
+                        _payload(spec, ctx.rank),
+                        dst=(comm.rank + 1) % g,
+                        src=(comm.rank - 1) % g,
+                    )))
             elif spec["op"] == "coll":
                 if ctx.rank in spec["granks"]:
                     comm = Communicator(ctx, spec["granks"])
@@ -284,3 +312,63 @@ def test_fuzz_schedules(seed_block):
         events_b = _rank_events(engine, nranks)
         assert results_a == results_b, f"seed {seed}: results diverged"
         assert events_a == events_b, f"seed {seed}: event streams diverged"
+
+# --------------------------------------------------------------------------
+# Fault-plan fuzz: identical seeds must reproduce identical failure traces
+# --------------------------------------------------------------------------
+
+N_FAULT_SEEDS = 24
+
+
+@pytest.mark.parametrize("seed", range(N_FAULT_SEEDS))
+def test_fuzz_fault_plans(seed):
+    """Crash/transient faults under random schedules are bit-deterministic.
+
+    The run either completes (crash scheduled past the program's end) or
+    raises; either way two fresh engines given the same seed must produce
+    the same outcome type and message, the same per-rank event streams,
+    the same dead set and the same per-rank comm volumes.  When the run
+    completes, the volumes must also equal the fault-free expectation —
+    transient-send retries may never change accounted bytes.
+    """
+    rng = np.random.default_rng(9000 + seed)
+    nranks = int(rng.integers(2, 7))
+    schedule = _make_schedule(rng, nranks)
+    crash_rank = int(rng.integers(0, nranks))
+    crash_at = float(rng.uniform(0.0, 0.02))
+    transient = float(rng.choice([0.0, 0.15]))
+    plan = FaultPlan(
+        seed=seed,
+        crashes=(RankCrash(rank=crash_rank, at=crash_at),),
+        transient_rate=transient,
+    )
+    program = _run_schedule(schedule)
+
+    def run_once():
+        engine = Engine(nranks=nranks, op_timeout=60.0, fault_plan=plan)
+        try:
+            results = engine.run(program)
+            outcome = ("ok", None)
+            digest = [r[0] for r in results]
+        except ReproError as exc:
+            outcome = (type(exc).__name__, str(exc))
+            digest = None
+        events = _rank_events(engine, nranks)
+        dead = sorted(engine._dead)
+        vols = [engine.trace.comm_volume(rank=r) for r in range(nranks)]
+        return outcome, digest, events, dead, vols
+
+    first = run_once()
+    second = run_once()
+    assert first == second, f"seed {seed}: failure trace diverged"
+
+    outcome, _, _, dead, vols = first
+    if outcome[0] == "ok":
+        assert dead == [], f"seed {seed}: completed with dead ranks"
+        expected = _expected_volume(schedule, nranks)
+        for r in range(nranks):
+            assert vols[r] == pytest.approx(expected[r]), (
+                f"seed {seed}: retries changed rank {r} volume"
+            )
+    elif outcome[0] == "RankFailureError":
+        assert crash_rank in dead, f"seed {seed}: wrong dead set {dead}"

@@ -1,0 +1,312 @@
+"""Fault injection: crashes, transients, stragglers, degraded links.
+
+The guarantees under test (see "Fault injection" in ``sim/engine.py`` and
+"Fault model & recovery" in ``docs/architecture.md``):
+
+* determinism — the same fault plan reproduces a bit-identical failure
+  trace (error messages, dead sets, per-rank event streams) on fresh
+  engines, regardless of OS thread interleaving;
+* prompt propagation — survivors of a crash observe
+  :class:`RankFailureError` naming the dead rank and its virtual crash
+  time at their first dependent operation, *without* waiting for the
+  watchdog timeout, and never a spurious :class:`DeadlockError`;
+* volume invariance — transient-send retries burn virtual time
+  (``RetryEvent``) but never change any rank's accounted ``CommEvent``
+  bytes;
+* pricing — stragglers scale compute, link faults scale the transport
+  term of p2p transfers and of collectives spanning the degraded pair.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.errors import DeadlockError, RankFailureError, SimulationError
+from repro.sim.engine import Engine
+from repro.sim.faults import (
+    ComputeSlowdown,
+    FaultPlan,
+    LinkFault,
+    RankCrash,
+    RetryPolicy,
+)
+from repro.varray.varray import VArray
+
+
+def _payload(rank, n=256):
+    return VArray.from_numpy(np.full(n, float(rank + 1), dtype=np.float32))
+
+
+def _allreduce_loop(steps=50, flops=1e9):
+    """A program: compute + world all-reduce per step, returns step count."""
+
+    def program(ctx):
+        comm = Communicator(ctx, tuple(range(ctx.nranks)))
+        done = 0
+        for _ in range(steps):
+            ctx.compute(flops=flops)
+            comm.all_reduce(_payload(ctx.rank))
+            done += 1
+        return done
+
+    return program
+
+
+class TestFaultPlanValidation:
+    def test_rejects_duplicate_crash_ranks(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(crashes=(RankCrash(rank=1, at=0.1),
+                               RankCrash(rank=1, at=0.2)))
+
+    def test_rejects_bad_transient_rate(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(transient_rate=1.0)
+
+    def test_rejects_negative_crash_time(self):
+        with pytest.raises(SimulationError):
+            RankCrash(rank=0, at=-1.0)
+
+    def test_rejects_speedup_link_factor(self):
+        with pytest.raises(SimulationError):
+            LinkFault(src=0, dst=1, factor=0.5)
+
+    def test_engine_rejects_out_of_range_crash_rank(self):
+        plan = FaultPlan(crashes=(RankCrash(rank=7, at=0.1),))
+        with pytest.raises(SimulationError):
+            Engine(nranks=4, fault_plan=plan)
+
+    def test_retry_delay_is_exponential(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=1e-4)
+        assert policy.delay(2) == pytest.approx(2e-4)
+        assert policy.delay(3) == pytest.approx(4e-4)
+
+
+class TestCrashPropagation:
+    PLAN = FaultPlan(seed=3, crashes=(RankCrash(rank=2, at=5e-4),))
+
+    def test_raises_rank_failure_naming_rank_and_time(self):
+        engine = Engine(nranks=4, fault_plan=self.PLAN)
+        with pytest.raises(RankFailureError) as exc_info:
+            engine.run(_allreduce_loop())
+        assert exc_info.value.rank == 2
+        assert exc_info.value.t == pytest.approx(5e-4)
+        assert "rank 2" in str(exc_info.value)
+        assert "5.0" in str(exc_info.value)  # crash time in the message
+
+    def test_every_survivor_observes_the_failure(self):
+        def program(ctx):
+            comm = Communicator(ctx, tuple(range(ctx.nranks)))
+            try:
+                for _ in range(50):
+                    ctx.compute(flops=1e9)
+                    comm.all_reduce(_payload(ctx.rank))
+            except RankFailureError as exc:
+                return (exc.rank, exc.t)
+            return None
+
+        engine = Engine(nranks=4, fault_plan=self.PLAN)
+        results = engine.run(program)
+        for rank, outcome in enumerate(results):
+            assert outcome == (2, 5e-4), f"rank {rank} missed the failure"
+
+    def test_propagation_beats_the_watchdog(self):
+        """Survivors learn of the crash promptly, not after op_timeout."""
+        engine = Engine(nranks=4, fault_plan=self.PLAN, op_timeout=60.0)
+        t0 = time.monotonic()
+        with pytest.raises(RankFailureError):
+            engine.run(_allreduce_loop())
+        assert time.monotonic() - t0 < 10.0  # nowhere near the 60s timeout
+
+    def test_no_spurious_deadlock_error(self):
+        """A short watchdog fuse still reports the crash, not a deadlock."""
+        engine = Engine(nranks=4, fault_plan=self.PLAN, op_timeout=0.2)
+        try:
+            engine.run(_allreduce_loop())
+            raise AssertionError("expected a failure")
+        except RankFailureError:
+            pass  # the only acceptable outcome
+        except DeadlockError as exc:  # pragma: no cover - the bug under test
+            raise AssertionError(f"watchdog raced the crash: {exc}")
+
+    def test_dead_sender_fails_receiver_promptly(self):
+        plan = FaultPlan(crashes=(RankCrash(rank=0, at=1e-4),))
+
+        def program(ctx):
+            comm = Communicator(ctx, (0, 1))
+            if ctx.rank == 0:
+                ctx.compute(flops=1e12)  # pushes clock past the crash time
+                comm.send(_payload(0), dst=1)
+            else:
+                comm.recv(src=0)
+
+        engine = Engine(nranks=2, fault_plan=plan, op_timeout=60.0)
+        t0 = time.monotonic()
+        with pytest.raises(RankFailureError) as exc_info:
+            engine.run(program)
+        assert exc_info.value.rank == 0
+        assert time.monotonic() - t0 < 10.0
+
+    def test_identical_seed_reproduces_identical_trace(self):
+        def run_once():
+            engine = Engine(nranks=4, fault_plan=self.PLAN)
+            try:
+                engine.run(_allreduce_loop())
+                message = None
+            except RankFailureError as exc:
+                message = str(exc)
+            events = [
+                (type(e).__name__, getattr(e, "nbytes", 0.0),
+                 e.t_start, e.t_end)
+                for e in engine.trace.events
+                if getattr(e, "rank", None) == 0 and hasattr(e, "t_start")
+            ]
+            return message, sorted(engine._dead), events
+
+        runs = [run_once() for _ in range(3)]
+        assert runs[0] == runs[1] == runs[2]
+        assert runs[0][0] is not None
+
+    def test_crash_records_exactly_one_fault_event(self):
+        engine = Engine(nranks=4, fault_plan=self.PLAN)
+        with pytest.raises(RankFailureError):
+            engine.run(_allreduce_loop())
+        crashes = engine.trace.fault_events()
+        assert len(crashes) == 1
+        assert crashes[0].rank == 2 and crashes[0].kind == "crash"
+
+    def test_unrelated_ranks_unaffected(self):
+        """A crash in one group must not disturb a disjoint group."""
+        plan = FaultPlan(crashes=(RankCrash(rank=0, at=1e-4),))
+
+        def program(ctx):
+            if ctx.rank < 2:
+                comm = Communicator(ctx, (0, 1))
+                try:
+                    for _ in range(20):
+                        ctx.compute(flops=1e9)
+                        comm.all_reduce(_payload(ctx.rank))
+                except RankFailureError:
+                    return "failed"
+                return "ok"
+            comm = Communicator(ctx, (2, 3))
+            for _ in range(20):
+                ctx.compute(flops=1e9)
+                comm.all_reduce(_payload(ctx.rank))
+            return "ok"
+
+        engine = Engine(nranks=4, fault_plan=plan)
+        assert engine.run(program) == ["failed", "failed", "ok", "ok"]
+
+
+class TestTransientRetries:
+    def _ring(self, steps=20):
+        def program(ctx):
+            comm = Communicator(ctx, tuple(range(ctx.nranks)))
+            for _ in range(steps):
+                comm.sendrecv(
+                    _payload(ctx.rank),
+                    dst=(comm.rank + 1) % comm.size,
+                    src=(comm.rank - 1) % comm.size,
+                )
+            return ctx.now
+
+        return program
+
+    def test_retries_preserve_comm_volume_exactly(self):
+        clean = Engine(nranks=2)
+        clean_times = clean.run(self._ring())
+        clean_vols = [clean.trace.comm_volume(rank=r) for r in range(2)]
+
+        plan = FaultPlan(seed=11, transient_rate=0.3)
+        flaky = Engine(nranks=2, fault_plan=plan)
+        flaky_times = flaky.run(self._ring())
+        flaky_vols = [flaky.trace.comm_volume(rank=r) for r in range(2)]
+
+        retries = flaky.trace.retry_events()
+        assert retries, "rate 0.3 over 40 sends should produce retries"
+        assert flaky_vols == clean_vols  # bytes must be identical
+        assert max(flaky_times) > max(clean_times)  # but time is not
+        assert flaky.trace.retry_time(0) + flaky.trace.retry_time(1) > 0.0
+
+    def test_retry_budget_exhaustion_raises(self):
+        plan = FaultPlan(seed=0, transient_rate=0.999,
+                         retry=RetryPolicy(max_attempts=3))
+
+        def program(ctx):
+            comm = Communicator(ctx, (0, 1))
+            if ctx.rank == 0:
+                comm.send(_payload(0), dst=1)
+            else:
+                comm.recv(src=0)
+
+        from repro.errors import CommError
+
+        with pytest.raises(CommError, match="retry budget"):
+            Engine(nranks=2, fault_plan=plan).run(program)
+
+
+class TestEnvironmentFaults:
+    def test_straggler_scales_compute(self):
+        def program(ctx):
+            ctx.compute(flops=1e9)
+            return ctx.now
+
+        base = Engine(nranks=2).run(program)
+        plan = FaultPlan(slowdowns=(ComputeSlowdown(rank=1, factor=3.0),))
+        slow = Engine(nranks=2, fault_plan=plan).run(program)
+        assert slow[0] == pytest.approx(base[0])
+        assert slow[1] == pytest.approx(3.0 * base[1])
+
+    def test_link_fault_scales_p2p(self):
+        def program(ctx):
+            comm = Communicator(ctx, (0, 1))
+            if ctx.rank == 0:
+                comm.send(_payload(0, n=1 << 16), dst=1)
+            else:
+                comm.recv(src=0)
+            return ctx.now
+
+        base = Engine(nranks=2).run(program)
+        plan = FaultPlan(link_faults=(LinkFault(src=0, dst=1, factor=8.0),))
+        slow = Engine(nranks=2, fault_plan=plan).run(program)
+        assert max(slow) > max(base)
+
+    def test_link_fault_scales_collectives_spanning_the_pair(self):
+        def program(ctx):
+            comm = Communicator(ctx, tuple(range(ctx.nranks)))
+            comm.all_reduce(_payload(ctx.rank, n=1 << 16))
+            return ctx.now
+
+        base = Engine(nranks=4).run(program)
+        plan = FaultPlan(link_faults=(LinkFault(src=0, dst=1, factor=8.0),))
+        slow = Engine(nranks=4, fault_plan=plan).run(program)
+        assert max(slow) > max(base)
+
+    def test_jitter_delays_delivery(self):
+        def program(ctx):
+            comm = Communicator(ctx, (0, 1))
+            if ctx.rank == 0:
+                comm.send(_payload(0), dst=1)
+            else:
+                comm.recv(src=0)
+            return ctx.now
+
+        base = Engine(nranks=2).run(program)
+        plan = FaultPlan(seed=5, jitter=1e-3)
+        jit = Engine(nranks=2, fault_plan=plan).run(program)
+        assert jit[1] > base[1]
+
+
+class TestEngineShutdown:
+    def test_shutdown_clears_state_and_run_revives(self):
+        engine = Engine(nranks=2)
+        engine.run(_allreduce_loop(steps=2))
+        assert engine.trace.events
+        engine.shutdown()
+        assert engine.closed
+        assert not engine.trace.events
+        # A shut-down engine can be revived by the next run().
+        assert engine.run(_allreduce_loop(steps=2)) == [2, 2]
+        assert not engine.closed

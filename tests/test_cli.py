@@ -54,3 +54,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "tesseract" in out
+
+    def test_chaos_single_scenario(self, capsys, tmp_path):
+        out_json = tmp_path / "chaos.json"
+        assert main(["chaos", "--scenario", "crash-early-tesseract",
+                     "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "crash-early-tesseract" in out
+        assert "restarts" in out
+
+        import json
+
+        payload = json.loads(out_json.read_text())
+        rec = payload["crash-early-tesseract"]
+        assert rec["restarts"] == 1
+        assert rec["goodput_steps_per_s"] > 0
+
+    def test_chaos_rejects_unknown_scenario(self, capsys):
+        assert main(["chaos", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out.lower()

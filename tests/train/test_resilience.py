@@ -1,0 +1,199 @@
+"""Checkpoint/restart recovery for the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageClassification
+from repro.errors import RankFailureError, SimulationError
+from repro.grid.context import ParallelContext
+from repro.models.configs import ViTConfig
+from repro.models.vit import SerialViT, TesseractViT
+from repro.nn.optim import SGD, Adam
+from repro.sim.engine import Engine
+from repro.sim.faults import FaultPlan, RankCrash
+from repro.train import (
+    ResilienceConfig,
+    SnapshotStore,
+    train_classifier,
+    train_resilient,
+)
+
+CFG = ViTConfig(image_size=8, patch_size=4, channels=3, hidden=16, nheads=4,
+                num_layers=1, num_classes=4)
+DATA = SyntheticImageClassification(num_classes=4, image_size=8,
+                                    train_size=64, test_size=32, seed=3)
+
+
+def _setup(ctx):
+    pc = ParallelContext.tesseract(ctx, q=2, d=1)
+    model = TesseractViT(pc, CFG)
+    opt = Adam(model.parameter_list(), lr=3e-3)
+    return model, opt, pc
+
+
+def _reference(epochs=2):
+    def prog(ctx):
+        model, opt, pc = _setup(ctx)
+        return train_classifier(model, DATA, opt, epochs=epochs,
+                                batch_size=16, pc=pc)
+
+    return Engine(nranks=4).run(prog)[0]
+
+
+def _factory_with(plan):
+    def factory(attempt):
+        return Engine(nranks=4, fault_plan=plan if attempt == 0 else None)
+
+    return factory
+
+
+class TestOptimizerStateDict:
+    @pytest.mark.parametrize("make", [
+        lambda params: Adam(params, lr=3e-3),
+        lambda params: SGD(params, lr=1e-2, momentum=0.9),
+    ])
+    def test_roundtrip_resumes_identical_trajectory(self, make):
+        """Stop at step 2, restore into a fresh model, finish: same loss."""
+
+        def full(ctx):
+            model = SerialViT(ctx, CFG)
+            opt = make(model.parameter_list())
+            return train_classifier(model, DATA, opt, epochs=1, batch_size=16)
+
+        ref = Engine(nranks=1).run(full)[0]
+
+        def split(ctx):
+            from repro.nn import serialize
+
+            model = SerialViT(ctx, CFG)
+            opt = make(model.parameter_list())
+            cfg = ResilienceConfig(snapshot_every=2)
+            store = SnapshotStore()
+            train_classifier(model, DATA, opt, epochs=1, batch_size=16,
+                             resilience=cfg, snapshot_store=store)
+            # Fresh model + optimizer, restored purely from the store.
+            model2 = SerialViT(ctx, CFG)
+            opt2 = make(model2.parameter_list())
+            return train_classifier(model2, DATA, opt2, epochs=1,
+                                    batch_size=16, resilience=cfg,
+                                    snapshot_store=store)
+
+        resumed = Engine(nranks=1).run(split)[0]
+        assert resumed.losses == ref.losses
+
+    def test_state_dict_has_position_keys(self):
+        def prog(ctx):
+            model = SerialViT(ctx, CFG)
+            opt = Adam(model.parameter_list(), lr=3e-3)
+            train_classifier(model, DATA, opt, epochs=1, batch_size=64)
+            return opt.state_dict()
+
+        state = Engine(nranks=1).run(prog)[0]
+        assert state["t"] == 1
+        assert all(isinstance(k, int) for k in state["slots"])
+        assert set(state["slots"][0]) == {"m", "v"}
+
+
+class TestSnapshotStore:
+    def test_latest_step_requires_all_ranks(self):
+        store = SnapshotStore()
+        store.save(2, 0, {"x": 1})
+        assert store.latest_step(2) is None  # rank 1 missing: incomplete
+        store.save(2, 1, {"x": 2})
+        assert store.latest_step(2) == 2
+        store.save(4, 0, {"x": 3})  # partial newer step never wins
+        assert store.latest_step(2) == 2
+
+    def test_prune_keeps_recent_complete_steps(self):
+        store = SnapshotStore(keep=2)
+        for step in (2, 4, 6, 8):
+            store.save(step, 0, {"s": step})
+        assert store.latest_step(1) == 8
+        with pytest.raises(KeyError):
+            store.load(2, 0)  # pruned
+        assert store.load(8, 0) == {"s": 8}
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            ResilienceConfig(snapshot_every=0)
+        with pytest.raises(SimulationError):
+            ResilienceConfig(max_restarts=-1)
+
+
+class TestTrainResilient:
+    def test_crash_recovers_to_fault_free_loss(self):
+        ref = _reference()
+        plan = FaultPlan(seed=7, crashes=(RankCrash(rank=1, at=0.35),))
+        run = train_resilient(
+            _factory_with(plan), _setup, DATA, epochs=2, batch_size=16,
+            resilience=ResilienceConfig(snapshot_every=2, max_restarts=2),
+        )
+        history = run.history
+        assert run.attempts == 1
+        assert len(history.recoveries) == 1
+        rec = history.recoveries[0]
+        assert rec.failed_rank == 1
+        assert rec.crash_time == pytest.approx(0.35)
+        assert rec.resume_step > 0  # a real snapshot restore, not scratch
+        assert rec.latency_s > 0.0
+        # Bit-identical convergence: snapshots are exact numpy copies.
+        assert history.losses == ref.losses
+        assert history.train_acc == ref.train_acc
+        assert history.eval_acc == ref.eval_acc
+
+    def test_crash_before_first_snapshot_restarts_from_scratch(self):
+        ref = _reference()
+        plan = FaultPlan(seed=7, crashes=(RankCrash(rank=2, at=0.02),))
+        run = train_resilient(
+            _factory_with(plan), _setup, DATA, epochs=2, batch_size=16,
+            resilience=ResilienceConfig(snapshot_every=2, max_restarts=2),
+        )
+        assert run.history.recoveries[0].resume_step == 0
+        assert run.history.losses == ref.losses
+
+    def test_recovery_is_deterministic(self):
+        plan = FaultPlan(seed=7, crashes=(RankCrash(rank=1, at=0.35),))
+        runs = [
+            train_resilient(
+                _factory_with(plan), _setup, DATA, epochs=2, batch_size=16,
+                resilience=ResilienceConfig(snapshot_every=2, max_restarts=2),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].history.losses == runs[1].history.losses
+        assert (runs[0].history.recoveries[0].resume_step
+                == runs[1].history.recoveries[0].resume_step)
+
+    def test_restart_budget_exhaustion_reraises(self):
+        plan = FaultPlan(seed=7, crashes=(RankCrash(rank=1, at=0.35),))
+
+        def always_faulty(attempt):
+            return Engine(nranks=4, fault_plan=plan)
+
+        with pytest.raises(RankFailureError):
+            train_resilient(
+                always_faulty, _setup, DATA, epochs=2, batch_size=16,
+                resilience=ResilienceConfig(snapshot_every=2, max_restarts=1),
+            )
+
+    def test_fault_free_run_records_no_recoveries(self):
+        run = train_resilient(
+            _factory_with(None), _setup, DATA, epochs=1, batch_size=16,
+            resilience=ResilienceConfig(snapshot_every=2),
+        )
+        assert run.attempts == 0
+        assert run.history.recoveries == []
+        assert run.history.losses == _reference(epochs=1).losses
+
+    def test_virtual_time_accounts_failed_attempts(self):
+        plan = FaultPlan(seed=7, crashes=(RankCrash(rank=1, at=0.35),))
+        run = train_resilient(
+            _factory_with(plan), _setup, DATA, epochs=2, batch_size=16,
+            resilience=ResilienceConfig(snapshot_every=2, max_restarts=2),
+        )
+        healthy = train_resilient(
+            _factory_with(None), _setup, DATA, epochs=2, batch_size=16,
+            resilience=ResilienceConfig(snapshot_every=2),
+        )
+        assert len(run.attempt_times) == 2
+        assert run.total_virtual_time > healthy.total_virtual_time
