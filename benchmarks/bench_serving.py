@@ -1,0 +1,151 @@
+"""Latency–throughput curves for the serving simulator.
+
+Sweeps offered load over the default bimodal workload and runs both
+batching policies at each rate, emitting the latency–throughput curves
+plus nightly-diffable scalar metrics.  Every number is a virtual-clock
+quantity over a seeded workload, so the JSON is byte-stable night over
+night — the nightly ``serving`` arm diffs it with
+``benchmarks/diff_nightly.py``.
+
+The headline guarantee (asserted here and in CI): at the highest offered
+load, continuous batching achieves at least **2x** the goodput of static
+batching — short requests backfill freed slots instead of idling behind
+the batch's longest member.
+
+Usable both as a pytest benchmark and as a standalone script::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --json serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.models.configs import TransformerConfig
+from repro.serve import SchedulerConfig, WorkloadConfig, run_serving
+
+RATES = (16.0, 64.0, 256.0)
+POLICIES = ("continuous", "static")
+MIN_SPEEDUP_AT_PEAK = 2.0
+
+WORKLOAD = WorkloadConfig(
+    seed=0, num_requests=24, arrival_rate=RATES[0],
+    prompt_len=(4, 12), output_short=(4, 12), output_long=(64, 96),
+    long_frac=0.15,
+)
+MODEL = TransformerConfig(
+    num_layers=2, hidden=32, nheads=4,
+    seq_len=WORKLOAD.max_request_tokens, vocab=32, causal=True,
+)
+SLOTS = 8
+KV_BUDGET = 1024
+
+
+def run_sweep() -> dict:
+    """``{policy: [report-per-rate, ...]}`` over the default scenario."""
+    import dataclasses
+
+    curves: dict[str, list[dict]] = {p: [] for p in POLICIES}
+    for rate in RATES:
+        workload = dataclasses.replace(WORKLOAD, arrival_rate=rate)
+        for policy in POLICIES:
+            sched = SchedulerConfig(max_slots=SLOTS,
+                                    kv_budget_tokens=KV_BUDGET,
+                                    policy=policy)
+            rep = run_serving("serial", model_cfg=MODEL, workload=workload,
+                              sched=sched)
+            rep["offered_rate"] = rate
+            curves[policy].append(rep)
+    return curves
+
+
+def collect_metrics(curves: dict) -> dict:
+    """Nightly-diffable metrics: ``{name: {value, direction}}``."""
+    metrics: dict[str, dict] = {}
+    for policy, reports in curves.items():
+        for rep in reports:
+            n = f"{policy}.rate{rep['offered_rate']:g}"
+            metrics[f"{n}.goodput_tokens_per_s"] = {
+                "value": rep["goodput_tokens_per_s"], "direction": "higher",
+            }
+            metrics[f"{n}.latency_p99_s"] = {
+                "value": rep["latency_s"]["p99"], "direction": "lower",
+            }
+            metrics[f"{n}.ttft_p99_s"] = {
+                "value": rep["ttft_s"]["p99"], "direction": "lower",
+            }
+            metrics[f"{n}.makespan_s"] = {
+                "value": rep["makespan_s"], "direction": "lower",
+            }
+    peak = f"rate{RATES[-1]:g}"
+    speedup = (
+        curves["continuous"][-1]["goodput_tokens_per_s"]
+        / curves["static"][-1]["goodput_tokens_per_s"]
+    )
+    metrics[f"speedup_cont_over_static.{peak}"] = {
+        "value": speedup, "direction": "higher",
+    }
+    return {"metrics": metrics, "curves": curves}
+
+
+def _check_guarantees(curves: dict) -> None:
+    for policy, reports in curves.items():
+        for rep in reports:
+            assert rep["completed"] == rep["num_requests"], (policy, rep)
+    speedup = (
+        curves["continuous"][-1]["goodput_tokens_per_s"]
+        / curves["static"][-1]["goodput_tokens_per_s"]
+    )
+    assert speedup >= MIN_SPEEDUP_AT_PEAK, (
+        f"continuous batching only {speedup:.2f}x over static at peak load"
+    )
+
+
+def render(curves: dict) -> str:
+    lines = [
+        f"{'policy':>12} {'rate':>6} {'goodput':>9} {'ttft p99':>10} "
+        f"{'lat p99':>9} {'preempt':>8}"
+    ]
+    for policy, reports in curves.items():
+        for rep in reports:
+            lines.append(
+                f"{policy:>12} {rep['offered_rate']:>6g} "
+                f"{rep['goodput_tokens_per_s']:>9.1f} "
+                f"{rep['ttft_s']['p99'] * 1e3:>8.2f}ms "
+                f"{rep['latency_s']['p99'] * 1e3:>7.2f}ms "
+                f"{rep['preemptions']:>8}"
+            )
+    return "\n".join(lines)
+
+
+def test_serving_slo(benchmark, capsys):
+    """Continuous batching doubles static goodput at peak offered load."""
+    curves = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render(curves))
+    _check_guarantees(curves)
+    for name, m in collect_metrics(curves)["metrics"].items():
+        benchmark.extra_info[name] = m["value"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the metrics + curves JSON here")
+    args = parser.parse_args(argv)
+    curves = run_sweep()
+    print(render(curves))
+    _check_guarantees(curves)
+    payload = collect_metrics(curves)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,19 @@
 """Diff two nightly metrics JSON files; fail on significant regressions.
 
-Both files follow the schema written by ``benchmarks/bench_resilience.py``::
+Two input schemas are accepted:
 
-    {"metrics": {"<name>": {"value": 12.3, "direction": "higher"}, ...}}
+* the explicit schema written by ``benchmarks/bench_resilience.py`` and
+  ``benchmarks/bench_serving.py``::
+
+      {"metrics": {"<name>": {"value": 12.3, "direction": "higher"}, ...}}
+
+* pytest-benchmark's ``--benchmark-json`` output (the main nightly
+  benchmark job).  Only the numeric ``extra_info`` entries are compared —
+  those are the *deterministic* virtual-time quantities the benches
+  export; pytest-benchmark's own wall-clock ``stats`` are machine noise
+  and are deliberately ignored.  Each metric's direction is inferred from
+  its name (``goodput``/``per_s``/``speedup`` are better higher;
+  ``latency``/``time``/``overhead``/... better lower).
 
 A metric regresses when it moves against its ``direction`` by more than
 ``--threshold`` (relative, default 20%).  Metrics present in only one
@@ -17,14 +28,50 @@ import argparse
 import json
 import sys
 
+#: substrings that mark a metric as better-higher; checked before the
+#: lower hints so "goodput_steps_per_s" / "speedup_cont_over_static"
+#: don't false-match the "_s" suffix hint.
+_HIGHER_HINTS = ("per_s", "goodput", "throughput", "speedup")
+_LOWER_HINTS = ("time", "latency", "_s", "lost", "overhead", "p50", "p99",
+                "ttft", "tpot", "bytes", "depth", "makespan", "iterations",
+                "preempt")
+
+
+def heuristic_direction(name: str) -> str:
+    """Infer better-higher vs better-lower from a metric name."""
+    low = name.lower()
+    if any(h in low for h in _HIGHER_HINTS):
+        return "higher"
+    if any(h in low for h in _LOWER_HINTS):
+        return "lower"
+    return "higher"
+
+
+def _from_pytest_benchmark(payload: dict) -> dict[str, dict]:
+    """Flatten a ``--benchmark-json`` payload into the metrics schema."""
+    metrics: dict[str, dict] = {}
+    for bench in payload["benchmarks"]:
+        bname = bench.get("name", "bench")
+        for key, value in (bench.get("extra_info") or {}).items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            metrics[f"{bname}.{key}"] = {
+                "value": float(value),
+                "direction": heuristic_direction(key),
+            }
+    return metrics
+
 
 def load_metrics(path: str) -> dict[str, dict]:
     with open(path) as fh:
         payload = json.load(fh)
     metrics = payload.get("metrics")
-    if not isinstance(metrics, dict):
-        raise ValueError(f"{path}: no 'metrics' object")
-    return metrics
+    if isinstance(metrics, dict):
+        return metrics
+    if isinstance(payload.get("benchmarks"), list):
+        return _from_pytest_benchmark(payload)
+    raise ValueError(f"{path}: neither a 'metrics' object nor a "
+                     f"pytest-benchmark 'benchmarks' list")
 
 
 def diff_metrics(

@@ -8,6 +8,7 @@ Commands
 ``fig7``     run the Figure 7 exactness experiment
 ``transfers``  print the §1/§3.1 communication-count comparison
 ``chaos``    train under injected faults and report recovery metrics
+``serve``    simulate inference serving; report TTFT/TPOT/goodput SLOs
 """
 
 from __future__ import annotations
@@ -58,6 +59,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="scenario name from the default set, or 'all'")
     p_chaos.add_argument("--json", metavar="PATH", default=None,
                          help="also save the metrics as JSON")
+
+    p_srv = sub.add_parser(
+        "serve", help="simulate inference serving; report SLO metrics"
+    )
+    p_srv.add_argument("--mode", default="serial",
+                       choices=["serial", "megatron", "optimus", "tesseract"])
+    p_srv.add_argument("--q", type=int, default=2, help="grid dimension")
+    p_srv.add_argument("--d", type=int, default=1, help="grid depth")
+    p_srv.add_argument("--world", type=int, default=4,
+                       help="megatron group size")
+    p_srv.add_argument("--requests", type=int, default=16)
+    p_srv.add_argument("--rate", type=float, default=64.0,
+                       help="mean arrivals per simulated second")
+    p_srv.add_argument("--policy", default="both",
+                       choices=["continuous", "static", "both"])
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--slots", type=int, default=8,
+                       help="decode batch slots")
+    p_srv.add_argument("--kv-budget", type=int, default=1024,
+                       help="KV cache budget in tokens")
+    p_srv.add_argument("--layers", type=int, default=2)
+    p_srv.add_argument("--hidden", type=int, default=32)
+    p_srv.add_argument("--json", metavar="PATH", default=None,
+                       help="also save the reports as JSON")
     return parser
 
 
@@ -212,6 +237,51 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.models.configs import TransformerConfig
+    from repro.serve import SchedulerConfig, WorkloadConfig, run_serving
+
+    workload = WorkloadConfig(
+        seed=args.seed, num_requests=args.requests, arrival_rate=args.rate,
+        prompt_len=(4, 12), output_short=(4, 12), output_long=(64, 96),
+        long_frac=0.15,
+    )
+    cfg = TransformerConfig(
+        num_layers=args.layers, hidden=args.hidden, nheads=4,
+        seq_len=workload.max_request_tokens, vocab=32, causal=True,
+    )
+    policies = (
+        ["continuous", "static"] if args.policy == "both" else [args.policy]
+    )
+    reports = {}
+    for policy in policies:
+        sched = SchedulerConfig(max_slots=args.slots,
+                                kv_budget_tokens=args.kv_budget,
+                                policy=policy)
+        rep = run_serving(
+            args.mode, model_cfg=cfg, workload=workload, sched=sched,
+            q=args.q, d=args.d, world=args.world,
+        )
+        reports[policy] = rep
+        print(f"{policy:>10}: {rep['completed']}/{rep['num_requests']} done  "
+              f"goodput {rep['goodput_tokens_per_s']:.1f} tok/s  "
+              f"ttft p50 {rep['ttft_s']['p50'] * 1e3:.2f} ms  "
+              f"tpot p50 {rep['tpot_s']['p50'] * 1e3:.2f} ms  "
+              f"latency p99 {rep['latency_s']['p99'] * 1e3:.2f} ms  "
+              f"preempted {rep['preemptions']}")
+    if len(reports) == 2:
+        speedup = (reports["continuous"]["goodput_tokens_per_s"]
+                   / reports["static"]["goodput_tokens_per_s"])
+        print(f"continuous-over-static goodput: {speedup:.2f}x")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(reports, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -227,6 +297,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_transfers()
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

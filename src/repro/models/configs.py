@@ -24,6 +24,7 @@ class TransformerConfig:
     seq_len: int
     vocab: int = 0  #: 0 for the benchmark stack (no embedding)
     mlp_ratio: int = 4
+    causal: bool = False  #: decoder-style causal attention (serving/decode)
 
     def __post_init__(self) -> None:
         check_positive(self.num_layers, "num_layers")

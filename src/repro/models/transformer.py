@@ -18,12 +18,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm.communicator import Communicator
+from repro.errors import SimulationError
 from repro.grid.context import ParallelContext
 from repro.models.configs import TransformerConfig
 from repro.nn.embedding import Embedding
 from repro.nn.module import Module
 from repro.nn.normalization import LayerNorm
 from repro.parallel.common import gather_a_layout
+from repro.parallel.megatron.layers import (
+    MegatronClassifierHead,
+    MegatronTransformerLayer,
+)
 from repro.parallel.serial import SerialClassifierHead, SerialTransformerLayer
 from repro.parallel.tesseract.layers import (
     TesseractClassifierHead,
@@ -36,7 +42,11 @@ from repro.util.mathutil import check_divides
 from repro.varray import ops, vinit
 from repro.varray.varray import VArray
 
-__all__ = ["SerialTransformerLM", "TesseractTransformerLM"]
+__all__ = [
+    "SerialTransformerLM",
+    "MegatronTransformerLM",
+    "TesseractTransformerLM",
+]
 
 _TAGS = ("lm",)
 
@@ -47,6 +57,35 @@ def _pos_global(ctx: RankContext, seq_len: int, hidden: int) -> VArray:
     return VArray.from_numpy(
         vinit.normal(ctx.rng(*_TAGS, "pos"), (seq_len, hidden), std=0.02)
     )
+
+
+def _position_ids(ctx: RankContext, idx: np.ndarray) -> VArray:
+    """Host position indices -> an int64 device array."""
+    return VArray.from_numpy(np.asarray(idx, dtype=np.int64))
+
+
+def _check_inference(model: Module, api: str) -> None:
+    if model.training:
+        raise SimulationError(
+            f"{type(model).__name__}.{api} requires eval() mode — the cached "
+            f"decode path never runs backward"
+        )
+
+
+def _embed_positions(model, tokens: VArray, positions: VArray) -> VArray:
+    """Token embedding + gathered position rows (incremental variant).
+
+    Unlike the full forward — which broadcast-adds the whole ``[seq_len,
+    h]`` position table and therefore requires ``s == seq_len`` — this
+    gathers exactly the rows named by ``positions`` (``[s]`` for prefill,
+    ``[B, 1]`` for decode), so any prefix/step length works.  Row gathers
+    and elementwise adds are position-stable, so the result matches the
+    full forward bit-for-bit on the shared positions.
+    """
+    ctx = model.ctx
+    x = model.embed.forward(tokens)
+    p = ops.take_rows(ctx, model.pos.value, positions, tag="lm_pos")
+    return ops.add(ctx, x, p, tag="lm_pos")
 
 
 class SerialTransformerLM(Module):
@@ -67,6 +106,7 @@ class SerialTransformerLM(Module):
                 SerialTransformerLayer(
                     ctx, cfg.hidden, cfg.nheads, cfg.mlp_ratio,
                     init_tags=(*_TAGS, "layer", idx),
+                    causal=cfg.causal,
                 ),
             )
             for idx in range(cfg.num_layers)
@@ -90,6 +130,42 @@ class SerialTransformerLM(Module):
         x = self.final_ln.forward(x)
         return self.head.forward(x)
 
+    def prefill(self, tokens: VArray) -> tuple[VArray, list]:
+        """Run the prompt ``[B, s]`` through the causal stack, returning
+        ``(logits [B, s, vocab], kv)`` where ``kv[i]`` is layer ``i``'s
+        ``(k, v)`` tensors ``[B, s, hidden]`` for the caller's cache."""
+        _check_inference(self, "prefill")
+        ctx = self.ctx
+        s = tokens.shape[1]
+        x = _embed_positions(self, tokens, _position_ids(ctx, np.arange(s)))
+        kv: list = []
+        for block in self.blocks:
+            x, layer_kv = block.forward_cached(x)
+            kv.append(layer_kv)
+        return self.head.forward(self.final_ln.forward(x)), kv
+
+    def decode_step(
+        self,
+        tokens: VArray,
+        positions: VArray,
+        past_kv: list,
+        extra_mask: VArray | None = None,
+    ) -> tuple[VArray, list]:
+        """One incremental decode step.
+
+        ``tokens [B, 1]`` are the newest token ids, ``positions [B, 1]``
+        their absolute positions, ``past_kv`` the per-layer ``(k, v)``
+        history.  Returns ``(logits [B, 1, vocab], new_kv)`` with
+        ``new_kv[i]`` holding only this step's keys/values.
+        """
+        _check_inference(self, "decode_step")
+        x = _embed_positions(self, tokens, positions)
+        new_kv: list = []
+        for block, pkv in zip(self.blocks, past_kv):
+            x, layer_kv = block.forward_cached(x, pkv, extra_mask)
+            new_kv.append(layer_kv)
+        return self.head.forward(self.final_ln.forward(x)), new_kv
+
     def backward(self, dlogits: VArray) -> VArray:
         ctx = self.ctx
         dx = self.head.backward(dlogits)
@@ -101,11 +177,93 @@ class SerialTransformerLM(Module):
         return self.embed.backward(dx)
 
 
+class MegatronTransformerLM(Module):
+    """Megatron-sharded LM: replicated embedding/positions, tensor-parallel
+    layers, replicated final LayerNorm, vocab-parallel head that all-gathers
+    to full logits on every rank."""
+
+    def __init__(self, comm: Communicator, cfg: TransformerConfig):
+        super().__init__(comm.ctx)
+        if cfg.vocab <= 0:
+            raise ValueError("MegatronTransformerLM needs cfg.vocab > 0")
+        check_divides(comm.size, cfg.vocab, "vocab vs group size")
+        self.comm = comm
+        self.cfg = cfg
+        ctx = comm.ctx
+        self.embed = self.add_module(
+            "embed", Embedding(ctx, cfg.vocab, cfg.hidden, init_tags=(*_TAGS, "tok"))
+        )
+        self.pos = self.add_param("pos", _pos_global(ctx, cfg.seq_len, cfg.hidden))
+        self.blocks = [
+            self.add_module(
+                f"block{idx}",
+                MegatronTransformerLayer(
+                    comm, cfg.hidden, cfg.nheads, cfg.mlp_ratio,
+                    init_tags=(*_TAGS, "layer", idx),
+                    causal=cfg.causal,
+                ),
+            )
+            for idx in range(cfg.num_layers)
+        ]
+        self.final_ln = self.add_module("final_ln", LayerNorm(ctx, cfg.hidden))
+        self.head = self.add_module(
+            "head",
+            MegatronClassifierHead(comm, cfg.hidden, cfg.vocab,
+                                   init_tags=(*_TAGS, "head")),
+        )
+
+    def local_tokens(self, tokens: np.ndarray) -> VArray:
+        """Activations are replicated: every rank takes all tokens."""
+        return VArray.from_numpy(tokens.astype(np.int64))
+
+    def forward(self, tokens: VArray) -> VArray:
+        ctx = self.ctx
+        x = self.embed.forward(tokens)
+        x = ops.add(ctx, x, self.pos.value, tag="lm_pos")
+        for block in self.blocks:
+            x = block.forward(x)
+        x = self.final_ln.forward(x)
+        return self.head.forward(x)
+
+    def prefill(self, tokens: VArray) -> tuple[VArray, list]:
+        """See :meth:`SerialTransformerLM.prefill`; KV blocks here are this
+        rank's head slice ``[B, s, hidden / group]``."""
+        _check_inference(self, "prefill")
+        s = tokens.shape[1]
+        x = _embed_positions(self, tokens, _position_ids(self.ctx, np.arange(s)))
+        kv: list = []
+        for block in self.blocks:
+            x, layer_kv = block.forward_cached(x)
+            kv.append(layer_kv)
+        return self.head.forward(self.final_ln.forward(x)), kv
+
+    def decode_step(
+        self,
+        tokens: VArray,
+        positions: VArray,
+        past_kv: list,
+        extra_mask: VArray | None = None,
+    ) -> tuple[VArray, list]:
+        """See :meth:`SerialTransformerLM.decode_step`."""
+        _check_inference(self, "decode_step")
+        x = _embed_positions(self, tokens, positions)
+        new_kv: list = []
+        for block, pkv in zip(self.blocks, past_kv):
+            x, layer_kv = block.forward_cached(x, pkv, extra_mask)
+            new_kv.append(layer_kv)
+        return self.head.forward(self.final_ln.forward(x)), new_kv
+
+
 class TesseractTransformerLM(Module):
     """Tesseract-sharded LM; layers are sharded, the embedding bridge is
     replicated (see module docstring)."""
 
-    def __init__(self, pc: ParallelContext, cfg: TransformerConfig):
+    def __init__(
+        self,
+        pc: ParallelContext,
+        cfg: TransformerConfig,
+        layer_cls: type = TesseractTransformerLayer,
+    ):
         super().__init__(pc.ctx)
         if cfg.vocab <= 0:
             raise ValueError("TesseractTransformerLM needs cfg.vocab > 0")
@@ -122,9 +280,10 @@ class TesseractTransformerLM(Module):
         self.blocks = [
             self.add_module(
                 f"block{idx}",
-                TesseractTransformerLayer(
+                layer_cls(
                     pc, cfg.hidden, cfg.nheads, cfg.mlp_ratio,
                     init_tags=(*_TAGS, "layer", idx),
+                    causal=cfg.causal,
                 ),
             )
             for idx in range(cfg.num_layers)
@@ -161,6 +320,45 @@ class TesseractTransformerLM(Module):
             x = block.forward(x)
         x = self.final_ln.forward(x)
         return self.head.forward(x)
+
+    def prefill(self, tokens: VArray) -> tuple[VArray, list]:
+        """Causal prefill on this rank's A-layout block.
+
+        ``tokens`` is the *global* ``[B, s]`` prompt batch (the embedding
+        bridge is replicated); the returned logits and KV blocks cover this
+        rank's batch band / hidden slice: logits ``[B/(dq), s, vocab]``, KV
+        ``[B/(dq), s, hidden/q]`` per layer.
+        """
+        _check_inference(self, "prefill")
+        ctx, pc = self.ctx, self.pc
+        s = tokens.shape[1]
+        x_global = _embed_positions(self, tokens, _position_ids(ctx, np.arange(s)))
+        x = _slice_a_layout(pc, x_global)
+        kv: list = []
+        for block in self.blocks:
+            x, layer_kv = block.forward_cached(x)
+            kv.append(layer_kv)
+        return self.head.forward(self.final_ln.forward(x)), kv
+
+    def decode_step(
+        self,
+        tokens: VArray,
+        positions: VArray,
+        past_kv: list,
+        extra_mask: VArray | None = None,
+    ) -> tuple[VArray, list]:
+        """One decode step; ``tokens``/``positions`` are global ``[B, 1]``,
+        the returned logits/KV are this rank's blocks (see :meth:`prefill`).
+        """
+        _check_inference(self, "decode_step")
+        pc = self.pc
+        x_global = _embed_positions(self, tokens, positions)
+        x = _slice_a_layout(pc, x_global)
+        new_kv: list = []
+        for block, pkv in zip(self.blocks, past_kv):
+            x, layer_kv = block.forward_cached(x, pkv, extra_mask)
+            new_kv.append(layer_kv)
+        return self.head.forward(self.final_ln.forward(x)), new_kv
 
     def backward(self, dlogits: VArray) -> VArray:
         ctx, pc = self.ctx, self.pc

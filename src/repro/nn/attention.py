@@ -10,7 +10,9 @@ precisely why the attention inner loop needs no communication.
 
 from __future__ import annotations
 
-from repro.errors import ShapeError
+import numpy as np
+
+from repro.errors import ShapeError, SimulationError
 from repro.nn.linear import Linear
 from repro.nn.module import Module
 from repro.sim.engine import RankContext
@@ -21,6 +23,8 @@ from repro.varray.varray import VArray
 __all__ = [
     "attention_core",
     "attention_core_backward",
+    "attention_cached",
+    "causal_mask",
     "fused_qkv_weight",
     "MultiHeadAttention",
 ]
@@ -57,6 +61,53 @@ def _from_heads(ctx: RankContext, x: VArray) -> VArray:
     return ops.reshape(ctx, x, (b, s, nh * hd))
 
 
+def causal_mask(s_new: int, s_total: int, dtype=np.float32) -> VArray:
+    """Additive causal mask ``[s_new, s_total]``.
+
+    Query row ``r`` corresponds to absolute position ``s_total - s_new + r``
+    and may attend keys at positions ``<= s_total - s_new + r``; later
+    columns get ``-inf`` (which turns into an exactly-zero probability
+    after softmax).  With ``s_new == s_total`` this is the standard
+    lower-triangular training mask; with ``s_new < s_total`` it is the
+    offset mask used when extending a KV cache.
+    """
+    offset = s_total - s_new
+    if offset < 0:
+        raise ShapeError(f"causal mask with s_new={s_new} > s_total={s_total}")
+    col = np.arange(s_total)[None, :]
+    row = np.arange(s_new)[:, None]
+    m = np.where(col > row + offset, -np.inf, 0.0).astype(np.dtype(dtype))
+    return VArray.from_numpy(m)
+
+
+def _attend(
+    ctx: RankContext,
+    qh: VArray,
+    kh: VArray,
+    vh: VArray,
+    scale: float,
+    mask: VArray | None,
+    extra_mask: VArray | None = None,
+) -> tuple[VArray, VArray]:
+    """Scaled dot-product attention on head-layout tensors.
+
+    ``qh [B, nh, sq, hd]`` against ``kh/vh [B, nh, skv, hd]``; masks are
+    additive and broadcast against the ``[B, nh, sq, skv]`` score tensor.
+    Returns ``(out_h, probs)``.
+    """
+    scores = ops.scale(
+        ctx, ops.matmul(ctx, qh, kh, transpose_b=True, tag="attn_qk"), scale,
+        tag="attn_scale",
+    )
+    if mask is not None:
+        scores = ops.add(ctx, scores, mask, tag="attn_mask")
+    if extra_mask is not None:
+        scores = ops.add(ctx, scores, extra_mask, tag="attn_mask")
+    probs = ops.softmax(ctx, scores, axis=-1, tag="attn_softmax")
+    out_h = ops.matmul(ctx, probs, vh, tag="attn_av")
+    return out_h, probs
+
+
 def attention_core(
     ctx: RankContext,
     q: VArray,
@@ -64,12 +115,16 @@ def attention_core(
     v: VArray,
     nheads: int,
     scale: float,
+    causal: bool = False,
 ) -> tuple[VArray, tuple]:
     """Multi-head attention on local tensors.
 
     Inputs are ``[B, s, H_local]``; ``nheads`` is the *local* head count and
     ``scale`` is ``1/sqrt(h/n)`` computed from the **global** head
-    dimension (identical across shardings, so the math is exact).
+    dimension (identical across shardings, so the math is exact).  With
+    ``causal`` True, position ``t`` attends only positions ``<= t``
+    (decoder-style); masked probabilities are exactly zero, so the backward
+    pass needs no mask of its own.
 
     Returns ``(output [B, s, H_local], cache)`` with the cache consumed by
     :func:`attention_core_backward`.
@@ -79,15 +134,45 @@ def attention_core(
     qh = _to_heads(ctx, q, nheads)
     kh = _to_heads(ctx, k, nheads)
     vh = _to_heads(ctx, v, nheads)
-    scores = ops.scale(
-        ctx, ops.matmul(ctx, qh, kh, transpose_b=True, tag="attn_qk"), scale,
-        tag="attn_scale",
-    )
-    probs = ops.softmax(ctx, scores, axis=-1, tag="attn_softmax")
-    out_h = ops.matmul(ctx, probs, vh, tag="attn_av")
+    mask = causal_mask(q.shape[1], q.shape[1], dtype=q.dtype) if causal else None
+    out_h, probs = _attend(ctx, qh, kh, vh, scale, mask)
     out = _from_heads(ctx, out_h)
     cache = (qh, kh, vh, probs, scale)
     return out, cache
+
+
+def attention_cached(
+    ctx: RankContext,
+    q: VArray,
+    k: VArray,
+    v: VArray,
+    nheads: int,
+    scale: float,
+    extra_mask: VArray | None = None,
+) -> VArray:
+    """Causal attention of ``q [B, s_new, H_local]`` against a (possibly
+    longer) key/value history ``k/v [B, s_total, H_local]``.
+
+    The query rows are the *last* ``s_new`` positions of the sequence, so
+    the causal mask is offset by ``s_total - s_new`` (for single-token
+    decode, ``s_new == 1`` attends the entire history and the causal mask
+    is omitted — it would add exact zeros).  ``extra_mask`` is an optional
+    additive mask (e.g. ``[B, 1, s_new, s_total]``) used by the serving
+    scheduler to invalidate padding columns of ragged batches.
+
+    Forward-only: returns just the output ``[B, s_new, H_local]``.
+    """
+    if k.shape != v.shape:
+        raise ShapeError(f"k/v shapes differ: {k.shape} vs {v.shape}")
+    if q.shape[0] != k.shape[0] or q.shape[2] != k.shape[2]:
+        raise ShapeError(f"q {q.shape} incompatible with cache {k.shape}")
+    s_new, s_total = q.shape[1], k.shape[1]
+    qh = _to_heads(ctx, q, nheads)
+    kh = _to_heads(ctx, k, nheads)
+    vh = _to_heads(ctx, v, nheads)
+    mask = causal_mask(s_new, s_total, dtype=q.dtype) if s_new > 1 else None
+    out_h, _ = _attend(ctx, qh, kh, vh, scale, mask, extra_mask)
+    return _from_heads(ctx, out_h)
 
 
 def attention_core_backward(
@@ -122,10 +207,15 @@ class MultiHeadAttention(Module):
         hidden: int,
         nheads: int,
         init_tags: tuple = ("attn",),
+        causal: bool = False,
     ):
         super().__init__(ctx)
         self.hidden = hidden
         self.nheads = nheads
+        self.causal = causal
+        #: local head count — the serial layer owns all heads; kept under
+        #: the same name as the parallel layers so cached decode is uniform.
+        self.local_heads = nheads
         head_dim = check_divides(nheads, hidden, "hidden size vs heads")
         self.scale = 1.0 / float(head_dim) ** 0.5
         # The fused QKV weight is the concatenation of three independently
@@ -150,9 +240,25 @@ class MultiHeadAttention(Module):
         ctx = self.ctx
         qkv = self.qkv.forward(x)
         q, k, v = ops.split(ctx, qkv, 3, axis=-1, tag="attn_split")
-        out, cache = attention_core(ctx, q, k, v, self.nheads, self.scale)
+        out, cache = attention_core(ctx, q, k, v, self.nheads, self.scale,
+                                    causal=self.causal)
         self.save_for_backward(cache)
         return self.proj.forward(out)
+
+    def forward_cached(
+        self,
+        x: VArray,
+        past_kv: tuple[VArray, VArray] | None = None,
+        extra_mask: VArray | None = None,
+    ) -> tuple[VArray, tuple[VArray, VArray]]:
+        """Incremental (inference-only) forward against a KV cache.
+
+        ``x [B, s_new, H_local]`` are the newest positions; ``past_kv`` is
+        this layer's ``(k, v)`` history, each ``[B, s_prev, H_local]``.
+        Returns ``(out, (k_new, v_new))`` where ``k_new/v_new`` are only
+        the *new* positions' keys/values — the caller owns cache storage.
+        """
+        return _attention_forward_cached(self, x, past_kv, extra_mask)
 
     def backward(self, dy: VArray) -> VArray:
         (cache,) = self.saved()
@@ -161,3 +267,28 @@ class MultiHeadAttention(Module):
         dq, dk, dv = attention_core_backward(ctx, cache, dout)
         dqkv = ops.concat(ctx, [dq, dk, dv], axis=-1, tag="attn_dsplit")
         return self.qkv.backward(dqkv)
+
+
+def _attention_forward_cached(layer, x, past_kv, extra_mask):
+    """Shared cached-decode forward for every attention flavor.
+
+    ``layer`` needs ``.ctx``, ``.qkv``, ``.proj``, ``.local_heads``,
+    ``.scale`` and must be in inference mode (the projections'
+    ``save_for_backward`` must not stash activations across steps).
+    """
+    if layer.training:
+        raise SimulationError(
+            f"{type(layer).__name__}.forward_cached requires eval() mode"
+        )
+    ctx = layer.ctx
+    qkv = layer.qkv.forward(x)
+    q, k, v = ops.split(ctx, qkv, 3, axis=-1, tag="attn_split")
+    if past_kv is not None:
+        pk, pv = past_kv
+        k_all = ops.concat(ctx, [pk, k], axis=1, tag="kv_concat")
+        v_all = ops.concat(ctx, [pv, v], axis=1, tag="kv_concat")
+    else:
+        k_all, v_all = k, v
+    out = attention_cached(ctx, q, k_all, v_all, layer.local_heads,
+                           layer.scale, extra_mask=extra_mask)
+    return layer.proj.forward(out), (k, v)

@@ -88,12 +88,21 @@ class Module:
     # --- forward/backward plumbing -------------------------------------------------
 
     def save_for_backward(self, *tensors) -> None:
-        """Stash tensors for the backward pass; charges activation memory."""
+        """Stash tensors for the backward pass; charges activation memory.
+
+        In inference mode (``self.training`` False, see :meth:`eval`) each
+        forward *supersedes* the previous stash instead of raising, so
+        forward-only paths — e.g. the serving decode loop — may call
+        ``forward`` repeatedly without a matching backward, while a lone
+        eval-mode backward still sees the latest activations.
+        """
         if self._saved is not None:
-            raise SimulationError(
-                f"{type(self).__name__}.forward called again before backward "
-                f"consumed the previous activation cache"
-            )
+            if self.training:
+                raise SimulationError(
+                    f"{type(self).__name__}.forward called again before "
+                    f"backward consumed the previous activation cache"
+                )
+            self.ctx.mem.free(self._saved_bytes, "activations")
         self._saved = tensors
         self._saved_bytes = sum(
             t.nbytes for t in tensors if isinstance(t, VArray)

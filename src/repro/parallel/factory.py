@@ -88,6 +88,7 @@ def build_transformer_stack(
     d: int | None = None,
     world: int | None = None,
     init_tags: tuple = ("model",),
+    causal: bool = False,
 ) -> StackHandle:
     """Build ``num_layers`` transformer layers sharded per ``mode``.
 
@@ -99,6 +100,8 @@ def build_transformer_stack(
         Grid dimensions for the 2-D/2.5-D modes (``d`` defaults to 1).
     world:
         Group size for ``megatron`` (defaults to ``ctx.nranks``).
+    causal:
+        Build decoder-style (causally masked) attention layers.
 
     Per-layer weight streams are ``(*init_tags, "layer", idx, ...)`` — the
     same for every mode, which is what makes cross-mode equivalence exact.
@@ -115,6 +118,7 @@ def build_transformer_stack(
                 SerialTransformerLayer(
                     ctx, hidden, nheads, mlp_ratio,
                     init_tags=(*init_tags, "layer", idx),
+                    causal=causal,
                 )
             )
     elif mode == "megatron":
@@ -125,6 +129,7 @@ def build_transformer_stack(
                 MegatronTransformerLayer(
                     comm, hidden, nheads, mlp_ratio,
                     init_tags=(*init_tags, "layer", idx),
+                    causal=causal,
                 )
             )
     else:
@@ -144,6 +149,7 @@ def build_transformer_stack(
                 layer_cls(
                     pc, hidden, nheads, mlp_ratio,
                     init_tags=(*init_tags, "layer", idx),
+                    causal=causal,
                 )
             )
     return StackHandle(mode=mode, layers=layers, ctx=ctx, pc=pc, comm=comm)

@@ -15,7 +15,11 @@ from __future__ import annotations
 
 from repro.comm.communicator import Communicator
 from repro.errors import ShapeError
-from repro.nn.attention import attention_core, attention_core_backward
+from repro.nn.attention import (
+    _attention_forward_cached,
+    attention_core,
+    attention_core_backward,
+)
 from repro.nn.module import Module
 from repro.nn.normalization import LayerNorm
 from repro.parallel.common import (
@@ -217,8 +221,10 @@ class MegatronSelfAttention(Module):
         hidden: int,
         nheads: int,
         init_tags: tuple = ("attn",),
+        causal: bool = False,
     ):
         super().__init__(comm.ctx)
+        self.causal = causal
         self.local_heads = check_divides(comm.size, nheads, "heads vs ranks")
         head_dim = check_divides(nheads, hidden, "hidden vs heads")
         self.scale = 1.0 / float(head_dim) ** 0.5
@@ -237,9 +243,19 @@ class MegatronSelfAttention(Module):
         ctx = self.ctx
         qkv = self.qkv.forward(x)
         q, k, v = ops.split(ctx, qkv, 3, axis=-1, tag="mattn_split")
-        out, cache = attention_core(ctx, q, k, v, self.local_heads, self.scale)
+        out, cache = attention_core(ctx, q, k, v, self.local_heads, self.scale,
+                                    causal=self.causal)
         self.save_for_backward(cache)
         return self.proj.forward(out)
+
+    def forward_cached(self, x, past_kv=None, extra_mask=None):
+        """Inference forward against this rank's KV-cache slice.
+
+        The cache holds only this rank's ``n/p`` heads (``[B, s, h/p]``), so
+        decode — like the training forward — needs no attention-time
+        communication; only the row-parallel projection all-reduces.
+        """
+        return _attention_forward_cached(self, x, past_kv, extra_mask)
 
     def backward(self, dy: VArray) -> VArray:
         (cache,) = self.saved()
@@ -261,13 +277,15 @@ class MegatronTransformerLayer(Module):
         nheads: int,
         mlp_ratio: int = 4,
         init_tags: tuple = ("layer",),
+        causal: bool = False,
     ):
         super().__init__(comm.ctx)
         self.ln1 = self.add_module("ln1", LayerNorm(comm.ctx, hidden))
         self.attn = self.add_module(
             "attn",
             MegatronSelfAttention(comm, hidden, nheads,
-                                  init_tags=(*init_tags, "attn")),
+                                  init_tags=(*init_tags, "attn"),
+                                  causal=causal),
         )
         self.ln2 = self.add_module("ln2", LayerNorm(comm.ctx, hidden))
         self.mlp = self.add_module(
@@ -281,6 +299,15 @@ class MegatronTransformerLayer(Module):
         x = ops.add(ctx, x, a, tag="residual")
         m = self.mlp.forward(self.ln2.forward(x))
         return ops.add(ctx, x, m, tag="residual")
+
+    def forward_cached(self, x, past_kv=None, extra_mask=None):
+        """Inference forward against a KV cache (replicated activations)."""
+        ctx = self.ctx
+        a, kv = self.attn.forward_cached(self.ln1.forward(x), past_kv,
+                                         extra_mask)
+        x = ops.add(ctx, x, a, tag="residual")
+        m = self.mlp.forward(self.ln2.forward(x))
+        return ops.add(ctx, x, m, tag="residual"), kv
 
     def backward(self, dy: VArray) -> VArray:
         ctx = self.ctx

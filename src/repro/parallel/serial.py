@@ -62,13 +62,14 @@ class SerialTransformerLayer(Module):
         nheads: int,
         mlp_ratio: int = 4,
         init_tags: tuple = ("layer",),
+        causal: bool = False,
     ):
         super().__init__(ctx)
         self.ln1 = self.add_module("ln1", LayerNorm(ctx, hidden))
         self.attn = self.add_module(
             "attn",
             MultiHeadAttention(ctx, hidden, nheads,
-                               init_tags=(*init_tags, "attn")),
+                               init_tags=(*init_tags, "attn"), causal=causal),
         )
         self.ln2 = self.add_module("ln2", LayerNorm(ctx, hidden))
         self.mlp = self.add_module(
@@ -81,6 +82,16 @@ class SerialTransformerLayer(Module):
         x = ops.add(ctx, x, a, tag="residual")
         m = self.mlp.forward(self.ln2.forward(x))
         return ops.add(ctx, x, m, tag="residual")
+
+    def forward_cached(self, x, past_kv=None, extra_mask=None):
+        """Inference forward against a KV cache; see
+        :meth:`repro.nn.attention.MultiHeadAttention.forward_cached`."""
+        ctx = self.ctx
+        a, kv = self.attn.forward_cached(self.ln1.forward(x), past_kv,
+                                         extra_mask)
+        x = ops.add(ctx, x, a, tag="residual")
+        m = self.mlp.forward(self.ln2.forward(x))
+        return ops.add(ctx, x, m, tag="residual"), kv
 
     def backward(self, dy: VArray) -> VArray:
         ctx = self.ctx

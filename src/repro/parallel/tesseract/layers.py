@@ -22,7 +22,11 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.grid.context import ParallelContext
-from repro.nn.attention import attention_core, attention_core_backward
+from repro.nn.attention import (
+    _attention_forward_cached,
+    attention_core,
+    attention_core_backward,
+)
 from repro.nn.module import Module
 from repro.parallel.common import (
     allreduce_batch,
@@ -294,11 +298,13 @@ class TesseractSelfAttention(Module):
         hidden: int,
         nheads: int,
         init_tags: tuple = ("attn",),
+        causal: bool = False,
     ):
         super().__init__(pc.ctx)
         self.pc = pc
         self.hidden = hidden
         self.nheads = nheads
+        self.causal = causal
         self.local_heads = check_divides(pc.q, nheads, "attention heads vs q")
         head_dim = check_divides(nheads, hidden, "hidden vs heads")
         self.scale = 1.0 / float(head_dim) ** 0.5
@@ -316,9 +322,20 @@ class TesseractSelfAttention(Module):
         ctx = self.ctx
         qkv = self.qkv.forward(x)
         q, k, v = ops.split(ctx, qkv, 3, axis=-1, tag="tattn_split")
-        out, cache = attention_core(ctx, q, k, v, self.local_heads, self.scale)
+        out, cache = attention_core(ctx, q, k, v, self.local_heads, self.scale,
+                                    causal=self.causal)
         self.save_for_backward(cache)
         return self.proj.forward(out)
+
+    def forward_cached(self, x, past_kv=None, extra_mask=None):
+        """Inference forward against this rank's KV-cache block.
+
+        The cache holds the A-layout block ``[b/dq, s, h/q]`` — this rank's
+        batch band and its ``n/q`` heads — so cache reads, like the training
+        attention core, need no communication; only the QKV/output
+        projections run SUMMA steps.
+        """
+        return _attention_forward_cached(self, x, past_kv, extra_mask)
 
     def backward(self, dy: VArray) -> VArray:
         (cache,) = self.saved()
@@ -343,6 +360,7 @@ class TesseractTransformerLayer(Module):
         nheads: int,
         mlp_ratio: int = 4,
         init_tags: tuple = ("layer",),
+        causal: bool = False,
     ):
         super().__init__(pc.ctx)
         self.ln1 = self.add_module(
@@ -351,7 +369,8 @@ class TesseractTransformerLayer(Module):
         self.attn = self.add_module(
             "attn",
             TesseractSelfAttention(pc, hidden, nheads,
-                                   init_tags=(*init_tags, "attn")),
+                                   init_tags=(*init_tags, "attn"),
+                                   causal=causal),
         )
         self.ln2 = self.add_module(
             "ln2", TesseractLayerNorm(pc, hidden)
@@ -367,6 +386,15 @@ class TesseractTransformerLayer(Module):
         x = ops.add(ctx, x, a, tag="residual")
         m = self.mlp.forward(self.ln2.forward(x))
         return ops.add(ctx, x, m, tag="residual")
+
+    def forward_cached(self, x, past_kv=None, extra_mask=None):
+        """Inference forward against a KV cache (A-layout activations)."""
+        ctx = self.ctx
+        a, kv = self.attn.forward_cached(self.ln1.forward(x), past_kv,
+                                         extra_mask)
+        x = ops.add(ctx, x, a, tag="residual")
+        m = self.mlp.forward(self.ln2.forward(x))
+        return ops.add(ctx, x, m, tag="residual"), kv
 
     def backward(self, dy: VArray) -> VArray:
         ctx = self.ctx

@@ -1,0 +1,37 @@
+"""Deterministic inference serving on the SPMD simulator.
+
+Forward-only decoding with explicit KV caches on the existing parallel
+layers (serial / Megatron 1-D / Optimus 2-D / Tesseract 2.5-D), a seeded
+open-loop workload, continuous- and static-batching schedulers, and SLO
+metrics on the virtual clock.  Entry point: :func:`repro.serve.run_serving`.
+"""
+
+from repro.serve.cache import KVCacheManager
+from repro.serve.metrics import RequestRecord, percentile, summarize
+from repro.serve.model import (
+    build_lm,
+    grid_shape,
+    local_kv_width,
+    serving_nranks,
+)
+from repro.serve.runner import run_serving
+from repro.serve.scheduler import POLICIES, Scheduler, SchedulerConfig
+from repro.serve.workload import Request, WorkloadConfig, generate_workload
+
+__all__ = [
+    "KVCacheManager",
+    "RequestRecord",
+    "percentile",
+    "summarize",
+    "build_lm",
+    "grid_shape",
+    "local_kv_width",
+    "serving_nranks",
+    "run_serving",
+    "POLICIES",
+    "Scheduler",
+    "SchedulerConfig",
+    "Request",
+    "WorkloadConfig",
+    "generate_workload",
+]

@@ -1,0 +1,172 @@
+"""Per-rank KV-cache management for the serving engine.
+
+Bookkeeping vs storage
+----------------------
+Token *bookkeeping* (how many KV tokens each slot holds) is global and
+identical on every rank — the scheduler's admission/preemption decisions
+depend on it, and all ranks must decide identically.  Tensor *storage* is
+band-local: in the 2-D/2.5-D modes each rank only ever attends over the
+frame rows of its own batch band, so it stores (and its
+:class:`~repro.sim.memory.MemoryTracker` is charged for) only those
+slots' ``(k, v)`` tensors, in its own hidden slice.
+
+Slots are fixed frame rows: slot ``s`` always occupies decode-frame row
+``s``, so the band that serves a slot never changes and no cross-band KV
+movement is ever needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.engine import RankContext
+from repro.varray import ops
+from repro.varray.varray import VArray
+
+__all__ = ["KVCacheManager"]
+
+
+class KVCacheManager:
+    """KV cache for ``num_slots`` fixed decode slots on one rank.
+
+    Parameters
+    ----------
+    band_slots:
+        The slot indices whose tensors this rank stores (its batch band).
+        Bookkeeping still covers *all* slots.
+    kv_width:
+        Per-token hidden width of this rank's k/v slice (``hidden`` for
+        serial, ``hidden / world`` for Megatron, ``hidden / q`` for the
+        grid modes).
+    """
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        num_layers: int,
+        num_slots: int,
+        band_slots: range,
+        kv_width: int,
+        budget_tokens: int,
+        dtype_bytes: int = 4,
+    ):
+        if budget_tokens <= 0:
+            raise SimulationError("kv budget must be positive")
+        self.ctx = ctx
+        self.num_layers = num_layers
+        self.num_slots = num_slots
+        self.band_slots = band_slots
+        self.kv_width = kv_width
+        self.budget_tokens = budget_tokens
+        #: bytes per cached token on THIS rank (k and v, all layers)
+        self.bytes_per_token = 2 * dtype_bytes * kv_width * num_layers
+        self._lens: dict[int, int] = {}  #: slot -> tokens (all slots)
+        self._kv: dict[int, list] = {}  #: slot -> per-layer (k, v) (band only)
+        self.peak_tokens = 0
+
+    # --- bookkeeping (global, rank-identical) --------------------------------
+
+    @property
+    def used_tokens(self) -> int:
+        return sum(self._lens.values())
+
+    def length(self, slot: int) -> int:
+        return self._lens[slot]
+
+    def fits(self, extra_tokens: int) -> bool:
+        return self.used_tokens + extra_tokens <= self.budget_tokens
+
+    # --- storage -------------------------------------------------------------
+
+    def insert(self, slot: int, kv: list, ntokens: int) -> None:
+        """Install a freshly prefilled slot (``kv`` is per-layer ``(k, v)``
+        of shape ``[1, ntokens, kv_width]``; ignored off-band)."""
+        if slot in self._lens:
+            raise SimulationError(f"slot {slot} already occupied")
+        self._lens[slot] = ntokens
+        self.peak_tokens = max(self.peak_tokens, self.used_tokens)
+        if slot in self.band_slots:
+            self._kv[slot] = list(kv)
+            self.ctx.mem.alloc(ntokens * self.bytes_per_token, "kvcache")
+
+    def append_rows(self, order: list[int | None], new_kv: list) -> None:
+        """Append one decode step's keys/values to this rank's band slots.
+
+        ``order`` maps this rank's local frame rows to slot ids (``None``
+        for padding rows); ``new_kv`` is per-layer ``(k, v)`` of shape
+        ``[len(order), 1, kv_width]``.  Every slot (band or not) grows by
+        one token in the bookkeeping via :meth:`grow`; this method only
+        handles the tensors.
+        """
+        ctx = self.ctx
+        rows = len(order)
+        split = [
+            (
+                ops.split(ctx, k, rows, axis=0, tag="kv_append"),
+                ops.split(ctx, v, rows, axis=0, tag="kv_append"),
+            )
+            for k, v in new_kv
+        ]
+        for row, slot in enumerate(order):
+            if slot is None:
+                continue
+            entry = self._kv[slot]
+            for layer, (ks, vs) in enumerate(split):
+                k_old, v_old = entry[layer]
+                entry[layer] = (
+                    ops.concat(ctx, [k_old, ks[row]], axis=1, tag="kv_append"),
+                    ops.concat(ctx, [v_old, vs[row]], axis=1, tag="kv_append"),
+                )
+            ctx.mem.alloc(self.bytes_per_token, "kvcache")
+
+    def grow(self, slot: int) -> None:
+        """Bookkeeping: slot gained one token this decode step."""
+        self._lens[slot] += 1
+        self.peak_tokens = max(self.peak_tokens, self.used_tokens)
+
+    def evict(self, slot: int) -> None:
+        """Release a slot (completion or preemption)."""
+        ntokens = self._lens.pop(slot)
+        if slot in self._kv:
+            del self._kv[slot]
+            self.ctx.mem.free(ntokens * self.bytes_per_token, "kvcache")
+
+    # --- decode-frame assembly ----------------------------------------------
+
+    def assemble(self, order: list[int | None], s_max: int) -> list:
+        """Build the padded past-KV frame for this rank's band rows.
+
+        Returns per-layer ``(K, V)`` of shape ``[len(order), s_max,
+        kv_width]``: each slot's cache zero-padded to ``s_max`` tokens
+        (padding rows are all zeros).  Padded/empty positions must be
+        masked by the caller's ``extra_mask`` — zeros are *valid* values
+        to the attention kernel.
+        """
+        ctx = self.ctx
+        out = []
+        for layer in range(self.num_layers):
+            ks, vs = [], []
+            for slot in order:
+                if slot is None:
+                    pad = VArray.zeros((1, s_max, self.kv_width),
+                                       symbolic=ctx.symbolic)
+                    ks.append(pad)
+                    vs.append(pad)
+                    continue
+                k, v = self._kv[slot][layer]
+                gap = s_max - self._lens[slot]
+                if gap:
+                    pad = VArray.zeros((1, gap, self.kv_width),
+                                       symbolic=ctx.symbolic)
+                    k = ops.concat(ctx, [k, pad], axis=1, tag="kv_frame")
+                    v = ops.concat(ctx, [v, pad], axis=1, tag="kv_frame")
+                ks.append(k)
+                vs.append(v)
+            out.append(
+                (
+                    ops.concat(ctx, ks, axis=0, tag="kv_frame"),
+                    ops.concat(ctx, vs, axis=0, tag="kv_frame"),
+                )
+            )
+        return out

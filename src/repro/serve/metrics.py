@@ -1,0 +1,109 @@
+"""SLO metrics for the serving simulator.
+
+All times are virtual-clock seconds, so every number here is a pure
+function of (workload seed, scheduler policy, cost model) — the summary
+JSON is byte-stable across runs and machines.
+
+Definitions
+-----------
+TTFT      time from arrival to the first output token (prefill completes).
+TPOT      (completion - first token) / (output_len - 1); undefined (and
+          skipped) for single-token outputs.
+latency   completion - arrival.
+goodput   completed output tokens per second of makespan — preempted work
+          that was redone counts only once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["RequestRecord", "percentile", "summarize"]
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle timestamps for one request (virtual seconds)."""
+
+    rid: int
+    arrival: float
+    prompt_len: int
+    output_len: int
+    first_token_time: float | None = None
+    completion_time: float | None = None
+    preemptions: int = 0
+    emitted: int = field(default=0)  #: output tokens produced so far
+
+    @property
+    def done(self) -> bool:
+        return self.completion_time is not None
+
+    @property
+    def ttft(self) -> float:
+        assert self.first_token_time is not None
+        return self.first_token_time - self.arrival
+
+    @property
+    def latency(self) -> float:
+        assert self.completion_time is not None
+        return self.completion_time - self.arrival
+
+    @property
+    def tpot(self) -> float | None:
+        if self.output_len < 2 or not self.done:
+            return None
+        assert self.first_token_time is not None
+        return (self.completion_time - self.first_token_time) / (
+            self.output_len - 1
+        )
+
+
+def percentile(values: list[float], pct: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _dist(values: list[float]) -> dict[str, float]:
+    if not values:
+        return {"p50": math.nan, "p99": math.nan, "mean": math.nan}
+    return {
+        "p50": percentile(values, 50.0),
+        "p99": percentile(values, 99.0),
+        "mean": sum(values) / len(values),
+    }
+
+
+def summarize(
+    records: list[RequestRecord],
+    makespan: float,
+    peak_kv_tokens: int,
+    max_queue_depth: int,
+    iterations: int,
+) -> dict:
+    """Aggregate per-request records into the serving report."""
+    done = [r for r in records if r.done]
+    ttft = [r.ttft for r in done if r.first_token_time is not None]
+    tpot = [t for r in done if (t := r.tpot) is not None]
+    latency = [r.latency for r in done]
+    out_tokens = sum(r.output_len for r in done)
+    return {
+        "num_requests": len(records),
+        "completed": len(done),
+        "iterations": iterations,
+        "makespan_s": makespan,
+        "ttft_s": _dist(ttft),
+        "tpot_s": _dist(tpot),
+        "latency_s": _dist(latency),
+        "goodput_tokens_per_s": (
+            out_tokens / makespan if makespan > 0 else math.nan
+        ),
+        "output_tokens": out_tokens,
+        "preemptions": sum(r.preemptions for r in records),
+        "peak_kv_tokens": peak_kv_tokens,
+        "max_queue_depth": max_queue_depth,
+    }

@@ -1,0 +1,254 @@
+"""The serving simulation loop.
+
+One :meth:`Engine.run` hosts the whole simulation: every rank executes
+the same scheduler state machine over the same seeded workload, so every
+scheduling decision is rank-identical and only the tensor work is
+sharded.  Per-iteration barriers pin the recorded timestamps — a barrier
+synchronizes all members' virtual clocks to the same instant, so TTFT /
+completion times (and therefore the whole report) are identical on every
+rank; the runner verifies this before returning.
+
+Iteration shape (continuous batching)::
+
+    barrier -> poll arrivals -> admit + prefill each admission
+            -> preempt if the next step would blow the KV budget
+            -> one batched decode step over all active slots
+            -> barrier -> record emissions/completions
+
+Static batching runs the same loop; only the admission rule differs
+(see :mod:`repro.serve.scheduler`).  Idle periods fast-forward the
+virtual clock to the next arrival instead of spinning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.errors import SimulationError
+from repro.models.configs import TransformerConfig
+from repro.serve.cache import KVCacheManager
+from repro.serve.metrics import RequestRecord, summarize
+from repro.serve.model import (
+    build_lm,
+    grid_shape,
+    local_kv_width,
+    serving_nranks,
+)
+from repro.serve.scheduler import Scheduler, SchedulerConfig
+from repro.serve.workload import WorkloadConfig, generate_workload
+from repro.sim.engine import Engine
+from repro.varray.varray import VArray
+
+__all__ = ["run_serving"]
+
+
+def _validate(
+    model_cfg: TransformerConfig,
+    workload: WorkloadConfig,
+    sched: SchedulerConfig,
+    bands: int,
+) -> None:
+    if model_cfg.vocab < workload.vocab:
+        raise SimulationError(
+            f"model vocab {model_cfg.vocab} < workload vocab {workload.vocab}"
+        )
+    if model_cfg.seq_len < workload.max_request_tokens:
+        raise SimulationError(
+            f"model seq_len {model_cfg.seq_len} cannot hold the longest "
+            f"request ({workload.max_request_tokens} tokens)"
+        )
+    if sched.kv_budget_tokens < workload.max_request_tokens:
+        raise SimulationError(
+            f"kv budget {sched.kv_budget_tokens} cannot hold the longest "
+            f"request ({workload.max_request_tokens} tokens)"
+        )
+    if sched.max_slots % bands:
+        raise SimulationError(
+            f"max_slots {sched.max_slots} must be divisible by the "
+            f"batch-band count {bands}"
+        )
+
+
+def run_serving(
+    mode: str = "serial",
+    *,
+    model_cfg: TransformerConfig,
+    workload: WorkloadConfig,
+    sched: SchedulerConfig,
+    q: int | None = None,
+    d: int | None = None,
+    world: int | None = None,
+    engine_mode: str = "symbolic",
+    engine_seed: int = 0,
+) -> dict:
+    """Simulate serving ``workload`` under ``sched`` and return the report.
+
+    ``engine_mode="symbolic"`` (the default) runs shape-only tensors —
+    the virtual-time schedule, and hence every metric, is identical to a
+    real-valued run, at a fraction of the cost.
+    """
+    gq, gd = grid_shape(mode, q, d, world)
+    bands = gq * gd
+    _validate(model_cfg, workload, sched, bands)
+    nranks = serving_nranks(mode, q, d, world)
+    kv_width = local_kv_width(mode, model_cfg, q=gq if bands > 1 else None,
+                              world=world)
+
+    def fn(ctx):
+        return _serve_rank(
+            ctx, mode, model_cfg, workload, sched,
+            q=q, d=d, world=world, bands=bands, kv_width=kv_width,
+        )
+
+    engine = Engine(nranks=nranks, mode=engine_mode, trace=False,
+                    seed=engine_seed)
+    reports = engine.run(fn)
+    for rank, rep in enumerate(reports[1:], start=1):
+        if rep != reports[0]:
+            raise SimulationError(
+                f"serving report diverged between rank 0 and rank {rank}"
+            )
+    return reports[0]
+
+
+def _serve_rank(
+    ctx,
+    mode: str,
+    model_cfg: TransformerConfig,
+    workload: WorkloadConfig,
+    sched_cfg: SchedulerConfig,
+    *,
+    q: int | None,
+    d: int | None,
+    world: int | None,
+    bands: int,
+    kv_width: int,
+) -> dict:
+    model = build_lm(ctx, mode, model_cfg, q=q, d=d, world=world)
+    model.eval()
+    wcomm = Communicator(ctx, range(ctx.nranks))
+    rows = sched_cfg.max_slots
+    rows_local = rows // bands
+    band = model.pc.block_row if bands > 1 else 0
+    band_slots = range(band * rows_local, (band + 1) * rows_local)
+
+    requests = generate_workload(workload)
+    sch = Scheduler(sched_cfg, requests)
+    cache = KVCacheManager(
+        ctx, model_cfg.num_layers, rows, band_slots, kv_width,
+        sched_cfg.kv_budget_tokens,
+    )
+    records = {
+        r.rid: RequestRecord(
+            rid=r.rid, arrival=r.arrival,
+            prompt_len=r.prompt_len, output_len=r.output_len,
+        )
+        for r in requests
+    }
+    iterations = 0
+    max_queue = 0
+
+    def finish(slot: int, t: float) -> None:
+        rid = sch.complete(slot)
+        cache.evict(slot)
+        records[rid].completion_time = t
+
+    while True:
+        wcomm.barrier("serve_iter")
+        if all(rec.done for rec in records.values()):
+            break
+        sch.poll_arrivals(ctx.now)
+        max_queue = max(max_queue, len(sch.queue))
+
+        if sch.idle:
+            nxt = sch.next_arrival()
+            assert nxt is not None  # else all requests would be done
+            ctx.clock.sync_to(nxt)
+            continue
+
+        # Admission: each admitted request is prefilled immediately, one
+        # engine-level forward per request.
+        for slot, rid in sch.admit(cache.used_tokens):
+            req = sch.requests[rid]
+            rec = records[rid]
+            prompt = np.tile(
+                np.asarray(req.prompt_tokens, dtype=np.int64)[None, :],
+                (bands, 1),
+            )
+            _, kv = model.prefill(VArray.from_numpy(prompt))
+            cache.insert(slot, kv, req.prompt_len)
+            wcomm.barrier("serve_prefill")
+            t = ctx.now
+            rec.emitted = 1  # prefill yields the first output token
+            if rec.first_token_time is None:
+                rec.first_token_time = t
+            if rec.emitted == req.output_len:
+                finish(slot, t)
+
+        if not sch.active:
+            iterations += 1
+            continue
+
+        # Preempt (youngest first) if this step's +1 token per slot would
+        # blow the budget; victims restart from their prompt later.
+        lens = {s: cache.length(s) for s in sch.active}
+        for slot in sch.choose_preemptions(cache.used_tokens, lens):
+            rid = sch.preempt(slot)
+            cache.evict(slot)
+            records[rid].preemptions += 1
+            records[rid].emitted = 0
+
+        # One batched decode step over the fixed-slot frame.
+        order = sch.frame_order()
+        lens = {s: cache.length(s) for s in sch.active}
+        s_max = max(lens.values())
+        tokens = np.zeros((rows, 1), dtype=np.int64)
+        positions = np.zeros((rows, 1), dtype=np.int64)
+        # extra_mask [rows, 1, 1, s_max + 1]: -inf over each slot's KV
+        # padding; the last column is the new token, valid everywhere so
+        # padding rows still softmax over at least one finite score.
+        mask = np.zeros((rows, 1, 1, s_max + 1), dtype=np.float32)
+        for row, slot in enumerate(order):
+            if slot is None:
+                mask[row, :, :, :s_max] = -np.inf
+                continue
+            req = sch.requests[sch.active[slot]]
+            rec = records[req.rid]
+            tokens[row, 0] = req.output_tokens[rec.emitted - 1]
+            positions[row, 0] = req.prompt_len + rec.emitted - 1
+            mask[row, :, :, lens[slot]:s_max] = -np.inf
+
+        band_order = order[band * rows_local:(band + 1) * rows_local]
+        past = cache.assemble(band_order, s_max)
+        _, new_kv = model.decode_step(
+            VArray.from_numpy(tokens),
+            VArray.from_numpy(positions),
+            past,
+            VArray.from_numpy(mask[band * rows_local:(band + 1) * rows_local]),
+        )
+        cache.append_rows(band_order, new_kv)
+        for slot in sch.active:
+            cache.grow(slot)
+
+        wcomm.barrier("serve_step")
+        t = ctx.now
+        for slot in list(sch.active):
+            req = sch.requests[sch.active[slot]]
+            rec = records[req.rid]
+            rec.emitted += 1
+            if rec.emitted == req.output_len:
+                finish(slot, t)
+        iterations += 1
+
+    report = summarize(
+        sorted(records.values(), key=lambda r: r.rid),
+        makespan=ctx.now,
+        peak_kv_tokens=cache.peak_tokens,
+        max_queue_depth=max_queue,
+        iterations=iterations,
+    )
+    report["mode"] = mode
+    report["policy"] = sched_cfg.policy
+    report["nranks"] = ctx.nranks
+    return report

@@ -1,0 +1,154 @@
+"""Batching schedulers: continuous (iteration-level) vs static.
+
+The scheduler is pure bookkeeping — it owns the queue, the slot table and
+the admission/preemption *decisions*, all driven by the global KV-token
+counts.  It never touches tensors, so it runs identically on every rank
+(the runner feeds every rank the same inputs in the same order) and is
+unit-testable without an engine.
+
+Policies
+--------
+``continuous``
+    vLLM-style iteration-level scheduling: before every decode step,
+    admit queued requests into free slots while the KV budget allows;
+    slots free the moment their request completes.
+``static``
+    The classical baseline: admit a batch only when *all* slots are
+    empty, then decode that batch to completion.  Short requests finish
+    early but their slots idle until the batch's longest member drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.serve.workload import Request
+
+__all__ = ["SchedulerConfig", "Scheduler", "POLICIES"]
+
+POLICIES = ("continuous", "static")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    max_slots: int = 8
+    kv_budget_tokens: int = 256
+    policy: str = "continuous"
+
+    def __post_init__(self) -> None:
+        if self.max_slots <= 0:
+            raise SimulationError("max_slots must be positive")
+        if self.kv_budget_tokens <= 0:
+            raise SimulationError("kv_budget_tokens must be positive")
+        if self.policy not in POLICIES:
+            raise SimulationError(
+                f"unknown policy {self.policy!r}; valid: {POLICIES}"
+            )
+
+
+class Scheduler:
+    """Slot/queue state machine shared by both policies."""
+
+    def __init__(self, cfg: SchedulerConfig, requests: list[Request]):
+        self.cfg = cfg
+        self.requests = {r.rid: r for r in requests}
+        #: not-yet-arrived, ascending arrival time
+        self._pending = sorted(requests, key=lambda r: (r.arrival, r.rid))
+        self.queue: list[int] = []  #: arrived, waiting for a slot
+        self.active: dict[int, int] = {}  #: slot -> rid
+        self._admit_seq: dict[int, int] = {}  #: slot -> admission order
+        self._seq = 0
+
+    # --- arrivals ------------------------------------------------------------
+
+    def poll_arrivals(self, now: float) -> None:
+        while self._pending and self._pending[0].arrival <= now:
+            self.queue.append(self._pending.pop(0).rid)
+
+    def next_arrival(self) -> float | None:
+        return self._pending[0].arrival if self._pending else None
+
+    @property
+    def all_arrived(self) -> bool:
+        return not self._pending
+
+    # --- admission -----------------------------------------------------------
+
+    def _free_slots(self) -> list[int]:
+        return [s for s in range(self.cfg.max_slots) if s not in self.active]
+
+    def admit(self, used_tokens: int) -> list[tuple[int, int]]:
+        """Decide admissions; returns ``[(slot, rid), ...]`` in order.
+
+        A request is admissible when a slot is free and its prompt *plus
+        one growth token per then-active slot* fits the budget — the
+        growth reservation is what makes admit-then-instantly-preempt
+        livelock impossible.
+        """
+        if self.cfg.policy == "static" and self.active:
+            return []
+        admitted: list[tuple[int, int]] = []
+        free = self._free_slots()
+        used = used_tokens
+        while self.queue and free:
+            req = self.requests[self.queue[0]]
+            n_active = len(self.active) + len(admitted) + 1
+            if used + req.prompt_len + n_active > self.cfg.kv_budget_tokens:
+                break
+            self.queue.pop(0)
+            slot = free.pop(0)
+            admitted.append((slot, req.rid))
+            used += req.prompt_len
+        for slot, rid in admitted:
+            self.active[slot] = rid
+            self._admit_seq[slot] = self._seq
+            self._seq += 1
+        return admitted
+
+    # --- preemption -----------------------------------------------------------
+
+    def choose_preemptions(
+        self, used_tokens: int, lens: dict[int, int]
+    ) -> list[int]:
+        """Slots to preempt so the next decode step fits the budget.
+
+        Victims are youngest-admitted first (their requeued work is the
+        cheapest to redo); preempting requeues the request at the *front*
+        of the queue so it reclaims a slot as soon as space frees.
+        """
+        victims: list[int] = []
+        used = used_tokens
+        order = sorted(self.active, key=lambda s: -self._admit_seq[s])
+        while used + (len(self.active) - len(victims)) > self.cfg.kv_budget_tokens:
+            if len(victims) == len(order):
+                raise SimulationError(
+                    "kv budget cannot hold a single active request"
+                )
+            slot = order[len(victims)]
+            victims.append(slot)
+            used -= lens[slot]
+        return victims
+
+    def preempt(self, slot: int) -> int:
+        """Release ``slot`` and requeue its request; returns the rid."""
+        rid = self.active.pop(slot)
+        del self._admit_seq[slot]
+        self.queue.insert(0, rid)
+        return rid
+
+    # --- completion ------------------------------------------------------------
+
+    def complete(self, slot: int) -> int:
+        rid = self.active.pop(slot)
+        del self._admit_seq[slot]
+        return rid
+
+    def frame_order(self) -> list[int | None]:
+        """Frame row -> slot mapping (row ``s`` is always slot ``s``)."""
+        return [s if s in self.active else None
+                for s in range(self.cfg.max_slots)]
+
+    @property
+    def idle(self) -> bool:
+        return not self.active and not self.queue

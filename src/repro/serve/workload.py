@@ -1,0 +1,128 @@
+"""Seeded serving-workload generation.
+
+Every random draw follows the same discipline as :mod:`repro.sim.faults`:
+it comes from a named stream ``rng_for(seed, "serve", rid, kind)`` and is
+therefore a pure function of ``(seed, rid)`` — regenerating the workload
+for a preempted request (or on another rank) reproduces it bit-for-bit.
+
+Output lengths are bimodal (mostly short, a tail of long generations),
+which is the regime where continuous batching beats static batching: a
+static batch stalls on its longest member while continuous batching
+backfills freed slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.util.rng import rng_for
+
+__all__ = ["WorkloadConfig", "Request", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """A seeded open-loop arrival process with per-request token traces."""
+
+    seed: int = 0
+    num_requests: int = 32
+    arrival_rate: float = 64.0  #: mean requests per simulated second
+    burst_size: int = 1  #: arrivals land in groups of this size
+    prompt_len: tuple[int, int] = (4, 12)  #: inclusive range
+    output_short: tuple[int, int] = (8, 16)
+    output_long: tuple[int, int] = (48, 64)
+    long_frac: float = 0.2  #: fraction of requests with long outputs
+    vocab: int = 32
+
+    def __post_init__(self) -> None:
+        if self.num_requests <= 0:
+            raise SimulationError("num_requests must be positive")
+        if self.arrival_rate <= 0:
+            raise SimulationError("arrival_rate must be positive")
+        if self.burst_size <= 0:
+            raise SimulationError("burst_size must be positive")
+        if not 0.0 <= self.long_frac <= 1.0:
+            raise SimulationError("long_frac must be in [0, 1]")
+        for name in ("prompt_len", "output_short", "output_long"):
+            lo, hi = getattr(self, name)
+            if not 1 <= lo <= hi:
+                raise SimulationError(f"bad {name} range ({lo}, {hi})")
+
+    @property
+    def max_request_tokens(self) -> int:
+        """Worst-case prompt + output tokens of any request."""
+        return self.prompt_len[1] + self.output_long[1]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One request: arrival time plus its full, pre-drawn token trace.
+
+    The output tokens are part of the *workload*, not sampled from model
+    logits — decoding replays this trace, which keeps every schedule
+    (including preemption + re-prefill) deterministic and independent of
+    numeric mode (symbolic runs carry no logit values at all).
+    """
+
+    rid: int
+    arrival: float
+    prompt_tokens: tuple[int, ...]
+    output_tokens: tuple[int, ...]
+
+    @property
+    def prompt_len(self) -> int:
+        return len(self.prompt_tokens)
+
+    @property
+    def output_len(self) -> int:
+        return len(self.output_tokens)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_len + self.output_len
+
+
+def _draw_int(seed: int, rid: int, kind: str, lo: int, hi: int) -> int:
+    return int(rng_for(seed, "serve", rid, kind).integers(lo, hi + 1))
+
+
+def generate_workload(cfg: WorkloadConfig) -> list[Request]:
+    """Materialize the full request list for ``cfg`` (sorted by arrival)."""
+    requests = []
+    arrival = 0.0
+    for rid in range(cfg.num_requests):
+        if rid % cfg.burst_size == 0:
+            # Group leader draws the inter-burst gap; scaling the mean by
+            # burst_size keeps the long-run arrival rate at arrival_rate.
+            gap = float(
+                rng_for(cfg.seed, "serve", rid, "gap").exponential(
+                    cfg.burst_size / cfg.arrival_rate
+                )
+            )
+            arrival += gap
+        p_len = _draw_int(cfg.seed, rid, "plen", *cfg.prompt_len)
+        is_long = (
+            float(rng_for(cfg.seed, "serve", rid, "kind").random())
+            < cfg.long_frac
+        )
+        rng_name = "olen"
+        lo, hi = cfg.output_long if is_long else cfg.output_short
+        o_len = _draw_int(cfg.seed, rid, rng_name, lo, hi)
+        prompt = tuple(
+            int(t)
+            for t in rng_for(cfg.seed, "serve", rid, "prompt").integers(
+                0, cfg.vocab, size=p_len
+            )
+        )
+        output = tuple(
+            int(t)
+            for t in rng_for(cfg.seed, "serve", rid, "output").integers(
+                0, cfg.vocab, size=o_len
+            )
+        )
+        requests.append(
+            Request(rid=rid, arrival=arrival, prompt_tokens=prompt,
+                    output_tokens=output)
+        )
+    return requests

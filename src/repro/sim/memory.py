@@ -12,6 +12,7 @@ Categories
 ``optimizer``    optimizer state (Adam moments, ...)
 ``activations``  forward-pass intermediates (peak tracked within a step)
 ``buffers``      temporary communication/work buffers
+``kvcache``      per-request KV cache held by the serving engine
 """
 
 from __future__ import annotations
@@ -20,7 +21,8 @@ from repro.errors import SimulationError
 
 __all__ = ["MemoryTracker"]
 
-_CATEGORIES = ("params", "grads", "optimizer", "activations", "buffers")
+_CATEGORIES = ("params", "grads", "optimizer", "activations", "buffers",
+               "kvcache")
 
 
 class MemoryTracker:

@@ -18,6 +18,7 @@ Flop conventions (matching the usual DL accounting):
 
 from __future__ import annotations
 
+import contextlib
 from typing import Sequence
 
 import numpy as np
@@ -27,6 +28,8 @@ from repro.util.mathutil import prod
 from repro.varray.varray import VArray
 
 __all__ = [
+    "exact_kernels",
+    "exact_kernels_enabled",
     "matmul",
     "add",
     "sub",
@@ -59,6 +62,67 @@ __all__ = [
     "cast",
     "argmax",
 ]
+
+
+# --- exact (slice-stable) kernels -------------------------------------------------
+#
+# BLAS dispatches different microkernels by shape (gemv for single-row
+# operands, blocked gemm otherwise) and numpy's pairwise summation changes
+# its reduction tree with the axis length, so in general
+# ``(x @ w)[t:t+1] != x[t:t+1] @ w`` bitwise and a masked softmax row is not
+# bitwise equal to the same softmax over the unmasked prefix.  The exact
+# kernels below replace the contraction in matmul and the denominator sum in
+# softmax with a strict sequential fold over the contraction index: each
+# output element becomes an index-stable left fold, so slicing batch rows,
+# output columns, or appending exactly-zero tail terms cannot change a
+# single bit.  That is what lets incremental decoding (KV cache) reproduce
+# the full-sequence forward bit-for-bit — see ``repro/serve``.
+
+_EXACT_KERNELS = False
+
+
+def exact_kernels_enabled() -> bool:
+    """True while :func:`exact_kernels` is active."""
+    return _EXACT_KERNELS
+
+
+@contextlib.contextmanager
+def exact_kernels(enabled: bool = True):
+    """Route matmul/softmax through slice-stable sequential-fold kernels.
+
+    Slower than BLAS, so opt-in: the serving decode path and the
+    decode-equivalence tests wrap their runs in this context.  The flag is
+    module-global and read at op-execution time, so it applies to every
+    rank thread of an :class:`~repro.sim.engine.Engine` run started inside
+    the context.
+    """
+    global _EXACT_KERNELS
+    prev = _EXACT_KERNELS
+    _EXACT_KERNELS = enabled
+    try:
+        yield
+    finally:
+        _EXACT_KERNELS = prev
+
+
+def _fold_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matmul as a strict left fold over the contraction index."""
+    out = a[..., :, :1] * b[..., :1, :]
+    for j in range(1, a.shape[-1]):
+        out = out + a[..., :, j : j + 1] * b[..., j : j + 1, :]
+    return out
+
+
+def _fold_sum(x: np.ndarray, axis: int) -> np.ndarray:
+    """Keepdims sum along ``axis`` as a strict left fold."""
+    ax = axis % x.ndim
+    idx: list = [slice(None)] * x.ndim
+    idx[ax] = slice(0, 1)
+    out = x[tuple(idx)].copy()
+    for j in range(1, x.shape[ax]):
+        idx[ax] = slice(j, j + 1)
+        out = out + x[tuple(idx)]
+    return out
 
 
 # --- helpers ---------------------------------------------------------------------
@@ -158,6 +222,8 @@ def matmul(
             x = np.swapaxes(x, -1, -2)
         if transpose_b:
             y = np.swapaxes(y, -1, -2)
+        if _EXACT_KERNELS:
+            return _fold_matmul(x, y)
         return np.matmul(x, y)
 
     return _result(shape, a.dtype, value, _any_symbolic(a, b))
@@ -275,6 +341,8 @@ def softmax(ctx, a: VArray, axis: int = -1, tag: str = "softmax") -> VArray:
         x = a.numpy()
         shifted = x - x.max(axis=axis, keepdims=True)
         e = np.exp(shifted)
+        if _EXACT_KERNELS:
+            return e / _fold_sum(e, axis)
         return e / e.sum(axis=axis, keepdims=True)
 
     ctx.compute(flops=5.0 * a.size, bytes_touched=2 * a.nbytes, tag=tag)

@@ -1,10 +1,15 @@
-"""The nightly chaos-metrics diff gate (``benchmarks/diff_nightly.py``)."""
+"""The nightly metrics diff gate (``benchmarks/diff_nightly.py``)."""
 
 import json
 
 import pytest
 
-from benchmarks.diff_nightly import diff_metrics, load_metrics, main
+from benchmarks.diff_nightly import (
+    diff_metrics,
+    heuristic_direction,
+    load_metrics,
+    main,
+)
 
 
 def _m(value, direction="higher"):
@@ -87,3 +92,66 @@ class TestMain:
     def test_load_metrics_round_trips(self, tmp_path):
         path = self._write(tmp_path / "m.json", {"a": _m(4.0)})
         assert load_metrics(path) == {"a": _m(4.0)}
+
+
+class TestHeuristicDirection:
+    @pytest.mark.parametrize("name", [
+        "goodput_steps_per_s", "goodput_tokens_per_s", "throughput",
+        "speedup_cont_over_static.rate256",
+    ])
+    def test_higher_hints_win(self, name):
+        assert heuristic_direction(name) == "higher"
+
+    @pytest.mark.parametrize("name", [
+        "virtual_time_s", "latency_p99_s", "ttft_p99_s", "tpot_p50_s",
+        "lost_steps", "overhead_ratio", "makespan_s", "bytes_on_wire",
+        "max_queue_depth", "preemptions",
+    ])
+    def test_lower_hints(self, name):
+        assert heuristic_direction(name) == "lower"
+
+    def test_unknown_defaults_higher(self):
+        assert heuristic_direction("accuracy") == "higher"
+
+
+class TestPytestBenchmarkFormat:
+    def _write(self, path, benchmarks):
+        path.write_text(json.dumps({"benchmarks": benchmarks}))
+        return str(path)
+
+    def test_extra_info_becomes_metrics(self, tmp_path):
+        path = self._write(tmp_path / "b.json", [{
+            "name": "test_serving_slo",
+            "stats": {"mean": 0.5, "stddev": 0.01},  # wall clock: ignored
+            "extra_info": {
+                "continuous.rate256.goodput_tokens_per_s": 84.7,
+                "continuous.rate256.latency_p99_s": 6.59,
+                "note": "not a number",  # non-numeric: ignored
+                "flag": True,  # bools are not metrics
+            },
+        }])
+        metrics = load_metrics(path)
+        assert metrics == {
+            "test_serving_slo.continuous.rate256.goodput_tokens_per_s":
+                {"value": 84.7, "direction": "higher"},
+            "test_serving_slo.continuous.rate256.latency_p99_s":
+                {"value": 6.59, "direction": "lower"},
+        }
+
+    def test_diff_across_pytest_benchmark_files(self, tmp_path, capsys):
+        prev = self._write(tmp_path / "prev.json", [{
+            "name": "t", "extra_info": {"goodput_tokens_per_s": 80.0},
+        }])
+        cur = self._write(tmp_path / "cur.json", [{
+            "name": "t", "extra_info": {"goodput_tokens_per_s": 40.0},
+        }])
+        assert main([prev, cur, "--threshold", "0.2"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_empty_benchmarks_list_is_valid(self, tmp_path):
+        path = self._write(tmp_path / "b.json", [])
+        assert load_metrics(path) == {}
+
+    def test_missing_extra_info_tolerated(self, tmp_path):
+        path = self._write(tmp_path / "b.json", [{"name": "t"}])
+        assert load_metrics(path) == {}

@@ -1,0 +1,149 @@
+"""Bitwise equivalence of the incremental decode path vs the full forward.
+
+For every parallel mode, running ``prefill(prompt)`` followed by T
+single-token ``decode_step`` calls must produce logits **bit-identical**
+(``np.array_equal``, not ``allclose``) to one full-sequence causal forward
+over the same tokens.  This only holds under :func:`ops.exact_kernels`,
+whose strict left-fold matmul/softmax reductions are stable under row/
+column slicing and trailing exact-zero (masked) terms; BLAS picks
+shape-dependent microkernels and numpy's pairwise sums pick length-
+dependent trees, so the default kernels are only ``allclose``-equal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.errors import SimulationError
+from repro.grid.context import ParallelContext
+from repro.models.configs import TransformerConfig
+from repro.models.transformer import (
+    MegatronTransformerLM,
+    SerialTransformerLM,
+    TesseractTransformerLM,
+)
+from repro.parallel.optimus.layers import OptimusTransformerLayer
+from repro.sim.engine import Engine
+from repro.varray import ops
+from repro.varray.varray import VArray
+
+B, S, LP = 4, 12, 5
+CFG = TransformerConfig(
+    num_layers=2, hidden=16, nheads=4, seq_len=S, vocab=8, causal=True
+)
+SEED = 123
+
+# mode -> (nranks, q, d); serial/megatron have no grid.
+MODES = {
+    "serial": (1, None, None),
+    "megatron": (4, None, None),
+    "optimus": (4, 2, 1),
+    "tesseract": (8, 2, 2),
+}
+
+
+def _build(ctx, mode):
+    q, d = MODES[mode][1:]
+    if mode == "serial":
+        return SerialTransformerLM(ctx, CFG)
+    if mode == "megatron":
+        return MegatronTransformerLM(Communicator(ctx, range(4)), CFG)
+    pc = ParallelContext.tesseract(ctx, q=q, d=d)
+    if mode == "optimus":
+        return TesseractTransformerLM(pc, CFG, layer_cls=OptimusTransformerLayer)
+    return TesseractTransformerLM(pc, CFG)
+
+
+def _full(mode, tokens):
+    def prog(ctx):
+        model = _build(ctx, mode)
+        model.eval()
+        with ops.exact_kernels():
+            logits = model.forward(model.local_tokens(tokens))
+        return logits.numpy()
+
+    return Engine(nranks=MODES[mode][0], seed=SEED).run(prog)
+
+
+def _incremental(mode, tokens):
+    def prog(ctx):
+        model = _build(ctx, mode)
+        model.eval()
+        with ops.exact_kernels():
+            prompt = VArray.from_numpy(tokens[:, :LP].astype(np.int64))
+            logits, kv = model.prefill(prompt)
+            chunks = [logits.numpy()]
+            for t in range(LP, S):
+                tok = VArray.from_numpy(tokens[:, t : t + 1].astype(np.int64))
+                pos = VArray.from_numpy(np.full((B, 1), t, dtype=np.int64))
+                step, new = model.decode_step(tok, pos, kv)
+                kv = [
+                    (
+                        ops.concat(ctx, [k, nk], axis=1, tag="kv_append"),
+                        ops.concat(ctx, [v, nv], axis=1, tag="kv_append"),
+                    )
+                    for (k, v), (nk, nv) in zip(kv, new)
+                ]
+                chunks.append(step.numpy())
+        return np.concatenate(chunks, axis=1)
+
+    return Engine(nranks=MODES[mode][0], seed=SEED).run(prog)
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+def test_decode_matches_full_forward_bitwise(mode, rng):
+    tokens = rng.integers(0, CFG.vocab, size=(B, S)).astype(np.int64)
+    full = _full(mode, tokens)
+    inc = _incremental(mode, tokens)
+    assert len(full) == len(inc) == MODES[mode][0]
+    for rank, (a, b) in enumerate(zip(full, inc)):
+        assert a.shape == b.shape, f"rank {rank}: {a.shape} vs {b.shape}"
+        assert np.array_equal(a, b), (
+            f"{mode} rank {rank}: max abs diff "
+            f"{np.max(np.abs(a - b))}, mismatches "
+            f"{np.sum(a != b)}/{a.size}"
+        )
+
+
+def test_default_kernels_are_only_close(rng):
+    """Sanity: without exact kernels the paths agree only approximately —
+    documents *why* exact_kernels exists."""
+    tokens = rng.integers(0, CFG.vocab, size=(B, S)).astype(np.int64)
+
+    def full(ctx):
+        model = SerialTransformerLM(ctx, CFG)
+        model.eval()
+        return model.forward(model.local_tokens(tokens)).numpy()
+
+    def inc(ctx):
+        model = SerialTransformerLM(ctx, CFG)
+        model.eval()
+        logits, kv = model.prefill(
+            VArray.from_numpy(tokens[:, :LP].astype(np.int64)))
+        chunks = [logits.numpy()]
+        for t in range(LP, S):
+            tok = VArray.from_numpy(tokens[:, t : t + 1].astype(np.int64))
+            pos = VArray.from_numpy(np.full((B, 1), t, dtype=np.int64))
+            step, new = model.decode_step(tok, pos, kv)
+            kv = [
+                (
+                    ops.concat(ctx, [k, nk], axis=1, tag="kv_append"),
+                    ops.concat(ctx, [v, nv], axis=1, tag="kv_append"),
+                )
+                for (k, v), (nk, nv) in zip(kv, new)
+            ]
+            chunks.append(step.numpy())
+        return np.concatenate(chunks, axis=1)
+
+    a = Engine(nranks=1, seed=SEED).run(full)[0]
+    b = Engine(nranks=1, seed=SEED).run(inc)[0]
+    assert np.allclose(a, b, atol=1e-4)
+
+
+def test_prefill_requires_eval_mode():
+    def prog(ctx):
+        model = SerialTransformerLM(ctx, CFG)
+        model.prefill(VArray.from_numpy(np.zeros((1, 2), dtype=np.int64)))
+
+    with pytest.raises(SimulationError, match="eval"):
+        Engine(nranks=1, seed=SEED).run(prog)

@@ -1,0 +1,113 @@
+"""End-to-end tests for the serving simulation loop."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.models.configs import TransformerConfig
+from repro.serve import SchedulerConfig, WorkloadConfig, run_serving
+
+WORKLOAD = WorkloadConfig(
+    seed=0, num_requests=10, arrival_rate=64.0,
+    prompt_len=(4, 8), output_short=(4, 8), output_long=(24, 32),
+    long_frac=0.2,
+)
+MODEL = TransformerConfig(
+    num_layers=2, hidden=32, nheads=4,
+    seq_len=WORKLOAD.max_request_tokens, vocab=32, causal=True,
+)
+SCHED = SchedulerConfig(max_slots=4, kv_budget_tokens=256,
+                        policy="continuous")
+
+
+class TestRunServing:
+    def test_completes_and_is_deterministic(self):
+        a = run_serving("serial", model_cfg=MODEL, workload=WORKLOAD,
+                        sched=SCHED)
+        b = run_serving("serial", model_cfg=MODEL, workload=WORKLOAD,
+                        sched=SCHED)
+        assert a == b
+        assert a["completed"] == a["num_requests"] == 10
+        assert a["goodput_tokens_per_s"] > 0
+        assert a["makespan_s"] > 0
+        assert a["ttft_s"]["p50"] > 0
+        assert a["latency_s"]["p99"] >= a["latency_s"]["p50"]
+
+    @pytest.mark.parametrize(
+        "mode,kwargs",
+        [("megatron", {"world": 4}), ("optimus", {"q": 2}),
+         ("tesseract", {"q": 2, "d": 2})],
+    )
+    def test_parallel_modes_complete(self, mode, kwargs):
+        rep = run_serving(mode, model_cfg=MODEL, workload=WORKLOAD,
+                          sched=SCHED, **kwargs)
+        # run_serving raises if any rank's report diverges from rank 0's.
+        assert rep["completed"] == 10
+        assert rep["mode"] == mode
+
+    def test_same_schedule_decisions_across_modes(self):
+        # The scheduler runs on global bookkeeping only, so the iteration
+        # count and token totals must be mode-independent (virtual *times*
+        # differ — the modes have different comm costs).
+        serial = run_serving("serial", model_cfg=MODEL, workload=WORKLOAD,
+                             sched=SCHED)
+        tess = run_serving("tesseract", model_cfg=MODEL, workload=WORKLOAD,
+                           sched=SCHED, q=2, d=2)
+        assert serial["iterations"] == tess["iterations"]
+        assert serial["output_tokens"] == tess["output_tokens"]
+        assert serial["peak_kv_tokens"] == tess["peak_kv_tokens"]
+        assert serial["preemptions"] == tess["preemptions"]
+
+    def test_tight_budget_preempts_and_still_completes(self):
+        tight = SchedulerConfig(max_slots=4, kv_budget_tokens=64,
+                                policy="continuous")
+        rep = run_serving("serial", model_cfg=MODEL, workload=WORKLOAD,
+                          sched=tight)
+        assert rep["completed"] == 10
+        assert rep["preemptions"] > 0
+        assert rep["peak_kv_tokens"] <= 64
+
+    def test_continuous_beats_static_under_load(self):
+        hot = dataclasses.replace(WORKLOAD, arrival_rate=256.0)
+        goodput = {}
+        for policy in ("continuous", "static"):
+            sched = dataclasses.replace(SCHED, policy=policy)
+            rep = run_serving("serial", model_cfg=MODEL, workload=hot,
+                              sched=sched)
+            assert rep["completed"] == 10
+            goodput[policy] = rep["goodput_tokens_per_s"]
+        assert goodput["continuous"] > goodput["static"]
+
+    def test_real_and_symbolic_timings_agree(self):
+        sym = run_serving("serial", model_cfg=MODEL, workload=WORKLOAD,
+                          sched=SCHED, engine_mode="symbolic")
+        real = run_serving("serial", model_cfg=MODEL, workload=WORKLOAD,
+                           sched=SCHED, engine_mode="real")
+        assert sym == real
+
+
+class TestValidation:
+    def test_seq_len_too_short(self):
+        cfg = dataclasses.replace(MODEL, seq_len=8)
+        with pytest.raises(SimulationError, match="seq_len"):
+            run_serving("serial", model_cfg=cfg, workload=WORKLOAD,
+                        sched=SCHED)
+
+    def test_budget_below_longest_request(self):
+        sched = dataclasses.replace(SCHED, kv_budget_tokens=16)
+        with pytest.raises(SimulationError, match="budget"):
+            run_serving("serial", model_cfg=MODEL, workload=WORKLOAD,
+                        sched=sched)
+
+    def test_vocab_too_small(self):
+        cfg = dataclasses.replace(MODEL, vocab=16)
+        with pytest.raises(SimulationError, match="vocab"):
+            run_serving("serial", model_cfg=cfg, workload=WORKLOAD,
+                        sched=SCHED)
+
+    def test_slots_not_divisible_by_bands(self):
+        sched = dataclasses.replace(SCHED, max_slots=5)
+        with pytest.raises(SimulationError, match="divisible"):
+            run_serving("tesseract", model_cfg=MODEL, workload=WORKLOAD,
+                        sched=sched, q=2, d=2)

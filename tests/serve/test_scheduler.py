@@ -1,0 +1,132 @@
+"""Tests for the continuous/static batching schedulers (pure bookkeeping)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.serve.scheduler import Scheduler, SchedulerConfig
+from repro.serve.workload import Request
+
+
+def _req(rid, arrival=0.0, plen=4, olen=8):
+    return Request(rid=rid, arrival=arrival,
+                   prompt_tokens=tuple(range(plen)),
+                   output_tokens=tuple(range(olen)))
+
+
+class TestSchedulerConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError, match="max_slots"):
+            SchedulerConfig(max_slots=0)
+        with pytest.raises(SimulationError, match="kv_budget"):
+            SchedulerConfig(kv_budget_tokens=0)
+        with pytest.raises(SimulationError, match="policy"):
+            SchedulerConfig(policy="nope")
+
+
+class TestArrivals:
+    def test_poll_moves_arrived_only(self):
+        sch = Scheduler(SchedulerConfig(), [_req(0, 0.1), _req(1, 0.5)])
+        sch.poll_arrivals(0.2)
+        assert sch.queue == [0]
+        assert sch.next_arrival() == 0.5
+        sch.poll_arrivals(0.5)
+        assert sch.queue == [0, 1]
+        assert sch.next_arrival() is None
+        assert sch.all_arrived
+
+
+class TestContinuousAdmission:
+    def test_admits_into_lowest_free_slots(self):
+        sch = Scheduler(SchedulerConfig(max_slots=4),
+                        [_req(i) for i in range(3)])
+        sch.poll_arrivals(0.0)
+        assert sch.admit(0) == [(0, 0), (1, 1), (2, 2)]
+        assert sch.frame_order() == [0, 1, 2, None]
+
+    def test_budget_blocks_admission(self):
+        # budget 9: first request (plen 4 + 1 growth) fits, second
+        # (4 + 4 + 2 growth = 10) does not.
+        sch = Scheduler(SchedulerConfig(max_slots=4, kv_budget_tokens=9),
+                        [_req(0), _req(1)])
+        sch.poll_arrivals(0.0)
+        assert sch.admit(0) == [(0, 0)]
+        assert sch.queue == [1]
+
+    def test_slot_limit_blocks_admission(self):
+        sch = Scheduler(SchedulerConfig(max_slots=2),
+                        [_req(i) for i in range(3)])
+        sch.poll_arrivals(0.0)
+        assert [s for s, _ in sch.admit(0)] == [0, 1]
+        assert sch.queue == [2]
+
+    def test_completed_slot_is_reused(self):
+        sch = Scheduler(SchedulerConfig(max_slots=2),
+                        [_req(i) for i in range(3)])
+        sch.poll_arrivals(0.0)
+        sch.admit(0)
+        assert sch.complete(0) == 0
+        assert sch.admit(4) == [(0, 2)]
+
+
+class TestStaticAdmission:
+    def test_waits_for_drain(self):
+        sch = Scheduler(SchedulerConfig(max_slots=2, policy="static"),
+                        [_req(i) for i in range(4)])
+        sch.poll_arrivals(0.0)
+        assert len(sch.admit(0)) == 2
+        # New batch only once every active slot drained.
+        assert sch.admit(8) == []
+        sch.complete(0)
+        assert sch.admit(4) == []
+        sch.complete(1)
+        assert len(sch.admit(0)) == 2
+
+
+class TestPreemption:
+    def test_youngest_preempted_first_and_requeued_front(self):
+        sch = Scheduler(SchedulerConfig(max_slots=4, kv_budget_tokens=100),
+                        [_req(i) for i in range(3)])
+        sch.poll_arrivals(0.0)
+        sch.admit(0)
+        lens = {0: 40, 1: 30, 2: 28}
+        victims = sch.choose_preemptions(98, lens)
+        assert victims == [2]  # youngest admission
+        assert sch.preempt(2) == 2
+        assert sch.queue == [2]
+        assert 2 not in sch.active
+
+    def test_no_preemption_when_budget_fits(self):
+        sch = Scheduler(SchedulerConfig(max_slots=2, kv_budget_tokens=100),
+                        [_req(0), _req(1)])
+        sch.poll_arrivals(0.0)
+        sch.admit(0)
+        assert sch.choose_preemptions(50, {0: 25, 1: 25}) == []
+
+    def test_lone_overgrown_slot_is_preempted(self):
+        sch = Scheduler(SchedulerConfig(max_slots=2, kv_budget_tokens=10),
+                        [_req(0, plen=4)])
+        sch.poll_arrivals(0.0)
+        sch.admit(0)
+        assert sch.choose_preemptions(20, {0: 20}) == [0]
+
+    def test_admission_reserves_growth_tokens(self):
+        # used 0, plen 4, budget 5: 4 + 1 growth == 5 fits exactly; a
+        # second identical request (4 + 4 + 2) must not.
+        sch = Scheduler(SchedulerConfig(max_slots=4, kv_budget_tokens=5),
+                        [_req(0), _req(1)])
+        sch.poll_arrivals(0.0)
+        assert sch.admit(0) == [(0, 0)]
+        # The admitted slot can now grow by one token without preemption.
+        assert sch.choose_preemptions(4, {0: 4}) == []
+
+
+class TestIdle:
+    def test_idle_iff_no_active_and_no_queue(self):
+        sch = Scheduler(SchedulerConfig(), [_req(0, arrival=1.0)])
+        assert sch.idle
+        sch.poll_arrivals(1.0)
+        assert not sch.idle
+        sch.admit(0)
+        assert not sch.idle
+        sch.complete(0)
+        assert sch.idle

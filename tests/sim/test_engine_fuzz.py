@@ -372,3 +372,95 @@ def test_fuzz_fault_plans(seed):
             )
     elif outcome[0] == "RankFailureError":
         assert crash_rank in dead, f"seed {seed}: wrong dead set {dead}"
+
+
+# --------------------------------------------------------------------------
+# Multi-crash x batch-window fuzz: several ranks dying mid-run must not
+# wedge or desynchronize the fused window rendezvous
+# --------------------------------------------------------------------------
+
+N_MULTI_SEEDS = 16
+
+
+def _make_window_schedule(rng: np.random.Generator, nranks: int) -> list[dict]:
+    """A batch-window-heavy schedule: the worst case for crash cleanup.
+
+    Fused windows hold several queued ops on one group generation, so a
+    member dying between the queueing and the rendezvous exercises the
+    window teardown paths that plain collectives never reach.
+    """
+    groups = _make_groups(rng, nranks)
+    schedule: list[dict] = []
+    for _ in range(int(rng.integers(8, 14))):
+        granks = groups[int(rng.integers(0, len(groups)))]
+        roll = rng.random()
+        if roll < 0.6 and len(granks) >= 2:
+            ops = [_rand_coll(rng, granks, fusable_only=True)
+                   for _ in range(int(rng.integers(2, 6)))]
+            schedule.append({"op": "batch", "granks": granks, "ops": ops})
+        elif roll < 0.8:
+            schedule.append(_rand_coll(rng, granks))
+        else:
+            flops = [float(f) for f in rng.integers(1, 50, size=nranks) * 1e7]
+            schedule.append({"op": "compute", "flops": flops})
+    return schedule
+
+
+@pytest.mark.parametrize("seed", range(N_MULTI_SEEDS))
+def test_fuzz_multi_crash_window_interleavings(seed):
+    """2-3 crashes interleaved with fused batch windows stay deterministic.
+
+    Same contract as :func:`test_fuzz_fault_plans`, with two twists: the
+    schedule is dominated by batch windows (crash cleanup must tear down a
+    whole queued window, not just one op) and the plan kills several
+    distinct ranks at independent times, so crashes can land between a
+    window's queueing and its rendezvous, or while another rank's failure
+    is already propagating.
+    """
+    rng = np.random.default_rng(77000 + seed)
+    nranks = int(rng.integers(3, 8))
+    schedule = _make_window_schedule(rng, nranks)
+    n_crashes = int(rng.integers(2, min(4, nranks)))
+    crash_ranks = [int(r) for r in
+                   rng.choice(nranks, size=n_crashes, replace=False)]
+    crashes = tuple(
+        RankCrash(rank=r, at=float(rng.uniform(0.0, 0.02)))
+        for r in crash_ranks
+    )
+    plan = FaultPlan(
+        seed=seed,
+        crashes=crashes,
+        transient_rate=float(rng.choice([0.0, 0.15])),
+    )
+    program = _run_schedule(schedule)
+
+    def run_once():
+        engine = Engine(nranks=nranks, op_timeout=60.0, fault_plan=plan)
+        try:
+            results = engine.run(program)
+            outcome = ("ok", None)
+            digest = [r[0] for r in results]
+        except ReproError as exc:
+            outcome = (type(exc).__name__, str(exc))
+            digest = None
+        events = _rank_events(engine, nranks)
+        dead = sorted(engine._dead)
+        vols = [engine.trace.comm_volume(rank=r) for r in range(nranks)]
+        return outcome, digest, events, dead, vols
+
+    first = run_once()
+    second = run_once()
+    assert first == second, f"seed {seed}: multi-crash trace diverged"
+
+    outcome, _, _, dead, vols = first
+    if outcome[0] == "ok":
+        assert dead == [], f"seed {seed}: completed with dead ranks"
+        expected = _expected_volume(schedule, nranks)
+        for r in range(nranks):
+            assert vols[r] == pytest.approx(expected[r]), (
+                f"seed {seed}: retries changed rank {r} volume"
+            )
+    elif outcome[0] == "RankFailureError":
+        assert set(dead) & set(crash_ranks), (
+            f"seed {seed}: dead set {dead} has no planned crash"
+        )

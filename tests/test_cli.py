@@ -73,3 +73,49 @@ class TestCommands:
     def test_chaos_rejects_unknown_scenario(self, capsys):
         assert main(["chaos", "--scenario", "nope"]) == 2
         assert "unknown scenario" in capsys.readouterr().out.lower()
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.mode == "serial"
+        assert args.policy == "both"
+        assert args.slots == 8
+
+    def test_serve_both_policies(self, capsys, tmp_path):
+        out_json = tmp_path / "serve.json"
+        assert main(["serve", "--requests", "8", "--seed", "0",
+                     "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "continuous" in out
+        assert "static" in out
+        assert "goodput" in out
+        assert "continuous-over-static" in out
+
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert set(payload) == {"continuous", "static"}
+        for rep in payload.values():
+            assert rep["completed"] == rep["num_requests"] == 8
+            assert rep["goodput_tokens_per_s"] > 0
+
+    def test_serve_seeded_json_is_stable(self, tmp_path):
+        # The same seed must produce byte-identical summaries.
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["serve", "--requests", "6", "--seed", "3",
+                     "--policy", "continuous", "--json", str(a)]) == 0
+        assert main(["serve", "--requests", "6", "--seed", "3",
+                     "--policy", "continuous", "--json", str(b)]) == 0
+        assert a.read_text() == b.read_text()
+
+        import json
+
+        c = tmp_path / "c.json"
+        assert main(["serve", "--requests", "6", "--seed", "4",
+                     "--policy", "continuous", "--json", str(c)]) == 0
+        assert (json.loads(a.read_text())["continuous"]["makespan_s"]
+                != json.loads(c.read_text())["continuous"]["makespan_s"])
+
+    def test_serve_parallel_mode(self, capsys):
+        assert main(["serve", "--mode", "optimus", "--q", "2",
+                     "--requests", "4", "--policy", "continuous"]) == 0
+        assert "goodput" in capsys.readouterr().out
