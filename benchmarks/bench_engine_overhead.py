@@ -1,6 +1,6 @@
-"""Engine synchronization overhead: three generations of the rendezvous layer.
+"""Engine synchronization overhead: four generations of the rendezvous layer.
 
-Two comparisons, both raw wall-clock engine overhead (no cost model, no
+Three comparisons, all raw wall-clock engine overhead (no cost model, no
 payloads):
 
 * **seed vs PR 1** — a 64-rank butterfly pattern on the keyed rendezvous
@@ -14,6 +14,20 @@ payloads):
   group-channel path (``Engine.fused_collective``) with a batch window:
   one sleep/wake cycle per window instead of one per collective.  The
   fused path must cut per-collective overhead by at least 1.5x.
+* **fused vs cooperative** — the same fused workload under the threaded
+  backend against the cooperative scheduler backend (greenlet when the
+  ``repro[fast]`` extra is installed, the stdlib baton fallback
+  otherwise).  The metric is *marginal* per-collective overhead: the
+  fused-workload run time minus a no-op run time on the same engine,
+  which subtracts the per-run fixed cost (context creation, pool
+  dispatch) both backends share and isolates the blocking-point cost the
+  scheduler actually controls.  Floors are backend-conditional: greenlet
+  hand-offs are userspace stack switches (no OS involvement), so the
+  greenlet arm must be >= 3x; a baton hand-off still pays one directed
+  futex wake (~3.3 us measured on a 1-core container) plus the engine
+  bookkeeping both arms share (~2.7 us/block), against ~11 us/block for
+  the threaded event-broadcast path — measured 1.5-1.8x, so the stdlib
+  fallback floor is a conservative 1.3x.
 
 The measurement helpers are parametric so ``tests/bench/test_regression.py``
 can run them in a fast smoke mode in tier-1.
@@ -29,6 +43,7 @@ from typing import Any, Callable
 
 from repro.errors import CommError, DeadlockError
 from repro.sim.engine import Engine
+from repro.sim.schedulers import greenlet_available
 
 NRANKS = 64
 ROUNDS = 8  #: rendezvous rounds per run (butterfly partner pattern)
@@ -38,6 +53,10 @@ MIN_SPEEDUP = 2.0
 FUSED_ROUNDS = 32  #: back-to-back same-group collectives per run
 BATCH_WINDOW = 8  #: collectives fused per batch window
 MIN_FUSED_SPEEDUP = 1.5
+#: marginal per-collective overhead floor for the cooperative backend,
+#: relative to the threaded fused path (see module docstring)
+MIN_COOP_SPEEDUP = 3.0  #: greenlet arm: userspace hand-offs
+MIN_COOP_FALLBACK_SPEEDUP = 1.3  #: baton arm: one futex wake per hand-off
 
 
 # --------------------------------------------------------------------------
@@ -223,6 +242,95 @@ def _time_fused(nranks: int, rounds: int, runs: int, window: int) -> float:
     return time.perf_counter() - t0
 
 
+# --------------------------------------------------------------------------
+# Cooperative-backend arm: the fused workload under the cooperative
+# scheduler vs the threaded backend, on the *marginal* overhead metric
+# (fused run time minus a no-op run time on the same engine).
+# --------------------------------------------------------------------------
+
+
+def _noop_program(ctx) -> None:
+    return None
+
+
+def _coop_arm_backend() -> str:
+    """Concrete backend the ``cooperative`` alias resolves to."""
+    return "greenlet" if greenlet_available() else "baton"
+
+
+def measure_coop(nranks: int = NRANKS, fused_rounds: int = FUSED_ROUNDS,
+                 runs: int = RUNS, reps: int = REPS,
+                 window: int = BATCH_WINDOW) -> dict:
+    """Marginal per-collective overhead: threaded vs cooperative backend.
+
+    Each rep times, interleaved, a no-op run and the fused all_reduce
+    workload on a persistent engine per backend; the per-run minimum over
+    reps is kept (one-sided noise filter) and the marginal overhead is
+    ``(fused - noop) / collectives``.  Also reports the cooperative
+    scheduler's hand-off count per run — a deterministic function of the
+    schedule, exported to the nightly diff gate.
+    """
+    granks = tuple(range(nranks))
+
+    def fused_program(ctx):
+        _fused_allreduce_run(ctx.engine, ctx.rank, granks, fused_rounds,
+                             window)
+
+    coop_name = _coop_arm_backend()
+    engines = {
+        "threaded": Engine(nranks=nranks, mode="symbolic", trace=False,
+                           backend="threaded"),
+        coop_name: Engine(nranks=nranks, mode="symbolic", trace=False,
+                          backend="cooperative"),
+    }
+
+    def one_rep(engine: Engine, program) -> float:
+        # Per-run minimum: a one-sided filter against GC pauses and
+        # background load on shared CI boxes (overhead can only be
+        # *inflated* by noise, never deflated).
+        fastest = float("inf")
+        for _ in range(runs):
+            t0 = time.perf_counter()
+            engine.run(program)
+            fastest = min(fastest, time.perf_counter() - t0)
+        return fastest
+
+    best: dict[tuple[str, str], float] = {}
+    for backend, engine in engines.items():
+        # warm the pool / carrier threads once per engine
+        engine.run(_noop_program)
+        engine.run(fused_program)
+    for _ in range(reps):
+        for backend, engine in engines.items():
+            for arm, program in (("noop", _noop_program),
+                                 ("fused", fused_program)):
+                t = one_rep(engine, program)
+                key = (backend, arm)
+                best[key] = min(best.get(key, float("inf")), t)
+
+    handoffs = engines[coop_name].scheduler.handoffs  # last run's count
+    marginal = {
+        b: (best[(b, "fused")] - best[(b, "noop")]) / fused_rounds * 1e6
+        for b in engines
+    }
+    for engine in engines.values():
+        engine.shutdown()
+    return {
+        "nranks": nranks,
+        "coop_backend": coop_name,
+        "threaded_fused_s": best[("threaded", "fused")],
+        "coop_fused_s": best[(coop_name, "fused")],
+        "threaded_marginal_us_per_coll": marginal["threaded"],
+        "coop_marginal_us_per_coll": marginal[coop_name],
+        "coop_speedup": marginal["threaded"] / marginal[coop_name],
+        "coop_total_speedup": (best[("threaded", "fused")]
+                               / best[(coop_name, "fused")]),
+        "coop_handoffs_per_run": handoffs,
+        "min_required": (MIN_COOP_SPEEDUP if coop_name == "greenlet"
+                         else MIN_COOP_FALLBACK_SPEEDUP),
+    }
+
+
 def measure(nranks: int = NRANKS, rounds: int = ROUNDS, runs: int = RUNS,
             reps: int = REPS, fused_rounds: int = FUSED_ROUNDS,
             window: int = BATCH_WINDOW) -> dict:
@@ -274,4 +382,35 @@ def test_engine_overhead_speedup():
         f"fused-path regression: only {m['fused_speedup']:.2f}x lower "
         f"per-collective overhead than the keyed PR 1 layer "
         f"(need >= {MIN_FUSED_SPEEDUP}x)"
+    )
+
+
+def test_cooperative_overhead_speedup(benchmark):
+    """Cooperative backend: marginal per-collective overhead vs threaded fused.
+
+    The floor is backend-conditional (see module docstring): >= 3x for the
+    greenlet arm, >= 1.5x for the stdlib baton fallback.  The hand-off
+    count is exported to the nightly diff gate — it is a deterministic
+    function of the schedule, so *any* drift means the scheduling
+    structure changed.  (The name ends in ``iterations`` so
+    ``diff_nightly.heuristic_direction`` classifies it better-lower.)
+    """
+    m = benchmark.pedantic(measure_coop, rounds=1, iterations=1)
+    print(
+        f"\n{m['nranks']}-rank fused all_reduce-heavy, marginal overhead "
+        f"(fused minus no-op run):\n"
+        f"  threaded:            {m['threaded_marginal_us_per_coll']:.1f} "
+        f"us/coll ({m['threaded_fused_s'] * 1e3:.2f} ms/run)\n"
+        f"  {m['coop_backend']:<20s} {m['coop_marginal_us_per_coll']:.1f} "
+        f"us/coll ({m['coop_fused_s'] * 1e3:.2f} ms/run)\n"
+        f"  cooperative speedup: {m['coop_speedup']:.2f}x marginal, "
+        f"{m['coop_total_speedup']:.2f}x total "
+        f"({m['coop_handoffs_per_run']} hand-offs/run)"
+    )
+    benchmark.extra_info["coop_handoff_iterations"] = (
+        m["coop_handoffs_per_run"])
+    assert m["coop_speedup"] >= m["min_required"], (
+        f"cooperative-backend regression ({m['coop_backend']}): only "
+        f"{m['coop_speedup']:.2f}x lower marginal per-collective overhead "
+        f"than the threaded fused path (need >= {m['min_required']}x)"
     )

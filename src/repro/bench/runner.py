@@ -24,6 +24,7 @@ from repro.hardware.topology import Placement
 from repro.parallel.factory import build_transformer_stack
 from repro.sim.cost import CollectiveAlg
 from repro.sim.engine import Engine
+from repro.sim.schedulers import resolve_backend
 from repro.util.mathutil import ceil_div
 from repro.varray.varray import VArray
 
@@ -37,14 +38,23 @@ __all__ = ["MeasuredRow", "engine_for_row", "run_row", "run_table",
 #: configuration reuses one engine.  Safe because the engine is stateless
 #: across runs apart from its trace, which is cleared before each reuse.
 #:
-#: The cache is LRU-bounded: a long session sweeping many cluster shapes
-#: would otherwise pin one engine (trace buffers, topology tables) per
-#: distinct configuration forever.  Evicted engines are shut down so
-#: their buffers are released immediately.
+#: The cache is LRU-bounded two ways: by entry count and by estimated
+#: memory footprint.  A long session sweeping many cluster shapes would
+#: otherwise pin one engine (trace buffers, topology tables) per distinct
+#: configuration forever — and a pure entry bound treats a 1024-rank
+#: engine with a fat trace the same as a 4-rank one, so the byte budget
+#: (summing :meth:`Engine.estimated_footprint`) evicts oldest-first until
+#: the survivors fit.  Evicted engines are shut down so their buffers are
+#: released immediately.
 _ENGINE_CACHE: OrderedDict[tuple, Engine] = OrderedDict()
 
 #: Most distinct engine configurations kept alive at once.
 ENGINE_CACHE_MAX = 8
+
+#: Estimated-footprint budget over all cached engines.  The newest entry
+#: is never evicted, even when it alone exceeds the budget — the caller
+#: is about to use it, so shutting it down would only thrash.
+ENGINE_CACHE_MAX_BYTES = 64 * 1024 * 1024
 
 
 def clear_engine_cache() -> None:
@@ -54,11 +64,24 @@ def clear_engine_cache() -> None:
         engine.shutdown()
 
 
+def _cache_footprint() -> int:
+    """Summed estimated footprint of every cached engine, in bytes."""
+    return sum(e.estimated_footprint() for e in _ENGINE_CACHE.values())
+
+
 def _cache_put(key: tuple, engine: Engine) -> None:
-    """Insert most-recently-used; evict (and shut down) the oldest."""
+    """Insert most-recently-used; evict (and shut down) oldest-first.
+
+    Eviction runs until both bounds hold: at most ``ENGINE_CACHE_MAX``
+    entries and at most ``ENGINE_CACHE_MAX_BYTES`` of summed estimated
+    footprint — except that the just-inserted engine itself is never
+    evicted (``len > 1`` guard).
+    """
     _ENGINE_CACHE[key] = engine
     _ENGINE_CACHE.move_to_end(key)
-    while len(_ENGINE_CACHE) > ENGINE_CACHE_MAX:
+    while len(_ENGINE_CACHE) > ENGINE_CACHE_MAX or (
+        len(_ENGINE_CACHE) > 1 and _cache_footprint() > ENGINE_CACHE_MAX_BYTES
+    ):
         _, stale = _ENGINE_CACHE.popitem(last=False)
         stale.shutdown()
 
@@ -120,7 +143,11 @@ def engine_for_row(
     """
     if cluster is None:
         cluster = meluxina(ceil_div(row.gpus, 4))
-    key = (cluster, row.gpus, placement, comm_alg, collect_comm)
+    # The scheduler backend is part of the key: a REPRO_ENGINE_BACKEND
+    # change mid-session must not hand out an engine built under the old
+    # backend.
+    key = (cluster, row.gpus, placement, comm_alg, collect_comm,
+           resolve_backend(None).name)
     if cache:
         engine = _ENGINE_CACHE.get(key)
         if engine is not None:

@@ -21,7 +21,12 @@ A collective completes, for every participant, at
     ``max(arrival times) + cost_model(collective, group, bytes)``
 
 which models the bulk-synchronous behaviour of NCCL collectives on a
-stream: stragglers dominate, then the wire time is paid once.
+stream: stragglers dominate, then the wire time is paid once.  Because
+the completion time is a function of the arrival *map* (and reductions
+run in group-rank order), no result or timestamp depends on which rank
+physically executed first — the engine's scheduler backends
+(:mod:`repro.sim.schedulers`: threaded or cooperative) are therefore
+observationally interchangeable.
 
 Batch windows
 -------------

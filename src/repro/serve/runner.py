@@ -18,14 +18,30 @@ Iteration shape (continuous batching)::
 Static batching runs the same loop; only the admission rule differs
 (see :mod:`repro.serve.scheduler`).  Idle periods fast-forward the
 virtual clock to the next arrival instead of spinning.
+
+Crash recovery
+--------------
+With a :class:`~repro.sim.faults.FaultPlan` and ``max_restarts > 0`` the
+runner survives injected rank crashes: rank 0 publishes a scheduler
+snapshot at every iteration boundary (a consistent point — all ranks are
+barrier-synced there), and when a :class:`RankFailureError` escapes
+:meth:`Engine.run` the loop rebuilds a fresh engine, replays the
+scheduler from the snapshot, and resumes at
+``max(snapshot_now, crash_t)``.  KV state dies with the engine, so
+in-flight requests restart from their prompts at the *front* of the queue
+(the same contract as a preemption — and counted as one); completed
+requests keep their recorded timestamps.  Crashes that already fired are
+filtered from the plan so each planned crash costs exactly one restart.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.comm.communicator import Communicator
-from repro.errors import SimulationError
+from repro.errors import RankFailureError, SimulationError
 from repro.models.configs import TransformerConfig
 from repro.serve.cache import KVCacheManager
 from repro.serve.metrics import RequestRecord, summarize
@@ -81,12 +97,20 @@ def run_serving(
     world: int | None = None,
     engine_mode: str = "symbolic",
     engine_seed: int = 0,
+    fault_plan=None,
+    max_restarts: int = 0,
 ) -> dict:
     """Simulate serving ``workload`` under ``sched`` and return the report.
 
     ``engine_mode="symbolic"`` (the default) runs shape-only tensors —
     the virtual-time schedule, and hence every metric, is identical to a
     real-valued run, at a fraction of the cost.
+
+    With ``fault_plan`` the injected faults apply to the serving engine;
+    up to ``max_restarts`` rank crashes are absorbed by snapshot/restart
+    (see *Crash recovery* in the module docstring) and the report gains a
+    ``"recoveries"`` key.  Without a plan the report is byte-identical to
+    what this function always produced.
     """
     gq, gd = grid_shape(mode, q, d, world)
     bands = gq * gd
@@ -95,21 +119,100 @@ def run_serving(
     kv_width = local_kv_width(mode, model_cfg, q=gq if bands > 1 else None,
                               world=world)
 
-    def fn(ctx):
-        return _serve_rank(
-            ctx, mode, model_cfg, workload, sched,
-            q=q, d=d, world=world, bands=bands, kv_width=kv_width,
-        )
-
-    engine = Engine(nranks=nranks, mode=engine_mode, trace=False,
-                    seed=engine_seed)
-    reports = engine.run(fn)
-    for rank, rep in enumerate(reports[1:], start=1):
-        if rep != reports[0]:
-            raise SimulationError(
-                f"serving report diverged between rank 0 and rank {rank}"
+    snap_box: dict = {}
+    snapshot: dict | None = None
+    plan = fault_plan
+    recoveries = 0
+    while True:
+        def fn(ctx, _snapshot=snapshot):
+            return _serve_rank(
+                ctx, mode, model_cfg, workload, sched,
+                q=q, d=d, world=world, bands=bands, kv_width=kv_width,
+                snapshot=_snapshot,
+                snap_box=snap_box if fault_plan is not None else None,
             )
-    return reports[0]
+
+        engine = Engine(nranks=nranks, mode=engine_mode, trace=False,
+                        seed=engine_seed, fault_plan=plan)
+        try:
+            reports = engine.run(fn)
+        except RankFailureError as exc:
+            fired = set(engine._dead) | {exc.rank}
+            engine.shutdown()
+            if recoveries >= max_restarts:
+                raise
+            recoveries += 1
+            # Each planned crash fires at most once across restarts.
+            plan = replace(
+                plan, crashes=tuple(c for c in plan.crashes
+                                    if c.rank not in fired),
+            )
+            snapshot = snap_box.get("snap")
+            resume_t = max(snapshot["now"] if snapshot else 0.0, exc.t)
+            snapshot = dict(snapshot) if snapshot else _empty_snapshot()
+            snapshot["now"] = resume_t
+            continue
+        for rank, rep in enumerate(reports[1:], start=1):
+            if rep != reports[0]:
+                raise SimulationError(
+                    f"serving report diverged between rank 0 and rank {rank}"
+                )
+        report = reports[0]
+        if fault_plan is not None:
+            report["recoveries"] = recoveries
+        return report
+
+
+def _empty_snapshot() -> dict:
+    """Pre-first-iteration state: nothing arrived, admitted, or emitted."""
+    return {"now": 0.0, "records": {}, "active": [], "queue": [],
+            "iterations": 0, "max_queue": 0, "peak_kv": 0}
+
+
+def _snapshot_state(now, sch, records, iterations, max_queue, peak_kv) -> dict:
+    """Scheduler + record state at an iteration boundary (rank 0 only)."""
+    return {
+        "now": now,
+        "records": {
+            rid: (rec.emitted, rec.first_token_time, rec.completion_time,
+                  rec.preemptions)
+            for rid, rec in records.items()
+        },
+        # admission order, so the requeue after a restart preserves it
+        "active": [sch.active[s] for s in
+                   sorted(sch.active, key=lambda s: sch._admit_seq[s])],
+        "queue": list(sch.queue),
+        "iterations": iterations,
+        "max_queue": max_queue,
+        "peak_kv": peak_kv,
+    }
+
+
+def _restore_state(sch, records, snapshot) -> None:
+    """Replay a snapshot into a fresh scheduler and record table.
+
+    KV contents died with the crashed engine, so every in-flight request
+    restarts from its prompt: emitted resets to zero and the request is
+    requeued at the *front* (in admission order, ahead of the previously
+    queued requests) — exactly the preemption contract, and counted as
+    one preemption on the record.
+    """
+    for rid, (emitted, ftt, ct, pre) in snapshot["records"].items():
+        rec = records[rid]
+        rec.emitted = emitted
+        rec.first_token_time = ftt
+        rec.completion_time = ct
+        rec.preemptions = pre
+    inflight = list(snapshot["active"])
+    queued = list(snapshot["queue"])
+    done = {rid for rid, st in snapshot["records"].items()
+            if st[2] is not None}
+    known = set(inflight) | set(queued) | done
+    sch._pending = [r for r in sch._pending if r.rid not in known]
+    for rid in inflight:
+        records[rid].emitted = 0
+        records[rid].preemptions += 1
+    sch.queue = inflight + queued
 
 
 def _serve_rank(
@@ -124,6 +227,8 @@ def _serve_rank(
     world: int | None,
     bands: int,
     kv_width: int,
+    snapshot: dict | None = None,
+    snap_box: dict | None = None,
 ) -> dict:
     model = build_lm(ctx, mode, model_cfg, q=q, d=d, world=world)
     model.eval()
@@ -148,6 +253,13 @@ def _serve_rank(
     }
     iterations = 0
     max_queue = 0
+    base_peak_kv = 0
+    if snapshot is not None:
+        _restore_state(sch, records, snapshot)
+        iterations = snapshot["iterations"]
+        max_queue = snapshot["max_queue"]
+        base_peak_kv = snapshot["peak_kv"]
+        ctx.clock.sync_to(snapshot["now"])
 
     def finish(slot: int, t: float) -> None:
         rid = sch.complete(slot)
@@ -156,6 +268,13 @@ def _serve_rank(
 
     while True:
         wcomm.barrier("serve_iter")
+        if snap_box is not None and ctx.rank == 0:
+            # Published whole: a crash mid-iteration leaves the previous
+            # consistent snapshot in place, never a half-written one.
+            snap_box["snap"] = _snapshot_state(
+                ctx.now, sch, records, iterations, max_queue,
+                max(base_peak_kv, cache.peak_tokens),
+            )
         if all(rec.done for rec in records.values()):
             break
         sch.poll_arrivals(ctx.now)
@@ -244,7 +363,7 @@ def _serve_rank(
     report = summarize(
         sorted(records.values(), key=lambda r: r.rid),
         makespan=ctx.now,
-        peak_kv_tokens=cache.peak_tokens,
+        peak_kv_tokens=max(base_peak_kv, cache.peak_tokens),
         max_queue_depth=max_queue,
         iterations=iterations,
     )

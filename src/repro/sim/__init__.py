@@ -1,7 +1,11 @@
 """Discrete-event SPMD simulator: clocks, cost models, engine, tracing.
 
-The simulator executes one OS thread per rank running *real* algorithm
-code.  Wall-clock time is irrelevant: each rank owns a virtual
+The simulator executes every rank's *real* algorithm code under a
+pluggable scheduler backend (:mod:`repro.sim.schedulers`): one OS thread
+per rank by default, or all ranks cooperatively multiplexed with explicit
+hand-off (greenlet, or a stdlib baton fallback) — backends change
+wall-clock dispatch cost only, never results or modeled time.  Wall-clock
+time is irrelevant: each rank owns a virtual
 :class:`~repro.sim.clock.VirtualClock` advanced by
 
 * the compute cost model for local ops (charged by :mod:`repro.varray`), and
@@ -31,6 +35,15 @@ from repro.sim.faults import (
 )
 from repro.sim.memory import MemoryTracker
 from repro.sim.engine import Engine, RankContext
+from repro.sim.schedulers import (
+    BatonScheduler,
+    GreenletScheduler,
+    SchedulerBackend,
+    ThreadedScheduler,
+    available_backends,
+    greenlet_available,
+    resolve_backend,
+)
 from repro.sim.timeline import RankBreakdown, analyze, gantt
 
 __all__ = [
@@ -52,6 +65,13 @@ __all__ = [
     "MemoryTracker",
     "Engine",
     "RankContext",
+    "SchedulerBackend",
+    "ThreadedScheduler",
+    "BatonScheduler",
+    "GreenletScheduler",
+    "resolve_backend",
+    "available_backends",
+    "greenlet_available",
     "analyze",
     "gantt",
     "RankBreakdown",

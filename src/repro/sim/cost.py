@@ -29,12 +29,26 @@ barrier                   tree of empty messages
 When a group spans several nodes the *hierarchical* variant decomposes the
 collective into an intra-node phase on NVLink and an inter-node phase on
 InfiniBand across one leader per node (this is how NCCL behaves and what
-makes the paper's "q^2 a multiple of 4" placement matter).  Under
-:attr:`CollectiveAlg.AUTO` *every* collective — including scatter, gather,
-all_to_all and barrier — uses this decomposition for node-spanning groups;
-:attr:`CollectiveAlg.FLAT` forces the single-level model on the group's
-bottleneck link.  A fixed per-byte reduction cost ``gamma`` is charged for
-reducing collectives.
+makes the paper's "q^2 a multiple of 4" placement matter).  Leader
+placement is *explicit*: :meth:`CommCostModel.node_plan` elects the
+lowest group rank on each node (deterministic, matching NCCL's root
+convention), the intra-node phase is priced per node and the group pays
+the *slowest* node, and the inter-node phase runs over exactly the
+elected leaders.  For symmetric groups — every node hosting the same
+number of members, which all paper configurations are — this prices
+bit-identically to the older implicit max-ranks-per-node shortcut.
+Under :attr:`CollectiveAlg.AUTO` *every* collective — including scatter,
+gather, all_to_all and barrier — uses this decomposition for
+node-spanning groups; :attr:`CollectiveAlg.FLAT` forces the single-level
+model on the group's bottleneck link.  A fixed per-byte reduction cost
+``gamma`` is charged for reducing collectives.
+
+Because each node funnels its whole inter-node share through the one NIC
+its leader sits on, an optional ``nic_contention`` factor models the
+leader-NIC serialization: the inter-node phase is scaled by
+``1 + nic_contention * (fan - 1)`` where ``fan`` is the member count of
+the busiest node (the leader aggregates/feeds that many local ranks).
+The default of ``0.0`` keeps every pinned golden value exact.
 
 Injected link faults (:class:`~repro.sim.faults.LinkFault`) degrade the
 affected pair's p2p transfers directly and multiply the *transport* term of
@@ -60,7 +74,7 @@ from repro.errors import CommError
 from repro.hardware.spec import GPUSpec, LinkSpec
 from repro.hardware.topology import Topology
 
-__all__ = ["ComputeCostModel", "CommCostModel", "CollectiveAlg"]
+__all__ = ["ComputeCostModel", "CommCostModel", "CollectiveAlg", "NodePlan"]
 
 
 class CollectiveAlg(enum.Enum):
@@ -69,6 +83,32 @@ class CollectiveAlg(enum.Enum):
     AUTO = "auto"  #: hierarchical across nodes, flat/ring inside a node
     FLAT = "flat"  #: single-level model on the group's bottleneck link
     HIERARCHICAL = "hierarchical"  #: explicit intra + inter decomposition
+
+
+@dataclass(frozen=True)
+class NodePlan:
+    """Explicit hierarchical decomposition of one group onto nodes.
+
+    ``node_ranks`` lists each participating node's member ranks (sorted
+    ascending, nodes ordered by their leader's rank) and ``leaders`` is
+    the elected leader of each node — always its lowest group rank, so
+    the plan is a pure function of the group *set* and the placement,
+    independent of the order ranks were passed in.
+    """
+
+    node_ranks: tuple[tuple[int, ...], ...]
+    leaders: tuple[int, ...]
+    intra: LinkSpec
+    inter: LinkSpec
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_ranks)
+
+    @property
+    def max_fan(self) -> int:
+        """Member count of the busiest node (its leader's local fan-out)."""
+        return max(len(v) for v in self.node_ranks)
 
 
 @dataclass(frozen=True)
@@ -105,6 +145,11 @@ class CommCostModel:
     gamma:
         Per-byte local reduction cost (seconds/byte) charged once per
         reducing collective; defaults to 1 byte / HBM bandwidth.
+    nic_contention:
+        Leader-NIC serialization factor.  Each node's inter-node share
+        funnels through its leader's single NIC; the inter-node phase is
+        scaled by ``1 + nic_contention * (max_fan - 1)``.  ``0.0``
+        (default) disables the term and reproduces the pinned goldens.
     """
 
     def __init__(
@@ -112,22 +157,44 @@ class CommCostModel:
         topology: Topology,
         alg: CollectiveAlg = CollectiveAlg.AUTO,
         gamma: float | None = None,
+        nic_contention: float = 0.0,
     ):
+        if nic_contention < 0:
+            raise CommError(
+                f"nic_contention must be >= 0, got {nic_contention}"
+            )
         self.topology = topology
         self.alg = alg
         self.gamma = (
             gamma if gamma is not None else 1.0 / topology.cluster.gpu.mem_bandwidth
         )
+        self.nic_contention = nic_contention
 
     # --- helpers --------------------------------------------------------------
 
-    def _split_group(self, ranks: Sequence[int]) -> tuple[int, int, LinkSpec, LinkSpec]:
-        """Return (n_nodes, max_ranks_per_node, intra_link, inter_link)."""
+    def node_plan(self, ranks: Sequence[int]) -> NodePlan:
+        """Elect one leader per node and expose the explicit decomposition.
+
+        Leaders are the lowest group rank on each node — deterministic
+        and independent of the order ``ranks`` was passed in.
+        """
         by_node = self.topology.ranks_by_node(ranks)
-        intra = self.topology.cluster.node.intra_link
-        inter = self.topology.cluster.inter_link
-        max_per_node = max(len(v) for v in by_node.values())
-        return len(by_node), max_per_node, intra, inter
+        node_ranks = tuple(sorted(
+            (tuple(sorted(v)) for v in by_node.values()),
+            key=lambda v: v[0],
+        ))
+        return NodePlan(
+            node_ranks=node_ranks,
+            leaders=tuple(v[0] for v in node_ranks),
+            intra=self.topology.cluster.node.intra_link,
+            inter=self.topology.cluster.inter_link,
+        )
+
+    def _nic_scale(self, plan: NodePlan) -> float:
+        """Inter-phase multiplier for leader-NIC serialization."""
+        if self.nic_contention == 0.0:
+            return 1.0
+        return 1.0 + self.nic_contention * (plan.max_fan - 1)
 
     def _use_hierarchical(self, ranks: Sequence[int]) -> bool:
         if self.alg is CollectiveAlg.FLAT:
@@ -186,10 +253,13 @@ class CommCostModel:
         if not self._use_hierarchical(ranks):
             link = self.topology.worst_link(ranks)
             return self._tree(g, nbytes, link) * scale
-        n_nodes, per_node, intra, inter = self._split_group(ranks)
-        # Root sends across nodes to node leaders, leaders fan out locally.
-        return (self._tree(n_nodes, nbytes, inter)
-                + self._tree(per_node, nbytes, intra)) * scale
+        plan = self.node_plan(ranks)
+        # Root sends across nodes to the elected leaders, leaders fan out
+        # locally; the group pays the slowest node's local phase.
+        intra_t = max(self._tree(len(nr), nbytes, plan.intra)
+                      for nr in plan.node_ranks)
+        return (self._tree(plan.n_nodes, nbytes, plan.inter)
+                * self._nic_scale(plan) + intra_t) * scale
 
     def reduce(self, ranks: Sequence[int], nbytes: float) -> float:
         """Reduce to one rank: mirror of broadcast plus reduction gamma."""
@@ -208,11 +278,15 @@ class CommCostModel:
             link = self.topology.worst_link(ranks)
             return (self._ring_allreduce(g, nbytes, link) * scale
                     + self.gamma * nbytes)
-        n_nodes, per_node, intra, inter = self._split_group(ranks)
-        # reduce locally -> ring all-reduce across node leaders -> local bcast
-        t = self._tree(per_node, nbytes, intra)
-        t += self._ring_allreduce(n_nodes, nbytes, inter)
-        t += self._tree(per_node, nbytes, intra)
+        plan = self.node_plan(ranks)
+        # reduce locally to each leader -> ring all-reduce across the
+        # leaders -> local bcast; each local phase pays the slowest node.
+        intra_t = max(self._tree(len(nr), nbytes, plan.intra)
+                      for nr in plan.node_ranks)
+        t = intra_t
+        t += (self._ring_allreduce(plan.n_nodes, nbytes, plan.inter)
+              * self._nic_scale(plan))
+        t += intra_t
         return t * scale + self.gamma * nbytes
 
     def all_gather(self, ranks: Sequence[int], nbytes_total: float) -> float:
@@ -224,9 +298,12 @@ class CommCostModel:
         if not self._use_hierarchical(ranks):
             link = self.topology.worst_link(ranks)
             return self._ring_allgather(g, nbytes_total, link) * scale
-        n_nodes, per_node, intra, inter = self._split_group(ranks)
-        t = self._ring_allgather(per_node, nbytes_total / max(n_nodes, 1), intra)
-        t += self._ring_allgather(n_nodes, nbytes_total, inter)
+        plan = self.node_plan(ranks)
+        per_node_share = nbytes_total / plan.n_nodes
+        t = max(self._ring_allgather(len(nr), per_node_share, plan.intra)
+                for nr in plan.node_ranks)
+        t += (self._ring_allgather(plan.n_nodes, nbytes_total, plan.inter)
+              * self._nic_scale(plan))
         return t * scale
 
     def reduce_scatter(self, ranks: Sequence[int], nbytes_total: float) -> float:
@@ -245,11 +322,14 @@ class CommCostModel:
         if not self._use_hierarchical(ranks):
             link = self.topology.worst_link(ranks)
             return self._binomial_scatter(g, nbytes_total, link) * scale
-        n_nodes, per_node, intra, inter = self._split_group(ranks)
-        # Scatter node-sized slabs to one leader per node over IB, then
+        plan = self.node_plan(ranks)
+        # Scatter node-sized slabs to the elected leaders over IB, then
         # each leader scatters its slab locally over NVLink.
-        t = self._binomial_scatter(n_nodes, nbytes_total, inter)
-        t += self._binomial_scatter(per_node, nbytes_total / max(n_nodes, 1), intra)
+        t = (self._binomial_scatter(plan.n_nodes, nbytes_total, plan.inter)
+             * self._nic_scale(plan))
+        per_node_share = nbytes_total / plan.n_nodes
+        t += max(self._binomial_scatter(len(nr), per_node_share, plan.intra)
+                 for nr in plan.node_ranks)
         return t * scale
 
     def gather(self, ranks: Sequence[int], nbytes_total: float) -> float:
@@ -266,13 +346,17 @@ class CommCostModel:
             link = self.topology.worst_link(ranks)
             return (g - 1) * (link.latency
                               + nbytes_per_pair / link.effective_bandwidth) * scale
-        n_nodes, per_node, intra, inter = self._split_group(ranks)
+        plan = self.node_plan(ranks)
         # Split the g-1 pairwise exchange steps by where the peer lives:
-        # same-node partners ride NVLink, the rest cross InfiniBand.
-        intra_steps = per_node - 1
-        inter_steps = g - per_node
+        # same-node partners ride NVLink, the rest cross InfiniBand (and
+        # funnel through the node NIC).
+        intra_steps = plan.max_fan - 1
+        inter_steps = g - plan.max_fan
+        intra, inter = plan.intra, plan.inter
         t = intra_steps * (intra.latency + nbytes_per_pair / intra.effective_bandwidth)
-        t += inter_steps * (inter.latency + nbytes_per_pair / inter.effective_bandwidth)
+        t += (inter_steps
+              * (inter.latency + nbytes_per_pair / inter.effective_bandwidth)
+              * self._nic_scale(plan))
         return t * scale
 
     def fused(self, ranks: Sequence[int], ops: Sequence[tuple[str, float]]) -> list[float]:
@@ -329,7 +413,10 @@ class CommCostModel:
         if not self._use_hierarchical(ranks):
             link = self.topology.worst_link(ranks)
             return 2 * _log2_steps(g) * link.latency
-        n_nodes, per_node, intra, inter = self._split_group(ranks)
-        # Tree up/down within each node, then across node leaders.
-        return 2 * (_log2_steps(per_node) * intra.latency
-                    + _log2_steps(n_nodes) * inter.latency)
+        plan = self.node_plan(ranks)
+        # Tree up/down within each node (slowest node gates), then across
+        # the elected leaders.
+        intra_t = max(_log2_steps(len(nr)) for nr in plan.node_ranks) \
+            * plan.intra.latency
+        return 2 * (intra_t + _log2_steps(plan.n_nodes)
+                    * plan.inter.latency * self._nic_scale(plan))

@@ -23,25 +23,36 @@ runs and platforms.
 Synchronization design
 ----------------------
 The engine must itself run as fast as the hardware allows — the benchmark
-harness calls :meth:`Engine.run` hundreds of times at 64 ranks.  Three
+harness calls :meth:`Engine.run` hundreds of times at 64 ranks.  Four
 mechanisms keep the dispatch hot path off the floor:
 
+* **Pluggable scheduler backends** (:mod:`repro.sim.schedulers`).  The
+  rendezvous/mailbox/fused-channel state machine below is written against
+  a small backend interface — ``make_event`` / ``make_lock`` / ``wait`` /
+  ``run`` — so *how* ranks wait is swappable.  ``Engine(backend=...)``
+  (or ``REPRO_ENGINE_BACKEND``) selects ``"threaded"`` (one preemptive OS
+  thread per rank, the default), or a **cooperative** backend that keeps
+  exactly one rank runnable and hands off explicitly at every blocking
+  point: ``"greenlet"`` (userspace stack switches, optional
+  ``repro[fast]`` extra) with a stdlib ``"baton"`` direct-handoff
+  fallback.  Backends change only wall-clock behaviour — results, traces
+  and virtual times are bit-identical across all of them.
 * **Per-rendezvous events under a sharded registry.**  Every in-flight
-  collective (and every pending p2p receive) owns its own
-  ``threading.Event``; registry mutations take one of ``_N_SHARDS`` locks
-  selected by key hash.  Completing a collective wakes exactly its own
-  waiters — there is no global condition variable on which every rank of
-  every group contends, and no ``notify_all`` thundering herd.
-* **A persistent rank-worker pool.**  Worker threads are process-global and
-  outlive any single :class:`Engine`; repeated ``run`` calls (and freshly
-  constructed engines) reuse them instead of paying thread spawn/join per
-  run.  The pool always grows to the concurrency a run demands, so ranks
-  that rendezvous with each other can never starve behind a queue.
-* **An event-driven deadlock watchdog.**  One process-wide timer thread
-  sleeps until the earliest outstanding deadline; waiting ranks block on
-  their rendezvous event without polling wakeups.  When a deadline expires
-  the watchdog raises :class:`~repro.errors.DeadlockError` naming the
-  ranks that never arrived, and releases everyone.
+  collective (and every pending p2p receive) owns its own backend event;
+  registry mutations take one of ``_N_SHARDS`` locks selected by key
+  hash.  Completing a collective wakes exactly its own waiters — there is
+  no global condition variable on which every rank of every group
+  contends, and no ``notify_all`` thundering herd.  (Cooperative backends
+  degrade the shard locks to no-ops: at most one rank runs at a time.)
+* **A persistent rank-worker pool with an event-driven watchdog**
+  (threaded backend).  Worker threads are process-global and outlive any
+  single :class:`Engine`; repeated ``run`` calls reuse them instead of
+  paying thread spawn/join per run.  One process-wide timer thread sleeps
+  until the earliest outstanding rendezvous deadline and raises
+  :class:`~repro.errors.DeadlockError` naming the ranks that never
+  arrived.  Cooperative backends need neither: a drained run queue with
+  blocked tasks *is* the deadlock condition, detected instantly with the
+  same error messages.
 * **Fused same-group scheduling.**  Collectives issued through
   :meth:`Engine.fused_collective` rendezvous on a persistent per-group
   *channel* instead of a fresh keyed registry entry: each group owns one
@@ -74,9 +85,6 @@ failure trace on every rerun.
 
 from __future__ import annotations
 
-import threading
-import time
-from collections import deque
 from typing import Any, Callable, Sequence
 
 from repro.errors import (
@@ -92,6 +100,7 @@ from repro.sim.cost import CollectiveAlg, CommCostModel, ComputeCostModel
 from repro.sim.events import ComputeEvent, FaultEvent, MarkerEvent, Trace
 from repro.sim.faults import FaultPlan
 from repro.sim.memory import MemoryTracker
+from repro.sim.schedulers import SchedulerBackend, resolve_backend
 from repro.util.mathutil import ceil_div
 from repro.util.rng import rng_for
 
@@ -101,152 +110,6 @@ __all__ = ["Engine", "RankContext"]
 #: Must be a power of two (shard selection is ``hash & (_N_SHARDS - 1)``).
 _N_SHARDS = 16
 
-#: Extra wall seconds a waiter sleeps past ``op_timeout`` before assuming
-#: the watchdog failed and raising the deadlock itself (backstop only).
-_WATCHDOG_SLACK = 5.0
-
-
-class _RankPool:
-    """Process-global pool of daemon worker threads for rank programs.
-
-    ``run(n, target)`` executes ``target(0) .. target(n-1)`` concurrently
-    and returns when all have finished.  The pool *always* holds at least
-    as many workers as there are queued tasks, so every rank of a run is
-    guaranteed its own thread — ranks block on each other inside
-    collectives, which makes bounded pools (and therefore queuing) a
-    deadlock, not an optimization.  Idle workers linger ``_IDLE_TIMEOUT``
-    seconds so back-to-back :meth:`Engine.run` calls pay zero spawns, then
-    exit so test processes shed threads.
-    """
-
-    _IDLE_TIMEOUT = 30.0
-
-    def __init__(self) -> None:
-        self._cond = threading.Condition()
-        self._tasks: deque[Callable[[], None]] = deque()
-        self._idle = 0
-        self._spawned = 0
-
-    def run(self, n: int, target: Callable[[int], None]) -> None:
-        """Run ``target(rank)`` for every rank on pool threads; block until done."""
-        done = threading.Event()
-        state_lock = threading.Lock()
-        pending = [n]
-
-        def task_for(rank: int) -> Callable[[], None]:
-            def task() -> None:
-                try:
-                    target(rank)
-                finally:
-                    with state_lock:
-                        pending[0] -= 1
-                        if pending[0] == 0:
-                            done.set()
-
-            return task
-
-        with self._cond:
-            for rank in range(n):
-                self._tasks.append(task_for(rank))
-            # One worker per queued task; idle workers cover the rest.
-            for _ in range(max(0, len(self._tasks) - self._idle)):
-                self._spawned += 1
-                threading.Thread(
-                    target=self._worker,
-                    name=f"repro-rank-worker-{self._spawned}",
-                    daemon=True,
-                ).start()
-            self._cond.notify(n)
-        done.wait()
-
-    def _worker(self) -> None:
-        while True:
-            with self._cond:
-                self._idle += 1
-                try:
-                    while not self._tasks:
-                        if not self._cond.wait(timeout=self._IDLE_TIMEOUT):
-                            if not self._tasks:
-                                return
-                    task = self._tasks.popleft()
-                finally:
-                    self._idle -= 1
-            task()  # exceptions are captured inside the task closure
-
-
-class _Watchdog:
-    """One timer thread for every outstanding rendezvous deadline.
-
-    Waiting ranks register ``(deadline, fire)`` pairs; the single watchdog
-    thread sleeps until the earliest deadline and calls ``fire`` (which
-    records a :class:`DeadlockError` and releases all waiters) only if the
-    wait was not cancelled first.  This replaces per-rank polling wakeups:
-    nobody wakes up just to check a clock.
-    """
-
-    _IDLE_TIMEOUT = 30.0
-
-    def __init__(self) -> None:
-        self._cond = threading.Condition()
-        self._entries: dict[int, tuple[float, Callable[[], None]]] = {}
-        self._next_token = 0
-        self._running = False
-        #: the deadline the watchdog thread is currently sleeping toward;
-        #: registrations only wake it for *earlier* deadlines, so the
-        #: common case (every wait uses the same timeout, deadlines arrive
-        #: in increasing order) never touches the watchdog thread at all.
-        self._armed = float("inf")
-
-    def register(self, deadline: float, fire: Callable[[], None]) -> int:
-        with self._cond:
-            token = self._next_token
-            self._next_token += 1
-            self._entries[token] = (deadline, fire)
-            if not self._running:
-                self._running = True
-                threading.Thread(
-                    target=self._loop, name="repro-watchdog", daemon=True
-                ).start()
-            elif deadline < self._armed:
-                self._cond.notify()
-            return token
-
-    def cancel(self, token: int) -> None:
-        # No notify: a spurious watchdog wakeup at a stale deadline is
-        # harmless (it recomputes the minimum and goes back to sleep).
-        with self._cond:
-            self._entries.pop(token, None)
-
-    def _loop(self) -> None:
-        with self._cond:
-            while True:
-                if not self._entries:
-                    self._armed = float("inf")
-                    if not self._cond.wait(timeout=self._IDLE_TIMEOUT):
-                        if not self._entries:
-                            self._running = False
-                            return
-                    continue
-                token, (deadline, fire) = min(
-                    self._entries.items(), key=lambda kv: kv[1][0]
-                )
-                remaining = deadline - time.monotonic()
-                if remaining > 0:
-                    self._armed = deadline
-                    self._cond.wait(timeout=remaining)
-                    self._armed = float("inf")
-                    continue
-                del self._entries[token]
-                self._cond.release()
-                try:
-                    fire()
-                finally:
-                    self._cond.acquire()
-
-
-_pool = _RankPool()
-_watchdog = _Watchdog()
-
 
 class _Rendezvous:
     """State of one in-flight collective: who arrived, with what."""
@@ -254,7 +117,9 @@ class _Rendezvous:
     __slots__ = ("size", "ranks", "arrivals", "results", "t_end", "done",
                  "kind", "event", "failed")
 
-    def __init__(self, size: int, kind: str, ranks: tuple[int, ...] | None):
+    def __init__(
+        self, size: int, kind: str, ranks: tuple[int, ...] | None, event: Any
+    ):
         self.size = size
         self.ranks = ranks  #: expected global ranks (None when unknown)
         self.arrivals: dict[int, Any] = {}
@@ -262,7 +127,7 @@ class _Rendezvous:
         self.t_end: float = 0.0
         self.done = False
         self.kind = kind
-        self.event = threading.Event()
+        self.event = event  #: backend event; set once when done or failed
         self.failed: RankFailureError | None = None  #: a member died
 
 
@@ -279,13 +144,13 @@ class _FusedGen:
     __slots__ = ("sig", "arrivals", "results", "t_ends", "done", "event",
                  "failed")
 
-    def __init__(self, sig: tuple[str, ...]):
+    def __init__(self, sig: tuple[str, ...], event: Any):
         self.sig = sig
         self.arrivals: dict[int, Any] = {}
         self.results: dict[int, list[Any]] = {}
         self.t_ends: tuple[float, ...] = ()
         self.done = False
-        self.event = threading.Event()
+        self.event = event  #: backend event; set once when done or failed
         self.failed: RankFailureError | None = None  #: a member died
 
 
@@ -302,8 +167,8 @@ class _GroupChannel:
 
     __slots__ = ("lock", "granks", "size", "gens")
 
-    def __init__(self, granks: tuple[int, ...]):
-        self.lock = threading.Lock()
+    def __init__(self, granks: tuple[int, ...], lock: Any):
+        self.lock = lock
         self.granks = granks
         self.size = len(granks)
         self.gens: dict[int, _FusedGen] = {}
@@ -324,11 +189,11 @@ class _Shard:
 
     __slots__ = ("lock", "rendezvous", "mailboxes", "recv_waiters")
 
-    def __init__(self) -> None:
-        self.lock = threading.Lock()
+    def __init__(self, lock: Any) -> None:
+        self.lock = lock
         self.rendezvous: dict[Any, _Rendezvous] = {}
         self.mailboxes: dict[Any, _Mailbox] = {}
-        self.recv_waiters: dict[Any, threading.Event] = {}
+        self.recv_waiters: dict[Any, Any] = {}
 
 
 class RankContext:
@@ -463,13 +328,24 @@ class Engine:
         Collective pricing family (see :class:`CollectiveAlg`).
     op_timeout:
         Wall-clock seconds a rank may wait inside one rendezvous before the
-        watchdog declares a deadlock.
+        watchdog declares a deadlock.  Cooperative backends detect the
+        same deadlocks instantly (a drained run queue with blocked ranks
+        cannot recover); the value still appears in their error messages
+        so diagnostics are backend-independent.
     seed:
         Base seed for all RNG streams.
     fault_plan:
         Optional :class:`~repro.sim.faults.FaultPlan` of injected failures
         (rank crashes, link degradation, stragglers, transient sends,
         delivery jitter).  ``None`` simulates a healthy cluster.
+    backend:
+        Scheduler backend: ``"threaded"`` (default), ``"cooperative"``
+        (greenlet when installed, else the stdlib baton fallback),
+        ``"greenlet"``, ``"baton"``, or a
+        :class:`~repro.sim.schedulers.SchedulerBackend` instance.
+        ``None`` consults ``REPRO_ENGINE_BACKEND``.  Backends trade
+        wall-clock dispatch cost only; modeled virtual time, results and
+        traces are bit-identical across all of them.
 
     Examples
     --------
@@ -493,6 +369,7 @@ class Engine:
         op_timeout: float = 120.0,
         seed: int = 0,
         fault_plan: FaultPlan | None = None,
+        backend: str | SchedulerBackend | None = None,
     ):
         if mode not in ("real", "symbolic"):
             raise SimulationError(f"mode must be 'real' or 'symbolic', got {mode!r}")
@@ -520,10 +397,18 @@ class Engine:
         self.comm_model = CommCostModel(self.topology, alg=comm_alg)
         self.trace = Trace(enabled=trace)
 
-        self._shards = tuple(_Shard() for _ in range(_N_SHARDS))
+        self._sched = resolve_backend(backend)
+        #: resolved backend name ("threaded" / "baton" / "greenlet")
+        self.backend = self._sched.name
+        #: the live scheduler backend (cooperative ones expose ``handoffs``,
+        #: the deterministic hand-off count of the most recent run)
+        self.scheduler = self._sched
+        self._shards = tuple(
+            _Shard(self._sched.make_lock()) for _ in range(_N_SHARDS)
+        )
         self._channels: dict[tuple[int, ...], _GroupChannel] = {}
-        self._channels_lock = threading.Lock()
-        self._err_lock = threading.Lock()
+        self._channels_lock = self._sched.make_lock()
+        self._err_lock = self._sched.make_lock()
         self._error: BaseException | None = None
         #: global rank -> root-cause failure, for ranks that can no longer
         #: communicate (crashed, or cascaded out by a partner's crash)
@@ -578,7 +463,7 @@ class Engine:
         if self.nranks == 1:
             worker(0)
         else:
-            _pool.run(self.nranks, worker)
+            self._sched.run(self.nranks, worker)
 
         for rank, exc in enumerate(errors):
             if exc is not None and not isinstance(exc, _AbortedError):
@@ -696,6 +581,25 @@ class Engine:
                 return cause
         return None
 
+    def estimated_footprint(self) -> int:
+        """Estimated resident bytes this engine pins while cached.
+
+        Used by the bench engine cache (:mod:`repro.bench.runner`) to
+        evict by memory cost rather than by entry count alone.  The
+        estimate is deliberately simple and monotone in the things that
+        actually grow: per-rank contexts (clock, counters, memory
+        tracker), the topology's per-rank tables, and — dominant after a
+        traced run — the accumulated trace events.
+        """
+        per_rank = 4096       # RankContext + clock + seq counters + tracker
+        per_event = 200       # dataclass event + list slot + payload floats
+        base = 65536          # engine, shards, channels, cost models
+        return int(
+            base
+            + self.nranks * per_rank
+            + len(self.trace) * per_event
+        )
+
     def shutdown(self) -> None:
         """Release all rendezvous/trace state (engine-cache eviction).
 
@@ -739,7 +643,8 @@ class Engine:
         results and the synchronized completion time.  ``ranks`` (the
         expected global ranks) lets a timeout name the missing members.
         """
-        self._check_abort()
+        if self._error is not None:
+            self._check_abort()
         if self._dead:
             cause = self._dead.get(rank)
             if cause is not None:
@@ -750,7 +655,8 @@ class Engine:
         with shard.lock:
             rv = shard.rendezvous.get(key)
             if rv is None:
-                rv = _Rendezvous(size, kind, tuple(ranks) if ranks else None)
+                rv = _Rendezvous(size, kind, tuple(ranks) if ranks else None,
+                                 self._sched.make_event())
                 shard.rendezvous[key] = rv
             if rv.failed is not None:
                 failed = rv.failed
@@ -791,18 +697,14 @@ class Engine:
             rv.done = True
             rv.event.set()
         else:
-            token = _watchdog.register(
-                time.monotonic() + self.op_timeout,
+            if self._error is not None:
+                # An abort may have swept the registry before our
+                # rendezvous was inserted; don't sleep on a dead run.
+                rv.event.set()
+            self._sched.wait(
+                rv.event, self.op_timeout,
                 lambda: self._fire_deadlock(key, kind, rv),
             )
-            try:
-                if self._error is not None:
-                    # An abort may have swept the registry before our
-                    # rendezvous was inserted; don't sleep on a dead run.
-                    rv.event.set()
-                rv.event.wait(self.op_timeout + _WATCHDOG_SLACK)
-            finally:
-                _watchdog.cancel(token)
             if not rv.done:
                 if rv.failed is not None:
                     raise self._fail_rank(rank, rv.failed)
@@ -866,7 +768,7 @@ class Engine:
             with self._channels_lock:
                 ch = self._channels.get(granks)
                 if ch is None:
-                    ch = _GroupChannel(granks)
+                    ch = _GroupChannel(granks, self._sched.make_lock())
                     self._channels[granks] = ch
         return ch
 
@@ -897,7 +799,8 @@ class Engine:
         whole lifetime), wakes the group with a single event broadcast,
         and amortizes one sleep/wake cycle over the entire batch.
         """
-        self._check_abort()
+        if self._error is not None:
+            self._check_abort()
         if self._dead:
             cause = self._dead.get(rank)
             if cause is not None:
@@ -908,7 +811,7 @@ class Engine:
         with ch.lock:
             fg = ch.gens.get(gen)
             if fg is None:
-                fg = _FusedGen(sig)
+                fg = _FusedGen(sig, self._sched.make_event())
                 ch.gens[gen] = fg
             if fg.failed is not None:
                 failed = fg.failed
@@ -950,18 +853,14 @@ class Engine:
             fg.done = True
             fg.event.set()  # one wakeup broadcast for the whole group
         else:
-            token = _watchdog.register(
-                time.monotonic() + self.op_timeout,
+            if self._error is not None:
+                # An abort may have swept the channels before our
+                # generation was inserted; don't sleep on a dead run.
+                fg.event.set()
+            self._sched.wait(
+                fg.event, self.op_timeout,
                 lambda: self._fire_fused_deadlock(granks, gen, fg),
             )
-            try:
-                if self._error is not None:
-                    # An abort may have swept the channels before our
-                    # generation was inserted; don't sleep on a dead run.
-                    fg.event.set()
-                fg.event.wait(self.op_timeout + _WATCHDOG_SLACK)
-            finally:
-                _watchdog.cancel(token)
             if not fg.done:
                 if fg.failed is not None:
                     raise self._fail_rank(rank, fg.failed)
@@ -1057,23 +956,21 @@ class Engine:
                     dead_src = self._dead[src]
                 else:
                     dead_src = None
-                    evt = shard.recv_waiters.setdefault(key, threading.Event())
+                    evt = shard.recv_waiters.setdefault(
+                        key, self._sched.make_event()
+                    )
         if box is None:
             if dead_src is not None:
                 # Sender is dead and never posted: it can never post.
                 if rank is not None:
                     raise self._fail_rank(rank, dead_src)
                 raise dead_src.clone()
-            token = _watchdog.register(
-                time.monotonic() + self.op_timeout,
+            if self._error is not None:
+                evt.set()
+            self._sched.wait(
+                evt, self.op_timeout,
                 lambda: self._fire_recv_deadlock(key),
             )
-            try:
-                if self._error is not None:
-                    evt.set()
-                evt.wait(self.op_timeout + _WATCHDOG_SLACK)
-            finally:
-                _watchdog.cancel(token)
             with shard.lock:
                 shard.recv_waiters.pop(key, None)
                 box = shard.mailboxes.pop(key, None)

@@ -162,6 +162,11 @@ class Trace:
         with self._lock:
             self._events.clear()
 
+    def __len__(self) -> int:
+        """Number of recorded events, without snapshotting the log."""
+        with self._lock:
+            return len(self._events)
+
     @property
     def events(self) -> list[Event]:
         """Snapshot of all events recorded so far."""

@@ -1,0 +1,698 @@
+"""Pluggable rank-scheduling backends for the SPMD engine.
+
+The engine's rendezvous/mailbox/fused-channel state machine is pure
+bookkeeping: who arrived at which collective, which receive is pending,
+which generation completed.  *How ranks wait* — what an event is, what a
+lock is, what happens when a rank blocks — is the scheduler backend's
+business, and this module provides three interchangeable answers:
+
+``threaded`` (the default)
+    One OS thread per rank from a persistent process-global pool
+    (:class:`RankPool`), real ``threading`` primitives, and an
+    event-driven deadlock :class:`Watchdog` that sleeps until the
+    earliest outstanding deadline.  Ranks block in the kernel; wakeups
+    pay futex + context-switch cost.
+
+``baton`` (cooperative, stdlib-only)
+    Rank programs still live on pool threads, but **exactly one is
+    runnable at any instant**: every blocking point releases a pre-owned
+    per-task baton lock straight to the next runnable task (a direct
+    hand-off, never a broadcast).  Locks degenerate to no-ops, events to
+    a flag plus a waiter list, and the watchdog disappears entirely — a
+    drained run queue with blocked tasks *is* the deadlock condition, so
+    deadlocks are detected instantly instead of after ``op_timeout``
+    wall seconds.
+
+``greenlet`` (cooperative, optional extra — ``pip install repro[fast]``)
+    Same cooperative core, but ranks are greenlets multiplexed on the
+    calling thread: a blocking point is a userspace stack switch with no
+    OS involvement at all.  When :mod:`greenlet` is not installed the
+    ``cooperative`` alias resolves to ``baton`` so the default install
+    keeps working.
+
+Determinism across backends
+---------------------------
+Backends change *when ranks run*, never *what they compute*: reductions
+are applied in group-rank order by the last arriver, completion times
+are functions of the full arrival map (not arrival order), and fault
+cascades are functions of per-rank program order and virtual time only.
+The engine-fuzzer corpus asserts bit-identical results, per-rank traces
+and virtual times across every available backend
+(``tests/sim/test_engine_fuzz.py``).
+
+Deadlock semantics under cooperative backends
+---------------------------------------------
+A waiting rank registers the same ``fire`` callback the threaded
+watchdog would run.  When the cooperative run queue drains while tasks
+are still blocked, the scheduler fires the registered callbacks in
+registration order (producing byte-identical :class:`DeadlockError`
+messages — they embed ``op_timeout``, not measured wall time), and as a
+final backstop force-wakes every blocked task so the engine's own
+post-wait recovery paths run, mirroring the ``_WATCHDOG_SLACK`` backstop
+of the threaded backend.
+"""
+
+from __future__ import annotations
+
+import _thread
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "SchedulerBackend",
+    "ThreadedScheduler",
+    "BatonScheduler",
+    "GreenletScheduler",
+    "resolve_backend",
+    "available_backends",
+    "greenlet_available",
+    "WATCHDOG_SLACK",
+]
+
+#: Extra wall seconds a threaded waiter sleeps past ``op_timeout`` before
+#: assuming the watchdog failed and raising the deadlock itself.
+WATCHDOG_SLACK = 5.0
+
+#: Environment variable consulted when ``Engine(backend=None)``.
+BACKEND_ENV = "REPRO_ENGINE_BACKEND"
+
+
+class RankPool:
+    """Process-global pool of daemon worker threads for rank programs.
+
+    ``run(n, target)`` executes ``target(0) .. target(n-1)`` concurrently
+    and returns when all have finished.  The pool *always* holds at least
+    as many workers as there are queued tasks, so every rank of a run is
+    guaranteed its own thread — ranks block on each other inside
+    collectives, which makes bounded pools (and therefore queuing) a
+    deadlock, not an optimization.  Idle workers linger ``_IDLE_TIMEOUT``
+    seconds so back-to-back :meth:`Engine.run` calls pay zero spawns, then
+    exit so test processes shed threads.
+    """
+
+    _IDLE_TIMEOUT = 30.0
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._tasks: deque[Callable[[], None]] = deque()
+        self._idle = 0
+        self._spawned = 0
+
+    def run(self, n: int, target: Callable[[int], None]) -> None:
+        """Run ``target(rank)`` for every rank on pool threads; block until done."""
+        done = threading.Event()
+        state_lock = threading.Lock()
+        pending = [n]
+
+        def task_for(rank: int) -> Callable[[], None]:
+            def task() -> None:
+                try:
+                    target(rank)
+                finally:
+                    with state_lock:
+                        pending[0] -= 1
+                        if pending[0] == 0:
+                            done.set()
+
+            return task
+
+        with self._cond:
+            for rank in range(n):
+                self._tasks.append(task_for(rank))
+            # One worker per queued task; idle workers cover the rest.
+            for _ in range(max(0, len(self._tasks) - self._idle)):
+                self._spawned += 1
+                threading.Thread(
+                    target=self._worker,
+                    name=f"repro-rank-worker-{self._spawned}",
+                    daemon=True,
+                ).start()
+            self._cond.notify(n)
+        done.wait()
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                self._idle += 1
+                try:
+                    while not self._tasks:
+                        if not self._cond.wait(timeout=self._IDLE_TIMEOUT):
+                            if not self._tasks:
+                                return
+                    task = self._tasks.popleft()
+                finally:
+                    self._idle -= 1
+            task()  # exceptions are captured inside the task closure
+
+
+class Watchdog:
+    """One timer thread for every outstanding rendezvous deadline.
+
+    Waiting ranks register ``(deadline, fire)`` pairs; the single watchdog
+    thread sleeps until the earliest deadline and calls ``fire`` (which
+    records a :class:`DeadlockError` and releases all waiters) only if the
+    wait was not cancelled first.  This replaces per-rank polling wakeups:
+    nobody wakes up just to check a clock.  Only the threaded backend
+    needs it — cooperative backends detect a stall the instant their run
+    queue drains.
+    """
+
+    _IDLE_TIMEOUT = 30.0
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._entries: dict[int, tuple[float, Callable[[], None]]] = {}
+        self._next_token = 0
+        self._running = False
+        #: the deadline the watchdog thread is currently sleeping toward;
+        #: registrations only wake it for *earlier* deadlines, so the
+        #: common case (every wait uses the same timeout, deadlines arrive
+        #: in increasing order) never touches the watchdog thread at all.
+        self._armed = float("inf")
+
+    def register(self, deadline: float, fire: Callable[[], None]) -> int:
+        with self._cond:
+            token = self._next_token
+            self._next_token += 1
+            self._entries[token] = (deadline, fire)
+            if not self._running:
+                self._running = True
+                threading.Thread(
+                    target=self._loop, name="repro-watchdog", daemon=True
+                ).start()
+            elif deadline < self._armed:
+                self._cond.notify()
+            return token
+
+    def cancel(self, token: int) -> None:
+        # No notify: a spurious watchdog wakeup at a stale deadline is
+        # harmless (it recomputes the minimum and goes back to sleep).
+        with self._cond:
+            self._entries.pop(token, None)
+
+    def _loop(self) -> None:
+        with self._cond:
+            while True:
+                if not self._entries:
+                    self._armed = float("inf")
+                    if not self._cond.wait(timeout=self._IDLE_TIMEOUT):
+                        if not self._entries:
+                            self._running = False
+                            return
+                    continue
+                token, (deadline, fire) = min(
+                    self._entries.items(), key=lambda kv: kv[1][0]
+                )
+                remaining = deadline - time.monotonic()
+                if remaining > 0:
+                    self._armed = deadline
+                    self._cond.wait(timeout=remaining)
+                    self._armed = float("inf")
+                    continue
+                del self._entries[token]
+                self._cond.release()
+                try:
+                    fire()
+                finally:
+                    self._cond.acquire()
+
+
+#: Process-global singletons shared by every engine (threaded backend) and
+#: by the baton backend's carrier threads.
+pool = RankPool()
+watchdog = Watchdog()
+
+
+def greenlet_available() -> bool:
+    """True when the optional :mod:`greenlet` extra is importable."""
+    global _HAVE_GREENLET
+    if _HAVE_GREENLET is None:
+        try:
+            import greenlet  # noqa: F401
+
+            _HAVE_GREENLET = True
+        except ImportError:
+            _HAVE_GREENLET = False
+    return _HAVE_GREENLET
+
+
+_HAVE_GREENLET: bool | None = None
+
+
+class SchedulerBackend:
+    """How the engine runs rank programs and waits at blocking points.
+
+    A backend supplies the synchronization primitives the engine's state
+    machine is parameterized over:
+
+    * :meth:`make_lock` — guards registry shards / channels / error state;
+    * :meth:`make_event` — one per rendezvous / fused generation / pending
+      receive; the engine only ever calls ``.set()`` on it;
+    * :meth:`wait` — block the calling rank on an event with a deadlock
+      deadline (``fire`` is the engine callback that names the missing
+      ranks and releases everyone);
+    * :meth:`run` — execute ``worker(0) .. worker(n-1)`` to completion.
+
+    ``worker`` must not raise (the engine catches everything inside it).
+    """
+
+    name: str = "?"
+    #: True when at most one rank executes engine code at any instant
+    #: (locks degenerate to no-ops, deadlocks are detected instantly).
+    cooperative: bool = False
+
+    def run(self, n: int, worker: Callable[[int], None]) -> None:
+        raise NotImplementedError
+
+    def make_event(self) -> Any:
+        raise NotImplementedError
+
+    def make_lock(self) -> Any:
+        raise NotImplementedError
+
+    def wait(
+        self, event: Any, timeout: float, fire: Callable[[], None]
+    ) -> None:
+        raise NotImplementedError
+
+
+class ThreadedScheduler(SchedulerBackend):
+    """One preemptive OS thread per rank (the original engine design)."""
+
+    name = "threaded"
+    cooperative = False
+
+    def run(self, n: int, worker: Callable[[int], None]) -> None:
+        pool.run(n, worker)
+
+    def make_event(self) -> threading.Event:
+        return threading.Event()
+
+    def make_lock(self) -> threading.Lock:
+        return threading.Lock()
+
+    def wait(
+        self, event: threading.Event, timeout: float, fire: Callable[[], None]
+    ) -> None:
+        token = watchdog.register(time.monotonic() + timeout, fire)
+        try:
+            event.wait(timeout + WATCHDOG_SLACK)
+        finally:
+            watchdog.cancel(token)
+
+
+class _NullLock:
+    """Lock stand-in for cooperative backends.
+
+    Safe because exactly one task executes engine code between hand-off
+    points — the critical sections the threaded backend locks are atomic
+    by construction here.  Cooperative backends nevertheless hand out a
+    *real* ``threading.Lock`` from :meth:`make_lock`: an uncontended C
+    lock's with-statement is cheaper than a Python-level no-op's
+    ``__enter__``/``__exit__`` calls, and contention is impossible by the
+    one-runner invariant.  This class remains for tests and as the
+    documented degenerate semantics.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def acquire(self) -> bool:
+        return True
+
+    def release(self) -> None:
+        pass
+
+
+_NULL_LOCK = _NullLock()
+
+
+class _CoopEvent:
+    """Flag + waiter list; ``set()`` moves waiters onto the run queue."""
+
+    __slots__ = ("_sched", "_flag", "_waiters")
+
+    def __init__(self, sched: "_CooperativeCore"):
+        self._sched = sched
+        self._flag = False
+        self._waiters: list[_CoopTask] = []
+
+    def set(self) -> None:
+        self._flag = True
+        waiters = self._waiters
+        if waiters:
+            runnable = self._sched._runnable
+            for t in waiters:
+                # Skip entries gone stale through a force-wake: a task
+                # only re-runs if it is still blocked *on this event*.
+                if t.state == "blocked" and t.wait_event is self:
+                    t.state = "runnable"
+                    t.wait_event = None
+                    runnable.append(t)
+            waiters.clear()
+
+    def is_set(self) -> bool:
+        return self._flag
+
+
+class _CoopTask:
+    """One rank's scheduling state under a cooperative backend."""
+
+    __slots__ = ("index", "state", "wait_event", "fire", "fire_seq",
+                 "payload")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.state = "new"  #: new | runnable | running | blocked | finished
+        self.wait_event: _CoopEvent | None = None
+        #: one-shot deadline callback for the wait in progress, fired in
+        #: registration (``fire_seq``) order when the run queue drains
+        self.fire: Callable[[], None] | None = None
+        self.fire_seq = 0
+        #: backend carrier: a baton lock (baton) or a greenlet (greenlet)
+        self.payload: Any = None
+
+
+class _CooperativeCore(SchedulerBackend):
+    """Shared run-queue machinery for the baton and greenlet backends.
+
+    Invariant: at most one task executes engine code at any instant; all
+    scheduler state below is therefore mutated without locks.  Hand-off
+    points are exactly the engine's blocking points — rendezvous wait,
+    fused-window flush, mailbox receive — plus task completion.  (Fault
+    *retry* sleeps advance virtual time only and never block, so they
+    need no hand-off.)
+    """
+
+    cooperative = True
+
+    def __init__(self) -> None:
+        self._tasks: list[_CoopTask] = []
+        self._runnable: deque[_CoopTask] = deque()
+        self._next_seq = 0
+        self._n = 0
+        self._finished = 0
+        self._current: _CoopTask | None = None
+        self._live = False
+        #: hand-offs performed during the most recent ``run`` — a
+        #: deterministic function of the schedule, exported by the
+        #: overhead bench as a nightly-diffable metric.
+        self.handoffs = 0
+
+    # --- primitives -----------------------------------------------------------
+
+    def make_event(self) -> _CoopEvent:
+        return _CoopEvent(self)
+
+    def make_lock(self) -> threading.Lock:
+        # Uncontended by the one-runner invariant; see _NullLock docstring
+        # for why a real C lock beats a Python no-op here.
+        return threading.Lock()
+
+    def wait(
+        self, event: _CoopEvent, timeout: float, fire: Callable[[], None]
+    ) -> None:
+        if event._flag:
+            return
+        task = self._current
+        if task is None:
+            # Inline single-rank execution (no scheduler run is active):
+            # nobody else exists to set the event, so the stall is already
+            # a deadlock — fire the deadline now and let the engine's
+            # post-wait recovery path raise.
+            fire()
+            return
+        # The deadline callback lives on the task itself (no registry):
+        # it is only consulted on the cold drained-run-queue path, and a
+        # task can be inside at most one wait at a time.
+        task.fire = fire
+        task.fire_seq = self._next_seq
+        self._next_seq += 1
+        task.state = "blocked"
+        task.wait_event = event
+        event._waiters.append(task)
+        self._suspend(task)
+        # No post-resume cleanup needed: every wake path (event set,
+        # force-wake, deadline fire) already cleared ``wait_event``/
+        # ``fire``, and a stale ``fire`` on a non-blocked task is ignored
+        # by ``_pick_next`` and overwritten by the next wait.
+
+    # --- run-queue core -------------------------------------------------------
+
+    def _suspend(self, task: _CoopTask) -> None:
+        # Hot path: hand straight to the next runnable task.
+        runnable = self._runnable
+        while runnable:
+            nxt = runnable.popleft()
+            if nxt.state == "runnable":
+                self._switch(task, nxt)
+                task.state = "running"
+                return
+        nxt = self._pick_next()
+        if nxt is None or nxt is task:
+            # Force-woken (or re-picked) without anyone else to run.
+            task.state = "running"
+            return
+        self._switch(task, nxt)
+        task.state = "running"
+
+    def _pick_next(self) -> _CoopTask | None:
+        """Next task to run, driving deadlock handling when none exists.
+
+        When the run queue drains with tasks still blocked, fire the
+        blocked tasks' deadline callbacks in registration (``fire_seq``)
+        order (instant, deterministic deadlock detection); if every
+        deadline fired and tasks are *still* blocked, force-wake them all
+        so the engine's own post-wait backstops raise.  Returns ``None``
+        only when every task has finished.
+        """
+        while True:
+            while self._runnable:
+                t = self._runnable.popleft()
+                if t.state == "runnable":
+                    return t
+            if self._finished >= self._n:
+                return None
+            pending = [t for t in self._tasks
+                       if t.state == "blocked" and t.fire is not None]
+            if pending:
+                t = min(pending, key=lambda t: t.fire_seq)
+                fire = t.fire
+                t.fire = None  # one-shot
+                fire()
+                continue
+            woke = False
+            for t in self._tasks:
+                if t.state == "blocked":
+                    t.state = "runnable"
+                    t.wait_event = None
+                    self._runnable.append(t)
+                    woke = True
+            if not woke:  # pragma: no cover - scheduler invariant
+                raise SimulationError(
+                    "cooperative scheduler wedged: no runnable, blocked, "
+                    "or unfinished task remains"
+                )
+
+    def _reset(self, n: int) -> None:
+        if self._live:
+            raise SimulationError(
+                f"{self.name} scheduler is already running a program; "
+                "one cooperative backend instance drives one engine run "
+                "at a time"
+            )
+        self._tasks = [_CoopTask(i) for i in range(n)]
+        self._runnable = deque()
+        self._next_seq = 0
+        self._n = n
+        self._finished = 0
+        self._current = None
+        self._live = True
+        self.handoffs = 0
+
+    def _switch(self, cur: _CoopTask, nxt: _CoopTask) -> None:
+        raise NotImplementedError
+
+
+class BatonScheduler(_CooperativeCore):
+    """Cooperative scheduling over pool threads via direct baton hand-off.
+
+    Each task owns a pre-acquired ``_thread`` lock (its *baton*); exactly
+    one baton is ever released, so exactly one task runs.  Blocking is a
+    release of the successor's baton followed by an acquire of one's own
+    — a directed kernel wake of one specific thread, with no broadcast,
+    no condition-variable bookkeeping and no watchdog registration.  This
+    is the stdlib fallback for ``backend="cooperative"`` when greenlet is
+    not installed.
+    """
+
+    name = "baton"
+
+    def _suspend(self, task: _CoopTask) -> None:
+        # Hot path, inlined from the core: release the successor's baton,
+        # park on our own.  One directed futex wake per hand-off.
+        runnable = self._runnable
+        while runnable:
+            nxt = runnable.popleft()
+            if nxt.state == "runnable":
+                self.handoffs += 1
+                nxt.payload.release()
+                task.payload.acquire()
+                self._current = task
+                task.state = "running"
+                return
+        nxt = self._pick_next()
+        if nxt is None or nxt is task:
+            task.state = "running"
+            return
+        self._switch(task, nxt)
+        task.state = "running"
+
+    def run(self, n: int, worker: Callable[[int], None]) -> None:
+        self._reset(n)
+        tasks = self._tasks
+        for t in tasks:
+            t.payload = _thread.allocate_lock()
+            t.payload.acquire()
+
+        def gated(rank: int) -> None:
+            t = tasks[rank]
+            t.payload.acquire()  # parked until scheduled
+            self._current = t
+            t.state = "running"
+            try:
+                worker(rank)
+            finally:
+                self._finish(t)
+
+        for t in tasks:
+            t.state = "runnable"
+        self._runnable.extend(tasks[1:])
+        try:
+            # Release task 0's baton *before* the (blocking) pool call;
+            # a lock released before its owner parks is simply found open.
+            tasks[0].payload.release()
+            pool.run(n, gated)
+        finally:
+            self._live = False
+
+    def _switch(self, cur: _CoopTask, nxt: _CoopTask) -> None:
+        self.handoffs += 1
+        nxt.payload.release()
+        cur.payload.acquire()
+        self._current = cur
+
+    def _finish(self, t: _CoopTask) -> None:
+        t.state = "finished"
+        self._finished += 1
+        nxt = self._pick_next()
+        if nxt is not None:
+            self.handoffs += 1
+            nxt.payload.release()
+        # else: every task finished; the pool unblocks the host.
+
+
+class GreenletScheduler(_CooperativeCore):
+    """All ranks as greenlets on the calling thread (zero OS switches).
+
+    A blocking point is a userspace ``greenlet.switch()`` straight to the
+    next runnable task.  When a task's greenlet finishes it falls back to
+    its parent — the hub (the calling thread's greenlet) — which
+    dispatches the next runnable task until all have finished.
+    """
+
+    name = "greenlet"
+
+    def run(self, n: int, worker: Callable[[int], None]) -> None:
+        import greenlet
+
+        self._reset(n)
+        tasks = self._tasks
+
+        def main(t: _CoopTask) -> None:
+            self._current = t
+            t.state = "running"
+            try:
+                worker(t.index)
+            finally:
+                t.state = "finished"
+                self._finished += 1
+            # falling off the end kills the greenlet -> control to the hub
+
+        for t in tasks:
+            t.payload = greenlet.greenlet(main)
+            t.state = "runnable"
+        self._runnable.extend(tasks[1:])
+        try:
+            nxt: _CoopTask | None = tasks[0]
+            while nxt is not None:
+                self.handoffs += 1
+                self._current = nxt
+                nxt.payload.switch(nxt)
+                # A dispatched chain ended (some greenlet died); pick the
+                # next runnable task, firing deadlines if none exists.
+                nxt = self._pick_next()
+        finally:
+            self._live = False
+
+    def _switch(self, cur: _CoopTask, nxt: _CoopTask) -> None:
+        self.handoffs += 1
+        self._current = nxt
+        nxt.state = "running"
+        nxt.payload.switch(nxt)
+        # resumed: whoever switched here set themselves aside for us
+        self._current = cur
+
+
+def resolve_backend(
+    spec: "str | SchedulerBackend | None" = None,
+) -> SchedulerBackend:
+    """Turn an ``Engine(backend=...)`` argument into a backend instance.
+
+    ``None`` consults the ``REPRO_ENGINE_BACKEND`` environment variable
+    and defaults to ``"threaded"``.  ``"cooperative"`` resolves to
+    ``"greenlet"`` when the optional extra is installed and to the stdlib
+    ``"baton"`` fallback otherwise.
+    """
+    if isinstance(spec, SchedulerBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV) or "threaded"
+    name = str(spec).strip().lower()
+    if name in ("cooperative", "coop"):
+        name = "greenlet" if greenlet_available() else "baton"
+    if name == "threaded":
+        return ThreadedScheduler()
+    if name == "baton":
+        return BatonScheduler()
+    if name == "greenlet":
+        if not greenlet_available():
+            raise SimulationError(
+                "engine backend 'greenlet' needs the optional greenlet "
+                "dependency (pip install 'repro[fast]'); use "
+                "backend='cooperative' to fall back to the stdlib baton "
+                "scheduler automatically"
+            )
+        return GreenletScheduler()
+    raise SimulationError(
+        f"unknown engine backend {name!r}; expected one of 'threaded', "
+        f"'cooperative', 'baton', 'greenlet'"
+    )
+
+
+def available_backends() -> tuple[str, ...]:
+    """Concrete backend names usable in this environment (tests iterate)."""
+    names = ["threaded", "baton"]
+    if greenlet_available():
+        names.append("greenlet")
+    return tuple(names)

@@ -132,3 +132,51 @@ class TestEngineCacheLRU:
         clear_engine_cache()
         assert not runner._ENGINE_CACHE
         assert all(e.closed for e in engines)
+
+
+class TestEngineCacheFootprint:
+    """The byte budget evicts by estimated footprint, not just by count."""
+
+    def setup_method(self):
+        clear_engine_cache()
+
+    def teardown_method(self):
+        clear_engine_cache()
+
+    def test_budget_evicts_before_entry_bound(self, monkeypatch):
+        # Budget sized to hold roughly two small engines: inserting a
+        # third must evict the oldest even though ENGINE_CACHE_MAX is 8.
+        first = engine_for_row(_mrow(1), cache=True)
+        budget = 2 * first.estimated_footprint() + 1024
+        monkeypatch.setattr(runner, "ENGINE_CACHE_MAX_BYTES", budget)
+        engine_for_row(_mrow(2), cache=True)
+        engine_for_row(_mrow(3), cache=True)
+        assert first.closed
+        assert len(runner._ENGINE_CACHE) < runner.ENGINE_CACHE_MAX
+        assert runner._cache_footprint() <= budget
+
+    def test_sole_entry_survives_a_tiny_budget(self, monkeypatch):
+        monkeypatch.setattr(runner, "ENGINE_CACHE_MAX_BYTES", 1)
+        engine = engine_for_row(_mrow(4), cache=True)
+        assert not engine.closed
+        assert len(runner._ENGINE_CACHE) == 1
+        # and a hit still returns it rather than rebuilding
+        assert engine_for_row(_mrow(4), cache=True) is engine
+
+    def test_footprint_grows_with_rank_count(self):
+        small = engine_for_row(_mrow(2), cache=True)
+        large = engine_for_row(_mrow(16), cache=True)
+        assert large.estimated_footprint() > small.estimated_footprint()
+
+    def test_backend_is_part_of_the_key(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_BACKEND", "threaded")
+        threaded = engine_for_row(_mrow(4), cache=True)
+        monkeypatch.setenv("REPRO_ENGINE_BACKEND", "baton")
+        baton = engine_for_row(_mrow(4), cache=True)
+        assert threaded is not baton
+        assert threaded.backend == "threaded"
+        assert baton.backend == "baton"
+        # each variant still hits its own entry
+        assert engine_for_row(_mrow(4), cache=True) is baton
+        monkeypatch.setenv("REPRO_ENGINE_BACKEND", "threaded")
+        assert engine_for_row(_mrow(4), cache=True) is threaded

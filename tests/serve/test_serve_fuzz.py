@@ -1,0 +1,125 @@
+"""Fuzz the serving loop with seeded crash-mid-decode fault plans.
+
+Each seed draws crash instants inside the fault-free run's makespan and
+asserts the recovery contract of :func:`repro.serve.runner.run_serving`:
+
+* every request still completes and the report stays rank-identical;
+* the same plan reproduces a bit-identical report (determinism), under
+  *every* scheduler backend (backend parity);
+* recovery is visible — the ``"recoveries"`` key counts absorbed
+  crashes, and the fault-free report never grows the key;
+* a plan with more crashes than ``max_restarts`` re-raises.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import RankFailureError
+from repro.models.configs import TransformerConfig
+from repro.serve import SchedulerConfig, WorkloadConfig, run_serving
+from repro.sim.faults import FaultPlan, RankCrash
+from repro.sim.schedulers import available_backends
+
+WORKLOAD = WorkloadConfig(
+    seed=0, num_requests=10, arrival_rate=64.0,
+    prompt_len=(4, 8), output_short=(4, 8), output_long=(24, 32),
+    long_frac=0.2,
+)
+MODEL = TransformerConfig(
+    num_layers=2, hidden=32, nheads=4,
+    seq_len=WORKLOAD.max_request_tokens, vocab=32, causal=True,
+)
+SCHED = SchedulerConfig(max_slots=4, kv_budget_tokens=256,
+                        policy="continuous")
+
+MODE_KWARGS = {"mode": "tesseract", "q": 2, "d": 2}  # 4 ranks
+NRANKS = 4
+
+FUZZ_SEEDS = range(8)
+
+
+def _serve(**kwargs):
+    mode = kwargs.pop("mode")
+    return run_serving(mode, model_cfg=MODEL, workload=WORKLOAD,
+                       sched=SCHED, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The fault-free report (also pins the makespan crashes land in)."""
+    return _serve(**MODE_KWARGS)
+
+
+def _crash_plan(seed: int, makespan: float) -> FaultPlan:
+    """Draw 1-2 distinct-rank crashes strictly inside the serving run."""
+    rng = random.Random(seed)
+    n = rng.choice((1, 2))
+    ranks = rng.sample(range(NRANKS), n)
+    crashes = tuple(
+        RankCrash(rank=r, at=rng.uniform(0.1, 0.8) * makespan)
+        for r in ranks
+    )
+    return FaultPlan(seed=seed, crashes=crashes)
+
+
+class TestServeCrashRecovery:
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_recovers_and_completes(self, baseline, seed):
+        plan = _crash_plan(seed, baseline["makespan_s"])
+        rep = _serve(fault_plan=plan, max_restarts=len(plan.crashes),
+                     **MODE_KWARGS)
+        assert rep["completed"] == WORKLOAD.num_requests
+        # A restart absorbs every crash that fired before the abort
+        # propagated, so a two-crash plan may cost one recovery or two.
+        assert 1 <= rep["recoveries"] <= len(plan.crashes)
+        # Redone work can only push completion out, never pull it in.
+        assert rep["makespan_s"] >= max(c.at for c in plan.crashes)
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_recovery_is_deterministic_across_backends(self, baseline,
+                                                       seed, monkeypatch):
+        plan = _crash_plan(seed, baseline["makespan_s"])
+        reports = {}
+        for backend in available_backends():
+            monkeypatch.setenv("REPRO_ENGINE_BACKEND", backend)
+            reports[backend] = [
+                _serve(fault_plan=plan, max_restarts=len(plan.crashes),
+                       **MODE_KWARGS)
+                for _ in range(2)
+            ]
+        flat = [r for pair in reports.values() for r in pair]
+        assert all(r == flat[0] for r in flat[1:]), (
+            "crash-recovery report varies across runs or backends"
+        )
+
+    def test_no_plan_report_is_unchanged(self, baseline):
+        assert "recoveries" not in baseline
+        assert baseline == _serve(**MODE_KWARGS)
+
+    def test_restart_budget_exhaustion_reraises(self, baseline):
+        plan = _crash_plan(3, baseline["makespan_s"])
+        with pytest.raises(RankFailureError):
+            _serve(fault_plan=plan, max_restarts=0, **MODE_KWARGS)
+
+    def test_zero_fault_plan_reports_zero_recoveries(self):
+        rep = _serve(fault_plan=FaultPlan(), max_restarts=1, **MODE_KWARGS)
+        assert rep["recoveries"] == 0
+        assert rep["completed"] == WORKLOAD.num_requests
+
+    def test_restarted_requests_count_preemptions(self, baseline):
+        """In-flight work lost to a crash surfaces as preemptions."""
+        plan = _crash_plan(0, baseline["makespan_s"])
+        rep = _serve(fault_plan=plan, max_restarts=len(plan.crashes),
+                     **MODE_KWARGS)
+        assert rep["preemptions"] >= baseline["preemptions"]
+
+    def test_crash_after_makespan_never_fires(self, baseline):
+        plan = FaultPlan(crashes=(
+            RankCrash(rank=0, at=baseline["makespan_s"] * 10),
+        ))
+        rep = _serve(fault_plan=plan, max_restarts=1, **MODE_KWARGS)
+        assert rep["recoveries"] == 0
+        # No fault ever fired, so the schedule is the fault-free one.
+        assert rep["makespan_s"] == baseline["makespan_s"]
+        assert rep["iterations"] == baseline["iterations"]

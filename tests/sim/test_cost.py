@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import CommError
 from repro.hardware.spec import meluxina
 from repro.hardware.topology import Topology
 from repro.sim.cost import CollectiveAlg, CommCostModel, ComputeCostModel
@@ -157,6 +158,86 @@ class TestHierarchicalAuto:
                 TWO_NODES, self.N
             )
         assert forced.barrier(TWO_NODES) == auto.barrier(TWO_NODES)
+
+
+class TestNodePlan:
+    """Explicit leader placement for hierarchical collectives."""
+
+    def test_leaders_are_lowest_group_rank_per_node(self, cost16):
+        plan = cost16.node_plan([5, 1, 4, 0, 9, 8])
+        assert plan.node_ranks == ((0, 1), (4, 5), (8, 9))
+        assert plan.leaders == (0, 4, 8)
+        assert plan.n_nodes == 3
+        assert plan.max_fan == 2
+
+    def test_plan_independent_of_rank_order(self, cost16):
+        a = cost16.node_plan([0, 1, 4, 5])
+        b = cost16.node_plan([5, 0, 4, 1])
+        assert a.leaders == b.leaders
+        assert a.node_ranks == b.node_ranks
+
+    def test_asymmetric_group_pays_the_slowest_node(self, cost16):
+        # [0,1,2,4]: node 0 hosts three members, node 1 hosts one.  The
+        # intra phase must price the 3-wide node, exactly as if every
+        # node were that wide (the old implicit max-per-node shortcut).
+        n = 50e6
+        lop = cost16.broadcast([0, 1, 2, 4], n)
+        sym = cost16.broadcast([0, 1, 4, 5], n)
+        assert lop > sym  # 3-deep local tree beats a 2-deep one
+
+    def test_single_node_plan(self, cost16):
+        plan = cost16.node_plan(ONE_NODE)
+        assert plan.n_nodes == 1
+        assert plan.leaders == (0,)
+        assert plan.max_fan == 4
+
+
+class TestNicContention:
+    """Opt-in leader-NIC serialization on the inter-node phase."""
+
+    N = 100e6
+
+    @pytest.fixture
+    def contended(self, topo16):
+        return CommCostModel(topo16, nic_contention=0.25)
+
+    def test_rejects_negative_factor(self, topo16):
+        with pytest.raises(CommError, match="nic_contention"):
+            CommCostModel(topo16, nic_contention=-0.1)
+
+    def test_default_zero_is_bit_identical(self, topo16, cost16):
+        explicit = CommCostModel(topo16, nic_contention=0.0)
+        group = list(range(16))
+        for fn in ("broadcast", "all_reduce", "all_gather", "scatter",
+                   "all_to_all"):
+            assert getattr(explicit, fn)(group, self.N) == \
+                getattr(cost16, fn)(group, self.N)
+        assert explicit.barrier(group) == cost16.barrier(group)
+
+    def test_contention_slows_node_spanning_collectives(self, cost16,
+                                                        contended):
+        group = list(range(16))
+        for fn in ("broadcast", "all_reduce", "all_gather", "scatter",
+                   "all_to_all"):
+            assert getattr(contended, fn)(group, self.N) > \
+                getattr(cost16, fn)(group, self.N), fn
+
+    def test_contention_ignores_single_node_groups(self, cost16, contended):
+        # No inter-node phase, so no NIC to contend for.
+        assert contended.all_reduce(ONE_NODE, self.N) == \
+            cost16.all_reduce(ONE_NODE, self.N)
+
+    def test_scale_follows_leader_fan(self, topo16):
+        # One member per node (fan 1) -> factor 1, contention-free even
+        # though the group spans nodes.
+        contended = CommCostModel(topo16, nic_contention=0.25)
+        base = CommCostModel(topo16)
+        assert contended.all_reduce(FOUR_NODES, self.N) == \
+            base.all_reduce(FOUR_NODES, self.N)
+        # Full nodes (fan 4) pay 1 + 0.25*3 = 1.75x on the inter phase.
+        group = list(range(16))
+        assert contended.all_reduce(group, self.N) > \
+            base.all_reduce(group, self.N)
 
 
 class TestEffectiveBandwidth:

@@ -14,7 +14,14 @@ import pytest
 from repro.comm.communicator import Communicator
 from repro.errors import DeadlockError
 from repro.sim.engine import Engine
+from repro.sim.schedulers import available_backends
 from repro.varray.varray import VArray
+
+#: every test runs under every backend: deadlock *messages* are part of
+#: the engine contract and must not depend on how ranks are scheduled
+#: (they embed ``op_timeout``, never measured wall time — cooperative
+#: backends detect the stall instantly instead of after the timeout)
+BACKENDS = available_backends()
 
 NRANKS = 4
 GROUP = tuple(range(NRANKS))
@@ -45,8 +52,9 @@ _ISSUERS = {
 }
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("kind", sorted(_ISSUERS))
-def test_collective_deadlock_names_missing_ranks(kind):
+def test_collective_deadlock_names_missing_ranks(kind, backend):
     """Every collective kind's timeout names exactly the absent ranks."""
 
     def prog(ctx):
@@ -54,7 +62,7 @@ def test_collective_deadlock_names_missing_ranks(kind):
             return "skipped"
         _ISSUERS[kind](Communicator(ctx, GROUP), ctx.rank)
 
-    engine = Engine(nranks=NRANKS, op_timeout=TIMEOUT)
+    engine = Engine(nranks=NRANKS, op_timeout=TIMEOUT, backend=backend)
     with pytest.raises(DeadlockError, match=r"missing ranks \[1, 3\]") as exc:
         engine.run(prog)
     # The message also carries the op kind and the arrival census.
@@ -62,7 +70,8 @@ def test_collective_deadlock_names_missing_ranks(kind):
     assert "2/4 ranks arrived [0, 2]" in str(exc.value)
 
 
-def test_batch_window_deadlock_names_missing_ranks():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_window_deadlock_names_missing_ranks(backend):
     """A fused batch window that some ranks skip reports them too."""
 
     def prog(ctx):
@@ -73,13 +82,14 @@ def test_batch_window_deadlock_names_missing_ranks():
             comm.all_reduce(_arr(ctx.rank))
             comm.all_reduce(_arr(ctx.rank))
 
-    engine = Engine(nranks=NRANKS, op_timeout=TIMEOUT)
+    engine = Engine(nranks=NRANKS, op_timeout=TIMEOUT, backend=backend)
     with pytest.raises(DeadlockError, match=r"missing ranks \[1, 3\]") as exc:
         engine.run(prog)
     assert "fused" in str(exc.value)
 
 
-def test_window_signature_mismatch_is_a_comm_error_not_a_deadlock():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_window_signature_mismatch_is_a_comm_error_not_a_deadlock(backend):
     """Disagreeing window contents abort immediately with the two sigs."""
     from repro.errors import CommError, SimulationError
 
@@ -92,12 +102,13 @@ def test_window_signature_mismatch_is_a_comm_error_not_a_deadlock():
             else:
                 comm.all_reduce(_arr(ctx.rank))
 
-    engine = Engine(nranks=NRANKS, op_timeout=TIMEOUT)
+    engine = Engine(nranks=NRANKS, op_timeout=TIMEOUT, backend=backend)
     with pytest.raises((CommError, SimulationError), match="mismatch"):
         engine.run(prog)
 
 
-def test_recv_deadlock_names_missing_sender():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_recv_deadlock_names_missing_sender(backend):
     """A timed-out recv names the sender that never posted."""
 
     def prog(ctx):
@@ -105,12 +116,13 @@ def test_recv_deadlock_names_missing_sender():
         if ctx.rank == 1:
             comm.recv(0)
 
-    engine = Engine(nranks=2, op_timeout=TIMEOUT)
+    engine = Engine(nranks=2, op_timeout=TIMEOUT, backend=backend)
     with pytest.raises(DeadlockError, match="missing sender: rank 0"):
         engine.run(prog)
 
 
-def test_recv_deadlock_names_missing_sender_nontrivial_pair():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_recv_deadlock_names_missing_sender_nontrivial_pair(backend):
     """The named sender is the global rank, not the group index."""
 
     def prog(ctx):
@@ -118,6 +130,29 @@ def test_recv_deadlock_names_missing_sender_nontrivial_pair():
             comm = Communicator(ctx, (2, 3))
             comm.recv(1)  # group index 1 == global rank 3
 
-    engine = Engine(nranks=4, op_timeout=TIMEOUT)
+    engine = Engine(nranks=4, op_timeout=TIMEOUT, backend=backend)
     with pytest.raises(DeadlockError, match="missing sender: rank 3"):
         engine.run(prog)
+
+
+def test_deadlock_message_is_byte_identical_across_backends():
+    """The exact DeadlockError text cannot depend on the backend.
+
+    Cooperative backends fire the deadline callback the instant the run
+    queue drains; the threaded watchdog fires after ``op_timeout`` wall
+    seconds.  Both produce the same message because the message embeds
+    the configured timeout, not a measurement.
+    """
+
+    def prog(ctx):
+        if ctx.rank in MISSING:
+            return "skipped"
+        Communicator(ctx, GROUP).barrier()
+
+    messages = {}
+    for backend in BACKENDS:
+        engine = Engine(nranks=NRANKS, op_timeout=TIMEOUT, backend=backend)
+        with pytest.raises(DeadlockError) as exc:
+            engine.run(prog)
+        messages[backend] = str(exc.value)
+    assert len(set(messages.values())) == 1, messages

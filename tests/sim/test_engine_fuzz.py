@@ -17,7 +17,14 @@ three invariants asserted per seed:
     the engine never wedges;
 (c) **accounting** — ``Trace.comm_volume`` (total and per rank) equals an
     expectation computed independently from the schedule via the per-rank
-    convention table in :mod:`repro.comm.communicator`.
+    convention table in :mod:`repro.comm.communicator`;
+(d) **backend parity** — every seed is replayed under each non-default
+    scheduler backend (``repro.sim.schedulers.available_backends``), and
+    results, per-rank event streams and virtual clocks must be
+    bit-identical to the threaded reference run.  Backends change when
+    ranks run, never what they compute (reductions apply in group-rank
+    order, completion times are functions of the full arrival map), so
+    *any* cross-backend drift is an engine bug.
 
 Deadlock-free-by-construction argument: every rank walks the same global
 schedule in order, skipping ops it is not part of.  Consider the rank with
@@ -37,8 +44,13 @@ from repro.comm.communicator import Communicator
 from repro.errors import ReproError
 from repro.sim.engine import Engine
 from repro.sim.faults import FaultPlan, RankCrash
+from repro.sim.schedulers import available_backends
 
 from repro.varray.varray import VArray
+
+#: non-default backends every seed is replayed under ("baton" always;
+#: "greenlet" too when the repro[fast] extra is installed)
+ALT_BACKENDS = tuple(b for b in available_backends() if b != "threaded")
 
 #: real-mode payload dtypes the schedules mix freely
 DTYPES = ("float32", "float64", "int32")
@@ -279,15 +291,16 @@ def _rank_events(engine: Engine, nranks: int):
 @pytest.mark.parametrize("seed_block", range(4))
 def test_fuzz_schedules(seed_block):
     """~200 random schedules: determinism, liveness, exact accounting."""
-    engines: dict[int, Engine] = {}
+    engines: dict[tuple[int, str], Engine] = {}
     block = N_SEEDS // 4
     for seed in range(seed_block * block, (seed_block + 1) * block):
         rng = np.random.default_rng(1000 + seed)
         nranks = int(rng.integers(2, 9))
         schedule = _make_schedule(rng, nranks)
-        engine = engines.get(nranks)
+        engine = engines.get((nranks, "threaded"))
         if engine is None:
-            engine = engines[nranks] = Engine(nranks=nranks, op_timeout=60.0)
+            engine = engines[(nranks, "threaded")] = Engine(
+                nranks=nranks, op_timeout=60.0)
         program = _run_schedule(schedule)
 
         engine.trace.clear()  # engines are reused across seeds
@@ -312,6 +325,23 @@ def test_fuzz_schedules(seed_block):
         events_b = _rank_events(engine, nranks)
         assert results_a == results_b, f"seed {seed}: results diverged"
         assert events_a == events_b, f"seed {seed}: event streams diverged"
+
+        # (d) backend parity: bit-identical results, event streams and
+        # virtual clocks under every cooperative backend
+        for alt in ALT_BACKENDS:
+            alt_engine = engines.get((nranks, alt))
+            if alt_engine is None:
+                alt_engine = engines[(nranks, alt)] = Engine(
+                    nranks=nranks, op_timeout=60.0, backend=alt)
+            alt_engine.trace.clear()
+            results_c = alt_engine.run(program)
+            events_c = _rank_events(alt_engine, nranks)
+            assert results_c == results_a, (
+                f"seed {seed}: {alt} results diverged from threaded"
+            )
+            assert events_c == events_a, (
+                f"seed {seed}: {alt} event streams diverged from threaded"
+            )
 
 # --------------------------------------------------------------------------
 # Fault-plan fuzz: identical seeds must reproduce identical failure traces
@@ -344,8 +374,9 @@ def test_fuzz_fault_plans(seed):
     )
     program = _run_schedule(schedule)
 
-    def run_once():
-        engine = Engine(nranks=nranks, op_timeout=60.0, fault_plan=plan)
+    def run_once(backend="threaded"):
+        engine = Engine(nranks=nranks, op_timeout=60.0, fault_plan=plan,
+                        backend=backend)
         try:
             results = engine.run(program)
             outcome = ("ok", None)
@@ -361,6 +392,15 @@ def test_fuzz_fault_plans(seed):
     first = run_once()
     second = run_once()
     assert first == second, f"seed {seed}: failure trace diverged"
+
+    # Backend parity: a single-crash plan's whole failure trace — outcome
+    # type and message, results, event streams, dead set, volumes — is a
+    # function of program order and virtual time only, so it must be
+    # bit-identical under every cooperative backend too.
+    for alt in ALT_BACKENDS:
+        assert run_once(alt) == first, (
+            f"seed {seed}: {alt} failure trace diverged from threaded"
+        )
 
     outcome, _, _, dead, vols = first
     if outcome[0] == "ok":
@@ -434,8 +474,9 @@ def test_fuzz_multi_crash_window_interleavings(seed):
     )
     program = _run_schedule(schedule)
 
-    def run_once():
-        engine = Engine(nranks=nranks, op_timeout=60.0, fault_plan=plan)
+    def run_once(backend="threaded"):
+        engine = Engine(nranks=nranks, op_timeout=60.0, fault_plan=plan,
+                        backend=backend)
         try:
             results = engine.run(program)
             outcome = ("ok", None)
@@ -451,6 +492,21 @@ def test_fuzz_multi_crash_window_interleavings(seed):
     first = run_once()
     second = run_once()
     assert first == second, f"seed {seed}: multi-crash trace diverged"
+
+    # Backend parity for multi-crash plans: several ranks die at
+    # independent times, so which dead partner a failure message *names*
+    # is first-sweep-wins — a race even the threaded backend only wins
+    # consistently against itself.  Everything semantic must still match:
+    # outcome type, results digest, event streams, dead set, volumes.
+    for alt in ALT_BACKENDS:
+        alt_outcome, alt_digest, alt_events, alt_dead, alt_vols = (
+            run_once(alt))
+        assert alt_outcome[0] == first[0][0], (
+            f"seed {seed}: {alt} outcome {alt_outcome[0]} != {first[0][0]}"
+        )
+        assert (alt_digest, alt_events, alt_dead, alt_vols) == first[1:], (
+            f"seed {seed}: {alt} multi-crash trace diverged from threaded"
+        )
 
     outcome, _, _, dead, vols = first
     if outcome[0] == "ok":

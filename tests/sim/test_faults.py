@@ -32,7 +32,21 @@ from repro.sim.faults import (
     RankCrash,
     RetryPolicy,
 )
+from repro.sim.schedulers import available_backends
 from repro.varray.varray import VArray
+
+
+@pytest.fixture(params=available_backends(), autouse=True)
+def engine_backend(request, monkeypatch):
+    """Run the whole module under every scheduler backend.
+
+    Fault guarantees (determinism, prompt propagation, volume invariance,
+    pricing) are backend-independent by design; driving selection through
+    ``REPRO_ENGINE_BACKEND`` also exercises the env-var resolution path
+    every ``Engine(backend=None)`` construction takes.
+    """
+    monkeypatch.setenv("REPRO_ENGINE_BACKEND", request.param)
+    return request.param
 
 
 def _payload(rank, n=256):

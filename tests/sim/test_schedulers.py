@@ -1,0 +1,174 @@
+"""Unit tests for the pluggable scheduler backends (`repro.sim.schedulers`).
+
+The engine-level contracts (bit-identical results/traces/clocks across
+backends, identical deadlock messages) live in ``test_engine_fuzz.py`` and
+``test_deadlock_messages.py``; this module covers the scheduler layer
+itself: backend resolution, the cooperative run-queue machinery, hand-off
+determinism, and the instant-deadlock property.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import Engine
+from repro.sim.schedulers import (
+    BACKEND_ENV,
+    BatonScheduler,
+    GreenletScheduler,
+    SchedulerBackend,
+    ThreadedScheduler,
+    _NullLock,
+    available_backends,
+    greenlet_available,
+    resolve_backend,
+)
+
+
+class TestResolveBackend:
+    def test_default_is_threaded(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend(None).name == "threaded"
+
+    def test_explicit_names(self):
+        assert isinstance(resolve_backend("threaded"), ThreadedScheduler)
+        assert isinstance(resolve_backend("baton"), BatonScheduler)
+
+    def test_cooperative_alias_resolves_to_available_arm(self):
+        sched = resolve_backend("cooperative")
+        expected = "greenlet" if greenlet_available() else "baton"
+        assert sched.name == expected
+        assert sched.cooperative
+        assert resolve_backend("coop").name == expected
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "baton")
+        assert resolve_backend(None).name == "baton"
+
+    def test_instance_passes_through(self):
+        sched = BatonScheduler()
+        assert resolve_backend(sched) is sched
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SimulationError, match="unknown engine backend"):
+            resolve_backend("fibers")
+
+    def test_greenlet_without_extra_raises_helpfully(self):
+        if greenlet_available():
+            pytest.skip("greenlet installed: the error path is unreachable")
+        with pytest.raises(SimulationError, match=r"repro\[fast\]"):
+            resolve_backend("greenlet")
+
+    def test_available_backends_is_concrete(self):
+        names = available_backends()
+        assert names[:2] == ("threaded", "baton")
+        assert ("greenlet" in names) == greenlet_available()
+        for name in names:
+            backend = resolve_backend(name)
+            assert isinstance(backend, SchedulerBackend)
+            assert backend.name == name
+
+
+class TestCooperativeCore:
+    def test_single_rank_inline_wait_fires_deadline(self):
+        """A wait with no scheduler run active is already a deadlock."""
+        sched = BatonScheduler()
+        fired = []
+        event = sched.make_event()
+        sched.wait(event, timeout=60.0, fire=lambda: fired.append(True))
+        assert fired == [True]
+
+    def test_set_event_skips_the_wait(self):
+        sched = BatonScheduler()
+        event = sched.make_event()
+        event.set()
+        sched.wait(event, timeout=60.0,
+                   fire=lambda: pytest.fail("deadline fired on a set event"))
+
+    def test_run_executes_all_ranks_in_order_without_blocking(self):
+        sched = BatonScheduler()
+        order = []
+        sched.run(5, order.append)
+        assert sorted(order) == [0, 1, 2, 3, 4]
+
+    def test_handoff_count_is_deterministic(self):
+        """The hand-off count is a pure function of the schedule."""
+
+        def run_once():
+            engine = Engine(nranks=8, mode="symbolic", trace=False,
+                            backend="baton", op_timeout=5.0)
+            from repro.comm.communicator import Communicator
+
+            def program(ctx):
+                comm = Communicator(ctx, tuple(range(8)))
+                for _ in range(3):
+                    comm.barrier()
+
+            engine.run(program)
+            count = engine.scheduler.handoffs
+            engine.shutdown()
+            return count
+
+        counts = {run_once() for _ in range(3)}
+        assert len(counts) == 1
+        assert counts.pop() > 0
+
+    def test_reentrant_run_is_rejected(self):
+        sched = BatonScheduler()
+        errors = []
+
+        def worker(rank):
+            if rank == 0:
+                try:
+                    sched.run(1, lambda r: None)
+                except SimulationError as exc:
+                    errors.append(str(exc))
+
+        sched.run(2, worker)
+        assert errors and "already running" in errors[0]
+
+    def test_null_lock_degenerate_semantics(self):
+        lock = _NullLock()
+        with lock:
+            assert lock.acquire()
+            lock.release()
+
+
+class TestInstantDeadlockDetection:
+    def test_cooperative_deadlock_does_not_wait_for_timeout(self):
+        """A drained run queue *is* the deadlock — no wall-clock sleep.
+
+        The threaded watchdog can only fire after ``op_timeout`` wall
+        seconds; cooperative backends fire the same callback the moment
+        no task can run.  With a 30 s timeout, finishing in well under a
+        second proves the detection is instant.
+        """
+        from repro.comm.communicator import Communicator
+
+        def prog(ctx):
+            if ctx.rank == 1:
+                return  # rank 1 skips the barrier: guaranteed deadlock
+            Communicator(ctx, (0, 1, 2)).barrier()
+
+        engine = Engine(nranks=3, op_timeout=30.0, backend="cooperative")
+        t0 = time.monotonic()
+        with pytest.raises(DeadlockError, match=r"missing ranks \[1\]"):
+            engine.run(prog)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 5.0, (
+            f"cooperative deadlock detection took {elapsed:.1f}s — it slept "
+            f"toward the wall-clock timeout instead of firing instantly"
+        )
+        # the message still reports the *configured* timeout
+        engine.shutdown()
+
+
+@pytest.mark.skipif(not greenlet_available(),
+                    reason="repro[fast] extra not installed")
+class TestGreenletBackend:
+    def test_runs_and_matches_baton_handoff_semantics(self):
+        sched = GreenletScheduler()
+        order = []
+        sched.run(4, order.append)
+        assert sorted(order) == [0, 1, 2, 3]
