@@ -13,11 +13,16 @@ Two input schemas are accepted:
   export; pytest-benchmark's own wall-clock ``stats`` are machine noise
   and are deliberately ignored.  Each metric's direction is inferred from
   its name (``goodput``/``per_s``/``speedup`` are better higher;
-  ``latency``/``time``/``overhead``/... better lower).
+  ``latency``/``time``/``overhead``/``handoff``/... better lower).  A name
+  matching *no* hint gets the ``neutral`` direction — any move beyond the
+  threshold fails the gate, in either direction — and is called out with
+  an explicit warning, so a new counter cannot silently ride the old
+  "unknown means higher is better" default past a regression.
 
 A metric regresses when it moves against its ``direction`` by more than
-``--threshold`` (relative, default 20%).  Metrics present in only one
-file are reported but never fail the gate (scenarios come and go).
+``--threshold`` (relative, default 20%); ``neutral`` metrics regress on
+any move beyond the threshold.  Metrics present in only one file are
+reported but never fail the gate (scenarios come and go).
 
 Exit code 0 = no regressions, 1 = at least one, 2 = unreadable input.
 """
@@ -34,17 +39,22 @@ import sys
 _HIGHER_HINTS = ("per_s", "goodput", "throughput", "speedup")
 _LOWER_HINTS = ("time", "latency", "_s", "lost", "overhead", "p50", "p99",
                 "ttft", "tpot", "bytes", "depth", "makespan", "iterations",
-                "preempt")
+                "preempt", "handoff", "us_per")
 
 
 def heuristic_direction(name: str) -> str:
-    """Infer better-higher vs better-lower from a metric name."""
+    """Infer a direction from a metric name.
+
+    Returns ``"higher"``, ``"lower"``, or — when no hint matches —
+    ``"neutral"``: the caller warns about the unknown name and the diff
+    gates on *any* change rather than guessing which way is good.
+    """
     low = name.lower()
     if any(h in low for h in _HIGHER_HINTS):
         return "higher"
     if any(h in low for h in _LOWER_HINTS):
         return "lower"
-    return "higher"
+    return "neutral"
 
 
 def _from_pytest_benchmark(payload: dict) -> dict[str, dict]:
@@ -55,9 +65,15 @@ def _from_pytest_benchmark(payload: dict) -> dict[str, dict]:
         for key, value in (bench.get("extra_info") or {}).items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 continue
+            direction = heuristic_direction(key)
+            if direction == "neutral":
+                print(f"  warning: no direction hint matches metric "
+                      f"'{bname}.{key}'; gating on any change beyond the "
+                      f"threshold (add a hint to benchmarks/diff_nightly.py "
+                      f"to classify it)")
             metrics[f"{bname}.{key}"] = {
                 "value": float(value),
-                "direction": heuristic_direction(key),
+                "direction": direction,
             }
     return metrics
 
@@ -93,9 +109,14 @@ def diff_metrics(
             delta = 0.0 if c == 0.0 else float("inf")
         else:
             delta = (c - p) / abs(p)
-        worse = -delta if direction == "higher" else delta
+        if direction == "neutral":
+            worse = abs(delta)
+            want = "steady"
+        else:
+            worse = -delta if direction == "higher" else delta
+            want = direction
         line = (f"{name}: {p:.6g} -> {c:.6g} "
-                f"({delta:+.1%}, want {direction})")
+                f"({delta:+.1%}, want {want})")
         if worse > threshold:
             regressions.append(line)
         elif delta != 0.0:

@@ -23,8 +23,8 @@ from repro.hardware.spec import ClusterSpec, meluxina
 from repro.hardware.topology import Placement
 from repro.parallel.factory import build_transformer_stack
 from repro.sim.cost import CollectiveAlg
-from repro.sim.engine import Engine
-from repro.sim.schedulers import resolve_backend
+from repro.sim.engine import Engine, run_engines
+from repro.sim.schedulers import SchedulerBackend, resolve_backend
 from repro.util.mathutil import ceil_div
 from repro.varray.varray import VArray
 
@@ -57,11 +57,44 @@ ENGINE_CACHE_MAX = 8
 ENGINE_CACHE_MAX_BYTES = 64 * 1024 * 1024
 
 
+#: One shared scheduler instance per multiplex-capable backend name.
+#: ``run_engines`` requires every multiplexed engine to be built on the
+#: *same* backend instance; caching it here lets every cached engine of a
+#: session join one event-scheduler loop.  Backends without
+#: ``supports_deferred_sync`` keep one instance per engine, as before.
+_SHARED_BACKENDS: dict[str, SchedulerBackend] = {}
+
+
+def _session_backend() -> SchedulerBackend | None:
+    """The session-shared backend instance, or None to let each engine
+    resolve its own (threaded/baton/greenlet — their per-engine instances
+    are the historical behaviour and ``run`` is not shareable-reentrant).
+    """
+    probe = resolve_backend(None)
+    if not getattr(probe, "supports_deferred_sync", False):
+        return None
+    return _SHARED_BACKENDS.setdefault(probe.name, probe)
+
+
+def _shutdown_quietly(engine: Engine) -> None:
+    """Best-effort shutdown of an evicted/discarded engine.
+
+    The engine is already out of the cache when this runs; a shutdown
+    that raises (half-dead worker state after an aborted run) must not
+    mask the caller's own error or wedge the eviction loop — the engine
+    is discarded either way.
+    """
+    try:
+        engine.shutdown()
+    except Exception:
+        pass
+
+
 def clear_engine_cache() -> None:
     """Drop all session-cached engines (tests that tune engines use this)."""
     while _ENGINE_CACHE:
         _, engine = _ENGINE_CACHE.popitem(last=False)
-        engine.shutdown()
+        _shutdown_quietly(engine)
 
 
 def _cache_footprint() -> int:
@@ -83,7 +116,21 @@ def _cache_put(key: tuple, engine: Engine) -> None:
         len(_ENGINE_CACHE) > 1 and _cache_footprint() > ENGINE_CACHE_MAX_BYTES
     ):
         _, stale = _ENGINE_CACHE.popitem(last=False)
-        stale.shutdown()
+        _shutdown_quietly(stale)
+
+
+def _evict_engine(engine: Engine) -> None:
+    """Drop a poisoned engine from the cache and discard it.
+
+    Called when a run on a cached engine raised: the engine's rank state
+    may be wedged mid-rendezvous, so handing it to the next row would
+    turn one failure into a cascade.
+    """
+    for key, cached in list(_ENGINE_CACHE.items()):
+        if cached is engine:
+            del _ENGINE_CACHE[key]
+            break
+    _shutdown_quietly(engine)
 
 
 @dataclass
@@ -161,6 +208,9 @@ def engine_for_row(
         placement=placement,
         comm_alg=comm_alg,
         trace=collect_comm,
+        # Multiplex-capable backends share one instance session-wide so
+        # run_table can drive several engines on a single scheduler loop.
+        backend=_session_backend(),
     )
     if cache:
         _cache_put(key, engine)
@@ -193,6 +243,13 @@ def run_row(
             )
         engine.trace.clear()
 
+    results = engine.run(_row_program(row, batch, seq_len, num_layers))
+    return _measured(row, batch, engine, results, collect_comm)
+
+
+def _row_program(row: BenchRow, batch: int, seq_len: int, num_layers: int):
+    """The per-rank program of one table row (fwd+bwd, symbolic)."""
+
     def program(ctx):
         handle = build_transformer_stack(
             ctx,
@@ -213,7 +270,13 @@ def run_row(
         t2 = ctx.now
         return t0, t1, t2, ctx.mem.peak_total
 
-    results = engine.run(program)
+    return program
+
+
+def _measured(
+    row: BenchRow, batch: int, engine: Engine, results, collect_comm: bool
+) -> MeasuredRow:
+    """Fold one run's per-rank results into a :class:`MeasuredRow`."""
     fwd = max(t1 - t0 for t0, t1, _, _ in results)
     bwd = max(t2 - t1 for _, t1, t2, _ in results)
     peak_mem = max(m for *_, m in results)
@@ -240,11 +303,67 @@ def run_table(
     benchmark suite runs many tables at the same cluster sizes — reuse
     the same engines (and their warm topology/worker-pool state) *across*
     tables too.
+
+    Under a multiplex-capable backend (``event``) consecutive rows whose
+    engines are *distinct* run together on one scheduler loop
+    (:func:`repro.sim.engine.run_engines`): the whole sweep pays one run
+    cycle per batch instead of one per row.  A row whose engine is
+    already in the current batch — same GPU count, same configuration —
+    flushes the batch first, since one engine can host only one run at a
+    time.  Results and virtual times are identical either way.
+
+    A row that raises evicts its cached engine (its rank state may be
+    wedged mid-rendezvous) before the error propagates.
     """
-    out = []
+    multiplex = _session_backend() is not None
+    collect_comm = kwargs.get("collect_comm", True)
+    out: list[MeasuredRow] = []
+    batch: list[tuple[BenchRow, int, Engine]] = []
+
+    def flush() -> None:
+        if not batch:
+            return
+        pending, batch[:] = list(batch), []
+        if len(pending) == 1 or any(e.closed for *_, e in pending):
+            # A later engine build evicted (and closed) a batch member:
+            # degrade to the sequential path, rebuilding as needed.
+            for row, _, engine in pending:
+                if engine.closed:
+                    engine = engine_for_row(row, cache=True, **kwargs)
+                try:
+                    out.append(run_row(row, seq_len=seq_len,
+                                       num_layers=num_layers, engine=engine))
+                except Exception:
+                    _evict_engine(engine)
+                    raise
+            return
+        for *_, engine in pending:
+            engine.trace.clear()
+        jobs = [
+            (engine, _row_program(row, eff, seq_len, num_layers))
+            for row, eff, engine in pending
+        ]
+        try:
+            per_engine = run_engines(jobs)
+        except Exception:
+            for *_, engine in pending:
+                _evict_engine(engine)
+            raise
+        for (row, eff, engine), results in zip(pending, per_engine):
+            out.append(_measured(row, eff, engine, results, collect_comm))
+
     for row in rows:
         engine = engine_for_row(row, cache=True, **kwargs)
-        out.append(
-            run_row(row, seq_len=seq_len, num_layers=num_layers, engine=engine)
-        )
+        if not multiplex:
+            try:
+                out.append(run_row(row, seq_len=seq_len,
+                                   num_layers=num_layers, engine=engine))
+            except Exception:
+                _evict_engine(engine)
+                raise
+            continue
+        if any(e is engine for *_, e in batch):
+            flush()
+        batch.append((row, effective_batch(row), engine))
+    flush()
     return out

@@ -84,7 +84,7 @@ from typing import Any, Sequence
 from repro.comm.group import ProcessGroup
 from repro.comm.reduce_ops import ReduceOp, combine
 from repro.errors import CommError, ShapeError
-from repro.sim.engine import RankContext
+from repro.sim.engine import LOCAL_ECHO, LOCAL_NONE, RankContext
 from repro.sim.events import CommEvent, FusedBatchEvent, RetryEvent
 from repro.varray.varray import VArray
 
@@ -133,10 +133,11 @@ class _CollectiveOp:
     price and account for it (see :meth:`Communicator._run`)."""
 
     __slots__ = ("kind", "payload", "finisher_data", "cost_fn", "price_kind",
-                 "price_bytes", "nbytes", "tag", "t_post", "handle")
+                 "price_bytes", "nbytes", "tag", "t_post", "handle",
+                 "local_result")
 
     def __init__(self, kind, payload, finisher_data, cost_fn, price_kind,
-                 price_bytes, nbytes, tag):
+                 price_bytes, nbytes, tag, local_result=None):
         self.kind = kind
         self.payload = payload
         self.finisher_data = finisher_data
@@ -147,6 +148,16 @@ class _CollectiveOp:
         self.tag = tag
         self.t_post: float = 0.0
         self.handle: PendingResult | None = None
+        #: deferred-mode early result: a ``LOCAL_NONE``/``LOCAL_ECHO``
+        #: sentinel, a ``(op_index, arrivals) -> (ok, value)`` callable
+        #: over the raw arrival map deposited so far, or None when the
+        #: result cannot be known before the last member arrives
+        self.local_result = local_result
+
+
+def _barrier_data(ordered: dict[int, Any]) -> dict[int, Any]:
+    """Barrier data pass: every member's result is None."""
+    return {g: None for g in ordered}
 
 
 class _BatchWindow:
@@ -177,15 +188,17 @@ class Communicator:
             group = ProcessGroup.of(group)
         self.ctx = ctx
         self.group = group
-        if not group.contains(ctx.rank):
+        rank = group.index_map().get(ctx.rank)
+        if rank is None:
             raise CommError(
                 f"rank {ctx.rank} cannot build a communicator for group "
                 f"{group.ranks} it does not belong to"
             )
-        self.rank = group.index(ctx.rank)  #: group-relative rank
+        self.rank = rank  #: group-relative rank
         self.size = group.size
         self._cost = ctx.engine.comm_model
         self._window: _BatchWindow | None = None
+        self._barrier_cost = None  #: lazily built once (hot-path closure)
 
     # --- batch window ---------------------------------------------------------
 
@@ -246,6 +259,7 @@ class Communicator:
         tag: str = "",
         price_kind: str = "",
         price_bytes=0.0,
+        local_result=None,
     ):
         """Issue one collective: rendezvous now, or queue it on the window.
 
@@ -254,16 +268,41 @@ class Communicator:
         (needed e.g. by broadcast, where non-root callers post None and
         only learn the payload size from the result).  ``price_kind`` and
         ``price_bytes`` feed :meth:`CommCostModel.fused` when the op is
-        queued inside a batch window.
+        queued inside a batch window.  ``local_result`` (optional) lets the
+        deferred path hand a non-last arriver its result early — see
+        ``Engine.fused_collective_deferred``.
         """
-        op = _CollectiveOp(kind, payload, finisher_data, cost_fn,
-                           price_kind, price_bytes, nbytes, tag)
         if self._window is not None:
-            return self._window._enqueue(op)
-        return self._run_single(op)
+            return self._window._enqueue(
+                _CollectiveOp(kind, payload, finisher_data, cost_fn,
+                              price_kind, price_bytes, nbytes, tag,
+                              local_result=local_result)
+            )
+        ctx = self.ctx
+        if ctx.engine._deferred:
+            # Deferred timing: deposit and run on, skipping op/closure
+            # construction entirely — the engine wraps ``finisher_data``/
+            # ``cost_fn`` into the same data pass and pricing as the
+            # blocking finisher exactly once, on the last arriver, and
+            # returns cost *offsets* (the group arrival time is added
+            # when the node resolves, the same float arithmetic the
+            # blocking path does eagerly).  The deferred gate implies no
+            # fault plan, so the full fault check is only needed once a
+            # rank is actually marked dead (abort cascades).
+            if ctx._crash_at is not None or ctx.engine._dead:
+                ctx.check_faults()
+            return ctx.engine.collective_deferred_single(
+                self.group, ctx, payload, kind,
+                finisher_data, cost_fn, local_result,
+            )
+        return self._run_single(
+            _CollectiveOp(kind, payload, finisher_data, cost_fn,
+                          price_kind, price_bytes, nbytes, tag,
+                          local_result=local_result)
+        )
 
     def _run_single(self, op: _CollectiveOp):
-        """Unbatched path: one op, one generation of the group channel."""
+        """Unbatched blocking path: one op, one group-channel generation."""
         self.ctx.check_faults()
         granks = self.group.ranks
         gen = self.ctx.next_group_seq(granks)
@@ -283,18 +322,19 @@ class Communicator:
         )
         result = res[0] if res else None
         self.ctx.clock.sync_to(t_ends[0])
-        nbytes = op.nbytes(result) if callable(op.nbytes) else op.nbytes
-        self.ctx.trace.record(
-            CommEvent(
-                rank=self.ctx.rank,
-                kind=op.kind,
-                group=granks,
-                nbytes=nbytes,
-                t_start=op.t_post,
-                t_end=self.ctx.clock.now,
-                tag=op.tag,
+        if self.ctx.trace.enabled:
+            nbytes = op.nbytes(result) if callable(op.nbytes) else op.nbytes
+            self.ctx.trace.record(
+                CommEvent(
+                    rank=self.ctx.rank,
+                    kind=op.kind,
+                    group=granks,
+                    nbytes=nbytes,
+                    t_start=op.t_post,
+                    t_end=self.ctx.clock.now,
+                    tag=op.tag,
+                )
             )
-        )
         return result
 
     def _flush_window(self, win: _BatchWindow):
@@ -305,13 +345,11 @@ class Communicator:
         self.ctx.check_faults()
         granks = self.group.ranks
         ctx = self.ctx
-        gen = ctx.next_group_seq(granks)
         t_flush = ctx.clock.now
         sig = tuple(op.kind for op in ops)
         cost = self._cost
 
-        def finisher(arrivals: dict[int, Any]):
-            t_arrive = max(t for (_, t) in arrivals.values())
+        def run_data_pass(arrivals: dict[int, Any]):
             # Pass 1: data results per op (fills the byte holders that
             # root-relative ops like broadcast only learn here).
             per_op = []
@@ -326,10 +364,34 @@ class Communicator:
                 for op in ops
             ]
             offsets = cost.fused(granks, items)
-            t_ends = tuple(t_arrive + off for off in offsets)
             results = {
                 g: [per_op[k][g] for k in range(len(ops))] for g in granks
             }
+            return results, offsets
+
+        if ctx.engine._deferred:
+            def completer(arrivals: dict[int, Any]):
+                results, offsets = run_data_pass(arrivals)
+                return results, tuple(offsets)
+
+            # Same group-keyed generation domain as the unbatched
+            # deferred path, so a window/non-window mismatch on one
+            # generation still meets in the same node.
+            res, _ = ctx.engine.fused_collective_deferred(
+                self.group, ctx.next_group_seq(self.group), ctx.rank,
+                ([op.payload for op in ops], t_flush),
+                sig, completer, tuple(op.local_result for op in ops),
+            )
+            for k, op in enumerate(ops):
+                op.handle._resolve(res[k])
+            return
+
+        gen = ctx.next_group_seq(granks)
+
+        def finisher(arrivals: dict[int, Any]):
+            t_arrive = max(t for (_, t) in arrivals.values())
+            results, offsets = run_data_pass(arrivals)
+            t_ends = tuple(t_arrive + off for off in offsets)
             return results, t_ends
 
         res, t_ends = ctx.engine.fused_collective(
@@ -337,34 +399,37 @@ class Communicator:
             sig, finisher,
         )
         ctx.clock.sync_to(t_ends[-1])
+        trace_on = ctx.trace.enabled
         total = 0.0
         for k, op in enumerate(ops):
             value = res[k]
-            nbytes = op.nbytes(value) if callable(op.nbytes) else op.nbytes
-            total += nbytes
+            if trace_on:
+                nbytes = op.nbytes(value) if callable(op.nbytes) else op.nbytes
+                total += nbytes
+                ctx.trace.record(
+                    CommEvent(
+                        rank=ctx.rank,
+                        kind=op.kind,
+                        group=granks,
+                        nbytes=nbytes,
+                        t_start=op.t_post,
+                        t_end=t_ends[k],
+                        tag=op.tag,
+                    )
+                )
+            op.handle._resolve(value)
+        if trace_on:
             ctx.trace.record(
-                CommEvent(
+                FusedBatchEvent(
                     rank=ctx.rank,
-                    kind=op.kind,
                     group=granks,
-                    nbytes=nbytes,
-                    t_start=op.t_post,
-                    t_end=t_ends[k],
-                    tag=op.tag,
+                    kinds=sig,
+                    nbytes=total,
+                    t_start=ops[0].t_post,
+                    t_end=t_ends[-1],
+                    tag=win._tag,
                 )
             )
-            op.handle._resolve(value)
-        ctx.trace.record(
-            FusedBatchEvent(
-                rank=ctx.rank,
-                group=granks,
-                kinds=sig,
-                nbytes=total,
-                t_start=ops[0].t_post,
-                t_end=t_ends[-1],
-                tag=win._tag,
-            )
-        )
 
     @staticmethod
     def _expect_varray(value: Any, what: str) -> VArray:
@@ -406,6 +471,12 @@ class Communicator:
             tag=tag,
             price_kind="broadcast",
             price_bytes=lambda: holder.get("nbytes", nbytes),
+            # Every member's result is the root's payload, available as
+            # soon as the root has deposited.
+            local_result=lambda k, arrivals: (
+                (True, arrivals[root_global][0][k])
+                if root_global in arrivals else (False, None)
+            ),
         )
         return result
 
@@ -435,6 +506,8 @@ class Communicator:
             tag=tag,
             price_kind="reduce",
             price_bytes=arr.nbytes,
+            # Non-roots receive nothing; the root needs every payload.
+            local_result=None if self.rank == root else LOCAL_NONE,
         )
 
     def all_reduce(self, arr: VArray, op: ReduceOp = ReduceOp.SUM, tag: str = "") -> VArray:
@@ -457,6 +530,11 @@ class Communicator:
             tag=tag,
             price_kind="all_reduce",
             price_bytes=arr.nbytes,
+            # Symbolic combine depends only on shape/dtype (uniform across
+            # the group, or the completer aborts), so the result is known
+            # the moment this rank arrives — and is value-identical to the
+            # caller's own symbolic payload.
+            local_result=LOCAL_ECHO if arr.is_symbolic else None,
         )
 
     def all_gather(self, arr: VArray, tag: str = "") -> list[VArray]:
@@ -508,6 +586,7 @@ class Communicator:
             return out
 
         total = sum(c.nbytes for c in chunks)
+        my_chunk = chunks[self.rank]
         return self._run(
             kind=f"reduce_scatter[op={op.value}]",
             payload=list(chunks),
@@ -517,6 +596,12 @@ class Communicator:
             tag=tag,
             price_kind="reduce_scatter",
             price_bytes=total,
+            # Symbolic combine of chunk ``self.rank`` is shape/dtype-only.
+            local_result=(
+                (lambda k, arrivals:
+                 (True, VArray.symbolic(my_chunk.shape, my_chunk.dtype)))
+                if my_chunk.is_symbolic else None
+            ),
         )
 
     def scatter(
@@ -563,6 +648,13 @@ class Communicator:
             tag=tag,
             price_kind="scatter",
             price_bytes=lambda: holder.get("nbytes", nbytes),
+            # Member ``i``'s chunk exists as soon as the root deposits.
+            local_result=(
+                lambda k, arrivals, _i=self.rank: (
+                    (True, arrivals[root_global][0][k][_i])
+                    if root_global in arrivals else (False, None)
+                )
+            ),
         )
 
     def gather(self, arr: VArray, root: int, tag: str = "") -> list[VArray] | None:
@@ -589,6 +681,8 @@ class Communicator:
             tag=tag,
             price_kind="gather",
             price_bytes=total,
+            # Non-roots receive nothing; the root needs every payload.
+            local_result=None if self.rank == root else LOCAL_NONE,
         )
 
     def all_to_all(self, chunks: Sequence[VArray], tag: str = "") -> list[VArray]:
@@ -624,19 +718,24 @@ class Communicator:
         """Synchronize all members' virtual clocks."""
         if self.size == 1:
             return self._immediate(None)
-
-        def data(ordered: dict[int, Any]):
-            return {g: None for g in ordered}
-
+        # Barriers are the leanest op on the deferred hot path; both
+        # closures are capture-free per call, so build them once.
+        cost_fn = self._barrier_cost
+        if cost_fn is None:
+            cost_fn = self._barrier_cost = (
+                lambda: self._cost.barrier(self.group.ranks)
+            )
         return self._run(
             kind="barrier",
             payload=None,
-            finisher_data=data,
-            cost_fn=lambda: self._cost.barrier(self.group.ranks),
+            finisher_data=_barrier_data,
+            cost_fn=cost_fn,
             nbytes=0,
             tag=tag,
             price_kind="barrier",
             price_bytes=0.0,
+            # A barrier carries no data; only its timing is deferred.
+            local_result=LOCAL_NONE,
         )
 
     # --- point-to-point -------------------------------------------------------------
@@ -654,6 +753,9 @@ class Communicator:
         """
         self._no_window("send")
         self.ctx.check_faults()
+        # p2p observes and publishes real timestamps: land any deferred
+        # epoch on true virtual time first (no-op outside the event path).
+        self.ctx.engine.sync_rank(self.ctx)
         self._expect_varray(arr, "send payload")
         self._check_root(dst)
         if dst == self.rank:
@@ -695,17 +797,18 @@ class Communicator:
         # Eager/buffered semantics: the sender pays injection latency only.
         self.ctx.clock.advance(link_latency)
         self.ctx.engine.post_message(key, arr, self.ctx.clock.now)
-        self.ctx.trace.record(
-            CommEvent(
-                rank=self.ctx.rank,
-                kind="send",
-                group=(src_g, dst_g),
-                nbytes=arr.nbytes,
-                t_start=t0,
-                t_end=self.ctx.clock.now,
-                tag=tag,
+        if self.ctx.trace.enabled:
+            self.ctx.trace.record(
+                CommEvent(
+                    rank=self.ctx.rank,
+                    kind="send",
+                    group=(src_g, dst_g),
+                    nbytes=arr.nbytes,
+                    t_start=t0,
+                    t_end=self.ctx.clock.now,
+                    tag=tag,
+                )
             )
-        )
 
     def recv(self, src: int, p2p_tag: int = 0, tag: str = "") -> VArray:
         """Blocking receive from group rank ``src``.
@@ -718,6 +821,7 @@ class Communicator:
         """
         self._no_window("recv")
         self.ctx.check_faults()
+        self.ctx.engine.sync_rank(self.ctx)
         self._check_root(src)
         if src == self.rank:
             raise CommError(f"rank {self.rank} cannot receive from itself")
@@ -735,17 +839,18 @@ class Communicator:
         if plan is not None and plan.jitter > 0.0:
             t_arrive += plan.delivery_jitter(src_g, dst_g, p2p_tag, seq)
         self.ctx.clock.sync_to(max(t_arrive, t_post))
-        self.ctx.trace.record(
-            CommEvent(
-                rank=self.ctx.rank,
-                kind="recv",
-                group=(src_g, dst_g),
-                nbytes=arr.nbytes,
-                t_start=t_post,
-                t_end=self.ctx.clock.now,
-                tag=tag,
+        if self.ctx.trace.enabled:
+            self.ctx.trace.record(
+                CommEvent(
+                    rank=self.ctx.rank,
+                    kind="recv",
+                    group=(src_g, dst_g),
+                    nbytes=arr.nbytes,
+                    t_start=t_post,
+                    t_end=self.ctx.clock.now,
+                    tag=tag,
+                )
             )
-        )
         return arr
 
     def sendrecv(

@@ -14,6 +14,12 @@ from repro.errors import CommError
 
 __all__ = ["ProcessGroup"]
 
+#: Interned groups keyed by rank tuple; bounded so adversarial workloads
+#: (fuzzers generating thousands of distinct groups) cannot grow it
+#: without limit — on overflow the cache is simply dropped and rebuilt.
+_GROUP_CACHE: dict = {}
+_GROUP_CACHE_MAX = 4096
+
 
 @dataclass(frozen=True)
 class ProcessGroup:
@@ -29,10 +35,49 @@ class ProcessGroup:
         if any(r < 0 for r in self.ranks):
             raise CommError(f"negative rank in group {self.ranks}")
 
+    def __hash__(self) -> int:
+        # Value hash (matches the dataclass ``__eq__``), computed once:
+        # the engine keys per-generation state by group, and re-hashing
+        # the rank tuple would cost O(members) on every collective.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(self.ranks)
+            object.__setattr__(self, "_hash", h)
+        return h
+
     @classmethod
     def of(cls, ranks: Sequence[int]) -> "ProcessGroup":
-        """Build a group from any rank sequence."""
-        return cls(tuple(int(r) for r in ranks))
+        """Build a group from any rank sequence (interned).
+
+        Validated groups are cached by their rank tuple: every rank of a
+        large group builds the same group each run, so re-validating
+        (dup/negative checks are O(members)) would make communicator
+        construction quadratic in group size across the job.  Groups are
+        frozen, so sharing instances is safe; numpy integer ranks hash
+        like ints and hit the same cache slot as the canonical tuple.
+        """
+        key = ranks if type(ranks) is tuple else tuple(ranks)
+        cached = _GROUP_CACHE.get(key)
+        if cached is not None:
+            return cached
+        group = cls(tuple(int(r) for r in key))
+        if len(_GROUP_CACHE) >= _GROUP_CACHE_MAX:
+            _GROUP_CACHE.clear()
+        _GROUP_CACHE[key] = group
+        return group
+
+    def index_map(self) -> dict[int, int]:
+        """Global rank -> group index, built lazily and cached.
+
+        Turns the O(members) ``index``/``contains`` tuple scans into one
+        dict lookup for callers on the hot path (communicator
+        construction does both for every rank of the group).
+        """
+        imap = self.__dict__.get("_imap")
+        if imap is None:
+            imap = {g: i for i, g in enumerate(self.ranks)}
+            object.__setattr__(self, "_imap", imap)
+        return imap
 
     @property
     def size(self) -> int:

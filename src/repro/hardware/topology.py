@@ -76,6 +76,9 @@ class Topology:
         #: per-rank-pair transfer-time multipliers from injected link
         #: faults (see :mod:`repro.sim.faults`); keyed by sorted pair
         self._link_scale: dict[tuple[int, int], float] = {}
+        #: bumped on every mutation that changes pricing (link faults);
+        #: price caches key on it so a degradation invalidates them
+        self.version = 0
         g = cluster.node.gpus_per_node
         if placement is Placement.BLOCK:
             self._node_of = [r // g for r in range(self.nranks)]
@@ -121,6 +124,7 @@ class Topology:
         self._check_rank(b)
         pair = (min(a, b), max(a, b))
         self._link_scale[pair] = self._link_scale.get(pair, 1.0) * factor
+        self.version += 1
 
     def link_scale(self, a: int, b: int) -> float:
         """Transfer-time multiplier for the (a, b) link (1.0 = healthy)."""

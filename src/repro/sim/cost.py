@@ -68,7 +68,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.errors import CommError
 from repro.hardware.spec import GPUSpec, LinkSpec
@@ -169,6 +169,13 @@ class CommCostModel:
             gamma if gamma is not None else 1.0 / topology.cluster.gpu.mem_bandwidth
         )
         self.nic_contention = nic_contention
+        #: memoized :meth:`fused` offsets.  Pricing is a pure function of
+        #: (group, op sequence) given a topology state, and symbolic-mode
+        #: sweeps reprice the same few windows thousands of times — one
+        #: per layer per round per row — so "price once, broadcast" turns
+        #: the dominant cost-model work into a dict hit.  Keyed on the
+        #: topology version so an injected link fault invalidates it.
+        self._fused_memo: dict[Any, tuple[float, ...]] = {}
 
     # --- helpers --------------------------------------------------------------
 
@@ -375,7 +382,16 @@ class CommCostModel:
 
         A single-op sequence prices identically to the op's own method,
         so the unbatched path and a one-op window agree to the bit.
+
+        Results are memoized per ``(topology version, group, op
+        sequence)``: regular sweeps issue the same window on the same
+        group for every layer of every round, and the priced offsets are
+        identical floats each time.
         """
+        memo_key = (self.topology.version, tuple(ranks), tuple(ops))
+        cached = self._fused_memo.get(memo_key)
+        if cached is not None:
+            return list(cached)
         dispatch = {
             "all_reduce": self.all_reduce,
             "broadcast": self.broadcast,
@@ -403,6 +419,8 @@ class CommCostModel:
             t += price(ranks, total)
             offsets.extend([t] * (j - i))
             i = j
+        if len(self._fused_memo) < 4096:  # plenty for any sweep's window mix
+            self._fused_memo[memo_key] = tuple(offsets)
         return offsets
 
     def barrier(self, ranks: Sequence[int]) -> float:

@@ -62,6 +62,23 @@ mechanisms keep the dispatch hot path off the floor:
   group and pay one sleep/wake cycle for all of them.  The per-rank group
   sequence counter doubles as the generation number, so matching is
   deterministic under any thread interleaving.
+* **Deferred collective timing** (event backend only).  A symbolic-mode
+  engine with no fault plan and tracing disabled does not need a
+  collective's completion *time* at the moment the rank passes it — only
+  its result, which for most op kinds is locally computable from shapes.
+  Under a backend with ``supports_deferred_sync`` the engine therefore
+  *deposits* the arrival in a :class:`_DeferredNode` and lets the rank
+  run straight on with a provisional clock; completion times resolve
+  later as a dependency DAG (a node's true arrival is its members'
+  resolved previous node plus their logged compute deltas — the same
+  float fold the blocking path performs, hence bit-identical times).
+  Any observation of real time — ``ctx.now``, a p2p send/receive, a
+  keyed collective, the end of the run — force-syncs the rank first via
+  :meth:`Engine.sync_rank`.  A whole sweep then executes with roughly
+  one scheduler hand-off per rank instead of one per rank per
+  collective, and a run that ends with incomplete nodes raises the same
+  :class:`DeadlockError` the blocking backends produce, named from the
+  earliest incomplete node.
 
 Fault injection
 ---------------
@@ -104,7 +121,7 @@ from repro.sim.schedulers import SchedulerBackend, resolve_backend
 from repro.util.mathutil import ceil_div
 from repro.util.rng import rng_for
 
-__all__ = ["Engine", "RankContext"]
+__all__ = ["Engine", "RankContext", "run_engines"]
 
 #: Number of independent lock shards for the rendezvous/mailbox registry.
 #: Must be a power of two (shard selection is ``hash & (_N_SHARDS - 1)``).
@@ -152,6 +169,64 @@ class _FusedGen:
         self.done = False
         self.event = event  #: backend event; set once when done or failed
         self.failed: RankFailureError | None = None  #: a member died
+
+
+class _DeferredNode:
+    """One deferred fused generation: arrivals now, timing later.
+
+    Duck-types the ``arrivals``/``sig``/``done``/``failed`` surface of
+    :class:`_FusedGen` so :meth:`Engine._fused_deadlock_error` names an
+    incomplete node with the byte-identical message the blocking path
+    produces.  On top of that it carries the resolution DAG: per-member
+    links to the member's previous node (plus the clock deltas logged in
+    between), the completer's results/offsets, and dependency counters
+    so completion times resolve in topological order.
+    """
+
+    __slots__ = ("granks", "gen", "sig", "seq", "size", "arrivals", "links",
+                 "waiters", "results", "offsets", "t_ends", "done",
+                 "resolved", "unresolved_inputs", "dependents", "failed")
+
+    def __init__(self, granks: tuple[int, ...], gen: int,
+                 sig: tuple[str, ...], seq: int):
+        self.granks = granks
+        self.gen = gen
+        self.sig = sig
+        self.seq = seq  #: global creation order (deadlock naming)
+        self.size = len(granks)
+        #: rank -> (per-op payload list, provisional arrival time)
+        self.arrivals: dict[int, tuple[list[Any], float]] = {}
+        #: rank -> (previous node or None, clock deltas since its pickup)
+        self.links: dict[int, tuple["_DeferredNode | None",
+                                    tuple[float, ...]]] = {}
+        #: ranks blocked for a result that is not locally computable
+        self.waiters: dict[int, Any] = {}
+        self.results: dict[int, list[Any]] = {}
+        #: per-op completion offsets from the group arrival time
+        self.offsets: tuple[float, ...] = ()
+        self.t_ends: tuple[float, ...] = ()
+        self.done = False        #: all members deposited
+        self.resolved = False    #: t_ends computed
+        self.unresolved_inputs = 0
+        self.dependents: list["_DeferredNode"] = []
+        self.failed = None  #: _FusedGen duck-typing (never set: no faults)
+
+
+#: Sentinel ``local_result`` markers for the deferred path.  The common
+#: early-result shapes need no per-op closure: a timing-only op whose
+#: result is always ``None`` (barrier, non-root reduce/gather) passes
+#: ``LOCAL_NONE``; a symbolic op whose result is value-identical to the
+#: caller's own payload (symbolic all_reduce: same shape, same dtype, no
+#: data) passes ``LOCAL_ECHO``.  Anything shape-changing or dependent on
+#: another rank's arrival stays a ``(op_index, arrivals) -> (ok, value)``
+#: callable.
+LOCAL_NONE = object()
+LOCAL_ECHO = object()
+
+#: Interned single-op signature tuples: the unbatched deposit path runs
+#: once per rank per collective, so even the ``(kind,)`` allocation is
+#: worth hoisting.
+_SIG1: dict[str, tuple[str, ...]] = {}
 
 
 class _GroupChannel:
@@ -225,12 +300,20 @@ class RankContext:
         self._compute_factor = (
             plan.compute_factor(rank) if plan is not None else 1.0
         )
+        #: deferred-timing state (event backend): the last deferred node
+        #: this rank picked up, how many of its nodes are unresolved, and
+        #: the event a force-sync is parked on (swept by ``_abort``)
+        self._prev_node: _DeferredNode | None = None
+        self._pending = 0
+        self._sync_event: Any = None
 
     # --- local work -----------------------------------------------------------
 
     @property
     def now(self) -> float:
         """Current simulated time of this rank."""
+        if self._prev_node is not None:
+            self.engine.sync_rank(self)
         return self.clock.now
 
     @property
@@ -341,11 +424,13 @@ class Engine:
     backend:
         Scheduler backend: ``"threaded"`` (default), ``"cooperative"``
         (greenlet when installed, else the stdlib baton fallback),
-        ``"greenlet"``, ``"baton"``, or a
+        ``"greenlet"``, ``"baton"``, ``"event"`` (cooperative with
+        deferred collective timing and multi-engine multiplexing), or a
         :class:`~repro.sim.schedulers.SchedulerBackend` instance.
-        ``None`` consults ``REPRO_ENGINE_BACKEND``.  Backends trade
-        wall-clock dispatch cost only; modeled virtual time, results and
-        traces are bit-identical across all of them.
+        ``None`` consults ``REPRO_ENGINE_BACKEND``; an unrecognized name
+        raises :class:`ValueError`.  Backends trade wall-clock dispatch
+        cost only; modeled virtual time, results and traces are
+        bit-identical across all of them.
 
     Examples
     --------
@@ -398,7 +483,7 @@ class Engine:
         self.trace = Trace(enabled=trace)
 
         self._sched = resolve_backend(backend)
-        #: resolved backend name ("threaded" / "baton" / "greenlet")
+        #: resolved backend name ("threaded" / "baton" / "event" / "greenlet")
         self.backend = self._sched.name
         #: the live scheduler backend (cooperative ones expose ``handoffs``,
         #: the deterministic hand-off count of the most recent run)
@@ -410,6 +495,25 @@ class Engine:
         self._channels_lock = self._sched.make_lock()
         self._err_lock = self._sched.make_lock()
         self._error: BaseException | None = None
+        #: deferred collective timing: sound only when nothing observable
+        #: depends on mid-run wall order — symbolic data (results are
+        #: shape-functions), no fault plan (crash times compare against
+        #: live clocks), tracing off (events embed times at record time),
+        #: and a backend whose one-runner invariant makes the node
+        #: bookkeeping below lock-free.  Everything else takes the
+        #: blocking path, which is what keeps the event backend
+        #: bit-identical over the fuzzer corpus.
+        self._deferred = (
+            mode == "symbolic"
+            and fault_plan is None
+            and not self.trace.enabled
+            and self.nranks > 1
+            and getattr(self._sched, "supports_deferred_sync", False)
+        )
+        #: (granks, gen) -> incomplete deferred node (deadlock naming
+        #: scans this; completed nodes leave it immediately)
+        self._dpending: dict[tuple[tuple[int, ...], int], _DeferredNode] = {}
+        self._node_seq = 0
         #: global rank -> root-cause failure, for ranks that can no longer
         #: communicate (crashed, or cascaded out by a partner's crash)
         self._dead: dict[int, RankFailureError] = {}
@@ -432,6 +536,23 @@ class Engine:
         ``run`` repeatedly (the benchmark harness does, hundreds of times)
         does not pay thread spawn/join per call.
         """
+        worker, results, errors = self._prepare_run(fn, args, kwargs)
+        if self.nranks == 1:
+            worker(0)
+        else:
+            self._sched.run(self.nranks, worker)
+        return self._finish_run(results, errors)
+
+    def _prepare_run(
+        self,
+        fn: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> tuple[Callable[[int], None], list[Any], list[BaseException | None]]:
+        """Reset run state and build the rank worker (run = prepare;
+        drive the scheduler; finish).  Split out so :func:`run_engines`
+        can drive several engines' workers on one multiplexed scheduler
+        loop."""
         kwargs = kwargs or {}
         for shard in self._shards:
             shard.rendezvous.clear()
@@ -441,6 +562,8 @@ class Engine:
             self._channels.clear()
         self._error = None
         self._dead = {}
+        self._dpending = {}
+        self._node_seq = 0
         self.closed = False
         self.contexts = [RankContext(self, r) for r in range(self.nranks)]
         results: list[Any] = [None] * self.nranks
@@ -460,11 +583,17 @@ class Engine:
                 errors[rank] = exc
                 self._abort(exc)
 
-        if self.nranks == 1:
-            worker(0)
-        else:
-            self._sched.run(self.nranks, worker)
+        return worker, results, errors
 
+    def _finish_run(
+        self,
+        results: list[Any],
+        errors: list[BaseException | None],
+    ) -> list[Any]:
+        """Post-scheduler half of :meth:`run`: deferred finalization and
+        error surfacing."""
+        if self._deferred:
+            self._finalize_deferred()
         for rank, exc in enumerate(errors):
             if exc is not None and not isinstance(exc, _AbortedError):
                 raise exc
@@ -499,6 +628,15 @@ class Engine:
             with ch.lock:
                 for fg in ch.gens.values():
                     fg.event.set()
+        # Deferred-timing waiters (event backend): ranks parked for a
+        # non-local result or inside a force-sync.
+        for node in self._dpending.values():
+            for evt in node.waiters.values():
+                evt.set()
+        for ctx in self.contexts:
+            evt = ctx._sync_event
+            if evt is not None:
+                evt.set()
 
     def _check_abort(self) -> None:
         if self._error is not None:
@@ -643,6 +781,10 @@ class Engine:
         results and the synchronized completion time.  ``ranks`` (the
         expected global ranks) lets a timeout name the missing members.
         """
+        if self._deferred and 0 <= rank < len(self.contexts):
+            # Keyed collectives carry absolute times in their arrivals:
+            # land this rank on true time before it deposits.
+            self.sync_rank(self.contexts[rank])
         if self._error is not None:
             self._check_abort()
         if self._dead:
@@ -916,6 +1058,350 @@ class Engine:
             return
         self._abort(err)
 
+    # --- deferred collective timing (event backend) ---------------------------
+    #
+    # All state below is mutated without locks: deferral requires a
+    # cooperative backend, whose one-runner invariant makes every method
+    # here a critical section by construction.
+
+    def fused_collective_deferred(
+        self,
+        group: Any,
+        gen: int,
+        rank: int,
+        arrival: tuple[list[Any], float],
+        sig: tuple[str, ...],
+        completer: Callable[
+            [dict[int, Any]], tuple[dict[int, list[Any]], tuple[float, ...]]
+        ],
+        local_fns: Sequence[Callable[[int, dict[int, Any]],
+                                     tuple[bool, Any]] | None],
+    ) -> tuple[list[Any], tuple[float, ...]]:
+        """Deposit into generation ``gen`` of ``granks`` without blocking
+        on the completion *time*.
+
+        The deferred twin of :meth:`fused_collective`: ``completer`` runs
+        exactly once on the last arriver with the full arrival map and
+        returns per-rank result lists plus per-op cost *offsets* (not
+        absolute times — the group arrival time is not known yet).  A
+        non-last rank takes a locally computed result when every op's
+        ``local_fns`` entry can produce one from the arrivals so far
+        (shapes mostly can), and only otherwise parks until completion.
+        Either way the rank's clock stays at its own arrival time and a
+        new deferred epoch starts; true times materialize later in
+        :meth:`_resolve_deferred` / :meth:`sync_rank`.
+
+        ``group`` is the communicator's :class:`ProcessGroup`; deferred
+        state is keyed by the group object (cached value hash) — see
+        :meth:`collective_deferred_single`.
+        """
+        if self._error is not None:
+            self._check_abort()
+        granks = group.ranks
+        key = (group, gen)
+        node = self._dpending.get(key)
+        if node is None:
+            node = _DeferredNode(granks, gen, sig, self._node_seq)
+            self._node_seq += 1
+            self._dpending[key] = node
+        if node.sig != sig:
+            mismatch = CommError(
+                f"collective mismatch in group {granks} (gen {gen}): "
+                f"rank {rank} called {self._sig_name(sig)!r} but the "
+                f"group already started {self._sig_name(node.sig)!r}"
+            )
+            self._abort(mismatch)
+            raise mismatch
+        if rank in node.arrivals:
+            raise CommError(
+                f"rank {rank} joined generation {gen} of group {granks} "
+                f"twice (sequence counters out of sync?)"
+            )
+        ctx = self.contexts[rank]
+        prev = ctx._prev_node
+        # Pickup happens at deposit: the link captures the clock deltas
+        # logged since the previous node's pickup, the new epoch bases
+        # this rank's provisional time on the current node.
+        node.links[rank] = (prev, ctx.clock.begin_epoch())
+        node.arrivals[rank] = arrival
+        ctx._prev_node = node
+        ctx._pending += 1
+        if len(node.arrivals) == node.size:
+            self._complete_deferred(key, node, completer)
+            results = node.results.pop(rank)
+        else:
+            results = self._local_results(node, rank, local_fns)
+            if results is None:
+                evt = self._sched.make_event()
+                node.waiters[rank] = evt
+                self._sched.wait(
+                    evt, self.op_timeout, self._fire_deferred_deadlock
+                )
+                if not node.done:
+                    self._check_abort()
+                    # Backstop (mirrors fused_collective): nothing fired.
+                    err = self._fused_deadlock_error(granks, gen, node)
+                    self._abort(err)
+                    raise err
+                results = node.results.pop(rank)
+        # Provisional completion: the rank resumes at its own arrival
+        # time; the communicator's sync_to of this is a no-op.
+        return results, (arrival[1],) * len(sig)
+
+    def collective_deferred_single(
+        self,
+        group: Any,
+        ctx: RankContext,
+        payload: Any,
+        kind: str,
+        finisher_data: Callable[[dict[int, Any]], dict[int, Any]],
+        cost_fn: Callable[[], float],
+        local: Any,
+    ) -> Any:
+        """Unbatched deferred deposit, specialized for the per-op hot path.
+
+        Semantically :meth:`fused_collective_deferred` with a one-op
+        signature, but shaped for throughput: the per-rank deposit builds
+        *no closures and no op object* — ``finisher_data``/``cost_fn``
+        are carried raw and wrapped into a completer only by the last
+        arriver, so each collective is priced exactly once and the offset
+        is broadcast to every member when the node resolves.  The group
+        generation counter and arrival clock are read inline here rather
+        than through their accessors.  ``local`` is a
+        :data:`LOCAL_NONE`/:data:`LOCAL_ECHO` sentinel, a
+        ``(op_index, arrivals) -> (ok, value)`` callable, or ``None``.
+
+        ``group`` is the communicator's :class:`ProcessGroup` — deferred
+        state (generation counters, pending nodes) is keyed by the group
+        *object*, whose value hash is cached, rather than by the rank
+        tuple, whose hash is O(members) and would make every deposit's
+        bookkeeping linear in group size.  Nodes keep the fused arrival
+        shape (``([payload], t)``), so a rank entering a mismatching
+        *fused* window on the same generation still gets the
+        byte-identical mismatch error.
+        """
+        if self._error is not None:
+            self._check_abort()
+        rank = ctx.rank
+        granks = group.ranks
+        group_seq = ctx._group_seq
+        gen = group_seq.get(group, 0)
+        group_seq[group] = gen + 1
+        sig = _SIG1.get(kind)
+        if sig is None:
+            sig = _SIG1[kind] = (kind,)
+        key = (group, gen)
+        node = self._dpending.get(key)
+        if node is None:
+            node = _DeferredNode(granks, gen, sig, self._node_seq)
+            self._node_seq += 1
+            self._dpending[key] = node
+        elif node.sig != sig:
+            mismatch = CommError(
+                f"collective mismatch in group {granks} (gen {gen}): "
+                f"rank {rank} called {self._sig_name(sig)!r} but the "
+                f"group already started {self._sig_name(node.sig)!r}"
+            )
+            self._abort(mismatch)
+            raise mismatch
+        arrivals = node.arrivals
+        if rank in arrivals:
+            raise CommError(
+                f"rank {rank} joined generation {gen} of group {granks} "
+                f"twice (sequence counters out of sync?)"
+            )
+        node.links[rank] = (ctx._prev_node, ctx.clock.begin_epoch())
+        arrivals[rank] = ([payload], ctx.clock._now)
+        ctx._prev_node = node
+        ctx._pending += 1
+        if len(arrivals) == node.size:
+            def completer(arrivals: dict[int, Any]):
+                ordered = {g: arrivals[g][0][0] for g in granks}
+                per_rank = finisher_data(ordered)
+                return {g: [per_rank[g]] for g in granks}, (cost_fn(),)
+
+            self._complete_deferred(key, node, completer)
+            return node.results.pop(rank)[0]
+        if local is LOCAL_NONE:
+            return None
+        if local is LOCAL_ECHO:
+            return payload
+        if local is not None:
+            ok, val = local(0, arrivals)
+            if ok:
+                return val
+        evt = self._sched.make_event()
+        node.waiters[rank] = evt
+        self._sched.wait(evt, self.op_timeout, self._fire_deferred_deadlock)
+        if not node.done:
+            self._check_abort()
+            # Backstop (mirrors fused_collective): nothing fired.
+            err = self._fused_deadlock_error(granks, gen, node)
+            self._abort(err)
+            raise err
+        return node.results.pop(rank)[0]
+
+    def _local_results(
+        self,
+        node: _DeferredNode,
+        rank: int,
+        local_fns: Sequence[Callable[[int, dict[int, Any]],
+                                     tuple[bool, Any]] | None],
+    ) -> list[Any] | None:
+        """Per-op results computable from the arrivals so far, else None.
+
+        Entries are :data:`LOCAL_NONE`/:data:`LOCAL_ECHO` sentinels or
+        callables.  A callable receives its op index and the raw arrival
+        map ``{grank: (payloads, t)}`` *by reference* — a fn that only
+        needs this rank's own payload (the symbolic-reduce shape rule)
+        must not pay for a copy of everyone else's; keeping deposits
+        O(ops) is what makes the deferred sweep linear in group size.
+        """
+        vals: list[Any] = []
+        arrivals = node.arrivals
+        own: list[Any] | None = None
+        for k, fn in enumerate(local_fns):
+            if fn is None:
+                return None
+            if fn is LOCAL_NONE:
+                vals.append(None)
+                continue
+            if fn is LOCAL_ECHO:
+                if own is None:
+                    own = arrivals[rank][0]
+                vals.append(own[k])
+                continue
+            ok, val = fn(k, arrivals)
+            if not ok:
+                return None
+            vals.append(val)
+        return vals
+
+    def _complete_deferred(
+        self,
+        key: tuple[tuple[int, ...], int],
+        node: _DeferredNode,
+        completer: Callable[
+            [dict[int, Any]], tuple[dict[int, list[Any]], tuple[float, ...]]
+        ],
+    ) -> None:
+        """Last arriver's path: run the completer, wire the node into the
+        resolution DAG, wake parked members."""
+        try:
+            node.results, node.offsets = completer(node.arrivals)
+        except BaseException as exc:
+            self._abort(exc)
+            raise
+        node.done = True
+        del self._dpending[key]
+        inputs = {
+            id(prev): prev
+            for prev, _ in node.links.values()
+            if prev is not None and not prev.resolved
+        }
+        node.unresolved_inputs = len(inputs)
+        for prev in inputs.values():
+            prev.dependents.append(node)
+        if not node.unresolved_inputs:
+            self._resolve_deferred(node)
+        waiters = node.waiters
+        node.waiters = {}
+        for evt in waiters.values():
+            evt.set()
+
+    def _resolve_deferred(self, node: _DeferredNode) -> None:
+        """Compute true completion times for ``node`` and every dependent
+        that becomes resolvable (iterative worklist, no recursion).
+
+        The arithmetic is the blocking finisher's, performed late: each
+        member's true arrival is its previous node's last completion time
+        folded left-to-right with the member's logged clock deltas; the
+        group arrival is the max; per-op completion is arrival + offset.
+        """
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            t_arrive = 0.0
+            for r in n.granks:
+                prev, dts = n.links[r]
+                if prev is None:
+                    t = n.arrivals[r][1]  # clock was true at deposit
+                else:
+                    t = prev.t_ends[-1]
+                    for dt in dts:
+                        t += dt
+                if t > t_arrive:
+                    t_arrive = t
+            n.t_ends = tuple(t_arrive + off for off in n.offsets)
+            n.resolved = True
+            n.arrivals = {}
+            n.links = {}
+            for r in n.granks:
+                ctx = self.contexts[r]
+                ctx._pending -= 1
+                if ctx._pending == 0 and ctx._sync_event is not None:
+                    ctx._sync_event.set()
+            dependents = n.dependents
+            n.dependents = []
+            for dep in dependents:
+                dep.unresolved_inputs -= 1
+                if not dep.unresolved_inputs:
+                    stack.append(dep)
+
+    def sync_rank(self, ctx: RankContext) -> None:
+        """Force ``ctx``'s deferred timeline to true virtual time.
+
+        No-op unless the rank has an open deferred epoch.  Called before
+        anything that observes real time: ``ctx.now``, p2p send/receive,
+        keyed collectives, and the end-of-run finalization.  If the
+        rank's pending nodes cannot resolve yet the rank parks; a drained
+        run queue then names the earliest incomplete node, exactly like a
+        blocked collective would.
+        """
+        if ctx._prev_node is None:
+            return
+        while ctx._pending:
+            if self._error is not None:
+                self._check_abort()
+            evt = self._sched.make_event()
+            ctx._sync_event = evt
+            self._sched.wait(
+                evt, self.op_timeout, self._fire_deferred_deadlock
+            )
+            ctx._sync_event = None
+            if ctx._pending:
+                self._check_abort()
+                err = self._deferred_deadlock_error()
+                self._abort(err)
+                raise err
+        node = ctx._prev_node
+        ctx._prev_node = None
+        ctx.clock.end_epoch(node.t_ends[-1])
+
+    def _deferred_deadlock_error(self) -> SimulationError:
+        """The earliest incomplete node explains a deferred stall."""
+        node = min(self._dpending.values(), key=lambda n: n.seq)
+        return self._fused_deadlock_error(node.granks, node.gen, node)
+
+    def _fire_deferred_deadlock(self) -> None:
+        if self._error is not None or not self._dpending:
+            return
+        self._abort(self._deferred_deadlock_error())
+
+    def _finalize_deferred(self) -> None:
+        """End-of-run pass: flag leftover incomplete nodes as the deadlock
+        they are, then land every rank's clock on true time."""
+        if self._error is None and self._dpending:
+            # Every rank returned, yet a collective never completed — the
+            # blocking backends would have parked its members forever.
+            self._abort(self._deferred_deadlock_error())
+        if self._error is None:
+            for ctx in self.contexts:
+                if ctx._prev_node is not None:
+                    node = ctx._prev_node
+                    ctx._prev_node = None
+                    ctx.clock.end_epoch(node.t_ends[-1])
+
     # --- buffered p2p ---------------------------------------------------------------
 
     def post_message(self, key: Any, payload: Any, t_sent: float) -> None:
@@ -1015,3 +1501,51 @@ class Engine:
 
 class _AbortedError(SimulationError):
     """Raised inside non-failing ranks when a peer rank aborted the run."""
+
+
+def run_engines(
+    jobs: Sequence[tuple["Engine", Callable[..., Any]]],
+) -> list[list[Any]]:
+    """Run several engines' programs multiplexed on one scheduler loop.
+
+    ``jobs`` is a sequence of ``(engine, program)`` pairs.  Every engine
+    must have been built on the *same* scheduler backend instance (pass
+    ``backend=<instance>`` to each constructor): the backend's events
+    route through its own run queue, so tasks of a foreign scheduler
+    would never be woken.  With an :class:`~repro.sim.schedulers.
+    EventScheduler` the rank tasks of all engines interleave on one
+    cooperative run queue — a sweep over many engines shares a single
+    scheduler loop instead of paying one ``run`` cycle per engine; any
+    other backend falls back to running the jobs back to back.
+
+    Results are returned per job, in order.  Errors are surfaced after
+    *every* engine's run has been finalized, first job first — one
+    engine's failure does not leave another's bookkeeping half-done.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    sched = jobs[0][0]._sched
+    for engine, _ in jobs:
+        if engine._sched is not sched:
+            raise SimulationError(
+                "run_engines requires all engines to share one scheduler "
+                "backend instance; build them with backend=<the same "
+                "SchedulerBackend object>"
+            )
+    prepared = [engine._prepare_run(fn) for engine, fn in jobs]
+    sched.run_many(
+        [(engine.nranks, prep[0]) for (engine, _), prep in zip(jobs, prepared)]
+    )
+    out: list[list[Any]] = []
+    failure: BaseException | None = None
+    for (engine, _), (_, results, errors) in zip(jobs, prepared):
+        try:
+            out.append(engine._finish_run(results, errors))
+        except BaseException as exc:  # noqa: BLE001 - finalize all first
+            out.append([])
+            if failure is None:
+                failure = exc
+    if failure is not None:
+        raise failure
+    return out

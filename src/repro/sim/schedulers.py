@@ -4,7 +4,7 @@ The engine's rendezvous/mailbox/fused-channel state machine is pure
 bookkeeping: who arrived at which collective, which receive is pending,
 which generation completed.  *How ranks wait* — what an event is, what a
 lock is, what happens when a rank blocks — is the scheduler backend's
-business, and this module provides three interchangeable answers:
+business, and this module provides four interchangeable answers:
 
 ``threaded`` (the default)
     One OS thread per rank from a persistent process-global pool
@@ -29,6 +29,18 @@ business, and this module provides three interchangeable answers:
     OS involvement at all.  When :mod:`greenlet` is not installed the
     ``cooperative`` alias resolves to ``baton`` so the default install
     keeps working.
+
+``event`` (event-driven, stdlib-only)
+    The baton hand-off machinery plus two engine-visible capabilities:
+    ``run_many`` multiplexes the rank tasks of *several engines* onto one
+    cooperative run queue (so ``bench/runner.py`` sweeps share a single
+    scheduler loop), and ``supports_deferred_sync`` lets the engine defer
+    symbolic-mode collective timing entirely — ranks deposit their
+    arrival and run on without blocking, completion times are resolved
+    as a dependency DAG, and a whole sweep executes with ~one hand-off
+    per rank instead of one per rank per collective.  Deadlock falls out
+    instantly: a drained run queue with unfinished collective nodes *is*
+    the deadlock, named from the earliest incomplete node.
 
 Determinism across backends
 ---------------------------
@@ -55,6 +67,7 @@ of the threaded backend.
 from __future__ import annotations
 
 import _thread
+import heapq
 import os
 import threading
 import time
@@ -68,6 +81,7 @@ __all__ = [
     "ThreadedScheduler",
     "BatonScheduler",
     "GreenletScheduler",
+    "EventScheduler",
     "resolve_backend",
     "available_backends",
     "greenlet_available",
@@ -160,13 +174,25 @@ class Watchdog:
     nobody wakes up just to check a clock.  Only the threaded backend
     needs it — cooperative backends detect a stall the instant their run
     queue drains.
+
+    Deadlines live in a min-heap keyed by ``(deadline, token)`` while the
+    ``fire`` callbacks live in a separate token->callback dict.  A cancel
+    only removes the dict entry (O(1)); the stale heap entry is reaped
+    lazily when it surfaces at the top of the heap in :meth:`_loop`, and
+    eagerly compacted away whenever cancelled entries outnumber live ones
+    — so the heap stays bounded by ``max(_COMPACT_MIN, 2x live waits)``
+    no matter how many waits a long sweep registers and cancels.
     """
 
     _IDLE_TIMEOUT = 30.0
+    #: below this size the heap is never compacted — reaping a few dozen
+    #: stale tops lazily is cheaper than rebuilding the heap.
+    _COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self._cond = threading.Condition()
-        self._entries: dict[int, tuple[float, Callable[[], None]]] = {}
+        self._heap: list[tuple[float, int]] = []
+        self._fires: dict[int, Callable[[], None]] = {}
         self._next_token = 0
         self._running = False
         #: the deadline the watchdog thread is currently sleeping toward;
@@ -179,7 +205,8 @@ class Watchdog:
         with self._cond:
             token = self._next_token
             self._next_token += 1
-            self._entries[token] = (deadline, fire)
+            self._fires[token] = fire
+            heapq.heappush(self._heap, (deadline, token))
             if not self._running:
                 self._running = True
                 threading.Thread(
@@ -191,30 +218,37 @@ class Watchdog:
 
     def cancel(self, token: int) -> None:
         # No notify: a spurious watchdog wakeup at a stale deadline is
-        # harmless (it recomputes the minimum and goes back to sleep).
+        # harmless (it reaps the top and goes back to sleep).
         with self._cond:
-            self._entries.pop(token, None)
+            if self._fires.pop(token, None) is None:
+                return
+            if (len(self._heap) >= self._COMPACT_MIN
+                    and len(self._heap) > 2 * len(self._fires)):
+                self._heap = [e for e in self._heap if e[1] in self._fires]
+                heapq.heapify(self._heap)
 
     def _loop(self) -> None:
         with self._cond:
             while True:
-                if not self._entries:
+                heap = self._heap
+                while heap and heap[0][1] not in self._fires:
+                    heapq.heappop(heap)  # reap cancelled entries lazily
+                if not heap:
                     self._armed = float("inf")
                     if not self._cond.wait(timeout=self._IDLE_TIMEOUT):
-                        if not self._entries:
+                        if not self._heap:
                             self._running = False
                             return
                     continue
-                token, (deadline, fire) = min(
-                    self._entries.items(), key=lambda kv: kv[1][0]
-                )
+                deadline, token = heap[0]
                 remaining = deadline - time.monotonic()
                 if remaining > 0:
                     self._armed = deadline
                     self._cond.wait(timeout=remaining)
                     self._armed = float("inf")
                     continue
-                del self._entries[token]
+                heapq.heappop(heap)
+                fire = self._fires.pop(token)
                 self._cond.release()
                 try:
                     fire()
@@ -265,9 +299,29 @@ class SchedulerBackend:
     #: True when at most one rank executes engine code at any instant
     #: (locks degenerate to no-ops, deadlocks are detected instantly).
     cooperative: bool = False
+    #: True when the engine may defer symbolic-mode collective timing:
+    #: deposit-and-run-on instead of blocking at every rendezvous, with
+    #: completion times resolved later as a dependency DAG.  Requires the
+    #: cooperative one-runner invariant *and* instant deadlock detection
+    #: (the engine leans on the drained-run-queue callback to name
+    #: incomplete collectives).  Only the event backend opts in.
+    supports_deferred_sync: bool = False
 
     def run(self, n: int, worker: Callable[[int], None]) -> None:
         raise NotImplementedError
+
+    def run_many(
+        self, jobs: "list[tuple[int, Callable[[int], None]]]"
+    ) -> None:
+        """Run several ``(n, worker)`` jobs; backends may multiplex them.
+
+        The default runs the jobs back to back — correct for any backend.
+        The event backend overrides this to interleave all jobs' rank
+        tasks on one cooperative run queue, so a sweep over many engines
+        shares a single scheduler loop.
+        """
+        for n, worker in jobs:
+            self.run(n, worker)
 
     def make_event(self) -> Any:
         raise NotImplementedError
@@ -602,6 +656,230 @@ class BatonScheduler(_CooperativeCore):
         # else: every task finished; the pool unblocks the host.
 
 
+class _DriverPool:
+    """Process-global pool of parked threads that carry the event drive role.
+
+    The event backend runs rank tasks *inline* on whichever thread
+    currently holds the drive role.  When an inline task blocks, its
+    stack owns that thread, so the role must migrate: ``dispatch(fn)``
+    wakes exactly one parked pool thread to run ``fn`` (the scheduler's
+    drive loop), spawning a new daemon thread only when none is parked.
+    Threads return to the pool when their drive loop ends and linger
+    ``_IDLE_TIMEOUT`` seconds, so repeated runs and many scheduler
+    instances share a handful of threads instead of spawning per block.
+    """
+
+    _IDLE_TIMEOUT = 30.0
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sem = threading.Semaphore(0)
+        self._fns: deque[Callable[[], None]] = deque()
+        self._idle = 0
+        self._spawned = 0
+
+    def dispatch(self, fn: Callable[[], None]) -> None:
+        spawn = False
+        with self._lock:
+            self._fns.append(fn)
+            if self._idle < len(self._fns):
+                self._idle += 1  # reserve the thread we are about to spawn
+                self._spawned += 1
+                spawn = True
+                serial = self._spawned
+        if spawn:
+            threading.Thread(
+                target=self._worker,
+                name=f"repro-event-driver-{serial}",
+                daemon=True,
+            ).start()
+        self._sem.release()
+
+    def _worker(self) -> None:
+        while True:
+            if not self._sem.acquire(timeout=self._IDLE_TIMEOUT):
+                with self._lock:
+                    if not self._fns:
+                        self._idle -= 1
+                        return
+                continue  # a dispatch raced the timeout; take its permit
+            with self._lock:
+                fn = self._fns.popleft()
+                self._idle -= 1
+            try:
+                fn()
+            finally:
+                with self._lock:
+                    self._idle += 1
+
+
+_drivers = _DriverPool()
+
+
+class EventScheduler(BatonScheduler):
+    """Single-thread run loop with resumable steps and deferred sync.
+
+    All ranks of a run execute as steps of one *drive loop* on a single
+    thread: the loop pops the explicit run queue and calls fresh rank
+    tasks inline — no OS thread per rank, no baton parked per task, no
+    futex wakes.  A symbolic-mode deferred sweep (``supports_deferred_
+    sync=True``: ranks deposit collective arrivals and run straight on)
+    therefore degenerates to a plain sequential loop with **zero**
+    hand-offs, which is where the backend's order-of-magnitude win over
+    the threaded backend comes from.
+
+    Only a task that actually *blocks* (traced/real-mode rendezvous, p2p
+    receive, forced clock sync) is promoted to the baton machinery: its
+    stack parks on a lazily-allocated baton lock and the drive role
+    migrates — to a parked peer via a directed baton release, or to a
+    pooled driver thread (:class:`_DriverPool`) when the next step is a
+    fresh task needing a free stack.  ``handoffs`` counts exactly these
+    thread-switching transfers, so it stays a deterministic function of
+    the schedule and is ``0`` for a never-blocking deferred sweep.
+
+    The run-queue semantics — one runnable at any instant, deadline
+    callbacks fired in ``fire_seq`` order when the queue drains, the
+    force-wake backstop — are the inherited cooperative core, unchanged,
+    which keeps results, traces, clocks and deadlock messages
+    bit-identical to ``threaded``/``baton``/``greenlet`` over the fuzzer
+    corpus.  :meth:`run_many` interleaves several engines' rank tasks on
+    this one loop so ``bench/runner.py`` sweeps share a scheduler.
+    """
+
+    name = "event"
+    supports_deferred_sync = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._worker_fn: Callable[[int], None] | None = None
+        self._done: threading.Event | None = None
+        self._errors: list[BaseException] = []
+
+    def run(self, n: int, worker: Callable[[int], None]) -> None:
+        self._reset(n)
+        self._worker_fn = worker
+        self._errors = []
+        done = self._done = threading.Event()
+        for t in self._tasks:
+            t.state = "runnable"
+        self._runnable.extend(self._tasks)
+        try:
+            self._drive()
+            # The drive role may have migrated to pool threads; wait for
+            # the loop that retires the last task to signal completion.
+            done.wait()
+            if self._errors:
+                raise self._errors[0]
+        finally:
+            self._live = False
+            self._worker_fn = None
+            self._done = None
+            # A stale pointer here would send a later *inline* wait (no
+            # run active, e.g. a 1-rank engine sharing this instance)
+            # down the park path instead of firing its deadline.
+            self._current = None
+
+    def _drive(self) -> None:
+        """Run ready steps inline until the role transfers or all finish.
+
+        Fresh tasks execute directly on this thread.  Popping a *parked*
+        task instead releases its baton — its stack resumes on the thread
+        it blocked on and that thread continues the loop — so this frame
+        returns, handing the role away.
+        """
+        runnable = self._runnable
+        try:
+            while True:
+                nxt = None
+                while runnable:
+                    c = runnable.popleft()
+                    if c.state == "runnable":
+                        nxt = c
+                        break
+                if nxt is None:
+                    nxt = self._pick_next()
+                if nxt is None:
+                    self._done.set()  # every task finished
+                    return
+                if nxt.payload is None:
+                    self._current = nxt
+                    nxt.state = "running"
+                    try:
+                        self._worker_fn(nxt.index)
+                    except BaseException as exc:
+                        self._errors.append(exc)
+                    finally:
+                        nxt.state = "finished"
+                        self._finished += 1
+                    continue
+                self.handoffs += 1
+                nxt.payload.release()
+                return
+        except BaseException as exc:  # pragma: no cover - wedge invariant
+            self._errors.append(exc)
+            self._done.set()
+
+    def _suspend(self, task: _CoopTask) -> None:
+        # The blocking task's stack owns this thread, so promote it to a
+        # baton park and move the drive role: a parked successor gets a
+        # directed baton release (it resumes and keeps driving); a fresh
+        # successor needs a free stack, so a pooled driver thread takes
+        # over the loop.  Either way: one futex wake per actual block.
+        runnable = self._runnable
+        nxt = None
+        while runnable:
+            c = runnable.popleft()
+            if c.state == "runnable":
+                nxt = c
+                break
+        if nxt is None:
+            nxt = self._pick_next()
+            if nxt is None or nxt is task:
+                # Force-woken (or re-picked) without anyone else to run.
+                task.state = "running"
+                return
+        if task.payload is None:
+            task.payload = _thread.allocate_lock()
+            task.payload.acquire()
+        self.handoffs += 1
+        if nxt.payload is None:
+            runnable.appendleft(nxt)  # the driver re-pops it in order
+            _drivers.dispatch(self._drive)
+        else:
+            nxt.payload.release()
+        task.payload.acquire()  # park until a drive loop resumes us
+        self._current = task
+        task.state = "running"
+
+    def run_many(
+        self, jobs: "list[tuple[int, Callable[[int], None]]]"
+    ) -> None:
+        """Interleave all jobs' rank tasks on one cooperative run loop.
+
+        Task index ``i`` of the combined run maps onto the job covering
+        ``i`` — rank hand-offs then flow freely across engine boundaries,
+        so one engine's ranks progress while another's wait at a
+        rendezvous.  All participating engines must have been built on
+        *this* scheduler instance (their events route through this run
+        queue); :func:`repro.sim.engine.run_engines` enforces that.
+        """
+        if len(jobs) == 1:
+            n, worker = jobs[0]
+            self.run(n, worker)
+            return
+        starts: list[int] = []
+        total = 0
+        for n, _ in jobs:
+            starts.append(total)
+            total += n
+        def dispatch(index: int) -> None:
+            for j in range(len(jobs) - 1, -1, -1):
+                if index >= starts[j]:
+                    jobs[j][1](index - starts[j])
+                    return
+        self.run(total, dispatch)
+
+
 class GreenletScheduler(_CooperativeCore):
     """All ranks as greenlets on the calling thread (zero OS switches).
 
@@ -675,6 +953,8 @@ def resolve_backend(
         return ThreadedScheduler()
     if name == "baton":
         return BatonScheduler()
+    if name == "event":
+        return EventScheduler()
     if name == "greenlet":
         if not greenlet_available():
             raise SimulationError(
@@ -684,15 +964,17 @@ def resolve_backend(
                 "scheduler automatically"
             )
         return GreenletScheduler()
-    raise SimulationError(
-        f"unknown engine backend {name!r}; expected one of 'threaded', "
-        f"'cooperative', 'baton', 'greenlet'"
+    raise ValueError(
+        f"unknown engine backend {name!r} (from Engine(backend=...) or "
+        f"${BACKEND_ENV}); valid backends: 'threaded', 'baton', 'event', "
+        f"'greenlet', or the 'cooperative' alias (greenlet when "
+        f"installed, else baton)"
     )
 
 
 def available_backends() -> tuple[str, ...]:
     """Concrete backend names usable in this environment (tests iterate)."""
-    names = ["threaded", "baton"]
+    names = ["threaded", "baton", "event"]
     if greenlet_available():
         names.append("greenlet")
     return tuple(names)

@@ -61,6 +61,26 @@ class TestDiffMetrics:
         regressions, _ = diff_metrics(prev, cur, threshold=0.2)
         assert len(regressions) == 1
 
+    def test_neutral_regresses_on_rise(self):
+        prev = {"mystery": _m(10.0, "neutral")}
+        cur = {"mystery": _m(15.0, "neutral")}
+        regressions, _ = diff_metrics(prev, cur, threshold=0.2)
+        assert len(regressions) == 1
+        assert "want steady" in regressions[0]
+
+    def test_neutral_regresses_on_drop_too(self):
+        prev = {"mystery": _m(10.0, "neutral")}
+        cur = {"mystery": _m(5.0, "neutral")}
+        regressions, _ = diff_metrics(prev, cur, threshold=0.2)
+        assert len(regressions) == 1
+
+    def test_neutral_tolerates_small_moves(self):
+        prev = {"mystery": _m(10.0, "neutral")}
+        cur = {"mystery": _m(10.5, "neutral")}
+        regressions, notes = diff_metrics(prev, cur, threshold=0.2)
+        assert regressions == []
+        assert len(notes) == 1
+
 
 class TestMain:
     def _write(self, path, metrics):
@@ -110,8 +130,20 @@ class TestHeuristicDirection:
     def test_lower_hints(self, name):
         assert heuristic_direction(name) == "lower"
 
-    def test_unknown_defaults_higher(self):
-        assert heuristic_direction("accuracy") == "higher"
+    @pytest.mark.parametrize("name,want", [
+        # the event-backend bench exports (bench_engine_overhead.py)
+        ("event_speedup", "higher"),
+        ("event_us_per_coll", "lower"),
+        ("event_handoff_iterations", "lower"),
+        ("coop_handoff_iterations", "lower"),
+    ])
+    def test_event_backend_metrics_classified(self, name, want):
+        assert heuristic_direction(name) == want
+
+    def test_unknown_is_neutral_not_higher(self):
+        # Regression: unknown names used to default "higher is better",
+        # so a new counter could silently grow without tripping the gate.
+        assert heuristic_direction("accuracy") == "neutral"
 
 
 class TestPytestBenchmarkFormat:
@@ -155,3 +187,24 @@ class TestPytestBenchmarkFormat:
     def test_missing_extra_info_tolerated(self, tmp_path):
         path = self._write(tmp_path / "b.json", [{"name": "t"}])
         assert load_metrics(path) == {}
+
+    def test_unknown_extra_info_warns_and_goes_neutral(self, tmp_path,
+                                                       capsys):
+        path = self._write(tmp_path / "b.json", [{
+            "name": "t", "extra_info": {"mystery_counter": 7.0},
+        }])
+        metrics = load_metrics(path)
+        assert metrics["t.mystery_counter"]["direction"] == "neutral"
+        out = capsys.readouterr().out
+        assert "warning" in out and "mystery_counter" in out
+
+    def test_neutral_metric_gates_both_directions_end_to_end(
+            self, tmp_path, capsys):
+        prev = self._write(tmp_path / "prev.json", [{
+            "name": "t", "extra_info": {"mystery_counter": 10.0},
+        }])
+        cur = self._write(tmp_path / "cur.json", [{
+            "name": "t", "extra_info": {"mystery_counter": 5.0},
+        }])
+        assert main([prev, cur, "--threshold", "0.2"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out

@@ -120,6 +120,34 @@ class TestEngineOverheadSmoke:
             f"(floor {floor}x)"
         )
 
+    def test_event_backend_deferred_structure(self):
+        """Event backend at smoke scale: structural gates are exact.
+
+        The wall-clock floor here is deliberately loose (the >= 10x
+        number is the nightly bench's, at 512 ranks); what tier-1 pins
+        is the *deterministic* structure of the deferred sweep — zero
+        hand-offs (no rank ever parks, the whole run is one inline
+        sequential sweep) and bit-identical results/virtual clocks
+        against the threaded backend.
+        """
+        from benchmarks.bench_engine_overhead import measure_event
+
+        m = measure_event(nranks=64, rounds=8, runs=3, reps=1)
+        assert m["results_match"], (
+            "event backend diverged from threaded on the barrier sweep "
+            "at smoke scale (results or virtual clocks differ)"
+        )
+        assert m["event_handoffs_per_run"] == 0, (
+            f"deferred scheduling regression: "
+            f"{m['event_handoffs_per_run']} hand-offs per run, expected "
+            f"exactly 0 (some rank parked at a rendezvous it should have "
+            f"deferred)"
+        )
+        assert m["event_speedup"] >= 1.5, (
+            f"event backend collapsed: only {m['event_speedup']:.2f}x "
+            f"faster than threaded on the barrier sweep at smoke scale"
+        )
+
 
 class TestGoldenEndToEnd:
     def test_small_allreduce_program_time_pinned(self):

@@ -168,6 +168,79 @@ class TestEngineCacheFootprint:
         large = engine_for_row(_mrow(16), cache=True)
         assert large.estimated_footprint() > small.estimated_footprint()
 
+class TestPoisonedEngineEviction:
+    """A row that raises must not leave a wedged engine in the cache.
+
+    Regression for the sweep-cascade bug: eviction used to call
+    ``shutdown()`` unguarded, so an engine whose workers died mid-run
+    (shutdown raises on the half-dead state) would stay cached — or the
+    shutdown error would mask the row's real failure — and every later
+    sweep in the session failed on the same poisoned engine.
+    """
+
+    def setup_method(self):
+        clear_engine_cache()
+
+    def teardown_method(self):
+        clear_engine_cache()
+
+    @staticmethod
+    def _poison_programs(monkeypatch):
+        def bad_program(row, batch, seq_len, num_layers):
+            def program(ctx):
+                raise RuntimeError("row exploded")
+            return program
+        monkeypatch.setattr(runner, "_row_program", bad_program)
+
+    def test_failed_row_evicts_and_next_sweep_recovers(self, monkeypatch):
+        row = _mrow(4)
+        poisoned = engine_for_row(row, cache=True)
+        with monkeypatch.context() as m:
+            self._poison_programs(m)
+            with pytest.raises(RuntimeError, match="row exploded"):
+                runner.run_table([row], seq_len=8, num_layers=1)
+        assert poisoned.closed
+        assert poisoned not in runner._ENGINE_CACHE.values()
+        out = runner.run_table([row], seq_len=8, num_layers=1)
+        assert len(out) == 1 and isinstance(out[0], MeasuredRow)
+        assert engine_for_row(row, cache=True) is not poisoned
+
+    def test_shutdown_error_does_not_mask_row_error(self, monkeypatch):
+        row = _mrow(4)
+        poisoned = engine_for_row(row, cache=True)
+
+        real_shutdown = poisoned.shutdown
+
+        def bad_shutdown():
+            real_shutdown()
+            raise OSError("half-dead worker state")
+
+        monkeypatch.setattr(poisoned, "shutdown", bad_shutdown)
+        with monkeypatch.context() as m:
+            self._poison_programs(m)
+            # The row's own error propagates, not the shutdown's.
+            with pytest.raises(RuntimeError, match="row exploded"):
+                runner.run_table([row], seq_len=8, num_layers=1)
+        assert poisoned not in runner._ENGINE_CACHE.values()
+        out = runner.run_table([row], seq_len=8, num_layers=1)
+        assert len(out) == 1
+
+    def test_clear_cache_survives_raising_shutdown(self, monkeypatch):
+        engine = engine_for_row(_mrow(2), cache=True)
+        monkeypatch.setattr(
+            engine, "shutdown",
+            lambda: (_ for _ in ()).throw(OSError("boom")))
+        clear_engine_cache()
+        assert not runner._ENGINE_CACHE
+
+
+class TestEngineCacheBackendKey:
+    def setup_method(self):
+        clear_engine_cache()
+
+    def teardown_method(self):
+        clear_engine_cache()
+
     def test_backend_is_part_of_the_key(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE_BACKEND", "threaded")
         threaded = engine_for_row(_mrow(4), cache=True)

@@ -12,6 +12,7 @@ asserts the recovery contract of :func:`repro.serve.runner.run_serving`:
 """
 
 import random
+from dataclasses import replace
 
 import pytest
 
@@ -64,8 +65,11 @@ def _crash_plan(seed: int, makespan: float) -> FaultPlan:
 
 
 class TestServeCrashRecovery:
+    @pytest.mark.parametrize("backend", available_backends())
     @pytest.mark.parametrize("seed", FUZZ_SEEDS)
-    def test_recovers_and_completes(self, baseline, seed):
+    def test_recovers_and_completes(self, baseline, seed, backend,
+                                    monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_BACKEND", backend)
         plan = _crash_plan(seed, baseline["makespan_s"])
         rep = _serve(fault_plan=plan, max_restarts=len(plan.crashes),
                      **MODE_KWARGS)
@@ -97,7 +101,10 @@ class TestServeCrashRecovery:
         assert "recoveries" not in baseline
         assert baseline == _serve(**MODE_KWARGS)
 
-    def test_restart_budget_exhaustion_reraises(self, baseline):
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_restart_budget_exhaustion_reraises(self, baseline, backend,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_BACKEND", backend)
         plan = _crash_plan(3, baseline["makespan_s"])
         with pytest.raises(RankFailureError):
             _serve(fault_plan=plan, max_restarts=0, **MODE_KWARGS)
@@ -123,3 +130,92 @@ class TestServeCrashRecovery:
         # No fault ever fired, so the schedule is the fault-free one.
         assert rep["makespan_s"] == baseline["makespan_s"]
         assert rep["iterations"] == baseline["iterations"]
+
+
+class TestEventMultiplexedServing:
+    """Several serving engines on one event-scheduler loop.
+
+    ``run_engines`` interleaves the rank tasks of every engine on a
+    single shared scheduler; the reports must still be rank-identical
+    per engine and bit-identical to each workload's solo run under the
+    default backend — multiplexing may change *when* ranks run, never
+    what they serve.
+    """
+
+    @staticmethod
+    def _serve_nranks():
+        from repro.serve.model import serving_nranks
+
+        return serving_nranks(MODE_KWARGS["mode"], MODE_KWARGS["q"],
+                              MODE_KWARGS["d"], None)
+
+    def _serve_program(self, workload):
+        from repro.serve.model import grid_shape, local_kv_width
+        from repro.serve.runner import _serve_rank
+
+        mode, q, d = MODE_KWARGS["mode"], MODE_KWARGS["q"], MODE_KWARGS["d"]
+        gq, gd = grid_shape(mode, q, d, None)
+        bands = gq * gd
+        kv_width = local_kv_width(mode, MODEL,
+                                  q=gq if bands > 1 else None, world=None)
+
+        def fn(ctx):
+            return _serve_rank(ctx, mode, MODEL, workload, SCHED,
+                               q=q, d=d, world=None, bands=bands,
+                               kv_width=kv_width)
+
+        return fn
+
+    def test_multiplexed_reports_match_solo_runs(self):
+        from repro.sim.engine import Engine, run_engines
+        from repro.sim.schedulers import EventScheduler
+
+        shared = EventScheduler()
+        workloads = [WORKLOAD, replace(WORKLOAD, seed=1)]
+        engines = [
+            Engine(nranks=self._serve_nranks(), mode="symbolic",
+                   trace=False, backend=shared)
+            for _ in workloads
+        ]
+        try:
+            per_engine = run_engines([
+                (engine, self._serve_program(w))
+                for engine, w in zip(engines, workloads)
+            ])
+            for w, reports in zip(workloads, per_engine):
+                assert all(r == reports[0] for r in reports[1:]), (
+                    "multiplexed serving report diverged across ranks"
+                )
+                solo = run_serving(MODE_KWARGS["mode"], model_cfg=MODEL,
+                                   workload=w, sched=SCHED,
+                                   q=MODE_KWARGS["q"], d=MODE_KWARGS["d"])
+                assert reports[0] == solo, (
+                    "multiplexed serving report diverged from the solo run"
+                )
+        finally:
+            for engine in engines:
+                engine.shutdown()
+
+    def test_multiplexed_runs_are_repeatable(self):
+        from repro.sim.engine import Engine, run_engines
+        from repro.sim.schedulers import EventScheduler
+
+        outs = []
+        for _ in range(2):
+            shared = EventScheduler()
+            engines = [
+                Engine(nranks=self._serve_nranks(), mode="symbolic",
+                       trace=False, backend=shared)
+                for _ in range(2)
+            ]
+            try:
+                outs.append(run_engines([
+                    (engine, self._serve_program(WORKLOAD))
+                    for engine in engines
+                ]))
+            finally:
+                for engine in engines:
+                    engine.shutdown()
+        assert outs[0] == outs[1], (
+            "multiplexed serving is not deterministic across sessions"
+        )

@@ -16,9 +16,11 @@ from repro.sim.engine import Engine
 from repro.sim.schedulers import (
     BACKEND_ENV,
     BatonScheduler,
+    EventScheduler,
     GreenletScheduler,
     SchedulerBackend,
     ThreadedScheduler,
+    Watchdog,
     _NullLock,
     available_backends,
     greenlet_available,
@@ -50,9 +52,26 @@ class TestResolveBackend:
         sched = BatonScheduler()
         assert resolve_backend(sched) is sched
 
-    def test_unknown_name_raises(self):
-        with pytest.raises(SimulationError, match="unknown engine backend"):
+    def test_unknown_name_raises_value_error_listing_backends(self):
+        with pytest.raises(ValueError, match="unknown engine backend") as ei:
             resolve_backend("fibers")
+        msg = str(ei.value)
+        for valid in ("'threaded'", "'baton'", "'event'", "'greenlet'",
+                      "'cooperative'"):
+            assert valid in msg
+        assert BACKEND_ENV in msg
+
+    def test_unknown_env_backend_raises_value_error(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "fibers")
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            resolve_backend(None)
+
+    def test_event_backend_resolves(self):
+        sched = resolve_backend("event")
+        assert isinstance(sched, EventScheduler)
+        assert sched.name == "event"
+        assert sched.cooperative
+        assert sched.supports_deferred_sync
 
     def test_greenlet_without_extra_raises_helpfully(self):
         if greenlet_available():
@@ -63,6 +82,7 @@ class TestResolveBackend:
     def test_available_backends_is_concrete(self):
         names = available_backends()
         assert names[:2] == ("threaded", "baton")
+        assert "event" in names
         assert ("greenlet" in names) == greenlet_available()
         for name in names:
             backend = resolve_backend(name)
@@ -172,3 +192,167 @@ class TestGreenletBackend:
         order = []
         sched.run(4, order.append)
         assert sorted(order) == [0, 1, 2, 3]
+
+
+class TestWatchdogHeapBounded:
+    """Satellite: cancelled deadline tokens must not accumulate forever."""
+
+    def test_register_cancel_churn_keeps_heap_bounded(self):
+        wd = Watchdog()
+        far = time.monotonic() + 3600.0
+        for i in range(1000):
+            token = wd.register(far + i, lambda: pytest.fail("fired"))
+            wd.cancel(token)
+        with wd._cond:
+            assert not wd._fires
+            # Compaction triggers at _COMPACT_MIN, so churn can never
+            # leave more than one un-compacted batch behind.
+            assert len(wd._heap) <= wd._COMPACT_MIN
+
+    def test_bulk_cancel_compacts_against_live_waits(self):
+        wd = Watchdog()
+        far = time.monotonic() + 3600.0
+        live = [wd.register(far + i, lambda: pytest.fail("fired"))
+                for i in range(10)]
+        stale = [wd.register(far + 100 + i, lambda: pytest.fail("fired"))
+                 for i in range(500)]
+        for token in stale:
+            wd.cancel(token)
+        with wd._cond:
+            assert len(wd._fires) == len(live)
+            assert len(wd._heap) <= max(wd._COMPACT_MIN, 2 * len(wd._fires))
+        for token in live:
+            wd.cancel(token)
+
+    def test_double_cancel_is_harmless(self):
+        wd = Watchdog()
+        token = wd.register(time.monotonic() + 3600.0, lambda: None)
+        wd.cancel(token)
+        wd.cancel(token)
+        with wd._cond:
+            assert not wd._fires
+
+
+class TestEventScheduler:
+    def test_run_many_covers_every_job_rank(self):
+        sched = EventScheduler()
+        seen = []
+        jobs = [
+            (3, lambda r: seen.append(("a", r))),
+            (2, lambda r: seen.append(("b", r))),
+            (4, lambda r: seen.append(("c", r))),
+        ]
+        sched.run_many(jobs)
+        assert sorted(seen) == (
+            [("a", r) for r in range(3)]
+            + [("b", r) for r in range(2)]
+            + [("c", r) for r in range(4)]
+        )
+
+    def test_run_many_single_job_is_plain_run(self):
+        sched = EventScheduler()
+        seen = []
+        sched.run_many([(3, seen.append)])
+        assert sorted(seen) == [0, 1, 2]
+
+    def test_default_run_many_is_sequential_fallback(self):
+        sched = ThreadedScheduler()
+        assert not sched.supports_deferred_sync
+        seen = []
+        sched.run_many([(2, lambda r: seen.append(("a", r))),
+                        (2, lambda r: seen.append(("b", r)))])
+        assert seen == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+
+    def test_run_many_interleaving_is_deterministic(self):
+        def once():
+            sched = EventScheduler()
+            order = []
+            jobs = [(4, lambda r, j=j: order.append((j, r)))
+                    for j in range(3)]
+            sched.run_many(jobs)
+            return tuple(order)
+
+        runs = {once() for _ in range(3)}
+        assert len(runs) == 1
+
+
+class TestEventDeferredParity:
+    """Engine-level spot checks; the fuzz corpus covers the traced paths."""
+
+    def _program(self, ctx):
+        from repro.comm.communicator import Communicator
+        from repro.varray.varray import VArray
+        import numpy as np
+
+        comm = Communicator(ctx, range(ctx.engine.nranks))
+        arr = VArray.symbolic((64, 64), np.float32)
+        ctx.compute(flops=1e9 * (1 + ctx.rank % 3))
+        for _ in range(4):
+            arr = comm.all_reduce(arr)
+            ctx.compute(flops=5e8 * (1 + ctx.rank % 2))
+        with comm.batch():
+            comm.all_reduce(arr)
+            comm.all_reduce(VArray.symbolic((32, 32), np.float32))
+        comm.barrier()
+        return ctx.now
+
+    def _run(self, backend):
+        engine = Engine(nranks=8, mode="symbolic", trace=False,
+                        backend=backend, op_timeout=30.0)
+        results = engine.run(self._program)
+        clocks = [c.clock.now for c in engine.contexts]
+        engine.shutdown()
+        return results, clocks
+
+    def test_event_deferral_is_bit_identical_to_threaded(self):
+        assert self._run("event") == self._run("threaded")
+
+    def test_deferred_gate_requires_symbolic_traceless(self):
+        assert Engine(nranks=4, mode="symbolic", trace=False,
+                      backend="event")._deferred
+        assert not Engine(nranks=4, mode="symbolic", trace=True,
+                          backend="event")._deferred
+        assert not Engine(nranks=4, mode="real", trace=False,
+                          backend="event")._deferred
+        assert not Engine(nranks=4, mode="symbolic", trace=False,
+                          backend="baton")._deferred
+
+    def test_deferred_deadlock_matches_threaded_message(self):
+        from repro.comm.communicator import Communicator
+        from repro.varray.varray import VArray
+        import numpy as np
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(4))
+            arr = comm.all_reduce(VArray.symbolic((8, 8), np.float32))
+            if ctx.rank != 0:
+                comm.all_reduce(arr)
+
+        msgs = {}
+        for backend in ("threaded", "event"):
+            engine = Engine(nranks=4, mode="symbolic", trace=False,
+                            backend=backend, op_timeout=2.0)
+            with pytest.raises(DeadlockError) as ei:
+                engine.run(prog)
+            msgs[backend] = str(ei.value)
+            engine.shutdown()
+        assert msgs["threaded"] == msgs["event"]
+
+    def test_deferred_deadlock_is_instant(self):
+        from repro.comm.communicator import Communicator
+        from repro.varray.varray import VArray
+        import numpy as np
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(3))
+            if ctx.rank == 1:
+                return
+            comm.all_reduce(VArray.symbolic((8, 8), np.float32))
+
+        engine = Engine(nranks=3, mode="symbolic", trace=False,
+                        backend="event", op_timeout=30.0)
+        t0 = time.monotonic()
+        with pytest.raises(DeadlockError, match=r"missing ranks \[1\]"):
+            engine.run(prog)
+        assert time.monotonic() - t0 < 5.0
+        engine.shutdown()
