@@ -21,6 +21,7 @@ import sys
 
 from repro.bench.chaos import (
     DEFAULT_SCENARIOS,
+    ELASTIC_SCENARIOS,
     ChaosResult,
     render_chaos,
     run_chaos,
@@ -66,6 +67,47 @@ def collect_metrics(results: list[ChaosResult]) -> dict:
     return {"metrics": metrics, "info": info}
 
 
+def collect_elastic_metrics(results: list[ChaosResult]) -> dict:
+    """Metrics for the ``--elastic`` campaign (``repro chaos --elastic``).
+
+    Restart counts, reshapes and world sizes are *neutral*: the gate
+    fails on drift in either direction, since any change means the
+    recovery schedule itself changed.  ``time_to_recover_s`` is the
+    virtual seconds burned in crashed attempts — deterministic, unlike
+    the wall-clock restore latency (kept under ``info``).
+    """
+    metrics: dict[str, dict] = {}
+    for r in results:
+        n = r.scenario.name
+        metrics[f"{n}.goodput_steps_per_s"] = {
+            "value": r.goodput, "direction": "higher",
+        }
+        metrics[f"{n}.time_to_recover_s"] = {
+            "value": r.time_to_recover_s, "direction": "lower",
+        }
+        metrics[f"{n}.lost_steps"] = {
+            "value": float(r.lost_steps), "direction": "lower",
+        }
+        metrics[f"{n}.recoveries"] = {
+            "value": float(r.attempts), "direction": "neutral",
+        }
+        metrics[f"{n}.reshapes"] = {
+            "value": float(r.reshapes), "direction": "neutral",
+        }
+        metrics[f"{n}.final_world"] = {
+            "value": float(r.final_world), "direction": "neutral",
+        }
+    info = {
+        r.scenario.name: {
+            "resume_step": r.resume_step,
+            "final_loss": r.final_loss,
+            "recovery_latency_wall_s": r.recovery_latency_s,
+        }
+        for r in results
+    }
+    return {"metrics": metrics, "info": info}
+
+
 def _check_guarantees(results: list[ChaosResult]) -> None:
     by_name = {r.scenario.name: r for r in results}
     healthy = by_name["healthy-tesseract"]
@@ -81,6 +123,25 @@ def _check_guarantees(results: list[ChaosResult]) -> None:
     assert by_name["flaky-links-tesseract"].virtual_time > healthy.virtual_time
 
 
+def _check_elastic_guarantees(results: list[ChaosResult]) -> None:
+    by_name = {r.scenario.name: r for r in results}
+    for r in results:
+        # Every elastic scenario loses hardware for good, resumes from a
+        # real snapshot and still finishes the full step budget.
+        assert r.attempts >= 1, r.scenario.name
+        assert r.resume_step > 0, r.scenario.name
+        assert r.time_to_recover_s > 0.0, r.scenario.name
+        assert r.steps == results[0].steps, r.scenario.name
+    # The spare pool keeps the shape; losses past it shrink the grid.
+    assert by_name["elastic-replace"].reshapes == 0
+    assert by_name["elastic-replace"].final_world == 4
+    assert by_name["elastic-shrink-rank"].final_world == 1
+    assert by_name["elastic-node-loss"].final_world == 4
+    # The double fault burns the one spare, then re-factorizes.
+    assert by_name["elastic-double-fault"].attempts == 2
+    assert by_name["elastic-double-fault"].final_world == 1
+
+
 def test_chaos_recovery(benchmark, capsys):
     """Crash scenarios recover to the fault-free loss; overheads are sane."""
     results = benchmark.pedantic(run_chaos, rounds=1, iterations=1)
@@ -92,15 +153,36 @@ def test_chaos_recovery(benchmark, capsys):
         benchmark.extra_info[name] = m["value"]
 
 
+def test_chaos_elastic_recovery(benchmark, capsys):
+    """Elastic scenarios recover under permanent loss; ledger is stable."""
+    results = benchmark.pedantic(
+        run_chaos, args=(ELASTIC_SCENARIOS,), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(render_chaos(results))
+    _check_elastic_guarantees(results)
+    for name, m in collect_elastic_metrics(results)["metrics"].items():
+        benchmark.extra_info[name] = m["value"]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the metrics JSON here")
+    parser.add_argument("--elastic", action="store_true",
+                        help="run the elastic-recovery scenario set")
     args = parser.parse_args(argv)
-    results = run_chaos()
-    print(render_chaos(results))
-    _check_guarantees(results)
-    payload = collect_metrics(results)
+    if args.elastic:
+        results = run_chaos(ELASTIC_SCENARIOS)
+        print(render_chaos(results))
+        _check_elastic_guarantees(results)
+        payload = collect_elastic_metrics(results)
+    else:
+        results = run_chaos()
+        print(render_chaos(results))
+        _check_guarantees(results)
+        payload = collect_metrics(results)
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)

@@ -33,6 +33,14 @@ import argparse
 import json
 import sys
 
+#: substrings that mark a metric as *known-neutral*: deterministic event
+#: counts and world sizes from the chaos/elastic and autoscale arms
+#: (recoveries, reshapes, replica counts, scale events).  Any drift means
+#: the simulated schedule changed, in either direction — gate on it, but
+#: without the unknown-name warning.  Checked first so "reshapes" and
+#: friends never fall through to a suffix hint.
+_NEUTRAL_HINTS = ("recoveries", "reshapes", "replicas", "scale_events",
+                  "restarts", "world")
 #: substrings that mark a metric as better-higher; checked before the
 #: lower hints so "goodput_steps_per_s" / "speedup_cont_over_static"
 #: don't false-match the "_s" suffix hint.
@@ -45,11 +53,14 @@ _LOWER_HINTS = ("time", "latency", "_s", "lost", "overhead", "p50", "p99",
 def heuristic_direction(name: str) -> str:
     """Infer a direction from a metric name.
 
-    Returns ``"higher"``, ``"lower"``, or — when no hint matches —
-    ``"neutral"``: the caller warns about the unknown name and the diff
-    gates on *any* change rather than guessing which way is good.
+    Returns ``"higher"``, ``"lower"``, or ``"neutral"`` — the latter for
+    both known-neutral counters (see ``_NEUTRAL_HINTS``) and names no
+    hint matches, where the caller warns and the diff gates on *any*
+    change rather than guessing which way is good.
     """
     low = name.lower()
+    if any(h in low for h in _NEUTRAL_HINTS):
+        return "neutral"
     if any(h in low for h in _HIGHER_HINTS):
         return "higher"
     if any(h in low for h in _LOWER_HINTS):
@@ -66,7 +77,8 @@ def _from_pytest_benchmark(payload: dict) -> dict[str, dict]:
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 continue
             direction = heuristic_direction(key)
-            if direction == "neutral":
+            known_neutral = any(h in key.lower() for h in _NEUTRAL_HINTS)
+            if direction == "neutral" and not known_neutral:
                 print(f"  warning: no direction hint matches metric "
                       f"'{bname}.{key}'; gating on any change beyond the "
                       f"threshold (add a hint to benchmarks/diff_nightly.py "

@@ -2,12 +2,19 @@
 
 Each :class:`ChaosScenario` trains the small reference ViT (real mode, so
 losses are meaningful) under a :class:`~repro.sim.faults.FaultPlan` —
-a rank crash, a straggler, a degraded link, transient send failures, or
-nothing at all — through :func:`~repro.train.resilience.train_resilient`.
-The result reports goodput (useful steps per simulated second, failed
-attempts included in the denominator), recovery latency and lost work, so
+a rank crash, a correlated node loss, a straggler, a degraded link,
+transient send failures, or nothing at all — through
+:func:`~repro.train.resilience.train_resilient`.  The result reports
+goodput (useful steps per simulated second, failed attempts included in
+the denominator), recovery latency and lost work, so
 ``benchmarks/bench_resilience.py`` and the ``repro chaos`` CLI can compare
 recovery overhead across parallelism modes.
+
+``ELASTIC_SCENARIOS`` (``repro chaos --elastic``) treat fired crashes as
+*permanent* hardware loss: restarts draw on a spare pool while it lasts
+(live rank replacement) and otherwise re-factorize the surviving world
+into the best ``[q, q, d]`` shape, re-sharding the last snapshot for the
+new grid — including the crash-during-recovery double-fault case.
 """
 
 from __future__ import annotations
@@ -22,14 +29,21 @@ from repro.sim.faults import (
     ComputeSlowdown,
     FaultPlan,
     LinkFault,
+    NodeCrash,
     RankCrash,
 )
-from repro.train.resilience import ResilienceConfig, ResilientRun, train_resilient
+from repro.train.resilience import (
+    ElasticPolicy,
+    ResilienceConfig,
+    ResilientRun,
+    train_resilient,
+)
 
 __all__ = [
     "ChaosScenario",
     "ChaosResult",
     "DEFAULT_SCENARIOS",
+    "ELASTIC_SCENARIOS",
     "run_scenario",
     "run_chaos",
     "render_chaos",
@@ -55,10 +69,18 @@ class ChaosScenario:
     seed: int = 0
     crash_rank: int | None = None
     crash_at: float | None = None  #: virtual seconds
+    node_crash: int | None = None  #: kill every rank on this node (at crash_at)
     slow_rank: int | None = None
     slow_factor: float = 1.0
     link_fault: tuple[int, int, float] | None = None  #: (src, dst, factor)
     transient_rate: float = 0.0
+    #: elastic recovery: fired crashes are permanent hardware loss; the
+    #: grid re-factorizes once losses exceed the spare pool
+    elastic: bool = False
+    spares: int = 0
+    #: (rank, at): a second crash injected into restart attempt 1 — the
+    #: crash-during-recovery double fault
+    recovery_crash: tuple[int, float] | None = None
 
     @property
     def nranks(self) -> int:
@@ -73,6 +95,13 @@ class ChaosScenario:
                     f"scenario {self.name!r} sets crash_rank without crash_at"
                 )
             crashes = (RankCrash(rank=self.crash_rank, at=self.crash_at),)
+        node_crashes = ()
+        if self.node_crash is not None:
+            if self.crash_at is None:
+                raise SimulationError(
+                    f"scenario {self.name!r} sets node_crash without crash_at"
+                )
+            node_crashes = (NodeCrash(node=self.node_crash, at=self.crash_at),)
         slowdowns = ()
         if self.slow_rank is not None:
             slowdowns = (
@@ -82,12 +111,13 @@ class ChaosScenario:
         if self.link_fault is not None:
             src, dst, factor = self.link_fault
             link_faults = (LinkFault(src=src, dst=dst, factor=factor),)
-        if not crashes and not slowdowns and not link_faults \
-                and self.transient_rate == 0.0:
+        if not crashes and not node_crashes and not slowdowns \
+                and not link_faults and self.transient_rate == 0.0:
             return None
         return FaultPlan(
             seed=self.seed,
             crashes=crashes,
+            node_crashes=node_crashes,
             slowdowns=slowdowns,
             link_faults=link_faults,
             transient_rate=self.transient_rate,
@@ -106,6 +136,12 @@ class ChaosResult:
     lost_steps: int               #: work discarded by rollback (all recoveries)
     recovery_latency_s: float     #: wall seconds spent restoring (sum)
     virtual_time: float           #: simulated seconds, failed attempts included
+    reshapes: int = 0             #: elastic grid resizes performed
+    final_world: int = 0          #: rank count of the successful attempt
+    #: virtual seconds spent in crashed attempts — the work thrown away
+    #: plus the time spent reaching each crash (deterministic, unlike the
+    #: wall-clock recovery_latency_s)
+    time_to_recover_s: float = 0.0
     run: ResilientRun = field(repr=False, default=None)
 
     @property
@@ -124,6 +160,25 @@ DEFAULT_SCENARIOS: tuple[ChaosScenario, ...] = (
                   link_fault=(0, 1, 16.0)),
 )
 
+#: The ``repro chaos --elastic`` campaign: permanent loss, spares, node
+#: fault domains, and the crash-during-recovery double fault.  Crash
+#: times sit mid-run (the 2-epoch q=2 reference run spans ~0.65 virtual
+#: seconds; the 8-rank d=2 variant is shorter per step but same order).
+ELASTIC_SCENARIOS: tuple[ChaosScenario, ...] = (
+    # rank 3 dies for good with no spares: 3 survivors only fit [1, 1, 1]
+    ChaosScenario(name="elastic-shrink-rank", elastic=True,
+                  crash_rank=3, crash_at=0.2),
+    # node 1 takes ranks 4..7 with it: 4 survivors re-factorize to q=2, d=1
+    ChaosScenario(name="elastic-node-loss", elastic=True, d=2,
+                  node_crash=1, crash_at=0.25),
+    # spare pool covers the loss: live replacement, same shape, no reshape
+    ChaosScenario(name="elastic-replace", elastic=True, spares=2,
+                  crash_rank=1, crash_at=0.2),
+    # crash during recovery: attempt 1 dies too, then the grid shrinks
+    ChaosScenario(name="elastic-double-fault", elastic=True, spares=1,
+                  crash_rank=2, crash_at=0.2, recovery_crash=(3, 0.1)),
+)
+
 
 def run_scenario(
     scenario: ChaosScenario,
@@ -137,13 +192,13 @@ def run_scenario(
         )
     plan = scenario.fault_plan()
 
-    def engine_factory(attempt: int) -> Engine:
-        # Attempt 0 carries the fault plan; after a crash the replacement
-        # cluster is healthy (the failed part was swapped out).  Straggler
-        # and link faults persist — they are environment, not incidents.
-        if attempt == 0 or plan is None:
-            return Engine(nranks=scenario.nranks, fault_plan=plan)
-        survivor_plan = FaultPlan(
+    def survivor_plan() -> FaultPlan | None:
+        # After a crash the replacement cluster is healthy (the failed
+        # part was swapped out).  Straggler and link faults persist —
+        # they are environment, not incidents.
+        if plan is None:
+            return None
+        return FaultPlan(
             seed=plan.seed,
             slowdowns=plan.slowdowns,
             link_faults=plan.link_faults,
@@ -151,9 +206,34 @@ def run_scenario(
             retry=plan.retry,
             jitter=plan.jitter,
         )
-        return Engine(nranks=scenario.nranks, fault_plan=survivor_plan)
 
-    def setup(ctx):
+    def engine_factory(attempt: int) -> Engine:
+        # Attempt 0 carries the fault plan; later attempts are healthy.
+        if attempt == 0 or plan is None:
+            return Engine(nranks=scenario.nranks, fault_plan=plan)
+        return Engine(nranks=scenario.nranks, fault_plan=survivor_plan())
+
+    def elastic_engine_factory(attempt: int, world: int | None) -> Engine:
+        nranks = scenario.nranks if world is None else world
+        if attempt == 0:
+            return Engine(nranks=nranks, fault_plan=plan)
+        attempt_plan = survivor_plan()
+        if attempt == 1 and scenario.recovery_crash is not None:
+            # The double fault: the recovery attempt itself loses a rank.
+            rank, at = scenario.recovery_crash
+            base = attempt_plan or FaultPlan(seed=scenario.seed)
+            attempt_plan = FaultPlan(
+                seed=base.seed,
+                crashes=(RankCrash(rank=rank, at=at),),
+                slowdowns=base.slowdowns,
+                link_faults=base.link_faults,
+                transient_rate=base.transient_rate,
+                retry=base.retry,
+                jitter=base.jitter,
+            )
+        return Engine(nranks=nranks, fault_plan=attempt_plan)
+
+    def build_model(ctx, q: int, d: int):
         from repro.nn.optim import Adam
 
         if scenario.mode == "serial":
@@ -165,21 +245,41 @@ def run_scenario(
             from repro.grid.context import ParallelContext
             from repro.models.vit import TesseractViT
 
-            pc = ParallelContext.tesseract(ctx, q=scenario.q, d=scenario.d)
+            pc = ParallelContext.tesseract(ctx, q=q, d=d)
             model = TesseractViT(pc, CHAOS_VIT)
         opt = Adam(model.parameter_list(), lr=3e-3)
         return model, opt, pc
 
-    run = train_resilient(
-        engine_factory,
-        setup,
-        dataset,
-        epochs=scenario.epochs,
-        batch_size=scenario.batch_size,
-        resilience=ResilienceConfig(
-            snapshot_every=scenario.snapshot_every, max_restarts=max_restarts
-        ),
+    def setup(ctx):
+        return build_model(ctx, scenario.q, scenario.d)
+
+    def elastic_setup(ctx, shape):
+        if shape is None:
+            return build_model(ctx, scenario.q, scenario.d)
+        return build_model(ctx, shape.q, shape.d)
+
+    resilience = ResilienceConfig(
+        snapshot_every=scenario.snapshot_every, max_restarts=max_restarts
     )
+    if scenario.elastic:
+        run = train_resilient(
+            elastic_engine_factory,
+            elastic_setup,
+            dataset,
+            epochs=scenario.epochs,
+            batch_size=scenario.batch_size,
+            resilience=resilience,
+            elastic=ElasticPolicy(spares=scenario.spares, min_world=1),
+        )
+    else:
+        run = train_resilient(
+            engine_factory,
+            setup,
+            dataset,
+            epochs=scenario.epochs,
+            batch_size=scenario.batch_size,
+            resilience=resilience,
+        )
     history = run.history
     recs = history.recoveries
     return ChaosResult(
@@ -191,6 +291,9 @@ def run_scenario(
         lost_steps=sum(r.lost_steps for r in recs),
         recovery_latency_s=sum(r.latency_s for r in recs),
         virtual_time=run.total_virtual_time,
+        reshapes=len(run.reshapes),
+        final_world=run.final_world,
+        time_to_recover_s=sum(run.attempt_times[:-1]),
         run=run,
     )
 
@@ -210,8 +313,8 @@ def render_chaos(results: list[ChaosResult]) -> str:
     from repro.util.tables import Table
 
     table = Table(
-        ["scenario", "ranks", "steps", "final loss", "restarts", "lost",
-         "sim time", "goodput", "recovery (wall)"],
+        ["scenario", "ranks", "steps", "final loss", "restarts", "reshapes",
+         "world", "lost", "sim time", "goodput", "recovery (wall)"],
         title="Chaos scenarios: goodput under injected faults",
     )
     for r in results:
@@ -221,6 +324,8 @@ def render_chaos(results: list[ChaosResult]) -> str:
             r.steps,
             f"{r.final_loss:.4f}",
             r.attempts,
+            r.reshapes,
+            r.final_world or r.scenario.nranks,
             r.lost_steps,
             f"{r.virtual_time:.3f}s",
             f"{r.goodput:.1f} steps/s",

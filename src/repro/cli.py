@@ -56,7 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos", help="train under injected faults; report recovery metrics"
     )
     p_chaos.add_argument("--scenario", default="all",
-                         help="scenario name from the default set, or 'all'")
+                         help="scenario name from the active set, or 'all'")
+    p_chaos.add_argument("--elastic", action="store_true",
+                         help="run the elastic-recovery scenario set "
+                              "(permanent rank/node loss, spares, "
+                              "crash-during-recovery)")
     p_chaos.add_argument("--json", metavar="PATH", default=None,
                          help="also save the metrics as JSON")
 
@@ -203,11 +207,17 @@ def _cmd_transfers() -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from repro.bench.chaos import DEFAULT_SCENARIOS, render_chaos, run_scenario
+    from repro.bench.chaos import (
+        DEFAULT_SCENARIOS,
+        ELASTIC_SCENARIOS,
+        render_chaos,
+        run_scenario,
+    )
 
-    by_name = {s.name: s for s in DEFAULT_SCENARIOS}
+    scenarios = ELASTIC_SCENARIOS if args.elastic else DEFAULT_SCENARIOS
+    by_name = {s.name: s for s in scenarios}
     if args.scenario == "all":
-        chosen = list(DEFAULT_SCENARIOS)
+        chosen = list(scenarios)
     elif args.scenario in by_name:
         chosen = [by_name[args.scenario]]
     else:
@@ -224,8 +234,12 @@ def _cmd_chaos(args) -> int:
                 "steps": r.steps,
                 "final_loss": r.final_loss,
                 "restarts": r.attempts,
+                "recoveries": r.attempts,
+                "reshapes": r.reshapes,
+                "final_world": r.final_world,
                 "lost_steps": r.lost_steps,
                 "recovery_latency_s": r.recovery_latency_s,
+                "time_to_recover_s": r.time_to_recover_s,
                 "virtual_time_s": r.virtual_time,
                 "goodput_steps_per_s": r.goodput,
             }

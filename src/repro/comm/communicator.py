@@ -83,7 +83,7 @@ from typing import Any, Sequence
 
 from repro.comm.group import ProcessGroup
 from repro.comm.reduce_ops import ReduceOp, combine
-from repro.errors import CommError, ShapeError
+from repro.errors import CommError, RankFailureError, ShapeError
 from repro.sim.engine import LOCAL_ECHO, LOCAL_NONE, RankContext
 from repro.sim.events import CommEvent, FusedBatchEvent, RetryEvent
 from repro.varray.varray import VArray
@@ -95,7 +95,13 @@ class PendingResult:
     """Result handle for a collective queued inside a batch window.
 
     ``value`` raises :class:`CommError` until the window has flushed
-    (i.e. the ``with comm.batch()`` block has exited cleanly).
+    (i.e. the ``with comm.batch()`` block has exited cleanly).  If the
+    window aborted — a :class:`~repro.errors.RankFailureError` from a
+    dead partner, or any other exception escaping the ``with`` block —
+    the handle is *failed* rather than left dangling: ``value`` re-raises
+    the window's failure (naming the queued ops) instead of a misleading
+    "not flushed yet" message, so recovery code that kept a handle
+    around cannot silently wait on a result that will never exist.
     """
 
     __slots__ = ("_value", "_state")
@@ -114,13 +120,30 @@ class PendingResult:
         self._value = value
         self._state = "ready"
 
+    def _fail(self, exc: BaseException) -> None:
+        self._value = exc
+        self._state = "failed"
+
     @property
     def ready(self) -> bool:
         """True once the window has flushed and ``value`` is available."""
         return self._state == "ready"
 
     @property
+    def failed(self) -> bool:
+        """True if the window aborted and this handle will never resolve."""
+        return self._state == "failed"
+
+    @property
     def value(self) -> Any:
+        if self._state == "failed":
+            exc = self._value
+            if isinstance(exc, RankFailureError):
+                raise exc.clone()
+            raise CommError(
+                f"batch window result unavailable: the window aborted "
+                f"({exc})"
+            )
         if self._state != "ready":
             raise CommError(
                 "batch window result accessed before the window was flushed"
@@ -158,6 +181,13 @@ class _CollectiveOp:
 def _barrier_data(ordered: dict[int, Any]) -> dict[int, Any]:
     """Barrier data pass: every member's result is None."""
     return {g: None for g in ordered}
+
+
+def _describe_ops(win: "_BatchWindow") -> str:
+    """Human op list for batch-window failure messages: ``kind:tag, ...``."""
+    return ", ".join(
+        f"{op.kind}:{op.tag}" if op.tag else op.kind for op in win._ops
+    )
 
 
 class _BatchWindow:
@@ -227,11 +257,32 @@ class Communicator:
         self._window = win
         try:
             yield win
-        except BaseException:
             self._window = None
+            self._flush_window(win)
+        except RankFailureError as exc:
+            # Fail fast instead of leaving queued handles undrained: a
+            # dead partner means this window can never flush, so every
+            # pending handle is failed and the error names the window's
+            # op list — catching code sees exactly which collectives died.
+            self._window = None
+            aug = RankFailureError(
+                exc.rank, exc.t,
+                message=(
+                    f"{exc}; batch window {win._tag!r} on group "
+                    f"{self.group.ranks} aborted with {len(win)} "
+                    f"undrained op(s): [{_describe_ops(win)}]"
+                ),
+            )
+            for op in win._ops:
+                if op.handle is not None and not op.handle.ready:
+                    op.handle._fail(aug)
+            raise aug.clone() from None
+        except BaseException as exc:
+            self._window = None
+            for op in win._ops:
+                if op.handle is not None and not op.handle.ready:
+                    op.handle._fail(exc)
             raise
-        self._window = None
-        self._flush_window(win)
 
     def _immediate(self, value: Any) -> Any:
         """Wrap trivial (size-1) results so in-window types stay uniform."""

@@ -8,7 +8,7 @@ exactly like an MPI communicator built from a group.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.errors import CommError
 
@@ -104,6 +104,26 @@ class ProcessGroup:
                 f"group rank {group_rank} out of range for size-{self.size} group"
             )
         return self.ranks[group_rank]
+
+    def without(self, dead: Iterable[int]) -> "ProcessGroup":
+        """The surviving subgroup after removing ``dead`` ranks.
+
+        Preserves the original member order (group-rank semantics of the
+        survivors stay stable), so elastic recovery can rebuild
+        communicators over ``world.without(engine.lost_ranks())`` and
+        every survivor computes the same subgroup.  Raises
+        :class:`~repro.errors.CommError` if nothing survives.
+        """
+        gone = set(dead)
+        survivors = tuple(r for r in self.ranks if r not in gone)
+        if not survivors:
+            raise CommError(
+                f"removing ranks {sorted(gone)} from group {self.ranks} "
+                f"leaves no survivors"
+            )
+        if len(survivors) == len(self.ranks):
+            return self
+        return ProcessGroup.of(survivors)
 
     def __iter__(self) -> Iterator[int]:
         return iter(self.ranks)

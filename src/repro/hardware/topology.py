@@ -171,6 +171,25 @@ class Topology:
             out.setdefault(self.node_of(r), []).append(r)
         return out
 
+    @property
+    def nodes_used(self) -> int:
+        """Number of distinct nodes hosting at least one rank."""
+        return len(set(self._node_of))
+
+    def node_ranks(self, node: int) -> list[int]:
+        """All ranks hosted on ``node`` — a correlated fault domain.
+
+        Raises :class:`~repro.errors.GridError` if no rank lives there, so
+        a fault plan naming an empty node fails loudly at install time.
+        """
+        out = [r for r in range(self.nranks) if self._node_of[r] == node]
+        if not out:
+            raise GridError(
+                f"node {node} hosts no ranks "
+                f"(topology uses nodes {sorted(set(self._node_of))})"
+            )
+        return out
+
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.nranks:
             raise GridError(f"rank {rank} out of range [0, {self.nranks})")

@@ -36,12 +36,13 @@ class Module:
     # --- registration -----------------------------------------------------------
 
     def add_param(self, name: str, value: VArray,
-                  layout: str = "full") -> Parameter:
-        """Create and register a parameter (``layout`` per Parameter docs)."""
+                  layout: str = "full", parts: int = 1) -> Parameter:
+        """Create and register a parameter (``layout``/``parts`` per
+        Parameter docs)."""
         if name in self._params:
             raise SimulationError(f"duplicate parameter name {name!r}")
         p = Parameter(self.ctx, f"{type(self).__name__}.{name}", value,
-                      layout=layout)
+                      layout=layout, parts=parts)
         self._params[name] = p
         return p
 

@@ -32,19 +32,26 @@ class Parameter:
     cleared by :meth:`zero_grad`.  ``value`` is replaced — never mutated —
     by optimizers, preserving the package-wide immutability convention.
     ``layout`` records the sharding relationship to the logical tensor
-    (see :data:`PARAM_LAYOUTS`).
+    (see :data:`PARAM_LAYOUTS`); ``parts`` records how many logically
+    separate tensors are fused along the output axis of a ``grid_block``
+    weight (e.g. 3 for a fused QKV projection) — elastic reshaping needs
+    it to de-fuse each part into its own global tensor before re-sharding
+    for a different grid size.
     """
 
     def __init__(self, ctx: RankContext, name: str, value: VArray,
-                 layout: str = "full"):
+                 layout: str = "full", parts: int = 1):
         if layout not in PARAM_LAYOUTS:
             raise ShapeError(
                 f"unknown parameter layout {layout!r}; valid: {PARAM_LAYOUTS}"
             )
+        if parts < 1:
+            raise ShapeError(f"parts must be >= 1, got {parts}")
         self.ctx = ctx
         self.name = name
         self.value = value
         self.layout = layout
+        self.parts = parts
         self.grad: VArray | None = None
         ctx.mem.alloc(value.nbytes, "params")
 

@@ -109,7 +109,8 @@ class TesseractLinear(Module):
                 )
             parts = fused_qkv_global(self.ctx, in_features, init_tags)
             w = VArray.from_numpy(fused_block_2d(parts, q, pc.i, pc.j))
-        self.w = self.add_param("w", w, layout="grid_block")
+        self.w = self.add_param("w", w, layout="grid_block",
+                                parts=fused_parts)
         if bias:
             b = (
                 VArray.symbolic((out_local,))

@@ -14,7 +14,7 @@ from repro.serve.model import (
     local_kv_width,
     serving_nranks,
 )
-from repro.serve.runner import run_serving
+from repro.serve.runner import AutoscaleConfig, run_serving
 from repro.serve.scheduler import POLICIES, Scheduler, SchedulerConfig
 from repro.serve.workload import Request, WorkloadConfig, generate_workload
 
@@ -27,6 +27,7 @@ __all__ = [
     "grid_shape",
     "local_kv_width",
     "serving_nranks",
+    "AutoscaleConfig",
     "run_serving",
     "POLICIES",
     "Scheduler",

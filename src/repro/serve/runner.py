@@ -31,12 +31,31 @@ scheduler from the snapshot, and resumes at
 in-flight requests restart from their prompts at the *front* of the queue
 (the same contract as a preemption — and counted as one); completed
 requests keep their recorded timestamps.  Crashes that already fired are
-filtered from the plan so each planned crash costs exactly one restart.
+filtered from the plan so each planned crash costs exactly one restart
+(a correlated node crash is one event: every rank it killed is filtered
+together).
+
+Autoscaling
+-----------
+With an :class:`AutoscaleConfig` the runner simulates a *fleet*: replica
+0 is the real engine-backed instance above; replicas ``>= 1`` are
+bookkeeping-only — because every request carries its full pre-drawn
+token trace (see :mod:`repro.serve.workload`), an added replica needs no
+tensors at all, just a scheduler plus per-slot KV-token counters ticked
+once per fleet iteration at the same one-decode-step cadence as replica
+0.  A dispatcher owns the arrival stream and a single fleet-global FIFO
+from which every *ready* replica admits, replica 0 first then in index
+order; the fleet grows when the queue backs up and shrinks — after a
+patience window of sustained low load — by draining the highest replica,
+whose in-flight requests are front-requeued as preemptions for the
+survivors to pick up.  Scale decisions read only shared deterministic
+state, so every rank makes the same ones; crash recovery composes with
+autoscaling because the snapshot carries the whole fleet.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -56,7 +75,61 @@ from repro.serve.workload import WorkloadConfig, generate_workload
 from repro.sim.engine import Engine
 from repro.varray.varray import VArray
 
-__all__ = ["run_serving"]
+__all__ = ["AutoscaleConfig", "run_serving"]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Reactive replica autoscaling for the serving fleet.
+
+    Scale *up* when the fleet-wide queue depth exceeds
+    ``scale_up_queue`` per ready replica; scale *down* after
+    ``scale_down_patience`` consecutive iterations in which the total
+    load (queued + active) would fit in one fewer replica.  A new
+    replica accepts work only ``spinup_iters`` iterations after the
+    scale-up decision (model-load latency); a drained replica's
+    in-flight requests restart from their prompts elsewhere.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 4
+    scale_up_queue: int = 4  #: queued requests per ready replica
+    scale_down_patience: int = 8  #: low-load iterations before shrinking
+    spinup_iters: int = 2  #: iterations before a new replica is ready
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise SimulationError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise SimulationError(
+                f"max_replicas {self.max_replicas} < min_replicas "
+                f"{self.min_replicas}"
+            )
+        if self.scale_up_queue < 1:
+            raise SimulationError("scale_up_queue must be >= 1")
+        if self.scale_down_patience < 1:
+            raise SimulationError("scale_down_patience must be >= 1")
+        if self.spinup_iters < 0:
+            raise SimulationError("spinup_iters must be >= 0")
+
+
+class _Replica:
+    """One fleet member's scheduling state.
+
+    Index 0 wraps the real engine-backed scheduler (its KV lives in the
+    :class:`KVCacheManager`); higher indices are bookkeeping-only, so
+    ``lens`` tracks their virtual per-slot KV footprint directly.  All
+    replicas admit from the same fleet-global ``queue`` list.
+    """
+
+    def __init__(self, cfg: SchedulerConfig, requests, queue, ready_at: int):
+        self.sch = Scheduler.for_dispatch(cfg, requests, queue=queue)
+        self.lens: dict[int, int] = {}  #: slot -> prompt + emitted tokens
+        self.ready_at = ready_at  #: first iteration that may admit work
+
+    @property
+    def used_tokens(self) -> int:
+        return sum(self.lens.values())
 
 
 def _validate(
@@ -99,6 +172,7 @@ def run_serving(
     engine_seed: int = 0,
     fault_plan=None,
     max_restarts: int = 0,
+    autoscale: AutoscaleConfig | None = None,
 ) -> dict:
     """Simulate serving ``workload`` under ``sched`` and return the report.
 
@@ -111,6 +185,11 @@ def run_serving(
     (see *Crash recovery* in the module docstring) and the report gains a
     ``"recoveries"`` key.  Without a plan the report is byte-identical to
     what this function always produced.
+
+    With ``autoscale`` the runner simulates a replica fleet (see
+    *Autoscaling* in the module docstring) and the report gains
+    ``scale_events`` / ``replicas_peak`` / ``replicas_final`` /
+    ``replica_iterations``.
     """
     gq, gd = grid_shape(mode, q, d, world)
     bands = gq * gd
@@ -125,9 +204,11 @@ def run_serving(
     recoveries = 0
     while True:
         def fn(ctx, _snapshot=snapshot):
-            return _serve_rank(
+            serve = _serve_rank if autoscale is None else _serve_rank_fleet
+            return serve(
                 ctx, mode, model_cfg, workload, sched,
                 q=q, d=d, world=world, bands=bands, kv_width=kv_width,
+                autoscale=autoscale,
                 snapshot=_snapshot,
                 snap_box=snap_box if fault_plan is not None else None,
             )
@@ -137,15 +218,20 @@ def run_serving(
         try:
             reports = engine.run(fn)
         except RankFailureError as exc:
-            fired = set(engine._dead) | {exc.rank}
+            fired = set(engine._dead) | {exc.rank} | engine.lost_ranks()
+            fired_nodes = set(engine._fired_nodes)
             engine.shutdown()
             if recoveries >= max_restarts:
                 raise
             recoveries += 1
-            # Each planned crash fires at most once across restarts.
+            # Each planned crash fires at most once across restarts; a
+            # node crash is one event covering all its member ranks.
             plan = replace(
-                plan, crashes=tuple(c for c in plan.crashes
-                                    if c.rank not in fired),
+                plan,
+                crashes=tuple(c for c in plan.crashes
+                              if c.rank not in fired),
+                node_crashes=tuple(nc for nc in plan.node_crashes
+                                   if nc.node not in fired_nodes),
             )
             snapshot = snap_box.get("snap")
             resume_t = max(snapshot["now"] if snapshot else 0.0, exc.t)
@@ -215,6 +301,76 @@ def _restore_state(sch, records, snapshot) -> None:
     sch.queue = inflight + queued
 
 
+# --- the real (engine-backed) iteration pieces --------------------------------
+
+
+def _prefill_admissions(ctx, model, wcomm, sch, cache, records, bands,
+                        finish) -> None:
+    """Admit from the queue and prefill each admission immediately."""
+    for slot, rid in sch.admit(cache.used_tokens):
+        req = sch.requests[rid]
+        rec = records[rid]
+        prompt = np.tile(
+            np.asarray(req.prompt_tokens, dtype=np.int64)[None, :],
+            (bands, 1),
+        )
+        _, kv = model.prefill(VArray.from_numpy(prompt))
+        cache.insert(slot, kv, req.prompt_len)
+        wcomm.barrier("serve_prefill")
+        t = ctx.now
+        rec.emitted = 1  # prefill yields the first output token
+        if rec.first_token_time is None:
+            rec.first_token_time = t
+        if rec.emitted == req.output_len:
+            finish(slot, t)
+
+
+def _preempt_over_budget(sch, cache, records) -> None:
+    """Preempt (youngest first) if this step's +1 token per slot would
+    blow the budget; victims restart from their prompt later."""
+    lens = {s: cache.length(s) for s in sch.active}
+    for slot in sch.choose_preemptions(cache.used_tokens, lens):
+        rid = sch.preempt(slot)
+        cache.evict(slot)
+        records[rid].preemptions += 1
+        records[rid].emitted = 0
+
+
+def _decode_active(ctx, model, sch, cache, records, rows, band,
+                   rows_local) -> None:
+    """One batched decode step over the fixed-slot frame."""
+    order = sch.frame_order()
+    lens = {s: cache.length(s) for s in sch.active}
+    s_max = max(lens.values())
+    tokens = np.zeros((rows, 1), dtype=np.int64)
+    positions = np.zeros((rows, 1), dtype=np.int64)
+    # extra_mask [rows, 1, 1, s_max + 1]: -inf over each slot's KV
+    # padding; the last column is the new token, valid everywhere so
+    # padding rows still softmax over at least one finite score.
+    mask = np.zeros((rows, 1, 1, s_max + 1), dtype=np.float32)
+    for row, slot in enumerate(order):
+        if slot is None:
+            mask[row, :, :, :s_max] = -np.inf
+            continue
+        req = sch.requests[sch.active[slot]]
+        rec = records[req.rid]
+        tokens[row, 0] = req.output_tokens[rec.emitted - 1]
+        positions[row, 0] = req.prompt_len + rec.emitted - 1
+        mask[row, :, :, lens[slot]:s_max] = -np.inf
+
+    band_order = order[band * rows_local:(band + 1) * rows_local]
+    past = cache.assemble(band_order, s_max)
+    _, new_kv = model.decode_step(
+        VArray.from_numpy(tokens),
+        VArray.from_numpy(positions),
+        past,
+        VArray.from_numpy(mask[band * rows_local:(band + 1) * rows_local]),
+    )
+    cache.append_rows(band_order, new_kv)
+    for slot in sch.active:
+        cache.grow(slot)
+
+
 def _serve_rank(
     ctx,
     mode: str,
@@ -227,6 +383,7 @@ def _serve_rank(
     world: int | None,
     bands: int,
     kv_width: int,
+    autoscale=None,
     snapshot: dict | None = None,
     snap_box: dict | None = None,
 ) -> dict:
@@ -288,67 +445,15 @@ def _serve_rank(
 
         # Admission: each admitted request is prefilled immediately, one
         # engine-level forward per request.
-        for slot, rid in sch.admit(cache.used_tokens):
-            req = sch.requests[rid]
-            rec = records[rid]
-            prompt = np.tile(
-                np.asarray(req.prompt_tokens, dtype=np.int64)[None, :],
-                (bands, 1),
-            )
-            _, kv = model.prefill(VArray.from_numpy(prompt))
-            cache.insert(slot, kv, req.prompt_len)
-            wcomm.barrier("serve_prefill")
-            t = ctx.now
-            rec.emitted = 1  # prefill yields the first output token
-            if rec.first_token_time is None:
-                rec.first_token_time = t
-            if rec.emitted == req.output_len:
-                finish(slot, t)
-
+        _prefill_admissions(ctx, model, wcomm, sch, cache, records, bands,
+                            finish)
         if not sch.active:
             iterations += 1
             continue
 
-        # Preempt (youngest first) if this step's +1 token per slot would
-        # blow the budget; victims restart from their prompt later.
-        lens = {s: cache.length(s) for s in sch.active}
-        for slot in sch.choose_preemptions(cache.used_tokens, lens):
-            rid = sch.preempt(slot)
-            cache.evict(slot)
-            records[rid].preemptions += 1
-            records[rid].emitted = 0
-
-        # One batched decode step over the fixed-slot frame.
-        order = sch.frame_order()
-        lens = {s: cache.length(s) for s in sch.active}
-        s_max = max(lens.values())
-        tokens = np.zeros((rows, 1), dtype=np.int64)
-        positions = np.zeros((rows, 1), dtype=np.int64)
-        # extra_mask [rows, 1, 1, s_max + 1]: -inf over each slot's KV
-        # padding; the last column is the new token, valid everywhere so
-        # padding rows still softmax over at least one finite score.
-        mask = np.zeros((rows, 1, 1, s_max + 1), dtype=np.float32)
-        for row, slot in enumerate(order):
-            if slot is None:
-                mask[row, :, :, :s_max] = -np.inf
-                continue
-            req = sch.requests[sch.active[slot]]
-            rec = records[req.rid]
-            tokens[row, 0] = req.output_tokens[rec.emitted - 1]
-            positions[row, 0] = req.prompt_len + rec.emitted - 1
-            mask[row, :, :, lens[slot]:s_max] = -np.inf
-
-        band_order = order[band * rows_local:(band + 1) * rows_local]
-        past = cache.assemble(band_order, s_max)
-        _, new_kv = model.decode_step(
-            VArray.from_numpy(tokens),
-            VArray.from_numpy(positions),
-            past,
-            VArray.from_numpy(mask[band * rows_local:(band + 1) * rows_local]),
-        )
-        cache.append_rows(band_order, new_kv)
-        for slot in sch.active:
-            cache.grow(slot)
+        _preempt_over_budget(sch, cache, records)
+        _decode_active(ctx, model, sch, cache, records, rows, band,
+                       rows_local)
 
         wcomm.barrier("serve_step")
         t = ctx.now
@@ -370,4 +475,284 @@ def _serve_rank(
     report["mode"] = mode
     report["policy"] = sched_cfg.policy
     report["nranks"] = ctx.nranks
+    return report
+
+
+# --- autoscaled fleet ---------------------------------------------------------
+
+
+def _tick_replica(rep: _Replica, records, t: float) -> int:
+    """One fleet iteration of a bookkeeping replica; 1 if it did work.
+
+    Mirrors the real iteration shape — admit (prefill emits the first
+    token), preempt if the +1-token step would blow the budget, one
+    decode step over every active slot — but moves no tensors: the token
+    traces are pre-drawn, so only counters change.  All timestamps use
+    the fleet's barrier-synced iteration time ``t``.
+    """
+    sch = rep.sch
+    for slot, rid in sch.admit(rep.used_tokens):
+        req = sch.requests[rid]
+        rec = records[rid]
+        rep.lens[slot] = req.prompt_len
+        rec.emitted = 1
+        if rec.first_token_time is None:
+            rec.first_token_time = t
+        if rec.emitted == req.output_len:
+            sch.complete(slot)
+            del rep.lens[slot]
+            rec.completion_time = t
+    if not sch.active:
+        return 0
+    for slot in sch.choose_preemptions(rep.used_tokens, dict(rep.lens)):
+        rid = sch.preempt(slot)
+        del rep.lens[slot]
+        records[rid].preemptions += 1
+        records[rid].emitted = 0
+    for slot in list(sch.active):
+        rid = sch.active[slot]
+        rec = records[rid]
+        rec.emitted += 1
+        rep.lens[slot] += 1
+        if rec.emitted == sch.requests[rid].output_len:
+            sch.complete(slot)
+            del rep.lens[slot]
+            rec.completion_time = t
+    return 1
+
+
+def _snapshot_fleet(base: dict, replicas, scale_state: dict) -> dict:
+    """Extend the rank-0 snapshot with the bookkeeping fleet's state.
+
+    The shared fleet queue is already in ``base["queue"]`` (replica 0's
+    scheduler holds the same list object); per-replica entries only need
+    their active sets and readiness.
+    """
+    base["replicas"] = [
+        {
+            "active": [r.sch.active[s]
+                       for s in sorted(r.sch.active,
+                                       key=lambda s: r.sch._admit_seq[s])],
+            "ready_at": r.ready_at,
+        }
+        for r in replicas[1:]
+    ]
+    base["scale"] = dict(scale_state)
+    return base
+
+
+def _restore_fleet(dispatcher, records, snapshot, sched_cfg, requests,
+                   fleet_queue) -> list[_Replica]:
+    """Rebuild the whole fleet from a snapshot after a crash.
+
+    The engine hosted every replica's clock, so the crash preempts *all*
+    in-flight requests fleet-wide (replica 0's KV died with the engine;
+    bookkeeping replicas restart from prompts for symmetry — a real
+    deployment would lose their instances with the failed node too).
+    The shared queue restarts as: every replica's inflight work first
+    (replica order, admission order within), then the queued backlog.
+    """
+    for rid, (emitted, ftt, ct, pre) in snapshot["records"].items():
+        rec = records[rid]
+        rec.emitted = emitted
+        rec.first_token_time = ftt
+        rec.completion_time = ct
+        rec.preemptions = pre
+    inflight = list(snapshot["active"])
+    replicas = [_Replica(sched_cfg, requests, fleet_queue, ready_at=0)]
+    for rs in snapshot.get("replicas", []):
+        replicas.append(_Replica(sched_cfg, requests, fleet_queue,
+                                 ready_at=rs["ready_at"]))
+        inflight.extend(rs["active"])
+    for rid in inflight:
+        records[rid].emitted = 0
+        records[rid].preemptions += 1
+    fleet_queue[:] = inflight + list(snapshot["queue"])
+    done = {rid for rid, st in snapshot["records"].items()
+            if st[2] is not None}
+    known = set(fleet_queue) | done
+    dispatcher._pending = [r for r in dispatcher._pending
+                           if r.rid not in known]
+    return replicas
+
+
+def _serve_rank_fleet(
+    ctx,
+    mode: str,
+    model_cfg: TransformerConfig,
+    workload: WorkloadConfig,
+    sched_cfg: SchedulerConfig,
+    *,
+    q: int | None,
+    d: int | None,
+    world: int | None,
+    bands: int,
+    kv_width: int,
+    autoscale: AutoscaleConfig,
+    snapshot: dict | None = None,
+    snap_box: dict | None = None,
+) -> dict:
+    """The autoscaled variant of :func:`_serve_rank` (see module docs)."""
+    auto = autoscale
+    model = build_lm(ctx, mode, model_cfg, q=q, d=d, world=world)
+    model.eval()
+    wcomm = Communicator(ctx, range(ctx.nranks))
+    rows = sched_cfg.max_slots
+    rows_local = rows // bands
+    band = model.pc.block_row if bands > 1 else 0
+    band_slots = range(band * rows_local, (band + 1) * rows_local)
+
+    requests = generate_workload(workload)
+    # The dispatcher owns the arrival stream; its queue is the single
+    # fleet-global FIFO every replica's scheduler admits from.
+    dispatcher = Scheduler(sched_cfg, requests)
+    fleet_queue = dispatcher.queue
+    replicas = [_Replica(sched_cfg, requests, fleet_queue, ready_at=0)
+                for _ in range(auto.min_replicas)]
+    cache = KVCacheManager(
+        ctx, model_cfg.num_layers, rows, band_slots, kv_width,
+        sched_cfg.kv_budget_tokens,
+    )
+    records = {
+        r.rid: RequestRecord(
+            rid=r.rid, arrival=r.arrival,
+            prompt_len=r.prompt_len, output_len=r.output_len,
+        )
+        for r in requests
+    }
+    iterations = 0
+    max_queue = 0
+    base_peak_kv = 0
+    scale_events: list[tuple] = []
+    replicas_peak = len(replicas)
+    replica_iterations = 0
+    down_streak = 0
+    step_dt = 0.0  #: duration of the last real decode step
+    if snapshot is not None:
+        replicas = _restore_fleet(dispatcher, records, snapshot, sched_cfg,
+                                  requests, fleet_queue)
+        iterations = snapshot["iterations"]
+        max_queue = snapshot["max_queue"]
+        base_peak_kv = snapshot["peak_kv"]
+        sc = snapshot.get("scale", {})
+        scale_events = [tuple(e) for e in sc.get("events", [])]
+        replicas_peak = sc.get("peak", len(replicas))
+        replica_iterations = sc.get("replica_iterations", 0)
+        down_streak = sc.get("down_streak", 0)
+        step_dt = sc.get("step_dt", 0.0)
+        ctx.clock.sync_to(snapshot["now"])
+    sch = replicas[0].sch  # the engine-backed replica
+
+    def finish(slot: int, t: float) -> None:
+        rid = sch.complete(slot)
+        cache.evict(slot)
+        records[rid].completion_time = t
+
+    while True:
+        wcomm.barrier("serve_iter")
+        if snap_box is not None and ctx.rank == 0:
+            snap_box["snap"] = _snapshot_fleet(
+                _snapshot_state(
+                    ctx.now, sch, records, iterations, max_queue,
+                    max(base_peak_kv, cache.peak_tokens),
+                ),
+                replicas,
+                {"events": [list(e) for e in scale_events],
+                 "peak": replicas_peak,
+                 "replica_iterations": replica_iterations,
+                 "down_streak": down_streak,
+                 "step_dt": step_dt},
+            )
+        if all(rec.done for rec in records.values()):
+            break
+
+        # Arrivals land in the shared fleet queue; every ready replica
+        # admits from it below (replica 0 first, then index order).
+        dispatcher.poll_arrivals(ctx.now)
+        ready = sum(1 for r in replicas if iterations >= r.ready_at)
+        total_q = len(fleet_queue)
+        total_load = total_q + sum(len(r.sch.active) for r in replicas)
+        max_queue = max(max_queue, total_q)
+
+        # Scale decisions: pure functions of shared state, so every rank
+        # reaches the same fleet shape at the same iteration.
+        if (total_q > auto.scale_up_queue * ready
+                and len(replicas) < auto.max_replicas):
+            replicas.append(_Replica(
+                sched_cfg, requests, fleet_queue,
+                ready_at=iterations + auto.spinup_iters,
+            ))
+            replicas_peak = max(replicas_peak, len(replicas))
+            scale_events.append((iterations, "up", len(replicas)))
+            down_streak = 0
+        elif (len(replicas) > auto.min_replicas
+              and total_load <= (len(replicas) - 1) * sched_cfg.max_slots):
+            down_streak += 1
+            if down_streak >= auto.scale_down_patience:
+                victim = replicas.pop()
+                # drain() front-requeues the victim's in-flight work in
+                # admission order; survivors re-admit it from the shared
+                # queue next iteration (restarting from prompts).
+                for rid in victim.sch.drain():
+                    records[rid].preemptions += 1
+                    records[rid].emitted = 0
+                scale_events.append((iterations, "down", len(replicas)))
+                down_streak = 0
+        else:
+            down_streak = 0
+
+        if all(r.sch.idle for r in replicas):
+            nxt = dispatcher.next_arrival()
+            assert nxt is not None  # else all requests would be done
+            ctx.clock.sync_to(nxt)
+            continue
+
+        # Replica 0 does the real tensor work and drives the clock.
+        _prefill_admissions(ctx, model, wcomm, sch, cache, records, bands,
+                            finish)
+        if sch.active:
+            _preempt_over_budget(sch, cache, records)
+            t_before = ctx.now
+            _decode_active(ctx, model, sch, cache, records, rows, band,
+                           rows_local)
+            wcomm.barrier("serve_step")
+            step_dt = ctx.now - t_before
+            t = ctx.now
+            for slot in list(sch.active):
+                req = sch.requests[sch.active[slot]]
+                rec = records[req.rid]
+                rec.emitted += 1
+                if rec.emitted == req.output_len:
+                    finish(slot, t)
+            replica_iterations += 1
+        else:
+            # No real decode this iteration, but bookkeeping replicas
+            # still tick — advance the shared clock by the last decode's
+            # cost so their token timestamps keep moving.  (step_dt is
+            # already set whenever this branch can matter: replica 0
+            # admits first from the shared queue, so it decodes before
+            # any bookkeeping replica ever holds work.)
+            ctx.clock.sync_to(ctx.now + step_dt)
+            t = ctx.now
+
+        for rep in replicas[1:]:
+            if iterations < rep.ready_at:
+                continue  # still spinning up
+            replica_iterations += _tick_replica(rep, records, t)
+        iterations += 1
+
+    report = summarize(
+        sorted(records.values(), key=lambda r: r.rid),
+        makespan=ctx.now,
+        peak_kv_tokens=max(base_peak_kv, cache.peak_tokens),
+        max_queue_depth=max_queue,
+        iterations=iterations,
+    )
+    report["mode"] = mode
+    report["policy"] = sched_cfg.policy
+    report["nranks"] = ctx.nranks
+    report["scale_events"] = len(scale_events)
+    report["replicas_peak"] = replicas_peak
+    report["replicas_final"] = len(replicas)
+    report["replica_iterations"] = replica_iterations
     return report

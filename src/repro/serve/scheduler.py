@@ -137,6 +137,49 @@ class Scheduler:
         self.queue.insert(0, rid)
         return rid
 
+    # --- dispatcher support ----------------------------------------------------
+
+    @classmethod
+    def for_dispatch(
+        cls,
+        cfg: SchedulerConfig,
+        requests: list[Request],
+        queue: list[int] | None = None,
+    ) -> "Scheduler":
+        """A replica scheduler fed by a dispatcher instead of the clock.
+
+        It knows the full request table (token traces are looked up by
+        rid) but owns no arrival stream of its own: requests enter only
+        through :meth:`enqueue` or the shared ``queue`` — passing the
+        dispatcher's queue *object* makes this replica admit from the
+        fleet-global FIFO, so several replicas share one seeded workload
+        without double-admitting an arrival.
+        """
+        sch = cls(cfg, requests)
+        sch._pending = []
+        if queue is not None:
+            sch.queue = queue
+        return sch
+
+    def enqueue(self, rid: int, front: bool = False) -> None:
+        """Hand a dispatched (or drained) request to this scheduler."""
+        if front:
+            self.queue.insert(0, rid)
+        else:
+            self.queue.append(rid)
+
+    def drain(self) -> list[int]:
+        """Preempt every active slot; returns the rids in admission order.
+
+        Used when a replica is scaled away: its in-flight requests land
+        at the *front* of the queue in admission order (the preemption
+        contract — their KV state lived on the drained replica) for the
+        survivors to pick up.
+        """
+        slots = sorted(self.active, key=lambda s: self._admit_seq[s],
+                       reverse=True)
+        return [self.preempt(s) for s in slots][::-1]
+
     # --- completion ------------------------------------------------------------
 
     def complete(self, slot: int) -> int:

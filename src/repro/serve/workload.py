@@ -13,6 +13,7 @@ backfills freed slots.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
@@ -34,6 +35,14 @@ class WorkloadConfig:
     output_long: tuple[int, int] = (48, 64)
     long_frac: float = 0.2  #: fraction of requests with long outputs
     vocab: int = 32
+    #: diurnal load modulation: the instantaneous arrival rate swings
+    #: sinusoidally by ``+- diurnal_amplitude`` around ``arrival_rate``
+    #: over a period of ``diurnal_period`` simulated seconds (0 = flat).
+    #: Still a pure function of (seed, rid): each gap is drawn from the
+    #: flat process, then stretched by the inverse relative rate at the
+    #: burst leader's arrival time.
+    diurnal_period: float = 0.0
+    diurnal_amplitude: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_requests <= 0:
@@ -48,6 +57,17 @@ class WorkloadConfig:
             lo, hi = getattr(self, name)
             if not 1 <= lo <= hi:
                 raise SimulationError(f"bad {name} range ({lo}, {hi})")
+        if self.diurnal_period < 0:
+            raise SimulationError("diurnal_period must be >= 0")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise SimulationError(
+                "diurnal_amplitude must be in [0, 1) — the instantaneous "
+                "rate must stay positive"
+            )
+        if self.diurnal_amplitude > 0 and self.diurnal_period <= 0:
+            raise SimulationError(
+                "diurnal_amplitude needs a positive diurnal_period"
+            )
 
     @property
     def max_request_tokens(self) -> int:
@@ -87,6 +107,20 @@ def _draw_int(seed: int, rid: int, kind: str, lo: int, hi: int) -> int:
     return int(rng_for(seed, "serve", rid, kind).integers(lo, hi + 1))
 
 
+def _relative_rate(cfg: WorkloadConfig, t: float) -> float:
+    """Instantaneous arrival rate at time ``t`` relative to the mean.
+
+    ``1 + amplitude * sin(2*pi*t/period)`` — peak load one quarter period
+    in, trough at three quarters, exactly the diurnal shape autoscaler
+    tests need (rush hour then overnight lull).
+    """
+    if cfg.diurnal_amplitude <= 0.0:
+        return 1.0
+    return 1.0 + cfg.diurnal_amplitude * math.sin(
+        2.0 * math.pi * t / cfg.diurnal_period
+    )
+
+
 def generate_workload(cfg: WorkloadConfig) -> list[Request]:
     """Materialize the full request list for ``cfg`` (sorted by arrival)."""
     requests = []
@@ -100,7 +134,11 @@ def generate_workload(cfg: WorkloadConfig) -> list[Request]:
                     cfg.burst_size / cfg.arrival_rate
                 )
             )
-            arrival += gap
+            # Diurnal modulation: stretch the flat-process gap by the
+            # inverse relative rate at the current time — arrivals bunch
+            # up at the peak and thin out in the trough, while each draw
+            # stays a pure function of (seed, rid).
+            arrival += gap / _relative_rate(cfg, arrival)
         p_len = _draw_int(cfg.seed, rid, "plen", *cfg.prompt_len)
         is_long = (
             float(rng_for(cfg.seed, "serve", rid, "kind").random())

@@ -30,6 +30,7 @@ from repro.sim.faults import (
     ComputeSlowdown,
     FaultPlan,
     LinkFault,
+    NodeCrash,
     RankCrash,
     RetryPolicy,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "RetryEvent",
     "FaultPlan",
     "RankCrash",
+    "NodeCrash",
     "LinkFault",
     "ComputeSlowdown",
     "RetryPolicy",

@@ -107,6 +107,7 @@ from typing import Any, Callable, Sequence
 from repro.errors import (
     CommError,
     DeadlockError,
+    GridError,
     RankFailureError,
     SimulationError,
 )
@@ -294,8 +295,14 @@ class RankContext:
         #: per-(src, dst, tag) p2p sequence counters
         self._p2p_seq: dict[tuple[int, int, Any], int] = {}
         plan = engine.fault_plan
-        #: scheduled virtual crash time for this rank (None = immortal)
-        self._crash_at = plan.crash_time(rank) if plan is not None else None
+        #: effective virtual crash time for this rank (None = immortal):
+        #: the engine-resolved minimum of its personal crash and any
+        #: NodeCrash covering its host node
+        site = engine._crash_site.get(rank)
+        self._crash_at = site[0] if site is not None else None
+        #: the node whose correlated loss kills this rank (None when the
+        #: effective crash is a personal RankCrash, or no crash at all)
+        self._crash_node = site[1] if site is not None else None
         #: straggler multiplier for local kernels
         self._compute_factor = (
             plan.compute_factor(rank) if plan is not None else 1.0
@@ -368,7 +375,7 @@ class RankContext:
             if cause is not None:
                 raise cause.clone()
         if self._crash_at is not None and self.clock.now >= self._crash_at:
-            raise eng._kill(self.rank, self._crash_at)
+            raise eng._kill(self.rank, self._crash_at, node=self._crash_node)
 
     def rng(self, *tags) -> "Any":
         """Rank-independent named RNG stream (same data on every rank)."""
@@ -419,8 +426,9 @@ class Engine:
         Base seed for all RNG streams.
     fault_plan:
         Optional :class:`~repro.sim.faults.FaultPlan` of injected failures
-        (rank crashes, link degradation, stragglers, transient sends,
-        delivery jitter).  ``None`` simulates a healthy cluster.
+        (rank crashes, correlated node losses, link degradation,
+        stragglers, transient sends, delivery jitter).  ``None`` simulates
+        a healthy cluster.
     backend:
         Scheduler backend: ``"threaded"`` (default), ``"cooperative"``
         (greenlet when installed, else the stdlib baton fallback),
@@ -469,6 +477,11 @@ class Engine:
         self.op_timeout = op_timeout
         self.topology = Topology(cluster, nranks=self.nranks, placement=placement)
         self.fault_plan = fault_plan
+        #: rank -> (effective crash time, node index | None): the merge of
+        #: personal RankCrash entries with NodeCrash fault domains resolved
+        #: against this engine's topology.  Ties go to the node — the
+        #: correlated event subsumes the solo crash.
+        self._crash_site: dict[int, tuple[float, int | None]] = {}
         if fault_plan is not None:
             for crash in fault_plan.crashes:
                 if not 0 <= crash.rank < self.nranks:
@@ -476,6 +489,20 @@ class Engine:
                         f"fault plan kills rank {crash.rank}, but the engine "
                         f"has only {self.nranks} ranks"
                     )
+                self._crash_site[crash.rank] = (crash.at, None)
+            for nc in fault_plan.node_crashes:
+                try:
+                    members = self.topology.node_ranks(nc.node)
+                except GridError:
+                    raise SimulationError(
+                        f"fault plan kills node {nc.node}, but the engine's "
+                        f"topology only uses {self.topology.nodes_used} "
+                        f"node(s)"
+                    ) from None
+                for r in members:
+                    prev = self._crash_site.get(r)
+                    if prev is None or nc.at <= prev[0]:
+                        self._crash_site[r] = (nc.at, nc.node)
             for lf in fault_plan.link_faults:
                 self.topology.degrade_link(lf.src, lf.dst, lf.factor)
         self.compute_model = ComputeCostModel(cluster.gpu)
@@ -517,6 +544,11 @@ class Engine:
         #: global rank -> root-cause failure, for ranks that can no longer
         #: communicate (crashed, or cascaded out by a partner's crash)
         self._dead: dict[int, RankFailureError] = {}
+        #: ranks whose *scheduled* crash actually fired (subset of _dead —
+        #: cascaded deaths are excluded), and the node fault domains that
+        #: fired; together these define :meth:`lost_ranks`
+        self._crashed: set[int] = set()
+        self._fired_nodes: set[int] = set()
         self.contexts: list[RankContext] = []
         self.closed = False  #: set by :meth:`shutdown` (cache eviction)
 
@@ -562,6 +594,8 @@ class Engine:
             self._channels.clear()
         self._error = None
         self._dead = {}
+        self._crashed = set()
+        self._fired_nodes = set()
         self._dpending = {}
         self._node_seq = 0
         self.closed = False
@@ -644,19 +678,54 @@ class Engine:
 
     # --- fault injection -------------------------------------------------------
 
-    def _kill(self, rank: int, t: float) -> RankFailureError:
+    def _kill(
+        self, rank: int, t: float, node: int | None = None
+    ) -> RankFailureError:
         """Execute rank ``rank``'s scheduled crash at virtual time ``t``.
 
         Records the :class:`FaultEvent`, marks the rank dead (waking every
         pending wait that can no longer complete) and returns the error
-        for the dying rank's own thread to raise.
+        for the dying rank's own thread to raise.  ``node`` names the
+        correlated fault domain when the crash is part of a
+        :class:`~repro.sim.faults.NodeCrash` — each node member still dies
+        by its *own* clock reaching ``t`` (never by a sibling's wall-clock
+        progress), which is what keeps node losses bit-identical across
+        scheduler backends.
         """
-        cause = RankFailureError(rank, t)
+        if node is None:
+            cause = RankFailureError(rank, t)
+            kind = "crash"
+        else:
+            cause = RankFailureError(
+                rank, t,
+                message=(
+                    f"rank {rank} died at t={t:.6e}s "
+                    f"(node {node} lost: correlated fault domain)"
+                ),
+            )
+            kind = "node_crash"
+            self._fired_nodes.add(node)
+        self._crashed.add(rank)
         self.trace.record(
-            FaultEvent(rank=rank, kind="crash", t=t, detail=str(cause))
+            FaultEvent(rank=rank, kind=kind, t=t, detail=str(cause))
         )
         self._mark_dead(rank, cause)
         return cause.clone()
+
+    def lost_ranks(self) -> set[int]:
+        """Ranks lost to *fired* scheduled crashes, expanded to whole nodes.
+
+        A node member that never individually reached its crash time (it
+        was blocked, or cascaded out by a partner's death first) is still
+        lost — the host is gone — so recovery logic must not count it as a
+        survivor.  Cascaded deaths of ranks with no fired crash of their
+        own are *not* included: that hardware is healthy and available to
+        the next restart attempt.
+        """
+        lost = set(self._crashed)
+        for node in self._fired_nodes:
+            lost.update(self.topology.node_ranks(node))
+        return lost
 
     def _mark_dead(self, rank: int, cause: RankFailureError) -> None:
         """Mark ``rank`` unable to communicate; promptly fail its waiters.

@@ -102,8 +102,9 @@ class MarkerEvent:
 class FaultEvent:
     """An injected fault firing (see :mod:`repro.sim.faults`).
 
-    ``kind`` is ``"crash"`` for a rank death; ``t`` is the virtual time
-    the fault took effect on ``rank``.  Fault events carry no bytes and
+    ``kind`` is ``"crash"`` for a solo rank death or ``"node_crash"``
+    when the rank died as part of a correlated node loss; ``t`` is the
+    virtual time the fault took effect on ``rank``.  Fault events carry no bytes and
     are excluded from every volume/time query — they exist so a failure
     trace is self-describing and reproducible.
     """

@@ -31,6 +31,16 @@ Fault kinds
     dead rank raises :class:`~repro.errors.RankFailureError` on its
     surviving partners *promptly* — pending rendezvous are woken
     immediately, never via the watchdog timeout.
+:class:`NodeCrash`
+    A correlated fault domain: every rank placed on ``node`` (per the
+    engine's :class:`~repro.hardware.topology.Topology`) dies in one
+    event at virtual time ``at`` — a host kernel panic, a PSU trip, a
+    top-of-rack switch loss.  The plan itself stays topology-independent;
+    the engine resolves the node to its resident ranks at construction
+    time and each member dies exactly like a :class:`RankCrash` at the
+    same instant, so the dead-set propagation (rendezvous, fused
+    channels, batch windows, p2p) needs no special casing.  A rank with
+    both a personal and a node crash dies at the earlier of the two.
 :class:`LinkFault`
     The link between two ranks delivers at ``1/factor`` of its healthy
     bandwidth: p2p transfer times between the pair scale by ``factor``.
@@ -57,6 +67,7 @@ from repro.util.rng import rng_for
 
 __all__ = [
     "RankCrash",
+    "NodeCrash",
     "LinkFault",
     "ComputeSlowdown",
     "RetryPolicy",
@@ -72,6 +83,26 @@ class RankCrash:
     at: float  #: virtual seconds
 
     def __post_init__(self):
+        if self.at < 0:
+            raise SimulationError(f"crash time must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Kill every rank hosted on ``node`` when its clock reaches ``at``.
+
+    ``node`` is a topology node index (see
+    :meth:`~repro.hardware.topology.Topology.node_of`); the engine
+    resolves it to the resident ranks, so the plan stays placement- and
+    world-size-independent until it is installed.
+    """
+
+    node: int
+    at: float  #: virtual seconds
+
+    def __post_init__(self):
+        if self.node < 0:
+            raise SimulationError(f"node index must be >= 0, got {self.node}")
         if self.at < 0:
             raise SimulationError(f"crash time must be >= 0, got {self.at}")
 
@@ -147,6 +178,9 @@ class FaultPlan:
         failures, jitter draws).  Independent of the engine's data seed.
     crashes:
         Ranks to kill, each at a scheduled virtual time.
+    node_crashes:
+        Correlated fault domains: whole topology nodes to lose, each at a
+        scheduled virtual time (every resident rank dies in one event).
     link_faults:
         Degraded rank-pair links.
     slowdowns:
@@ -162,6 +196,7 @@ class FaultPlan:
 
     seed: int = 0
     crashes: tuple[RankCrash, ...] = ()
+    node_crashes: tuple[NodeCrash, ...] = ()
     link_faults: tuple[LinkFault, ...] = ()
     slowdowns: tuple[ComputeSlowdown, ...] = ()
     transient_rate: float = 0.0
@@ -182,14 +217,33 @@ class FaultPlan:
                     f"rank {c.rank} has more than one scheduled crash"
                 )
             seen.add(c.rank)
+        seen_nodes: set[int] = set()
+        for nc in self.node_crashes:
+            if nc.node in seen_nodes:
+                raise SimulationError(
+                    f"node {nc.node} has more than one scheduled crash"
+                )
+            seen_nodes.add(nc.node)
 
     # --- per-site queries (all pure; all deterministic) ---------------------
 
     def crash_time(self, rank: int) -> float | None:
-        """The scheduled crash time for ``rank`` (None if it never dies)."""
+        """The scheduled crash time for ``rank`` (None if it never dies).
+
+        Covers personal :class:`RankCrash` entries only — node crashes
+        need a topology to resolve; the engine combines this with
+        :meth:`node_crash_time` at construction.
+        """
         for c in self.crashes:
             if c.rank == rank:
                 return c.at
+        return None
+
+    def node_crash_time(self, node: int) -> float | None:
+        """The scheduled crash time for ``node`` (None if it survives)."""
+        for nc in self.node_crashes:
+            if nc.node == node:
+                return nc.at
         return None
 
     def compute_factor(self, rank: int) -> float:
@@ -233,6 +287,8 @@ class FaultPlan:
         parts = []
         for c in self.crashes:
             parts.append(f"crash(rank={c.rank}, t={c.at:g})")
+        for nc in self.node_crashes:
+            parts.append(f"node_crash(node={nc.node}, t={nc.at:g})")
         for lf in self.link_faults:
             parts.append(f"link({lf.src}<->{lf.dst} x{lf.factor:g})")
         for s in self.slowdowns:

@@ -2,10 +2,13 @@
 
 from repro.train.clip import clip_grad_norm, global_grad_norm
 from repro.train.resilience import (
+    ElasticPolicy,
     RecoveryRecord,
+    ReshapeRecord,
     ResilienceConfig,
     ResilientRun,
     SnapshotStore,
+    redistribute_payloads,
     train_resilient,
 )
 from repro.train.trainer import TrainHistory, evaluate_classifier, train_classifier
@@ -19,6 +22,9 @@ __all__ = [
     "ResilienceConfig",
     "SnapshotStore",
     "RecoveryRecord",
+    "ReshapeRecord",
+    "ElasticPolicy",
     "ResilientRun",
+    "redistribute_payloads",
     "train_resilient",
 ]

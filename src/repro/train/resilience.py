@@ -1,24 +1,32 @@
 """Elastic checkpoint/restart recovery for the training loop.
 
-The simulator's fault layer (:mod:`repro.sim.faults`) can kill a rank at a
-scheduled virtual time; every surviving rank then observes a
-:class:`~repro.errors.RankFailureError` at its first operation that
-depends on the dead rank.  This module turns that failure into an
-*elastic training* protocol, mirroring what torchelastic / DeepSpeed do
-on real clusters:
+The simulator's fault layer (:mod:`repro.sim.faults`) can kill a rank —
+or a whole node's worth of ranks — at a scheduled virtual time; every
+surviving rank then observes a :class:`~repro.errors.RankFailureError` at
+its first operation that depends on a dead rank.  This module turns that
+failure into an *elastic training* protocol, mirroring what torchelastic
+/ DeepSpeed do on real clusters:
 
 1. While training, every rank periodically deposits a snapshot of its
    local model shards (via :mod:`repro.nn.serialize`), optimizer slot
    state and metric history into a shared :class:`SnapshotStore`.  A
-   snapshot step only counts once **all** ranks have deposited — a crash
-   mid-snapshot leaves a partial step that is never restored from.
+   snapshot step only counts once **all** ranks have deposited *in the
+   same restart generation* — a crash mid-snapshot (including a crash
+   during a previous recovery's re-deposit wave) leaves a partial or
+   mixed-generation step that is never restored from.
 2. When :func:`train_resilient` catches a ``RankFailureError`` out of
    ``engine.run``, it builds a *fresh* engine (the dead rank is
    "replaced"), re-runs the training program, and the loop inside
    :func:`~repro.train.trainer.train_classifier` fast-forwards the data
    pipeline to the last complete snapshot, restores parameters and
    optimizer moments, and resumes.
-3. Each recovery is recorded as a :class:`RecoveryRecord` in
+3. With an :class:`ElasticPolicy`, lost hardware is permanent: once the
+   cumulative losses exceed the spare capacity, the surviving world is
+   re-factorized into the best-fitting ``[q, q, d]`` Tesseract shape,
+   the last complete snapshot is re-sharded for the new grid (pure numpy
+   slicing — bit-exact), and training continues at the smaller world.
+   Each resize is recorded as a :class:`ReshapeRecord`.
+4. Each recovery is recorded as a :class:`RecoveryRecord` in
    ``TrainHistory.recoveries`` (resume step, lost steps, the dead rank
    and its virtual crash time, and the wall-clock restore latency).
 
@@ -26,7 +34,10 @@ Because batches, reduction order, and initial weights are deterministic,
 a recovered run converges to the same final loss as a fault-free run up
 to the floating-point drift introduced by re-starting from the snapshot
 step (bit-identical when the snapshot captures full fp64 state, which it
-does — snapshots are exact numpy copies).
+does — snapshots are exact numpy copies).  The same holds across an
+elastic reshape: post-reshape losses are bit-identical to a fresh run at
+the new shape restored from the same redistributed snapshot, because the
+re-sharding only moves bytes.
 """
 
 from __future__ import annotations
@@ -36,13 +47,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.errors import RankFailureError, SimulationError
+from repro.grid.shapes import TesseractShape
 
 __all__ = [
     "ResilienceConfig",
     "SnapshotStore",
     "RecoveryRecord",
+    "ReshapeRecord",
+    "ElasticPolicy",
     "ResilientRun",
+    "redistribute_payloads",
     "train_resilient",
 ]
 
@@ -82,33 +99,143 @@ class RecoveryRecord:
     latency_s: float      # wall seconds from failure detection to restore
 
 
+@dataclass(frozen=True)
+class ReshapeRecord:
+    """One elastic grid resize performed by :func:`train_resilient`."""
+
+    attempt: int                    # restart attempt that triggered it
+    lost_ranks: tuple[int, ...]     # ranks lost in that attempt (node-expanded)
+    old_world: int
+    new_world: int
+    old_shape: tuple[int, int] | None  # (q, d) before, None if unknown
+    new_shape: tuple[int, int]         # (q, d) after
+    resume_step: int                # snapshot step carried across (0 = scratch)
+
+
+@dataclass(frozen=True)
+class ElasticPolicy:
+    """How to re-factorize the surviving world after permanent rank loss.
+
+    Without a policy, :func:`train_resilient` treats every crash as
+    repairable: the next attempt gets a full-size engine.  With one, the
+    ranks reported by :meth:`Engine.lost_ranks
+    <repro.sim.engine.Engine.lost_ranks>` are *gone* — their hardware does
+    not come back.  As long as cumulative losses fit within ``spares``,
+    restarts keep the original world size (live rank replacement from the
+    standby pool); beyond that the world shrinks to the best ``[q, q, d]``
+    shape that fits the survivors.
+
+    Attributes:
+        spares: standby replacement ranks available for same-shape restarts.
+        min_world: below this many surviving ranks, give up (re-raise).
+        allowed_q: optional whitelist of grid sizes ``q`` the model divides
+            evenly over (e.g. hidden/nheads divisibility); ``None`` allows
+            any q.
+    """
+
+    spares: int = 0
+    min_world: int = 1
+    allowed_q: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.spares < 0:
+            raise SimulationError(f"spares must be >= 0, got {self.spares}")
+        if self.min_world < 1:
+            raise SimulationError(
+                f"min_world must be >= 1, got {self.min_world}"
+            )
+
+    def choose_shape(self, available: int) -> TesseractShape:
+        """The largest-``p`` ``[q, q, d]`` shape fitting ``available`` ranks.
+
+        Maximizes ``p = d * q**2`` subject to ``1 <= d <= q`` (paper §3.1)
+        and the ``allowed_q`` whitelist; ties on ``p`` prefer larger ``d``
+        — the deeper arrangement has the lower asymptotic communication
+        cost (§3.3), which is the whole point of the 2.5-D factorization.
+        """
+        best: tuple[tuple[int, int], TesseractShape] | None = None
+        q = 1
+        while q * q <= available:
+            if self.allowed_q is None or q in self.allowed_q:
+                for d in range(1, q + 1):
+                    p = d * q * q
+                    if p > available:
+                        break
+                    key = (p, d)
+                    if best is None or key > best[0]:
+                        best = (key, TesseractShape(q=q, d=d))
+            q += 1
+        if best is None:
+            raise SimulationError(
+                f"no [q, q, d] shape fits {available} surviving rank(s) "
+                f"with allowed_q={self.allowed_q}"
+            )
+        return best[1]
+
+
 class SnapshotStore:
     """Thread-safe in-memory snapshot depot shared across restart attempts.
 
     Keyed ``step -> rank -> payload``; a step is *complete* (restorable)
-    only when every rank has deposited.  The store lives outside any
-    engine, so it survives the engine teardown that a rank failure causes.
+    only when every rank has deposited — and all deposits carry the same
+    *restart generation* (bumped by :meth:`begin_generation` at each
+    restart).  Without the generation tag, a crash during recovery can
+    interleave attempt-N re-deposits over attempt-(N-1) leftovers at the
+    same step: the step then has one payload per rank but divergent
+    per-rank contents (the new wave's histories carry a
+    ``RecoveryRecord`` the old wave's lack), and restoring it would break
+    the per-rank-identical-history invariant.  Mixed steps are simply not
+    restorable; a second recovery falls back to the last uniform one.
+
+    The store lives outside any engine, so it survives the engine
+    teardown that a rank failure causes.
     """
 
     def __init__(self, keep: int = 4):
         if keep < 1:
             raise SimulationError(f"keep must be >= 1, got {keep}")
         self._lock = threading.Lock()
-        self._snaps: dict[int, dict[int, dict]] = {}
+        #: step -> rank -> (generation, payload)
+        self._snaps: dict[int, dict[int, tuple[int, dict]]] = {}
         self._keep = keep
+        self._generation = 0
         self._max_step_seen = 0
         # Set by train_resilient after a caught failure; read (not cleared)
         # by every rank during restore so each history records the recovery.
         self.pending_recovery: dict | None = None
 
+    @staticmethod
+    def _uniform(by_rank: dict[int, tuple[int, dict]]) -> bool:
+        """True when every deposit at a step shares one generation."""
+        return len({g for g, _ in by_rank.values()}) == 1
+
+    @property
+    def generation(self) -> int:
+        """The restart generation new deposits are tagged with."""
+        with self._lock:
+            return self._generation
+
+    def begin_generation(self) -> int:
+        """Start a new restart generation; returns the new tag.
+
+        Called by :func:`train_resilient` before every restart attempt,
+        so the attempt's re-deposits can never complete a step together
+        with a previous attempt's leftovers.
+        """
+        with self._lock:
+            self._generation += 1
+            return self._generation
+
     def save(self, step: int, rank: int, payload: dict) -> None:
         with self._lock:
-            self._snaps.setdefault(step, {})[rank] = payload
+            self._snaps.setdefault(step, {})[rank] = (
+                self._generation, payload,
+            )
             # Bound memory: drop old steps once newer *complete* ones exist.
             nranks = max(len(by_rank) for by_rank in self._snaps.values())
             complete = sorted(
                 s for s, by_rank in self._snaps.items()
-                if len(by_rank) >= nranks
+                if len(by_rank) >= nranks and self._uniform(by_rank)
             )
             for stale in complete[: -self._keep]:
                 del self._snaps[stale]
@@ -125,17 +252,212 @@ class SnapshotStore:
             return self._max_step_seen
 
     def latest_step(self, nranks: int) -> int | None:
-        """Greatest step for which all ``nranks`` ranks have deposited."""
+        """Greatest step where all ``nranks`` ranks deposited in one
+        generation."""
         with self._lock:
             steps = [
                 s for s, by_rank in self._snaps.items()
-                if len(by_rank) == nranks
+                if len(by_rank) == nranks and self._uniform(by_rank)
             ]
             return max(steps, default=None)
 
     def load(self, step: int, rank: int) -> dict:
         with self._lock:
-            return self._snaps[step][rank]
+            return self._snaps[step][rank][1]
+
+    def reset_for_world(self, step: int, payloads: dict[int, dict]) -> None:
+        """Replace the store's contents with one seeded complete step.
+
+        Used by elastic recovery after re-sharding state for a new world
+        size: the old world's snapshots cannot be restored at the new
+        shape, so they are dropped and the redistributed ``payloads``
+        (new rank -> payload) become the single restorable step,
+        deposited under the current generation.  An empty ``payloads``
+        just clears the store (restart from scratch at the new world).
+        """
+        with self._lock:
+            if not payloads:
+                self._snaps = {}
+                return
+            self._snaps = {
+                step: {
+                    r: (self._generation, p) for r, p in payloads.items()
+                }
+            }
+
+
+# --- elastic re-sharding ------------------------------------------------------
+#
+# A Tesseract model's parameters use three layouts (see
+# repro.nn.parameter.PARAM_LAYOUTS):
+#
+#   full        every rank holds the whole tensor (take any one copy);
+#   grid_block  rank (i, j, k) holds global[i-block, j-block] of each of the
+#               weight's `parts` fused sub-tensors, concatenated along the
+#               output axis, replicated over depth k;
+#   col_slice   rank (i, j, k) holds the j-th 1/q slice of the last axis,
+#               replicated over i and k.
+#
+# Reassembly inverts the exact slicing the layers perform at construction
+# (parallel/common.py: block_2d / fused_block_2d / last-axis slicing), and
+# re-slicing replays it for the new q.  Both are pure numpy indexing and
+# concatenation — no arithmetic — so the roundtrip is lossless and the
+# redistributed state is byte-identical to what a fresh model at the new
+# shape would load from the same global tensors.
+
+
+def _assemble_global(
+    state_by_rank: dict[int, dict[str, np.ndarray]],
+    coords_by_rank: dict[int, tuple[int, int, int]],
+    layouts: dict[str, str],
+    parts_of: dict[str, int],
+    q: int,
+) -> dict[str, list[np.ndarray]]:
+    """Merge per-rank local shards into global tensors.
+
+    Returns ``name -> [per-part global]`` (one entry unless the weight is
+    a fused ``grid_block`` projection, which is de-fused so each part can
+    be re-blocked independently at a different q).
+    """
+    by_coords = {coords_by_rank[r]: state_by_rank[r] for r in state_by_rank}
+    out: dict[str, list[np.ndarray]] = {}
+    sample = state_by_rank[next(iter(state_by_rank))]
+    for name in sample:
+        layout = layouts[name]
+        parts = parts_of.get(name, 1)
+        if layout == "full":
+            out[name] = [by_coords[(0, 0, 0)][name]]
+        elif layout == "grid_block":
+            part_globals = []
+            for m in range(parts):
+                rows = []
+                for i in range(q):
+                    row = []
+                    for j in range(q):
+                        blk = by_coords[(i, j, 0)][name]
+                        row.append(np.split(blk, parts, axis=1)[m])
+                    rows.append(np.concatenate(row, axis=1))
+                part_globals.append(np.concatenate(rows, axis=0))
+            out[name] = part_globals
+        elif layout == "col_slice":
+            cols = [by_coords[(0, j, 0)][name] for j in range(q)]
+            out[name] = [np.concatenate(cols, axis=-1)]
+        else:
+            raise SimulationError(
+                f"cannot elastically re-shard parameter {name!r} with "
+                f"layout {layout!r} (supported: full, grid_block, col_slice)"
+            )
+    return out
+
+
+def _reslice_local(
+    globals_: dict[str, list[np.ndarray]],
+    layouts: dict[str, str],
+    q: int,
+    i: int,
+    j: int,
+) -> dict[str, np.ndarray]:
+    """One new rank's local shards from the global tensors (coords i, j;
+    depth k never enters — grid_block and col_slice replicate over it)."""
+    out: dict[str, np.ndarray] = {}
+    for name, part_globals in globals_.items():
+        layout = layouts[name]
+        if layout == "full":
+            out[name] = part_globals[0]
+        elif layout == "grid_block":
+            blocks = []
+            for g in part_globals:
+                r = g.shape[0] // q
+                c = g.shape[1] // q
+                blocks.append(g[i * r:(i + 1) * r, j * c:(j + 1) * c])
+            out[name] = np.ascontiguousarray(
+                np.concatenate(blocks, axis=1) if len(blocks) > 1
+                else blocks[0]
+            )
+        else:  # col_slice (validated during assembly)
+            g = part_globals[0]
+            c = g.shape[-1] // q
+            out[name] = np.ascontiguousarray(g[..., j * c:(j + 1) * c])
+    return out
+
+
+def redistribute_payloads(
+    payloads: dict[int, dict], new_q: int, new_d: int
+) -> dict[int, dict]:
+    """Re-shard one complete snapshot step for a new Tesseract shape.
+
+    ``payloads`` maps old rank -> the payload deposited by the trainer
+    (which carries the ``layouts``/``parts``/``coords``/``shape`` extras
+    recorded for parallel models).  Returns new rank -> payload for a
+    ``[new_q, new_q, new_d]`` world: model shards and position-keyed
+    optimizer moments are reassembled to global tensors and re-sliced for
+    the new grid; step counters, histories and epoch counters carry over
+    unchanged (they are identical on every rank by construction).
+    """
+    sample = payloads[0]
+    for key in ("layouts", "parts", "coords", "shape"):
+        if key not in sample:
+            raise SimulationError(
+                f"snapshot payload lacks {key!r}: elastic reshape needs the "
+                f"layout extras the trainer records for parallel models"
+            )
+    layouts: dict[str, str] = sample["layouts"]
+    parts_of: dict[str, int] = sample["parts"]
+    old_q = sample["shape"][0]
+    coords = {r: tuple(p["coords"]) for r, p in payloads.items()}
+    names = list(sample["model"].keys())
+
+    g_model = _assemble_global(
+        {r: p["model"] for r, p in payloads.items()},
+        coords, layouts, parts_of, old_q,
+    )
+    # Optimizer slots are keyed by parameter *position*; positions map to
+    # the same qualified name on every shape (parameters() order depends
+    # only on the module tree), so each slot re-shards with its
+    # parameter's layout.
+    slot_keys = sorted(sample["opt"]["slots"])
+    g_slots: dict[Any, dict[str, dict[str, list[np.ndarray]]]] = {}
+    for pos in slot_keys:
+        pname = names[int(pos)]
+        g_slots[pos] = {
+            mv: _assemble_global(
+                {r: {pname: p["opt"]["slots"][pos][mv]}
+                 for r, p in payloads.items()},
+                coords, layouts, parts_of, old_q,
+            )
+            for mv in ("m", "v")
+        }
+
+    new_shape = TesseractShape(q=new_q, d=new_d)
+    out: dict[int, dict] = {}
+    for nr in range(new_shape.p):
+        i, j, _k = new_shape.coords(nr)
+        slots = {
+            pos: {
+                mv: _reslice_local(
+                    g_slots[pos][mv], layouts, new_q, i, j
+                )[names[int(pos)]]
+                for mv in ("m", "v")
+            }
+            for pos in slot_keys
+        }
+        out[nr] = {
+            "model": _reslice_local(g_model, layouts, new_q, i, j),
+            "opt": {
+                "t": sample["opt"]["t"],
+                "lr": sample["opt"]["lr"],
+                "slots": slots,
+            },
+            "history": sample["history"].clone(),
+            "epoch": sample["epoch"],
+            "epoch_correct": sample["epoch_correct"],
+            "epoch_seen": sample["epoch_seen"],
+            "layouts": dict(layouts),
+            "parts": dict(parts_of),
+            "coords": (i, j, _k),
+            "shape": (new_q, new_d),
+        }
+    return out
 
 
 @dataclass
@@ -148,6 +470,8 @@ class ResilientRun:
     attempts: int = 0         # number of restarts performed (0 = no fault)
     attempt_times: list[float] = field(default_factory=list)
     # virtual makespan of every attempt, failed ones included
+    reshapes: list[ReshapeRecord] = field(default_factory=list)
+    final_world: int = 0      # world size of the successful attempt
 
     @property
     def history(self):
@@ -160,8 +484,8 @@ class ResilientRun:
 
 
 def train_resilient(
-    engine_factory: Callable[[int], Any],
-    setup: Callable[[Any], tuple],
+    engine_factory: Callable[..., Any],
+    setup: Callable[..., tuple],
     dataset,
     epochs: int,
     batch_size: int,
@@ -169,6 +493,7 @@ def train_resilient(
     resilience: ResilienceConfig | None = None,
     schedule=None,
     eval_every: int = 1,
+    elastic: ElasticPolicy | None = None,
 ) -> ResilientRun:
     """Run ``train_classifier`` under fault injection with restart recovery.
 
@@ -176,10 +501,21 @@ def train_resilient(
         engine_factory: ``attempt -> Engine``.  Attempt 0 is the initial
             run (typically carrying the :class:`~repro.sim.faults.FaultPlan`);
             later attempts model the post-repair cluster and are usually
-            built without the already-fired crash.
+            built without the already-fired crash.  With ``elastic`` set,
+            the signature is ``(attempt, world) -> Engine``: ``world`` is
+            ``None`` for attempt 0 ("your default size") and the required
+            rank count afterwards — the factory must build an engine with
+            exactly that many ranks.
         setup: ``rank_ctx -> (model, optimizer, parallel_context_or_None)``,
             called inside each engine run to rebuild the (deterministically
             initialized) model before the snapshot restore overwrites it.
+            With ``elastic`` set, the signature is ``(rank_ctx, shape)``
+            where ``shape`` is ``None`` for the original arrangement or
+            the :class:`~repro.grid.shapes.TesseractShape` to build after
+            a resize.
+        elastic: treat fired crashes as permanent hardware loss and
+            shrink the grid when the survivors no longer fit the current
+            shape (see :class:`ElasticPolicy`).
     """
     from repro.train.trainer import train_classifier  # avoid import cycle
 
@@ -187,12 +523,23 @@ def train_resilient(
     store = SnapshotStore()
     attempt = 0
     attempt_times: list[float] = []
+    reshapes: list[ReshapeRecord] = []
+    world: int | None = None          # current world size (known after attempt 0)
+    cur_shape: TesseractShape | None = None  # None = caller's original shape
+    hardware_lost = 0
 
     while True:
-        engine = engine_factory(attempt)
+        if elastic is None:
+            engine = engine_factory(attempt)
+        else:
+            engine = engine_factory(attempt, world)
+        world = engine.nranks
 
         def program(rank_ctx):
-            model, optimizer, pc = setup(rank_ctx)
+            if elastic is None:
+                model, optimizer, pc = setup(rank_ctx)
+            else:
+                model, optimizer, pc = setup(rank_ctx, cur_shape)
             return train_classifier(
                 model,
                 dataset,
@@ -219,6 +566,55 @@ def train_resilient(
                 "crash_time": exc.t,
                 "t_detect": time.perf_counter(),
             }
+            # New restart generation: this attempt's re-deposits can never
+            # complete a snapshot step together with leftovers from the
+            # crashed attempt (the crash-during-recovery hazard).
+            store.begin_generation()
+            if elastic is not None:
+                lost = sorted(engine.lost_ranks())
+                hardware_lost += len(lost)
+                available = world + elastic.spares - hardware_lost
+                if available < elastic.min_world:
+                    raise
+                new_shape = elastic.choose_shape(available)
+                if new_shape.p != world:
+                    snap_step = store.latest_step(world)
+                    seeded = 0
+                    old_qd = (
+                        (cur_shape.q, cur_shape.d)
+                        if cur_shape is not None else None
+                    )
+                    if snap_step is not None:
+                        old = {
+                            r: store.load(snap_step, r) for r in range(world)
+                        }
+                        if old_qd is None and "shape" in old[0]:
+                            old_qd = tuple(old[0]["shape"])
+                        if old[0].get("model") is not None:
+                            store.reset_for_world(
+                                snap_step,
+                                redistribute_payloads(
+                                    old, new_shape.q, new_shape.d
+                                ),
+                            )
+                            seeded = snap_step
+                        else:
+                            store.reset_for_world(0, {})
+                    else:
+                        store.reset_for_world(0, {})
+                    reshapes.append(
+                        ReshapeRecord(
+                            attempt=attempt,
+                            lost_ranks=tuple(lost),
+                            old_world=world,
+                            new_world=new_shape.p,
+                            old_shape=old_qd,
+                            new_shape=(new_shape.q, new_shape.d),
+                            resume_step=seeded,
+                        )
+                    )
+                    cur_shape = new_shape
+                    world = new_shape.p
             continue
         attempt_times.append(engine.max_time())
         store.pending_recovery = None
@@ -228,4 +624,6 @@ def train_resilient(
             recoveries=list(histories[0].recoveries),
             attempts=attempt,
             attempt_times=attempt_times,
+            reshapes=reshapes,
+            final_world=world,
         )

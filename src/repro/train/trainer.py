@@ -131,7 +131,7 @@ def _restore_snapshot(model, optimizer, resilience, snapshot_store):
 
 
 def _save_snapshot(model, optimizer, snapshot_store, step, epoch, history,
-                   epoch_correct, epoch_seen):
+                   epoch_correct, epoch_seen, pc=None):
     """Deposit this rank's local state for ``step`` into the store."""
     from repro.nn import serialize
 
@@ -141,18 +141,23 @@ def _save_snapshot(model, optimizer, snapshot_store, step, epoch, history,
     else:
         model_state = serialize.state_dict(model)
         opt_state = optimizer.state_dict()
-    snapshot_store.save(
-        step,
-        ctx.rank,
-        {
-            "model": model_state,
-            "opt": opt_state,
-            "history": history.clone(),
-            "epoch": epoch,
-            "epoch_correct": epoch_correct,
-            "epoch_seen": epoch_seen,
-        },
-    )
+    payload = {
+        "model": model_state,
+        "opt": opt_state,
+        "history": history.clone(),
+        "epoch": epoch,
+        "epoch_correct": epoch_correct,
+        "epoch_seen": epoch_seen,
+    }
+    if pc is not None and model_state is not None:
+        # Layout extras for elastic recovery: enough to reassemble global
+        # tensors from the shards and re-slice them for a different grid
+        # (see repro.train.resilience.redistribute_payloads).
+        payload["layouts"] = {n: p.layout for n, p in model.parameters()}
+        payload["parts"] = {n: p.parts for n, p in model.parameters()}
+        payload["coords"] = (pc.i, pc.j, pc.k)
+        payload["shape"] = (pc.q, pc.d)
+    snapshot_store.save(step, ctx.rank, payload)
 
 
 def train_classifier(
@@ -228,7 +233,7 @@ def train_classifier(
             epoch_seen += global_batch
             if resumable and step % resilience.snapshot_every == 0:
                 _save_snapshot(model, optimizer, snapshot_store, step, epoch,
-                               history, epoch_correct, epoch_seen)
+                               history, epoch_correct, epoch_seen, pc=pc)
         if len(history.train_acc) <= epoch:
             history.train_acc.append(
                 epoch_correct / epoch_seen if epoch_seen else 0.0

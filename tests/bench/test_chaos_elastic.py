@@ -1,0 +1,90 @@
+"""The elastic chaos campaign (``repro chaos --elastic``).
+
+Each scenario runs a real (non-symbolic) short training job under
+permanent hardware loss and checks the recovery ledger: restart count,
+grid resizes, the surviving world size, and that the deterministic
+``time_to_recover_s`` accounts exactly the virtual seconds burned in
+crashed attempts.
+"""
+
+import pytest
+
+from repro.bench.chaos import (
+    ELASTIC_SCENARIOS,
+    ChaosScenario,
+    render_chaos,
+    run_scenario,
+)
+from repro.errors import SimulationError
+
+#: scenario name -> (attempts, reshapes, final_world)
+EXPECTED = {
+    # rank 3 gone, no spares: 3 survivors only fit [1, 1, 1]
+    "elastic-shrink-rank": (1, 1, 1),
+    # node 1 takes ranks 4-7: the 8-rank grid re-factorizes to q=2, d=1
+    "elastic-node-loss": (1, 1, 4),
+    # the spare pool covers the loss: same shape, no reshape
+    "elastic-replace": (1, 0, 4),
+    # crash during recovery: two restarts, then shrink past the spare
+    "elastic-double-fault": (2, 1, 1),
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {sc.name: run_scenario(sc) for sc in ELASTIC_SCENARIOS}
+
+
+class TestElasticScenarios:
+    def test_campaign_covers_the_expected_matrix(self):
+        assert {sc.name for sc in ELASTIC_SCENARIOS} == set(EXPECTED)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_recovery_ledger(self, results, name):
+        attempts, reshapes, final_world = EXPECTED[name]
+        r = results[name]
+        assert r.attempts == attempts
+        assert r.reshapes == reshapes
+        assert r.final_world == final_world
+        # Every elastic scenario resumes from a real snapshot, never
+        # from scratch — the crash times sit past the first deposit.
+        assert r.resume_step > 0
+        assert r.steps == 8  # 2 epochs x 4 steps, regardless of faults
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_time_to_recover_accounts_crashed_attempts(self, results, name):
+        r = results[name]
+        assert r.time_to_recover_s > 0.0
+        # ... and is exactly the virtual makespan of every non-final
+        # attempt (deterministic, unlike the wall-clock latency).
+        assert r.virtual_time == pytest.approx(sum(r.run.attempt_times))
+        assert r.time_to_recover_s == pytest.approx(
+            r.virtual_time - r.run.attempt_times[-1]
+        )
+        assert r.time_to_recover_s < r.virtual_time
+
+    def test_same_loss_when_shape_survives(self, results):
+        """Live replacement keeps the [2, 2, 1] grid, so after restoring
+        the snapshot the trajectory matches the healthy baseline
+        bit-for-bit."""
+        healthy = run_scenario(ChaosScenario(name="healthy-ref"))
+        assert results["elastic-replace"].final_loss == healthy.final_loss
+
+    def test_elastic_runs_are_deterministic(self):
+        sc = ELASTIC_SCENARIOS[0]
+        a, b = run_scenario(sc), run_scenario(sc)
+        assert a.final_loss == b.final_loss
+        assert a.resume_step == b.resume_step
+        assert a.time_to_recover_s == b.time_to_recover_s
+
+    def test_render_includes_elastic_columns(self, results):
+        table = render_chaos(list(results.values()))
+        assert "reshapes" in table
+        assert "world" in table
+        for name in EXPECTED:
+            assert name in table
+
+    def test_node_crash_requires_crash_at(self):
+        sc = ChaosScenario(name="bad", node_crash=1)
+        with pytest.raises(SimulationError, match="crash_at"):
+            sc.fault_plan()

@@ -145,6 +145,24 @@ class TestHeuristicDirection:
         # so a new counter could silently grow without tripping the gate.
         assert heuristic_direction("accuracy") == "neutral"
 
+    @pytest.mark.parametrize("name", [
+        # the chaos --elastic and autoscale exports: deterministic event
+        # counts and world sizes where neither direction is "better"
+        "recoveries", "reshapes", "final_world", "restarts",
+        "replicas_peak", "replicas_final", "scale_events",
+    ])
+    def test_elastic_counters_are_known_neutral(self, name):
+        assert heuristic_direction(name) == "neutral"
+
+    def test_neutral_hints_beat_suffix_hints(self):
+        # "scale_events_per_s"-style names must not drift to "higher";
+        # the neutral hints are checked first.
+        assert heuristic_direction("elastic.scale_events") == "neutral"
+        assert heuristic_direction("world_size") == "neutral"
+
+    def test_time_to_recover_is_lower_is_better(self):
+        assert heuristic_direction("time_to_recover_s") == "lower"
+
 
 class TestPytestBenchmarkFormat:
     def _write(self, path, benchmarks):
@@ -197,6 +215,18 @@ class TestPytestBenchmarkFormat:
         assert metrics["t.mystery_counter"]["direction"] == "neutral"
         out = capsys.readouterr().out
         assert "warning" in out and "mystery_counter" in out
+
+    def test_known_neutral_extra_info_does_not_warn(self, tmp_path, capsys):
+        # Elastic/autoscale counters are neutral *by design* — they gate
+        # on drift but must not spam the unknown-name warning.
+        path = self._write(tmp_path / "b.json", [{
+            "name": "t",
+            "extra_info": {"recoveries": 1, "reshapes": 1, "final_world": 4,
+                           "replicas_peak": 3, "scale_events": 2},
+        }])
+        metrics = load_metrics(path)
+        assert all(m["direction"] == "neutral" for m in metrics.values())
+        assert "warning" not in capsys.readouterr().out
 
     def test_neutral_metric_gates_both_directions_end_to_end(
             self, tmp_path, capsys):

@@ -9,8 +9,9 @@ import numpy as np
 import pytest
 
 from repro.comm.communicator import Communicator, PendingResult
-from repro.errors import CommError
+from repro.errors import CommError, RankFailureError
 from repro.sim.engine import Engine
+from repro.sim.faults import FaultPlan, NodeCrash, RankCrash
 from repro.varray.varray import VArray
 
 NRANKS = 4
@@ -122,6 +123,109 @@ class TestWindowRules:
             return inner.numpy()[0]
 
         assert _run(2, prog) == [1.0, 2.0]
+
+    def test_fail_fast_on_dead_partner(self):
+        """A partner dying mid-window fails fast with the op list.
+
+        Before the fix, a ``RankFailureError`` escaping an open window
+        left every queued :class:`PendingResult` dangling in the
+        "pending" state — later ``.value`` reads gave the misleading
+        "accessed before the window was flushed".  Now the window aborts
+        naming its queued ops, and every handle is *failed*: ``.value``
+        re-raises the augmented error.
+        """
+        plan = FaultPlan(crashes=(RankCrash(rank=3, at=1e-5),))
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(NRANKS))
+            h1 = h2 = None
+            try:
+                ctx.compute(flops=1e10)  # everyone passes the crash time
+                with comm.batch("grads") as win:
+                    h1 = comm.all_reduce(_arr(ctx.rank))
+                    h2 = comm.broadcast(
+                        _arr(ctx.rank, 4) if ctx.rank == 0 else None, root=0)
+                return None  # pragma: no cover - the window must abort
+            except RankFailureError as exc:
+                if ctx.rank == 3:
+                    return "died"  # the crashed rank's own raise
+                assert len(win) == 2
+                assert h1.failed and h2.failed
+                assert not h1.ready
+                with pytest.raises(RankFailureError):
+                    h1.value
+                with pytest.raises(RankFailureError):
+                    h2.value
+                return str(exc)
+
+        engine = Engine(nranks=NRANKS, fault_plan=plan)
+        results = engine.run(prog)
+        for rank in range(3):  # the survivors
+            msg = results[rank]
+            assert msg is not None, f"rank {rank} missed the failure"
+            assert "batch window 'grads'" in msg
+            assert "2 undrained op(s)" in msg
+            # the op list, in issue order (kinds carry their parameters,
+            # e.g. "all_reduce[op=sum]")
+            oplist = msg.split("undrained op(s): ")[1]
+            assert oplist.index("all_reduce") < oplist.index("broadcast")
+
+    def test_fail_fast_names_every_kind_under_node_loss(self):
+        """All fusable collectives, killed by a whole-node loss at once."""
+        kinds = ("barrier", "all_reduce", "broadcast", "reduce",
+                 "all_gather", "reduce_scatter")
+        plan = FaultPlan(node_crashes=(NodeCrash(node=1, at=1e-5),))
+        nranks = 8  # nodes 0 (ranks 0-3) and 1 (ranks 4-7)
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(nranks))
+            try:
+                ctx.compute(flops=1e10)
+                with comm.batch():
+                    comm.barrier()
+                    comm.all_reduce(_arr(ctx.rank))
+                    comm.broadcast(
+                        _arr(ctx.rank) if ctx.rank == 0 else None, root=0)
+                    comm.reduce(_arr(ctx.rank), root=0)
+                    comm.all_gather(_arr(ctx.rank))
+                    comm.reduce_scatter(
+                        [_arr(ctx.rank) for _ in range(nranks)])
+                return None  # pragma: no cover - the window must abort
+            except RankFailureError as exc:
+                return "died" if ctx.rank >= 4 else str(exc)
+
+        engine = Engine(nranks=nranks, fault_plan=plan)
+        results = engine.run(prog)
+        for rank in range(4):  # node 0 survives to report
+            msg = results[rank]
+            assert msg is not None, f"rank {rank} missed the node loss"
+            assert "correlated fault domain" in msg
+            assert f"{len(kinds)} undrained op(s)" in msg
+            oplist = msg.split("undrained op(s): ")[1]
+            for kind in kinds:
+                assert kind in oplist, f"{kind} missing from {oplist}"
+        assert engine.lost_ranks() == {4, 5, 6, 7}
+
+    def test_fail_fast_augmented_error_is_deterministic(self):
+        plan = FaultPlan(crashes=(RankCrash(rank=1, at=1e-5),))
+
+        def prog(ctx):
+            comm = Communicator(ctx, range(NRANKS))
+            try:
+                ctx.compute(flops=1e10)
+                with comm.batch():
+                    comm.all_reduce(_arr(ctx.rank))
+                    comm.all_gather(_arr(ctx.rank))
+            except RankFailureError as exc:
+                if ctx.rank == 1:
+                    return "died"
+                return (exc.rank, exc.t, str(exc))
+            return None
+
+        runs = [Engine(nranks=NRANKS, fault_plan=plan).run(prog)
+                for _ in range(2)]
+        assert runs[0] == runs[1]
+        assert runs[0][0][0] == 1  # survivors name the planned crash
 
     def test_p2p_inside_window_rejected(self):
         """Only collectives are fusable; send/recv must stay immediate."""

@@ -40,10 +40,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import re
+
 from repro.comm.communicator import Communicator
 from repro.errors import ReproError
 from repro.sim.engine import Engine
-from repro.sim.faults import FaultPlan, RankCrash
+from repro.sim.faults import FaultPlan, NodeCrash, RankCrash
 from repro.sim.schedulers import available_backends
 
 from repro.varray.varray import VArray
@@ -520,3 +522,172 @@ def test_fuzz_multi_crash_window_interleavings(seed):
         assert set(dead) & set(crash_ranks), (
             f"seed {seed}: dead set {dead} has no planned crash"
         )
+
+
+# --------------------------------------------------------------------------
+# Node-loss fuzz: correlated fault domains under random schedules
+# --------------------------------------------------------------------------
+
+N_NODE_SEEDS = 12
+
+
+def _mask_rank(message: str | None) -> str | None:
+    """Mask the rank a failure message names.
+
+    Every member of a lost node dies at the *same* virtual instant, so
+    which member the error names is first-sweep-wins — a wall-clock race
+    even the threaded backend only decides arbitrarily.  Everything else
+    about the trace must still replay bit-identically.
+    """
+    if message is None:
+        return None
+    return re.sub(r"rank \d+", "rank <n>", message)
+
+
+@pytest.mark.parametrize("seed", range(N_NODE_SEEDS))
+def test_fuzz_node_crash_plans(seed):
+    """Whole-node losses under random schedules are deterministic.
+
+    Same contract as :func:`test_fuzz_fault_plans`, with the crash being
+    a correlated fault domain: 5-8 ranks span two topology nodes (the
+    default cluster packs four per node), and the plan kills one of them
+    — sometimes alongside an independent personal crash on the other.
+    ``lost_ranks`` must expand to the whole fired node on every backend.
+    """
+    rng = np.random.default_rng(31000 + seed)
+    nranks = int(rng.integers(5, 9))  # always spans nodes 0 and 1
+    schedule = _make_schedule(rng, nranks)
+    node = int(rng.integers(0, 2))
+    node_at = float(rng.uniform(0.0, 0.02))
+    crashes = ()
+    if rng.random() < 0.4:
+        # an extra personal crash on the *other* node
+        lo, hi = (4, nranks) if node == 0 else (0, 4)
+        crashes = (RankCrash(rank=int(rng.integers(lo, hi)),
+                             at=float(rng.uniform(0.0, 0.02))),)
+    plan = FaultPlan(
+        seed=seed,
+        crashes=crashes,
+        node_crashes=(NodeCrash(node=node, at=node_at),),
+        transient_rate=float(rng.choice([0.0, 0.15])),
+    )
+    program = _run_schedule(schedule)
+    node_members = set(range(4)) if node == 0 else set(range(4, nranks))
+
+    def run_once(backend="threaded"):
+        engine = Engine(nranks=nranks, op_timeout=60.0, fault_plan=plan,
+                        backend=backend)
+        try:
+            results = engine.run(program)
+            outcome = ("ok", None)
+            digest = [r[0] for r in results]
+        except ReproError as exc:
+            outcome = (type(exc).__name__, _mask_rank(str(exc)))
+            digest = None
+        events = _rank_events(engine, nranks)
+        dead = sorted(engine._dead)
+        lost = sorted(engine.lost_ranks())
+        vols = [engine.trace.comm_volume(rank=r) for r in range(nranks)]
+        return outcome, digest, events, dead, lost, vols
+
+    first = run_once()
+    second = run_once()
+    assert first == second, f"seed {seed}: node-loss trace diverged"
+
+    for alt in ALT_BACKENDS:
+        assert run_once(alt) == first, (
+            f"seed {seed}: {alt} node-loss trace diverged from threaded"
+        )
+
+    outcome, _, _, dead, lost, vols = first
+    if outcome[0] == "ok":
+        assert dead == [] and lost == [], (
+            f"seed {seed}: completed with dead ranks"
+        )
+        expected = _expected_volume(schedule, nranks)
+        for r in range(nranks):
+            assert vols[r] == pytest.approx(expected[r]), (
+                f"seed {seed}: retries changed rank {r} volume"
+            )
+    elif outcome[0] == "RankFailureError":
+        if set(dead) & node_members:
+            # The fired node expands to every resident rank, even the
+            # ones that never individually reached the crash time.
+            assert node_members <= set(lost), (
+                f"seed {seed}: lost set {lost} misses node members"
+            )
+
+
+# --------------------------------------------------------------------------
+# Crash-during-recovery fuzz: a restart attempt that crashes again
+# --------------------------------------------------------------------------
+
+N_RECOVERY_SEEDS = 10
+
+
+@pytest.mark.parametrize("seed", range(N_RECOVERY_SEEDS))
+def test_fuzz_crash_during_recovery_interleavings(seed):
+    """A two-attempt restart sequence replays bit-identically.
+
+    Attempt 0 runs under a crash plan (rank or whole node) and fails;
+    the "recovered" attempt runs the same schedule on a fresh engine
+    under a *second* plan — the crash-during-recovery double fault —
+    and either fails too or completes.  The concatenated two-attempt
+    trace (outcomes, dead/lost sets, event streams, volumes) must be
+    identical across reruns and backends, and a clean second attempt
+    must account exactly the fault-free volumes: nothing from the
+    crashed attempt may leak into the restart.
+    """
+    rng = np.random.default_rng(53000 + seed)
+    nranks = int(rng.integers(5, 9))
+    schedule = _make_schedule(rng, nranks)
+
+    def draw_plan(fseed):
+        if rng.random() < 0.5:
+            fault = {"node_crashes": (NodeCrash(
+                node=int(rng.integers(0, 2)),
+                at=float(rng.uniform(0.0, 0.01))),)}
+        else:
+            fault = {"crashes": (RankCrash(
+                rank=int(rng.integers(0, nranks)),
+                at=float(rng.uniform(0.0, 0.01))),)}
+        return FaultPlan(seed=fseed, **fault)
+
+    plan_a = draw_plan(seed)
+    plan_b = draw_plan(seed + 1000) if rng.random() < 0.5 else None
+    program = _run_schedule(schedule)
+
+    def attempt(plan, backend):
+        engine = Engine(nranks=nranks, op_timeout=60.0, fault_plan=plan,
+                        backend=backend)
+        try:
+            results = engine.run(program)
+            outcome = ("ok", None)
+            digest = [r[0] for r in results]
+        except ReproError as exc:
+            outcome = (type(exc).__name__, _mask_rank(str(exc)))
+            digest = None
+        return (outcome, digest, _rank_events(engine, nranks),
+                sorted(engine._dead), sorted(engine.lost_ranks()),
+                [engine.trace.comm_volume(rank=r) for r in range(nranks)])
+
+    def run_sequence(backend="threaded"):
+        return (attempt(plan_a, backend), attempt(plan_b, backend))
+
+    first = run_sequence()
+    assert first == run_sequence(), (
+        f"seed {seed}: two-attempt trace diverged across reruns"
+    )
+    for alt in ALT_BACKENDS:
+        assert run_sequence(alt) == first, (
+            f"seed {seed}: {alt} two-attempt trace diverged from threaded"
+        )
+
+    second_attempt = first[1]
+    if second_attempt[0][0] == "ok":
+        assert second_attempt[3] == [] and second_attempt[4] == []
+        expected = _expected_volume(schedule, nranks)
+        for r in range(nranks):
+            assert second_attempt[5][r] == pytest.approx(expected[r]), (
+                f"seed {seed}: restart volumes drifted on rank {r}"
+            )

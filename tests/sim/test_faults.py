@@ -29,6 +29,7 @@ from repro.sim.faults import (
     ComputeSlowdown,
     FaultPlan,
     LinkFault,
+    NodeCrash,
     RankCrash,
     RetryPolicy,
 )
@@ -95,6 +96,38 @@ class TestFaultPlanValidation:
         policy = RetryPolicy(max_attempts=5, base_delay=1e-4)
         assert policy.delay(2) == pytest.approx(2e-4)
         assert policy.delay(3) == pytest.approx(4e-4)
+
+    def test_rejects_negative_node_index(self):
+        with pytest.raises(SimulationError):
+            NodeCrash(node=-1, at=0.1)
+
+    def test_rejects_negative_node_crash_time(self):
+        with pytest.raises(SimulationError):
+            NodeCrash(node=0, at=-0.1)
+
+    def test_rejects_duplicate_crash_nodes(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(node_crashes=(NodeCrash(node=1, at=0.1),
+                                    NodeCrash(node=1, at=0.2)))
+
+    def test_node_crash_time_lookup(self):
+        plan = FaultPlan(node_crashes=(NodeCrash(node=1, at=0.25),))
+        assert plan.node_crash_time(1) == pytest.approx(0.25)
+        assert plan.node_crash_time(0) is None
+
+    def test_describe_names_node_crashes(self):
+        plan = FaultPlan(crashes=(RankCrash(rank=0, at=0.1),),
+                         node_crashes=(NodeCrash(node=2, at=0.3),))
+        desc = plan.describe()
+        assert "crash(rank=0" in desc
+        assert "node_crash(node=2" in desc
+
+    def test_engine_rejects_node_beyond_topology(self):
+        # 4 ranks pack onto one node under the default placement, so
+        # node 1 does not exist in the used topology.
+        plan = FaultPlan(node_crashes=(NodeCrash(node=1, at=0.1),))
+        with pytest.raises(SimulationError, match="topology"):
+            Engine(nranks=4, fault_plan=plan)
 
 
 class TestCrashPropagation:
@@ -212,6 +245,122 @@ class TestCrashPropagation:
 
         engine = Engine(nranks=4, fault_plan=plan)
         assert engine.run(program) == ["failed", "failed", "ok", "ok"]
+
+
+class TestNodeCrashPropagation:
+    """A NodeCrash is one correlated event: the whole fault domain dies.
+
+    The default cluster packs four ranks per node (BLOCK placement), so
+    an 8-rank engine spans nodes 0 (ranks 0-3) and 1 (ranks 4-7).
+    """
+
+    PLAN = FaultPlan(seed=3, node_crashes=(NodeCrash(node=1, at=5e-4),))
+    NODE1 = {4, 5, 6, 7}
+
+    def test_whole_node_is_lost(self):
+        engine = Engine(nranks=8, fault_plan=self.PLAN)
+        with pytest.raises(RankFailureError):
+            engine.run(_allreduce_loop())
+        # lost_ranks expands the fired node to every resident rank, even
+        # members that never individually reached the crash time.
+        assert engine.lost_ranks() == self.NODE1
+        assert engine._fired_nodes == {1}
+
+    def test_survivors_see_the_correlated_domain_named(self):
+        def program(ctx):
+            comm = Communicator(ctx, tuple(range(ctx.nranks)))
+            try:
+                for _ in range(50):
+                    ctx.compute(flops=1e9)
+                    comm.all_reduce(_payload(ctx.rank))
+            except RankFailureError as exc:
+                return str(exc)
+            return None
+
+        engine = Engine(nranks=8, fault_plan=self.PLAN)
+        results = engine.run(program)
+        for rank in range(4):  # the survivors on node 0
+            assert results[rank] is not None, f"rank {rank} missed the loss"
+            assert "node 1 lost: correlated fault domain" in results[rank]
+
+    def test_fault_events_carry_the_node_kind(self):
+        engine = Engine(nranks=8, fault_plan=self.PLAN)
+        with pytest.raises(RankFailureError):
+            engine.run(_allreduce_loop())
+        events = engine.trace.fault_events()
+        assert events, "a fired node crash must be traced"
+        assert all(e.kind == "node_crash" for e in events)
+        assert {e.rank for e in events} <= self.NODE1
+
+    def test_members_die_by_their_own_clocks(self):
+        """A straggler member's lag never delays its siblings' deaths."""
+        plan = FaultPlan(
+            node_crashes=(NodeCrash(node=1, at=5e-4),),
+            slowdowns=(ComputeSlowdown(rank=7, factor=50.0),),
+        )
+        engine = Engine(nranks=8, fault_plan=plan)
+        with pytest.raises(RankFailureError):
+            engine.run(_allreduce_loop())
+        assert engine.lost_ranks() == self.NODE1
+        # Every traced member death sits exactly at the scheduled time.
+        for e in engine.trace.fault_events():
+            assert e.t == pytest.approx(5e-4)
+
+    def test_tie_with_personal_crash_reports_the_node(self):
+        """Same instant, rank and node: the correlated event subsumes."""
+        plan = FaultPlan(
+            crashes=(RankCrash(rank=4, at=5e-4),),
+            node_crashes=(NodeCrash(node=1, at=5e-4),),
+        )
+        engine = Engine(nranks=8, fault_plan=plan)
+        with pytest.raises(RankFailureError):
+            engine.run(_allreduce_loop())
+        assert engine.lost_ranks() == self.NODE1
+        kinds = {e.rank: e.kind for e in engine.trace.fault_events()}
+        if 4 in kinds:  # rank 4 may cascade out before its own site fires
+            assert kinds[4] == "node_crash"
+
+    def test_earlier_personal_crash_fires_alone(self):
+        plan = FaultPlan(
+            crashes=(RankCrash(rank=4, at=1e-4),),
+            node_crashes=(NodeCrash(node=1, at=10.0),),  # beyond makespan
+        )
+        engine = Engine(nranks=8, fault_plan=plan)
+        with pytest.raises(RankFailureError) as exc_info:
+            engine.run(_allreduce_loop())
+        assert exc_info.value.rank == 4
+        assert engine.lost_ranks() == {4}
+        assert engine._fired_nodes == set()
+
+    def test_node_loss_trace_is_deterministic(self):
+        """Everything semantic is replayed bit-identically.
+
+        Which *member* a failure message names is first-sweep-wins (all
+        four die at the same virtual instant — the same wall-clock race
+        the multi-crash fuzzer tolerates), so the named rank is checked
+        for membership and masked out before comparing.
+        """
+
+        def run_once():
+            engine = Engine(nranks=8, fault_plan=self.PLAN)
+            try:
+                engine.run(_allreduce_loop())
+                message = None
+            except RankFailureError as exc:
+                assert exc.rank in self.NODE1
+                message = str(exc).replace(f"rank {exc.rank}", "rank <n>")
+            events = [
+                (type(e).__name__, getattr(e, "nbytes", 0.0),
+                 e.t_start, e.t_end)
+                for e in engine.trace.events
+                if getattr(e, "rank", None) == 0 and hasattr(e, "t_start")
+            ]
+            return message, sorted(engine._dead), sorted(
+                engine.lost_ranks()), events
+
+        runs = [run_once() for _ in range(3)]
+        assert runs[0] == runs[1] == runs[2]
+        assert runs[0][0] is not None
 
 
 class TestTransientRetries:

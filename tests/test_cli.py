@@ -70,8 +70,30 @@ class TestCommands:
         assert rec["restarts"] == 1
         assert rec["goodput_steps_per_s"] > 0
 
+    def test_chaos_elastic_scenario(self, capsys, tmp_path):
+        out_json = tmp_path / "chaos.json"
+        assert main(["chaos", "--elastic", "--scenario",
+                     "elastic-shrink-rank", "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "elastic-shrink-rank" in out
+        assert "reshapes" in out and "world" in out
+
+        import json
+
+        rec = json.loads(out_json.read_text())["elastic-shrink-rank"]
+        assert rec["recoveries"] == 1
+        assert rec["reshapes"] == 1
+        assert rec["final_world"] == 1  # 3 survivors only fit [1, 1, 1]
+        assert rec["time_to_recover_s"] > 0
+
     def test_chaos_rejects_unknown_scenario(self, capsys):
         assert main(["chaos", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out.lower()
+
+    def test_chaos_elastic_names_are_gated_behind_the_flag(self, capsys):
+        # Elastic scenarios are a separate campaign: without --elastic
+        # their names are unknown (and vice versa for the default set).
+        assert main(["chaos", "--scenario", "elastic-shrink-rank"]) == 2
         assert "unknown scenario" in capsys.readouterr().out.lower()
 
     def test_serve_defaults(self):
