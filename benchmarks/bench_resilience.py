@@ -97,6 +97,15 @@ def collect_elastic_metrics(results: list[ChaosResult]) -> dict:
         metrics[f"{n}.final_world"] = {
             "value": float(r.final_world), "direction": "neutral",
         }
+        metrics[f"{n}.grows"] = {
+            "value": float(r.grows), "direction": "neutral",
+        }
+        metrics[f"{n}.quarantines"] = {
+            "value": float(r.quarantines), "direction": "neutral",
+        }
+        metrics[f"{n}.time_to_reclaim_s"] = {
+            "value": r.time_to_reclaim_s, "direction": "lower",
+        }
     info = {
         r.scenario.name: {
             "resume_step": r.resume_step,
@@ -126,11 +135,20 @@ def _check_guarantees(results: list[ChaosResult]) -> None:
 def _check_elastic_guarantees(results: list[ChaosResult]) -> None:
     by_name = {r.scenario.name: r for r in results}
     for r in results:
-        # Every elastic scenario loses hardware for good, resumes from a
-        # real snapshot and still finishes the full step budget.
-        assert r.attempts >= 1, r.scenario.name
-        assert r.resume_step > 0, r.scenario.name
-        assert r.time_to_recover_s > 0.0, r.scenario.name
+        crashes = (r.scenario.crash_rank is not None
+                   or r.scenario.node_crash is not None)
+        if crashes:
+            # Crash scenarios lose hardware, resume from a real snapshot
+            # and still finish the full step budget.
+            assert r.attempts >= 1, r.scenario.name
+            assert r.resume_step > 0, r.scenario.name
+            assert r.time_to_recover_s > 0.0, r.scenario.name
+        else:
+            # Voluntary reshapes (grow / quarantine) are snapshot-clean:
+            # no restarts, no lost work.
+            assert r.attempts == 0, r.scenario.name
+            assert r.lost_steps == 0, r.scenario.name
+            assert r.time_to_recover_s == 0.0, r.scenario.name
         assert r.steps == results[0].steps, r.scenario.name
     # The spare pool keeps the shape; losses past it shrink the grid.
     assert by_name["elastic-replace"].reshapes == 0
@@ -140,6 +158,19 @@ def _check_elastic_guarantees(results: list[ChaosResult]) -> None:
     # The double fault burns the one spare, then re-factorizes.
     assert by_name["elastic-double-fault"].attempts == 2
     assert by_name["elastic-double-fault"].final_world == 1
+    # Node repair: shrink to 4 after the crash, grow back to the full 8.
+    grow = by_name["elastic-grow-back"]
+    assert grow.grows == 1 and grow.reshapes == 2
+    assert grow.final_world == 8
+    assert grow.time_to_reclaim_s > 0.0
+    # Spare arrival: a pure grow, never shrank at all.
+    arrive = by_name["elastic-spare-arrival"]
+    assert arrive.attempts == 0 and arrive.grows == 1
+    assert arrive.final_world == 8
+    # Quarantine evicts the straggler's node, then readmits it healthy.
+    quar = by_name["elastic-quarantine"]
+    assert quar.quarantines == 1 and quar.grows == 1
+    assert quar.final_world == 8 and quar.lost_steps == 0
 
 
 def test_chaos_recovery(benchmark, capsys):

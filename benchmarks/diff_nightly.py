@@ -40,7 +40,8 @@ import sys
 #: without the unknown-name warning.  Checked first so "reshapes" and
 #: friends never fall through to a suffix hint.
 _NEUTRAL_HINTS = ("recoveries", "reshapes", "replicas", "scale_events",
-                  "restarts", "world")
+                  "restarts", "world", "grows", "quarantines", "rejoins",
+                  "outages")
 #: substrings that mark a metric as better-higher; checked before the
 #: lower hints so "goodput_steps_per_s" / "speedup_cont_over_static"
 #: don't false-match the "_s" suffix hint.

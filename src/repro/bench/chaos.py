@@ -14,7 +14,13 @@ recovery overhead across parallelism modes.
 *permanent* hardware loss: restarts draw on a spare pool while it lasts
 (live rank replacement) and otherwise re-factorize the surviving world
 into the best ``[q, q, d]`` shape, re-sharding the last snapshot for the
-new grid — including the crash-during-recovery double-fault case.
+new grid — including the crash-during-recovery double-fault case.  The
+campaign also covers the *upward* direction: a repaired node growing the
+grid back (``node_repair_at``), fresh spare capacity arriving mid-run
+(``spare_arrival``), and straggler quarantine with readmission
+(``slow_until`` + ``quarantine_factor``) — each a voluntary,
+snapshot-clean reshape with ``time_to_reclaim_s`` reported as the lag
+between capacity unlocking and the grid growing.
 """
 
 from __future__ import annotations
@@ -30,7 +36,9 @@ from repro.sim.faults import (
     FaultPlan,
     LinkFault,
     NodeCrash,
+    NodeRepair,
     RankCrash,
+    SpareArrival,
 )
 from repro.train.resilience import (
     ElasticPolicy,
@@ -72,6 +80,8 @@ class ChaosScenario:
     node_crash: int | None = None  #: kill every rank on this node (at crash_at)
     slow_rank: int | None = None
     slow_factor: float = 1.0
+    #: end of the straggler window (virtual seconds); None = persistent
+    slow_until: float | None = None
     link_fault: tuple[int, int, float] | None = None  #: (src, dst, factor)
     transient_rate: float = 0.0
     #: elastic recovery: fired crashes are permanent hardware loss; the
@@ -81,6 +91,16 @@ class ChaosScenario:
     #: (rank, at): a second crash injected into restart attempt 1 — the
     #: crash-during-recovery double fault
     recovery_crash: tuple[int, float] | None = None
+    #: repair the crashed node at this cumulative virtual time: the grid
+    #: grows back at the next snapshot boundary past it
+    node_repair_at: float | None = None
+    #: (count, at): fresh spare capacity arriving mid-run
+    spare_arrival: tuple[int, float] | None = None
+    #: evict a rank's node when its local-kernel seconds exceed this
+    #: multiple of the fleet minimum (straggler quarantine)
+    quarantine_factor: float | None = None
+    #: hysteresis between voluntary reshapes (snapshot steps)
+    min_steps_between_reshapes: int = 0
 
     @property
     def nranks(self) -> int:
@@ -102,22 +122,40 @@ class ChaosScenario:
                     f"scenario {self.name!r} sets node_crash without crash_at"
                 )
             node_crashes = (NodeCrash(node=self.node_crash, at=self.crash_at),)
+        node_repairs = ()
+        if self.node_repair_at is not None:
+            if self.node_crash is None:
+                raise SimulationError(
+                    f"scenario {self.name!r} sets node_repair_at without "
+                    f"node_crash"
+                )
+            node_repairs = (
+                NodeRepair(node=self.node_crash, at=self.node_repair_at),
+            )
+        spare_arrivals = ()
+        if self.spare_arrival is not None:
+            count, at = self.spare_arrival
+            spare_arrivals = (SpareArrival(count=count, at=at),)
         slowdowns = ()
         if self.slow_rank is not None:
             slowdowns = (
-                ComputeSlowdown(rank=self.slow_rank, factor=self.slow_factor),
+                ComputeSlowdown(rank=self.slow_rank, factor=self.slow_factor,
+                                until=self.slow_until),
             )
         link_faults = ()
         if self.link_fault is not None:
             src, dst, factor = self.link_fault
             link_faults = (LinkFault(src=src, dst=dst, factor=factor),)
         if not crashes and not node_crashes and not slowdowns \
-                and not link_faults and self.transient_rate == 0.0:
+                and not link_faults and not spare_arrivals \
+                and self.transient_rate == 0.0:
             return None
         return FaultPlan(
             seed=self.seed,
             crashes=crashes,
             node_crashes=node_crashes,
+            node_repairs=node_repairs,
+            spare_arrivals=spare_arrivals,
             slowdowns=slowdowns,
             link_faults=link_faults,
             transient_rate=self.transient_rate,
@@ -140,8 +178,13 @@ class ChaosResult:
     final_world: int = 0          #: rank count of the successful attempt
     #: virtual seconds spent in crashed attempts — the work thrown away
     #: plus the time spent reaching each crash (deterministic, unlike the
-    #: wall-clock recovery_latency_s)
+    #: wall-clock recovery_latency_s).  Voluntary reshape segments (grow,
+    #: quarantine) are *not* recovery time: their steps all count.
     time_to_recover_s: float = 0.0
+    grows: int = 0                #: grow-back reshapes (repair / spares)
+    quarantines: int = 0          #: voluntary straggler evictions
+    #: cumulative lag between capacity unlocking and the grid growing
+    time_to_reclaim_s: float = 0.0
     run: ResilientRun = field(repr=False, default=None)
 
     @property
@@ -177,6 +220,21 @@ ELASTIC_SCENARIOS: tuple[ChaosScenario, ...] = (
     # crash during recovery: attempt 1 dies too, then the grid shrinks
     ChaosScenario(name="elastic-double-fault", elastic=True, spares=1,
                   crash_rank=2, crash_at=0.2, recovery_crash=(3, 0.1)),
+    # the upward direction: node 1 dies at 0.25 and is repaired at 0.45
+    # (cumulative time) — shrink to [2, 2, 1], then grow back to
+    # [2, 2, 2] at the next snapshot boundary past the repair
+    ChaosScenario(name="elastic-grow-back", elastic=True, d=2,
+                  node_crash=1, crash_at=0.25, node_repair_at=0.45),
+    # fresh capacity: 4 spares arrive mid-run and the healthy [2, 2, 1]
+    # grid grows to [2, 2, 2] without ever crashing
+    ChaosScenario(name="elastic-spare-arrival", elastic=True,
+                  spare_arrival=(4, 0.3)),
+    # straggler quarantine: rank 5's node runs 4x slow until t=0.6; the
+    # controller evicts the node (snapshot-clean, zero lost steps) and
+    # readmits it once the slowdown window passes
+    ChaosScenario(name="elastic-quarantine", elastic=True, d=2,
+                  slow_rank=5, slow_factor=4.0, slow_until=0.6,
+                  quarantine_factor=2.0),
 )
 
 
@@ -195,12 +253,16 @@ def run_scenario(
     def survivor_plan() -> FaultPlan | None:
         # After a crash the replacement cluster is healthy (the failed
         # part was swapped out).  Straggler and link faults persist —
-        # they are environment, not incidents.
+        # they are environment, not incidents — except *windowed*
+        # slowdowns (until set): those model recoverable degradation the
+        # quarantine readmits, so relaunches run them at full speed.
         if plan is None:
             return None
         return FaultPlan(
             seed=plan.seed,
-            slowdowns=plan.slowdowns,
+            slowdowns=tuple(
+                s for s in plan.slowdowns if s.until is None
+            ),
             link_faults=plan.link_faults,
             transient_rate=plan.transient_rate,
             retry=plan.retry,
@@ -213,12 +275,14 @@ def run_scenario(
             return Engine(nranks=scenario.nranks, fault_plan=plan)
         return Engine(nranks=scenario.nranks, fault_plan=survivor_plan())
 
-    def elastic_engine_factory(attempt: int, world: int | None) -> Engine:
+    def elastic_engine_factory(launch: int, world: int | None) -> Engine:
+        # ``launch`` counts every engine build: crash restarts and
+        # voluntary grow/quarantine relaunches alike.
         nranks = scenario.nranks if world is None else world
-        if attempt == 0:
+        if launch == 0:
             return Engine(nranks=nranks, fault_plan=plan)
         attempt_plan = survivor_plan()
-        if attempt == 1 and scenario.recovery_crash is not None:
+        if launch == 1 and scenario.recovery_crash is not None:
             # The double fault: the recovery attempt itself loses a rank.
             rank, at = scenario.recovery_crash
             base = attempt_plan or FaultPlan(seed=scenario.seed)
@@ -262,6 +326,10 @@ def run_scenario(
         snapshot_every=scenario.snapshot_every, max_restarts=max_restarts
     )
     if scenario.elastic:
+        has_availability = plan is not None and (
+            plan.node_repairs or plan.spare_arrivals
+            or any(s.until is not None for s in plan.slowdowns)
+        )
         run = train_resilient(
             elastic_engine_factory,
             elastic_setup,
@@ -269,7 +337,15 @@ def run_scenario(
             epochs=scenario.epochs,
             batch_size=scenario.batch_size,
             resilience=resilience,
-            elastic=ElasticPolicy(spares=scenario.spares, min_world=1),
+            elastic=ElasticPolicy(
+                spares=scenario.spares,
+                min_world=1,
+                quarantine_factor=scenario.quarantine_factor,
+                min_steps_between_reshapes=(
+                    scenario.min_steps_between_reshapes
+                ),
+            ),
+            availability=plan if has_availability else None,
         )
     else:
         run = train_resilient(
@@ -293,7 +369,10 @@ def run_scenario(
         virtual_time=run.total_virtual_time,
         reshapes=len(run.reshapes),
         final_world=run.final_world,
-        time_to_recover_s=sum(run.attempt_times[:-1]),
+        time_to_recover_s=run.crashed_time,
+        grows=run.grows,
+        quarantines=run.quarantines,
+        time_to_reclaim_s=run.time_to_reclaim_s,
         run=run,
     )
 
@@ -314,7 +393,8 @@ def render_chaos(results: list[ChaosResult]) -> str:
 
     table = Table(
         ["scenario", "ranks", "steps", "final loss", "restarts", "reshapes",
-         "world", "lost", "sim time", "goodput", "recovery (wall)"],
+         "grows", "world", "lost", "sim time", "reclaim", "goodput",
+         "recovery (wall)"],
         title="Chaos scenarios: goodput under injected faults",
     )
     for r in results:
@@ -325,9 +405,11 @@ def render_chaos(results: list[ChaosResult]) -> str:
             f"{r.final_loss:.4f}",
             r.attempts,
             r.reshapes,
+            r.grows,
             r.final_world or r.scenario.nranks,
             r.lost_steps,
             f"{r.virtual_time:.3f}s",
+            f"{r.time_to_reclaim_s:.3f}s",
             f"{r.goodput:.1f} steps/s",
             f"{r.recovery_latency_s * 1e3:.1f}ms",
         ])

@@ -60,7 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--elastic", action="store_true",
                          help="run the elastic-recovery scenario set "
                               "(permanent rank/node loss, spares, "
-                              "crash-during-recovery)")
+                              "crash-during-recovery, node repair with "
+                              "grow-back, spare arrival, straggler "
+                              "quarantine)")
     p_chaos.add_argument("--json", metavar="PATH", default=None,
                          help="also save the metrics as JSON")
 
@@ -236,10 +238,13 @@ def _cmd_chaos(args) -> int:
                 "restarts": r.attempts,
                 "recoveries": r.attempts,
                 "reshapes": r.reshapes,
+                "grows": r.grows,
+                "quarantines": r.quarantines,
                 "final_world": r.final_world,
                 "lost_steps": r.lost_steps,
                 "recovery_latency_s": r.recovery_latency_s,
                 "time_to_recover_s": r.time_to_recover_s,
+                "time_to_reclaim_s": r.time_to_reclaim_s,
                 "virtual_time_s": r.virtual_time,
                 "goodput_steps_per_s": r.goodput,
             }

@@ -14,7 +14,7 @@ from repro.serve.model import (
     local_kv_width,
     serving_nranks,
 )
-from repro.serve.runner import AutoscaleConfig, run_serving
+from repro.serve.runner import AutoscaleConfig, ReplicaOutage, run_serving
 from repro.serve.scheduler import POLICIES, Scheduler, SchedulerConfig
 from repro.serve.workload import Request, WorkloadConfig, generate_workload
 
@@ -28,6 +28,7 @@ __all__ = [
     "local_kv_width",
     "serving_nranks",
     "AutoscaleConfig",
+    "ReplicaOutage",
     "run_serving",
     "POLICIES",
     "Scheduler",

@@ -51,6 +51,13 @@ whose in-flight requests are front-requeued as preemptions for the
 survivors to pick up.  Scale decisions read only shared deterministic
 state, so every rank makes the same ones; crash recovery composes with
 autoscaling because the snapshot carries the whole fleet.
+
+Planned :class:`ReplicaOutage` events compose with the fleet: at
+``out_at`` the highest bookkeeping replica is drained out (replica 0
+hosts the engine and never goes out); at ``repair_at`` the repaired
+instance rejoins, but only starts admitting from the shared FIFO after a
+``warmup_iters`` health-check window — the same ``ready_at`` gate a
+scaled-up replica waits behind.
 """
 
 from __future__ import annotations
@@ -75,7 +82,7 @@ from repro.serve.workload import WorkloadConfig, generate_workload
 from repro.sim.engine import Engine
 from repro.varray.varray import VArray
 
-__all__ = ["AutoscaleConfig", "run_serving"]
+__all__ = ["AutoscaleConfig", "ReplicaOutage", "run_serving"]
 
 
 @dataclass(frozen=True)
@@ -111,6 +118,36 @@ class AutoscaleConfig:
             raise SimulationError("scale_down_patience must be >= 1")
         if self.spinup_iters < 0:
             raise SimulationError("spinup_iters must be >= 0")
+
+
+@dataclass(frozen=True)
+class ReplicaOutage:
+    """A planned replica outage with a scheduled repair.
+
+    At iteration ``out_at`` the highest bookkeeping replica is taken out
+    of the fleet — its in-flight requests are front-requeued as
+    preemptions, exactly like a scale-down drain.  At ``repair_at`` the
+    repaired instance rejoins (respecting ``max_replicas``), but only
+    starts admitting from the shared FIFO ``warmup_iters`` iterations
+    later: model reload plus health check, the same ``ready_at`` gate a
+    scaled-up replica waits behind.  Replica 0 hosts the real engine and
+    never goes out; an outage that finds only replica 0 is a no-op.
+    """
+
+    out_at: int
+    repair_at: int
+    warmup_iters: int = 2
+
+    def __post_init__(self) -> None:
+        if self.out_at < 0:
+            raise SimulationError("out_at must be >= 0")
+        if self.repair_at <= self.out_at:
+            raise SimulationError(
+                f"repair_at {self.repair_at} must be after out_at "
+                f"{self.out_at}"
+            )
+        if self.warmup_iters < 0:
+            raise SimulationError("warmup_iters must be >= 0")
 
 
 class _Replica:
@@ -173,6 +210,7 @@ def run_serving(
     fault_plan=None,
     max_restarts: int = 0,
     autoscale: AutoscaleConfig | None = None,
+    outages: tuple = (),
 ) -> dict:
     """Simulate serving ``workload`` under ``sched`` and return the report.
 
@@ -190,10 +228,18 @@ def run_serving(
     *Autoscaling* in the module docstring) and the report gains
     ``scale_events`` / ``replicas_peak`` / ``replicas_final`` /
     ``replica_iterations``.
+
+    ``outages`` (a tuple of :class:`ReplicaOutage`, requires
+    ``autoscale``) injects planned replica outages with scheduled
+    repairs; the report then also gains ``outages`` / ``rejoins``.
     """
     gq, gd = grid_shape(mode, q, d, world)
     bands = gq * gd
     _validate(model_cfg, workload, sched, bands)
+    if outages and autoscale is None:
+        raise SimulationError(
+            "outages require an AutoscaleConfig fleet to rejoin"
+        )
     nranks = serving_nranks(mode, q, d, world)
     kv_width = local_kv_width(mode, model_cfg, q=gq if bands > 1 else None,
                               world=world)
@@ -205,12 +251,14 @@ def run_serving(
     while True:
         def fn(ctx, _snapshot=snapshot):
             serve = _serve_rank if autoscale is None else _serve_rank_fleet
+            extra = {} if autoscale is None else {"outages": outages}
             return serve(
                 ctx, mode, model_cfg, workload, sched,
                 q=q, d=d, world=world, bands=bands, kv_width=kv_width,
                 autoscale=autoscale,
                 snapshot=_snapshot,
                 snap_box=snap_box if fault_plan is not None else None,
+                **extra,
             )
 
         engine = Engine(nranks=nranks, mode=engine_mode, trace=False,
@@ -591,6 +639,7 @@ def _serve_rank_fleet(
     autoscale: AutoscaleConfig,
     snapshot: dict | None = None,
     snap_box: dict | None = None,
+    outages: tuple = (),
 ) -> dict:
     """The autoscaled variant of :func:`_serve_rank` (see module docs)."""
     auto = autoscale
@@ -628,6 +677,8 @@ def _serve_rank_fleet(
     replica_iterations = 0
     down_streak = 0
     step_dt = 0.0  #: duration of the last real decode step
+    outage_down: set[int] = set()  #: outage indices already taken out
+    outage_back: set[int] = set()  #: outage indices already rejoined
     if snapshot is not None:
         replicas = _restore_fleet(dispatcher, records, snapshot, sched_cfg,
                                   requests, fleet_queue)
@@ -640,6 +691,8 @@ def _serve_rank_fleet(
         replica_iterations = sc.get("replica_iterations", 0)
         down_streak = sc.get("down_streak", 0)
         step_dt = sc.get("step_dt", 0.0)
+        outage_down = set(sc.get("outage_down", []))
+        outage_back = set(sc.get("outage_back", []))
         ctx.clock.sync_to(snapshot["now"])
     sch = replicas[0].sch  # the engine-backed replica
 
@@ -661,7 +714,9 @@ def _serve_rank_fleet(
                  "peak": replicas_peak,
                  "replica_iterations": replica_iterations,
                  "down_streak": down_streak,
-                 "step_dt": step_dt},
+                 "step_dt": step_dt,
+                 "outage_down": sorted(outage_down),
+                 "outage_back": sorted(outage_back)},
             )
         if all(rec.done for rec in records.values()):
             break
@@ -669,6 +724,37 @@ def _serve_rank_fleet(
         # Arrivals land in the shared fleet queue; every ready replica
         # admits from it below (replica 0 first, then index order).
         dispatcher.poll_arrivals(ctx.now)
+
+        # Planned outages and their repairs.  Like a scale-down, an
+        # outage drains the highest bookkeeping replica (replica 0 hosts
+        # the engine and never goes out); the repaired instance rejoins
+        # at ``repair_at`` but only starts admitting from the shared
+        # FIFO once its warm-up health check passes (``ready_at``).
+        for idx, outage in enumerate(outages):
+            if idx not in outage_down and iterations >= outage.out_at:
+                outage_down.add(idx)
+                if len(replicas) > 1:
+                    victim = replicas.pop()
+                    for rid in victim.sch.drain():
+                        records[rid].preemptions += 1
+                        records[rid].emitted = 0
+                    scale_events.append((iterations, "out", len(replicas)))
+                    down_streak = 0
+                else:
+                    # Only the engine-backed replica is left: nothing
+                    # went out, so nothing comes back at repair time.
+                    outage_back.add(idx)
+            if (idx in outage_down and idx not in outage_back
+                    and iterations >= outage.repair_at
+                    and len(replicas) < auto.max_replicas):
+                replicas.append(_Replica(
+                    sched_cfg, requests, fleet_queue,
+                    ready_at=iterations + outage.warmup_iters,
+                ))
+                replicas_peak = max(replicas_peak, len(replicas))
+                scale_events.append((iterations, "rejoin", len(replicas)))
+                outage_back.add(idx)
+
         ready = sum(1 for r in replicas if iterations >= r.ready_at)
         total_q = len(fleet_queue)
         total_load = total_q + sum(len(r.sch.active) for r in replicas)
@@ -755,4 +841,7 @@ def _serve_rank_fleet(
     report["replicas_peak"] = replicas_peak
     report["replicas_final"] = len(replicas)
     report["replica_iterations"] = replica_iterations
+    if outages:
+        report["outages"] = sum(1 for e in scale_events if e[1] == "out")
+        report["rejoins"] = sum(1 for e in scale_events if e[1] == "rejoin")
     return report

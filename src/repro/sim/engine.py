@@ -303,10 +303,19 @@ class RankContext:
         #: the node whose correlated loss kills this rank (None when the
         #: effective crash is a personal RankCrash, or no crash at all)
         self._crash_node = site[1] if site is not None else None
-        #: straggler multiplier for local kernels
+        #: straggler multiplier for local kernels; windowed slowdowns
+        #: (ComputeSlowdown.until) re-evaluate the factor per kernel start
         self._compute_factor = (
             plan.compute_factor(rank) if plan is not None else 1.0
         )
+        self._windowed_slowdown = (
+            plan is not None and plan.has_windowed_slowdown(rank)
+        )
+        #: virtual seconds this rank spent in local kernels — unlike the
+        #: clock (which collectives drag forward to the slowest member),
+        #: this isolates per-rank compute, so the elastic controller can
+        #: detect stragglers from it (deterministic across backends)
+        self.compute_seconds = 0.0
         #: deferred-timing state (event backend): the last deferred node
         #: this rank picked up, how many of its nodes are unresolved, and
         #: the event a force-sync is parked on (swept by ``_abort``)
@@ -339,9 +348,12 @@ class RankContext:
         """
         t0 = self.clock.now
         dt = self.engine.compute_model.op_time(flops, bytes_touched, min_dim)
-        if self._compute_factor != 1.0:
+        if self._windowed_slowdown:
+            dt *= self.engine.fault_plan.compute_factor(self.rank, now=t0)
+        elif self._compute_factor != 1.0:
             dt *= self._compute_factor
         self.clock.advance(dt)
+        self.compute_seconds += dt
         self.trace.record(
             ComputeEvent(
                 rank=self.rank,

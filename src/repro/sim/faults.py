@@ -46,7 +46,20 @@ Fault kinds
     bandwidth: p2p transfer times between the pair scale by ``factor``.
 :class:`ComputeSlowdown`
     Every local kernel on ``rank`` takes ``factor`` times longer — a
-    straggler GPU (thermal throttling, a sick HBM stack).
+    straggler GPU (thermal throttling, a sick HBM stack).  With ``until``
+    set, the degradation is *transient*: kernels started at virtual times
+    ``>= until`` run at full speed again (the fans spun up, the sick HBM
+    stack was remapped) — the window the elastic trainer's straggler
+    quarantine uses to decide when the node is readmittable.
+:class:`NodeRepair`
+    Availability schedule, upward direction: a node lost to a
+    :class:`NodeCrash` is repaired and its ranks return to service at
+    cumulative virtual time ``at`` (summed over restart attempts — see
+    ``train_resilient(availability=...)``).  A repair for a node that
+    never crashes is rejected at construction.
+:class:`SpareArrival`
+    Fresh capacity: ``count`` new ranks join the spare pool at cumulative
+    virtual time ``at`` (a new node racked, a reservation granted).
 Transient send failures (``transient_rate`` + :class:`RetryPolicy`)
     Each buffered ``send`` independently fails with probability
     ``transient_rate`` per attempt; the communicator retries with bounded
@@ -68,6 +81,8 @@ from repro.util.rng import rng_for
 __all__ = [
     "RankCrash",
     "NodeCrash",
+    "NodeRepair",
+    "SpareArrival",
     "LinkFault",
     "ComputeSlowdown",
     "RetryPolicy",
@@ -108,6 +123,43 @@ class NodeCrash:
 
 
 @dataclass(frozen=True)
+class NodeRepair:
+    """Return a crashed ``node``'s ranks to service at cumulative time ``at``.
+
+    ``at`` is measured on the *cumulative* virtual timeline — the sum of
+    attempt makespans across restarts — because the repaired hardware does
+    not rejoin the attempt it died in; it becomes available to a later
+    attempt.  :func:`~repro.train.resilience.train_resilient` consumes the
+    schedule; the engine itself never resurrects ranks mid-run.
+    """
+
+    node: int
+    at: float  #: cumulative virtual seconds
+
+    def __post_init__(self):
+        if self.node < 0:
+            raise SimulationError(f"node index must be >= 0, got {self.node}")
+        if self.at < 0:
+            raise SimulationError(f"repair time must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class SpareArrival:
+    """``count`` fresh ranks join the spare pool at cumulative time ``at``."""
+
+    count: int
+    at: float  #: cumulative virtual seconds
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise SimulationError(
+                f"spare arrival count must be >= 1, got {self.count}"
+            )
+        if self.at < 0:
+            raise SimulationError(f"arrival time must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
 class LinkFault:
     """Degrade the (src, dst) link: p2p transfers take ``factor``x longer.
 
@@ -128,15 +180,25 @@ class LinkFault:
 
 @dataclass(frozen=True)
 class ComputeSlowdown:
-    """Straggler: every kernel on ``rank`` takes ``factor``x longer."""
+    """Straggler: every kernel on ``rank`` takes ``factor``x longer.
+
+    ``until`` (optional) bounds the degradation in virtual time: kernels
+    whose start time is ``>= until`` run at full speed.  ``None`` means
+    the straggler is persistent for the whole run.
+    """
 
     rank: int
     factor: float
+    until: float | None = None  #: virtual seconds; None = persistent
 
     def __post_init__(self):
         if self.factor < 1.0:
             raise SimulationError(
                 f"compute slowdown factor must be >= 1, got {self.factor}"
+            )
+        if self.until is not None and self.until <= 0:
+            raise SimulationError(
+                f"slowdown until must be > 0 (or None), got {self.until}"
             )
 
 
@@ -181,6 +243,14 @@ class FaultPlan:
     node_crashes:
         Correlated fault domains: whole topology nodes to lose, each at a
         scheduled virtual time (every resident rank dies in one event).
+    node_repairs:
+        The availability schedule, upward direction: crashed nodes whose
+        ranks return to service at a cumulative virtual time.  Every
+        repair must reference a node with a scheduled :class:`NodeCrash`
+        and fire strictly after it.
+    spare_arrivals:
+        Fresh capacity joining the spare pool at cumulative virtual
+        times.
     link_faults:
         Degraded rank-pair links.
     slowdowns:
@@ -197,6 +267,8 @@ class FaultPlan:
     seed: int = 0
     crashes: tuple[RankCrash, ...] = ()
     node_crashes: tuple[NodeCrash, ...] = ()
+    node_repairs: tuple[NodeRepair, ...] = ()
+    spare_arrivals: tuple[SpareArrival, ...] = ()
     link_faults: tuple[LinkFault, ...] = ()
     slowdowns: tuple[ComputeSlowdown, ...] = ()
     transient_rate: float = 0.0
@@ -224,6 +296,25 @@ class FaultPlan:
                     f"node {nc.node} has more than one scheduled crash"
                 )
             seen_nodes.add(nc.node)
+        seen_repairs: set[int] = set()
+        for nr in self.node_repairs:
+            if nr.node in seen_repairs:
+                raise SimulationError(
+                    f"node {nr.node} has more than one scheduled repair"
+                )
+            seen_repairs.add(nr.node)
+            crash_at = self.node_crash_time(nr.node)
+            if crash_at is None:
+                raise SimulationError(
+                    f"NodeRepair(node={nr.node}) references a node with no "
+                    f"scheduled NodeCrash — only crashed nodes can be "
+                    f"repaired"
+                )
+            if nr.at <= crash_at:
+                raise SimulationError(
+                    f"node {nr.node} repair at t={nr.at:g} must come "
+                    f"strictly after its crash at t={crash_at:g}"
+                )
 
     # --- per-site queries (all pure; all deterministic) ---------------------
 
@@ -246,13 +337,37 @@ class FaultPlan:
                 return nc.at
         return None
 
-    def compute_factor(self, rank: int) -> float:
-        """Straggler multiplier for local kernels on ``rank``."""
+    def repair_time(self, node: int) -> float | None:
+        """Cumulative virtual time ``node`` is repaired (None = never)."""
+        for nr in self.node_repairs:
+            if nr.node == node:
+                return nr.at
+        return None
+
+    def arrived_spares(self, t: float) -> int:
+        """Spare ranks that have arrived by cumulative virtual time ``t``."""
+        return sum(sa.count for sa in self.spare_arrivals if sa.at <= t)
+
+    def compute_factor(self, rank: int, now: float | None = None) -> float:
+        """Straggler multiplier for local kernels on ``rank``.
+
+        With ``now`` given, time-windowed slowdowns (``until`` set) only
+        count while ``now < until``; without it every entry counts — the
+        engine's fast path for plans with no windowed entries.
+        """
         factor = 1.0
         for s in self.slowdowns:
-            if s.rank == rank:
+            if s.rank == rank and (
+                now is None or s.until is None or now < s.until
+            ):
                 factor *= s.factor
         return factor
+
+    def has_windowed_slowdown(self, rank: int) -> bool:
+        """Whether ``rank`` has any time-bounded straggler entry."""
+        return any(
+            s.rank == rank and s.until is not None for s in self.slowdowns
+        )
 
     def link_factor(self, a: int, b: int) -> float:
         """Transfer-time multiplier for the (a, b) link (symmetric)."""
@@ -283,16 +398,35 @@ class FaultPlan:
         return float(rng.random() * self.jitter)
 
     def describe(self) -> str:
-        """One-line human summary for bench reports and the CLI."""
-        parts = []
+        """One-line human summary for bench reports and the CLI.
+
+        Timed availability events (crashes, node crashes, repairs, spare
+        arrivals) render first, in event order (ties break crash-first,
+        then repair, then arrival — a node cannot return before it is
+        lost); untimed environment faults (links, stragglers, transient
+        rates, jitter) follow.
+        """
+        timeline: list[tuple[float, int, str]] = []
         for c in self.crashes:
-            parts.append(f"crash(rank={c.rank}, t={c.at:g})")
+            timeline.append((c.at, 0, f"crash(rank={c.rank}, t={c.at:g})"))
         for nc in self.node_crashes:
-            parts.append(f"node_crash(node={nc.node}, t={nc.at:g})")
+            timeline.append(
+                (nc.at, 0, f"node_crash(node={nc.node}, t={nc.at:g})")
+            )
+        for nr in self.node_repairs:
+            timeline.append(
+                (nr.at, 1, f"repair(node={nr.node}, t={nr.at:g})")
+            )
+        for sa in self.spare_arrivals:
+            timeline.append(
+                (sa.at, 2, f"spares(+{sa.count}, t={sa.at:g})")
+            )
+        parts = [text for _, _, text in sorted(timeline)]
         for lf in self.link_faults:
             parts.append(f"link({lf.src}<->{lf.dst} x{lf.factor:g})")
         for s in self.slowdowns:
-            parts.append(f"straggler(rank={s.rank} x{s.factor:g})")
+            window = "" if s.until is None else f" until t={s.until:g}"
+            parts.append(f"straggler(rank={s.rank} x{s.factor:g}{window})")
         if self.transient_rate > 0:
             parts.append(
                 f"transient({self.transient_rate:g}/attempt, "

@@ -26,6 +26,24 @@ failure into an *elastic training* protocol, mirroring what torchelastic
    the last complete snapshot is re-sharded for the new grid (pure numpy
    slicing — bit-exact), and training continues at the smaller world.
    Each resize is recorded as a :class:`ReshapeRecord`.
+4. With an *availability schedule* (``train_resilient(availability=...)``
+   carrying :class:`~repro.sim.faults.NodeRepair` /
+   :class:`~repro.sim.faults.SpareArrival` events), capacity is a
+   time-varying resource: at each snapshot boundary an
+   :class:`ElasticController` — installed into the training loop — checks
+   whether repaired or newly-arrived hardware lets the grid *grow back*
+   to a larger ``p = d*q**2`` shape, and raises a :class:`GrowInterrupt`
+   to stop the attempt snapshot-clean.  The decision happens right after
+   a world barrier (zero bytes, clocks synced to one instant), so every
+   rank raises the same interrupt at the same step on every backend.
+   Hysteresis (``ElasticPolicy.min_steps_between_reshapes``) keeps
+   repair/crash oscillation from thrashing the grid.
+5. The same controller quarantines *stragglers*: ranks whose accumulated
+   local-kernel seconds exceed ``quarantine_factor`` times the fleet
+   minimum (an all-gather of per-rank ``compute_seconds``) get their
+   whole node evicted via a :class:`QuarantineInterrupt` — a voluntary
+   shrink, snapshot-clean, zero lost steps — and readmitted once their
+   :class:`~repro.sim.faults.ComputeSlowdown` window (``until``) passes.
 4. Each recovery is recorded as a :class:`RecoveryRecord` in
    ``TrainHistory.recoveries`` (resume step, lost steps, the dead rank
    and its virtual crash time, and the wall-clock restore latency).
@@ -51,6 +69,7 @@ import numpy as np
 
 from repro.errors import RankFailureError, SimulationError
 from repro.grid.shapes import TesseractShape
+from repro.sim.faults import FaultPlan
 
 __all__ = [
     "ResilienceConfig",
@@ -58,6 +77,10 @@ __all__ = [
     "RecoveryRecord",
     "ReshapeRecord",
     "ElasticPolicy",
+    "ElasticController",
+    "ElasticInterrupt",
+    "GrowInterrupt",
+    "QuarantineInterrupt",
     "ResilientRun",
     "redistribute_payloads",
     "train_resilient",
@@ -110,6 +133,14 @@ class ReshapeRecord:
     old_shape: tuple[int, int] | None  # (q, d) before, None if unknown
     new_shape: tuple[int, int]         # (q, d) after
     resume_step: int                # snapshot step carried across (0 = scratch)
+    #: why the grid resized: "shrink" (crash-forced), "grow" (repair or
+    #: spare arrival reclaimed capacity) or "quarantine" (voluntary
+    #: straggler eviction)
+    reason: str = "shrink"
+    #: for grows: cumulative virtual seconds between the availability
+    #: event that unlocked this shape and the snapshot boundary that
+    #: applied it — the capacity-reclaim lag the nightly gate watches
+    reclaim_delay_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -131,11 +162,23 @@ class ElasticPolicy:
         allowed_q: optional whitelist of grid sizes ``q`` the model divides
             evenly over (e.g. hidden/nheads divisibility); ``None`` allows
             any q.
+        min_steps_between_reshapes: hysteresis for *voluntary* reshapes
+            (grow-back, quarantine): after a reshape resumed from step S,
+            the controller stays quiet until snapshot boundary
+            ``S + min_steps_between_reshapes`` — so repair/crash
+            oscillation never thrashes the grid.  Crash-forced shrinks
+            ignore it (there is no choice).
+        quarantine_factor: evict a rank's node when its accumulated
+            local-kernel seconds exceed this multiple of the fleet
+            minimum (checked at snapshot boundaries, real mode only).
+            ``None`` disables straggler quarantine.
     """
 
     spares: int = 0
     min_world: int = 1
     allowed_q: tuple[int, ...] | None = None
+    min_steps_between_reshapes: int = 0
+    quarantine_factor: float | None = None
 
     def __post_init__(self) -> None:
         if self.spares < 0:
@@ -143,6 +186,15 @@ class ElasticPolicy:
         if self.min_world < 1:
             raise SimulationError(
                 f"min_world must be >= 1, got {self.min_world}"
+            )
+        if self.min_steps_between_reshapes < 0:
+            raise SimulationError(
+                f"min_steps_between_reshapes must be >= 0, got "
+                f"{self.min_steps_between_reshapes}"
+            )
+        if self.quarantine_factor is not None and self.quarantine_factor <= 1.0:
+            raise SimulationError(
+                f"quarantine_factor must be > 1, got {self.quarantine_factor}"
             )
 
     def choose_shape(self, available: int) -> TesseractShape:
@@ -171,6 +223,105 @@ class ElasticPolicy:
                 f"with allowed_q={self.allowed_q}"
             )
         return best[1]
+
+
+class ElasticInterrupt(Exception):
+    """A voluntary, snapshot-clean stop of one training attempt.
+
+    Raised by :class:`ElasticController` on **every** rank at the same
+    snapshot boundary (the decision follows a world barrier, so each
+    rank's clock reads the same instant and each makes the identical
+    local choice).  Because the snapshot deposits at that boundary all
+    precede the barrier, the step is complete on every rank: the
+    orchestrator in :func:`train_resilient` resumes from exactly
+    ``step`` with zero lost work.
+    """
+
+    def __init__(self, step: int, now: float, reason: str):
+        super().__init__(f"elastic {reason} at step {step} (t={now:g})")
+        self.step = step
+        self.now = now
+        self.reason = reason
+
+
+class GrowInterrupt(ElasticInterrupt):
+    """Repaired/new capacity admits a larger ``[q, q, d]`` shape."""
+
+    def __init__(self, step: int, now: float):
+        super().__init__(step, now, "grow")
+
+
+class QuarantineInterrupt(ElasticInterrupt):
+    """Persistent stragglers detected; their nodes leave the grid."""
+
+    def __init__(self, step: int, now: float, slow_ranks):
+        super().__init__(step, now, "quarantine")
+        self.slow_ranks = tuple(slow_ranks)
+
+
+class ElasticController:
+    """Snapshot-boundary consensus for voluntary grid reshapes.
+
+    ``train_classifier`` calls :meth:`check` immediately after each
+    snapshot deposit.  The check opens with a world ``barrier`` (zero
+    bytes, zero priced traffic — per-rank comm volumes are untouched),
+    which synchronizes every member's virtual clock to the same instant
+    and guarantees all deposits for the step have landed.  After the
+    barrier each rank evaluates the same pure predicates:
+
+    * **grow**: the cumulative virtual time (``base_time`` — the summed
+      makespans of earlier attempts — plus this attempt's clock) has
+      passed ``wake_at``, the first availability event that admits a
+      strictly larger ``p = d*q**2`` shape;
+    * **quarantine**: an all-gather of per-rank ``compute_seconds``
+      (local-kernel time, immune to the clock-dragging of collectives)
+      shows some rank above ``quarantine_factor`` times the minimum.
+
+    Both respect the hysteresis floor ``min_step``.  Since the inputs are
+    identical on every rank, every rank raises the same interrupt at the
+    same step — deterministically, on all four scheduler backends.
+    """
+
+    def __init__(self, *, base_time: float = 0.0, wake_at: float | None = None,
+                 min_step: int = 0, quarantine_factor: float | None = None):
+        self.base_time = base_time
+        self.wake_at = wake_at
+        self.min_step = min_step
+        self.quarantine_factor = quarantine_factor
+
+    def check(self, ctx, step: int) -> None:
+        """Raise an :class:`ElasticInterrupt` when a reshape is due."""
+        want_grow = self.wake_at is not None
+        want_quarantine = (
+            self.quarantine_factor is not None and not ctx.symbolic
+        )
+        if not want_grow and not want_quarantine:
+            return
+        comm = None
+        if ctx.nranks > 1:
+            from repro.comm.communicator import Communicator
+
+            comm = Communicator(ctx, range(ctx.nranks))
+            comm.barrier("elastic_ctl")  # clocks now identical on all ranks
+        if want_grow and step >= self.min_step \
+                and self.base_time + ctx.now >= self.wake_at:
+            raise GrowInterrupt(step, ctx.now)
+        if want_quarantine and comm is not None and step >= self.min_step:
+            from repro.varray.varray import VArray
+
+            arr = VArray.from_numpy(
+                np.asarray([ctx.compute_seconds], dtype=np.float64)
+            )
+            gathered = comm.all_gather(arr, tag="elastic_health")
+            busy = [float(g.numpy()[0]) for g in gathered]
+            floor = min(busy)
+            if floor > 0.0:
+                slow = tuple(
+                    r for r, b in enumerate(busy)
+                    if b > self.quarantine_factor * floor
+                )
+                if slow:
+                    raise QuarantineInterrupt(step, ctx.now, slow)
 
 
 class SnapshotStore:
@@ -472,6 +623,9 @@ class ResilientRun:
     # virtual makespan of every attempt, failed ones included
     reshapes: list[ReshapeRecord] = field(default_factory=list)
     final_world: int = 0      # world size of the successful attempt
+    #: how each attempt ended, aligned with attempt_times: "crash"
+    #: (rank failure), "grow"/"quarantine" (voluntary interrupt), "ok"
+    attempt_kinds: list[str] = field(default_factory=list)
 
     @property
     def history(self):
@@ -481,6 +635,29 @@ class ResilientRun:
     @property
     def total_virtual_time(self) -> float:
         return sum(self.attempt_times)
+
+    @property
+    def crashed_time(self) -> float:
+        """Virtual seconds burned in attempts that ended in a crash."""
+        return sum(
+            t for t, k in zip(self.attempt_times, self.attempt_kinds)
+            if k == "crash"
+        )
+
+    @property
+    def grows(self) -> int:
+        return sum(1 for r in self.reshapes if r.reason == "grow")
+
+    @property
+    def quarantines(self) -> int:
+        return sum(1 for r in self.reshapes if r.reason == "quarantine")
+
+    @property
+    def time_to_reclaim_s(self) -> float:
+        """Summed lag between capacity unlocking and the grid growing."""
+        return sum(
+            r.reclaim_delay_s for r in self.reshapes if r.reason == "grow"
+        )
 
 
 def train_resilient(
@@ -494,6 +671,7 @@ def train_resilient(
     schedule=None,
     eval_every: int = 1,
     elastic: ElasticPolicy | None = None,
+    availability: FaultPlan | None = None,
 ) -> ResilientRun:
     """Run ``train_classifier`` under fault injection with restart recovery.
 
@@ -502,10 +680,12 @@ def train_resilient(
             run (typically carrying the :class:`~repro.sim.faults.FaultPlan`);
             later attempts model the post-repair cluster and are usually
             built without the already-fired crash.  With ``elastic`` set,
-            the signature is ``(attempt, world) -> Engine``: ``world`` is
-            ``None`` for attempt 0 ("your default size") and the required
-            rank count afterwards — the factory must build an engine with
-            exactly that many ranks.
+            the signature is ``(launch, world) -> Engine``: ``launch``
+            counts every engine build (crash restarts *and* voluntary
+            reshape relaunches), ``world`` is ``None`` for launch 0
+            ("your default size") and the required rank count afterwards
+            — the factory must build an engine with exactly that many
+            ranks.
         setup: ``rank_ctx -> (model, optimizer, parallel_context_or_None)``,
             called inside each engine run to rebuild the (deterministically
             initialized) model before the snapshot restore overwrites it.
@@ -515,27 +695,147 @@ def train_resilient(
             a resize.
         elastic: treat fired crashes as permanent hardware loss and
             shrink the grid when the survivors no longer fit the current
-            shape (see :class:`ElasticPolicy`).
+            shape; with ``quarantine_factor`` set, also evict straggler
+            nodes voluntarily (see :class:`ElasticPolicy`).
+        availability: the upward direction of the fault plan —
+            :class:`~repro.sim.faults.NodeRepair` and
+            :class:`~repro.sim.faults.SpareArrival` events (cumulative
+            virtual time) that return capacity.  At each snapshot
+            boundary the installed :class:`ElasticController` grows the
+            grid back to the best larger ``[q, q, d]`` shape once an
+            event admits one.  Requires ``elastic``.  Node ids refer to
+            the launch-0 topology, so only crashes fired at the original
+            world size are repairable; losses at a reshaped world are
+            permanent.
     """
     from repro.train.trainer import train_classifier  # avoid import cycle
 
+    if availability is not None and elastic is None:
+        raise SimulationError(
+            "availability schedules (NodeRepair/SpareArrival) require an "
+            "ElasticPolicy — pass elastic= alongside availability="
+        )
+
     cfg = resilience if resilience is not None else ResilienceConfig()
     store = SnapshotStore()
-    attempt = 0
+    attempt = 0                       # crash restarts (budget + records)
+    launch = 0                        # engine builds, incl. voluntary ones
     attempt_times: list[float] = []
+    attempt_kinds: list[str] = []
     reshapes: list[ReshapeRecord] = []
-    world: int | None = None          # current world size (known after attempt 0)
+    world: int | None = None          # current world size (known after launch 0)
+    world0: int | None = None         # launch-0 world (availability node ids)
     cur_shape: TesseractShape | None = None  # None = caller's original shape
-    hardware_lost = 0
+    hardware_lost = 0                 # permanent losses (no repair scheduled)
+    lost_nodes: dict[int, int] = {}   # node -> rank count, repair pending
+    #: node -> (rank count, readmit cumulative time or None = never)
+    quarantined: dict[int, tuple[int, float | None]] = {}
+    last_reshape_step = 0
+    voluntary = 0
+    sched = availability
+
+    def _avail(t: float) -> int:
+        """Usable rank count at cumulative virtual time ``t``."""
+        base = world0 + elastic.spares - hardware_lost
+        if sched is not None:
+            base += sched.arrived_spares(t)
+            for node, cnt in lost_nodes.items():
+                if sched.repair_time(node) > t:
+                    base -= cnt
+        for cnt, readmit in quarantined.values():
+            if readmit is None or readmit > t:
+                base -= cnt
+        return base
+
+    def _event_times() -> list[float]:
+        """Every future-capacity event on the cumulative timeline."""
+        times: set[float] = set()
+        if sched is not None:
+            times.update(sa.at for sa in sched.spare_arrivals)
+            times.update(sched.repair_time(n) for n in lost_nodes)
+        times.update(r for _, r in quarantined.values() if r is not None)
+        return sorted(times)
+
+    def _unlock_time(target_p: int, tnow: float) -> float:
+        """Earliest event time whose capacity admits a shape of ``target_p``."""
+        for t in _event_times():
+            if t <= tnow and elastic.choose_shape(_avail(t)).p >= target_p:
+                return t
+        return tnow
+
+    def _reshape_to(new_shape: TesseractShape, exc_lost: tuple[int, ...],
+                    reason: str, delay: float) -> None:
+        """Re-shard the last complete snapshot and record the resize."""
+        nonlocal cur_shape, world, last_reshape_step
+        snap_step = store.latest_step(world)
+        seeded = 0
+        old_qd = (
+            (cur_shape.q, cur_shape.d) if cur_shape is not None else None
+        )
+        if snap_step is not None:
+            old = {r: store.load(snap_step, r) for r in range(world)}
+            if old_qd is None and "shape" in old[0]:
+                old_qd = tuple(old[0]["shape"])
+            if old[0].get("model") is not None:
+                store.reset_for_world(
+                    snap_step,
+                    redistribute_payloads(old, new_shape.q, new_shape.d),
+                )
+                seeded = snap_step
+            else:
+                store.reset_for_world(0, {})
+        else:
+            store.reset_for_world(0, {})
+        reshapes.append(
+            ReshapeRecord(
+                attempt=attempt,
+                lost_ranks=exc_lost,
+                old_world=world,
+                new_world=new_shape.p,
+                old_shape=old_qd,
+                new_shape=(new_shape.q, new_shape.d),
+                resume_step=seeded,
+                reason=reason,
+                reclaim_delay_s=delay,
+            )
+        )
+        last_reshape_step = seeded
+        cur_shape = new_shape
+        world = new_shape.p
 
     while True:
         if elastic is None:
             engine = engine_factory(attempt)
         else:
-            engine = engine_factory(attempt, world)
+            engine = engine_factory(launch, world)
         world = engine.nranks
+        if world0 is None:
+            world0 = world
 
-        def program(rank_ctx):
+        controller = None
+        if elastic is not None:
+            base_time = sum(attempt_times)
+            wake_at = None
+            if sched is not None:
+                # Arm on the first availability event admitting a larger
+                # p = d*q**2 (capacity is monotone between crashes, so
+                # the first improving event is the earliest one).
+                for t in _event_times():
+                    if elastic.choose_shape(_avail(t)).p > world:
+                        wake_at = t
+                        break
+            min_step = (
+                last_reshape_step + elastic.min_steps_between_reshapes
+            )
+            if wake_at is not None or elastic.quarantine_factor is not None:
+                controller = ElasticController(
+                    base_time=base_time,
+                    wake_at=wake_at,
+                    min_step=min_step,
+                    quarantine_factor=elastic.quarantine_factor,
+                )
+
+        def program(rank_ctx, controller=controller):
             if elastic is None:
                 model, optimizer, pc = setup(rank_ctx)
             else:
@@ -551,13 +851,65 @@ def train_resilient(
                 eval_every=eval_every,
                 resilience=cfg,
                 snapshot_store=store,
+                controller=controller,
             )
 
         try:
             histories = engine.run(program)
+        except ElasticInterrupt as exc:
+            # Voluntary stop: every rank raised at the same snapshot
+            # boundary, so the step is complete — no recovery record, no
+            # lost work, just a new generation and a reshaped relaunch.
+            attempt_times.append(engine.max_time())
+            attempt_kinds.append(exc.reason)
+            launch += 1
+            voluntary += 1
+            if voluntary > 64:
+                raise SimulationError(
+                    "elastic reshape thrash: more than 64 voluntary "
+                    "reshapes — check the availability schedule and "
+                    "min_steps_between_reshapes"
+                )
+            store.pending_recovery = None
+            store.begin_generation()
+            tnow = sum(attempt_times)
+            if isinstance(exc, QuarantineInterrupt):
+                topo = engine.topology
+                for r in exc.slow_ranks:
+                    node = topo.node_of(r)
+                    if node in quarantined:
+                        continue
+                    members = topo.node_ranks(node)
+                    readmit: float | None = None
+                    if sched is not None:
+                        untils = [
+                            s.until for s in sched.slowdowns
+                            if s.rank in members
+                        ]
+                        if untils and all(u is not None for u in untils):
+                            readmit = max(untils)
+                    quarantined[node] = (len(members), readmit)
+            available = _avail(tnow)
+            if available < elastic.min_world:
+                raise SimulationError(
+                    f"straggler quarantine would drop the world to "
+                    f"{available} rank(s), below min_world="
+                    f"{elastic.min_world}"
+                )
+            new_shape = elastic.choose_shape(available)
+            if new_shape.p != world:
+                if isinstance(exc, QuarantineInterrupt):
+                    reason, lost, delay = "quarantine", exc.slow_ranks, 0.0
+                else:
+                    reason, lost = "grow", ()
+                    delay = max(0.0, tnow - _unlock_time(new_shape.p, tnow))
+                _reshape_to(new_shape, tuple(lost), reason, delay)
+            continue
         except RankFailureError as exc:
             attempt_times.append(engine.max_time())
+            attempt_kinds.append("crash")
             attempt += 1
+            launch += 1
             if attempt > cfg.max_restarts:
                 raise
             store.pending_recovery = {
@@ -572,51 +924,35 @@ def train_resilient(
             store.begin_generation()
             if elastic is not None:
                 lost = sorted(engine.lost_ranks())
-                hardware_lost += len(lost)
-                available = world + elastic.spares - hardware_lost
+                repaired_out = 0
+                if sched is not None and world == world0:
+                    # Availability node ids refer to the launch-0
+                    # topology; a fired node with a scheduled repair is
+                    # only down until its NodeRepair time.
+                    for node in sorted(getattr(engine, "_fired_nodes", ())):
+                        if (sched.repair_time(node) is not None
+                                and node not in lost_nodes):
+                            cnt = len(engine.topology.node_ranks(node))
+                            lost_nodes[node] = cnt
+                            repaired_out += cnt
+                hardware_lost += len(lost) - repaired_out
+                tnow = sum(attempt_times)
+                available = _avail(tnow)
                 if available < elastic.min_world:
                     raise
                 new_shape = elastic.choose_shape(available)
                 if new_shape.p != world:
-                    snap_step = store.latest_step(world)
-                    seeded = 0
-                    old_qd = (
-                        (cur_shape.q, cur_shape.d)
-                        if cur_shape is not None else None
-                    )
-                    if snap_step is not None:
-                        old = {
-                            r: store.load(snap_step, r) for r in range(world)
-                        }
-                        if old_qd is None and "shape" in old[0]:
-                            old_qd = tuple(old[0]["shape"])
-                        if old[0].get("model") is not None:
-                            store.reset_for_world(
-                                snap_step,
-                                redistribute_payloads(
-                                    old, new_shape.q, new_shape.d
-                                ),
-                            )
-                            seeded = snap_step
-                        else:
-                            store.reset_for_world(0, {})
-                    else:
-                        store.reset_for_world(0, {})
-                    reshapes.append(
-                        ReshapeRecord(
-                            attempt=attempt,
-                            lost_ranks=tuple(lost),
-                            old_world=world,
-                            new_world=new_shape.p,
-                            old_shape=old_qd,
-                            new_shape=(new_shape.q, new_shape.d),
-                            resume_step=seeded,
+                    if new_shape.p > world:
+                        reason = "grow"
+                        delay = max(
+                            0.0, tnow - _unlock_time(new_shape.p, tnow)
                         )
-                    )
-                    cur_shape = new_shape
-                    world = new_shape.p
+                    else:
+                        reason, delay = "shrink", 0.0
+                    _reshape_to(new_shape, tuple(lost), reason, delay)
             continue
         attempt_times.append(engine.max_time())
+        attempt_kinds.append("ok")
         store.pending_recovery = None
         return ResilientRun(
             histories=histories,
@@ -626,4 +962,5 @@ def train_resilient(
             attempt_times=attempt_times,
             reshapes=reshapes,
             final_world=world,
+            attempt_kinds=attempt_kinds,
         )

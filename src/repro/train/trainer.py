@@ -171,6 +171,7 @@ def train_classifier(
     eval_every: int = 1,
     resilience=None,
     snapshot_store=None,
+    controller=None,
 ) -> TrainHistory:
     """Train an image classifier; returns the metric history.
 
@@ -184,6 +185,11 @@ def train_classifier(
     already-trained batches so the data order stays identical.  Use
     :func:`~repro.train.resilience.train_resilient` to drive the
     crash/restart cycle around this.
+
+    ``controller`` (an :class:`~repro.train.resilience.ElasticController`,
+    installed by ``train_resilient``) is consulted right after each
+    snapshot deposit; it may raise an ``ElasticInterrupt`` on every rank
+    at once to stop the attempt snapshot-clean for a grid reshape.
     """
     ctx = model.ctx
     resumable = resilience is not None and snapshot_store is not None
@@ -234,6 +240,11 @@ def train_classifier(
             if resumable and step % resilience.snapshot_every == 0:
                 _save_snapshot(model, optimizer, snapshot_store, step, epoch,
                                history, epoch_correct, epoch_seen, pc=pc)
+                if controller is not None:
+                    # The check's barrier implies every rank deposited
+                    # this step before any rank can raise, so a reshape
+                    # interrupt always restores from exactly this step.
+                    controller.check(ctx, step)
         if len(history.train_acc) <= epoch:
             history.train_acc.append(
                 epoch_correct / epoch_seen if epoch_seen else 0.0

@@ -691,3 +691,149 @@ def test_fuzz_crash_during_recovery_interleavings(seed):
             assert second_attempt[5][r] == pytest.approx(expected[r]), (
                 f"seed {seed}: restart volumes drifted on rank {r}"
             )
+
+
+# --------------------------------------------------------------------------
+# Elastic scale-up fuzz: repair-after-crash and crash-after-grow launch
+# sequences must replay bit-identically with exact volume accounting
+# --------------------------------------------------------------------------
+
+N_ELASTIC_SEEDS = 8
+
+
+def _launch(schedule, nranks, plan, backend):
+    """One engine launch of ``schedule``; returns its full trace tuple."""
+    program = _run_schedule(schedule)
+    engine = Engine(nranks=nranks, op_timeout=60.0, fault_plan=plan,
+                    backend=backend)
+    try:
+        results = engine.run(program)
+        outcome = ("ok", None)
+        digest = [r[0] for r in results]
+    except ReproError as exc:
+        outcome = (type(exc).__name__, _mask_rank(str(exc)))
+        digest = None
+    return (outcome, digest, _rank_events(engine, nranks),
+            sorted(engine._dead), sorted(engine.lost_ranks()),
+            [engine.trace.comm_volume(rank=r) for r in range(nranks)])
+
+
+@pytest.mark.parametrize("seed", range(N_ELASTIC_SEEDS))
+def test_fuzz_repair_after_crash_interleavings(seed):
+    """The grow-back launch sequence: crash, shrink, repair, grow.
+
+    Launch 0 runs the full-size schedule under a node-crash plan that
+    also carries the matching ``NodeRepair`` (availability metadata —
+    the engine prices faults, the trainer reads repairs; carrying both
+    in one plan must not perturb either).  Launch 1 models the shrunken
+    interim world, launch 2 the repaired full-size world, both
+    fault-free.  The concatenated three-launch trace must be identical
+    across reruns and backends, and the post-repair launch must account
+    exactly the fault-free per-rank volumes: nothing from the crashed
+    launch may leak across the grow boundary.
+    """
+    from repro.sim.faults import NodeRepair, SpareArrival
+
+    rng = np.random.default_rng(61000 + seed)
+    nranks = int(rng.integers(5, 9))
+    schedule = _make_schedule(rng, nranks)
+    nsmall = max(2, nranks // 2)
+    small_schedule = _make_schedule(rng, nsmall)
+    crash_at = float(rng.uniform(0.0, 0.01))
+    crashed_node = int(rng.integers(0, 2))
+    plan = FaultPlan(
+        seed=seed,
+        node_crashes=(NodeCrash(node=crashed_node, at=crash_at),),
+        # The repair references the node the plan actually crashes.
+        node_repairs=(NodeRepair(
+            node=crashed_node,
+            at=crash_at + float(rng.uniform(0.01, 0.5))),),
+        spare_arrivals=(SpareArrival(count=int(rng.integers(1, 5)),
+                                     at=float(rng.uniform(0.1, 1.0))),),
+    )
+
+    def run_sequence(backend="threaded"):
+        return (
+            _launch(schedule, nranks, plan, backend),       # crash
+            _launch(small_schedule, nsmall, None, backend),  # shrunken
+            _launch(schedule, nranks, None, backend),        # grown back
+        )
+
+    first = run_sequence()
+    assert first == run_sequence(), (
+        f"seed {seed}: repair-after-crash trace diverged across reruns"
+    )
+    for alt in ALT_BACKENDS:
+        assert run_sequence(alt) == first, (
+            f"seed {seed}: {alt} repair-after-crash trace diverged"
+        )
+
+    shrunk, grown = first[1], first[2]
+    for label, launch, sched, n in (("shrunken", shrunk, small_schedule,
+                                     nsmall),
+                                    ("grown", grown, schedule, nranks)):
+        assert launch[0][0] == "ok", f"seed {seed}: {label} launch failed"
+        assert launch[3] == [] and launch[4] == []
+        expected = _expected_volume(sched, n)
+        for r in range(n):
+            assert launch[5][r] == pytest.approx(expected[r]), (
+                f"seed {seed}: {label} launch rank {r} volume drifted"
+            )
+
+
+@pytest.mark.parametrize("seed", range(N_ELASTIC_SEEDS))
+def test_fuzz_crash_immediately_after_grow(seed):
+    """A crash in the first instants of the grown world stays clean.
+
+    Launch 0 (the shrunken world) completes fault-free; launch 1 (the
+    grown world) runs under a plan whose crash fires almost immediately
+    — the crash-right-after-grow hazard.  The two-launch trace must be
+    identical across reruns and backends, the shrunken launch's volumes
+    exact, and when the grown launch's crash lands past the schedule's
+    end (completing instead), its volumes exact too.
+    """
+    rng = np.random.default_rng(67000 + seed)
+    nranks = int(rng.integers(5, 9))
+    nsmall = max(2, nranks // 2)
+    small_schedule = _make_schedule(rng, nsmall)
+    schedule = _make_schedule(rng, nranks)
+    if rng.random() < 0.5:
+        fault = {"node_crashes": (NodeCrash(
+            node=int(rng.integers(0, 2)),
+            at=float(rng.uniform(0.0, 0.005))),)}
+    else:
+        fault = {"crashes": (RankCrash(
+            rank=int(rng.integers(0, nranks)),
+            at=float(rng.uniform(0.0, 0.005))),)}
+    plan = FaultPlan(seed=seed, **fault)
+
+    def run_sequence(backend="threaded"):
+        return (
+            _launch(small_schedule, nsmall, None, backend),  # pre-grow
+            _launch(schedule, nranks, plan, backend),        # grown, crashes
+        )
+
+    first = run_sequence()
+    assert first == run_sequence(), (
+        f"seed {seed}: crash-after-grow trace diverged across reruns"
+    )
+    for alt in ALT_BACKENDS:
+        assert run_sequence(alt) == first, (
+            f"seed {seed}: {alt} crash-after-grow trace diverged"
+        )
+
+    pre = first[0]
+    assert pre[0][0] == "ok", f"seed {seed}: pre-grow launch failed"
+    expected = _expected_volume(small_schedule, nsmall)
+    for r in range(nsmall):
+        assert pre[5][r] == pytest.approx(expected[r]), (
+            f"seed {seed}: pre-grow rank {r} volume drifted"
+        )
+    grown = first[1]
+    if grown[0][0] == "ok":
+        assert grown[3] == [] and grown[4] == []
+        expected = _expected_volume(schedule, nranks)
+        for r in range(nranks):
+            assert grown[5][r] == pytest.approx(expected[r]), (
+                f"seed {seed}: grown rank {r} volume drifted"
+            )

@@ -30,8 +30,10 @@ from repro.sim.faults import (
     FaultPlan,
     LinkFault,
     NodeCrash,
+    NodeRepair,
     RankCrash,
     RetryPolicy,
+    SpareArrival,
 )
 from repro.sim.schedulers import available_backends
 from repro.varray.varray import VArray
@@ -128,6 +130,93 @@ class TestFaultPlanValidation:
         plan = FaultPlan(node_crashes=(NodeCrash(node=1, at=0.1),))
         with pytest.raises(SimulationError, match="topology"):
             Engine(nranks=4, fault_plan=plan)
+
+
+class TestAvailabilitySchedule:
+    """NodeRepair / SpareArrival validation and the describe() timeline."""
+
+    def test_rejects_negative_repair_fields(self):
+        with pytest.raises(SimulationError):
+            NodeRepair(node=-1, at=0.5)
+        with pytest.raises(SimulationError):
+            NodeRepair(node=0, at=-0.5)
+
+    def test_rejects_bad_spare_arrival(self):
+        with pytest.raises(SimulationError):
+            SpareArrival(count=0, at=0.5)
+        with pytest.raises(SimulationError):
+            SpareArrival(count=2, at=-0.1)
+
+    def test_rejects_repair_for_never_crashed_node(self):
+        with pytest.raises(SimulationError, match="no scheduled NodeCrash"):
+            FaultPlan(node_repairs=(NodeRepair(node=3, at=0.5),))
+
+    def test_rejects_repair_before_its_crash(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(node_crashes=(NodeCrash(node=1, at=0.4),),
+                      node_repairs=(NodeRepair(node=1, at=0.3),))
+
+    def test_rejects_duplicate_repairs(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(node_crashes=(NodeCrash(node=1, at=0.1),),
+                      node_repairs=(NodeRepair(node=1, at=0.2),
+                                    NodeRepair(node=1, at=0.3),))
+
+    def test_repair_time_and_arrived_spares(self):
+        plan = FaultPlan(
+            node_crashes=(NodeCrash(node=1, at=0.1),),
+            node_repairs=(NodeRepair(node=1, at=0.4),),
+            spare_arrivals=(SpareArrival(count=2, at=0.2),
+                            SpareArrival(count=3, at=0.6)),
+        )
+        assert plan.repair_time(1) == pytest.approx(0.4)
+        assert plan.repair_time(0) is None
+        assert plan.arrived_spares(0.1) == 0
+        assert plan.arrived_spares(0.2) == 2
+        assert plan.arrived_spares(1.0) == 5
+
+    def test_rejects_nonpositive_slowdown_window(self):
+        with pytest.raises(SimulationError):
+            ComputeSlowdown(rank=0, factor=2.0, until=0.0)
+
+    def test_windowed_slowdown_expires(self):
+        plan = FaultPlan(slowdowns=(
+            ComputeSlowdown(rank=0, factor=4.0, until=0.5),
+        ))
+        assert plan.has_windowed_slowdown(0)
+        assert not plan.has_windowed_slowdown(1)
+        assert plan.compute_factor(0, now=0.2) == pytest.approx(4.0)
+        assert plan.compute_factor(0, now=0.5) == pytest.approx(1.0)
+
+    def test_describe_timeline_is_in_event_order(self):
+        plan = FaultPlan(
+            crashes=(RankCrash(rank=0, at=0.35),),
+            node_crashes=(NodeCrash(node=2, at=0.1),),
+            node_repairs=(NodeRepair(node=2, at=0.5),),
+            spare_arrivals=(SpareArrival(count=4, at=0.2),),
+            slowdowns=(ComputeSlowdown(rank=3, factor=2.0, until=0.8),),
+        )
+        desc = plan.describe()
+        # Timed events render in event order on the shared timeline.
+        order = [desc.index(s) for s in (
+            "node_crash(node=2", "spares(+4", "crash(rank=0",
+            "repair(node=2",
+        )]
+        assert order == sorted(order)
+        assert "until t=0.8" in desc
+
+    def test_describe_ties_put_repair_after_crash(self):
+        plan = FaultPlan(
+            node_crashes=(NodeCrash(node=0, at=0.2),
+                          NodeCrash(node=1, at=0.1),),
+            node_repairs=(NodeRepair(node=1, at=0.2),),
+            spare_arrivals=(SpareArrival(count=1, at=0.2),),
+        )
+        desc = plan.describe()
+        crash = desc.index("node_crash(node=0")
+        repair = desc.index("repair(node=1")
+        spares = desc.index("spares(+1")
+        assert crash < repair < spares
 
 
 class TestCrashPropagation:
