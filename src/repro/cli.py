@@ -9,6 +9,7 @@ Commands
 ``transfers``  print the §1/§3.1 communication-count comparison
 ``chaos``    train under injected faults and report recovery metrics
 ``serve``    simulate inference serving; report TTFT/TPOT/goodput SLOs
+``plan``     auto-parallel planner: rank (dp, pp, scheme, d, M) configs
 """
 
 from __future__ import annotations
@@ -89,6 +90,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--hidden", type=int, default=32)
     p_srv.add_argument("--json", metavar="PATH", default=None,
                        help="also save the reports as JSON")
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="rank every (dp, pp, scheme, d, M) config for a model size",
+    )
+    p_plan.add_argument("--model", default="350M",
+                        help="preset name (see repro info) or 'all'")
+    p_plan.add_argument("--world", type=int, default=32,
+                        help="total number of GPUs")
+    p_plan.add_argument("--global-batch", type=int, default=256)
+    p_plan.add_argument("--seq-len", type=int, default=None,
+                        help="override the preset's sequence length")
+    p_plan.add_argument("--schedule", choices=["gpipe", "1f1b"],
+                        default="1f1b")
+    p_plan.add_argument("--zero", action="store_true",
+                        help="shard optimizer state over dp (ZeRO-1)")
+    p_plan.add_argument("--checkpoint", action="store_true",
+                        help="activation checkpointing (recompute backward)")
+    p_plan.add_argument("--budget-fraction", type=float, default=0.9,
+                        help="usable fraction of GPU memory")
+    p_plan.add_argument("--max-microbatches", type=int, default=32)
+    p_plan.add_argument("--top", type=int, default=8,
+                        help="table rows / JSON entries to keep")
+    p_plan.add_argument("--validate", type=int, default=0, metavar="K",
+                        help="simulate a diverse top-K and report the "
+                             "Spearman rank agreement")
+    p_plan.add_argument("--json", metavar="PATH", default=None,
+                        help="also save the search results as JSON")
     return parser
 
 
@@ -301,6 +330,65 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    from repro.errors import ReproError
+    from repro.plan import MODEL_PRESETS, Planner, render_plan, validate_topk
+
+    if args.model == "all":
+        models = [m for m in MODEL_PRESETS.values() if m.name != "tiny"]
+    elif args.model in MODEL_PRESETS:
+        models = [MODEL_PRESETS[args.model]]
+    else:
+        known = ", ".join(MODEL_PRESETS)
+        print(f"unknown model {args.model!r}; presets: {known}, all",
+              file=sys.stderr)
+        return 2
+
+    planner = Planner(world=args.world)
+    payloads = {}
+    status = 0
+    for model in models:
+        try:
+            result = planner.search(
+                model, global_batch=args.global_batch, seq_len=args.seq_len,
+                schedule=args.schedule, budget_fraction=args.budget_fraction,
+                zero=args.zero, checkpoint=args.checkpoint,
+                max_microbatches=args.max_microbatches,
+            )
+        except ReproError as exc:
+            print(f"{model.name}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(render_plan(result, top=args.top))
+        rec = result.recommendation
+        if rec is None:
+            print(f"{model.name}: no feasible config fits the "
+                  f"{result.budget_bytes / 1e9:.1f} GB budget")
+            status = 1
+            continue
+        print(f"recommendation: {rec.config.label}  "
+              f"(predicted step {rec.predicted_step_s * 1e3:.3f} ms)")
+        payloads[model.name] = result.to_payload(top=args.top)
+        if args.validate > 0:
+            report = validate_topk(result, k=args.validate)
+            for row in report.rows:
+                print(f"  validate {row.planned.config.label:36s} "
+                      f"pred {row.predicted_step_s * 1e3:9.3f} ms  "
+                      f"sim {row.simulated_step_s * 1e3:9.3f} ms  "
+                      f"err {row.rel_error:+.1%}")
+            print(f"  spearman(pred, sim) = {report.spearman:.3f}  "
+                  f"mean |rel err| = {report.mean_abs_rel_error:.1%}")
+            payloads[model.name]["validation"] = report.to_payload()
+        print()
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(payloads, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -318,6 +406,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_chaos(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -165,6 +165,20 @@ class ClusterSpec:
         """A copy of this cluster with a different node count."""
         return replace(self, num_nodes=num_nodes)
 
+    def topology(self, nranks: int | None = None, placement=None):
+        """A :class:`~repro.hardware.topology.Topology` over this cluster.
+
+        Convenience for the planner and other what-if consumers; imports
+        lazily because :mod:`repro.hardware.topology` imports this module.
+        ``placement`` defaults to BLOCK, the paper's arrangement rule.
+        """
+        from repro.hardware.topology import Placement, Topology
+
+        return Topology(
+            self, nranks=nranks,
+            placement=Placement.BLOCK if placement is None else placement,
+        )
+
 
 # --- Presets -----------------------------------------------------------------
 

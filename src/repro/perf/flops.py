@@ -1,0 +1,55 @@
+"""Closed-form flop counts for the transformer layer the repo benchmarks.
+
+These feed the auto-parallel planner's analytic cost model
+(:mod:`repro.plan.cost`): the roofline in
+:meth:`repro.hardware.spec.GPUSpec.compute_time` converts them to
+seconds.  Counts are *global* (whole layer over the whole batch); the
+planner divides by the parallelization before pricing so the same closed
+form serves every scheme.
+
+The multiply-accumulate convention is the usual 2 flops per MAC.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "matmul_flops",
+    "attention_core_flops",
+    "transformer_layer_matmul_flops",
+    "transformer_layer_flops",
+]
+
+
+def matmul_flops(m: float, k: float, n: float) -> float:
+    """Flops of one ``[m, k] @ [k, n]`` matmul: ``2 m k n``."""
+    return 2.0 * m * k * n
+
+
+def attention_core_flops(b: int, s: int, h: int) -> float:
+    """Flops of the attention core: scores ``Q K^T`` plus ``P V``.
+
+    Both are batched ``[s, h/nh] x [h/nh, s]``-shaped products over
+    ``b * nh`` heads, so the head count cancels: ``2 * 2 b s^2 h``.
+    """
+    return 4.0 * b * s * s * h
+
+
+def transformer_layer_matmul_flops(b: int, s: int, h: int,
+                                   mlp_ratio: int = 4) -> float:
+    """Forward matmul flops of one layer, excluding the attention core.
+
+    QKV ``h -> 3h``, projection ``h -> h``, MLP ``h -> rh -> h``:
+    ``2 b s h^2 (4 + 2r)``.
+    """
+    return 2.0 * b * s * h * h * (3 + 1 + 2 * mlp_ratio)
+
+
+def transformer_layer_flops(b: int, s: int, h: int,
+                            mlp_ratio: int = 4) -> float:
+    """Total forward flops of one transformer layer (matmuls + attention).
+
+    The backward pass costs twice this (each matmul contributes the dX
+    and dW products).
+    """
+    return (transformer_layer_matmul_flops(b, s, h, mlp_ratio)
+            + attention_core_flops(b, s, h))

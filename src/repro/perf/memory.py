@@ -18,6 +18,7 @@ __all__ = [
     "transformer_layer_params",
     "per_gpu_layer_params",
     "per_gpu_activation",
+    "per_gpu_layer_saved_activation",
     "elements_to_bytes",
 ]
 
@@ -111,6 +112,41 @@ def per_gpu_activation(b: int, s: int, h: int, mode: str, p: int = 1,
         return full / (q * q)
     if mode == "tesseract":
         return full / (d * q * q)
+    raise GridError(f"unknown mode {mode!r}")
+
+
+def per_gpu_layer_saved_activation(b: int, s: int, h: int, mode: str,
+                                   p: int = 1, q: int = 1, d: int = 1,
+                                   mlp_ratio: int = 4) -> float:
+    """Per-GPU elements *saved for backward* by one transformer layer.
+
+    This is the quantity that actually sits on the device between the
+    forward and backward passes — what the pipeline schedules multiply by
+    the number of live microbatch sets — as charged to the memory
+    tracker's ``activations`` category by the layer implementations
+    (cross-checked against ``ctx.mem.peak("activations")`` in
+    ``tests/plan/test_memory.py``).  With ``N = b*s*h`` and ``r`` the MLP
+    ratio:
+
+    * serial saves ``(5+2r) N + 2 b s`` (QKV inputs, attention output,
+      both MLP intermediates, residuals, plus LayerNorm statistics);
+    * megatron saves ``4 N + 2 b s`` *replicated* (the LN inputs and
+      residual streams live on every rank — the Eq. 9 story) plus
+      ``(1+2r) N / p`` sharded;
+    * optimus/tesseract shard everything: ``((5+2r) N + 4 b s) / (d q^2)``
+      (the LN statistics are per row-group, hence the ``4 b s``).
+
+    The attention score matrices contribute no ``b·nh·s^2`` term: the
+    attention core recomputes the softmax in backward instead of saving
+    the probabilities.
+    """
+    full = float(b) * s * h
+    if mode == "serial":
+        return (5 + 2 * mlp_ratio) * full + 2.0 * b * s
+    if mode == "megatron":
+        return 4 * full + 2.0 * b * s + (1 + 2 * mlp_ratio) * full / p
+    if mode in ("optimus", "tesseract"):
+        return ((5 + 2 * mlp_ratio) * full + 4.0 * b * s) / (d * q * q)
     raise GridError(f"unknown mode {mode!r}")
 
 

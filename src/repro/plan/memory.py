@@ -1,0 +1,131 @@
+"""Per-GPU memory model: prunes infeasible candidates before pricing.
+
+Four categories, mirroring the simulator's memory tracker:
+
+* **params** — per-GPU parameter elements from the paper's sharding
+  algebra (:func:`repro.perf.memory.per_gpu_layer_params`);
+* **grads** — one gradient per parameter (accumulated across
+  microbatches, so independent of M);
+* **optimizer** — Adam's two moments; divided by the data-parallel
+  degree under ZeRO stage 1 (cited [16]);
+* **activations** — saved-for-backward tensors per layer
+  (:func:`repro.perf.memory.per_gpu_layer_saved_activation`, calibrated
+  against ``ctx.mem.peak("activations")``), multiplied by the live
+  microbatch sets of the pipeline schedule: all ``M`` sets under GPipe,
+  ``min(M, pp)`` on the deepest stage under 1F1B — the schedule's whole
+  point.  Activation checkpointing (cited [4]) keeps only each layer's
+  boundary input plus one in-flight layer's set, paying recompute in the
+  cost model instead.
+
+The estimates are cross-checked against measured simulator peaks in
+``tests/plan/test_memory.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GridError
+from repro.perf.memory import (
+    per_gpu_activation,
+    per_gpu_layer_params,
+    per_gpu_layer_saved_activation,
+)
+from repro.plan.cost import DTYPE_BYTES
+from repro.plan.space import CandidateConfig, ModelSpec
+
+__all__ = ["MemoryEstimate", "estimate_memory", "live_microbatch_sets"]
+
+#: Adam keeps two moment tensors per parameter.
+OPTIMIZER_STATES = 2
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Predicted peak per-GPU footprint of one candidate (bytes)."""
+
+    params_bytes: float
+    grads_bytes: float
+    optimizer_bytes: float
+    activation_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """Budget-pruning total: the sum of all four categories.
+
+        A *conservative* peak — the activation peak (end of forward) and
+        the gradient peak (end of backward) do not fully co-occur, so the
+        simulator's ``peak_total`` can come in below this sum.  Pruning
+        against the sum never admits a config that would not fit.
+        """
+        return (self.params_bytes + self.grads_bytes
+                + self.optimizer_bytes + self.activation_bytes)
+
+    def fits(self, budget_bytes: float) -> bool:
+        return self.total_bytes <= budget_bytes
+
+
+def live_microbatch_sets(cfg: CandidateConfig, schedule: str) -> int:
+    """Concurrent saved-activation sets on the worst (first) stage.
+
+    GPipe runs every forward before any backward, so all ``M`` sets are
+    live at the peak.  Synchronous 1F1B caps stage ``s`` at
+    ``min(M, S-1-s) + 1`` sets; stage 0 is the worst with ``min(M, pp)``.
+    """
+    if schedule == "gpipe" or cfg.pp == 1:
+        return cfg.microbatches
+    if schedule == "1f1b":
+        return min(cfg.microbatches, cfg.pp)
+    raise GridError(f"unknown pipeline schedule {schedule!r}")
+
+
+def estimate_memory(
+    model: ModelSpec,
+    cfg: CandidateConfig,
+    global_batch: int,
+    seq_len: int | None = None,
+    schedule: str = "1f1b",
+    zero: bool = False,
+    checkpoint: bool = False,
+) -> MemoryEstimate:
+    """Peak per-GPU bytes for one candidate config."""
+    seq = model.seq_len if seq_len is None else seq_len
+    if global_batch % (cfg.dp * cfg.microbatches):
+        raise GridError(
+            f"batch {global_batch} does not divide into dp={cfg.dp} x "
+            f"M={cfg.microbatches}"
+        )
+    mb = global_batch // (cfg.dp * cfg.microbatches)
+    layers_local = model.num_layers // cfg.pp
+
+    params = per_gpu_layer_params(
+        model.hidden, cfg.scheme, p=cfg.tp, q=cfg.q, d=cfg.d,
+        mlp_ratio=model.mlp_ratio,
+    ) * layers_local * DTYPE_BYTES
+    grads = params
+    optimizer = OPTIMIZER_STATES * params / (cfg.dp if zero else 1)
+
+    live = live_microbatch_sets(cfg, schedule)
+    boundary = per_gpu_activation(
+        mb, seq, model.hidden, cfg.scheme, p=cfg.tp, q=cfg.q, d=cfg.d,
+    ) * DTYPE_BYTES
+    if checkpoint:
+        # Each layer keeps only its input block; one layer's full set is
+        # live while its backward recomputes.
+        saved_layer = per_gpu_layer_saved_activation(
+            mb, seq, model.hidden, cfg.scheme, p=cfg.tp, q=cfg.q, d=cfg.d,
+            mlp_ratio=model.mlp_ratio,
+        ) * DTYPE_BYTES
+        activations = (layers_local * boundary) * live + saved_layer
+    else:
+        activations = per_gpu_layer_saved_activation(
+            mb, seq, model.hidden, cfg.scheme, p=cfg.tp, q=cfg.q, d=cfg.d,
+            mlp_ratio=model.mlp_ratio,
+        ) * DTYPE_BYTES * layers_local * live + boundary
+
+    return MemoryEstimate(
+        params_bytes=params,
+        grads_bytes=grads,
+        optimizer_bytes=optimizer,
+        activation_bytes=activations,
+    )

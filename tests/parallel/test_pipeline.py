@@ -9,6 +9,7 @@ from repro.nn.module import Sequential
 from repro.nn.activation import GELU
 from repro.parallel.pipeline import PipelineStage
 from repro.sim.engine import Engine
+from repro.sim.schedulers import available_backends
 from repro.varray import ops
 from repro.varray.varray import VArray
 
@@ -17,6 +18,20 @@ from tests.conftest import run_spmd
 H = 8
 MICRO = 2  # microbatches
 ROWS = 4  # rows per microbatch
+
+
+@pytest.fixture(params=available_backends(), autouse=True)
+def engine_backend(request, monkeypatch):
+    """Run the whole module under every scheduler backend.
+
+    The schedule semantics (microbatch ordering, exact gradients, the
+    1F1B activation cap) must not depend on who drives the rank
+    programs; routing selection through ``REPRO_ENGINE_BACKEND`` covers
+    every ``Engine(backend=None)`` construction below, including the
+    ``run_spmd`` helper's.
+    """
+    monkeypatch.setenv("REPRO_ENGINE_BACKEND", request.param)
+    return request.param
 
 
 def _serial_reference(x_np, dy_np):

@@ -1,0 +1,145 @@
+"""Memory-model cross-checks: predicted vs measured simulator peaks.
+
+The planner prunes on :func:`repro.plan.memory.estimate_memory`; these
+tests build each candidate for real (the same per-rank program the
+validator runs) and compare the prediction against the engine's memory
+tracker, per category: parameters and gradients must match almost
+exactly, saved activations within a tolerance that covers the odd
+workspace tensor.
+
+The *sum* is asserted only as an upper bound: the activation peak (end
+of forward) and the gradient peak (end of backward) do not co-occur, so
+the tracker's ``peak_total`` legitimately comes in below the sum — the
+estimate must stay conservative, never optimistic.
+"""
+
+import pytest
+
+from repro.errors import GridError
+from repro.hardware.spec import meluxina
+from repro.plan.memory import estimate_memory, live_microbatch_sets
+from repro.plan.space import CandidateConfig, ModelSpec
+from repro.plan.validate import _stage_program
+from repro.sim.engine import Engine
+from repro.util.mathutil import ceil_div
+
+SMALL = ModelSpec("mem-s", hidden=128, num_layers=4, nheads=4, seq_len=32)
+MEDIUM = ModelSpec("mem-m", hidden=256, num_layers=4, nheads=4, seq_len=64)
+BATCH = 16
+
+#: (id, config) covering serial, 1-D, and 2.5-D, with and without a
+#: pipeline, at M = 1 and M > 1.
+CONFIGS = [
+    ("serial-pp2-m4",
+     CandidateConfig("serial", dp=2, pp=2, tp=1, microbatches=4)),
+    ("serial-pp2-m1",
+     CandidateConfig("serial", dp=2, pp=2, tp=1, microbatches=1)),
+    ("megatron-pp2-m4",
+     CandidateConfig("megatron", dp=1, pp=2, tp=4, microbatches=4)),
+    ("tesseract-flat",
+     CandidateConfig("tesseract", dp=1, pp=1, tp=8, q=2, d=2)),
+    ("tesseract-pp2-m4",
+     CandidateConfig("tesseract", dp=1, pp=2, tp=8, q=2, d=2,
+                     microbatches=4)),
+]
+
+
+def measured_peaks(model, cfg, global_batch, schedule="1f1b"):
+    """Max per-category peaks over all ranks of one simulated step."""
+    mb = global_batch // (cfg.dp * cfg.microbatches)
+    inner = _stage_program(model, cfg, mb, model.seq_len, schedule)
+
+    def program(ctx):
+        inner(ctx)
+        return (ctx.mem.peak("params"), ctx.mem.peak("grads"),
+                ctx.mem.peak("activations"), ctx.mem.peak_total)
+
+    engine = Engine(cluster=meluxina(ceil_div(cfg.world, 4)),
+                    nranks=cfg.world, mode="symbolic", trace=False)
+    try:
+        results = engine.run(program)
+    finally:
+        engine.shutdown()
+    return tuple(max(vals) for vals in zip(*results))
+
+
+@pytest.mark.parametrize("model", [SMALL, MEDIUM], ids=lambda m: m.name)
+@pytest.mark.parametrize(
+    "cfg", [c for _, c in CONFIGS], ids=[i for i, _ in CONFIGS])
+def test_predicted_vs_measured(model, cfg):
+    est = estimate_memory(model, cfg, BATCH, schedule="1f1b")
+    params, grads, acts, total = measured_peaks(model, cfg, BATCH)
+
+    assert est.params_bytes == pytest.approx(params, rel=0.01)
+    assert est.grads_bytes == pytest.approx(grads, rel=0.01)
+    assert est.activation_bytes == pytest.approx(acts, rel=0.10)
+    # Conservative: the summed estimate never understates the true peak.
+    budget_view = est.total_bytes - est.optimizer_bytes
+    assert total <= budget_view * 1.02
+
+
+def test_gpipe_keeps_every_microbatch_live():
+    # Same config, same batch: GPipe holds all M activation sets where
+    # 1F1B holds min(M, pp) — both predicted and measured.
+    cfg = CandidateConfig("serial", dp=2, pp=2, tp=1, microbatches=4)
+    est_g = estimate_memory(MEDIUM, cfg, BATCH, schedule="gpipe")
+    est_f = estimate_memory(MEDIUM, cfg, BATCH, schedule="1f1b")
+    assert est_g.activation_bytes > est_f.activation_bytes
+    acts_g = measured_peaks(MEDIUM, cfg, BATCH, schedule="gpipe")[2]
+    acts_f = measured_peaks(MEDIUM, cfg, BATCH, schedule="1f1b")[2]
+    assert acts_g > acts_f
+    assert est_g.activation_bytes == pytest.approx(acts_g, rel=0.10)
+
+
+class TestLiveSets:
+    def test_gpipe_all_live(self):
+        cfg = CandidateConfig("serial", dp=1, pp=4, tp=1, microbatches=8)
+        assert live_microbatch_sets(cfg, "gpipe") == 8
+
+    def test_1f1b_caps_at_depth(self):
+        cfg = CandidateConfig("serial", dp=1, pp=4, tp=1, microbatches=8)
+        assert live_microbatch_sets(cfg, "1f1b") == 4
+
+    def test_no_pipeline_means_all(self):
+        cfg = CandidateConfig("serial", dp=4, pp=1, tp=1)
+        assert live_microbatch_sets(cfg, "1f1b") == 1
+
+    def test_unknown_schedule(self):
+        cfg = CandidateConfig("serial", dp=1, pp=2, tp=1, microbatches=2)
+        with pytest.raises(GridError):
+            live_microbatch_sets(cfg, "interleaved")
+
+
+class TestEstimateProperties:
+    def test_zero_shards_optimizer_over_dp(self):
+        cfg = CandidateConfig("serial", dp=4, pp=1, tp=1)
+        plain = estimate_memory(MEDIUM, cfg, BATCH)
+        zero = estimate_memory(MEDIUM, cfg, BATCH, zero=True)
+        assert zero.optimizer_bytes == pytest.approx(
+            plain.optimizer_bytes / 4)
+        assert zero.params_bytes == plain.params_bytes
+
+    def test_checkpoint_trims_activations(self):
+        cfg = CandidateConfig("serial", dp=1, pp=2, tp=1, microbatches=8)
+        plain = estimate_memory(MEDIUM, cfg, BATCH)
+        ckpt = estimate_memory(MEDIUM, cfg, BATCH, checkpoint=True)
+        assert ckpt.activation_bytes < plain.activation_bytes
+        assert ckpt.params_bytes == plain.params_bytes
+
+    def test_tensor_split_shrinks_params(self):
+        serial = estimate_memory(
+            MEDIUM, CandidateConfig("serial", dp=8, pp=1, tp=1), BATCH)
+        meg = estimate_memory(
+            MEDIUM, CandidateConfig("megatron", dp=2, pp=1, tp=4), BATCH)
+        assert meg.params_bytes < serial.params_bytes
+
+    def test_fits_is_total_vs_budget(self):
+        cfg = CandidateConfig("serial", dp=2, pp=2, tp=1, microbatches=4)
+        est = estimate_memory(MEDIUM, cfg, BATCH)
+        assert est.fits(est.total_bytes)
+        assert not est.fits(est.total_bytes * 0.99)
+
+    def test_rejects_indivisible_batch(self):
+        cfg = CandidateConfig("serial", dp=2, pp=2, tp=1, microbatches=4)
+        with pytest.raises(GridError):
+            estimate_memory(MEDIUM, cfg, 12)

@@ -23,6 +23,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.model == "350M" and args.world == 32
+        assert args.schedule == "1f1b" and args.validate == 0
+
+    def test_plan_rejects_unknown_schedule(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--schedule", "interleaved"])
+
 
 class TestCommands:
     def test_info(self, capsys):
