@@ -41,11 +41,13 @@ import sys
 #: friends never fall through to a suffix hint.
 _NEUTRAL_HINTS = ("recoveries", "reshapes", "replicas", "scale_events",
                   "restarts", "world", "grows", "quarantines", "rejoins",
-                  "outages", "chosen")
+                  "outages", "chosen", "cow_copies", "blocks_peak")
 #: substrings that mark a metric as better-higher; checked before the
 #: lower hints so "goodput_steps_per_s" / "speedup_cont_over_static" /
-#: "plan_spearman" don't false-match the "_s" suffix hint.
-_HIGHER_HINTS = ("per_s", "goodput", "throughput", "speedup", "spearman")
+#: "plan_spearman" / "slo_attainment" don't false-match the "_s" suffix
+#: hint.
+_HIGHER_HINTS = ("per_s", "goodput", "throughput", "speedup", "spearman",
+                 "hit_rate", "attainment")
 _LOWER_HINTS = ("time", "latency", "_s", "lost", "overhead", "p50", "p99",
                 "ttft", "tpot", "bytes", "depth", "makespan", "iterations",
                 "preempt", "handoff", "us_per", "err_frac")

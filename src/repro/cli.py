@@ -86,6 +86,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="decode batch slots")
     p_srv.add_argument("--kv-budget", type=int, default=1024,
                        help="KV cache budget in tokens")
+    p_srv.add_argument("--kv-block", type=int, default=0, metavar="TOKENS",
+                       help="paged KV cache block size (0 = contiguous "
+                            "cache; requires --policy continuous)")
+    p_srv.add_argument("--chunk", type=int, default=0, metavar="TOKENS",
+                       help="max prompt tokens prefilled per frame "
+                            "(chunked prefill; requires --kv-block)")
+    p_srv.add_argument("--spec-k", type=int, default=0,
+                       help="speculative-decode draft length (0 = off; "
+                            "requires --kv-block)")
+    p_srv.add_argument("--accept-rate", type=float, default=0.7,
+                       help="speculative-decode acceptance probability")
+    p_srv.add_argument("--prefix-pool", type=int, default=0,
+                       help="shared-prefix pool size (0 = no shared "
+                            "prefixes)")
+    p_srv.add_argument("--priorities", action="store_true",
+                       help="tag requests gold/bronze with a gold TTFT "
+                            "deadline (SLO-aware admission in paged mode)")
     p_srv.add_argument("--layers", type=int, default=2)
     p_srv.add_argument("--hidden", type=int, default=32)
     p_srv.add_argument("--json", metavar="PATH", default=None,
@@ -287,12 +304,32 @@ def _cmd_chaos(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.models.configs import TransformerConfig
-    from repro.serve import SchedulerConfig, WorkloadConfig, run_serving
+    from repro.serve import (
+        PriorityClass,
+        SchedulerConfig,
+        SpecDecodeConfig,
+        WorkloadConfig,
+        run_serving,
+    )
 
+    if args.kv_block and args.policy != "continuous":
+        print("--kv-block (paged cache) requires --policy continuous")
+        return 2
+    if (args.chunk or args.spec_k) and not args.kv_block:
+        print("--chunk and --spec-k require the paged cache (--kv-block)")
+        return 2
+    priorities = ()
+    if args.priorities:
+        priorities = (
+            PriorityClass("gold", weight=1.0, ttft_slo_s=0.05),
+            PriorityClass("bronze", weight=2.0),
+        )
     workload = WorkloadConfig(
         seed=args.seed, num_requests=args.requests, arrival_rate=args.rate,
         prompt_len=(4, 12), output_short=(4, 12), output_long=(64, 96),
         long_frac=0.15,
+        prefix_pool=args.prefix_pool, prefix_len=(16, 24),
+        priorities=priorities,
     )
     cfg = TransformerConfig(
         num_layers=args.layers, hidden=args.hidden, nheads=4,
@@ -301,11 +338,17 @@ def _cmd_serve(args) -> int:
     policies = (
         ["continuous", "static"] if args.policy == "both" else [args.policy]
     )
+    spec = (SpecDecodeConfig(spec_k=args.spec_k,
+                             accept_rate=args.accept_rate)
+            if args.spec_k else None)
     reports = {}
     for policy in policies:
         sched = SchedulerConfig(max_slots=args.slots,
                                 kv_budget_tokens=args.kv_budget,
-                                policy=policy)
+                                policy=policy,
+                                kv_block_tokens=args.kv_block,
+                                prefill_chunk_tokens=args.chunk,
+                                spec=spec)
         rep = run_serving(
             args.mode, model_cfg=cfg, workload=workload, sched=sched,
             q=args.q, d=args.d, world=args.world,
@@ -317,6 +360,17 @@ def _cmd_serve(args) -> int:
               f"tpot p50 {rep['tpot_s']['p50'] * 1e3:.2f} ms  "
               f"latency p99 {rep['latency_s']['p99'] * 1e3:.2f} ms  "
               f"preempted {rep['preemptions']}")
+        if "paged" in rep:
+            extras = [f"prefix hit {rep['paged']['prefix_hit_rate']:.1%}",
+                      f"cow {rep['paged']['cow_copies']}",
+                      f"blocks peak {rep['paged']['blocks_peak']}"]
+            if "spec" in rep:
+                extras.append(
+                    f"spec {rep['spec']['accepted_per_step']:.2f} tok/step"
+                )
+            if "slo_attainment" in rep:
+                extras.append(f"slo {rep['slo_attainment']:.1%}")
+            print(f"{'':>10}  paged: {'  '.join(extras)}")
     if len(reports) == 2:
         speedup = (reports["continuous"]["goodput_tokens_per_s"]
                    / reports["static"]["goodput_tokens_per_s"])

@@ -2,12 +2,20 @@
 
 Forward-only decoding with explicit KV caches on the existing parallel
 layers (serial / Megatron 1-D / Optimus 2-D / Tesseract 2.5-D), a seeded
-open-loop workload, continuous- and static-batching schedulers, and SLO
-metrics on the virtual clock.  Entry point: :func:`repro.serve.run_serving`.
+open-loop workload, continuous- and static-batching schedulers, a paged
+block KV cache with copy-on-write prefix sharing (plus chunked prefill,
+priority/SLO-aware admission and a speculative-decode cost model), and
+SLO metrics on the virtual clock.  Entry point:
+:func:`repro.serve.run_serving`.
 """
 
-from repro.serve.cache import KVCacheManager
-from repro.serve.metrics import RequestRecord, percentile, summarize
+from repro.serve.cache import BlockPool, KVCacheManager, PagedKVCache
+from repro.serve.metrics import (
+    RequestRecord,
+    percentile,
+    slo_summary,
+    summarize,
+)
 from repro.serve.model import (
     build_lm,
     grid_shape,
@@ -15,13 +23,27 @@ from repro.serve.model import (
     serving_nranks,
 )
 from repro.serve.runner import AutoscaleConfig, ReplicaOutage, run_serving
-from repro.serve.scheduler import POLICIES, Scheduler, SchedulerConfig
-from repro.serve.workload import Request, WorkloadConfig, generate_workload
+from repro.serve.scheduler import (
+    POLICIES,
+    PagedScheduler,
+    Scheduler,
+    SchedulerConfig,
+    SpecDecodeConfig,
+)
+from repro.serve.workload import (
+    PriorityClass,
+    Request,
+    WorkloadConfig,
+    generate_workload,
+)
 
 __all__ = [
+    "BlockPool",
     "KVCacheManager",
+    "PagedKVCache",
     "RequestRecord",
     "percentile",
+    "slo_summary",
     "summarize",
     "build_lm",
     "grid_shape",
@@ -31,8 +53,11 @@ __all__ = [
     "ReplicaOutage",
     "run_serving",
     "POLICIES",
+    "PagedScheduler",
     "Scheduler",
     "SchedulerConfig",
+    "SpecDecodeConfig",
+    "PriorityClass",
     "Request",
     "WorkloadConfig",
     "generate_workload",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-__all__ = ["RequestRecord", "percentile", "summarize"]
+__all__ = ["RequestRecord", "percentile", "slo_summary", "summarize"]
 
 
 @dataclass
@@ -34,10 +34,22 @@ class RequestRecord:
     completion_time: float | None = None
     preemptions: int = 0
     emitted: int = field(default=0)  #: output tokens produced so far
+    priority: int = 0  #: scheduling class (0 = highest / untagged)
+    ttft_slo_s: float | None = None  #: TTFT deadline; None = best-effort
 
     @property
     def done(self) -> bool:
         return self.completion_time is not None
+
+    @property
+    def slo_attained(self) -> bool | None:
+        """Did the first token beat the deadline?  None until done;
+        best-effort requests always attain."""
+        if not self.done:
+            return None
+        if self.ttft_slo_s is None:
+            return True
+        return self.ttft <= self.ttft_slo_s
 
     @property
     def ttft(self) -> float:
@@ -78,20 +90,59 @@ def _dist(values: list[float]) -> dict[str, float]:
     }
 
 
+def slo_summary(
+    records: list[RequestRecord], class_names: tuple[str, ...]
+) -> dict:
+    """Per-priority-class TTFT-SLO attainment over completed requests.
+
+    ``class_names[i]`` labels priority ``i`` (requests with a priority
+    beyond the list — e.g. the untagged default 0 with no classes —
+    fall under ``"default"``).  Attainment is the completed fraction
+    whose TTFT beat its deadline; best-effort (no deadline) always
+    attains.
+    """
+    done = [r for r in records if r.done]
+    by_class: dict[str, list[bool]] = {}
+    for r in done:
+        name = (class_names[r.priority] if r.priority < len(class_names)
+                else "default")
+        by_class.setdefault(name, []).append(bool(r.slo_attained))
+    per_class = {
+        name: sum(flags) / len(flags)
+        for name, flags in sorted(by_class.items())
+    }
+    overall = (
+        sum(bool(r.slo_attained) for r in done) / len(done)
+        if done else math.nan
+    )
+    return {"slo_attainment": overall, "slo_by_class": per_class}
+
+
 def summarize(
     records: list[RequestRecord],
     makespan: float,
     peak_kv_tokens: int,
     max_queue_depth: int,
     iterations: int,
+    paged: dict | None = None,
+    priority_classes: tuple[str, ...] | None = None,
+    spec: dict | None = None,
 ) -> dict:
-    """Aggregate per-request records into the serving report."""
+    """Aggregate per-request records into the serving report.
+
+    The optional sections are *additive*: without them the report is
+    byte-identical to what this function always produced.  ``paged``
+    attaches the block-cache counters (the runner derives
+    ``prefix_hit_rate`` there), ``priority_classes`` adds per-class
+    TTFT-SLO attainment, ``spec`` the speculative-decoding acceptance
+    summary.
+    """
     done = [r for r in records if r.done]
     ttft = [r.ttft for r in done if r.first_token_time is not None]
     tpot = [t for r in done if (t := r.tpot) is not None]
     latency = [r.latency for r in done]
     out_tokens = sum(r.output_len for r in done)
-    return {
+    report = {
         "num_requests": len(records),
         "completed": len(done),
         "iterations": iterations,
@@ -107,3 +158,10 @@ def summarize(
         "peak_kv_tokens": peak_kv_tokens,
         "max_queue_depth": max_queue_depth,
     }
+    if paged is not None:
+        report["paged"] = dict(paged)
+    if priority_classes is not None:
+        report.update(slo_summary(records, priority_classes))
+    if spec is not None:
+        report["spec"] = dict(spec)
+    return report

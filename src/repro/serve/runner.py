@@ -69,7 +69,7 @@ import numpy as np
 from repro.comm.communicator import Communicator
 from repro.errors import RankFailureError, SimulationError
 from repro.models.configs import TransformerConfig
-from repro.serve.cache import KVCacheManager
+from repro.serve.cache import KVCacheManager, PagedKVCache
 from repro.serve.metrics import RequestRecord, summarize
 from repro.serve.model import (
     build_lm,
@@ -77,9 +77,10 @@ from repro.serve.model import (
     local_kv_width,
     serving_nranks,
 )
-from repro.serve.scheduler import Scheduler, SchedulerConfig
+from repro.serve.scheduler import PagedScheduler, Scheduler, SchedulerConfig
 from repro.serve.workload import WorkloadConfig, generate_workload
 from repro.sim.engine import Engine
+from repro.util.rng import rng_for
 from repro.varray.varray import VArray
 
 __all__ = ["AutoscaleConfig", "ReplicaOutage", "run_serving"]
@@ -194,6 +195,15 @@ def _validate(
             f"max_slots {sched.max_slots} must be divisible by the "
             f"batch-band count {bands}"
         )
+    if sched.kv_block_tokens:
+        nblocks = sched.kv_budget_tokens // sched.kv_block_tokens
+        need = -(-workload.max_request_tokens // sched.kv_block_tokens) + 2
+        if nblocks < need:
+            raise SimulationError(
+                f"block pool of {nblocks} x {sched.kv_block_tokens}-token "
+                f"blocks cannot hold the longest request plus growth "
+                f"headroom ({need} blocks)"
+            )
 
 
 def run_serving(
@@ -240,6 +250,10 @@ def run_serving(
         raise SimulationError(
             "outages require an AutoscaleConfig fleet to rejoin"
         )
+    if sched.paged and autoscale is not None:
+        raise SimulationError(
+            "paged serving does not compose with the autoscaled fleet yet"
+        )
     nranks = serving_nranks(mode, q, d, world)
     kv_width = local_kv_width(mode, model_cfg, q=gq if bands > 1 else None,
                               world=world)
@@ -250,7 +264,10 @@ def run_serving(
     recoveries = 0
     while True:
         def fn(ctx, _snapshot=snapshot):
-            serve = _serve_rank if autoscale is None else _serve_rank_fleet
+            if sched.paged:
+                serve = _serve_rank_paged
+            else:
+                serve = _serve_rank if autoscale is None else _serve_rank_fleet
             extra = {} if autoscale is None else {"outages": outages}
             return serve(
                 ctx, mode, model_cfg, workload, sched,
@@ -519,6 +536,373 @@ def _serve_rank(
         peak_kv_tokens=max(base_peak_kv, cache.peak_tokens),
         max_queue_depth=max_queue,
         iterations=iterations,
+    )
+    report["mode"] = mode
+    report["policy"] = sched_cfg.policy
+    report["nranks"] = ctx.nranks
+    return report
+
+
+# --- the paged serving loop ---------------------------------------------------
+
+
+def _chunk_plan(sch, cache, budget: int) -> list[tuple[int, int]]:
+    """This frame's prefill chunks ``[(slot, tokens), ...]``.
+
+    Prefilling slots are served in admission order; ``budget`` caps the
+    total prompt tokens prefilled per frame (0 = unchunked) so one long
+    prompt cannot stall decode — the remainder resumes next frame from
+    the slot's block table.
+    """
+    plan: list[tuple[int, int]] = []
+    left = budget if budget > 0 else None
+    for slot in sorted(
+        (s for s in sch.active if not cache.prefill_done(s)),
+        key=lambda s: sch._admit_seq[s],
+    ):
+        remaining = cache.prompt_len(slot) - cache.prefill_pos(slot)
+        take = remaining if left is None else min(remaining, left)
+        if take <= 0:
+            continue
+        plan.append((slot, take))
+        if left is not None:
+            left -= take
+            if left == 0:
+                break
+    return plan
+
+
+def _spec_counts(sch, cache, records, spec) -> dict[int, int]:
+    """Tokens each decode-ready slot emits this frame.
+
+    1 without speculation; with it, 1 + the run length of leading
+    Bernoulli(accept_rate) successes from the stream ``(seed, "serve",
+    rid, "spec", emitted)`` — progress-keyed, so preempted/restarted
+    requests replay identical draws — capped by the remaining output.
+    """
+    counts: dict[int, int] = {}
+    for slot in sorted(sch.active):
+        if not cache.prefill_done(slot):
+            continue
+        rid = sch.active[slot]
+        rec = records[rid]
+        remaining = sch.requests[rid].output_len - rec.emitted
+        if rec.emitted < 1 or remaining <= 0:
+            continue
+        a = 1
+        if spec is not None:
+            draws = rng_for(spec.seed, "serve", rid, "spec",
+                            rec.emitted).random(spec.spec_k)
+            for u in draws:
+                if float(u) >= spec.accept_rate:
+                    break
+                a += 1
+        counts[slot] = min(a, remaining)
+    return counts
+
+
+def _preempt_over_budget_paged(sch, cache, records, counts, chunk_budget):
+    """Preempt until this frame's chunk and decode appends fit the pool.
+
+    Victims are lowest priority class first, youngest within a class;
+    each preemption is enacted immediately (its blocks become free or
+    cached-evictable) and the remaining need recomputed, since a victim
+    may itself have been a prefilling or decoding slot.
+    """
+    while True:
+        need = sum(
+            cache.blocks_for_append(slot, take)
+            for slot, take in _chunk_plan(sch, cache, chunk_budget)
+        )
+        need += sum(
+            cache.blocks_for_append(slot, counts[slot])
+            for slot in sch.active if slot in counts
+        )
+        if need <= cache.pool.available_blocks:
+            return
+        order = sch.preemption_order()
+        if len(order) <= 1:
+            raise SimulationError(
+                "kv block pool cannot hold a single active request"
+            )
+        slot = order[0]
+        rid = sch.preempt(slot)
+        cache.evict(slot)
+        records[rid].preemptions += 1
+        records[rid].emitted = 0
+
+
+def _prefill_chunks_paged(ctx, model, model_cfg, wcomm, sch, cache,
+                          records, bands, plan, finish) -> None:
+    """Run this frame's prefill chunks (multi-token cached forwards).
+
+    Each chunk resumes from the slot's assembled block table — including
+    blocks re-mapped from the prefix cache — with positions offset to
+    the resume point; ``decode_step``'s offset causal mask makes the
+    chunked forward bitwise-equal to a monolithic prefill under exact
+    kernels.  A chunk that completes the prompt emits the first token at
+    its barrier (that pins TTFT identically on every rank).
+    """
+    for slot, take in plan:
+        if slot not in sch.active:
+            continue  # preempted after planning
+        rid = sch.active[slot]
+        req = sch.requests[rid]
+        rec = records[rid]
+        pos = cache.prefill_pos(slot)
+        chunk = req.prompt_tokens[pos:pos + take]
+        toks = np.tile(np.asarray(chunk, dtype=np.int64)[None, :],
+                       (bands, 1))
+        positions = np.tile(
+            np.arange(pos, pos + take, dtype=np.int64)[None, :], (bands, 1)
+        )
+        past = cache.assemble_slot(slot)
+        if past is None:
+            past = [None] * model_cfg.num_layers
+        _, kv = model.decode_step(
+            VArray.from_numpy(toks), VArray.from_numpy(positions), past
+        )
+        cache.append_prefill(slot, kv, take)
+        wcomm.barrier("serve_prefill")
+        if cache.prefill_done(slot):
+            t = ctx.now
+            rec.emitted = 1  # prefill yields the first output token
+            if rec.first_token_time is None:
+                rec.first_token_time = t
+            if rec.emitted == req.output_len:
+                finish(slot, t)
+
+
+def _decode_active_paged(ctx, model, sch, cache, records, rows, band,
+                         rows_local, counts, spec) -> dict[int, int]:
+    """One batched (possibly multi-token) decode step over the frame.
+
+    With speculation each row verifies its accepted draft run in one
+    forward: row ``slot`` feeds ``counts[slot]`` query tokens, padded to
+    the frame-wide ``t_max`` (padding queries clamp to the last real
+    token and are masked out of every other row's attention; their
+    outputs and KV are discarded).  The draft model is priced as a
+    value-independent clock advance before the verify forward.
+    """
+    order = [s if s in counts else None for s in range(rows)]
+    lens = {s: cache.length(s) for s in counts}
+    s_max = max(lens.values())
+    t_max = max(counts.values())
+    if spec is not None and spec.draft_step_s > 0:
+        ctx.clock.sync_to(ctx.now + spec.spec_k * spec.draft_step_s)
+    tokens = np.zeros((rows, t_max), dtype=np.int64)
+    positions = np.zeros((rows, t_max), dtype=np.int64)
+    # extra_mask [rows, 1, t_max, s_max + t_max]: -inf over each slot's
+    # KV padding and over the padding query tokens' keys; padding rows
+    # keep their own new-token columns so every softmax row stays finite.
+    mask = np.zeros((rows, 1, t_max, s_max + t_max), dtype=np.float32)
+    appended: dict[int, tuple[int, ...]] = {}
+    for row, slot in enumerate(order):
+        if slot is None:
+            mask[row, :, :, :s_max] = -np.inf
+            continue
+        req = sch.requests[sch.active[slot]]
+        rec = records[req.rid]
+        a = counts[slot]
+        for j in range(t_max):
+            jj = min(j, a - 1)
+            tokens[row, j] = req.output_tokens[rec.emitted - 1 + jj]
+            positions[row, j] = req.prompt_len + rec.emitted - 1 + jj
+        mask[row, :, :, lens[slot]:s_max] = -np.inf
+        mask[row, :, :, s_max + a:] = -np.inf
+        appended[slot] = tuple(
+            req.output_tokens[rec.emitted - 1:rec.emitted - 1 + a]
+        )
+    band_order = order[band * rows_local:(band + 1) * rows_local]
+    past = cache.assemble(band_order, s_max)
+    _, new_kv = model.decode_step(
+        VArray.from_numpy(tokens),
+        VArray.from_numpy(positions),
+        past,
+        VArray.from_numpy(mask[band * rows_local:(band + 1) * rows_local]),
+    )
+    cache.append_decode(order, new_kv, counts, appended)
+    return counts
+
+
+def _serve_rank_paged(
+    ctx,
+    mode: str,
+    model_cfg: TransformerConfig,
+    workload: WorkloadConfig,
+    sched_cfg: SchedulerConfig,
+    *,
+    q: int | None,
+    d: int | None,
+    world: int | None,
+    bands: int,
+    kv_width: int,
+    autoscale=None,
+    snapshot: dict | None = None,
+    snap_box: dict | None = None,
+) -> dict:
+    """The paged variant of :func:`_serve_rank`.
+
+    Same barrier-pinned iteration skeleton; admission maps cached prefix
+    blocks (a full-prompt hit emits its first token without any
+    forward), prefills run in chunks interleaved with decode, and the
+    decode step is multi-token under speculation.  The block pool is
+    conservation-audited after every frame.  Crash recovery follows the
+    legacy contract — KV and prefix cache die with the engine, in-flight
+    requests restart from their prompts — with the pool's cumulative
+    counters carried through the snapshot so the report survives
+    restarts.
+    """
+    model = build_lm(ctx, mode, model_cfg, q=q, d=d, world=world)
+    model.eval()
+    wcomm = Communicator(ctx, range(ctx.nranks))
+    rows = sched_cfg.max_slots
+    rows_local = rows // bands
+    band = model.pc.block_row if bands > 1 else 0
+    band_slots = range(band * rows_local, (band + 1) * rows_local)
+
+    requests = generate_workload(workload)
+    sch = PagedScheduler(sched_cfg, requests)
+    cache = PagedKVCache(
+        ctx, model_cfg.num_layers, rows, band_slots, kv_width,
+        sched_cfg.kv_budget_tokens, sched_cfg.kv_block_tokens,
+    )
+    records = {
+        r.rid: RequestRecord(
+            rid=r.rid, arrival=r.arrival,
+            prompt_len=r.prompt_len, output_len=r.output_len,
+            priority=r.priority, ttft_slo_s=r.ttft_slo_s,
+        )
+        for r in requests
+    }
+    iterations = 0
+    max_queue = 0
+    peak_kv_base = 0
+    counter_base = {"prefix_hit_tokens": 0, "prompt_tokens": 0,
+                    "cow_copies": 0, "evictions": 0, "blocks_peak": 0}
+    spec_steps = 0
+    spec_tokens = 0
+    if snapshot is not None:
+        _restore_state(sch, records, snapshot)
+        iterations = snapshot["iterations"]
+        max_queue = snapshot["max_queue"]
+        peak_kv_base = snapshot["peak_kv"]
+        pg = snapshot.get("paged", {})
+        for key in counter_base:
+            counter_base[key] = pg.get(key, 0)
+        spec_steps = pg.get("spec_steps", 0)
+        spec_tokens = pg.get("spec_tokens", 0)
+        ctx.clock.sync_to(snapshot["now"])
+    pool = cache.pool
+
+    def paged_counters() -> dict:
+        return {
+            "prefix_hit_tokens": (counter_base["prefix_hit_tokens"]
+                                  + pool.prefix_hit_tokens),
+            "prompt_tokens": (counter_base["prompt_tokens"]
+                              + pool.prompt_tokens),
+            "cow_copies": counter_base["cow_copies"] + pool.cow_copies,
+            "evictions": counter_base["evictions"] + pool.evictions,
+            "blocks_peak": max(counter_base["blocks_peak"],
+                               pool.peak_live_blocks),
+        }
+
+    def finish(slot: int, t: float) -> None:
+        rid = sch.complete(slot)
+        cache.evict(slot)
+        records[rid].completion_time = t
+
+    while True:
+        wcomm.barrier("serve_iter")
+        if snap_box is not None and ctx.rank == 0:
+            snap = _snapshot_state(
+                ctx.now, sch, records, iterations, max_queue,
+                max(peak_kv_base, cache.peak_tokens),
+            )
+            snap["paged"] = {**paged_counters(),
+                            "spec_steps": spec_steps,
+                            "spec_tokens": spec_tokens}
+            snap_box["snap"] = snap
+        if all(rec.done for rec in records.values()):
+            break
+        sch.poll_arrivals(ctx.now)
+        max_queue = max(max_queue, len(sch.queue))
+
+        if sch.idle:
+            nxt = sch.next_arrival()
+            assert nxt is not None  # else all requests would be done
+            ctx.clock.sync_to(nxt)
+            continue
+
+        # Admission maps each request's cached prefix immediately; a
+        # full-prompt hit needs no forward at all — its first token is
+        # emitted at the (barrier-pinned) frame time.
+        t_admit = ctx.now
+        for slot, rid, _hit in sch.admit_paged(cache, ctx.now):
+            if cache.prefill_done(slot):
+                rec = records[rid]
+                rec.emitted = 1
+                if rec.first_token_time is None:
+                    rec.first_token_time = t_admit
+                if rec.emitted == sch.requests[rid].output_len:
+                    finish(slot, t_admit)
+
+        if sch.active:
+            counts = _spec_counts(sch, cache, records, sched_cfg.spec)
+            _preempt_over_budget_paged(sch, cache, records, counts,
+                                       sched_cfg.prefill_chunk_tokens)
+            plan = _chunk_plan(sch, cache, sched_cfg.prefill_chunk_tokens)
+            _prefill_chunks_paged(ctx, model, model_cfg, wcomm, sch, cache,
+                                  records, bands, plan, finish)
+            counts = {s: a for s, a in counts.items() if s in sch.active}
+            if counts:
+                _decode_active_paged(ctx, model, sch, cache, records, rows,
+                                     band, rows_local, counts,
+                                     sched_cfg.spec)
+                wcomm.barrier("serve_step")
+                t = ctx.now
+                spec_steps += len(counts)
+                spec_tokens += sum(counts.values())
+                for slot in sorted(counts):
+                    req = sch.requests[sch.active[slot]]
+                    rec = records[req.rid]
+                    rec.emitted += counts[slot]
+                    if rec.emitted == req.output_len:
+                        finish(slot, t)
+        cache.check()
+        iterations += 1
+
+    counters = paged_counters()
+    prompt_total = counters["prompt_tokens"]
+    paged_report = {
+        "block_tokens": sched_cfg.kv_block_tokens,
+        "num_blocks": pool.num_blocks,
+        "prefix_hit_rate": (
+            counters["prefix_hit_tokens"] / prompt_total
+            if prompt_total else 0.0
+        ),
+        **counters,
+    }
+    spec_report = None
+    if sched_cfg.spec is not None:
+        spec_report = {
+            "steps": spec_steps,
+            "tokens": spec_tokens,
+            "accepted_per_step": (
+                spec_tokens / spec_steps if spec_steps else 0.0
+            ),
+        }
+    names = (tuple(c.name for c in workload.priorities)
+             if workload.priorities else None)
+    report = summarize(
+        sorted(records.values(), key=lambda r: r.rid),
+        makespan=ctx.now,
+        peak_kv_tokens=max(peak_kv_base, cache.peak_tokens),
+        max_queue_depth=max_queue,
+        iterations=iterations,
+        paged=paged_report,
+        priority_classes=names,
+        spec=spec_report,
     )
     report["mode"] = mode
     report["policy"] = sched_cfg.policy

@@ -1,4 +1,4 @@
-"""Batching schedulers: continuous (iteration-level) vs static.
+"""Batching schedulers: continuous (iteration-level) vs static vs paged.
 
 The scheduler is pure bookkeeping — it owns the queue, the slot table and
 the admission/preemption *decisions*, all driven by the global KV-token
@@ -16,18 +16,69 @@ Policies
     The classical baseline: admit a batch only when *all* slots are
     empty, then decode that batch to completion.  Short requests finish
     early but their slots idle until the batch's longest member drains.
+
+Paged mode
+----------
+With ``kv_block_tokens > 0`` the runner swaps the contiguous
+:class:`~repro.serve.cache.KVCacheManager` for the paged
+:class:`~repro.serve.cache.PagedKVCache` and this module's
+:class:`PagedScheduler`, whose admission is *block-granular* and
+SLO-aware: the queue is served highest priority class first,
+earliest-TTFT-deadline first inside a class (requests whose deadline has
+already passed yield to ones that can still make theirs), and a request
+is admitted when its *new* blocks — after the prefix-cache probe — plus
+a one-block growth reserve per active slot fit the pool.  Preemption
+victims are lowest class first, youngest admission within a class.
+``prefill_chunk_tokens`` caps prompt tokens prefilled per frame so long
+prefills interleave with decode; :class:`SpecDecodeConfig` adds the
+speculative-decoding cost model (both require paged mode).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
 from repro.serve.workload import Request
 
-__all__ = ["SchedulerConfig", "Scheduler", "POLICIES"]
+__all__ = [
+    "SchedulerConfig",
+    "SpecDecodeConfig",
+    "Scheduler",
+    "PagedScheduler",
+    "POLICIES",
+]
 
 POLICIES = ("continuous", "static")
+
+
+@dataclass(frozen=True)
+class SpecDecodeConfig:
+    """Speculative-decoding cost model (paged mode only).
+
+    Each decode step drafts ``spec_k`` tokens and verifies them with one
+    multi-token forward; the number accepted is ``1 + r`` where ``r`` is
+    the run length of leading Bernoulli(``accept_rate``) successes drawn
+    from the named stream ``rng_for(seed, "serve", rid, "spec",
+    emitted)`` — a pure function of request progress, so preemptions and
+    restarts replay identical draws.  The draft model is priced at
+    ``spec_k * draft_step_s`` virtual seconds per step, value-independent
+    so symbolic and real runs agree exactly.
+    """
+
+    spec_k: int = 3
+    accept_rate: float = 0.7
+    draft_step_s: float = 2e-5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.spec_k < 1:
+            raise SimulationError("spec_k must be >= 1")
+        if not 0.0 <= self.accept_rate <= 1.0:
+            raise SimulationError("accept_rate must be in [0, 1]")
+        if self.draft_step_s < 0:
+            raise SimulationError("draft_step_s must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -35,6 +86,14 @@ class SchedulerConfig:
     max_slots: int = 8
     kv_budget_tokens: int = 256
     policy: str = "continuous"
+    #: block size of the paged KV cache; 0 keeps the contiguous cache
+    #: (and the legacy code path, byte-for-byte)
+    kv_block_tokens: int = 0
+    #: max prompt tokens prefilled per scheduler frame (0 = unchunked);
+    #: requires paged mode
+    prefill_chunk_tokens: int = 0
+    #: speculative-decoding cost model; requires paged mode
+    spec: SpecDecodeConfig | None = None
 
     def __post_init__(self) -> None:
         if self.max_slots <= 0:
@@ -45,6 +104,29 @@ class SchedulerConfig:
             raise SimulationError(
                 f"unknown policy {self.policy!r}; valid: {POLICIES}"
             )
+        if self.kv_block_tokens < 0:
+            raise SimulationError("kv_block_tokens must be >= 0")
+        if self.prefill_chunk_tokens < 0:
+            raise SimulationError("prefill_chunk_tokens must be >= 0")
+        if self.kv_block_tokens == 0:
+            if self.prefill_chunk_tokens:
+                raise SimulationError(
+                    "prefill_chunk_tokens requires the paged cache "
+                    "(set kv_block_tokens)"
+                )
+            if self.spec is not None:
+                raise SimulationError(
+                    "speculative decoding requires the paged cache "
+                    "(set kv_block_tokens)"
+                )
+        elif self.policy != "continuous":
+            raise SimulationError(
+                "the paged cache requires the continuous policy"
+            )
+
+    @property
+    def paged(self) -> bool:
+        return self.kv_block_tokens > 0
 
 
 class Scheduler:
@@ -195,3 +277,64 @@ class Scheduler:
     @property
     def idle(self) -> bool:
         return not self.active and not self.queue
+
+
+class PagedScheduler(Scheduler):
+    """Block-granular, SLO-aware admission over a :class:`PagedKVCache`.
+
+    Inherits the queue/slot state machine; only the admission and
+    preemption-ordering decisions change (see the module docstring).
+    The scheduler stays tensor-free — the cache argument is consulted
+    for bookkeeping only (prefix probes, block counts).
+    """
+
+    def _queue_rank(self, rid: int, now: float) -> tuple:
+        """Admission order: class, then can-still-make-its-deadline
+        before already-expired, then EDF, then arrival (FIFO tiebreak)."""
+        req = self.requests[rid]
+        deadline = req.ttft_deadline
+        expired = deadline is not None and deadline < now
+        return (
+            req.priority,
+            1 if expired else 0,
+            deadline if deadline is not None else math.inf,
+            req.arrival,
+            rid,
+        )
+
+    def admit_paged(self, cache, now: float) -> list[tuple[int, int, int]]:
+        """Admit while blocks allow; returns ``[(slot, rid, hit), ...]``.
+
+        A request is admissible when its post-probe *new* blocks plus
+        the blocks revived from the prefix cache plus a one-block growth
+        reserve per then-active slot fit the pool's free + evictable
+        capacity.  Admission maps the cached prefix immediately (so its
+        blocks are pinned before anything this frame can evict them);
+        the first request that does not fit stops admission — no bypass,
+        so lower-ranked requests cannot starve a large one.
+        """
+        admitted: list[tuple[int, int, int]] = []
+        free = self._free_slots()
+        while self.queue and free:
+            rid = min(self.queue, key=lambda r: self._queue_rank(r, now))
+            req = self.requests[rid]
+            hit, new_blocks, revive = cache.probe(req.prompt_tokens)
+            n_active = len(self.active) + 1
+            if new_blocks + revive + n_active > cache.pool.available_blocks:
+                break
+            self.queue.remove(rid)
+            slot = free.pop(0)
+            self.active[slot] = rid
+            self._admit_seq[slot] = self._seq
+            self._seq += 1
+            admitted.append((slot, rid, cache.admit(slot, req.prompt_tokens)))
+        return admitted
+
+    def preemption_order(self) -> list[int]:
+        """Victim candidates: lowest priority class first, youngest
+        admission within a class (cheapest work to redo)."""
+        return sorted(
+            self.active,
+            key=lambda s: (-self.requests[self.active[s]].priority,
+                           -self._admit_seq[s]),
+        )

@@ -9,6 +9,24 @@ Output lengths are bimodal (mostly short, a tail of long generations),
 which is the regime where continuous batching beats static batching: a
 static batch stalls on its longest member while continuous batching
 backfills freed slots.
+
+Shared prefixes
+---------------
+With ``prefix_pool > 0`` every prompt starts with one of a small pool of
+shared prefixes (system prompts, few-shot templates), drawn Zipf-style so
+a handful of prefixes dominate — the regime where paged prefix sharing
+pays.  The pool's token content is itself seeded (streams
+``("serve", "prefixpool", pid, ...)``), so two requests drawing the same
+``prefix_id`` share *bitwise identical* prefix tokens and the paged
+cache's hash-keyed block reuse fires deterministically.
+
+Priority classes
+----------------
+``priorities`` tags each request with a class (drawn from stream
+``("serve", rid, "prio")`` by class weight) carrying an optional TTFT
+deadline; the paged scheduler admits higher classes first,
+earliest-deadline-first inside a class, and the report breaks SLO
+attainment out per class.
 """
 
 from __future__ import annotations
@@ -19,7 +37,30 @@ from dataclasses import dataclass
 from repro.errors import SimulationError
 from repro.util.rng import rng_for
 
-__all__ = ["WorkloadConfig", "Request", "generate_workload"]
+__all__ = ["PriorityClass", "WorkloadConfig", "Request", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class PriorityClass:
+    """One scheduling class: a draw weight and an optional TTFT deadline.
+
+    Lower list position = higher priority.  ``ttft_slo_s`` is the
+    time-to-first-token deadline measured from arrival; ``None`` means
+    best-effort (always "attained" for SLO accounting purposes, and
+    reported as such).
+    """
+
+    name: str
+    weight: float = 1.0
+    ttft_slo_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("priority class needs a name")
+        if self.weight <= 0:
+            raise SimulationError("priority class weight must be positive")
+        if self.ttft_slo_s is not None and self.ttft_slo_s <= 0:
+            raise SimulationError("ttft_slo_s must be positive when set")
 
 
 @dataclass(frozen=True)
@@ -43,6 +84,15 @@ class WorkloadConfig:
     #: burst leader's arrival time.
     diurnal_period: float = 0.0
     diurnal_amplitude: float = 0.0
+    #: shared-prefix population: with ``prefix_pool > 0`` every prompt is
+    #: ``pool_prefix + unique_suffix``; the prefix id is drawn Zipf-style
+    #: (exponent ``prefix_zipf``) so low ids dominate.  ``prompt_len``
+    #: then ranges the *suffix* length only.
+    prefix_pool: int = 0
+    prefix_len: tuple[int, int] = (16, 32)  #: inclusive pool-prefix range
+    prefix_zipf: float = 1.2
+    #: scheduling classes (empty = single best-effort class, priority 0)
+    priorities: tuple[PriorityClass, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_requests <= 0:
@@ -68,11 +118,20 @@ class WorkloadConfig:
             raise SimulationError(
                 "diurnal_amplitude needs a positive diurnal_period"
             )
+        if self.prefix_pool < 0:
+            raise SimulationError("prefix_pool must be >= 0")
+        if self.prefix_pool > 0:
+            lo, hi = self.prefix_len
+            if not 1 <= lo <= hi:
+                raise SimulationError(f"bad prefix_len range ({lo}, {hi})")
+            if self.prefix_zipf <= 0:
+                raise SimulationError("prefix_zipf must be positive")
 
     @property
     def max_request_tokens(self) -> int:
         """Worst-case prompt + output tokens of any request."""
-        return self.prompt_len[1] + self.output_long[1]
+        prefix = self.prefix_len[1] if self.prefix_pool > 0 else 0
+        return prefix + self.prompt_len[1] + self.output_long[1]
 
 
 @dataclass(frozen=True)
@@ -89,6 +148,20 @@ class Request:
     arrival: float
     prompt_tokens: tuple[int, ...]
     output_tokens: tuple[int, ...]
+    #: index of the shared pool prefix this prompt starts with (None when
+    #: the workload has no prefix pool)
+    prefix_id: int | None = None
+    #: priority class index (0 = highest; 0 also when untagged)
+    priority: int = 0
+    #: TTFT deadline in seconds from arrival; None = best-effort
+    ttft_slo_s: float | None = None
+
+    @property
+    def ttft_deadline(self) -> float | None:
+        """Absolute virtual-clock deadline for the first token."""
+        if self.ttft_slo_s is None:
+            return None
+        return self.arrival + self.ttft_slo_s
 
     @property
     def prompt_len(self) -> int:
@@ -121,8 +194,53 @@ def _relative_rate(cfg: WorkloadConfig, t: float) -> float:
     )
 
 
+def _pool_prefix(cfg: WorkloadConfig, pid: int) -> tuple[int, ...]:
+    """The pool prefix ``pid``'s token trace — a pure function of the seed
+    (streams named by pid, not rid, so every request drawing ``pid`` gets
+    bitwise-identical tokens)."""
+    lo, hi = cfg.prefix_len
+    length = int(
+        rng_for(cfg.seed, "serve", "prefixpool", pid, "len").integers(
+            lo, hi + 1
+        )
+    )
+    return tuple(
+        int(t)
+        for t in rng_for(cfg.seed, "serve", "prefixpool", pid,
+                         "tokens").integers(0, cfg.vocab, size=length)
+    )
+
+
+def _draw_prefix_id(cfg: WorkloadConfig, rid: int) -> int:
+    """Zipf-distributed pool index: P(pid) ∝ (pid + 1) ** -prefix_zipf."""
+    weights = [(p + 1) ** -cfg.prefix_zipf for p in range(cfg.prefix_pool)]
+    total = sum(weights)
+    u = float(rng_for(cfg.seed, "serve", rid, "prefix").random()) * total
+    acc = 0.0
+    for pid, w in enumerate(weights):
+        acc += w
+        if u < acc:
+            return pid
+    return cfg.prefix_pool - 1
+
+
+def _draw_priority(cfg: WorkloadConfig, rid: int) -> int:
+    """Class index by weight from the ``prio`` stream (0 when untagged)."""
+    if not cfg.priorities:
+        return 0
+    total = sum(c.weight for c in cfg.priorities)
+    u = float(rng_for(cfg.seed, "serve", rid, "prio").random()) * total
+    acc = 0.0
+    for idx, cls in enumerate(cfg.priorities):
+        acc += cls.weight
+        if u < acc:
+            return idx
+    return len(cfg.priorities) - 1
+
+
 def generate_workload(cfg: WorkloadConfig) -> list[Request]:
     """Materialize the full request list for ``cfg`` (sorted by arrival)."""
+    pool = [_pool_prefix(cfg, pid) for pid in range(cfg.prefix_pool)]
     requests = []
     arrival = 0.0
     for rid in range(cfg.num_requests):
@@ -153,6 +271,13 @@ def generate_workload(cfg: WorkloadConfig) -> list[Request]:
                 0, cfg.vocab, size=p_len
             )
         )
+        prefix_id = None
+        if cfg.prefix_pool > 0:
+            prefix_id = _draw_prefix_id(cfg, rid)
+            prompt = pool[prefix_id] + prompt
+        priority = _draw_priority(cfg, rid)
+        slo = (cfg.priorities[priority].ttft_slo_s
+               if cfg.priorities else None)
         output = tuple(
             int(t)
             for t in rng_for(cfg.seed, "serve", rid, "output").integers(
@@ -161,6 +286,7 @@ def generate_workload(cfg: WorkloadConfig) -> list[Request]:
         )
         requests.append(
             Request(rid=rid, arrival=arrival, prompt_tokens=prompt,
-                    output_tokens=output)
+                    output_tokens=output, prefix_id=prefix_id,
+                    priority=priority, ttft_slo_s=slo)
         )
     return requests

@@ -149,6 +149,35 @@ class TestEngineOverheadSmoke:
         )
 
 
+class TestPagedServingSmoke:
+    """Fast-mode floor for ``benchmarks/bench_serving.py``'s paged arm.
+
+    The full shared-prefix sweep (three rates, 24 requests, real-tensor
+    parity check) runs nightly; this smoke runs the peak rate only with
+    half the requests and a floor below the bench's 1.3x, so a collapse
+    of the paged cache's goodput advantage — or a byte-level
+    nondeterminism in its report — fails tier-1 without re-asserting the
+    exact nightly numbers.
+    """
+
+    def test_paged_goodput_floor_and_determinism(self):
+        import json
+
+        from benchmarks.bench_serving import (
+            RATES,
+            _check_prefix_guarantees,
+            run_prefix_sweep,
+        )
+
+        curves = run_prefix_sweep(rates=RATES[-1:], num_requests=12)
+        _check_prefix_guarantees(curves, floor=1.15, check_ttft=False)
+        again = run_prefix_sweep(rates=RATES[-1:], num_requests=12)
+        assert (json.dumps(curves, sort_keys=True)
+                == json.dumps(again, sort_keys=True)), (
+            "paged serving report is not byte-deterministic"
+        )
+
+
 class TestGoldenEndToEnd:
     def test_small_allreduce_program_time_pinned(self):
         """A complete 8-rank program's makespan, pinned to the digit."""

@@ -18,7 +18,13 @@ import pytest
 
 from repro.errors import RankFailureError
 from repro.models.configs import TransformerConfig
-from repro.serve import SchedulerConfig, WorkloadConfig, run_serving
+from repro.serve import (
+    PriorityClass,
+    SchedulerConfig,
+    SpecDecodeConfig,
+    WorkloadConfig,
+    run_serving,
+)
 from repro.sim.faults import FaultPlan, RankCrash
 from repro.sim.schedulers import available_backends
 
@@ -130,6 +136,91 @@ class TestServeCrashRecovery:
         # No fault ever fired, so the schedule is the fault-free one.
         assert rep["makespan_s"] == baseline["makespan_s"]
         assert rep["iterations"] == baseline["iterations"]
+
+
+PAGED_WORKLOAD = replace(
+    WORKLOAD,
+    prefix_pool=2, prefix_len=(8, 8), prefix_zipf=1.5,
+    priorities=(
+        PriorityClass("gold", weight=1.0, ttft_slo_s=0.02),
+        PriorityClass("bronze", weight=2.0),
+    ),
+)
+PAGED_MODEL = replace(MODEL, seq_len=PAGED_WORKLOAD.max_request_tokens)
+#: budget sized so long outputs force preemptions while chunked prefill
+#: and speculative decode stay on
+PAGED_SCHED = SchedulerConfig(
+    max_slots=4, kv_budget_tokens=64, policy="continuous",
+    kv_block_tokens=4, prefill_chunk_tokens=6,
+    spec=SpecDecodeConfig(spec_k=2, accept_rate=0.6),
+)
+
+
+def _serve_paged(**kwargs):
+    mode = kwargs.pop("mode")
+    return run_serving(mode, model_cfg=PAGED_MODEL, workload=PAGED_WORKLOAD,
+                       sched=PAGED_SCHED, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def paged_baseline():
+    return _serve_paged(**MODE_KWARGS)
+
+
+class TestPagedServeCrashRecovery:
+    """Preemption x crash-recovery x chunked prefill on the paged cache.
+
+    Same crash plans as the contiguous arm, but the serving loop runs
+    the block cache with prefix sharing, chunked prefill, speculative
+    decode and SLO-aware admission — recovery must preserve all of it,
+    deterministically, under every scheduler backend.
+    """
+
+    def test_baseline_exercises_the_machinery(self, paged_baseline):
+        rep = paged_baseline
+        assert rep["completed"] == PAGED_WORKLOAD.num_requests
+        assert rep["preemptions"] > 0, "budget never forced a preemption"
+        assert rep["paged"]["prefix_hit_rate"] > 0.0
+        assert rep["spec"]["steps"] > 0
+        assert rep["spec"]["accepted_per_step"] >= 1.0
+        assert 0.0 <= rep["slo_attainment"] <= 1.0
+        assert set(rep["slo_by_class"]) <= {"gold", "bronze"}
+
+    @pytest.mark.parametrize("backend", available_backends())
+    @pytest.mark.parametrize("seed", range(4))
+    def test_recovers_and_completes(self, paged_baseline, seed, backend,
+                                    monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_BACKEND", backend)
+        plan = _crash_plan(seed, paged_baseline["makespan_s"])
+        rep = _serve_paged(fault_plan=plan, max_restarts=len(plan.crashes),
+                           **MODE_KWARGS)
+        assert rep["completed"] == PAGED_WORKLOAD.num_requests
+        assert 1 <= rep["recoveries"] <= len(plan.crashes)
+        assert rep["makespan_s"] >= max(c.at for c in plan.crashes)
+        # Restarted prefills are re-charged, so the cumulative prompt
+        # counter can only grow past the fault-free run's.
+        assert (rep["paged"]["prompt_tokens"]
+                >= paged_baseline["paged"]["prompt_tokens"])
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_recovery_is_deterministic_across_backends(self, paged_baseline,
+                                                       seed, monkeypatch):
+        plan = _crash_plan(seed, paged_baseline["makespan_s"])
+        reports = []
+        for backend in available_backends():
+            monkeypatch.setenv("REPRO_ENGINE_BACKEND", backend)
+            reports.extend(
+                _serve_paged(fault_plan=plan,
+                             max_restarts=len(plan.crashes), **MODE_KWARGS)
+                for _ in range(2)
+            )
+        assert all(r == reports[0] for r in reports[1:]), (
+            "paged crash-recovery report varies across runs or backends"
+        )
+
+    def test_no_plan_report_is_unchanged(self, paged_baseline):
+        assert "recoveries" not in paged_baseline
+        assert paged_baseline == _serve_paged(**MODE_KWARGS)
 
 
 class TestEventMultiplexedServing:
